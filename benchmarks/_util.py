@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper artifact (figure / theorem claim): it
+prints the series the paper's claim is about, attaches it to the
+pytest-benchmark record via ``extra_info``, and asserts the claim's *shape*
+(growth exponents, who wins, crossovers) — not absolute constants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (the growth exponent)."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(lx)
+    mx, my = sum(lx) / n, sum(ly) / n
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    return num / den
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    widths = [max(len(str(h)), max((len(f"{r[i]:.4g}" if isinstance(r[i], float)
+                                        else str(r[i])) for r in rows),
+                                   default=0))
+              for i, h in enumerate(headers)]
+    print(f"\n## {title}")
+    print(" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        cells = [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row]
+        print(" | ".join(c.rjust(w) for c, w in zip(cells, widths)))
+
+
+def record(benchmark, **info) -> None:
+    """Attach a result series to the pytest-benchmark JSON record."""
+    if benchmark is not None:
+        for key, value in info.items():
+            benchmark.extra_info[key] = value

@@ -1,0 +1,97 @@
+"""A1 — ablation studies called out in DESIGN.md.
+
+* sorting-network choice: bitonic vs Batcher's odd-even merge (both
+  O(N log² N); odd-even saves ~16–20% comparators — the AKS network would
+  save a full log factor at galactic constants, which is why the paper
+  lists both as acceptable);
+* re-planning (our realisation of the truncation lemma) on vs off: with
+  checks disabled the circuit stays *correct* but heavy branches blow
+  through the DAPB budget;
+* lazy vs forced decomposition: the speculative-lazy optimisation is what
+  keeps integral-cover plans (stars) at constant size.
+"""
+
+import math
+
+from repro.boolcircuit import ArrayBuilder, bitonic_sort
+from repro.boolcircuit.sorting import odd_even_merge_sort
+from repro.core import panda_c
+from repro.datagen import star_query, triangle_query, uniform_dc
+
+from _util import print_table, record
+
+
+def test_a1_sorting_network_choice(benchmark):
+    rows = []
+    for n in (16, 64, 256, 1024):
+        b1 = ArrayBuilder()
+        bitonic_sort(b1, b1.input_array(("A",), n), ["A"])
+        b2 = ArrayBuilder()
+        odd_even_merge_sort(b2, b2.input_array(("A",), n), ["A"])
+        saving = 100 * (1 - b2.c.size / b1.c.size)
+        rows.append((n, b1.c.size, b2.c.size, f"{saving:.0f}%",
+                     b1.c.depth, b2.c.depth))
+    print_table("A1: bitonic vs odd-even merge sorting networks",
+                ["N", "bitonic", "odd-even", "saving", "depth b", "depth oe"],
+                rows)
+    record(benchmark, table=rows)
+    for _, bit, oe, *_ in rows:
+        assert oe < bit
+
+    def build():
+        b = ArrayBuilder()
+        odd_even_merge_sort(b, b.input_array(("A",), 128), ["A"])
+        return b
+
+    benchmark(build)
+
+
+def test_a1_replanning_on_off(benchmark):
+    """Disabling the DAPB check (huge slack) keeps correctness but lets
+    compositions exceed the budget — the measured reason the truncation
+    mechanism exists."""
+    q = triangle_query()
+    rows = []
+    for n in (64, 256, 1024):
+        dc = uniform_dc(q, n)
+        on_c, on_r = panda_c(q, dc, canonical_key="triangle")
+        off_c, off_r = panda_c(q, dc, canonical_key="triangle",
+                               dapb_slack=10 ** 12)
+        worst_on = max((c.product for c in on_r.checks), default=0)
+        worst_off = max((c.product for c in off_r.checks), default=0)
+        rows.append((n, on_r.dapb, worst_on, worst_off,
+                     on_c.cost(), off_c.cost()))
+    print_table("A1: composition re-planning on vs off (triangle)",
+                ["N", "DAPB", "worst join (on)", "worst join (off)",
+                 "cost (on)", "cost (off)"], rows)
+    record(benchmark, table=rows)
+    for n, dapb, worst_on, worst_off, cost_on, cost_off in rows:
+        assert worst_on <= dapb
+        assert worst_off > dapb       # unplanned joins overshoot the budget
+    # The un-planned circuit degenerates to the N² plan: cheaper at small N
+    # (no dyadic branching overhead) but loses by ~√N asymptotically — the
+    # crossover lands by N=1024 on this sweep.
+    ratios = [cost_off / cost_on for _, _, _, _, cost_on, cost_off in rows]
+    assert ratios[-1] > ratios[0], ratios
+    assert rows[-1][5] > rows[-1][4], "re-planning must win at the largest N"
+    benchmark(panda_c, q, uniform_dc(q, 256), None, "triangle")
+
+
+def test_a1_lazy_decomposition(benchmark):
+    """The star query: speculative-lazy keeps the plan branch-free; the
+    triangle genuinely needs Algorithm 2's dyadic branching."""
+    star = star_query(4)
+    tri = triangle_query()
+    rows = []
+    for name, query, key in (("star-4", star, None),
+                             ("triangle", tri, "triangle")):
+        circuit, report = panda_c(query, uniform_dc(query, 256),
+                                  canonical_key=key)
+        rows.append((name, circuit.size, report.branches))
+    print_table("A1: speculative-lazy decomposition (branches per plan)",
+                ["query", "rel gates", "decomposition branches"], rows)
+    record(benchmark, table=rows)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["star-4"][2] == 0
+    assert by_name["triangle"][2] > 0
+    benchmark(panda_c, star, uniform_dc(star, 256))

@@ -1,0 +1,81 @@
+"""F1 — Figure 1: the hand-built heavy/light triangle circuit.
+
+Claims reproduced:
+* every wire bound matches the figure's labels (√N heavy values, degree-√N
+  light side, all wires ≤ O(N^1.5));
+* total cost grows as N^1.5;
+* the circuit computes the exact triangle set on worst-case and skewed
+  instances.
+"""
+
+import math
+
+from repro.core import triangle_circuit
+from repro.datagen import triangle_query
+from repro.datagen.worstcase import agm_worst_triangle, skew_triangle
+
+from _util import fit_exponent, print_table, record
+
+SWEEP = [2 ** k for k in range(6, 15)]
+
+
+def test_fig1_cost_scales_as_n_to_1_5(benchmark):
+    costs = {n: triangle_circuit(n).cost() for n in SWEEP}
+    slope = fit_exponent(SWEEP, [costs[n] for n in SWEEP])
+    rows = [(n, costs[n], round(costs[n] / n ** 1.5, 3)) for n in SWEEP]
+    print_table("F1: Figure-1 circuit cost vs N (paper: O(N^1.5))",
+                ["N", "cost", "cost / N^1.5"], rows)
+    record(benchmark, slope=slope, series={n: costs[n] for n in SWEEP})
+    assert 1.35 < slope < 1.65, f"cost exponent {slope}"
+    benchmark(triangle_circuit, 4096)
+
+
+def test_fig1_wire_labels(benchmark):
+    """The figure labels: heavy C values ≤ √N·…, light side degree ≤ √N,
+    every wire O(N^1.5)."""
+    n = 4096
+    s = math.isqrt(n)
+    circuit = benchmark(triangle_circuit, n)
+    by_label = {g.label: g for g in circuit.gates if g.label}
+    assert by_label["heavyC"].bound.card <= n // s + 1
+    assert by_label["BC_light"].bound.degree(("C",)) <= s
+    assert by_label["AB×heavyC"].bound.card <= n * (n // s + 1)
+    for g in circuit.gates:
+        assert g.bound.card <= 2.01 * n ** 1.5
+    record(benchmark, heavy_card=by_label["heavyC"].bound.card,
+           light_degree=by_label["BC_light"].bound.degree(("C",)))
+
+
+def test_fig1_worst_case_evaluation(benchmark):
+    db, n = agm_worst_triangle(144)
+    circuit = triangle_circuit(n)
+    env = {"R_AB": db["R_AB"], "R_BC": db["R_BC"], "R_AC": db["R_AC"]}
+    out = benchmark(lambda: circuit.run(env)[0])
+    assert len(out) == 12 ** 3
+    record(benchmark, out_size=len(out), dapb=int(n ** 1.5))
+
+
+def test_fig1_skewed_instance(benchmark):
+    db, n = skew_triangle(128)
+    q = triangle_query()
+    circuit = triangle_circuit(n)
+    env = {a.name: db[a.name] for a in q.atoms}
+    out = benchmark(lambda: circuit.run(env, check_bounds=False)[0])
+    assert out == q.evaluate(db)
+
+
+def test_fig1_threshold_ablation(benchmark):
+    """Ablation: the √N heavy/light threshold is the cost minimiser."""
+    n = 2 ** 14
+    rows = []
+    best = None
+    for exponent in (0.25, 0.4, 0.5, 0.6, 0.75):
+        cost = triangle_circuit(n, threshold_exponent=exponent).cost()
+        rows.append((exponent, cost))
+        if best is None or cost < best[1]:
+            best = (exponent, cost)
+    print_table("F1 ablation: heavy/light threshold N^e (paper: e = 0.5)",
+                ["exponent", "cost"], rows)
+    record(benchmark, best_exponent=best[0], table=rows)
+    assert abs(best[0] - 0.5) <= 0.1
+    benchmark(triangle_circuit, n, 0.5)

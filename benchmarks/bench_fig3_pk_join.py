@@ -1,0 +1,67 @@
+"""F3 — Figure 3 / Algorithm 6: the primary-key join circuit.
+
+Claims reproduced:
+* the figure's worked example (R = {(a1,b1),(a1,b2),(a2,b1)},
+  S = {(b1,c1),(b3,c1)}) yields exactly {(a1,b1,c1),(a2,b1,c1)};
+* circuit size is Õ(M + N') and depth Õ(1) (polylog).
+"""
+
+import math
+
+from repro.cq import Relation
+from repro.boolcircuit import ArrayBuilder, pk_join
+
+from _util import fit_exponent, print_table, record
+
+SWEEP = [8, 16, 32, 64, 128]
+
+
+def build(m, n):
+    b = ArrayBuilder()
+    r = b.input_array(("A", "B"), m)
+    s = b.input_array(("B", "C"), n)
+    out = pk_join(b, r, s)
+    return b, r, s, out
+
+
+def test_fig3_worked_example(benchmark):
+    r_rel = Relation(("A", "B"), [(1, 1), (1, 2), (2, 1)])
+    s_rel = Relation(("B", "C"), [(1, 1), (3, 1)])
+    b, r, s, out = build(3, 2)
+    values = (ArrayBuilder.encode_relation(r_rel, r)
+              + ArrayBuilder.encode_relation(s_rel, s))
+    decoded = benchmark(
+        lambda: ArrayBuilder.decode_rows(out, b.c.evaluate(values)))
+    assert set(decoded.rows) == {(1, 1, 1), (2, 1, 1)}
+    record(benchmark, gates=b.c.size, depth=b.c.depth)
+
+
+def test_fig3_size_linear_depth_polylog(benchmark):
+    rows = []
+    sizes, depths = [], []
+    for n in SWEEP:
+        b, *_ = build(n, n)
+        sizes.append(b.c.size)
+        depths.append(b.c.depth)
+        rows.append((n, b.c.size, b.c.depth,
+                     round(b.c.size / (n * math.log2(n) ** 2), 2)))
+    print_table("F3: pk-join circuit — size Õ(M+N'), depth Õ(1)",
+                ["M=N'", "gates", "depth", "gates/(N log²N)"], rows)
+    size_slope = fit_exponent(SWEEP, sizes)
+    depth_slope = fit_exponent(SWEEP, depths)
+    record(benchmark, size_slope=size_slope, depth_slope=depth_slope)
+    assert size_slope < 1.5, f"size not quasi-linear: {size_slope}"
+    assert depth_slope < 0.6, f"depth not polylog: {depth_slope}"
+    benchmark(build, 64, 64)
+
+
+def test_fig3_asymmetric_sides(benchmark):
+    """Size is M + N', not M·N': a huge S with pk costs linearly."""
+    small_m, big_n = 8, 256
+    b, *_ = build(small_m, big_n)
+    asym = b.c.size
+    b2, *_ = build(big_n, big_n)
+    square = b2.c.size
+    record(benchmark, asym=asym, square=square)
+    assert asym < square
+    benchmark(build, small_m, big_n)

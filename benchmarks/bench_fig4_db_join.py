@@ -1,0 +1,81 @@
+"""F4 — Figure 4 / Algorithm 7: the degree-bounded join circuit.
+
+Claims reproduced:
+* the figure's worked example (M=3, N=5) yields the exact join;
+* circuit size is Õ(MN + N'), not M·N' — the sequence-doubling +
+  truncation trick avoids the quadratic blow-up the paper warns about.
+"""
+
+import math
+
+from repro.cq import Relation
+from repro.boolcircuit import ArrayBuilder, degree_bounded_join
+
+from _util import fit_exponent, print_table, record
+
+
+def build(m, n_prime, deg):
+    b = ArrayBuilder()
+    r = b.input_array(("A", "B"), m)
+    s = b.input_array(("B", "C"), n_prime)
+    out = degree_bounded_join(b, r, s, deg)
+    return b, r, s, out
+
+
+def test_fig4_worked_example(benchmark):
+    r_rel = Relation(("A", "B"), [(1, 1), (2, 2), (1, 3)])
+    s_rel = Relation(("B", "C"), [(1, 1), (1, 2), (1, 3), (2, 4), (3, 5)])
+    b, r, s, out = build(3, 5, 5)
+    values = (ArrayBuilder.encode_relation(r_rel, r)
+              + ArrayBuilder.encode_relation(s_rel, s))
+    decoded = benchmark(
+        lambda: ArrayBuilder.decode_rows(out, b.c.evaluate(values)))
+    assert decoded == r_rel.join(s_rel)
+    record(benchmark, gates=b.c.size, depth=b.c.depth)
+
+
+def test_fig4_size_mn_scaling(benchmark):
+    """Size grows with M·N (the degree bound), quasi-linearly."""
+    m = 8
+    rows, degs, sizes = [], [], []
+    for deg in (2, 4, 8, 16):
+        b, *_ = build(m, m * deg, deg)
+        degs.append(deg)
+        sizes.append(b.c.size)
+        rows.append((m, deg, m * deg, b.c.size, b.c.depth))
+    print_table("F4: degree-bounded join — size Õ(MN + N')",
+                ["M", "N (deg)", "M·N", "gates", "depth"], rows)
+    slope = fit_exponent(degs, sizes)
+    record(benchmark, deg_slope=slope)
+    assert slope < 1.6, f"size grows faster than Õ(MN): {slope}"
+    benchmark(build, 8, 32, 4)
+
+
+def test_fig4_beats_naive_mxn(benchmark):
+    """The naive all-pairs circuit is M·N' comparator blocks, so growing M
+    at fixed N' and deg scales it by M; the degree-bounded circuit's extra
+    cost is only Õ(M·deg).  Compare growth over a 16x increase in M."""
+    deg, n_prime = 2, 256
+    ours, naive = {}, {}
+    for m in (16, 256):
+        b, *_ = build(m, n_prime, deg)
+        ours[m] = b.c.size
+        naive[m] = m * n_prime * 3
+    ours_growth = ours[256] / ours[16]
+    naive_growth = naive[256] / naive[16]
+    record(benchmark, ours_growth=ours_growth, naive_growth=naive_growth)
+    assert ours_growth < naive_growth / 2, (
+        f"ours grew {ours_growth}x vs naive {naive_growth}x")
+    benchmark(build, 64, n_prime, deg)
+
+
+def test_fig4_depth_polylog(benchmark):
+    depths, ns = [], []
+    for deg in (2, 4, 8, 16):
+        b, *_ = build(8, 8 * deg, deg)
+        ns.append(8 * deg)
+        depths.append(b.c.depth)
+    slope = fit_exponent(ns, depths)
+    record(benchmark, depth_slope=slope)
+    assert slope < 0.75, f"depth not polylog: {slope}"
+    benchmark(build, 8, 64, 8)

@@ -1,0 +1,97 @@
+"""E1 — the paper's motivating comparison: our Õ(N + DAPB) circuits vs the
+classical Õ(N^m) construction [1] used by SMCQL [10].
+
+Claims reproduced:
+* triangle: ours grows as N^1.5, naive as N^3 — the advantage factor is
+  ≈ N^{1.5}/polylog and the crossover is located;
+* path-k: ours N² (the worst-case output), naive N^{k+1};
+* the same gap priced in garbled-circuit bytes (Section 1's MPC story).
+"""
+
+import math
+
+from repro.apps import mpc_cost, naive_mpc_cost
+from repro.boolcircuit.lower import lower
+from repro.core import panda_c
+from repro.ram import naive_circuit_size
+from repro.datagen import path_query, triangle_query, uniform_dc
+
+from _util import fit_exponent, print_table, record
+
+
+def our_relational_cost(query, n, key=None):
+    circuit, _ = panda_c(query, uniform_dc(query, n), canonical_key=key)
+    return circuit.cost()
+
+
+def test_e1_triangle_crossover(benchmark):
+    q = triangle_query()
+    rows = []
+    crossover = None
+    for k in range(3, 14):
+        n = 2 ** k
+        ours = our_relational_cost(q, n, key="triangle")
+        naive = naive_circuit_size(q, uniform_dc(q, n))
+        rows.append((n, ours, naive, round(naive / ours, 2)))
+        if crossover is None and naive > ours:
+            crossover = n
+    print_table("E1: triangle — ours Õ(N^1.5) vs naive Õ(N^3)",
+                ["N", "ours (cost)", "naive (gates)", "naive/ours"], rows)
+    record(benchmark, crossover=crossover, table=rows)
+    assert crossover is not None, "naive should lose at some N"
+    ratios = [r[3] for r in rows]
+    assert ratios[-1] > ratios[0], "gap must widen with N"
+    benchmark(our_relational_cost, q, 256, "triangle")
+
+
+def test_e1_growth_exponents(benchmark):
+    q = triangle_query()
+    ns = [2 ** k for k in range(6, 12)]
+    ours = [our_relational_cost(q, n, key="triangle") for n in ns]
+    naive = [naive_circuit_size(q, uniform_dc(q, n)) for n in ns]
+    ours_slope = fit_exponent(ns, ours)
+    naive_slope = fit_exponent(ns, naive)
+    record(benchmark, ours_slope=ours_slope, naive_slope=naive_slope)
+    assert 1.3 < ours_slope < 1.8
+    assert 2.9 < naive_slope < 3.1
+    benchmark(our_relational_cost, q, 64, "triangle")
+
+
+def test_e1_path_queries(benchmark):
+    rows = []
+    for k in (2, 3, 4):
+        q = path_query(k)
+        n = 256
+        ours = our_relational_cost(q, n)
+        naive = naive_circuit_size(q, uniform_dc(q, n))
+        rows.append((f"path-{k}", ours, naive, round(naive / ours, 1)))
+    print_table("E1: path-k at N=256 — ours Õ(N²) vs naive Õ(N^k)",
+                ["query", "ours", "naive", "naive/ours"], rows)
+    record(benchmark, table=rows)
+    # the advantage must grow with k (naive picks up a factor N per atom)
+    advantages = [r[3] for r in rows]
+    assert advantages[2] > advantages[1]
+    q = path_query(3)
+    benchmark(our_relational_cost, q, 64)
+
+
+def test_e1_garbled_circuit_bytes(benchmark):
+    """Section 1's MPC pricing, calibrated on a real lowered circuit."""
+    q = triangle_query()
+    calib_n = 16
+    circuit, _ = panda_c(q, uniform_dc(q, calib_n), canonical_key="triangle")
+    lowered = lower(circuit)
+    bytes_per_cost = mpc_cost(lowered.circuit).garbled_bytes / circuit.cost()
+    comparisons = sum(len(a.vars) for a in q.atoms)
+    rows = []
+    for n in (16, 256, 4096):
+        ours_bytes = our_relational_cost(q, n, key="triangle") * bytes_per_cost
+        naive_bytes = naive_mpc_cost(n ** 3, comparisons).garbled_bytes
+        rows.append((n, round(ours_bytes / 2 ** 20, 1),
+                     round(naive_bytes / 2 ** 20, 1),
+                     round(naive_bytes / ours_bytes, 2)))
+    print_table("E1: garbled-circuit MB — ours vs naive (SMCQL-style)",
+                ["N", "ours MB", "naive MB", "ratio"], rows)
+    record(benchmark, table=rows)
+    assert rows[-1][3] > rows[0][3]
+    benchmark(lower, circuit)

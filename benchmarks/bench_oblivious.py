@@ -1,0 +1,65 @@
+"""E4 — obliviousness (Section 1, outsourced query processing).
+
+Claims reproduced:
+* the word circuit's access trace is bit-identical across conforming
+  instances (circuits are oblivious by definition);
+* a RAM hash join's probe pattern varies across same-size instances;
+* circuit topology is already fixed before data exists (uniformity:
+  generation consumes only Q and DC).
+"""
+
+from repro.apps import circuit_trace, hash_join_trace, traces_identical
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq, triangle_circuit
+from repro.datagen import random_database, triangle_query, uniform_dc
+
+from _util import print_table, record
+
+
+def test_e4_circuit_trace_constant(benchmark):
+    q = triangle_query()
+    n = 6
+    lowered = lower(triangle_circuit(n))
+    digests = []
+    for seed in range(5):
+        db = random_database(q, n, 4, seed=seed)
+        env = {a.name: db[a.name] for a in q.atoms}
+        digests.append(circuit_trace(lowered, env))
+    rows = [(seed, d[:20] + "…") for seed, d in enumerate(digests)]
+    print_table("E4: circuit access-trace digests across 5 instances",
+                ["instance", "sha256 (prefix)"], rows)
+    record(benchmark, distinct=len(set(digests)))
+    assert traces_identical(digests)
+    db = random_database(q, n, 4, seed=0)
+    env = {a.name: db[a.name] for a in q.atoms}
+    benchmark(circuit_trace, lowered, env)
+
+
+def test_e4_hash_join_leaks(benchmark):
+    q = triangle_query()
+    n = 12
+    patterns = set()
+    for seed in range(8):
+        db = random_database(q, n, 24, seed=seed)
+        patterns.add(tuple(hash_join_trace(db["R_AB"], db["R_BC"])))
+    record(benchmark, distinct=len(patterns))
+    assert len(patterns) > 1, "hash join trace should vary with data"
+    db = random_database(q, n, 24, seed=0)
+    benchmark(hash_join_trace, db["R_AB"], db["R_BC"])
+
+
+def test_e4_uniform_generation_before_data(benchmark):
+    """The generator consumes only (Q, DC): two builds are identical."""
+    q = triangle_query()
+    dc = uniform_dc(q, 8)
+
+    def build():
+        circuit, _ = compile_fcq(q, dc, canonical_key="triangle")
+        return lower(circuit)
+
+    a, b = build(), build()
+    assert a.circuit.ops == b.circuit.ops
+    assert a.circuit.in_a == b.circuit.in_a
+    assert a.circuit.in_b == b.circuit.in_b
+    record(benchmark, gates=a.size)
+    benchmark(build)

@@ -1,0 +1,79 @@
+"""E6 — Brent's theorem (Section 1): the circuits really are parallel.
+
+Claims reproduced:
+* scheduling the lowered triangle circuit on a P-processor PRAM gives
+  near-linear speed-up until P approaches W/D, then saturates at ≤ depth
+  steps (the NC regime);
+* measured PRAM steps never exceed Brent's ⌈W/P⌉ + D;
+* ORAM deployments of the same query (Section 1's third application):
+  the circuit needs one interaction round where client-driven ORAM needs
+  one per access, and no trusted module where server-side ORAM needs one.
+"""
+
+from repro.apps import compare_deployments
+from repro.boolcircuit.lower import lower
+from repro.boolcircuit.schedule import schedule, speedup_curve
+from repro.core import triangle_circuit
+from repro.ram import CostCounter, generic_join
+from repro.datagen import triangle_query
+from repro.datagen.worstcase import agm_worst_triangle
+
+from _util import print_table, record
+
+PROCESSORS = [1, 4, 16, 64, 256, 1024, 4096]
+
+
+def test_e6_speedup_curve(benchmark):
+    lowered = lower(triangle_circuit(16))
+    sched = schedule(lowered.circuit)
+    curve = speedup_curve(lowered.circuit, PROCESSORS)
+    rows = [(p, sched.pram_steps(p), round(curve[p], 1),
+             sched.brent_bound(p)) for p in PROCESSORS]
+    print_table(f"E6: PRAM speed-up (triangle N=16, W={sched.size}, "
+                f"D={sched.depth})",
+                ["P", "steps", "speed-up", "Brent ⌈W/P⌉+D"], rows)
+    record(benchmark, table=rows)
+    for p, steps, _, bound in rows:
+        assert steps <= bound
+    # near-linear early: P=16 gives ≥ 8x
+    assert curve[16] > 8
+    # saturation: unlimited processors bounded by depth
+    assert sched.pram_steps(10 ** 9) <= sched.depth
+    benchmark(schedule, lowered.circuit)
+
+
+def test_e6_parallelism_grows_with_n(benchmark):
+    rows = []
+    for n in (4, 8, 16, 32):
+        sched = schedule(lower(triangle_circuit(n)).circuit)
+        rows.append((n, sched.size, sched.depth, sched.max_parallelism,
+                     round(sched.size / sched.depth, 1)))
+    print_table("E6: average parallelism W/D grows with N",
+                ["N", "W", "D", "max width", "W/D"], rows)
+    record(benchmark, table=rows)
+    avg = [r[4] for r in rows]
+    assert avg == sorted(avg)
+    benchmark(lambda: schedule(lower(triangle_circuit(8)).circuit))
+
+
+def test_e6_oram_vs_circuit_deployments(benchmark):
+    q = triangle_query()
+    db, n = agm_worst_triangle(64)
+    counter = CostCounter()
+    generic_join(q, db, counter=counter)
+    lowered = lower(triangle_circuit(n))
+    rows = []
+    for d in compare_deployments(ram_steps=counter.steps,
+                                 circuit_size=lowered.size,
+                                 memory_size=3 * n):
+        rows.append((d.name, d.physical_accesses, d.interaction_rounds,
+                     "yes" if d.needs_trusted_module else "no"))
+    print_table("E6: oblivious deployments of the triangle query (N=64)",
+                ["deployment", "accesses", "rounds", "TM?"], rows)
+    record(benchmark, table=rows)
+    by_name = {r[0]: r for r in rows}
+    circuit_row = by_name["circuit (this paper)"]
+    plain_oram = by_name["ORAM(opt)"]
+    assert circuit_row[2] == 1 and plain_oram[2] > 1
+    assert circuit_row[3] == "no"
+    benchmark(compare_deployments, counter.steps, lowered.size)

@@ -1,0 +1,96 @@
+"""E3 — RAM parity: circuit costs and RAM step counts have the same shape.
+
+Brent's theorem (Section 1) says a size-W, depth-D circuit runs in
+O(W/P + D) on P processors and O(W) sequentially, so the circuit *cost*
+should track the RAM algorithms' step counts:
+
+* Yannakakis steps vs Yannakakis-C cost across an OUT sweep — same winner
+  ordering and comparable growth;
+* WCOJ (generic join) steps vs PANDA-C cost on worst-case triangles;
+* the naive RAM evaluation loses to both by the same factor the naive
+  circuit loses.
+"""
+
+from repro.cq import Relation, Database
+from repro.core import panda_c, yannakakis_c
+from repro.ram import CostCounter, generic_join, naive_join, yannakakis
+from repro.datagen import path_query, triangle_query, uniform_dc
+from repro.datagen.worstcase import agm_worst_triangle, blowup_path, matching_path
+
+from _util import fit_exponent, print_table, record
+
+
+def test_e3_yannakakis_parity_over_out(benchmark):
+    q = path_query(3)
+    rows = []
+    ram_steps, circuit_costs, outs = [], [], []
+    for n in (16, 36, 64):
+        for db, label in ((matching_path(n, 3), "sparse"),
+                          (blowup_path(n * n, 3), "dense")):
+            dc = q.default_dc(db)
+            out = len(q.evaluate(db))
+            counter = CostCounter()
+            yannakakis(q, db, counter=counter)
+            circuit, _ = yannakakis_c(q, dc, out_bound=max(1, out))
+            rows.append((n, label, out, counter.steps, circuit.cost()))
+            if out:
+                ram_steps.append(counter.steps)
+                circuit_costs.append(circuit.cost())
+                outs.append(out)
+    print_table("E3: Yannakakis RAM steps vs Yannakakis-C cost",
+                ["N", "instance", "OUT", "RAM steps", "circuit cost"], rows)
+    ram_slope = fit_exponent(outs, ram_steps)
+    circ_slope = fit_exponent(outs, circuit_costs)
+    record(benchmark, ram_slope=ram_slope, circuit_slope=circ_slope)
+    # both scale with OUT; within a factor-of-two exponent of each other
+    assert abs(ram_slope - circ_slope) < 0.6, (ram_slope, circ_slope)
+    db = matching_path(32, 3)
+    benchmark(yannakakis, q, db)
+
+
+def test_e3_wcoj_parity_on_worst_case(benchmark):
+    q = triangle_query()
+    rows, ns, ram, circ = [], [], [], []
+    for n in (64, 256, 1024):
+        db, real_n = agm_worst_triangle(n)
+        counter = CostCounter()
+        generic_join(q, db, counter=counter)
+        circuit, _ = panda_c(q, uniform_dc(q, real_n), canonical_key="triangle")
+        rows.append((real_n, counter.steps, circuit.cost()))
+        ns.append(real_n)
+        ram.append(counter.steps)
+        circ.append(circuit.cost())
+    print_table("E3: WCOJ steps vs PANDA-C cost on AGM-tight triangles",
+                ["N", "WCOJ steps", "circuit cost"], rows)
+    ram_slope = fit_exponent(ns, ram)
+    circ_slope = fit_exponent(ns, circ)
+    record(benchmark, ram_slope=ram_slope, circuit_slope=circ_slope)
+    assert abs(ram_slope - circ_slope) < 0.5, (ram_slope, circ_slope)
+    db, _ = agm_worst_triangle(256)
+    benchmark(generic_join, q, db)
+
+
+def test_e3_naive_loses_in_both_models(benchmark):
+    q = triangle_query()
+    db, n = agm_worst_triangle(100)
+    wcoj_counter, naive_counter = CostCounter(), CostCounter()
+    generic_join(q, db, counter=wcoj_counter)
+    naive_join(q, db, counter=naive_counter)
+    record(benchmark, wcoj=wcoj_counter.steps, naive=naive_counter.steps)
+    assert naive_counter.steps > 5 * wcoj_counter.steps
+    benchmark(naive_join, q, db)
+
+
+def test_e3_evaluator_agreement_anchor(benchmark):
+    """All three RAM evaluators and the circuit agree (timed anchor)."""
+    q = triangle_query()
+    db, n = agm_worst_triangle(49)
+    env = {a.name: db[a.name] for a in q.atoms}
+    circuit, _ = panda_c(q, uniform_dc(q, n), canonical_key="triangle")
+    truth = q.evaluate(db)
+    assert yannakakis(q, db) == truth
+    assert generic_join(q, db) == truth
+    from repro.core import compile_fcq
+    clean, _ = compile_fcq(q, uniform_dc(q, n), canonical_key="triangle")
+    assert clean.run(env, check_bounds=False)[0] == truth
+    benchmark(lambda: clean.run(env, check_bounds=False))

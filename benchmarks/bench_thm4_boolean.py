@@ -1,0 +1,107 @@
+"""T4 — Theorem 4: the end-to-end word circuit for an FCQ has Õ(1) depth
+and Õ(N + DAPB(Q)) size, and computes Q(D) exactly.
+
+Claims reproduced:
+* word-gate count divided by the relational cost stays polylog as N grows
+  (the lowering preserves the Section-4.3 accounting);
+* depth grows polylogarithmically;
+* the lowered circuit equals the reference evaluator on random instances.
+"""
+
+import math
+
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq, panda_c, triangle_circuit
+from repro.datagen import (
+    path_query,
+    random_database,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+from _util import fit_exponent, print_table, record
+
+SWEEP = [4, 8, 16, 32, 64]
+
+
+def test_thm4_size_tracks_relational_cost(benchmark):
+    """gates/cost is the polylog factor of Theorem 4; normalised by the
+    dominant log²(wire capacity) term (the sorting networks) it is flat."""
+    rows, normalised = [], []
+    for n in SWEEP:
+        circuit = triangle_circuit(n)
+        lowered = lower(circuit)
+        ratio = lowered.size / circuit.cost()
+        cap = max(2.0, n ** 1.5)
+        norm = ratio / (math.log2(cap) ** 2)
+        rows.append((n, circuit.cost(), lowered.size, round(ratio, 1),
+                     round(norm, 1)))
+        normalised.append(norm)
+    print_table("T4: word gates vs relational cost (triangle, Figure 1)",
+                ["N", "rel cost", "word gates", "gates/cost",
+                 "ratio/log²cap"], rows)
+    record(benchmark, normalised=normalised, table=rows)
+    assert max(normalised) / min(normalised) < 2.5, normalised
+    benchmark(lower, triangle_circuit(8))
+
+
+def test_thm4_depth_polylog(benchmark):
+    """Polylog depth: successive doubling ratios shrink toward 1 (any true
+    power N^c would keep them fixed at 2^c)."""
+    depths = []
+    for n in SWEEP:
+        depths.append(lower(triangle_circuit(n)).depth)
+    ratios = [depths[i + 1] / depths[i] for i in range(len(depths) - 1)]
+    rows = list(zip(SWEEP, depths))
+    print_table("T4: circuit depth vs N (Õ(1) = polylog)", ["N", "depth"], rows)
+    record(benchmark, depths=depths, doubling_ratios=ratios)
+    assert ratios[-1] < ratios[0], f"doubling ratios not shrinking: {ratios}"
+    assert ratios[-1] < 1.6, f"tail still grows like a power: {ratios}"
+    benchmark(lower, triangle_circuit(16))
+
+
+def test_thm4_end_to_end_correctness(benchmark):
+    q = triangle_query()
+    n = 8
+    circuit, _ = compile_fcq(q, uniform_dc(q, n), canonical_key="triangle")
+    lowered = lower(circuit)
+    db = random_database(q, n, 5, seed=21)
+    env = {a.name: db[a.name] for a in q.atoms}
+    out = benchmark(lambda: lowered.run(env)[0])
+    assert out == q.evaluate(db)
+    record(benchmark, gates=lowered.size, depth=lowered.depth)
+
+
+def test_thm4_acyclic_families(benchmark):
+    rows = []
+    for name, query in (("path-2", path_query(2)), ("star-2", star_query(2))):
+        n = 8
+        circuit, _ = compile_fcq(query, uniform_dc(query, n))
+        lowered = lower(circuit)
+        db = random_database(query, n, 5, seed=22)
+        env = {a.name: db[a.name] for a in query.atoms}
+        assert lowered.run(env)[0] == query.evaluate(db)
+        rows.append((name, lowered.size, lowered.depth))
+    print_table("T4: lowered PANDA-C circuits (acyclic families)",
+                ["query", "word gates", "depth"], rows)
+    record(benchmark, table=rows)
+    q = path_query(2)
+    circuit, _ = compile_fcq(q, uniform_dc(q, 8))
+    benchmark(lower, circuit)
+
+
+def test_thm4_boolean_expansion_accounting(benchmark):
+    """The O(log u) Boolean-expansion factor of Section 4.1."""
+    lowered = lower(triangle_circuit(8))
+    word = lowered.size
+    rows = []
+    for bits in (8, 16, 32, 64):
+        boolean = lowered.circuit.boolean_size_estimate(bits)
+        rows.append((bits, word, boolean, round(boolean / word, 1)))
+    print_table("T4: word → Boolean expansion per word width",
+                ["bits", "word gates", "bool gates", "factor"], rows)
+    record(benchmark, table=rows)
+    factors = [r[3] for r in rows]
+    assert factors == sorted(factors)
+    benchmark(lowered.circuit.boolean_size_estimate, 32)

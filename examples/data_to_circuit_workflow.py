@@ -1,0 +1,78 @@
+"""From raw CSVs to a deployable circuit: the full adoption workflow.
+
+1. load relations from CSV files;
+2. profile them to *discover* degree constraints (cardinalities, bounded
+   degrees, functional dependencies), rounded to powers of two so the
+   circuit survives data growth;
+3. compile with PANDA-C, validate statically, lower to a word circuit,
+   dead-gate-eliminate;
+4. export: a streamed text description (what a garbling or FPGA backend
+   consumes) and a DOT rendering of the relational plan;
+5. evaluate — and demonstrate that the same circuit serves *new* data that
+   conforms to the discovered constraints.
+
+Run:  python examples/data_to_circuit_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import parse_query
+from repro.cq import database_from_dir, database_to_dir, suggest_constraints
+from repro.boolcircuit import prune_lowered, serialize
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq
+from repro.datagen import random_database
+from repro.relcircuit import to_dot, validate
+
+query = parse_query("Follows(A,B), Likes(B,C), Visits(A,C)")
+workdir = Path(tempfile.mkdtemp(prefix="repro_demo_"))
+
+# --- 1. the customer's data arrives as CSVs -----------------------------
+seed_db = random_database(query, 8, domain=5, seed=11)
+database_to_dir(seed_db, query, workdir / "data")
+db = database_from_dir(workdir / "data", query)
+print(f"loaded {sum(len(db[a.name]) for a in query.atoms)} tuples "
+      f"from {workdir / 'data'}")
+
+# --- 2. profile: discover the degree constraints ------------------------
+dc = suggest_constraints(query, db)
+print("\ndiscovered constraints (rounded up to powers of two):")
+for c in dc:
+    print(f"  {c!r}")
+assert db.conforms_to(query, dc)
+
+# --- 3. compile, validate, lower, optimise ------------------------------
+circuit, report = compile_fcq(query, dc, canonical_key="auto")
+check = validate(circuit)
+print(f"\nrelational circuit: {circuit.size} gates, cost {circuit.cost()}, "
+      f"static validation ok: {check.ok}")
+lowered = lower(circuit)
+optimised = prune_lowered(lowered)
+saved = 100 * (1 - optimised.size / lowered.size)
+print(f"word circuit: {lowered.size} gates → {optimised.size} after "
+      f"dead-gate elimination ({saved:.1f}% removed)")
+
+# --- 4. export for downstream backends -----------------------------------
+desc_path = workdir / "circuit.txt"
+desc_path.write_text(serialize.describe(optimised.circuit))
+dot_path = workdir / "plan.dot"
+dot_path.write_text(to_dot(circuit, title=str(query), max_gates=None))
+print(f"\nexported: {desc_path} ({desc_path.stat().st_size:,} bytes), "
+      f"{dot_path}")
+reparsed = serialize.parse(desc_path.read_text())
+assert reparsed.ops == optimised.circuit.ops
+
+# --- 5. evaluate on the profiled data and on fresh conforming data ------
+env = {a.name: db[a.name] for a in query.atoms}
+answer = optimised.run(env)[0]
+assert answer == query.evaluate(db)
+print(f"\nanswer on profiled data: {len(answer)} rows ✓")
+
+fresh = random_database(query, 8, domain=5, seed=99)  # new day, new data
+fresh_env = {a.name: fresh[a.name] for a in query.atoms}
+fresh_answer = optimised.run(fresh_env)[0]
+assert fresh_answer == query.evaluate(fresh)
+print(f"same circuit on fresh conforming data: {len(fresh_answer)} rows ✓")
+print("\n(the circuit was generated once from the constraints — the data "
+      "never shaped it)")

@@ -1,0 +1,72 @@
+"""Degree constraints tighten circuits (Sections 3.2-3.4).
+
+Cardinalities alone give the AGM bound; real data has more structure —
+functional dependencies and bounded degrees.  The polymatroid bound DAPB
+folds all of these in, the LP dual produces the Shannon-flow inequality of
+Theorem 1, and proof-sequence synthesis turns it into a PANDA-C plan whose
+circuit shrinks accordingly.
+
+Scenario: a social graph where each account follows at most d others.
+The triangle circuit under `deg(C|B) ≤ d` costs Õ(N·d) instead of Õ(N^1.5).
+
+Run:  python examples/degree_aware_planning.py
+"""
+
+import math
+
+from repro import (
+    DCSet,
+    Database,
+    DegreeConstraint,
+    cardinality,
+    parse_query,
+)
+from repro.bounds import log_dapb, synthesize_proof
+from repro.core import compile_fcq
+from repro.datagen import degree_bounded_relation, random_relation
+
+N = 2 ** 8
+query = parse_query("Follows1(A,B), Follows2(B,C), Follows3(A,C)")
+
+print(f"query: {query},  |R| ≤ N = {N}\n")
+print(f"{'constraint set':<38} {'log2 DAPB':>10} {'bound':>12} {'route':>10} {'steps':>6}")
+print("-" * 82)
+
+cards = [cardinality(a.varset, N) for a in query.atoms]
+scenarios = [
+    ("cardinalities only (AGM)", DCSet(cards)),
+    ("+ deg(C|B) ≤ 16", DCSet(cards + [
+        DegreeConstraint(frozenset("B"), frozenset("BC"), 16)])),
+    ("+ deg(C|B) ≤ 2", DCSet(cards + [
+        DegreeConstraint(frozenset("B"), frozenset("BC"), 2)])),
+    ("+ FD B→C (deg = 1)", DCSet(cards + [
+        DegreeConstraint(frozenset("B"), frozenset("BC"), 1)])),
+]
+
+for label, dc in scenarios:
+    proof = synthesize_proof(query.variables, dc)
+    bound = 2 ** proof.log_dapb
+    print(f"{label:<38} {proof.log_dapb:>10.2f} {bound:>12.0f} "
+          f"{proof.route:>10} {len(proof.sequence):>6}")
+
+print("""
+Each added constraint lowers LOGDAPB; the LP dual reassigns the δ weights
+and synthesis finds a (shorter) proof sequence through the degree terms.
+""")
+
+# Compile and evaluate under the d=2 constraint on a conforming instance.
+d = 2
+dc = DCSet(cards + [DegreeConstraint(frozenset("B"), frozenset("BC"), d)])
+circuit, report = compile_fcq(query, dc)
+print(f"degree-aware circuit: cost {circuit.cost()} "
+      f"≈ Õ(N·d) = Õ({N * d}); DAPB check passes: {report.all_checks_passed}")
+
+db = Database({
+    "Follows1": random_relation(("A", "B"), 48, 32, seed=1),
+    "Follows2": degree_bounded_relation(("B", "C"), 48, 32, ("B",), d, seed=2),
+    "Follows3": random_relation(("A", "C"), 48, 32, seed=3),
+})
+env = {a.name: db[a.name] for a in query.atoms}
+answer = circuit.run(env, check_bounds=False)[0]
+assert answer == query.evaluate(db)
+print(f"evaluated on a conforming instance: {len(answer)} triangles ✓")

@@ -1,0 +1,57 @@
+"""Output-sensitive evaluation: pay for OUT, not for the worst case
+(Section 6).
+
+A path query over follower edges can have a worst-case output of N² even
+when the actual answer is tiny.  A single circuit must be sized for the
+worst case — so the paper defines *two* circuit families: one computes
+OUT = |Q(D)|, the other computes Q(D) given OUT.  Evaluating family 1 and
+then building the right member of family 2 pays Õ(N + 2^da-fhtw + OUT)
+instead of Õ(N + DAPB).
+
+This example runs the two-phase protocol on a "friend-of-friend" query for
+two instances with identical sizes but wildly different output sizes, and
+shows the phase-2 circuit shrinking with OUT.
+
+Run:  python examples/output_sensitive_analytics.py
+"""
+
+from repro import parse_query
+from repro.bounds import dapb
+from repro.core import OutputSensitiveFamily
+from repro.datagen import uniform_dc
+from repro.datagen.worstcase import blowup_path, matching_path
+
+N, HOPS = 16, 3
+query = parse_query("R0(X0,X1), R1(X1,X2), R2(X2,X3)")
+dc = uniform_dc(query, N)
+family = OutputSensitiveFamily(query, dc)
+
+worst = dapb(query, dc)
+print(f"query: {query}")
+print(f"worst-case output bound DAPB = {worst} "
+      f"(a worst-case circuit must be this big)\n")
+
+count_circuit, count_report = family.count_circuit()
+print(f"family-1 circuit (computes OUT): cost {count_circuit.cost()}, "
+      f"da-fhtw witness width 2^{count_report.width:.1f}")
+
+for label, db in [
+    ("sparse (perfect matchings — chains don't branch)", matching_path(N, HOPS)),
+    ("dense (complete bipartite layers)", blowup_path(N, HOPS)),
+]:
+    print(f"\n=== {label} ===")
+    result = family.evaluate(db)
+    truth = query.evaluate(db)
+    assert result.out == len(truth)
+    assert result.answer == truth.reorder(sorted(query.variables))
+    eval_cost = result.eval_circuit.cost()
+    print(f"  phase 1: OUT = {result.out}")
+    print(f"  phase 2: circuit for this OUT costs {eval_cost} "
+          f"(vs ≥ {worst} worst-case)")
+    print(f"  answer verified against the reference evaluator ✓")
+
+print("""
+The sparse instance's phase-2 circuit is far smaller than the worst-case
+bound: the output-bounded join circuits (Algorithm 10) are sized by OUT.
+Revealing OUT is acceptable — it is part of the answer (Section 6).
+""")

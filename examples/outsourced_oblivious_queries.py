@@ -1,0 +1,60 @@
+"""Outsourced query processing: access patterns must not leak (Section 1).
+
+A client uploads encrypted data to a server and later asks queries.  Under
+homomorphic encryption the server cannot branch on plaintext, so its memory
+access pattern must be *oblivious*.  Circuits are oblivious by definition;
+a RAM hash join is not.
+
+This example makes that concrete:
+
+* the word circuit built for the query touches the *same gates in the same
+  order* for every conforming instance — we hash the access trace across
+  several databases and show the digests are identical;
+* a textbook hash join's bucket-probe trace differs across instances of
+  identical sizes, leaking information about the (encrypted!) values.
+
+Run:  python examples/outsourced_oblivious_queries.py
+"""
+
+from repro import parse_query, DCSet, cardinality
+from repro.apps import circuit_trace, hash_join_trace, traces_identical
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq
+from repro.datagen import random_database
+
+N = 8
+query = parse_query("Orders(Cust,Item), Stock(Item,Depot)")
+dc = DCSet([cardinality(a.varset, N) for a in query.atoms])
+
+# The server generates the circuit from (Q, DC) alone — uniformity — before
+# any encrypted data arrives.
+circuit, _ = compile_fcq(query, dc)
+lowered = lower(circuit)
+print(f"server-side circuit: {lowered.size} word gates, depth {lowered.depth}")
+
+print("\n--- circuit access traces across different private databases ---")
+digests = []
+for seed in range(4):
+    db = random_database(query, N, domain=5, seed=seed)
+    env = {a.name: db[a.name] for a in query.atoms}
+    digest = circuit_trace(lowered, env)
+    digests.append(digest)
+    print(f"  instance {seed}: trace digest {digest[:16]}…")
+assert traces_identical(digests)
+print("  all digests identical → the server learns nothing from accesses ✓")
+
+print("\n--- hash join bucket probes across the same databases ---")
+patterns = set()
+for seed in range(4):
+    db = random_database(query, N, domain=5, seed=seed)
+    trace = hash_join_trace(db["Orders"], db["Stock"])
+    patterns.add(tuple(trace))
+    print(f"  instance {seed}: first probes {trace[:10]} … ({len(trace)} accesses)")
+print(f"  {len(patterns)} distinct access patterns from 4 instances "
+      "→ a RAM join leaks ✗")
+
+print("""
+Because the circuit is uniform (generated from the query and the size
+bounds only), the client ships just the query; no ORAM, no trusted module,
+no per-access round trips — the point of Section 1's third application.
+""")

@@ -1,0 +1,83 @@
+"""Secure multi-party join: circuit size = protocol cost (Section 1).
+
+Scenario (after SMCQL [10]): two hospitals and an insurer each hold a
+private binary relation; they want the triangle join
+
+    AtRisk(patient, clinic) ⋈ Treats(clinic, doctor) ⋈ Sees(patient, doctor)
+
+without revealing their inputs.  Generic MPC protocols (Yao garbled
+circuits, GMW) evaluate a *circuit*, so the communication bill is
+proportional to circuit size, and GMW's round count to circuit depth.
+
+SMCQL's circuit is the classical Õ(N³) construction.  This example builds
+the paper's Õ(N^1.5) circuit and prices both under the same cost model.
+Word circuits are materialised up to N=32; larger sizes are extrapolated
+through the Section-4.3 relational cost model (which Theorem 4 ties to the
+word-gate count up to polylog factors), calibrated on the measured point.
+
+Run:  python examples/secure_multiparty_join.py
+"""
+
+from repro import parse_query, DCSet, cardinality
+from repro.apps import mpc_cost, naive_mpc_cost
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq
+from repro.datagen import random_database
+
+QUERY = parse_query("AtRisk(P,C), Treats(C,D), Sees(P,D)")
+REAL_GATES_UP_TO = 32
+
+
+def relational_circuit(n: int):
+    dc = DCSet([cardinality(a.varset, n) for a in QUERY.atoms])
+    circuit, _ = compile_fcq(QUERY, dc, canonical_key="triangle")
+    return circuit
+
+
+def fmt_bytes(b: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if b < 1024:
+            return f"{b:8.1f} {unit}"
+        b /= 1024
+    return f"{b:8.1f} PB"
+
+
+print(f"query: {QUERY}\n")
+
+# Calibrate garbled-bytes per unit of relational cost on a real circuit.
+calib = relational_circuit(REAL_GATES_UP_TO)
+calib_mpc = mpc_cost(lower(calib).circuit)
+bytes_per_cost = calib_mpc.garbled_bytes / calib.cost()
+comparisons = sum(len(a.vars) for a in QUERY.atoms)
+
+print(f"{'N':>6} | {'ours: garbled':>14} | {'naive: garbled':>14} | "
+      f"{'naive/ours':>11} | mode")
+print("-" * 68)
+for n in (8, 16, 32, 256, 1024, 4096):
+    circuit = relational_circuit(n)
+    if n <= REAL_GATES_UP_TO:
+        ours_bytes = mpc_cost(lower(circuit).circuit).garbled_bytes
+        mode = "measured"
+    else:
+        ours_bytes = circuit.cost() * bytes_per_cost
+        mode = "extrapolated"
+    naive = naive_mpc_cost(n_blocks=n ** 3, comparisons_per_block=comparisons)
+    ratio = naive.garbled_bytes / ours_bytes
+    print(f"{n:>6} | {fmt_bytes(ours_bytes):>14} | "
+          f"{fmt_bytes(naive.garbled_bytes):>14} | {ratio:>10.2f}x | {mode}")
+
+print("""
+Reading the table: naive bytes grow as N³, ours as N^1.5 (times polylogs),
+so the advantage doubles-and-more with every 4x in N; the crossover sits
+where the polylog constants are amortised.
+""")
+
+# Correctness spot check at a small size: the circuit the parties would
+# garble computes exactly the join.
+n = 10
+dc = DCSet([cardinality(a.varset, n) for a in QUERY.atoms])
+circuit, _ = compile_fcq(QUERY, dc, canonical_key="triangle")
+db = random_database(QUERY, n, domain=5, seed=7)
+env = {a.name: db[a.name] for a in QUERY.atoms}
+assert circuit.run(env, check_bounds=False)[0] == QUERY.evaluate(db)
+print("spot check at N=10: secure circuit output equals the real join ✓")

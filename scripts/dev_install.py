@@ -1,0 +1,47 @@
+"""Development install helper.
+
+``pip install -e .`` needs network access (build isolation) or the
+``wheel`` package (setuptools < 70's editable backend).  On machines with
+neither, this script provides the equivalent: it drops a ``.pth`` file
+pointing at ``src/`` into the active interpreter's site-packages, which is
+exactly what an editable install resolves to for a pure-Python package.
+
+Usage:  python scripts/dev_install.py [--remove]
+"""
+
+import argparse
+import site
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+PTH_NAME = "repro-dev.pth"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--remove", action="store_true",
+                        help="uninstall the .pth link")
+    args = parser.parse_args()
+
+    candidates = site.getsitepackages() + [site.getusersitepackages()]
+    target_dir = next((Path(d) for d in candidates if Path(d).is_dir()), None)
+    if target_dir is None:
+        print("no writable site-packages directory found", file=sys.stderr)
+        return 1
+    pth = target_dir / PTH_NAME
+    if args.remove:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print(f"{pth} not present")
+        return 0
+    pth.write_text(str(SRC) + "\n")
+    print(f"linked {SRC} via {pth}")
+    print('verify with:  python -c "import repro; print(repro.__version__)"')
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

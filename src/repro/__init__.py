@@ -1,0 +1,45 @@
+"""repro — Query Evaluation by Circuits (Wang & Yi, PODS 2022).
+
+A full reproduction: conjunctive-query substrate, polymatroid bounds and
+proof sequences, the PANDA-C relational-circuit compiler, word-level circuit
+lowering (sorting networks, scans, join circuits), output-sensitive circuit
+families via GHDs and Yannakakis-C, RAM baselines, and application layers
+(MPC cost model, obliviousness tracing).
+
+Quickstart::
+
+    from repro import parse_query, Database, Relation
+    from repro.core import compile_fcq
+
+    q = parse_query("R(A,B), S(B,C), T(A,C)")
+    ...
+"""
+
+from .cq import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    DCSet,
+    DegreeConstraint,
+    Hypergraph,
+    Relation,
+    cardinality,
+    functional_dependency,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "DCSet",
+    "DegreeConstraint",
+    "Hypergraph",
+    "Relation",
+    "cardinality",
+    "functional_dependency",
+    "parse_query",
+    "__version__",
+]

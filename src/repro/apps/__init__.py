@@ -1,0 +1,38 @@
+"""Application layers: MPC cost accounting and obliviousness tracing."""
+
+from .mpc_cost import MpcCost, mpc_cost, mpc_cost_exact, naive_mpc_cost
+from .oblivious import circuit_trace, hash_join_trace, traces_identical
+from .protocols import (
+    GarbledCircuit,
+    GmwTranscript,
+    evaluate_garbled,
+    garble,
+    run_gmw,
+)
+from .oram import (
+    ObliviousDeployment,
+    circuit_deployment,
+    compare_deployments,
+    oram_overhead,
+    oram_simulation,
+)
+
+__all__ = [
+    "MpcCost",
+    "circuit_trace",
+    "hash_join_trace",
+    "mpc_cost",
+    "mpc_cost_exact",
+    "naive_mpc_cost",
+    "ObliviousDeployment",
+    "circuit_deployment",
+    "compare_deployments",
+    "oram_overhead",
+    "oram_simulation",
+    "GarbledCircuit",
+    "GmwTranscript",
+    "evaluate_garbled",
+    "garble",
+    "run_gmw",
+    "traces_identical",
+]

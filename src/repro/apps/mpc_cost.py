@@ -1,0 +1,108 @@
+"""Secure multi-party computation cost model (Section 1 applications).
+
+Generic MPC protocols evaluate a Boolean circuit; their costs are functions
+of its size and depth:
+
+* **Yao's garbled circuits** [35] with free-XOR + half-gates: two 128-bit
+  ciphertexts per AND gate, XOR gates free, constant rounds;
+* **GMW** [18]: one OT (≈ 256 bits) per AND gate, and one communication
+  round per circuit *level* — depth is the round complexity;
+* **BGW** [11]: one field-element broadcast per multiplication gate per
+  party, rounds = multiplicative depth.
+
+We apply these formulas to our word circuits after Boolean expansion
+(``Circuit.boolean_size_estimate``), so benchmark E1 can report "who wins
+and by how much" for our construction vs the naive ``Õ(N^m)`` circuit, in
+bytes and rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..boolcircuit.graph import Circuit
+
+CIPHERTEXT_BYTES = 16  # 128-bit labels
+GARBLED_PER_AND = 2    # half-gates construction
+OT_BYTES = 32          # one 1-out-of-2 OT per AND in GMW (amortised)
+
+
+@dataclass
+class MpcCost:
+    """Estimated protocol costs for one circuit."""
+
+    boolean_gates: int
+    and_gates: int
+    depth: int
+    garbled_bytes: int
+    gmw_bytes: int
+    gmw_rounds: int
+    bgw_rounds: int
+
+    def __repr__(self) -> str:
+        return (f"MpcCost({self.boolean_gates} bool gates, "
+                f"garbled {self.garbled_bytes/1e6:.2f} MB, "
+                f"GMW {self.gmw_rounds} rounds)")
+
+
+def mpc_cost(circuit: Circuit, word_bits: int = 32,
+             and_fraction: float = 0.5) -> MpcCost:
+    """Protocol cost estimates for a word circuit.
+
+    ``and_fraction``: fraction of expanded Boolean gates that are
+    non-linear (AND); the rest are XOR-like and free under free-XOR.
+    """
+    boolean_gates = circuit.boolean_size_estimate(word_bits)
+    and_gates = int(boolean_gates * and_fraction)
+    # Boolean expansion multiplies depth by O(log word_bits) (carry trees).
+    depth = circuit.depth * max(1, math.ceil(math.log2(max(2, word_bits))))
+    return MpcCost(
+        boolean_gates=boolean_gates,
+        and_gates=and_gates,
+        depth=depth,
+        garbled_bytes=and_gates * GARBLED_PER_AND * CIPHERTEXT_BYTES,
+        gmw_bytes=and_gates * OT_BYTES,
+        gmw_rounds=depth,
+        bgw_rounds=depth,
+    )
+
+
+def mpc_cost_exact(blasted, free_xor: bool = True) -> MpcCost:
+    """Exact protocol costs from a bit-blasted circuit
+    (:class:`repro.boolcircuit.bitblast.BlastedCircuit`).
+
+    With free-XOR, only AND/OR gates cost ciphertexts; NOT/XOR are free.
+    """
+    boolean_gates = blasted.boolean.size
+    and_gates = blasted.boolean.and_count if free_xor else boolean_gates
+    depth = blasted.boolean.depth
+    return MpcCost(
+        boolean_gates=boolean_gates,
+        and_gates=and_gates,
+        depth=depth,
+        garbled_bytes=and_gates * GARBLED_PER_AND * CIPHERTEXT_BYTES,
+        gmw_bytes=and_gates * OT_BYTES,
+        gmw_rounds=depth,
+        bgw_rounds=depth,
+    )
+
+
+def naive_mpc_cost(n_blocks: int, comparisons_per_block: int,
+                   word_bits: int = 32) -> MpcCost:
+    """The same model applied to the classical ``Õ(N^m)`` circuit, given its
+    block structure (see :func:`repro.ram.naive_circuit_size`)."""
+    boolean_gates = n_blocks * comparisons_per_block * 2 * word_bits
+    and_gates = boolean_gates // 2
+    depth = (math.ceil(math.log2(max(2, n_blocks)))
+             * max(1, math.ceil(math.log2(max(2, word_bits)))))
+    return MpcCost(
+        boolean_gates=boolean_gates,
+        and_gates=and_gates,
+        depth=depth,
+        garbled_bytes=and_gates * GARBLED_PER_AND * CIPHERTEXT_BYTES,
+        gmw_bytes=and_gates * OT_BYTES,
+        gmw_rounds=depth,
+        bgw_rounds=depth,
+    )

@@ -1,0 +1,73 @@
+"""Obliviousness tracing (Section 1, outsourced query processing).
+
+A circuit's access pattern is its topology — fixed before the data arrives —
+so evaluating it leaks nothing beyond sizes.  A RAM hash join's probe
+sequence, by contrast, depends on the data.  This module makes both facts
+*measurable*:
+
+* :func:`circuit_trace` — a digest of the gate-visit sequence of a word
+  circuit evaluation (identical for every conforming instance);
+* :func:`hash_join_trace` — the bucket-probe sequence of a textbook hash
+  join (differs across instances of identical sizes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Mapping, Tuple
+
+from ..boolcircuit.graph import Circuit
+from ..boolcircuit.lower import LoweredCircuit
+from ..cq.relation import Relation
+
+
+def circuit_trace(lowered: LoweredCircuit, env: Mapping[str, Relation]) -> str:
+    """Evaluate and digest the access pattern.
+
+    The trace records, per gate, (op, input indices) in execution order —
+    everything a memory-level observer sees.  Values are deliberately
+    excluded: under MPC/homomorphic evaluation they are ciphertexts.
+    """
+    # Run the evaluation for its side effect of checking conformance.
+    lowered.run(env)
+    c = lowered.circuit
+    h = hashlib.sha256()
+    for gid in range(len(c.ops)):
+        h.update(c.ops[gid].to_bytes(1, "little", signed=False))
+        for x in (c.in_a[gid], c.in_b[gid], c.in_c[gid]):
+            h.update(x.to_bytes(8, "little", signed=True))
+    return h.hexdigest()
+
+
+def hash_join_trace(left: Relation, right: Relation,
+                    buckets: int = 64) -> List[int]:
+    """The bucket-access sequence of a hash join ``left ⋈ right``.
+
+    Build phase inserts each left tuple into its key bucket; probe phase
+    visits the probe key's bucket once per right tuple and then walks the
+    matches.  The returned list of bucket indices is the memory access
+    pattern an adversary observes.
+    """
+    common = tuple(sorted(left.attrs & right.attrs))
+    lpos = [left.schema.index(a) for a in common]
+    rpos = [right.schema.index(a) for a in common]
+    trace: List[int] = []
+    table: dict = {}
+    for row in sorted(left.rows):
+        key = tuple(row[p] for p in lpos)
+        bucket = hash(key) % buckets
+        trace.append(bucket)
+        table.setdefault(key, []).append(row)
+    for row in sorted(right.rows):
+        key = tuple(row[p] for p in rpos)
+        bucket = hash(key) % buckets
+        trace.append(bucket)
+        # walking the collision chain is an extra access per match
+        trace.extend([bucket] * len(table.get(key, ())))
+    return trace
+
+
+def traces_identical(traces: Iterable) -> bool:
+    """True iff all given traces are equal."""
+    traces = list(traces)
+    return all(t == traces[0] for t in traces[1:]) if traces else True

@@ -1,0 +1,96 @@
+"""ORAM-simulation cost model (Sections 1–2).
+
+The alternative route to oblivious query processing translates each logical
+RAM access into ``Θ(log n)`` physical accesses (OptORAMa [6]; classical
+constructions pay ``Θ(log² n)``), and — crucially for the outsourced
+setting — the translation is driven by the *client*, so every logical
+access costs a client↔server interaction unless a trusted module holds the
+ORAM state server-side (Arasu–Kaushik's TM assumption [5]).
+
+This model lets benchmarks compare three deployments of the same query:
+
+* ORAM simulation of a RAM algorithm (client-interactive, optimal-ORAM or
+  hierarchical-ORAM overhead);
+* trusted-module ORAM (no interaction, but a hardware trust assumption);
+* circuit evaluation (this paper: no interaction, no trusted module; cost =
+  circuit size, rounds = 1 round trip).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ObliviousDeployment:
+    """Cost sheet for one way of running a query obliviously."""
+
+    name: str
+    physical_accesses: int
+    interaction_rounds: int
+    needs_trusted_module: bool
+
+    def __repr__(self) -> str:
+        tm = " +TM" if self.needs_trusted_module else ""
+        return (f"{self.name}: {self.physical_accesses:,} accesses, "
+                f"{self.interaction_rounds:,} rounds{tm}")
+
+
+def oram_overhead(memory_size: int, optimal: bool = True) -> int:
+    """Physical accesses per logical access.
+
+    ``optimal=True`` models OptORAMa's Θ(log n); otherwise the classical
+    hierarchical Θ(log² n) that [5] compares against.
+    """
+    logn = max(1, math.ceil(math.log2(max(2, memory_size))))
+    return logn if optimal else logn * logn
+
+
+def oram_simulation(ram_steps: int, memory_size: int,
+                    optimal: bool = True,
+                    trusted_module: bool = False) -> ObliviousDeployment:
+    """Cost of running a ``ram_steps``-step algorithm under ORAM.
+
+    Without a trusted module, every logical access is a client round trip
+    (the client holds the position map / stash), so rounds = ram_steps.
+    """
+    overhead = oram_overhead(memory_size, optimal=optimal)
+    kind = "opt" if optimal else "log²"
+    if trusted_module:
+        return ObliviousDeployment(
+            name=f"ORAM({kind})+TM",
+            physical_accesses=ram_steps * overhead,
+            interaction_rounds=1,
+            needs_trusted_module=True,
+        )
+    return ObliviousDeployment(
+        name=f"ORAM({kind})",
+        physical_accesses=ram_steps * overhead,
+        interaction_rounds=ram_steps,
+        needs_trusted_module=False,
+    )
+
+
+def circuit_deployment(circuit_size: int) -> ObliviousDeployment:
+    """Circuit evaluation: one round (send query, receive result)."""
+    return ObliviousDeployment(
+        name="circuit (this paper)",
+        physical_accesses=circuit_size,
+        interaction_rounds=1,
+        needs_trusted_module=False,
+    )
+
+
+def compare_deployments(ram_steps: int, circuit_size: int,
+                        memory_size: Optional[int] = None):
+    """All four deployments for a query with the given RAM/circuit costs."""
+    memory_size = memory_size if memory_size is not None else ram_steps
+    return [
+        oram_simulation(ram_steps, memory_size, optimal=True),
+        oram_simulation(ram_steps, memory_size, optimal=False),
+        oram_simulation(ram_steps, memory_size, optimal=True,
+                        trusted_module=True),
+        circuit_deployment(circuit_size),
+    ]

@@ -1,0 +1,70 @@
+"""Word-level circuit substrate (Section 5): gates, sorting networks,
+scans, and the relational-operator circuits."""
+
+from .aggregation import aggregate
+from .bitblast import BlastedCircuit, BooleanCircuit, bit_blast
+from .builder import ArrayBuilder, Bus, QUESTION, TupleArray
+from .fasteval import evaluate_batch, run_lowered_batch
+from .graph import Circuit
+from .optimize import prune, prune_lowered, reachable_gates
+from .schedule import Schedule, schedule, speedup_curve
+from . import serialize
+from .joins import degree_bounded_join, output_bounded_join, pk_join, semijoin
+from .primitives import map_array, project, select, union
+from .scan import (
+    op_first,
+    op_max,
+    op_min,
+    op_sum,
+    scan,
+    segment_boundaries,
+    segmented_scan,
+)
+from .sorting import (
+    attach_order,
+    bitonic_sort,
+    compare_exchange,
+    odd_even_merge_sort,
+    truncate,
+)
+
+__all__ = [
+    "ArrayBuilder",
+    "BlastedCircuit",
+    "BooleanCircuit",
+    "bit_blast",
+    "Bus",
+    "Circuit",
+    "evaluate_batch",
+    "run_lowered_batch",
+    "Schedule",
+    "prune",
+    "prune_lowered",
+    "reachable_gates",
+    "schedule",
+    "serialize",
+    "speedup_curve",
+    "QUESTION",
+    "TupleArray",
+    "aggregate",
+    "attach_order",
+    "bitonic_sort",
+    "odd_even_merge_sort",
+    "compare_exchange",
+    "degree_bounded_join",
+    "map_array",
+    "op_first",
+    "op_max",
+    "op_min",
+    "op_sum",
+    "output_bounded_join",
+    "pk_join",
+    "project",
+    "scan",
+    "segment_boundaries",
+    "segmented_scan",
+    "select",
+    "semijoin",
+    "truncate",
+    "union",
+]

@@ -1,0 +1,63 @@
+"""The aggregation circuit (Algorithm 5, Section 5.2).
+
+Sort by the group key, run the agg-scan segmented by the key, then keep only
+the *last* slot of each segment (it holds the complete aggregate); all other
+slots become dummies.  ``Õ(1)`` depth, ``Õ(K)`` size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .builder import ArrayBuilder, Bus, TupleArray
+from .scan import op_max, op_min, op_sum, segment_boundaries, segmented_scan
+from .sorting import bitonic_sort
+
+_OPS = {"sum": op_sum, "min": op_min, "max": op_max}
+
+
+def aggregate(b: ArrayBuilder, array: TupleArray, group_by: Sequence[str],
+              agg: str, attr: Optional[str] = None,
+              out_attr: str = "@count") -> TupleArray:
+    """Group-by aggregation ``Π_{F, agg(A)}``; output schema ``F + (out,)``."""
+    c = b.c
+    group_by = tuple(group_by)
+    if agg == "count":
+        # count = sum over a constant-1 column
+        seeded = TupleArray(
+            array.schema + ("@one",),
+            [b.append_fields(bus, [c.const(1)]) for bus in array.buses],
+        )
+        value_col = "@one"
+        op = op_sum
+    else:
+        if attr is None:
+            raise ValueError(f"aggregate {agg!r} needs an attribute")
+        if agg not in _OPS:
+            raise ValueError(f"unknown aggregate {agg!r}")
+        seeded = array
+        value_col = attr
+        op = _OPS[agg]
+
+    # Line 1: sort by the group key (dummies last, so segments of real
+    # tuples are contiguous and uncontaminated).
+    sorted_arr = bitonic_sort(b, seeded, key=list(group_by))
+    # Line 2: segmented agg-scan.
+    scanned = segmented_scan(b, sorted_arr, key=list(group_by),
+                             value_cols=[value_col], op=op)
+    # Lines 4-6: the inclusive scan means the *last* slot of each segment
+    # holds the full aggregate; dummy the rest.
+    _, is_last = segment_boundaries(b, scanned, key=list(group_by))
+    buses = []
+    for bus, last in zip(scanned.buses, is_last):
+        buses.append(Bus(bus.fields, c.and_(bus.valid, last)))
+    kept = scanned.with_buses(buses)
+
+    # Assemble the output schema F + (out_attr,).
+    out_buses = []
+    vcol = kept.col(value_col)
+    gcols = [kept.col(a) for a in group_by]
+    for bus in kept.buses:
+        fields = tuple(bus.fields[i] for i in gcols) + (bus.fields[vcol],)
+        out_buses.append(Bus(fields, bus.valid))
+    return TupleArray(group_by + (out_attr,), out_buses)

@@ -1,0 +1,318 @@
+"""Bit-blasting: word circuits → genuine Boolean circuits (Section 4.1).
+
+The paper treats word and Boolean circuits interchangeably because each
+word gate expands into ``O(log u)`` Boolean gates (``O(log² u)`` for the
+schoolbook multiplier).  This module performs that expansion literally:
+every wire carries one bit, every gate is AND / OR / NOT / XOR, and word
+operations become ripple-carry adders, borrow-chain comparators, bitwise
+multiplexers and shift-add multipliers.
+
+This yields exact Boolean gate counts (used by the MPC cost benchmarks as
+the ground truth for the analytic estimates) and a second, fully
+independent evaluation path for end-to-end tests.
+
+Values are fixed-width unsigned words; SUB is truncated (monus) — all
+uses of SUB in the operator circuits subtract smaller from larger, which
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from . import graph as g
+
+BAND = 0
+BOR = 1
+BNOT = 2
+BXOR = 3
+BINPUT = 4
+BCONST0 = 5
+BCONST1 = 6
+
+_NAMES = {BAND: "AND", BOR: "OR", BNOT: "NOT", BXOR: "XOR",
+          BINPUT: "IN", BCONST0: "0", BCONST1: "1"}
+
+
+class BooleanCircuit:
+    """A pure Boolean gate DAG (fan-in ≤ 2, as in Section 4.1)."""
+
+    def __init__(self) -> None:
+        self.ops: List[int] = []
+        self.in_a: List[int] = []
+        self.in_b: List[int] = []
+        self.inputs: List[int] = []
+        self._depth: List[int] = []
+        self._zero: int = -1
+        self._one: int = -1
+
+    def _gate(self, op: int, a: int = -1, b: int = -1) -> int:
+        gid = len(self.ops)
+        self.ops.append(op)
+        self.in_a.append(a)
+        self.in_b.append(b)
+        d = 0
+        for x in (a, b):
+            if x >= 0:
+                d = max(d, self._depth[x])
+        self._depth.append(d + (1 if op in (BAND, BOR, BNOT, BXOR) else 0))
+        return gid
+
+    def input(self) -> int:
+        gid = self._gate(BINPUT)
+        self.inputs.append(gid)
+        return gid
+
+    def zero(self) -> int:
+        if self._zero < 0:
+            self._zero = self._gate(BCONST0)
+        return self._zero
+
+    def one(self) -> int:
+        if self._one < 0:
+            self._one = self._gate(BCONST1)
+        return self._one
+
+    def const(self, bit: int) -> int:
+        return self.one() if bit else self.zero()
+
+    # -- gates with constant folding (keeps blasted sizes honest-but-lean)
+    def and_(self, a: int, b: int) -> int:
+        if a == self._zero or b == self._zero:
+            return self.zero()
+        if a == self._one:
+            return b
+        if b == self._one:
+            return a
+        return self._gate(BAND, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        if a == self._one or b == self._one:
+            return self.one()
+        if a == self._zero:
+            return b
+        if b == self._zero:
+            return a
+        return self._gate(BOR, a, b)
+
+    def not_(self, a: int) -> int:
+        if a == self._zero:
+            return self.one()
+        if a == self._one:
+            return self.zero()
+        return self._gate(BNOT, a)
+
+    def xor(self, a: int, b: int) -> int:
+        if a == self._zero:
+            return b
+        if b == self._zero:
+            return a
+        if a == self._one:
+            return self.not_(b)
+        if b == self._one:
+            return self.not_(a)
+        return self._gate(BXOR, a, b)
+
+    def mux(self, cond: int, a: int, b: int) -> int:
+        """a if cond else b, one bit."""
+        return self.or_(self.and_(cond, a), self.and_(self.not_(cond), b))
+
+    @property
+    def size(self) -> int:
+        return sum(1 for op in self.ops if op in (BAND, BOR, BNOT, BXOR))
+
+    @property
+    def and_count(self) -> int:
+        """Non-linear gates — what garbling actually pays for (free-XOR)."""
+        return sum(1 for op in self.ops if op in (BAND, BOR))
+
+    @property
+    def depth(self) -> int:
+        return max(self._depth, default=0)
+
+    def evaluate(self, input_bits: Sequence[int]) -> List[int]:
+        if len(input_bits) != len(self.inputs):
+            raise ValueError(
+                f"expected {len(self.inputs)} input bits, got {len(input_bits)}")
+        values = [0] * len(self.ops)
+        it = iter(input_bits)
+        for gid, op in enumerate(self.ops):
+            if op == BINPUT:
+                values[gid] = 1 if next(it) else 0
+            elif op == BCONST0:
+                values[gid] = 0
+            elif op == BCONST1:
+                values[gid] = 1
+            elif op == BAND:
+                values[gid] = values[self.in_a[gid]] & values[self.in_b[gid]]
+            elif op == BOR:
+                values[gid] = values[self.in_a[gid]] | values[self.in_b[gid]]
+            elif op == BNOT:
+                values[gid] = 1 - values[self.in_a[gid]]
+            elif op == BXOR:
+                values[gid] = values[self.in_a[gid]] ^ values[self.in_b[gid]]
+        return values
+
+    def __repr__(self) -> str:
+        return f"BooleanCircuit({self.size} gates, depth {self.depth})"
+
+
+Word = Tuple[int, ...]  # little-endian bit wires
+
+
+def _ripple_add(bc: BooleanCircuit, a: Word, b: Word) -> Word:
+    """w-bit ripple-carry adder (sum truncated to w bits)."""
+    out, carry = [], bc.zero()
+    for x, y in zip(a, b):
+        s1 = bc.xor(x, y)
+        out.append(bc.xor(s1, carry))
+        carry = bc.or_(bc.and_(x, y), bc.and_(s1, carry))
+    return tuple(out)
+
+
+def _ripple_sub(bc: BooleanCircuit, a: Word, b: Word) -> Tuple[Word, int]:
+    """w-bit subtractor; returns (a - b mod 2^w, borrow-out)."""
+    out, borrow = [], bc.zero()
+    for x, y in zip(a, b):
+        d1 = bc.xor(x, y)
+        out.append(bc.xor(d1, borrow))
+        nx = bc.not_(x)
+        borrow = bc.or_(bc.and_(nx, y), bc.and_(bc.not_(d1), borrow))
+    return tuple(out), borrow
+
+
+def _equals(bc: BooleanCircuit, a: Word, b: Word) -> int:
+    result = bc.one()
+    for x, y in zip(a, b):
+        result = bc.and_(result, bc.not_(bc.xor(x, y)))
+    return result
+
+
+def _less_than(bc: BooleanCircuit, a: Word, b: Word) -> int:
+    """Unsigned a < b ⇔ borrow-out of a - b."""
+    _, borrow = _ripple_sub(bc, a, b)
+    return borrow
+
+
+def _mux_word(bc: BooleanCircuit, cond: int, a: Word, b: Word) -> Word:
+    return tuple(bc.mux(cond, x, y) for x, y in zip(a, b))
+
+
+def _multiply(bc: BooleanCircuit, a: Word, b: Word) -> Word:
+    """Schoolbook shift-add multiplier, truncated to w bits."""
+    w = len(a)
+    acc: Word = tuple(bc.zero() for _ in range(w))
+    for i in range(w):
+        partial = tuple(
+            bc.and_(a[j - i], b[i]) if j >= i else bc.zero()
+            for j in range(w)
+        )
+        acc = _ripple_add(bc, acc, partial)
+    return acc
+
+
+def _const_word(bc: BooleanCircuit, value: int, width: int) -> Word:
+    if value < 0:
+        value &= (1 << width) - 1  # two's-complement wrap (monus-style use)
+    return tuple(bc.const((value >> i) & 1) for i in range(width))
+
+
+def _is_nonzero(bc: BooleanCircuit, a: Word) -> int:
+    result = bc.zero()
+    for bit in a:
+        result = bc.or_(result, bit)
+    return result
+
+
+@dataclass
+class BlastedCircuit:
+    """The Boolean expansion of a word circuit."""
+
+    boolean: BooleanCircuit
+    word_bits: int
+    source: g.Circuit
+    word_outputs: Dict[int, Word]  # word gate id -> bit wires
+
+    @property
+    def size(self) -> int:
+        return self.boolean.size
+
+    @property
+    def depth(self) -> int:
+        return self.boolean.depth
+
+    def encode_inputs(self, word_values: Sequence[int]) -> List[int]:
+        bits: List[int] = []
+        mask = (1 << self.word_bits) - 1
+        for value in word_values:
+            v = value & mask
+            bits.extend((v >> i) & 1 for i in range(self.word_bits))
+        return bits
+
+    def evaluate_words(self, word_values: Sequence[int]) -> Dict[int, int]:
+        """Evaluate and decode every word gate's value (unsigned)."""
+        values = self.boolean.evaluate(self.encode_inputs(word_values))
+        out = {}
+        for gid, wires in self.word_outputs.items():
+            out[gid] = sum(values[w] << i for i, w in enumerate(wires))
+        return out
+
+
+def bit_blast(circuit: g.Circuit, word_bits: int = 16) -> BlastedCircuit:
+    """Expand every word gate into Boolean gates.
+
+    Semantics match :meth:`Circuit.evaluate` for values in ``[0, 2^w)``
+    with non-negative intermediate results (SUB wraps modulo ``2^w``;
+    the operator circuits only subtract within range).  Boolean-valued
+    word gates (EQ/LT/AND/OR/NOT/XOR) produce 0/1 words.
+    """
+    bc = BooleanCircuit()
+    words: Dict[int, Word] = {}
+    w = word_bits
+
+    def bool_word(bit: int) -> Word:
+        return (bit,) + tuple(bc.zero() for _ in range(w - 1))
+
+    for gid, op in enumerate(circuit.ops):
+        a = circuit.in_a[gid]
+        b = circuit.in_b[gid]
+        c = circuit.in_c[gid]
+        if op == g.INPUT:
+            words[gid] = tuple(bc.input() for _ in range(w))
+        elif op == g.CONST:
+            words[gid] = _const_word(bc, circuit.consts[gid], w)
+        elif op == g.ADD:
+            words[gid] = _ripple_add(bc, words[a], words[b])
+        elif op == g.SUB:
+            words[gid] = _ripple_sub(bc, words[a], words[b])[0]
+        elif op == g.MUL:
+            words[gid] = _multiply(bc, words[a], words[b])
+        elif op == g.EQ:
+            words[gid] = bool_word(_equals(bc, words[a], words[b]))
+        elif op == g.LT:
+            words[gid] = bool_word(_less_than(bc, words[a], words[b]))
+        elif op == g.AND:
+            words[gid] = bool_word(bc.and_(_is_nonzero(bc, words[a]),
+                                           _is_nonzero(bc, words[b])))
+        elif op == g.OR:
+            words[gid] = bool_word(bc.or_(_is_nonzero(bc, words[a]),
+                                          _is_nonzero(bc, words[b])))
+        elif op == g.NOT:
+            words[gid] = bool_word(bc.not_(_is_nonzero(bc, words[a])))
+        elif op == g.XOR:
+            words[gid] = bool_word(bc.xor(_is_nonzero(bc, words[a]),
+                                          _is_nonzero(bc, words[b])))
+        elif op == g.MUX:
+            cond = _is_nonzero(bc, words[a])
+            words[gid] = _mux_word(bc, cond, words[b], words[c])
+        elif op == g.MIN:
+            lt = _less_than(bc, words[a], words[b])
+            words[gid] = _mux_word(bc, lt, words[a], words[b])
+        elif op == g.MAX:
+            lt = _less_than(bc, words[a], words[b])
+            words[gid] = _mux_word(bc, lt, words[b], words[a])
+        else:
+            raise ValueError(f"cannot blast op {op}")
+    return BlastedCircuit(boolean=bc, word_bits=w, source=circuit,
+                          word_outputs=words)

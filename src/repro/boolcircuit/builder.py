@@ -1,0 +1,169 @@
+"""Tuple buses and arrays over the word circuit.
+
+Following Section 5, a relational wire with bound ``|R| ≤ K`` is realised as
+exactly ``K`` tuple slots; missing tuples are *dummies*, marked by a Boolean
+``valid`` wire per slot (the paper's extra attribute ``Z``).
+
+* :class:`Bus` — one tuple: a wire per field plus the valid wire.
+* :class:`TupleArray` — a named schema plus a fixed number of buses; this is
+  the word-level image of a relational wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..cq.relation import Attr, Relation
+from .graph import Circuit
+
+QUESTION = 0  # the paper's '?': a value never in the domain [u] = {1..u}
+
+
+@dataclass(frozen=True)
+class Bus:
+    """One tuple slot: field wires + a validity wire (0 = dummy)."""
+
+    fields: Tuple[int, ...]
+    valid: int
+
+    def field(self, index: int) -> int:
+        return self.fields[index]
+
+
+class TupleArray:
+    """A fixed-capacity array of tuple buses over a schema."""
+
+    def __init__(self, schema: Sequence[Attr], buses: Sequence[Bus]):
+        self.schema: Tuple[Attr, ...] = tuple(schema)
+        self.buses: List[Bus] = list(buses)
+        for bus in self.buses:
+            if len(bus.fields) != len(self.schema):
+                raise ValueError(
+                    f"bus arity {len(bus.fields)} != schema arity {len(self.schema)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.buses)
+
+    @property
+    def capacity(self) -> int:
+        return len(self.buses)
+
+    def col(self, attr: Attr) -> int:
+        return self.schema.index(attr)
+
+    def with_buses(self, buses: Sequence[Bus]) -> "TupleArray":
+        return TupleArray(self.schema, buses)
+
+    def restrict(self, m: int) -> "TupleArray":
+        """Keep the first ``m`` slots (free at the word level — just fewer
+        wires downstream; this is the paper's truncation *after* sorting)."""
+        return TupleArray(self.schema, self.buses[:m])
+
+    def __repr__(self) -> str:
+        return f"TupleArray({self.schema}, {len(self.buses)} slots)"
+
+
+class ArrayBuilder:
+    """Helpers for constructing tuple arrays on a :class:`Circuit`."""
+
+    def __init__(self, circuit: Optional[Circuit] = None):
+        self.c = circuit if circuit is not None else Circuit()
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+    def input_array(self, schema: Sequence[Attr], capacity: int) -> TupleArray:
+        """``capacity`` input slots; each slot is (fields..., valid)."""
+        buses = []
+        for _ in range(capacity):
+            fields = tuple(self.c.input() for _ in schema)
+            valid = self.c.input()
+            buses.append(Bus(fields, valid))
+        return TupleArray(schema, buses)
+
+    def const_bus(self, schema_len: int, values: Sequence[int],
+                  valid: bool) -> Bus:
+        fields = tuple(self.c.const(v) for v in values)
+        return Bus(fields, self.c.const(int(valid)))
+
+    def dummy_bus(self, schema_len: int) -> Bus:
+        return self.const_bus(schema_len, (QUESTION,) * schema_len, valid=False)
+
+    @staticmethod
+    def encode_relation(relation: Relation, array: TupleArray) -> List[int]:
+        """Input values for :meth:`input_array` slots: rows padded with
+        dummies up to capacity (raises if over capacity)."""
+        rows = sorted(relation.reorder(array.schema).rows)
+        if len(rows) > array.capacity:
+            raise ValueError(
+                f"relation with {len(rows)} rows exceeds wire capacity "
+                f"{array.capacity} — the instance violates the circuit's DC"
+            )
+        values: List[int] = []
+        for i in range(array.capacity):
+            if i < len(rows):
+                values.extend(rows[i])
+                values.append(1)
+            else:
+                values.extend([QUESTION] * len(array.schema))
+                values.append(0)
+        return values
+
+    @staticmethod
+    def decode_rows(array: TupleArray, values: Sequence[int]) -> Relation:
+        """Read an evaluated array back into a relation (dummies dropped)."""
+        rows = []
+        for bus in array.buses:
+            if values[bus.valid]:
+                rows.append(tuple(values[f] for f in bus.fields))
+        return Relation(array.schema, rows)
+
+    # ------------------------------------------------------------------
+    # per-bus logic
+    # ------------------------------------------------------------------
+    def eq_fields(self, a: Bus, b: Bus, cols: Sequence[int]) -> int:
+        """1 iff the two buses agree on the given columns."""
+        result = self.c.const(1)
+        for col in cols:
+            result = self.c.and_(result, self.c.eq(a.fields[col], b.fields[col]))
+        return result
+
+    def key_less(self, a: Bus, b: Bus, cols: Sequence[int],
+                 extra_a: Sequence[int] = (), extra_b: Sequence[int] = ()) -> int:
+        """Lexicographic ``<`` on (1-valid, cols..., extras...): valid tuples
+        sort before dummies; extras allow secondary keys like '?'-flags."""
+        keys_a = [self.c.not_(a.valid)] + [a.fields[c] for c in cols] + list(extra_a)
+        keys_b = [self.c.not_(b.valid)] + [b.fields[c] for c in cols] + list(extra_b)
+        less = self.c.const(0)
+        equal_so_far = self.c.const(1)
+        for ka, kb in zip(keys_a, keys_b):
+            lt = self.c.lt(ka, kb)
+            less = self.c.or_(less, self.c.and_(equal_so_far, lt))
+            equal_so_far = self.c.and_(equal_so_far, self.c.eq(ka, kb))
+        return less
+
+    def mux_bus(self, cond: int, a: Bus, b: Bus) -> Bus:
+        """``a`` if cond else ``b`` (field-wise)."""
+        fields = tuple(self.c.mux(cond, fa, fb) for fa, fb in zip(a.fields, b.fields))
+        return Bus(fields, self.c.mux(cond, a.valid, b.valid))
+
+    def set_valid(self, bus: Bus, valid: int) -> Bus:
+        return Bus(bus.fields, valid)
+
+    def invalidate_if(self, bus: Bus, cond: int) -> Bus:
+        """Mark the bus dummy when ``cond`` holds."""
+        return Bus(bus.fields, self.c.and_(bus.valid, self.c.not_(cond)))
+
+    def replace_field(self, bus: Bus, col: int, wire: int) -> Bus:
+        fields = list(bus.fields)
+        fields[col] = wire
+        return Bus(tuple(fields), bus.valid)
+
+    def append_fields(self, bus: Bus, wires: Sequence[int]) -> Bus:
+        return Bus(bus.fields + tuple(wires), bus.valid)
+
+    def drop_cols(self, bus: Bus, cols: Sequence[int]) -> Bus:
+        keep = [f for i, f in enumerate(bus.fields) if i not in set(cols)]
+        return Bus(tuple(keep), bus.valid)

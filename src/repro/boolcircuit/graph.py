@@ -1,0 +1,216 @@
+"""Word-level circuit DAG (Section 4.1).
+
+The paper works with circuits whose wires "carry an integer, a tuple, or a
+Boolean" (Section 4.1): expanding a word gate into Boolean gates costs only
+an ``O(log u)`` factor, which disappears into ``Õ(·)``.  We therefore build a
+gate DAG over machine words.  Gates are stored in parallel arrays (op code +
+input indices) for compactness; construction order is topological, so
+evaluation is a single forward pass.
+
+Size = number of non-input gates; depth = longest input→gate path.  The
+topology depends only on the circuit's parameters (wire bounds), never on
+data — evaluation visits gates in a fixed order, which is what makes the
+circuit *oblivious* (see :mod:`repro.apps.oblivious`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Op codes.
+INPUT = 0
+CONST = 1
+ADD = 2
+SUB = 3
+MUL = 4
+EQ = 5
+LT = 6
+AND = 7
+OR = 8
+NOT = 9
+XOR = 10
+MUX = 11  # MUX(cond, a, b) = a if cond else b
+MIN = 12
+MAX = 13
+
+_NAMES = {
+    INPUT: "INPUT", CONST: "CONST", ADD: "ADD", SUB: "SUB", MUL: "MUL",
+    EQ: "EQ", LT: "LT", AND: "AND", OR: "OR", NOT: "NOT", XOR: "XOR",
+    MUX: "MUX", MIN: "MIN", MAX: "MAX",
+}
+
+_ARITY = {
+    INPUT: 0, CONST: 0, NOT: 1,
+    ADD: 2, SUB: 2, MUL: 2, EQ: 2, LT: 2, AND: 2, OR: 2, XOR: 2,
+    MIN: 2, MAX: 2, MUX: 3,
+}
+
+
+class Circuit:
+    """A word-level circuit: append-only gate arrays plus evaluation."""
+
+    def __init__(self) -> None:
+        self.ops: List[int] = []
+        self.in_a: List[int] = []
+        self.in_b: List[int] = []
+        self.in_c: List[int] = []
+        self.consts: Dict[int, int] = {}
+        self._depth: List[int] = []
+        self._const_cache: Dict[int, int] = {}
+        self.inputs: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _gate(self, op: int, a: int = -1, b: int = -1, c: int = -1) -> int:
+        gid = len(self.ops)
+        self.ops.append(op)
+        self.in_a.append(a)
+        self.in_b.append(b)
+        self.in_c.append(c)
+        d = 0
+        for x in (a, b, c):
+            if x >= 0:
+                d = max(d, self._depth[x])
+        self._depth.append(d + (1 if op not in (INPUT, CONST) else 0))
+        return gid
+
+    def input(self) -> int:
+        gid = self._gate(INPUT)
+        self.inputs.append(gid)
+        return gid
+
+    def const(self, value: int) -> int:
+        cached = self._const_cache.get(value)
+        if cached is not None:
+            return cached
+        gid = self._gate(CONST)
+        self.consts[gid] = value
+        self._const_cache[value] = gid
+        return gid
+
+    def op(self, op: int, a: int, b: int = -1, c: int = -1) -> int:
+        arity = _ARITY[op]
+        got = sum(1 for x in (a, b, c) if x >= 0)
+        if got != arity:
+            raise ValueError(f"{_NAMES[op]} needs {arity} inputs, got {got}")
+        return self._gate(op, a, b, c)
+
+    # convenience wrappers -------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        return self.op(ADD, a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        return self.op(SUB, a, b)
+
+    def mul(self, a: int, b: int) -> int:
+        return self.op(MUL, a, b)
+
+    def eq(self, a: int, b: int) -> int:
+        return self.op(EQ, a, b)
+
+    def lt(self, a: int, b: int) -> int:
+        return self.op(LT, a, b)
+
+    def and_(self, a: int, b: int) -> int:
+        return self.op(AND, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.op(OR, a, b)
+
+    def not_(self, a: int) -> int:
+        return self.op(NOT, a)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.op(XOR, a, b)
+
+    def mux(self, cond: int, a: int, b: int) -> int:
+        """``a`` if ``cond`` else ``b``."""
+        return self.op(MUX, cond, a, b)
+
+    def min_(self, a: int, b: int) -> int:
+        return self.op(MIN, a, b)
+
+    def max_(self, a: int, b: int) -> int:
+        return self.op(MAX, a, b)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Gate count, excluding inputs and constants (the paper's |V| up to
+        the O(1) input wires)."""
+        return sum(1 for op in self.ops if op not in (INPUT, CONST))
+
+    @property
+    def total_gates(self) -> int:
+        return len(self.ops)
+
+    @property
+    def depth(self) -> int:
+        return max(self._depth, default=0)
+
+    def depth_of(self, gid: int) -> int:
+        return self._depth[gid]
+
+    def boolean_size_estimate(self, word_bits: int = 32) -> int:
+        """Size after expanding words into ``word_bits``-bit Boolean gates.
+
+        Comparators and MUXes are linear in the width; adders linear;
+        multipliers quadratic (schoolbook).  This realises the paper's
+        ``O(log u)`` accounting explicitly.
+        """
+        w = word_bits
+        per_op = {
+            ADD: 5 * w, SUB: 5 * w, MUL: 6 * w * w, EQ: 2 * w, LT: 4 * w,
+            AND: 1, OR: 1, NOT: 1, XOR: 1, MUX: 3 * w, MIN: 7 * w, MAX: 7 * w,
+        }
+        return sum(per_op.get(op, 0) for op in self.ops)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: Sequence[int]) -> List[int]:
+        """Forward evaluation; returns the value of every gate.
+
+        ``input_values`` are bound to input gates in creation order.
+        """
+        if len(input_values) != len(self.inputs):
+            raise ValueError(
+                f"expected {len(self.inputs)} inputs, got {len(input_values)}"
+            )
+        values: List[int] = [0] * len(self.ops)
+        inputs_iter = iter(input_values)
+        ops, in_a, in_b, in_c = self.ops, self.in_a, self.in_b, self.in_c
+        for gid in range(len(ops)):
+            op = ops[gid]
+            if op == INPUT:
+                values[gid] = next(inputs_iter)
+            elif op == CONST:
+                values[gid] = self.consts[gid]
+            elif op == ADD:
+                values[gid] = values[in_a[gid]] + values[in_b[gid]]
+            elif op == SUB:
+                values[gid] = values[in_a[gid]] - values[in_b[gid]]
+            elif op == MUL:
+                values[gid] = values[in_a[gid]] * values[in_b[gid]]
+            elif op == EQ:
+                values[gid] = int(values[in_a[gid]] == values[in_b[gid]])
+            elif op == LT:
+                values[gid] = int(values[in_a[gid]] < values[in_b[gid]])
+            elif op == AND:
+                values[gid] = int(bool(values[in_a[gid]]) and bool(values[in_b[gid]]))
+            elif op == OR:
+                values[gid] = int(bool(values[in_a[gid]]) or bool(values[in_b[gid]]))
+            elif op == NOT:
+                values[gid] = int(not values[in_a[gid]])
+            elif op == XOR:
+                values[gid] = int(bool(values[in_a[gid]]) != bool(values[in_b[gid]]))
+            elif op == MUX:
+                values[gid] = (values[in_b[gid]] if values[in_a[gid]]
+                               else values[in_c[gid]])
+            elif op == MIN:
+                values[gid] = min(values[in_a[gid]], values[in_b[gid]])
+            elif op == MAX:
+                values[gid] = max(values[in_a[gid]], values[in_b[gid]])
+            else:
+                raise ValueError(f"unknown op {op}")
+        return values
+
+    def __repr__(self) -> str:
+        return f"Circuit({self.size} gates, depth {self.depth})"

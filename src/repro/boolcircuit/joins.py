@@ -1,0 +1,265 @@
+"""Join circuits: primary-key (Algorithm 6), degree-bounded (Algorithm 7),
+and output-bounded (Algorithm 10).
+
+All operate on :class:`TupleArray` wires and join on the *common columns* of
+the two schemas (natural join).  Capacities:
+
+* ``pk_join(R, S)`` — size ``Õ(M + N')``, output capacity ``M``;
+* ``degree_bounded_join(R, S, N)`` — size ``Õ(MN + N')``, output ``MN``;
+* ``output_bounded_join(R, S, OUT)`` — size ``Õ(M + N' + OUT)``, output
+  ``OUT``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..relcircuit.predicates import Range
+from .aggregation import aggregate
+from .builder import ArrayBuilder, Bus, QUESTION, TupleArray
+from .primitives import project, select, union
+from .scan import op_first, segmented_scan
+from .sorting import bitonic_sort, truncate
+
+SRC_COL = "@from_r"
+CNT_COL = "@cnt"
+
+
+def _split_schemas(r: TupleArray, s: TupleArray
+                   ) -> Tuple[List[str], List[str], List[str]]:
+    """(left-only A, common B, right-only C) column names."""
+    common = [a for a in r.schema if a in s.schema]
+    left_only = [a for a in r.schema if a not in common]
+    right_only = [a for a in s.schema if a not in common]
+    return left_only, common, right_only
+
+
+def pk_join(b: ArrayBuilder, r: TupleArray, s: TupleArray) -> TupleArray:
+    """Algorithm 6: natural join where the common columns are a key of S.
+
+    Output schema ``r.schema + right_only``; capacity ``|r|`` slots.
+    """
+    c = b.c
+    a_cols, b_cols, c_cols = _split_schemas(r, s)
+    if not b_cols:
+        raise ValueError("pk_join requires common attributes")
+    out_schema = tuple(r.schema) + tuple(c_cols)
+
+    # Lines 1-3: pad both sides with '?' and take the disjoint union J,
+    # tagging provenance (@from_r = 1 for R-rows, 0 for S-rows, so that
+    # ascending sort puts the S row first within each B-segment).
+    j_schema = out_schema + (SRC_COL,)
+    q = c.const(QUESTION)
+    buses: List[Bus] = []
+    for bus in r.buses:
+        fields = tuple(bus.fields) + tuple(q for _ in c_cols) + (c.const(1),)
+        buses.append(Bus(fields, bus.valid))
+    for bus in s.buses:
+        by_name = {a: bus.fields[s.col(a)] for a in s.schema}
+        fields = tuple(
+            by_name.get(a, q) for a in r.schema
+        ) + tuple(by_name[a] for a in c_cols) + (c.const(0),)
+        buses.append(Bus(fields, bus.valid))
+    j = TupleArray(j_schema, buses)
+
+    # Line 4: sort by (B, C ≠ '?') — realised as (B, @from_r) ascending.
+    j = bitonic_sort(b, j, key=list(b_cols) + [SRC_COL], tiebreak_all=False)
+
+    # Line 5: ⊕-scan (repetition operator) on the C columns and the match
+    # flag, segmented by B.
+    flagged = TupleArray(
+        j.schema + ("@match",),
+        [b.append_fields(bus, [c.not_(bus.fields[j.col(SRC_COL)])])
+         for bus in j.buses],
+    )
+    scanned = segmented_scan(b, flagged, key=b_cols,
+                             value_cols=list(c_cols) + ["@match"], op=op_first)
+
+    # Lines 6-8: R-rows missing a match (or S carrier rows) become dummies.
+    out_buses = []
+    src_col = scanned.col(SRC_COL)
+    match_col = scanned.col("@match")
+    for bus in scanned.buses:
+        is_r = bus.fields[src_col]
+        has_match = bus.fields[match_col]
+        valid = c.and_(bus.valid, c.and_(is_r, has_match))
+        fields = tuple(bus.fields[scanned.col(a)] for a in out_schema)
+        out_buses.append(Bus(fields, valid))
+    out = TupleArray(out_schema, out_buses)
+
+    # Line 9: truncate to |R| slots (at most M rows survive).
+    return truncate(b, out, len(r.buses))
+
+
+def semijoin(b: ArrayBuilder, r: TupleArray, s: TupleArray) -> TupleArray:
+    """``R ⋉ S`` = ``R ⋈ Π_common(S)`` — the projection makes the common
+    columns a key, so the primary-key join applies (Section 6.2)."""
+    _, b_cols, _ = _split_schemas(r, s)
+    keys = project(b, s, b_cols)
+    return pk_join(b, r, keys)
+
+
+def degree_bounded_join(b: ArrayBuilder, r: TupleArray, s: TupleArray,
+                        deg_bound: int) -> TupleArray:
+    """Algorithm 7: natural join with ``deg_S(common) ≤ deg_bound``.
+
+    Concatenates each B-group's C-values into one sequence by repeated
+    pairwise combining (with re-sorting and truncation to keep the circuit
+    at ``Õ(MN)``), finishes the last halving with the stride-1 pass, joins
+    via the primary-key circuit, and expands the sequences back into tuples.
+    """
+    c = b.c
+    a_cols, b_cols, c_cols = _split_schemas(r, s)
+    if not b_cols:
+        raise ValueError("degree_bounded_join requires common attributes")
+    if not c_cols:
+        return semijoin(b, r, s)
+    if deg_bound <= 1:
+        return pk_join(b, r, s)
+    m = len(r.buses)
+    out_schema = tuple(r.schema) + tuple(c_cols)
+
+    # Relax N to 2^n + 1 (the paper's assumption).
+    n = max(0, math.ceil(math.log2(max(1, deg_bound - 1))))
+
+    # Line 1: S ← S ⋉ Π_B(R) — non-joining tuples become dummies.
+    s2 = semijoin(b, s, project(b, r, b_cols))
+    # Line 2: sort by B, truncate to MN.
+    s2 = bitonic_sort(b, s2, key=b_cols)
+    s2 = s2.restrict(min(len(s2.buses), m * (2 ** n + 1)))
+
+    # Sequence representation: seq_len C-column groups appended to the
+    # B columns.  Group g's columns are named "@c{g}.{col}".
+    def seq_schema(length: int) -> Tuple[str, ...]:
+        cols = list(b_cols)
+        for g in range(length):
+            cols += [f"@c{g}.{a}" for a in c_cols]
+        return tuple(cols)
+
+    seq_len = 1
+    seq = TupleArray(
+        seq_schema(1),
+        [Bus(tuple(bus.fields[s2.col(a)] for a in b_cols)
+             + tuple(bus.fields[s2.col(a)] for a in c_cols), bus.valid)
+         for bus in s2.buses],
+    )
+
+    def combine(dst: Bus, src: Bus, cond: int) -> Bus:
+        """dst.C ← (src.C, dst.C) if cond else (dst.C, dst.C)."""
+        nb = len(b_cols)
+        head = dst.fields[:nb]
+        own = dst.fields[nb:]
+        other = src.fields[nb:]
+        first_half = tuple(c.mux(cond, o, w) for o, w in zip(other, own))
+        return Bus(head + first_half + own, dst.valid)
+
+    # Lines 3-15: n halving levels.
+    for i in range(1, n + 1):
+        bcols_idx = [seq.col(a) for a in b_cols]
+        buses = list(seq.buses)
+        new_buses: List[Bus] = [None] * len(buses)  # type: ignore[list-item]
+        for j in range(0, len(buses) - 1, 2):
+            t1, t2 = buses[j], buses[j + 1]
+            same = b.eq_fields(t1, t2, bcols_idx)
+            cond = c.and_(same, c.and_(t1.valid, t2.valid))
+            new_t2 = combine(t2, t1, cond)
+            new_t1 = combine(t1, t1, c.const(0))  # duplicate own sequence
+            new_t1 = b.invalidate_if(new_t1, cond)
+            new_buses[j], new_buses[j + 1] = new_t1, new_t2
+        if len(buses) % 2:
+            last = buses[-1]
+            new_buses[-1] = combine(last, last, c.const(0))
+        seq_len *= 2
+        seq = TupleArray(seq_schema(seq_len), new_buses)
+        # Line 14-15: sort by B and truncate to (2^{n-i}+1)·M slots.
+        cap = min(len(seq.buses), (2 ** (n - i) + 1) * m)
+        seq = bitonic_sort(b, seq, key=list(b_cols), tiebreak_all=False)
+        seq = seq.restrict(cap)
+
+    # Lines 16-24: final stride-1 combine reduces degree 2 → 1.
+    bcols_idx = [seq.col(a) for a in b_cols]
+    buses = list(seq.buses)
+    conds = []
+    for j in range(len(buses) - 1):
+        same = b.eq_fields(buses[j], buses[j + 1], bcols_idx)
+        conds.append(c.and_(same, c.and_(buses[j].valid, buses[j + 1].valid)))
+    new_buses = []
+    for j, bus in enumerate(buses):
+        absorb = conds[j] if j < len(buses) - 1 else c.const(0)
+        nb = combine(bus, buses[j + 1], absorb) if j < len(buses) - 1 else \
+            combine(bus, bus, c.const(0))
+        if j > 0:
+            nb = b.invalidate_if(nb, conds[j - 1])
+        new_buses.append(nb)
+    seq_len *= 2
+    seq = TupleArray(seq_schema(seq_len), new_buses)
+
+    # Line 25: truncate to M (B is now a key).
+    seq = truncate(b, seq, m)
+
+    # Line 26: primary-key join with R.
+    joined = pk_join(b, r, seq)
+
+    # Lines 27-31: expand sequences into individual tuples.
+    expanded: List[Bus] = []
+    for bus in joined.buses:
+        base = tuple(bus.fields[joined.col(a)] for a in r.schema)
+        for g in range(seq_len):
+            entry = tuple(bus.fields[joined.col(f"@c{g}.{a}")] for a in c_cols)
+            expanded.append(Bus(base + entry, bus.valid))
+    wide = TupleArray(out_schema, expanded)
+
+    # Lines 32-33: deduplicate and truncate to MN.
+    deduped = project(b, wide, out_schema)
+    return truncate(b, deduped, m * deg_bound)
+
+
+def output_bounded_join(b: ArrayBuilder, r: TupleArray, s: TupleArray,
+                        out_bound: int) -> TupleArray:
+    """Algorithm 10: natural join with ``|R ⋈ S| ≤ out_bound`` promised.
+
+    Decomposes S into dyadic degree classes; in class ``i`` every joining
+    R-tuple produces ≥ 2^{i-1} results, so at most ``OUT/2^{i-1}`` R-tuples
+    survive the semijoin — truncation keeps each per-class degree-bounded
+    join at ``Õ(OUT + N)``.
+    """
+    c = b.c
+    a_cols, b_cols, c_cols = _split_schemas(r, s)
+    if not b_cols:
+        raise ValueError("output_bounded_join requires common attributes")
+    out_schema = tuple(r.schema) + tuple(c_cols)
+    n_s = len(s.buses)
+    m = len(r.buses)
+
+    # Line 1: decompose S by degree class (whole B-groups share a class, so
+    # the semijoin argument below sees the full group degree).
+    counts = aggregate(b, s, b_cols, "count", out_attr=CNT_COL)
+    s_cnt = pk_join(b, s, counts)
+    k = 1 + max(0, math.floor(math.log2(max(1, n_s))))
+
+    pieces: List[TupleArray] = []
+    for i in range(1, k + 1):
+        lo, hi = 2 ** (i - 1), 2 ** i
+        if lo > n_s:
+            break
+        s_i = select(b, s_cnt, Range(CNT_COL, lo, hi))
+        s_i = TupleArray(
+            tuple(s.schema),
+            [Bus(tuple(bus.fields[s_i.col(a)] for a in s.schema), bus.valid)
+             for bus in s_i.buses],
+        )
+        s_i = truncate(b, s_i, min(n_s, max(1, (n_s // lo)) * (hi - 1)))
+        # Lines 3-5: R_i ← R ⋉ S_i, truncated to OUT / 2^{i-1}.
+        r_i = semijoin(b, r, s_i)
+        cap = min(m, max(1, out_bound // lo))
+        r_i = truncate(b, r_i, cap)
+        # Line 6: degree-bounded join with bound 2^i - 1.
+        j_i = degree_bounded_join(b, r_i, s_i, hi - 1)
+        pieces.append(j_i)
+
+    # Lines 7-8: union everything, truncate to OUT.
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = union(b, result, piece)
+    return truncate(b, result, out_bound)

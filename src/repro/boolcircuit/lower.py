@@ -1,0 +1,209 @@
+"""Lowering: relational circuits → word circuits (Section 5).
+
+Each relational wire with bound ``|R| ≤ K`` becomes a :class:`TupleArray` of
+exactly ``K`` slots; each relational gate becomes the circuit of Sections
+5.2–5.4 / 6.3.  Join flavour is chosen from the *bounds* (never the data):
+
+* common-column degree 1 → primary-key join (Algorithm 6);
+* explicit output cap (Yannakakis-C) → output-bounded join (Algorithm 10);
+* otherwise → degree-bounded join (Algorithm 7), oriented the cheaper way.
+
+The resulting :class:`LoweredCircuit` is completely data-independent: its
+topology is fixed by ``(Q, DC)``, and evaluation on any conforming instance
+touches the same gates in the same order (obliviousness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..cq.relation import Attr, Relation
+from ..relcircuit.ir import Gate, RelationalCircuit
+from .aggregation import aggregate
+from .builder import ArrayBuilder, Bus, TupleArray
+from .graph import Circuit
+from .joins import degree_bounded_join, output_bounded_join, pk_join
+from .primitives import map_array, project, select, union
+from .sorting import attach_order, truncate
+
+
+@dataclass
+class LoweredCircuit:
+    """A word circuit together with its relational I/O conventions."""
+
+    circuit: Circuit
+    input_arrays: Dict[str, TupleArray]
+    input_order: List[str]
+    output_arrays: List[TupleArray]
+    source: RelationalCircuit
+
+    @property
+    def size(self) -> int:
+        """Word-gate count (Theorem 4's circuit size)."""
+        return self.circuit.size
+
+    @property
+    def depth(self) -> int:
+        return self.circuit.depth
+
+    def run(self, env: Mapping[str, Relation]) -> List[Relation]:
+        """Evaluate on an instance; returns the decoded output relations.
+
+        Raises if any input relation exceeds its wire capacity (i.e. the
+        instance does not conform to the DC the circuit was built for).
+        """
+        values: List[int] = []
+        for name in self.input_order:
+            values.extend(ArrayBuilder.encode_relation(env[name],
+                                                       self.input_arrays[name]))
+        gate_values = self.circuit.evaluate(values)
+        return [ArrayBuilder.decode_rows(arr, gate_values)
+                for arr in self.output_arrays]
+
+    def __repr__(self) -> str:
+        return (f"LoweredCircuit({self.size} word gates, depth {self.depth}, "
+                f"{len(self.input_order)} inputs)")
+
+
+def _realign(arr: TupleArray, schema: Sequence[Attr]) -> TupleArray:
+    """Permute columns to ``schema`` order."""
+    schema = tuple(schema)
+    if arr.schema == schema:
+        return arr
+    buses = [
+        Bus(tuple(bus.fields[arr.col(a)] for a in schema), bus.valid)
+        for bus in arr.buses
+    ]
+    return TupleArray(schema, buses)
+
+
+def lower(rel_circuit: RelationalCircuit) -> LoweredCircuit:
+    """Lower a relational circuit into one word circuit (Theorem 4)."""
+    b = ArrayBuilder()
+    arrays: Dict[int, TupleArray] = {}
+    input_arrays: Dict[str, TupleArray] = {}
+    input_order: List[str] = []
+
+    for gate in rel_circuit.gates:
+        arrays[gate.gid] = _lower_gate(b, rel_circuit, gate, arrays,
+                                       input_arrays, input_order)
+
+    outputs = [arrays[o] for o in rel_circuit.outputs]
+    return LoweredCircuit(
+        circuit=b.c,
+        input_arrays=input_arrays,
+        input_order=input_order,
+        output_arrays=outputs,
+        source=rel_circuit,
+    )
+
+
+def _lower_gate(b: ArrayBuilder, rc: RelationalCircuit, gate: Gate,
+                arrays: Dict[int, TupleArray],
+                input_arrays: Dict[str, TupleArray],
+                input_order: List[str]) -> TupleArray:
+    bound = gate.bound
+    ins = [arrays[i] for i in gate.inputs]
+
+    if gate.op == "input":
+        arr = b.input_array(bound.schema, bound.card)
+        name = gate.params["name"]
+        input_arrays[name] = arr
+        input_order.append(name)
+        return arr
+
+    if gate.op == "select":
+        return select(b, ins[0], gate.params["predicate"])
+
+    if gate.op == "project":
+        return project(b, ins[0], gate.params["attrs"])
+
+    if gate.op == "union":
+        out = union(b, _realign(ins[0], bound.schema),
+                    _realign(ins[1], bound.schema))
+        return _cap(b, out, bound.card)
+
+    if gate.op == "aggregate":
+        p = gate.params
+        if p["agg"] == "count":
+            out = aggregate(b, ins[0], p["group_by"], "count",
+                            out_attr=p["out_attr"])
+        else:
+            out = aggregate(b, ins[0], p["group_by"], p["agg"], p["attr"],
+                            out_attr=p["out_attr"])
+        return out
+
+    if gate.op == "sort":
+        return attach_order(b, ins[0], gate.params["attrs"],
+                            gate.params["out_attr"])
+
+    if gate.op == "map":
+        return map_array(b, ins[0], gate.params["spec"])
+
+    if gate.op == "join":
+        return _lower_join(b, rc, gate, ins)
+
+    raise ValueError(f"cannot lower op {gate.op!r}")
+
+
+def _lower_join(b: ArrayBuilder, rc: RelationalCircuit, gate: Gate,
+                ins: List[TupleArray]) -> TupleArray:
+    left_b = rc.gates[gate.inputs[0]].bound
+    right_b = rc.gates[gate.inputs[1]].bound
+    left, right = ins
+    common = left_b.attrs & right_b.attrs
+    out_card = gate.params.get("out_card")
+
+    if not common:
+        # Cross product: realised directly (the bound M·N' is the cost).
+        out = _cross_product(b, left, right)
+        return _cap_dedup_free(b, out, gate.bound.card, gate.bound.schema)
+
+    if out_card is not None:
+        out = output_bounded_join(b, left, right, out_card)
+        return _realign(out, gate.bound.schema)
+
+    # Orient so that the (M · deg + N') cost is minimised — the same rule the
+    # relational cost model uses.
+    forward = left_b.card * right_b.degree(common) + right_b.card
+    backward = right_b.card * left_b.degree(common) + left_b.card
+    if backward < forward:
+        left, right = right, left
+        left_b, right_b = right_b, left_b
+    deg = right_b.degree(common)
+
+    if deg <= 1:
+        out = pk_join(b, left, right)
+    else:
+        out = degree_bounded_join(b, left, right, deg)
+    out = _realign(out, gate.bound.schema)
+    return _cap(b, out, gate.bound.card)
+
+
+def _cross_product(b: ArrayBuilder, left: TupleArray, right: TupleArray
+                   ) -> TupleArray:
+    schema = tuple(left.schema) + tuple(a for a in right.schema
+                                        if a not in left.schema)
+    buses = []
+    for lbus in left.buses:
+        for rbus in right.buses:
+            fields = tuple(lbus.fields) + tuple(
+                rbus.fields[right.col(a)] for a in schema[len(left.schema):]
+            )
+            buses.append(Bus(fields, b.c.and_(lbus.valid, rbus.valid)))
+    return TupleArray(schema, buses)
+
+
+def _cap(b: ArrayBuilder, arr: TupleArray, card: int) -> TupleArray:
+    """Truncate to the declared wire capacity (slots beyond it are provably
+    dummy because the bound derivation is sound)."""
+    if len(arr.buses) <= card:
+        return arr
+    return truncate(b, arr, card)
+
+
+def _cap_dedup_free(b: ArrayBuilder, arr: TupleArray, card: int,
+                    schema: Sequence[Attr]) -> TupleArray:
+    arr = _realign(arr, schema)
+    return _cap(b, arr, card)

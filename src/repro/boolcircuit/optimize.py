@@ -1,0 +1,89 @@
+"""Dead-gate elimination for word circuits.
+
+Lowering composes operator circuits wholesale, so wires feeding dropped
+columns, discarded truncation slots, or unused scan lanes remain in the
+gate arrays even though no output depends on them.  This pass keeps only
+gates reachable (backwards) from a set of root wires and renumbers the
+rest away — the standard cleanup a hardware/MPC backend would run, and it
+makes reported sizes correspond to gates that actually influence the
+output.
+
+Input gates are always kept (the interface must stay stable) even when
+dead, so `LoweredCircuit.run` encodings remain valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .builder import Bus, TupleArray
+from .graph import CONST, INPUT, Circuit
+from .lower import LoweredCircuit
+
+
+def reachable_gates(circuit: Circuit, roots: Iterable[int]) -> List[bool]:
+    """Mark every gate some root transitively depends on."""
+    keep = [False] * len(circuit.ops)
+    stack = [r for r in roots if 0 <= r < len(circuit.ops)]
+    while stack:
+        gid = stack.pop()
+        if keep[gid]:
+            continue
+        keep[gid] = True
+        for src in (circuit.in_a[gid], circuit.in_b[gid], circuit.in_c[gid]):
+            if src >= 0 and not keep[src]:
+                stack.append(src)
+    return keep
+
+
+def prune(circuit: Circuit, roots: Iterable[int]
+          ) -> Tuple[Circuit, Dict[int, int]]:
+    """A new circuit containing only gates reachable from ``roots`` (plus
+    all inputs); returns it with the old→new id map."""
+    keep = reachable_gates(circuit, roots)
+    for gid, op in enumerate(circuit.ops):
+        if op == INPUT:
+            keep[gid] = True
+    remap: Dict[int, int] = {}
+    out = Circuit()
+    for gid, op in enumerate(circuit.ops):
+        if not keep[gid]:
+            continue
+        if op == INPUT:
+            remap[gid] = out.input()
+        elif op == CONST:
+            remap[gid] = out.const(circuit.consts[gid])
+        else:
+            args = [remap[s] if s >= 0 else -1
+                    for s in (circuit.in_a[gid], circuit.in_b[gid],
+                              circuit.in_c[gid])]
+            remap[gid] = out._gate(op, *args)
+    return out, remap
+
+
+def _remap_array(array: TupleArray, remap: Dict[int, int]) -> TupleArray:
+    buses = [
+        Bus(tuple(remap[f] for f in bus.fields), remap[bus.valid])
+        for bus in array.buses
+    ]
+    return TupleArray(array.schema, buses)
+
+
+def prune_lowered(lowered: LoweredCircuit) -> LoweredCircuit:
+    """Dead-gate-eliminate a lowered circuit, preserving its I/O contract."""
+    roots = [
+        wire
+        for array in lowered.output_arrays
+        for bus in array.buses
+        for wire in (*bus.fields, bus.valid)
+    ]
+    pruned, remap = prune(lowered.circuit, roots)
+    return LoweredCircuit(
+        circuit=pruned,
+        input_arrays={name: _remap_array(arr, remap)
+                      for name, arr in lowered.input_arrays.items()},
+        input_order=list(lowered.input_order),
+        output_arrays=[_remap_array(arr, remap)
+                       for arr in lowered.output_arrays],
+        source=lowered.source,
+    )

@@ -1,0 +1,142 @@
+"""Selection, projection (Algorithm 3), union, and map circuits (Section 5).
+
+All are ``Õ(1)`` depth and ``Õ(K)`` size for capacity-``K`` wires:
+
+* selection keeps every slot, marking non-passing tuples dummy;
+* projection drops columns, sorts, and dummies-out duplicates of their
+  predecessor (Algorithm 3);
+* union concatenates and deduplicates via the projection circuit;
+* map recomputes each slot's fields with a fixed expression tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..relcircuit.predicates import (
+    Add,
+    And,
+    Col,
+    Const,
+    EqAttr,
+    EqConst,
+    MapExpr,
+    MapSpec,
+    Mul,
+    Not,
+    Or,
+    Parity,
+    Predicate,
+    Range,
+)
+from .builder import ArrayBuilder, Bus, TupleArray
+from .sorting import bitonic_sort
+
+
+def lower_predicate(b: ArrayBuilder, pred: Predicate, array: TupleArray,
+                    bus: Bus) -> int:
+    """Build the per-slot sub-circuit evaluating ``pred`` on ``bus``."""
+    c = b.c
+    if isinstance(pred, EqConst):
+        return c.eq(bus.fields[array.col(pred.attr)], c.const(pred.value))
+    if isinstance(pred, EqAttr):
+        return c.eq(bus.fields[array.col(pred.left)],
+                    bus.fields[array.col(pred.right)])
+    if isinstance(pred, Range):
+        f = bus.fields[array.col(pred.attr)]
+        ge = c.not_(c.lt(f, c.const(pred.lo)))
+        lt = c.lt(f, c.const(pred.hi))
+        return c.and_(ge, lt)
+    if isinstance(pred, Parity):
+        f = bus.fields[array.col(pred.attr)]
+        return _parity_wire(b, f, odd=pred.odd)
+    if isinstance(pred, Not):
+        return c.not_(lower_predicate(b, pred.inner, array, bus))
+    if isinstance(pred, And):
+        return c.and_(lower_predicate(b, pred.left, array, bus),
+                      lower_predicate(b, pred.right, array, bus))
+    if isinstance(pred, Or):
+        return c.or_(lower_predicate(b, pred.left, array, bus),
+                     lower_predicate(b, pred.right, array, bus))
+    raise ValueError(f"cannot lower predicate {pred!r}")
+
+
+def _parity_wire(b: ArrayBuilder, wire: int, odd: bool, bits: int = 21) -> int:
+    """Parity of a non-negative word wire (a single Boolean gate after bit
+    expansion; at the word level, a log-size conditional-subtraction ladder
+    reducing the value modulo 2)."""
+    c = b.c
+    remainder = wire
+    for i in range(bits - 1, 0, -1):
+        p = c.const(1 << i)
+        ge = c.not_(c.lt(remainder, p))
+        remainder = c.mux(ge, c.sub(remainder, p), remainder)
+    is_odd = c.eq(remainder, c.const(1))
+    return is_odd if odd else c.not_(is_odd)
+
+
+def select(b: ArrayBuilder, array: TupleArray, pred: Predicate) -> TupleArray:
+    """Selection: per-slot predicate circuit; failures become dummies."""
+    buses = []
+    for bus in array.buses:
+        passed = lower_predicate(b, pred, array, bus)
+        buses.append(Bus(bus.fields, b.c.and_(bus.valid, passed)))
+    return array.with_buses(buses)
+
+
+def project(b: ArrayBuilder, array: TupleArray, attrs: Sequence[str]
+            ) -> TupleArray:
+    """Algorithm 3: drop columns, sort, dummy-out adjacent duplicates."""
+    keep_cols = [array.col(a) for a in attrs]
+    drop_cols = [i for i in range(len(array.schema)) if i not in keep_cols]
+    narrowed = TupleArray(
+        tuple(attrs),
+        [Bus(tuple(bus.fields[array.col(a)] for a in attrs), bus.valid)
+         for bus in array.buses],
+    )
+    sorted_arr = bitonic_sort(b, narrowed, key=list(attrs), tiebreak_all=False)
+    buses = [sorted_arr.buses[0]] if sorted_arr.buses else []
+    for i in range(1, len(sorted_arr.buses)):
+        cur, prev = sorted_arr.buses[i], sorted_arr.buses[i - 1]
+        same = b.eq_fields(cur, prev, list(range(len(attrs))))
+        dup = b.c.and_(same, prev.valid)
+        buses.append(b.invalidate_if(cur, dup))
+    return sorted_arr.with_buses(buses)
+
+
+def union(b: ArrayBuilder, left: TupleArray, right: TupleArray) -> TupleArray:
+    """Union: concatenate slots, then deduplicate via the projection
+    circuit on all attributes (the paper's construction)."""
+    if set(left.schema) != set(right.schema):
+        raise ValueError(f"union schema mismatch: {left.schema} vs {right.schema}")
+    realigned = [
+        Bus(tuple(bus.fields[right.col(a)] for a in left.schema), bus.valid)
+        for bus in right.buses
+    ]
+    combined = TupleArray(left.schema, list(left.buses) + realigned)
+    return project(b, combined, left.schema)
+
+
+def map_array(b: ArrayBuilder, array: TupleArray, spec: MapSpec) -> TupleArray:
+    """The ρ operator: recompute each slot with fixed expressions."""
+    out_schema = tuple(spec.keys())
+    buses = []
+    for bus in array.buses:
+        fields = tuple(_lower_expr(b, spec[a], array, bus) for a in out_schema)
+        buses.append(Bus(fields, bus.valid))
+    return TupleArray(out_schema, buses)
+
+
+def _lower_expr(b: ArrayBuilder, expr: MapExpr, array: TupleArray, bus: Bus) -> int:
+    c = b.c
+    if isinstance(expr, Col):
+        return bus.fields[array.col(expr.attr)]
+    if isinstance(expr, Const):
+        return c.const(expr.value)
+    if isinstance(expr, Mul):
+        return c.mul(_lower_expr(b, expr.left, array, bus),
+                     _lower_expr(b, expr.right, array, bus))
+    if isinstance(expr, Add):
+        return c.add(_lower_expr(b, expr.left, array, bus),
+                     _lower_expr(b, expr.right, array, bus))
+    raise ValueError(f"cannot lower map expression {expr!r}")

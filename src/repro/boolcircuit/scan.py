@@ -1,0 +1,130 @@
+"""Scan and segmented scan circuits (Section 5.1, Algorithm 4).
+
+The classical ⊕-scan (Hillis–Steele): ``log N`` rounds, in round ``i`` every
+position ``j ≥ 2^i`` absorbs position ``j - 2^i``.  Size ``O(N log N)``,
+depth ``O(log N)``.
+
+The segmented scan runs the same network over the operator ``⊕̄`` of the
+paper: pairs ``(a, b)`` combine to ``(a₂, b₁⊕b₂)`` when the segment keys
+agree and to ``(a₂, b₂)`` otherwise.  Segment keys here are one or more key
+columns *plus the validity flag*, so dummy slots never contaminate a
+segment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from .builder import ArrayBuilder, Bus, TupleArray
+from .graph import Circuit
+
+# A scan operator combines (earlier, later) wire ids into a new wire id.
+ScanOp = Callable[[Circuit, int, int], int]
+
+
+def op_sum(c: Circuit, a: int, b: int) -> int:
+    return c.add(a, b)
+
+
+def op_min(c: Circuit, a: int, b: int) -> int:
+    return c.min_(a, b)
+
+
+def op_max(c: Circuit, a: int, b: int) -> int:
+    return c.max_(a, b)
+
+
+def op_first(c: Circuit, a: int, b: int) -> int:
+    """The paper's repetition operator for primary-key joins: c₁ ⊕ c₂ = c₁."""
+    return a
+
+
+def scan(c: Circuit, xs: Sequence[int], op: ScanOp) -> List[int]:
+    """Algorithm 4: the inclusive ⊕-scan of a wire sequence."""
+    values = list(xs)
+    n = len(values)
+    shift = 1
+    while shift < n:
+        nxt = list(values)
+        for j in range(shift, n):
+            nxt[j] = op(c, values[j - shift], values[j])
+        values = nxt
+        shift *= 2
+    return values
+
+
+def segmented_scan(b: ArrayBuilder, array: TupleArray, key: Sequence[str],
+                   value_cols: Sequence[str], op: ScanOp) -> TupleArray:
+    """⊕̄-scan over the array: per-segment inclusive scan of ``value_cols``,
+    segments delineated by the ``key`` columns (and validity).
+
+    The array must already be sorted by ``key`` so segments are contiguous.
+    Returns an array of the same schema with the value columns replaced by
+    their per-segment running ⊕.
+    """
+    c = b.c
+    kcols = [array.col(a) for a in key]
+    vcols = [array.col(a) for a in value_cols]
+    n = len(array.buses)
+
+    # State per slot: (segment-id fields, accumulated values).  We carry the
+    # "same segment" comparison through the network, exactly the ⊕̄ operator.
+    seg_fields: List[List[int]] = [
+        [bus.fields[k] for k in kcols] + [bus.valid] for bus in array.buses
+    ]
+    acc: List[List[int]] = [[bus.fields[v] for v in vcols] for bus in array.buses]
+
+    shift = 1
+    while shift < n:
+        new_seg = [list(s) for s in seg_fields]
+        new_acc = [list(a) for a in acc]
+        for j in range(shift, n):
+            same = c.const(1)
+            for fa, fb in zip(seg_fields[j - shift], seg_fields[j]):
+                same = c.and_(same, c.eq(fa, fb))
+            for t, vcol in enumerate(vcols):
+                combined = op(c, acc[j - shift][t], acc[j][t])
+                new_acc[j][t] = c.mux(same, combined, acc[j][t])
+        seg_fields, acc = new_seg, new_acc
+        shift *= 2
+
+    buses = []
+    for j, bus in enumerate(array.buses):
+        out = bus
+        for t, vcol in enumerate(vcols):
+            out = b.replace_field(out, vcol, acc[j][t])
+        buses.append(out)
+    return array.with_buses(buses)
+
+
+def segment_boundaries(b: ArrayBuilder, array: TupleArray, key: Sequence[str]
+                       ) -> Tuple[List[int], List[int]]:
+    """Wires marking segment structure of a key-sorted array.
+
+    Returns ``(is_first, is_last)``: per slot, 1 iff it opens/closes its
+    segment (dummies are neither).  Used by aggregation and projection
+    circuits to keep exactly one representative per segment.
+    """
+    c = b.c
+    kcols = [array.col(a) for a in key]
+    n = len(array.buses)
+    is_first, is_last = [], []
+    for j in range(n):
+        bus = array.buses[j]
+        if j == 0:
+            first = bus.valid
+        else:
+            prev = array.buses[j - 1]
+            same = b.eq_fields(bus, prev, kcols)
+            same = c.and_(same, prev.valid)
+            first = c.and_(bus.valid, c.not_(same))
+        if j == n - 1:
+            last = bus.valid
+        else:
+            nxt = array.buses[j + 1]
+            same = b.eq_fields(bus, nxt, kcols)
+            same = c.and_(same, nxt.valid)
+            last = c.and_(bus.valid, c.not_(same))
+        is_first.append(first)
+        is_last.append(last)
+    return is_first, is_last

@@ -1,0 +1,70 @@
+"""Brent's theorem, operationally (Section 1).
+
+A circuit of size W and depth D evaluates on a P-processor PRAM in
+``O(W/P + D)`` steps: schedule the gates level by level; a level with ``k``
+gates takes ``⌈k/P⌉`` steps.  This module computes the level profile of a
+word circuit and the resulting PRAM step counts, so the paper's headline
+("CQs can be evaluated efficiently in parallel") becomes a measurable
+speed-up curve rather than an intuition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .graph import CONST, INPUT, Circuit
+
+
+@dataclass
+class Schedule:
+    """A level-by-level PRAM schedule of one circuit."""
+
+    level_widths: List[int]
+    size: int
+    depth: int
+
+    def pram_steps(self, processors: int) -> int:
+        """Steps on a P-processor PRAM (Brent): Σ ⌈width/P⌉."""
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        return sum(math.ceil(w / processors) for w in self.level_widths)
+
+    def speedup(self, processors: int) -> float:
+        """Sequential steps / parallel steps."""
+        return self.size / max(1, self.pram_steps(processors))
+
+    def brent_bound(self, processors: int) -> int:
+        """The theorem's guarantee: ⌈W/P⌉ + D."""
+        return math.ceil(self.size / processors) + self.depth
+
+    @property
+    def max_parallelism(self) -> int:
+        return max(self.level_widths, default=0)
+
+    def __repr__(self) -> str:
+        return (f"Schedule({self.size} gates over {self.depth} levels, "
+                f"max width {self.max_parallelism})")
+
+
+def schedule(circuit: Circuit) -> Schedule:
+    """Group gates by depth level (inputs/constants are level 0, free)."""
+    widths: Dict[int, int] = {}
+    for gid, op in enumerate(circuit.ops):
+        if op in (INPUT, CONST):
+            continue
+        level = circuit.depth_of(gid)
+        widths[level] = widths.get(level, 0) + 1
+    level_widths = [widths.get(i, 0) for i in range(1, circuit.depth + 1)]
+    return Schedule(
+        level_widths=level_widths,
+        size=circuit.size,
+        depth=circuit.depth,
+    )
+
+
+def speedup_curve(circuit: Circuit, processors: Sequence[int]) -> Dict[int, float]:
+    """Speed-up at each processor count (for the parallelism benchmark)."""
+    sched = schedule(circuit)
+    return {p: sched.speedup(p) for p in processors}

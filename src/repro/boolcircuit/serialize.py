@@ -1,0 +1,93 @@
+"""Circuit descriptions: serialisation and uniform generation (Section 4.2).
+
+Uniformity requires a deterministic machine that, given the *parameters*
+(query, degree constraints — never the data), outputs a description of the
+circuit.  Here the description is a line-oriented text format:
+
+    c repro word circuit v1
+    i                      # input gate
+    k <value>              # constant gate
+    g <op> <a> [b] [c]     # operator gate referencing earlier lines
+
+Gates are numbered by line order (topological by construction), so the
+description can be *streamed*: :func:`describe_lines` is a generator that
+never materialises more than one line — the log-space-style access pattern
+the paper's uniformity argument needs.  :func:`parse_lines` reconstructs a
+circuit, and two generations from identical parameters are byte-identical
+(tested), which is the operational content of uniformity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from . import graph as g
+
+_HEADER = "c repro word circuit v1"
+
+_OP_NAMES = {
+    g.ADD: "add", g.SUB: "sub", g.MUL: "mul", g.EQ: "eq", g.LT: "lt",
+    g.AND: "and", g.OR: "or", g.NOT: "not", g.XOR: "xor", g.MUX: "mux",
+    g.MIN: "min", g.MAX: "max",
+}
+_OP_CODES = {name: code for code, name in _OP_NAMES.items()}
+
+
+def describe_lines(circuit: g.Circuit) -> Iterator[str]:
+    """Stream the description, one gate per line."""
+    yield _HEADER
+    for gid, op in enumerate(circuit.ops):
+        if op == g.INPUT:
+            yield "i"
+        elif op == g.CONST:
+            yield f"k {circuit.consts[gid]}"
+        else:
+            refs = [x for x in (circuit.in_a[gid], circuit.in_b[gid],
+                                circuit.in_c[gid]) if x >= 0]
+            yield f"g {_OP_NAMES[op]} {' '.join(str(r) for r in refs)}"
+
+
+def describe(circuit: g.Circuit) -> str:
+    """The full description as one string."""
+    return "\n".join(describe_lines(circuit)) + "\n"
+
+
+def parse_lines(lines: Iterable[str]) -> g.Circuit:
+    """Rebuild a circuit from its description."""
+    it = iter(lines)
+    header = next(it, "").strip()
+    if header != _HEADER:
+        raise ValueError(f"bad header {header!r}")
+    circuit = g.Circuit()
+    for lineno, raw in enumerate(it, start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "i":
+            circuit.input()
+        elif parts[0] == "k":
+            # bypass the const cache to preserve gate numbering exactly
+            gid = circuit._gate(g.CONST)
+            circuit.consts[gid] = int(parts[1])
+        elif parts[0] == "g":
+            op = _OP_CODES.get(parts[1])
+            if op is None:
+                raise ValueError(f"line {lineno}: unknown op {parts[1]!r}")
+            refs = [int(x) for x in parts[2:]]
+            expected = {g.NOT: 1, g.MUX: 3}.get(op, 2)
+            if len(refs) != expected:
+                raise ValueError(
+                    f"line {lineno}: {parts[1]} needs {expected} refs")
+            for r in refs:
+                if not 0 <= r < len(circuit.ops):
+                    raise ValueError(f"line {lineno}: forward reference {r}")
+            padded = refs + [-1] * (3 - len(refs))
+            circuit._gate(op, *padded)
+        else:
+            raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+    return circuit
+
+
+def parse(text: str) -> g.Circuit:
+    return parse_lines(text.splitlines())

@@ -1,0 +1,129 @@
+"""Sorting networks (Section 5, ordering operator ``τ_F``).
+
+We use Batcher's bitonic sorter: ``O(K log² K)`` compare-exchange elements at
+``O(log² K)`` depth.  (The paper also cites AKS, which is ``O(K log K)`` but
+has galactic constants; both are ``Õ(K)``/``Õ(1)``.)  Dummy tuples always
+sort *after* every non-dummy tuple — the paper's convention, which makes
+truncation sound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .builder import ArrayBuilder, Bus, TupleArray
+
+
+def compare_exchange(b: ArrayBuilder, lo: Bus, hi: Bus, cols: Sequence[int],
+                     extra_cols: Optional[Sequence[int]] = None
+                     ) -> Tuple[Bus, Bus]:
+    """One comparator: route the key-smaller bus to the ``lo`` position."""
+    extras_lo = [lo.fields[c] for c in extra_cols] if extra_cols else ()
+    extras_hi = [hi.fields[c] for c in extra_cols] if extra_cols else ()
+    swap = b.key_less(hi, lo, cols, extra_a=extras_hi, extra_b=extras_lo)
+    new_lo = b.mux_bus(swap, hi, lo)
+    new_hi = b.mux_bus(swap, lo, hi)
+    return new_lo, new_hi
+
+
+def bitonic_sort(b: ArrayBuilder, array: TupleArray, key: Sequence[str],
+                 tiebreak_all: bool = True) -> TupleArray:
+    """Sort the array by ``key`` columns (dummies last).
+
+    With ``tiebreak_all`` (default) the remaining columns act as secondary
+    keys, making the order total and deterministic — matching the relational
+    interpreter's ``τ_F`` tie-breaking.
+    """
+    cols = [array.col(a) for a in key]
+    if tiebreak_all:
+        cols += [i for i in range(len(array.schema)) if i not in cols]
+    n = len(array.buses)
+    if n <= 1:
+        return array
+    # Pad to a power of two with dummies (sorted to the back, then dropped).
+    size = 1
+    while size < n:
+        size *= 2
+    buses = list(array.buses)
+    while len(buses) < size:
+        buses.append(b.dummy_bus(len(array.schema)))
+
+    # Standard iterative bitonic network.
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j >= 1:
+            for i in range(size):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    lo, hi = buses[i], buses[partner]
+                    new_lo, new_hi = compare_exchange(b, lo, hi, cols)
+                    if ascending:
+                        buses[i], buses[partner] = new_lo, new_hi
+                    else:
+                        buses[i], buses[partner] = new_hi, new_lo
+            j //= 2
+        k *= 2
+    return array.with_buses(buses[:n])
+
+
+def odd_even_merge_sort(b: ArrayBuilder, array: TupleArray, key: Sequence[str],
+                        tiebreak_all: bool = True) -> TupleArray:
+    """Batcher's odd-even mergesort: same O(K log² K) class as the bitonic
+    network but with ~25% fewer comparators — the ablation alternative."""
+    cols = [array.col(a) for a in key]
+    if tiebreak_all:
+        cols += [i for i in range(len(array.schema)) if i not in cols]
+    n = len(array.buses)
+    if n <= 1:
+        return array
+    size = 1
+    while size < n:
+        size *= 2
+    buses = list(array.buses)
+    while len(buses) < size:
+        buses.append(b.dummy_bus(len(array.schema)))
+
+    # Knuth's iterative formulation of Batcher's merge exchange.
+    p = 1
+    while p < size:
+        k = p
+        while k >= 1:
+            for j in range(k % p, size - k, 2 * k):
+                for i in range(min(k, size - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        lo, hi = buses[i + j], buses[i + j + k]
+                        new_lo, new_hi = compare_exchange(b, lo, hi, cols)
+                        buses[i + j], buses[i + j + k] = new_lo, new_hi
+            k //= 2
+        p *= 2
+    return array.with_buses(buses[:n])
+
+
+def attach_order(b: ArrayBuilder, array: TupleArray, key: Sequence[str],
+                 out_attr: str) -> TupleArray:
+    """The ordering operator ``τ_F``: sort, then append the 1-based slot
+    position as the order column.
+
+    Because dummies sort last, every non-dummy tuple's slot index equals its
+    rank among non-dummy tuples — exactly the paper's order number.
+    """
+    sorted_array = bitonic_sort(b, array, key)
+    buses = []
+    for i, bus in enumerate(sorted_array.buses):
+        buses.append(b.append_fields(bus, [b.c.const(i + 1)]))
+    return TupleArray(sorted_array.schema + (out_attr,), buses)
+
+
+def truncate(b: ArrayBuilder, array: TupleArray, m: int) -> TupleArray:
+    """The truncation operation of Section 5.3: compact non-dummies to the
+    front (a sort on the valid flag alone), then drop the tail slots.
+
+    Only sound when the caller can *prove* at most ``m`` tuples are valid —
+    the truncated slots are then all dummies.
+    """
+    if m >= len(array.buses):
+        return array
+    compacted = bitonic_sort(b, array, key=[], tiebreak_all=False)
+    return compacted.restrict(m)

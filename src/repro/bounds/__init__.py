@@ -1,0 +1,67 @@
+"""Polymatroid bounds, Shannon-flow inequalities, and proof sequences."""
+
+from .polymatroid import (
+    PolymatroidLP,
+    agm_bound,
+    all_subsets,
+    dapb,
+    entropy_of_relation,
+    is_entropic_point,
+    log_dapb,
+    solve_polymatroid_bound,
+)
+from .proof_steps import (
+    Composition,
+    Decomposition,
+    InvalidProofSequence,
+    Monotonicity,
+    ProofSequence,
+    ProofStep,
+    Submodularity,
+    WeightedStep,
+    fmt_delta,
+    fmt_term,
+    term,
+)
+from .proof_synthesis import (
+    SynthesisError,
+    SynthesizedProof,
+    chain_sequence,
+    search_sequence,
+    synthesize_proof,
+    weighted_cover,
+)
+from .shannon_flow import FlowInequality, semantic_gap, theorem1_inequality
+from . import canonical
+
+__all__ = [
+    "Composition",
+    "Decomposition",
+    "FlowInequality",
+    "InvalidProofSequence",
+    "Monotonicity",
+    "PolymatroidLP",
+    "ProofSequence",
+    "ProofStep",
+    "Submodularity",
+    "SynthesisError",
+    "SynthesizedProof",
+    "WeightedStep",
+    "agm_bound",
+    "all_subsets",
+    "canonical",
+    "chain_sequence",
+    "dapb",
+    "entropy_of_relation",
+    "fmt_delta",
+    "fmt_term",
+    "is_entropic_point",
+    "log_dapb",
+    "search_sequence",
+    "semantic_gap",
+    "solve_polymatroid_bound",
+    "synthesize_proof",
+    "term",
+    "theorem1_inequality",
+    "weighted_cover",
+]

@@ -1,0 +1,112 @@
+"""Canonical proof sequences for standard queries.
+
+The library maps a string key to a builder
+``(variables, dc, target) -> (FlowInequality, ProofSequence)``.  Entries are
+verified by the caller (:func:`repro.bounds.proof_synthesis.synthesize_proof`)
+before use, so a buggy entry cannot produce an unsound circuit.
+
+The flagship entry is the paper's triangle sequence (3):
+
+    ProofSeq = (s_{AB,C}, d_{BC,C}, s_{BC,AC}, c_{C,ABC}, c_{AC,ABC})
+
+normalised to ``λ_{ABC} = 1`` (all weights 1/2), proving
+``½h(AB) + ½h(BC) + ½h(AC) ≥ h(ABC)`` — the AGM bound ``N^{3/2}``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..cq.degree import DCSet
+from ..cq.relation import AttrSet, attrset
+from .proof_steps import (
+    Composition,
+    Decomposition,
+    Monotonicity,
+    ProofSequence,
+    Submodularity,
+)
+from .shannon_flow import FlowInequality
+
+EMPTY: AttrSet = frozenset()
+
+Builder = Callable[[AttrSet, DCSet, AttrSet], Tuple[FlowInequality, ProofSequence]]
+
+_REGISTRY: Dict[str, Builder] = {}
+
+
+def register(key: str, builder: Builder) -> None:
+    """Register a canonical proof-sequence builder under ``key``."""
+    _REGISTRY[key] = builder
+
+
+def lookup(key: str) -> Optional[Builder]:
+    return _REGISTRY.get(key)
+
+
+def keys() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Triangle (paper Example 2, proof sequence (3))
+# ---------------------------------------------------------------------------
+
+def triangle_builder(variables: AttrSet, dc: DCSet, target: AttrSet
+                     ) -> Tuple[FlowInequality, ProofSequence]:
+    """The paper's sequence (3) for the triangle Q△ = R_AB ⋈ R_BC ⋈ R_AC.
+
+    Variable names are discovered from the cardinality constraints: the three
+    binary relations over pairwise-overlapping schemas determine the roles of
+    A, B, C up to symmetry (A–B from the edge missing C, and so on).
+    """
+    if len(variables) != 3 or target != variables:
+        raise ValueError("triangle builder needs exactly 3 variables, full target")
+    edges = [c.y for c in dc.cardinalities if len(c.y) == 2 and c.y <= variables]
+    if len(set(edges)) != 3:
+        raise ValueError("triangle builder needs the three binary edges in DC")
+    a, b, c = sorted(variables)
+    ab = frozenset({a, b})
+    bc = frozenset({b, c})
+    ac = frozenset({a, c})
+    abc = variables
+    half = Fraction(1, 2)
+
+    seq = ProofSequence()
+    seq.append(Submodularity(ab, frozenset({c})), half)   # (∅,AB)  → (C,ABC)
+    seq.append(Decomposition(bc, frozenset({c})), half)   # (∅,BC)  → (∅,C)+(C,BC)
+    seq.append(Submodularity(bc, ac), half)               # (C,BC)  → (AC,ABC)
+    seq.append(Composition(frozenset({c}), abc), half)    # (∅,C)+(C,ABC) → (∅,ABC)
+    seq.append(Composition(ac, abc), half)                # (∅,AC)+(AC,ABC) → (∅,ABC)
+
+    ineq = FlowInequality(
+        universe=variables,
+        delta={(EMPTY, ab): half, (EMPTY, bc): half, (EMPTY, ac): half},
+        lam={abc: Fraction(1)},
+    )
+    return ineq, seq
+
+
+register("triangle", triangle_builder)
+
+
+# ---------------------------------------------------------------------------
+# Loomis–Whitney LW3 (same hypergraph as the triangle; alias for clarity)
+# ---------------------------------------------------------------------------
+
+register("lw3", triangle_builder)
+
+
+def detect(variables: AttrSet, dc: DCSet) -> Optional[str]:
+    """Shape-match ``(variables, DC)`` against the canonical library.
+
+    Currently recognises the triangle / LW3 hypergraph: three variables with
+    cardinality constraints on all three 2-subsets.  Used by
+    ``synthesize_proof(..., canonical_key="auto")``.
+    """
+    if len(variables) == 3:
+        pairs = {c.y for c in dc.cardinalities if len(c.y) == 2 and c.y <= variables}
+        if len(pairs) == 3:
+            return "triangle"
+    return None

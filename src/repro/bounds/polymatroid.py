@@ -1,0 +1,240 @@
+"""The (degree-aware) polymatroid bound ``DAPB`` (Section 3.2).
+
+``LOGDAPB(Q) = max { h([n]) : h ∈ Γ_n ∩ HDC }`` where ``Γ_n`` is the
+polymatroid cone (monotone, submodular, ``h(∅)=0``) and ``HDC`` adds
+``h(Y) - h(X) ≤ log N_{Y|X}`` per degree constraint.
+
+We solve the LP over variables ``h(S)`` for all ``S ⊆ vars`` using the
+*elemental* Shannon inequalities, which generate the full polymatroid cone:
+
+* elemental monotonicity: ``h(V) ≥ h(V \\ {i})`` for each variable ``i``;
+* elemental submodularity:
+  ``h(S ∪ {i}) + h(S ∪ {j}) ≥ h(S ∪ {i,j}) + h(S)`` for ``i ≠ j ∉ S``.
+
+The LP dual on the degree-constraint rows yields the vector ``δ`` of
+Theorem 1: ``⟨δ, h⟩ ≥ h([n])`` is a Shannon-flow inequality with
+``Σ δ_{Y|X} · n_{Y|X} = LOGDAPB(Q)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..cq.degree import DCSet, DegreeConstraint
+from ..cq.query import ConjunctiveQuery
+from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
+
+Term = Tuple[AttrSet, AttrSet]  # (X, Y) with X ⊂ Y, meaning h(Y|X)
+
+MAX_LP_VARS = 10
+
+
+def all_subsets(variables: Iterable[Attr]) -> List[AttrSet]:
+    """All subsets of ``variables`` in size-then-lexicographic order."""
+    vs = sorted(variables)
+    out: List[AttrSet] = []
+    for k in range(len(vs) + 1):
+        for combo in itertools.combinations(vs, k):
+            out.append(frozenset(combo))
+    return out
+
+
+@dataclass
+class PolymatroidLP:
+    """A solved polymatroid-bound LP.
+
+    Attributes
+    ----------
+    log_bound:
+        The optimum ``max h(target)`` in bits (``LOGDAPB`` when the target is
+        the full variable set).
+    optimum:
+        The optimal polymatroid, as a map ``subset -> h(subset)``.
+    delta:
+        Dual weights on the degree-constraint rows: ``(X, Y) -> Fraction``,
+        satisfying Theorem 1 (up to LP numerical tolerance, then
+        rationalised).
+    """
+
+    variables: AttrSet
+    target: AttrSet
+    log_bound: float
+    optimum: Dict[AttrSet, float]
+    delta: Dict[Term, Fraction]
+
+    @property
+    def bound(self) -> float:
+        """``DAPB = 2^LOGDAPB`` (may be fractional; callers usually ceil)."""
+        return 2.0 ** self.log_bound
+
+
+def _rationalise(value: float, max_denominator: int = 4096) -> Fraction:
+    frac = Fraction(value).limit_denominator(max_denominator)
+    return frac
+
+
+def solve_polymatroid_bound(variables: Iterable[Attr], dc: DCSet,
+                            target: Optional[Iterable[Attr]] = None) -> PolymatroidLP:
+    """Maximise ``h(target)`` over ``Γ_n ∩ HDC``.
+
+    Parameters
+    ----------
+    variables:
+        The query variables ``[n]``.
+    dc:
+        Degree constraints; each contributes ``h(Y) - h(X) ≤ log2(bound)``.
+    target:
+        Defaults to the full variable set.
+    """
+    variables = frozenset(variables)
+    if len(variables) > MAX_LP_VARS:
+        raise ValueError(
+            f"polymatroid LP limited to {MAX_LP_VARS} variables "
+            f"(data complexity: query size is constant), got {len(variables)}"
+        )
+    target_set = variables if target is None else frozenset(target)
+    if not target_set <= variables:
+        raise ValueError("target must be a subset of the variables")
+
+    subsets = all_subsets(variables)
+    index = {s: i for i, s in enumerate(subsets)}
+    nvar = len(subsets)
+
+    a_rows: List[np.ndarray] = []
+    b_vals: List[float] = []
+    dc_row_of: Dict[Term, int] = {}
+
+    def add_row(coeffs: Dict[AttrSet, float], rhs: float) -> int:
+        row = np.zeros(nvar)
+        for s, c in coeffs.items():
+            row[index[s]] += c
+        a_rows.append(row)
+        b_vals.append(rhs)
+        return len(a_rows) - 1
+
+    # Elemental monotonicity: h(V \ {i}) - h(V) <= 0.
+    for v in sorted(variables):
+        add_row({variables - {v}: 1.0, variables: -1.0}, 0.0)
+    # Elemental submodularity:
+    #   h(S∪{i,j}) + h(S) - h(S∪{i}) - h(S∪{j}) <= 0.
+    for i, j in itertools.combinations(sorted(variables), 2):
+        rest = variables - {i, j}
+        for s in all_subsets(rest):
+            add_row(
+                {s | {i, j}: 1.0, s: 1.0, s | {i}: -1.0, s | {j}: -1.0}, 0.0
+            )
+    # Degree constraints: h(Y) - h(X) <= log2 bound.
+    for c in dc:
+        if not c.y <= variables:
+            continue
+        row_id = add_row({c.y: 1.0, c.x: -1.0}, math.log2(c.bound))
+        dc_row_of[(c.x, c.y)] = row_id
+
+    if not dc_row_of:
+        raise ValueError("no applicable degree constraints: the bound is unbounded")
+
+    a_ub = np.vstack(a_rows)
+    b_ub = np.array(b_vals)
+    # h(∅) = 0 fixed via equality.
+    a_eq = np.zeros((1, nvar))
+    a_eq[0, index[frozenset()]] = 1.0
+    b_eq = np.array([0.0])
+    c_obj = np.zeros(nvar)
+    c_obj[index[target_set]] = -1.0
+
+    res = linprog(c_obj, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=[(0, None)] * nvar, method="highs")
+    if not res.success:
+        if "unbounded" in (res.message or "").lower() or res.status == 3:
+            raise ValueError(
+                "polymatroid bound is unbounded: the degree constraints do "
+                "not cover all variables"
+            )
+        raise RuntimeError(f"polymatroid LP failed: {res.message}")
+
+    optimum = {s: float(res.x[index[s]]) for s in subsets}
+    log_bound = -float(res.fun)
+
+    delta: Dict[Term, Fraction] = {}
+    marginals = res.ineqlin.marginals  # ≤ 0 for binding ≤-rows under HiGHS.
+    for term, row_id in dc_row_of.items():
+        weight = -float(marginals[row_id])
+        if weight > 1e-9:
+            delta[term] = _rationalise(weight)
+
+    return PolymatroidLP(
+        variables=variables,
+        target=target_set,
+        log_bound=log_bound,
+        optimum=optimum,
+        delta=delta,
+    )
+
+
+def log_dapb(query: ConjunctiveQuery, dc: DCSet) -> float:
+    """``LOGDAPB(Q)`` for an FCQ under ``dc`` (Section 3.2)."""
+    return solve_polymatroid_bound(query.variables, dc).log_bound
+
+
+def dapb(query: ConjunctiveQuery, dc: DCSet) -> int:
+    """``DAPB(Q) = 2^LOGDAPB(Q)`` rounded up to an integer."""
+    return int(math.ceil(2.0 ** log_dapb(query, dc) - 1e-9))
+
+
+def agm_bound(query: ConjunctiveQuery, dc: DCSet) -> float:
+    """The AGM bound: the polymatroid bound using only cardinality rows.
+
+    Sanity anchor — under cardinality-only constraints the two coincide.
+    """
+    cards = DCSet(c for c in dc if c.is_cardinality)
+    return 2.0 ** solve_polymatroid_bound(query.variables, cards).log_bound
+
+
+def is_entropic_point(h: Dict[AttrSet, float], tolerance: float = 1e-9) -> bool:
+    """Check the elemental Shannon inequalities on an explicit set function.
+
+    (Every entropic function passes; for n ≥ 4 the converse fails, which is
+    exactly why the polymatroid bound can exceed the entropic bound.)
+    """
+    variables = frozenset().union(*h.keys()) if h else frozenset()
+    if h.get(frozenset(), 0.0) > tolerance:
+        return False
+    for v in variables:
+        if h[variables - {v}] > h[variables] + tolerance:
+            return False
+    for i, j in itertools.combinations(sorted(variables), 2):
+        for s in all_subsets(variables - {i, j}):
+            lhs = h[s | {i}] + h[s | {j}]
+            rhs = h[s | {i, j}] + h[s]
+            if lhs + tolerance < rhs:
+                return False
+    return True
+
+
+def entropy_of_relation(rows: Sequence[Tuple[int, ...]], schema: Sequence[Attr]
+                        ) -> Dict[AttrSet, float]:
+    """Marginal entropies (bits) of the uniform distribution over ``rows``.
+
+    This realises the paper's entropic side: for the uniform distribution on
+    the output of a join, ``h(F)`` is the entropy of the marginal on ``F``.
+    Used by tests to witness ``log |Q(D)| ≤ entropic bound ≤ DAPB``.
+    """
+    if not rows:
+        return {s: 0.0 for s in all_subsets(schema)}
+    n = len(rows)
+    out: Dict[AttrSet, float] = {}
+    for s in all_subsets(schema):
+        pos = [i for i, a in enumerate(schema) if a in s]
+        counts: Dict[Tuple[int, ...], int] = {}
+        for row in rows:
+            key = tuple(row[p] for p in pos)
+            counts[key] = counts.get(key, 0) + 1
+        out[s] = -sum((c / n) * math.log2(c / n) for c in counts.values())
+    return out

@@ -1,0 +1,252 @@
+"""Proof steps and proof sequences (Section 3.4).
+
+A term ``(X, Y)`` with ``X ⊆ Y`` stands for ``h(Y|X) = h(Y) - h(X)``; the
+unconditional ``h(Y)`` is the term ``(∅, Y)``.  A *proof step* is one of the
+four rules, encoded as the "rule vector" it adds to the working vector ``δ``:
+
+* submodularity ``s_{I,J}``:  -1 on ``(I∩J, I)``,  +1 on ``(J, I∪J)``
+* monotonicity  ``m_{X,Y}``:  -1 on ``(∅, Y)``,    +1 on ``(∅, X)``
+* composition   ``c_{X,Y}``:  -1 on ``(∅, X)`` and ``(X, Y)``, +1 on ``(∅, Y)``
+* decomposition ``d_{Y,X}``:  -1 on ``(∅, Y)``,    +1 on ``(∅, X)`` and ``(X, Y)``
+
+A :class:`ProofSequence` is a list of weighted steps; it *proves* the
+Shannon-flow inequality ``⟨δ, h⟩ ≥ ⟨λ, h⟩`` if every intermediate vector is
+non-negative and the final vector dominates ``λ`` element-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
+
+Term = Tuple[AttrSet, AttrSet]
+DeltaVector = Dict[Term, Fraction]
+
+EMPTY: AttrSet = frozenset()
+
+
+def term(x: Iterable[Attr], y: Iterable[Attr]) -> Term:
+    """Build the canonical term ``(X, Y)`` and validate ``X ⊂ Y``."""
+    xs, ys = attrset(x), attrset(y)
+    if not xs < ys:
+        raise ValueError(f"term needs X ⊂ Y, got ({fmt_attrs(xs)}, {fmt_attrs(ys)})")
+    return (xs, ys)
+
+
+def fmt_term(t: Term) -> str:
+    x, y = t
+    if not x:
+        return f"h({fmt_attrs(y)})"
+    return f"h({fmt_attrs(y)}|{fmt_attrs(x)})"
+
+
+def fmt_delta(delta: Mapping[Term, Fraction]) -> str:
+    parts = [
+        f"{w}·{fmt_term(t)}"
+        for t, w in sorted(delta.items(), key=lambda kv: (sorted(kv[0][1]), sorted(kv[0][0])))
+        if w
+    ]
+    return " + ".join(parts) if parts else "0"
+
+
+class ProofStep:
+    """Base class; subclasses define :meth:`vector` and a display name."""
+
+    kind = "?"
+
+    def vector(self) -> DeltaVector:
+        raise NotImplementedError
+
+    def consumed(self) -> List[Term]:
+        """Terms with a -1 entry (weight is drawn from these)."""
+        return [t for t, v in self.vector().items() if v < 0]
+
+    def produced(self) -> List[Term]:
+        return [t for t, v in self.vector().items() if v > 0]
+
+
+@dataclass(frozen=True)
+class Submodularity(ProofStep):
+    """``s_{I,J}``: h(I | I∩J) ≥ h(I∪J | J).  Requires I ⊄ J and J ⊄ I
+    to be non-trivial; a no-op step is rejected."""
+
+    i: AttrSet
+    j: AttrSet
+    kind = "s"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "i", attrset(self.i))
+        object.__setattr__(self, "j", attrset(self.j))
+        if self.i <= self.j or self.j <= self.i:
+            raise ValueError(
+                f"trivial submodularity step I={fmt_attrs(self.i)} J={fmt_attrs(self.j)}"
+            )
+
+    def vector(self) -> DeltaVector:
+        return {
+            (self.i & self.j, self.i): Fraction(-1),
+            (self.j, self.i | self.j): Fraction(1),
+        }
+
+    def __repr__(self) -> str:
+        return f"s_{{{fmt_attrs(self.i)},{fmt_attrs(self.j)}}}"
+
+
+@dataclass(frozen=True)
+class Monotonicity(ProofStep):
+    """``m_{X,Y}``: h(Y) ≥ h(X) for X ⊂ Y."""
+
+    x: AttrSet
+    y: AttrSet
+    kind = "m"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", attrset(self.x))
+        object.__setattr__(self, "y", attrset(self.y))
+        if not (self.x < self.y) or not self.x:
+            raise ValueError(f"monotonicity needs ∅ ⊂ X ⊂ Y, got {self}")
+
+    def vector(self) -> DeltaVector:
+        return {(EMPTY, self.y): Fraction(-1), (EMPTY, self.x): Fraction(1)}
+
+    def __repr__(self) -> str:
+        return f"m_{{{fmt_attrs(self.x)},{fmt_attrs(self.y)}}}"
+
+
+@dataclass(frozen=True)
+class Composition(ProofStep):
+    """``c_{X,Y}``: h(X) + h(Y|X) ≥ h(Y)."""
+
+    x: AttrSet
+    y: AttrSet
+    kind = "c"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", attrset(self.x))
+        object.__setattr__(self, "y", attrset(self.y))
+        if not (self.x < self.y) or not self.x:
+            raise ValueError(f"composition needs ∅ ⊂ X ⊂ Y, got {self}")
+
+    def vector(self) -> DeltaVector:
+        return {
+            (EMPTY, self.x): Fraction(-1),
+            (self.x, self.y): Fraction(-1),
+            (EMPTY, self.y): Fraction(1),
+        }
+
+    def __repr__(self) -> str:
+        return f"c_{{{fmt_attrs(self.x)},{fmt_attrs(self.y)}}}"
+
+
+@dataclass(frozen=True)
+class Decomposition(ProofStep):
+    """``d_{Y,X}``: h(Y) ≥ h(X) + h(Y|X)."""
+
+    y: AttrSet
+    x: AttrSet
+    kind = "d"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "y", attrset(self.y))
+        object.__setattr__(self, "x", attrset(self.x))
+        if not (self.x < self.y) or not self.x:
+            raise ValueError(f"decomposition needs ∅ ⊂ X ⊂ Y, got {self}")
+
+    def vector(self) -> DeltaVector:
+        return {
+            (EMPTY, self.y): Fraction(-1),
+            (EMPTY, self.x): Fraction(1),
+            (self.x, self.y): Fraction(1),
+        }
+
+    def __repr__(self) -> str:
+        return f"d_{{{fmt_attrs(self.y)},{fmt_attrs(self.x)}}}"
+
+
+@dataclass(frozen=True)
+class WeightedStep:
+    weight: Fraction
+    step: ProofStep
+
+    def __repr__(self) -> str:
+        if self.weight == 1:
+            return repr(self.step)
+        return f"{self.weight}·{self.step!r}"
+
+
+class InvalidProofSequence(ValueError):
+    """Raised when a proof sequence fails verification."""
+
+
+class ProofSequence:
+    """A weighted sequence of proof steps with a verifier.
+
+    ``verify(delta, lam)`` checks the three conditions of Section 3.4:
+    the starting vector is ``delta``; every intermediate vector stays
+    non-negative; the final vector dominates ``lam``.
+    """
+
+    def __init__(self, steps: Iterable[WeightedStep] = ()):
+        self.steps: List[WeightedStep] = list(steps)
+
+    def __iter__(self) -> Iterator[WeightedStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return f"ProofSeq({', '.join(repr(s) for s in self.steps)})"
+
+    def append(self, step: ProofStep, weight: Fraction = Fraction(1)) -> None:
+        if weight <= 0:
+            raise ValueError("step weight must be positive")
+        self.steps.append(WeightedStep(Fraction(weight), step))
+
+    def trajectory(self, delta: Mapping[Term, Fraction]) -> Iterator[DeltaVector]:
+        """Yield ``δ_0, δ_1, ..., δ_ℓ`` (each a fresh dict)."""
+        current: DeltaVector = {t: Fraction(w) for t, w in delta.items() if w}
+        yield dict(current)
+        for ws in self.steps:
+            for t, coeff in ws.step.vector().items():
+                current[t] = current.get(t, Fraction(0)) + ws.weight * coeff
+                if not current[t]:
+                    del current[t]
+            yield dict(current)
+
+    def final(self, delta: Mapping[Term, Fraction]) -> DeltaVector:
+        last: DeltaVector = {}
+        for last in self.trajectory(delta):
+            pass
+        return last
+
+    def verify(self, delta: Mapping[Term, Fraction],
+               lam: Mapping[AttrSet, Fraction]) -> None:
+        """Raise :class:`InvalidProofSequence` unless the sequence is valid."""
+        vectors = list(self.trajectory(delta))
+        for i, vec in enumerate(vectors):
+            negative = {t: w for t, w in vec.items() if w < 0}
+            if negative:
+                step = self.steps[i - 1] if i else "initial δ"
+                raise InvalidProofSequence(
+                    f"δ_{i} negative on {fmt_delta(negative)} after {step!r}"
+                )
+        finalvec = vectors[-1]
+        for y, needed in lam.items():
+            have = finalvec.get((EMPTY, frozenset(y)), Fraction(0))
+            if have < needed:
+                raise InvalidProofSequence(
+                    f"final vector has {have} on h({fmt_attrs(y)}), needs {needed}; "
+                    f"final = {fmt_delta(finalvec)}"
+                )
+
+    def is_valid(self, delta: Mapping[Term, Fraction],
+                 lam: Mapping[AttrSet, Fraction]) -> bool:
+        try:
+            self.verify(delta, lam)
+        except InvalidProofSequence:
+            return False
+        return True

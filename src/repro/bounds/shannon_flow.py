@@ -1,0 +1,140 @@
+"""Shannon-flow inequalities (Section 3.3).
+
+A Shannon-flow inequality is ``⟨δ, h⟩ ≥ ⟨λ, h⟩`` holding for every
+polymatroid ``h ∈ Γ_n``.  We bundle ``(δ, λ)`` with the variable universe and
+provide an LP-based semantic validity check (independent of proof sequences):
+minimise ``⟨δ, h⟩ - ⟨λ, h⟩`` over the polymatroid cone intersected with a box;
+the inequality is valid iff the minimum is ≥ 0 (homogeneity makes the box
+restriction harmless).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..cq.degree import DCSet
+from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
+from .polymatroid import all_subsets
+from .proof_steps import DeltaVector, Term, fmt_delta
+
+EMPTY: AttrSet = frozenset()
+
+
+@dataclass
+class FlowInequality:
+    """``⟨δ, h⟩ ≥ ⟨λ, h⟩`` over the variables ``universe``.
+
+    ``delta`` is keyed by ``(X, Y)`` terms; ``lam`` by target sets ``Y``
+    (the paper's ``λ_Y``; λ lives on unconditional terms only).
+    """
+
+    universe: AttrSet
+    delta: Dict[Term, Fraction]
+    lam: Dict[AttrSet, Fraction]
+
+    def __post_init__(self) -> None:
+        self.universe = attrset(self.universe)
+        self.delta = {t: Fraction(w) for t, w in self.delta.items() if w}
+        self.lam = {attrset(y): Fraction(w) for y, w in self.lam.items() if w}
+        for (x, y) in self.delta:
+            if not (x < y and y <= self.universe):
+                raise ValueError(f"bad δ term ({fmt_attrs(x)}, {fmt_attrs(y)})")
+        for y in self.lam:
+            if not y <= self.universe or not y:
+                raise ValueError(f"bad λ target {fmt_attrs(y)}")
+
+    @property
+    def lam_norm(self) -> Fraction:
+        """``‖λ‖₁`` (Theorem 2 assumes this is 1)."""
+        return sum(self.lam.values(), Fraction(0))
+
+    def __repr__(self) -> str:
+        lam_as_terms = {(EMPTY, y): w for y, w in self.lam.items()}
+        return f"{fmt_delta(self.delta)} ≥ {fmt_delta(lam_as_terms)}"
+
+    def log_budget(self, dc: DCSet) -> float:
+        """``Σ_{(X,Y)∈DC} δ_{Y|X} · n_{Y|X}`` — equals LOGDAPB for the
+        Theorem-1 inequality."""
+        total = 0.0
+        for (x, y), w in self.delta.items():
+            c = dc.lookup(x, y)
+            if c is None:
+                raise ValueError(
+                    f"δ term ({fmt_attrs(x)},{fmt_attrs(y)}) has no constraint in DC"
+                )
+            total += float(w) * c.log_bound
+        return total
+
+    def is_semantically_valid(self, tolerance: float = 1e-7) -> bool:
+        """LP check that the inequality holds for every polymatroid."""
+        return semantic_gap(self) >= -tolerance
+
+
+def semantic_gap(ineq: FlowInequality) -> float:
+    """``min ⟨δ-λ, h⟩`` over box-bounded polymatroids (≥ 0 iff valid)."""
+    variables = ineq.universe
+    subsets = all_subsets(variables)
+    index = {s: i for i, s in enumerate(subsets)}
+    nvar = len(subsets)
+    n = len(variables)
+
+    a_rows = []
+    b_vals = []
+
+    def add_row(coeffs: Dict[AttrSet, float], rhs: float) -> None:
+        row = np.zeros(nvar)
+        for s, c in coeffs.items():
+            row[index[s]] += c
+        a_rows.append(row)
+        b_vals.append(rhs)
+
+    for v in sorted(variables):
+        add_row({variables - {v}: 1.0, variables: -1.0}, 0.0)
+    for i, j in itertools.combinations(sorted(variables), 2):
+        for s in all_subsets(variables - {i, j}):
+            add_row({s | {i, j}: 1.0, s: 1.0, s | {i}: -1.0, s | {j}: -1.0}, 0.0)
+
+    a_eq = np.zeros((1, nvar))
+    a_eq[0, index[EMPTY]] = 1.0
+
+    c_obj = np.zeros(nvar)
+    for (x, y), w in ineq.delta.items():
+        c_obj[index[y]] += float(w)
+        c_obj[index[x]] -= float(w)
+    for y, w in ineq.lam.items():
+        c_obj[index[y]] -= float(w)
+
+    res = linprog(
+        c_obj,
+        A_ub=np.vstack(a_rows),
+        b_ub=np.array(b_vals),
+        A_eq=a_eq,
+        b_eq=np.array([0.0]),
+        bounds=[(0, float(n))] * nvar,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"validity LP failed: {res.message}")
+    return float(res.fun)
+
+
+def theorem1_inequality(variables: Iterable[Attr], dc: DCSet,
+                        target: Optional[Iterable[Attr]] = None) -> FlowInequality:
+    """The Theorem-1 inequality: δ from the polymatroid-LP dual, λ = 1 on
+    the target set."""
+    from .polymatroid import solve_polymatroid_bound
+
+    variables = attrset(variables)
+    target_set = variables if target is None else attrset(target)
+    lp = solve_polymatroid_bound(variables, dc, target=target_set)
+    return FlowInequality(
+        universe=variables,
+        delta=dict(lp.delta),
+        lam={target_set: Fraction(1)},
+    )

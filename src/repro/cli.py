@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``bound``    — polymatroid bound / AGM bound / widths for a query
+``proof``    — synthesize and print the Shannon-flow proof sequence
+``compile``  — compile a query to a relational circuit and print stats
+``lower``    — additionally lower to a word circuit (small N)
+``ghd``      — show the best free-connex GHD and width measures
+
+Queries use the datalog-ish syntax of :func:`repro.cq.parse_query`, e.g.::
+
+    python -m repro bound "R(A,B), S(B,C), T(A,C)" -n 1000
+    python -m repro compile "R(A,B), S(B,C), T(A,C)" -n 64 --canonical triangle
+    python -m repro bound "R(A,B), S(B,C)" -n 100 --degree "B->BC:5"
+
+Degree constraints: ``--degree "X->Y:bound"`` where X and Y are attribute
+strings (one letter per attribute) and Y names the guarded relation schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from .bounds import log_dapb, synthesize_proof
+from .cq import DCSet, DegreeConstraint, cardinality, parse_query
+from .cq.relation import fmt_attrs
+
+
+def _parse_degree(spec: str) -> DegreeConstraint:
+    try:
+        lhs, bound = spec.rsplit(":", 1)
+        x, y = lhs.split("->")
+        return DegreeConstraint(frozenset(x.strip()), frozenset(y.strip()),
+                                int(bound))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad degree constraint {spec!r}; expected 'X->Y:bound'") from exc
+
+
+def _build_dc(args) -> DCSet:
+    query = parse_query(args.query)
+    dc = DCSet(cardinality(a.varset, args.n) for a in query.atoms)
+    for constraint in args.degree or []:
+        dc.add(constraint)
+    return dc
+
+
+def cmd_bound(args) -> int:
+    query = parse_query(args.query)
+    dc = _build_dc(args)
+    logb = log_dapb(query, dc)
+    print(f"query:      {query}")
+    print(f"N per atom: {args.n}")
+    for c in dc:
+        print(f"constraint: {c!r}")
+    print(f"LOGDAPB:    {logb:.4f} bits")
+    print(f"DAPB:       {math.ceil(2 ** logb):,} tuples")
+    return 0
+
+
+def cmd_proof(args) -> int:
+    query = parse_query(args.query)
+    dc = _build_dc(args)
+    proof = synthesize_proof(query.variables, dc,
+                             canonical_key=args.canonical)
+    print(f"query:    {query}")
+    print(f"route:    {proof.route}")
+    print(f"budget:   2^{proof.log_budget:.3f}  (LOGDAPB = {proof.log_dapb:.3f},"
+          f" optimal: {proof.optimal})")
+    print(f"δ:        {proof.inequality!r}")
+    print("sequence:")
+    for i, ws in enumerate(proof.sequence, 1):
+        print(f"  {i:>3}. {ws!r}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from .core import compile_fcq
+
+    query = parse_query(args.query)
+    if not query.is_full:
+        print("compile expects a full query (use the library's "
+              "OutputSensitiveFamily for projections)", file=sys.stderr)
+        return 2
+    dc = _build_dc(args)
+    circuit, report = compile_fcq(query, dc, canonical_key=args.canonical)
+    print(f"query:              {query}")
+    print(f"DAPB:               {report.dapb:,}")
+    print(f"relational gates:   {circuit.size}")
+    print(f"relational depth:   {circuit.depth()}")
+    print(f"cost (§4.3):        {circuit.cost():,}")
+    print(f"decomposition branches: {report.branches}")
+    print(f"DAPB checks passed: {report.all_checks_passed} "
+          f"({len(report.checks)} joins, "
+          f"{sum(c.replanned for c in report.checks)} re-planned)")
+    if args.verbose:
+        print("\n" + circuit.describe())
+    return 0
+
+
+def cmd_lower(args) -> int:
+    from .boolcircuit.lower import lower
+    from .core import compile_fcq
+
+    query = parse_query(args.query)
+    dc = _build_dc(args)
+    circuit, _ = compile_fcq(query, dc, canonical_key=args.canonical)
+    lowered = lower(circuit)
+    print(f"query:          {query}")
+    print(f"relational cost: {circuit.cost():,}")
+    print(f"word gates:      {lowered.size:,}")
+    print(f"word depth:      {lowered.depth:,}")
+    if args.bits:
+        from .boolcircuit import bit_blast
+        blasted = bit_blast(lowered.circuit, word_bits=args.bits)
+        print(f"boolean gates ({args.bits}-bit words): {blasted.size:,}")
+        print(f"  of which AND/OR (garbling cost):     "
+              f"{blasted.boolean.and_count:,}")
+        print(f"boolean depth:                         {blasted.depth:,}")
+    return 0
+
+
+def cmd_ghd(args) -> int:
+    from .ghd import da_fhtw, da_subw
+
+    query = parse_query(args.query)
+    dc = _build_dc(args)
+    result = da_fhtw(query, dc)
+    print(f"query:    {query}")
+    print(f"da-fhtw:  {result.width:.4f} bits  (bag bound "
+          f"{result.size_bound:,} tuples)")
+    print(f"GHD:      {result.ghd!r}")
+    region = result.ghd.free_connex_region(query.free)
+    if region is not None:
+        bags = ", ".join(fmt_attrs(result.ghd.bags[i]) for i in sorted(region))
+        print(f"free-connex region: [{bags}]")
+    else:
+        print("free-connex region: none (worst-case fallback applies)")
+    if args.subw:
+        print(f"da-subw:  {da_subw(query, dc):.4f} bits")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .cq import database_from_dir, suggest_constraints
+
+    query = parse_query(args.query)
+    db = database_from_dir(args.data, query)
+    dc = suggest_constraints(query, db, max_key_size=args.max_key,
+                             headroom=args.headroom)
+    print(f"query: {query}")
+    print(f"data:  {args.data} ({db.total_size} tuples)")
+    print("discovered constraints:")
+    for c in dc:
+        kind = ("cardinality" if c.is_cardinality
+                else "FD" if c.is_fd else "degree")
+        print(f"  {c!r}   # {kind}")
+    logb = log_dapb(query, dc)
+    print(f"LOGDAPB under these constraints: {logb:.4f} bits "
+          f"(DAPB = {math.ceil(2 ** logb):,})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query Evaluation by Circuits (PODS 2022) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("query", help="datalog-style query string")
+        p.add_argument("-n", type=int, default=100,
+                       help="cardinality bound per relation (default 100)")
+        p.add_argument("--degree", action="append", type=_parse_degree,
+                       metavar="X->Y:b", help="degree constraint (repeatable)")
+
+    p = sub.add_parser("bound", help="polymatroid bound DAPB(Q)")
+    common(p)
+    p.set_defaults(func=cmd_bound)
+
+    p = sub.add_parser("proof", help="synthesize a proof sequence")
+    common(p)
+    p.add_argument("--canonical", help="canonical-library key (e.g. triangle)")
+    p.set_defaults(func=cmd_proof)
+
+    p = sub.add_parser("compile", help="compile to a relational circuit")
+    common(p)
+    p.add_argument("--canonical", help="canonical-library key")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every gate")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("lower", help="lower to a word circuit (small N!)")
+    common(p)
+    p.add_argument("--canonical", help="canonical-library key")
+    p.add_argument("--bits", type=int, default=0,
+                   help="also bit-blast at this word width")
+    p.set_defaults(func=cmd_lower)
+
+    p = sub.add_parser("stats", help="discover degree constraints from CSVs")
+    p.add_argument("query", help="datalog-style query string")
+    p.add_argument("data", help="directory of <atom>.csv files")
+    p.add_argument("--max-key", type=int, default=2,
+                   help="profile degree keys up to this size (default 2)")
+    p.add_argument("--headroom", type=int, default=1,
+                   help="multiply observed bounds before rounding")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("ghd", help="best free-connex GHD and widths")
+    common(p)
+    p.add_argument("--subw", action="store_true",
+                   help="also compute da-subw (slow for large queries)")
+    p.set_defaults(func=cmd_ghd)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

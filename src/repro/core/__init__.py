@@ -1,0 +1,43 @@
+"""The paper's primary contribution: PANDA-C and the circuit pipeline."""
+
+from .decompose import Piece, decompose
+from .panda_c import (
+    JoinCheck,
+    PandaC,
+    PandaError,
+    PandaReport,
+    compile_fcq,
+    panda_c,
+)
+from .aggregate_c import AggregateCircuit, aggregate_c, ram_join_aggregate
+from .output_sensitive import OutputSensitiveFamily, OutputSensitiveResult
+from .triangle import triangle_circuit
+from .yannakakis_c import (
+    YannakakisC,
+    YannakakisReport,
+    count_c,
+    decode_count,
+    yannakakis_c,
+)
+
+__all__ = [
+    "AggregateCircuit",
+    "aggregate_c",
+    "ram_join_aggregate",
+    "OutputSensitiveFamily",
+    "OutputSensitiveResult",
+    "YannakakisC",
+    "YannakakisReport",
+    "count_c",
+    "decode_count",
+    "yannakakis_c",
+    "JoinCheck",
+    "PandaC",
+    "PandaError",
+    "PandaReport",
+    "Piece",
+    "compile_fcq",
+    "decompose",
+    "panda_c",
+    "triangle_circuit",
+]

@@ -1,0 +1,236 @@
+"""Join-aggregate queries over semirings (Section 7, AJAR/FAQ [23, 2]).
+
+Each input tuple carries an annotation; the query asks, per assignment of
+the free variables, for the ⊕-aggregate over bound-variable assignments of
+the ⊗-product of the joined tuples' annotations:
+
+    Q(free; ⊕) = ⊕_{bound} ⊗_F w_F(A_F)
+
+Supported semirings: ``("sum", "mul")`` (counting / weighted count),
+``("min", "add")`` (tropical — shortest path style), ``("max", "mul")``.
+
+The circuit follows the paper's recipe: run the Yannakakis-C pipeline,
+replacing each semijoin projection with an ⊕-aggregation and applying an
+⊗-map after each join, so every annotation is aggregated exactly once
+(which is also why multiple-GHD/subw evaluation is off the table, as the
+paper notes).  Each atom is *assigned* to exactly one bag; bag relations
+are the joins of their assigned atoms, so the pipeline covers every
+free-connex join-aggregate query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cq.degree import DCSet
+from ..cq.query import ConjunctiveQuery
+from ..cq.relation import AttrSet, Relation, attrset
+from ..ghd.decomposition import GHD
+from ..ghd.widths import da_fhtw
+from ..relcircuit.bounds import WireBound
+from ..relcircuit.ir import RelationalCircuit
+from ..relcircuit.predicates import Add, Col, Const, Mul
+
+ANN = "@ann"
+SUM = "@sub"
+
+_OPLUS = {"sum", "min", "max"}
+_OTIMES = {"mul", "add"}
+
+
+@dataclass
+class AggregateCircuit:
+    """A compiled join-aggregate circuit plus its evaluation helper."""
+
+    circuit: RelationalCircuit
+    query: ConjunctiveQuery
+    annotated: Dict[str, bool]
+    ghd: GHD
+
+    def run(self, env: Dict[str, Relation], check_bounds: bool = False) -> Relation:
+        """Evaluate; ``env`` maps atom names to relations whose schema is
+        the atom's variables plus, for annotated atoms, a trailing
+        annotation column."""
+        prepared = {}
+        for atom in self.query.atoms:
+            rel = env[atom.name]
+            if self.annotated[atom.name]:
+                expected = tuple(atom.vars) + (f"@w_{atom.name}",)
+                rel = rel.rename(dict(zip(rel.schema, expected)))
+            else:
+                rel = rel.rename(dict(zip(rel.schema, atom.vars)))
+            prepared[atom.name] = rel
+        return self.circuit.run(prepared, check_bounds=check_bounds)[0]
+
+
+def aggregate_c(query: ConjunctiveQuery, dc: DCSet,
+                annotated: Optional[Dict[str, bool]] = None,
+                semiring: Tuple[str, str] = ("sum", "mul"),
+                ghd: Optional[GHD] = None) -> AggregateCircuit:
+    """Compile a join-aggregate circuit for ``query`` under ``dc``.
+
+    ``annotated[name]`` marks atoms whose relations carry an annotation
+    column (unmarked atoms behave as annotated by the ⊗-identity).
+    """
+    oplus, otimes = semiring
+    if oplus not in _OPLUS or otimes not in _OTIMES:
+        raise ValueError(f"unsupported semiring {semiring!r}")
+    annotated = annotated or {a.name: True for a in query.atoms}
+    for atom in query.atoms:
+        annotated.setdefault(atom.name, False)
+    if ghd is None:
+        ghd = da_fhtw(query, dc).ghd
+    region = ghd.free_connex_region(query.free)
+    if region is None:
+        raise ValueError(
+            f"{query!r} admits no free-connex GHD on this decomposition; "
+            "join-aggregate circuits require free-connexity (Section 7)"
+        )
+
+    circuit = RelationalCircuit()
+    input_gates: Dict[str, int] = {}
+    for atom in query.atoms:
+        card = dc.cardinality_of(atom.varset)
+        if card is None:
+            raise ValueError(f"no cardinality constraint for {atom!r}")
+        schema = tuple(atom.vars)
+        if annotated[atom.name]:
+            schema = schema + (f"@w_{atom.name}",)
+        bound = WireBound(schema, card,
+                          ((frozenset(atom.vars), 1),) if annotated[atom.name]
+                          else ())
+        input_gates[atom.name] = circuit.add_input(atom.name, bound)
+
+    # Assign each atom to exactly one covering bag (⊗ applied once).
+    assignment: Dict[int, List] = {v: [] for v in range(ghd.n_nodes)}
+    for atom in query.atoms:
+        homes = [v for v in range(ghd.n_nodes) if atom.varset <= ghd.bags[v]]
+        if not homes:
+            raise ValueError(f"GHD has no bag covering atom {atom!r}")
+        assignment[homes[0]].append(atom)
+
+    def otimes_expr(a, b):
+        return Mul(a, b) if otimes == "mul" else Add(a, b)
+
+    # Bag relations: join assigned atoms, fold annotations into one column.
+    bag_gates: Dict[int, int] = {}
+    for v in range(ghd.n_nodes):
+        gate: Optional[int] = None
+        ann_cols: List[str] = []
+        for atom in assignment[v]:
+            agate = input_gates[atom.name]
+            gate = agate if gate is None else circuit.add_join(gate, agate,
+                                                               label=f"bag{v}")
+            if annotated[atom.name]:
+                ann_cols.append(f"@w_{atom.name}")
+        if gate is None:
+            # Filter-only bag: join projections of intersecting atoms.
+            for atom in query.atoms:
+                overlap = tuple(sorted(atom.varset & ghd.bags[v]))
+                if not overlap:
+                    continue
+                proj = circuit.add_project(input_gates[atom.name], overlap)
+                gate = proj if gate is None else circuit.add_join(gate, proj)
+            if gate is None:
+                raise ValueError(f"bag {v} intersects no atom")
+        var_cols = [a for a in circuit.gates[gate].bound.schema
+                    if not a.startswith("@")]
+        expr = Const(1) if otimes == "mul" else Const(0)
+        if ann_cols:
+            expr = Col(ann_cols[0])
+            for colname in ann_cols[1:]:
+                expr = otimes_expr(expr, Col(colname))
+        spec = {a: Col(a) for a in var_cols}
+        spec[ANN] = expr
+        bag_gates[v] = circuit.add_map(gate, spec, label=f"ann{v}")
+
+    # Full reduction on the variable columns (semijoins; annotations ride
+    # along on the left side untouched).
+    gates = dict(bag_gates)
+
+    def var_attrs(gid: int) -> AttrSet:
+        return frozenset(a for a in circuit.gates[gid].bound.schema
+                         if not a.startswith("@"))
+
+    def semi(left: int, right: int, label: str) -> int:
+        common = tuple(sorted(var_attrs(left) & var_attrs(right)))
+        if not common:
+            indicator = circuit.add_project(right, (), label=f"{label}.any")
+            gid = circuit.add_join(left, indicator, label=label)
+            circuit.gates[gid].bound = circuit.gates[left].bound
+            return gid
+        proj = circuit.add_project(right, common, label=f"{label}.k")
+        circuit.gates[proj].bound = circuit.gates[proj].bound.with_degree(common, 1)
+        gid = circuit.add_join(left, proj, label=label)
+        circuit.gates[gid].bound = circuit.gates[left].bound
+        return gid
+
+    for v in ghd.bottom_up():
+        p = ghd.parent[v]
+        if p is not None:
+            gates[p] = semi(gates[p], gates[v], f"up{p}⋉{v}")
+    for v in ghd.top_down():
+        for ch in ghd.children(v):
+            gates[ch] = semi(gates[ch], gates[v], f"down{ch}⋉{v}")
+
+    # Bottom-up ⊕-aggregation / ⊗-combination toward the root.
+    for v in ghd.bottom_up():
+        p = ghd.parent[v]
+        if p is None:
+            continue
+        common = tuple(sorted(var_attrs(gates[v]) & var_attrs(gates[p])))
+        agg = circuit.add_aggregate(gates[v], common, oplus, ANN,
+                                    out_attr=SUM, label=f"⊕{v}")
+        joined = circuit.add_join(gates[p], agg, label=f"A:{p}⋈{v}")
+        keep = [a for a in circuit.gates[joined].bound.schema
+                if a not in (ANN, SUM)]
+        spec = {a: Col(a) for a in keep}
+        spec[ANN] = otimes_expr(Col(ANN), Col(SUM))
+        gates[p] = circuit.add_map(joined, spec, label=f"⊗{v}")
+
+    root_gate = gates[ghd.root]
+    out = circuit.add_aggregate(root_gate, tuple(sorted(query.free)), oplus,
+                                ANN, out_attr=ANN, label="Q")
+    circuit.set_output(out)
+    return AggregateCircuit(circuit=circuit, query=query,
+                            annotated=annotated, ghd=ghd)
+
+
+def ram_join_aggregate(query: ConjunctiveQuery, env: Dict[str, Relation],
+                       annotated: Dict[str, bool],
+                       semiring: Tuple[str, str] = ("sum", "mul")) -> Relation:
+    """Reference RAM evaluation of the same join-aggregate (oracle)."""
+    oplus, otimes = semiring
+    full: Optional[Relation] = None
+    for atom in query.atoms:
+        rel = env[atom.name]
+        if annotated[atom.name]:
+            expected = tuple(atom.vars) + (f"@w_{atom.name}",)
+            rel = rel.rename(dict(zip(rel.schema, expected)))
+        else:
+            rel = rel.rename(dict(zip(rel.schema, atom.vars)))
+        full = rel if full is None else full.join(rel)
+    assert full is not None
+    free = tuple(sorted(query.free))
+    groups: Dict[tuple, list] = {}
+    ann_cols = [f"@w_{a.name}" for a in query.atoms if annotated[a.name]]
+    for row in full.as_dicts():
+        weight = 1 if otimes == "mul" else 0
+        for colname in ann_cols:
+            weight = weight * row[colname] if otimes == "mul" else weight + row[colname]
+        key = tuple(row[a] for a in free)
+        bound_key = tuple(row[a] for a in sorted(query.variables))
+        groups.setdefault(key, []).append((bound_key, weight))
+    rows = []
+    for key, entries in groups.items():
+        # ⊗ already folded per full-join row; ⊕ across rows of the group.
+        values = [w for _, w in entries]
+        if oplus == "sum":
+            agg = sum(values)
+        elif oplus == "min":
+            agg = min(values)
+        else:
+            agg = max(values)
+        rows.append(key + (agg,))
+    return Relation(free + (ANN,), rows)

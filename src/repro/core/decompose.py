@@ -1,0 +1,96 @@
+"""The decomposition circuit (Algorithm 2, Section 4.4).
+
+Decomposes a relation ``R_Y`` into ``2k`` sub-relations (``k = 1 + ⌊log N⌋``)
+satisfying conditions (4):
+
+    (a) their union is R_Y,
+    (b) deg_{R^{(j)}}(X) ≤ N^{(j)}_{Y|X},
+    (c) |Π_X(R^{(j)})| ≤ N^{(j)}_X,
+    (d) N^{(j)}_X · N^{(j)}_{Y|X} ≤ N.
+
+Built from aggregation (degree counting), a primary-key join (attach the
+count), dyadic range selections, sorting (the ``τ_X`` order column) and
+parity selections — this is where the paper needs the sorting gate.
+
+Buckets that the declared wire bound already rules out (degree bound smaller
+than the bucket's lower edge) are pruned *data-independently*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
+from ..relcircuit.bounds import WireBound
+from ..relcircuit.ir import COUNT_COL, ORDER_COL, RelationalCircuit
+from ..relcircuit.predicates import Parity, Range
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One decomposition output: the sub-relation, its X-projection, and the
+    pair ``(N_X, N_{Y|X})`` of condition (4)."""
+
+    rel_gate: int
+    proj_gate: int
+    n_x: int
+    n_y_given_x: int
+
+
+def decompose(circuit: RelationalCircuit, src: int, x: Sequence[Attr],
+              label: str = "") -> List[Piece]:
+    """Add Algorithm 2 to ``circuit``, decomposing gate ``src`` w.r.t. ``X``.
+
+    Returns one :class:`Piece` per non-pruned bucket half.  The piece bounds
+    are *assigned* (they are semantic facts of the construction, proved in
+    the paper, that generic bound propagation cannot derive).
+    """
+    x = tuple(sorted(attrset(x)))
+    src_bound = circuit.gates[src].bound
+    y_schema = src_bound.schema
+    if not set(x) < set(y_schema):
+        raise ValueError(f"decomposition needs X ⊂ Y, got X={x}, Y={y_schema}")
+    n = src_bound.card
+    max_deg = src_bound.degree(x)
+    k = 1 + max(0, math.floor(math.log2(max(1, n))))
+    tag = label or f"dec{src}"
+
+    # Line 1: R_{Y,count} ← R_Y ⋈ Π_{X,count}(R_Y).
+    counts = circuit.add_aggregate(src, x, "count", label=f"{tag}.cnt")
+    with_count = circuit.add_join(src, counts, label=f"{tag}.attach")
+    # The count column is functionally determined by X, so the join is 1:1.
+    circuit.gates[with_count].bound = circuit.gates[with_count].bound.with_card(n)
+
+    pieces: List[Piece] = []
+    for i in range(1, k + 1):
+        lo, hi = 2 ** (i - 1), 2 ** i
+        if lo > max_deg:
+            break  # bucket provably empty under the declared degree bound
+        # Line 4: T^{(i)} = Π_Y(σ_{lo ≤ count < hi}).
+        bucket = circuit.add_select(with_count, Range(COUNT_COL, lo, hi),
+                                    label=f"{tag}.bkt{i}")
+        t_i = circuit.add_project(bucket, y_schema, label=f"{tag}.T{i}")
+        # Semantic bounds of the bucket: deg(X) ≤ 2^i - 1, |Π_X| ≤ N/2^{i-1},
+        # and |T| ≤ min(N, |Π_X|·deg).
+        n_groups = max(1, n // lo)
+        t_bound = (WireBound(y_schema, min(n, n_groups * (hi - 1)))
+                   .with_degree(x, min(hi - 1, max_deg)))
+        circuit.gates[t_i].bound = t_bound
+        # Lines 5-6: order by X, split by order parity.
+        ordered = circuit.add_sort(t_i, x, label=f"{tag}.ord{i}")
+        half_deg = min(lo, max_deg)  # ⌈(2^i - 1)/2⌉ = 2^{i-1}
+        piece_card = min(n, n_groups * half_deg)
+        for parity_odd in (True, False):
+            sel = circuit.add_select(ordered, Parity(ORDER_COL, parity_odd),
+                                     label=f"{tag}.par{i}{'o' if parity_odd else 'e'}")
+            piece = circuit.add_project(sel, y_schema, label=f"{tag}.R{i}"
+                                        f"{'o' if parity_odd else 'e'}")
+            piece_bound = (WireBound(y_schema, piece_card).with_degree(x, half_deg))
+            circuit.gates[piece].bound = piece_bound
+            proj = circuit.add_project(piece, x, label=f"{tag}.X{i}"
+                                       f"{'o' if parity_odd else 'e'}")
+            circuit.gates[proj].bound = WireBound(x, n_groups)
+            pieces.append(Piece(piece, proj, n_groups, half_deg))
+    return pieces

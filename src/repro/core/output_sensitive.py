@@ -1,0 +1,103 @@
+"""Output-sensitive circuit families (Section 6).
+
+A circuit's size must be fixed before seeing the data, so there is no
+literal "output-sensitive circuit".  The paper's resolution: *two* uniform
+families —
+
+1. parameterised by ``DC``: computes ``OUT = |Q(D)|``
+   (size ``Õ(N + 2^da-fhtw)``);
+2. parameterised by ``DC`` and ``OUT``: computes ``Q(D)`` for instances with
+   ``|Q(D)| = OUT`` (size ``Õ(N + 2^da-fhtw + OUT)``).
+
+An application evaluates the first circuit, reads OUT, then builds and
+evaluates the second.  :class:`OutputSensitiveFamily` packages that
+protocol; revealing OUT is fine because it is part of the query answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cq.degree import DCSet
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Relation
+from ..ghd.decomposition import GHD
+from ..relcircuit.ir import RelationalCircuit
+from .yannakakis_c import YannakakisReport, count_c, decode_count, yannakakis_c
+
+
+@dataclass
+class OutputSensitiveResult:
+    """Everything produced by one output-sensitive evaluation."""
+
+    out: int
+    answer: Relation
+    count_circuit: RelationalCircuit
+    eval_circuit: Optional[RelationalCircuit]
+    count_report: YannakakisReport
+    eval_report: Optional[YannakakisReport]
+
+    @property
+    def total_cost(self) -> int:
+        cost = self.count_circuit.cost()
+        if self.eval_circuit is not None:
+            cost += self.eval_circuit.cost()
+        return cost
+
+
+class OutputSensitiveFamily:
+    """The pair of uniform circuit families for one ``(Q, DC)``.
+
+    ``count_circuit()`` builds family 1; ``eval_circuit(out)`` builds the
+    member of family 2 for a given output size.  Circuits are cached per
+    parameter, mirroring uniformity: the same parameters always produce the
+    identical circuit.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, dc: DCSet,
+                 ghd: Optional[GHD] = None):
+        self.query = query
+        self.dc = dc
+        self.ghd = ghd
+        self._count: Optional[Tuple[RelationalCircuit, YannakakisReport]] = None
+        self._eval: Dict[int, Tuple[RelationalCircuit, YannakakisReport]] = {}
+
+    def count_circuit(self) -> Tuple[RelationalCircuit, YannakakisReport]:
+        if self._count is None:
+            self._count = count_c(self.query, self.dc, ghd=self.ghd)
+        return self._count
+
+    def eval_circuit(self, out: int) -> Tuple[RelationalCircuit, YannakakisReport]:
+        out = max(1, out)
+        if out not in self._eval:
+            self._eval[out] = yannakakis_c(self.query, self.dc, out,
+                                           ghd=self.ghd)
+        return self._eval[out]
+
+    def compute_out(self, db: Database) -> int:
+        """Evaluate family 1 on an instance."""
+        circuit, _ = self.count_circuit()
+        env = {a.name: db[a.name] for a in self.query.atoms}
+        return decode_count(circuit.run(env, check_bounds=False)[0])
+
+    def evaluate(self, db: Database) -> OutputSensitiveResult:
+        """The full two-phase protocol of Section 6."""
+        count_circuit, count_report = self.count_circuit()
+        env = {a.name: db[a.name] for a in self.query.atoms}
+        out = decode_count(count_circuit.run(env, check_bounds=False)[0])
+        if self.query.is_boolean:
+            answer = Relation((), [()] if out else [])
+            return OutputSensitiveResult(
+                out=out, answer=answer,
+                count_circuit=count_circuit, eval_circuit=None,
+                count_report=count_report, eval_report=None,
+            )
+        eval_circuit, eval_report = self.eval_circuit(out)
+        answer = eval_circuit.run(env, check_bounds=False)[0]
+        return OutputSensitiveResult(
+            out=out, answer=answer,
+            count_circuit=count_circuit, eval_circuit=eval_circuit,
+            count_report=count_report, eval_report=eval_report,
+        )

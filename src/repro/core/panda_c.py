@@ -1,0 +1,421 @@
+"""PANDA-C (Algorithm 1, Section 4.4): proof sequence → relational circuit.
+
+PANDA-C is PANDA turned into a *query compiler*: it consumes only the query,
+the degree constraints and a proof sequence — never the data — and emits a
+relational circuit of ``Õ(1)`` gates whose cost is ``Õ(N + DAPB(Q))``.
+
+Walking the proof sequence:
+
+* **submodularity** ``s_{I,J}`` — pure bookkeeping: the new δ term
+  ``(J, I∪J)`` inherits the *support* (the guarded degree constraint it was
+  derived from) of the consumed term ``(I∩J, I)``;
+* **monotonicity** ``m_{X,Y}`` — a projection gate ``Π_X(R_Y)``, adding the
+  data-independent constraint ``(∅, X, N_Y)`` (the paper's modification);
+* **decomposition** ``d_{Y,X}`` — the Algorithm-2 circuit, forking one
+  sub-circuit per piece; the piece results are unioned (Algorithm 1 line 19);
+* **composition** ``c_{X,Y}`` — a join ``R_X ⋈ R_W`` where ``R_W`` guards the
+  constraint supporting ``δ_{Y|X}``, adding ``(∅, Y, N_X·N_{W|Z})``.
+
+When a composition's size check ``N_X · N_{W|Z} ≤ DAPB`` fails (Algorithm 1
+line 23), the original PANDA invokes the truncation lemma (Lemma 5.11 of
+[25]) and recomputes a fresh proof sequence.  We implement the re-planning
+this induces directly: try the remaining composition steps (and alternative
+supports) in another order and keep the first order in which the check
+passes; thanks to the early-termination rule of line 1, the heavy/light
+branch-specific plans of the paper's Example 2 fall out exactly.  If no
+order passes, the cheapest support is used and the violation is recorded in
+the report (the circuit stays *correct*, only its size bound degrades).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..bounds.proof_steps import (
+    Composition,
+    Decomposition,
+    Monotonicity,
+    ProofStep,
+    Submodularity,
+    WeightedStep,
+)
+from ..bounds.proof_synthesis import SynthesizedProof, synthesize_proof
+from ..cq.degree import DCSet, DegreeConstraint
+from ..cq.query import ConjunctiveQuery
+from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
+from ..relcircuit.bounds import WireBound
+from ..relcircuit.ir import RelationalCircuit
+from .decompose import decompose
+
+Term = Tuple[AttrSet, AttrSet]
+EMPTY: AttrSet = frozenset()
+
+
+class PandaError(RuntimeError):
+    """PANDA-C could not build a circuit from the given proof sequence."""
+
+
+@dataclass
+class JoinCheck:
+    """One composition's size check (Algorithm 1 line 23)."""
+
+    x: AttrSet
+    y: AttrSet
+    product: int
+    dapb: int
+    passed: bool
+    replanned: bool
+
+
+@dataclass
+class PandaReport:
+    """Construction report: the circuit plus bound-accounting metadata."""
+
+    dapb: int
+    total_input: int
+    checks: List[JoinCheck] = field(default_factory=list)
+    branches: int = 0
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def violations(self) -> List[JoinCheck]:
+        return [c for c in self.checks if not c.passed]
+
+
+@dataclass
+class _Guarded:
+    """A degree constraint together with the gate guarding it."""
+
+    constraint: DegreeConstraint
+    gate: int
+
+    @property
+    def term(self) -> Term:
+        return (self.constraint.x, self.constraint.y)
+
+
+class _State:
+    """Per-branch compiler state: guards and supports, immutably branched."""
+
+    def __init__(self, guards: Dict[Term, _Guarded],
+                 supports: Dict[Term, List[_Guarded]]):
+        self.guards = guards          # (X,Y) -> tightest guarded constraint
+        self.supports = supports      # δ term -> candidate guarded constraints
+
+    def fork(self) -> "_State":
+        return _State(dict(self.guards),
+                      {t: list(v) for t, v in self.supports.items()})
+
+    def add_guard(self, g: _Guarded) -> None:
+        old = self.guards.get(g.term)
+        if old is None or g.constraint.bound < old.constraint.bound:
+            self.guards[g.term] = g
+
+    def add_support(self, term: Term, g: _Guarded) -> None:
+        self.supports.setdefault(term, []).append(g)
+
+
+class PandaC:
+    """The PANDA-C compiler for one (query, DC, proof) triple."""
+
+    def __init__(self, query: ConjunctiveQuery, dc: DCSet,
+                 proof: Optional[SynthesizedProof] = None,
+                 target: Optional[AttrSet] = None,
+                 dapb_slack: float = 1.0,
+                 canonical_key: Optional[str] = None,
+                 circuit: Optional[RelationalCircuit] = None,
+                 input_gates: Optional[Dict[str, int]] = None):
+        self.query = query
+        self.dc = dc
+        self.target: AttrSet = attrset(target) if target else query.variables
+        if proof is None:
+            proof = synthesize_proof(query.variables, dc, target=self.target,
+                                     canonical_key=canonical_key)
+        self.proof = proof
+        self.dapb = int(math.ceil(2.0 ** proof.log_dapb - 1e-9))
+        self.budget = int(math.ceil(2.0 ** proof.log_budget - 1e-9))
+        self.slack = dapb_slack
+        # A shared circuit (with pre-existing atom input gates) lets callers
+        # like Reduce-C embed one PANDA-C instance per GHD bag.
+        self.circuit = circuit if circuit is not None else RelationalCircuit()
+        self.input_gates = input_gates
+        self.report = PandaReport(dapb=self.dapb, total_input=dc.total_input_size())
+
+    # ------------------------------------------------------------------
+    def compile(self) -> Tuple[RelationalCircuit, PandaReport]:
+        """Build the circuit; its single output is a superset of
+        ``Π_target(Q(D))`` over exactly the target attributes."""
+        state = _State({}, {})
+        # Input gates: one per atom; each guards its constraints.
+        for atom in self.query.atoms:
+            card = self.dc.cardinality_of(atom.varset)
+            if card is None:
+                raise PandaError(f"no cardinality constraint for atom {atom!r}")
+            bound = WireBound(tuple(sorted(atom.vars)), card)
+            for c in self.dc:
+                if c.y == atom.varset and c.x:
+                    bound = bound.with_degree(c.x, c.bound)
+            if self.input_gates is not None:
+                gate = self.input_gates[atom.name]
+            else:
+                gate = self.circuit.add_input(atom.name, bound)
+            for c in self.dc:
+                if c.y == atom.varset:
+                    g = _Guarded(c, gate)
+                    state.add_guard(g)
+                    state.add_support((c.x, c.y), g)
+        steps = tuple(self.proof.sequence)
+        result = self._run(state, steps)
+        out = self._coerce_to_target(result)
+        self.output_gate = out
+        if self.input_gates is None:
+            self.circuit.set_output(out)
+        return self.circuit, self.report
+
+    def _coerce_to_target(self, gate: int) -> int:
+        schema = tuple(sorted(self.target))
+        if self.circuit.gates[gate].bound.schema == schema:
+            return gate
+        return self.circuit.add_project(gate, schema, label="to_target")
+
+    # ------------------------------------------------------------------
+    def _terminal(self, state: _State) -> Optional[int]:
+        """Algorithm 1 line 1: a guarded relation covering the target."""
+        for term_, g in state.guards.items():
+            if not term_[0] and term_[1] >= self.target:
+                return g.gate
+        return None
+
+    def _run(self, state: _State, steps: Tuple[WeightedStep, ...]) -> int:
+        done = self._terminal(state)
+        if done is not None:
+            return done
+        if not steps:
+            raise PandaError(
+                "proof sequence exhausted without covering the target; "
+                f"guards: {[fmt_attrs(t[1]) for t in state.guards]}"
+            )
+        head, rest = steps[0], steps[1:]
+        step = head.step
+        if isinstance(step, Submodularity):
+            return self._do_submodularity(state, step, rest)
+        if isinstance(step, Monotonicity):
+            return self._do_monotonicity(state, step, rest)
+        if isinstance(step, Decomposition):
+            return self._do_decomposition(state, step, rest)
+        if isinstance(step, Composition):
+            return self._do_composition(state, head, rest, steps)
+        raise PandaError(f"unknown step {step!r}")
+
+    # ------------------------------------------------------------------
+    def _do_submodularity(self, state: _State, step: Submodularity,
+                          rest: Tuple[WeightedStep, ...]) -> int:
+        consumed = (step.i & step.j, step.i)
+        produced = (step.j, step.i | step.j)
+        for g in state.supports.get(consumed, []):
+            state.add_support(produced, g)
+        return self._run(state, rest)
+
+    def _do_monotonicity(self, state: _State, step: Monotonicity,
+                         rest: Tuple[WeightedStep, ...]) -> int:
+        guard = state.guards.get((EMPTY, step.y))
+        if guard is None:
+            raise PandaError(f"monotonicity {step!r}: no guard for h({fmt_attrs(step.y)})")
+        schema = tuple(sorted(step.x))
+        gate = self.circuit.add_project(guard.gate, schema,
+                                        label=f"m:{fmt_attrs(step.x)}")
+        constraint = DegreeConstraint(EMPTY, step.x, guard.constraint.bound)
+        g = _Guarded(constraint, gate)
+        state.add_guard(g)
+        state.add_support((EMPTY, step.x), g)
+        return self._run(state, rest)
+
+    def _do_decomposition(self, state: _State, step: Decomposition,
+                          rest: Tuple[WeightedStep, ...]) -> int:
+        guard = state.guards.get((EMPTY, step.y))
+        if guard is None:
+            raise PandaError(f"decomposition {step!r}: no guard for h({fmt_attrs(step.y)})")
+        lazy = self._try_lazy_decomposition(state, step, rest, guard)
+        if lazy is not None:
+            return lazy
+        pieces = decompose(self.circuit, guard.gate, tuple(sorted(step.x)),
+                           label=f"d:{fmt_attrs(step.y)}|{fmt_attrs(step.x)}")
+        results = []
+        for piece in pieces:
+            self.report.branches += 1
+            branch = state.fork()
+            c_x = DegreeConstraint(EMPTY, step.x, max(1, piece.n_x))
+            c_yx = DegreeConstraint(step.x, step.y, max(1, piece.n_y_given_x))
+            gx = _Guarded(c_x, piece.proj_gate)
+            gyx = _Guarded(c_yx, piece.rel_gate)
+            branch.add_guard(gx)
+            branch.add_guard(gyx)
+            # The decomposed piece also guards (∅, Y) within its branch.
+            card = self.circuit.gates[piece.rel_gate].bound.card
+            branch.add_guard(_Guarded(
+                DegreeConstraint(EMPTY, step.y, max(1, card)), piece.rel_gate))
+            branch.supports[(EMPTY, step.x)] = [gx]
+            branch.supports[(step.x, step.y)] = [gyx]
+            results.append(self._run(branch, rest))
+        if not results:
+            raise PandaError(f"decomposition {step!r} produced no branches")
+        # Branch outputs may differ in schema (early termination); project
+        # each onto the target before the union (Algorithm 1 line 19).
+        projected = [self._coerce_to_target(r) for r in results]
+        return self.circuit.add_union_all(projected, label="d:union")
+
+    def _try_lazy_decomposition(self, state: _State, step: Decomposition,
+                                rest: Tuple[WeightedStep, ...],
+                                guard: _Guarded) -> Optional[int]:
+        """Speculatively skip the decomposition circuit.
+
+        ``d_{Y,X}`` always *admits* the trivial split — ``Π_X(R_Y)`` guards
+        ``(∅, X, N_Y)`` and ``R_Y`` itself guards ``(X, Y, N_Y)`` — which
+        keeps the circuit a single branch.  That is only sound for the size
+        bound when the downstream compositions still pass their DAPB checks
+        (integral-cover plans do; heavy/light plans like the triangle's
+        don't).  So: compile the rest of the plan lazily, and keep the
+        result iff no check failed; otherwise roll the circuit back and run
+        the real Algorithm-2 decomposition.
+        """
+        gates_mark = len(self.circuit.gates)
+        checks_mark = len(self.report.checks)
+        branches_mark = self.report.branches
+        lazy_state = state.fork()
+        n_y = guard.constraint.bound
+        proj = self.circuit.add_project(guard.gate, tuple(sorted(step.x)),
+                                        label=f"d-lazy:{fmt_attrs(step.x)}")
+        gx = _Guarded(DegreeConstraint(EMPTY, step.x, n_y), proj)
+        gyx = _Guarded(DegreeConstraint(step.x, step.y, n_y), guard.gate)
+        lazy_state.add_guard(gx)
+        lazy_state.add_guard(gyx)
+        lazy_state.supports[(EMPTY, step.x)] = [gx]
+        lazy_state.supports[(step.x, step.y)] = [gyx]
+        try:
+            result = self._run(lazy_state, rest)
+        except PandaError:
+            result = None
+        if result is not None and all(
+                c.passed for c in self.report.checks[checks_mark:]):
+            return result
+        del self.circuit.gates[gates_mark:]
+        del self.report.checks[checks_mark:]
+        self.report.branches = branches_mark
+        return None
+
+    def _do_composition(self, state: _State, head: WeightedStep,
+                        rest: Tuple[WeightedStep, ...],
+                        steps: Tuple[WeightedStep, ...]) -> int:
+        step = head.step
+        attempt = self._try_composition(state, step, record=False)
+        if attempt is not None and attempt[1]:
+            gate, _ = attempt
+            self._finish_composition(state, step, gate, passed=True, replanned=False)
+            return self._run(state, rest)
+        # Re-planning: find a later composition whose check passes now.
+        for i, other in enumerate(rest):
+            if not isinstance(other.step, Composition):
+                continue
+            alt = self._try_composition(state, other.step, record=False)
+            if alt is not None and alt[1]:
+                gate, _ = alt
+                self._finish_composition(state, other.step, gate,
+                                         passed=True, replanned=True)
+                reordered = (head,) + rest[:i] + rest[i + 1:]
+                return self._run(state, reordered)
+        # No passing order: execute the original with the cheapest support.
+        attempt = self._try_composition(state, step, record=False)
+        if attempt is None:
+            raise PandaError(
+                f"composition {step!r}: no guard/support available "
+                f"(guards: {[fmt_attrs(t[1]) for t in state.guards]})"
+            )
+        gate, _ = attempt
+        self._finish_composition(state, step, gate, passed=False, replanned=False)
+        return self._run(state, rest)
+
+    def _try_composition(self, state: _State, step: Composition, record: bool
+                         ) -> Optional[Tuple[int, bool]]:
+        """Try to realise ``c_{X,Y}``; returns (join gate plan, check ok).
+
+        The join gate is only *added* by :meth:`_finish_composition`; here we
+        just select the base guard and the cheapest support and evaluate the
+        size check.
+        """
+        base = state.guards.get((EMPTY, step.x))
+        supports = [
+            g for g in state.supports.get((step.x, step.y), [])
+            if (step.y - step.x) <= g.constraint.y
+        ]
+        if base is None or not supports:
+            return None
+        best = min(supports, key=lambda g: g.constraint.bound)
+        product = base.constraint.bound * best.constraint.bound
+        ok = product <= self.dapb * self.slack + 1e-9
+        self._pending = (base, best, product)
+        return (-1, ok)
+
+    def _finish_composition(self, state: _State, step: Composition, _gate: int,
+                            passed: bool, replanned: bool) -> None:
+        base, support, product = self._pending
+        gate = self.circuit.add_join(base.gate, support.gate,
+                                     label=f"c:{fmt_attrs(step.y)}")
+        out_attrs = self.circuit.gates[gate].bound.attrs
+        if out_attrs != step.y and step.y < out_attrs:
+            gate = self.circuit.add_project(gate, tuple(sorted(step.y)),
+                                            label=f"c:Π{fmt_attrs(step.y)}")
+        card = self.circuit.gates[gate].bound.card
+        constraint = DegreeConstraint(EMPTY, step.y, max(1, min(card, product)))
+        g = _Guarded(constraint, gate)
+        state.add_guard(g)
+        state.add_support((EMPTY, step.y), g)
+        self.report.checks.append(JoinCheck(
+            x=step.x, y=step.y, product=product, dapb=self.dapb,
+            passed=passed, replanned=replanned,
+        ))
+
+
+def panda_c(query: ConjunctiveQuery, dc: DCSet,
+            proof: Optional[SynthesizedProof] = None,
+            canonical_key: Optional[str] = None,
+            dapb_slack: float = 1.0,
+            target: Optional[AttrSet] = None
+            ) -> Tuple[RelationalCircuit, PandaReport]:
+    """Compile ``(Q, DC)`` into a relational circuit (Theorem 3).
+
+    The output wire carries a *superset* of ``Π_target(Q(D))``; use
+    :func:`compile_fcq` for the cleaned-up full query result.
+    """
+    compiler = PandaC(query, dc, proof=proof, target=target,
+                      dapb_slack=dapb_slack, canonical_key=canonical_key)
+    return compiler.compile()
+
+
+def compile_fcq(query: ConjunctiveQuery, dc: DCSet,
+                proof: Optional[SynthesizedProof] = None,
+                canonical_key: Optional[str] = None,
+                dapb_slack: float = 1.0
+                ) -> Tuple[RelationalCircuit, PandaReport]:
+    """PANDA-C plus the false-positive cleanup of Section 4.4.
+
+    The PANDA-C output may contain spurious tuples (e.g. from heavy-side
+    cross products); semijoining with every input relation removes them, at
+    an extra cost linear in the wire bounds.
+    """
+    if not query.is_full:
+        raise ValueError("compile_fcq expects a full CQ; see yannakakis_c for others")
+    compiler = PandaC(query, dc, proof=proof, dapb_slack=dapb_slack,
+                      canonical_key=canonical_key)
+    circuit, report = compiler.compile()
+    out = circuit.outputs.pop()
+    input_gates = [g.gid for g in circuit.gates if g.op == "input"]
+    for gid in input_gates:
+        out = circuit.add_semijoin(out, gid, label="cleanup")
+    circuit.set_output(out)
+    return circuit, report

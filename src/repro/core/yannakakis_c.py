@@ -1,0 +1,266 @@
+"""Yannakakis by circuits (Section 6.2, Algorithms 8, 9, 11).
+
+Given a free-connex GHD of a CQ:
+
+1. **Reduce-C** (Algorithm 8): one PANDA-C instance per bag computes ``T_B``
+   (cleaned with the atoms inside the bag, so each ``T_B`` is exactly the
+   join of its atoms projected to the bag);
+2. **full reduction** (Algorithm 9 lines 2–9): a bottom-up and a top-down
+   semijoin pass remove every dangling tuple;
+3. **phase 3** (lines 10–16): bottom-up *output-bounded* joins over the
+   free-connex region assemble the result; intermediate sizes never exceed
+   ``OUT`` because full reduction guarantees every tuple extends to an
+   output tuple.
+
+Non-full queries use the free-connex region (bags of free variables only);
+queries with no free-connex GHD fall back to the worst-case PANDA-C circuit
+plus a final projection.  BCQs reduce to a 0-ary projection of the root.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bounds.proof_synthesis import synthesize_proof
+from ..cq.degree import DCSet
+from ..cq.query import ConjunctiveQuery
+from ..cq.relation import AttrSet, attrset, fmt_attrs
+from ..ghd.decomposition import GHD
+from ..ghd.widths import WidthResult, da_fhtw
+from ..relcircuit.bounds import WireBound
+from ..relcircuit.ir import COUNT_COL, RelationalCircuit
+from ..relcircuit.predicates import Col, Const, Mul
+from .panda_c import PandaC, PandaReport
+
+CNT = "@cnt"
+SUM = "@sum"
+
+
+@dataclass
+class YannakakisReport:
+    """Construction metadata for a Yannakakis-C circuit."""
+
+    width: float
+    ghd: GHD
+    bag_reports: List[PandaReport] = field(default_factory=list)
+    out_bound: Optional[int] = None
+    fallback_worst_case: bool = False
+
+    @property
+    def bag_size_bound(self) -> int:
+        return int(math.ceil(2.0 ** self.width - 1e-9))
+
+
+class YannakakisC:
+    """Shared machinery for the two circuit families of Section 6."""
+
+    def __init__(self, query: ConjunctiveQuery, dc: DCSet,
+                 ghd: Optional[GHD] = None):
+        self.query = query
+        self.dc = dc
+        if ghd is None:
+            result = da_fhtw(query, dc)
+            ghd = result.ghd
+            width = result.width
+        else:
+            from ..ghd.widths import ghd_width
+            width = ghd_width(query, dc, ghd)
+        self.ghd = ghd
+        self.report = YannakakisReport(width=width, ghd=ghd)
+        self.circuit = RelationalCircuit()
+        self.input_gates: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _add_inputs(self) -> None:
+        for atom in self.query.atoms:
+            card = self.dc.cardinality_of(atom.varset)
+            if card is None:
+                raise ValueError(f"no cardinality constraint for {atom!r}")
+            bound = WireBound(tuple(sorted(atom.vars)), card)
+            for c in self.dc:
+                if c.y == atom.varset and c.x:
+                    bound = bound.with_degree(c.x, c.bound)
+            self.input_gates[atom.name] = self.circuit.add_input(atom.name, bound)
+
+    def _compile_bags(self) -> Dict[int, int]:
+        """Reduce-C lines 2-6: PANDA-C per bag + in-bag cleanup."""
+        bag_gates: Dict[int, int] = {}
+        for node in range(self.ghd.n_nodes):
+            bag = self.ghd.bags[node]
+            compiler = PandaC(self.query, self.dc, target=bag,
+                              circuit=self.circuit,
+                              input_gates=self.input_gates)
+            compiler.compile()
+            self.report.bag_reports.append(compiler.report)
+            gate = compiler.output_gate
+            # Remove in-bag false positives: semijoin with every atom whose
+            # variables lie inside the bag (making T_B the exact bag join).
+            for atom in self.query.atoms:
+                if atom.varset <= bag:
+                    gate = self.circuit.add_semijoin(
+                        gate, self.input_gates[atom.name],
+                        label=f"bag{node}⋉{atom.name}")
+            bag_gates[node] = gate
+        return bag_gates
+
+    def _full_reduce(self, bag_gates: Dict[int, int]) -> Dict[int, int]:
+        """Algorithm 9 lines 2-9: bottom-up then top-down semijoins."""
+        gates = dict(bag_gates)
+        for v in self.ghd.bottom_up():
+            p = self.ghd.parent[v]
+            if p is None:
+                continue
+            gates[p] = self._semi(gates[p], gates[v], f"up{p}⋉{v}")
+        for v in self.ghd.top_down():
+            for c in self.ghd.children(v):
+                gates[c] = self._semi(gates[c], gates[v], f"down{c}⋉{v}")
+        return gates
+
+    def _semi(self, left: int, right: int, label: str) -> int:
+        """Semijoin; for attribute-disjoint bags (disconnected queries) the
+        0-ary projection acts as a nonemptiness filter instead."""
+        lb = self.circuit.gates[left].bound
+        rb = self.circuit.gates[right].bound
+        if lb.attrs & rb.attrs:
+            return self.circuit.add_semijoin(left, right, label=label)
+        indicator = self.circuit.add_project(right, (), label=f"{label}.any")
+        gid = self.circuit.add_join(left, indicator, label=label)
+        self.circuit.gates[gid].bound = lb
+        return gid
+
+
+def yannakakis_c(query: ConjunctiveQuery, dc: DCSet, out_bound: int,
+                 ghd: Optional[GHD] = None
+                 ) -> Tuple[RelationalCircuit, YannakakisReport]:
+    """The second circuit family of Section 6: computes ``Q(D)`` for any
+    instance conforming to ``dc`` with ``|Q(D)| ≤ out_bound``.
+
+    Size ``Õ(N + 2^da-fhtw + OUT)``, depth ``Õ(1)`` (Theorem 5).
+    """
+    y = YannakakisC(query, dc, ghd=ghd)
+    y.report.out_bound = out_bound
+    y._add_inputs()
+
+    region = y.ghd.free_connex_region(query.free)
+    if region is None and not query.is_boolean:
+        # Non-free-connex query: worst-case circuit + final projection.
+        y.report.fallback_worst_case = True
+        compiler = PandaC(query, dc, circuit=y.circuit,
+                          input_gates=y.input_gates)
+        compiler.compile()
+        y.report.bag_reports.append(compiler.report)
+        gate = compiler.output_gate
+        for atom in query.atoms:
+            gate = y.circuit.add_semijoin(gate, y.input_gates[atom.name],
+                                          label=f"⋉{atom.name}")
+        out = y.circuit.add_project(gate, tuple(sorted(query.free)),
+                                    label="Π_free")
+        y.circuit.set_output(out)
+        return y.circuit, y.report
+
+    bag_gates = y._compile_bags()
+    gates = y._full_reduce(bag_gates)
+
+    if query.is_boolean:
+        out = y.circuit.add_project(gates[y.ghd.root], (), label="bool")
+        y.circuit.set_output(out)
+        return y.circuit, y.report
+
+    # Phase 3 (Algorithm 9 lines 10-16): join the region bottom-up with
+    # output-bounded joins; bags outside the region only filtered (their
+    # effect is complete after full reduction).
+    assert region is not None
+    region_order = [v for v in y.ghd.bottom_up() if v in region]
+    merged: Dict[int, int] = {v: gates[v] for v in region}
+    live_bag: Dict[int, AttrSet] = {v: y.ghd.bags[v] for v in region}
+    for v in region_order:
+        p = y.ghd.parent[v]
+        if p is None or p not in region:
+            continue
+        left_card = y.circuit.gates[merged[p]].bound.card
+        right_card = y.circuit.gates[merged[v]].bound.card
+        out_t = min(out_bound, left_card * right_card)
+        merged[p] = y.circuit.add_join(merged[p], merged[v],
+                                       out_card=max(1, out_t),
+                                       label=f"Y:{p}⋈{v}")
+        live_bag[p] = live_bag[p] | live_bag[v]
+    answer = merged[y.ghd.root]
+    # The region's union is exactly the free variables; order the schema.
+    out = y.circuit.add_project(answer, tuple(sorted(query.free)),
+                                label="answer")
+    y.circuit.set_output(out)
+    return y.circuit, y.report
+
+
+def count_c(query: ConjunctiveQuery, dc: DCSet, ghd: Optional[GHD] = None
+            ) -> Tuple[RelationalCircuit, YannakakisReport]:
+    """The first circuit family of Section 6 (Algorithm 11): computes
+    ``OUT = |Q(D)|`` with size ``Õ(N + 2^da-fhtw)``, depth ``Õ(1)``.
+
+    The output wire carries a single tuple ``(OUT,)`` (no tuple when the
+    count is zero — decode with :func:`decode_count`).
+    """
+    y = YannakakisC(query, dc, ghd=ghd)
+    y._add_inputs()
+
+    region = y.ghd.free_connex_region(query.free)
+    if region is None and not query.is_boolean:
+        y.report.fallback_worst_case = True
+        compiler = PandaC(query, dc, circuit=y.circuit,
+                          input_gates=y.input_gates)
+        compiler.compile()
+        gate = compiler.output_gate
+        for atom in query.atoms:
+            gate = y.circuit.add_semijoin(gate, y.input_gates[atom.name],
+                                          label=f"⋉{atom.name}")
+        proj = y.circuit.add_project(gate, tuple(sorted(query.free)))
+        out = y.circuit.add_aggregate(proj, (), "count", out_attr=CNT)
+        y.circuit.set_output(out)
+        return y.circuit, y.report
+
+    bag_gates = y._compile_bags()
+    gates = y._full_reduce(bag_gates)
+    assert region is not None or query.is_boolean
+    if query.is_boolean:
+        zeroary = y.circuit.add_project(gates[y.ghd.root], ())
+        out = y.circuit.add_aggregate(zeroary, (), "count", out_attr=CNT)
+        y.circuit.set_output(out)
+        return y.circuit, y.report
+
+    # Count over the region: bottom-up sum-of-products (the paper replaces
+    # each semijoin projection with a sum aggregation and multiplies after
+    # the join); bags outside the region contribute only filtering.
+    region_order = [v for v in y.ghd.bottom_up() if v in region]
+    annotated: Dict[int, int] = {}
+    for v in region:
+        bag = tuple(sorted(y.ghd.bags[v]))
+        spec = {a: Col(a) for a in bag}
+        spec[CNT] = Const(1)
+        annotated[v] = y.circuit.add_map(gates[v], spec, label=f"ann{v}")
+    for v in region_order:
+        p = y.ghd.parent[v]
+        if p is None or p not in region:
+            continue
+        common = tuple(sorted(y.ghd.bags[v] & y.ghd.bags[p]))
+        sums = y.circuit.add_aggregate(annotated[v], common, "sum", CNT,
+                                       out_attr=SUM, label=f"Σ{v}")
+        joined = y.circuit.add_join(annotated[p], sums, label=f"C:{p}⋈{v}")
+        schema = [a for a in y.circuit.gates[joined].bound.schema
+                  if a not in (CNT, SUM)]
+        spec = {a: Col(a) for a in schema}
+        spec[CNT] = Mul(Col(CNT), Col(SUM))
+        annotated[p] = y.circuit.add_map(joined, spec, label=f"×{v}")
+    out = y.circuit.add_aggregate(annotated[y.ghd.root], (), "sum", CNT,
+                                  out_attr=CNT)
+    y.circuit.set_output(out)
+    return y.circuit, y.report
+
+
+def decode_count(relation) -> int:
+    """Read the OUT value from a count circuit's output relation."""
+    rows = list(relation)
+    if not rows:
+        return 0
+    return rows[0][-1]

@@ -1,0 +1,44 @@
+"""Conjunctive-query substrate: relations, hypergraphs, queries, constraints."""
+
+from .degree import (
+    DCSet,
+    DegreeConstraint,
+    cardinality,
+    constraints_of_instance,
+    functional_dependency,
+)
+from .hypergraph import Hypergraph, fractional_edge_cover_lp
+from .io import (
+    database_from_dir,
+    database_to_dir,
+    relation_from_csv,
+    relation_to_csv,
+)
+from .stats import functional_dependencies, round_up_pow2, suggest_constraints
+from .query import Atom, ConjunctiveQuery, Database, parse_query
+from .relation import Relation, attrset, fmt_attrs, product_relation
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "DCSet",
+    "DegreeConstraint",
+    "Hypergraph",
+    "Relation",
+    "attrset",
+    "cardinality",
+    "constraints_of_instance",
+    "fmt_attrs",
+    "fractional_edge_cover_lp",
+    "database_from_dir",
+    "database_to_dir",
+    "relation_from_csv",
+    "relation_to_csv",
+    "functional_dependencies",
+    "round_up_pow2",
+    "suggest_constraints",
+    "functional_dependency",
+    "parse_query",
+    "product_relation",
+]

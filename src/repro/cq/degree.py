@@ -1,0 +1,172 @@
+"""Degree constraints (Section 3.1).
+
+A degree constraint is a triple ``(X, Y, N_{Y|X})`` asserting that in the
+relation guarding it, every value of the attributes ``X`` has at most
+``N_{Y|X}`` extensions to ``Y`` (with ``X ⊆ Y``).  Special cases:
+
+* cardinality constraint: ``(∅, Y, N_Y)``;
+* functional dependency ``X → Y``: ``(X, Y, 1)``.
+
+Following the paper's simplification, ``Y`` must be exactly the schema of the
+guarding relation (constraints on ``Y ⊂ F`` are handled by pre-computing the
+projection ``Π_Y(R_F)`` and adding it as an input relation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .relation import Attr, AttrSet, Relation, attrset, fmt_attrs
+
+
+@dataclass(frozen=True)
+class DegreeConstraint:
+    """The triple ``(X, Y, bound)`` with ``X ⊆ Y`` and ``bound ≥ 1``."""
+
+    x: AttrSet
+    y: AttrSet
+    bound: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", attrset(self.x))
+        object.__setattr__(self, "y", attrset(self.y))
+        if not self.x <= self.y:
+            raise ValueError(f"degree constraint needs X ⊆ Y, got {self}")
+        if self.x == self.y:
+            raise ValueError(f"degree constraint needs X ⊂ Y, got {self}")
+        if self.bound < 1:
+            raise ValueError(f"degree bound must be ≥ 1, got {self.bound}")
+
+    @property
+    def is_cardinality(self) -> bool:
+        """True for cardinality constraints ``(∅, Y, N_Y)``."""
+        return not self.x
+
+    @property
+    def is_fd(self) -> bool:
+        """True for functional dependencies ``(X, Y, 1)``."""
+        return bool(self.x) and self.bound == 1
+
+    @property
+    def log_bound(self) -> float:
+        """``n_{Y|X} = log2 N_{Y|X}`` as used in HDC."""
+        return math.log2(self.bound)
+
+    def holds_on(self, relation: Relation) -> bool:
+        """Check whether ``relation`` guards this constraint.
+
+        Requires ``relation.attrs == Y`` (the paper's guard condition) and
+        ``deg_R(X) ≤ bound``.
+        """
+        if relation.attrs != self.y:
+            return False
+        return relation.degree(self.x) <= self.bound
+
+    def __repr__(self) -> str:
+        return f"({fmt_attrs(self.x)}, {fmt_attrs(self.y)}, {self.bound})"
+
+
+def cardinality(attrs: Iterable[Attr], bound: int) -> DegreeConstraint:
+    """Shorthand for a cardinality constraint ``(∅, Y, N_Y)``."""
+    return DegreeConstraint(frozenset(), attrset(attrs), bound)
+
+
+def functional_dependency(x: Iterable[Attr], y: Iterable[Attr]) -> DegreeConstraint:
+    """Shorthand for a functional dependency ``X → Y`` i.e. ``(X, Y, 1)``."""
+    return DegreeConstraint(attrset(x), attrset(y), 1)
+
+
+class DCSet:
+    """A set of degree constraints (the paper's ``DC``).
+
+    Provides the queries PANDA-C needs: lookup of cardinality bounds, guard
+    resolution, and derivation of the constraint set actually witnessed by a
+    database instance.
+    """
+
+    def __init__(self, constraints: Iterable[DegreeConstraint] = ()):
+        self._constraints: List[DegreeConstraint] = []
+        self._seen: set = set()
+        for c in constraints:
+            self.add(c)
+
+    def add(self, constraint: DegreeConstraint) -> None:
+        """Add a constraint, keeping only the tightest bound per ``(X, Y)``."""
+        key = (constraint.x, constraint.y)
+        existing = self.lookup(constraint.x, constraint.y)
+        if existing is not None and existing.bound <= constraint.bound:
+            return
+        if existing is not None:
+            self._constraints.remove(existing)
+        self._constraints.append(constraint)
+
+    def __iter__(self) -> Iterator[DegreeConstraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __contains__(self, constraint: DegreeConstraint) -> bool:
+        found = self.lookup(constraint.x, constraint.y)
+        return found is not None and found.bound <= constraint.bound
+
+    def __repr__(self) -> str:
+        return f"DCSet({self._constraints!r})"
+
+    def copy(self) -> "DCSet":
+        return DCSet(self._constraints)
+
+    def lookup(self, x: Iterable[Attr], y: Iterable[Attr]) -> Optional[DegreeConstraint]:
+        """The constraint on exactly ``(X, Y)``, or None."""
+        x, y = attrset(x), attrset(y)
+        for c in self._constraints:
+            if c.x == x and c.y == y:
+                return c
+        return None
+
+    def cardinality_of(self, attrs: Iterable[Attr]) -> Optional[int]:
+        """The cardinality bound on attribute set ``attrs``, if any."""
+        c = self.lookup(frozenset(), attrs)
+        return c.bound if c else None
+
+    @property
+    def cardinalities(self) -> List[DegreeConstraint]:
+        return [c for c in self._constraints if c.is_cardinality]
+
+    @property
+    def proper_degrees(self) -> List[DegreeConstraint]:
+        return [c for c in self._constraints if not c.is_cardinality]
+
+    def total_input_size(self) -> int:
+        """``N = Σ_F N_F`` over cardinality constraints (the paper's N)."""
+        return sum(c.bound for c in self.cardinalities)
+
+    def all_hold_on(self, relations: Dict[AttrSet, Relation]) -> bool:
+        """Check every constraint against its guarding relation by schema."""
+        for c in self._constraints:
+            guard = relations.get(c.y)
+            if guard is None or not c.holds_on(guard):
+                return False
+        return True
+
+
+def constraints_of_instance(relations: Iterable[Relation],
+                            degree_keys: Optional[Dict[AttrSet, List[AttrSet]]] = None
+                            ) -> DCSet:
+    """Derive the DC set witnessed by an instance.
+
+    Always includes the cardinality constraint of each relation.  If
+    ``degree_keys`` maps a schema to a list of key subsets ``X``, the observed
+    ``deg(Y|X)`` constraints are included too.
+    """
+    dc = DCSet()
+    for rel in relations:
+        n = max(1, len(rel))
+        dc.add(cardinality(rel.attrs, n))
+        if degree_keys:
+            for x in degree_keys.get(rel.attrs, []):
+                bound = max(1, rel.degree(x))
+                dc.add(DegreeConstraint(attrset(x), rel.attrs, bound))
+    return dc

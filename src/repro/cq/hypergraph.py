@@ -1,0 +1,154 @@
+"""Query hypergraphs (Section 3.1).
+
+A conjunctive query is defined by a hypergraph ``H = ([n], E)`` whose vertices
+are the query variables and whose hyperedges are the relation schemas.  We use
+attribute *names* rather than integers for readability; the paper's ``[n]`` is
+our :attr:`Hypergraph.vertices`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from .relation import Attr, AttrSet, attrset, fmt_attrs
+
+
+class Hypergraph:
+    """A hypergraph over named vertices.
+
+    Hyperedges are stored in insertion order and may repeat attribute sets
+    (two relations over the same schema are distinct atoms); each edge has a
+    stable index used to key relations.
+    """
+
+    def __init__(self, edges: Iterable[Iterable[Attr]], vertices: Iterable[Attr] = ()):
+        self.edges: Tuple[AttrSet, ...] = tuple(attrset(e) for e in edges)
+        verts: Set[Attr] = set(vertices)
+        for edge in self.edges:
+            verts |= edge
+        self.vertices: AttrSet = frozenset(verts)
+        for edge in self.edges:
+            if not edge:
+                raise ValueError("empty hyperedge")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(fmt_attrs(e) for e in self.edges)
+        return f"Hypergraph([{inner}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self.vertices == other.vertices and sorted(
+            map(sorted, self.edges)
+        ) == sorted(map(sorted, other.edges))
+
+    def __hash__(self) -> int:
+        return hash((self.vertices, tuple(sorted(tuple(sorted(e)) for e in self.edges))))
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (the paper's ``n``)."""
+        return len(self.vertices)
+
+    @property
+    def m(self) -> int:
+        """Number of hyperedges (the paper's ``m``)."""
+        return len(self.edges)
+
+    def edges_containing(self, vertex: Attr) -> List[int]:
+        """Indices of hyperedges containing ``vertex``."""
+        return [i for i, e in enumerate(self.edges) if vertex in e]
+
+    def incident(self, vertices: Iterable[Attr]) -> List[int]:
+        """Indices of hyperedges intersecting the given vertex set."""
+        vs = set(vertices)
+        return [i for i, e in enumerate(self.edges) if e & vs]
+
+    def neighbors(self, vertex: Attr) -> AttrSet:
+        """All vertices sharing an edge with ``vertex`` (excluding itself)."""
+        out: Set[Attr] = set()
+        for edge in self.edges:
+            if vertex in edge:
+                out |= edge
+        out.discard(vertex)
+        return frozenset(out)
+
+    def is_connected(self) -> bool:
+        """True if the hypergraph is connected (vertices via shared edges)."""
+        if not self.vertices:
+            return True
+        seen: Set[Attr] = set()
+        frontier = [next(iter(self.vertices))]
+        while frontier:
+            v = frontier.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            frontier.extend(self.neighbors(v) - seen)
+        return seen == set(self.vertices)
+
+    def induced(self, vertices: Iterable[Attr]) -> "Hypergraph":
+        """The sub-hypergraph induced on a vertex subset (edges intersected)."""
+        vs = frozenset(vertices)
+        edges = [e & vs for e in self.edges if e & vs]
+        return Hypergraph(edges, vertices=vs)
+
+    # ------------------------------------------------------------------
+    # structural predicates
+    # ------------------------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity via the GYO ear-removal algorithm."""
+        edges: List[Set[Attr]] = [set(e) for e in self.edges]
+        changed = True
+        while changed:
+            changed = False
+            # Remove isolated vertices: vertices in exactly one edge.
+            counts: Dict[Attr, int] = {}
+            for e in edges:
+                for v in e:
+                    counts[v] = counts.get(v, 0) + 1
+            for e in edges:
+                lonely = {v for v in e if counts.get(v, 0) == 1}
+                if lonely:
+                    e -= lonely
+                    changed = True
+            # Remove empty edges and edges contained in another edge.
+            edges = [e for e in edges if e]
+            kept: List[Set[Attr]] = []
+            for i, e in enumerate(edges):
+                contained = any(
+                    e <= f for j, f in enumerate(edges) if i != j and not (e == f and i < j)
+                )
+                if contained:
+                    changed = True
+                else:
+                    kept.append(e)
+            edges = kept
+        return not edges
+
+
+def fractional_edge_cover_lp(graph: Hypergraph) -> Tuple[float, Dict[int, float]]:
+    """Solve the fractional edge cover LP: min Σ w_e, s.t. Σ_{e ∋ v} w_e ≥ 1.
+
+    Returns ``(rho_star, weights)`` with weights keyed by edge index.  This is
+    the ``ρ*`` of Section 4.4; under equal cardinalities ``DAPB = N^{ρ*}``.
+    """
+    from scipy.optimize import linprog
+
+    verts = sorted(graph.vertices)
+    m = graph.m
+    if m == 0:
+        return 0.0, {}
+    c = [1.0] * m
+    # -A w <= -1  <=>  A w >= 1
+    a_ub = []
+    b_ub = []
+    for v in verts:
+        row = [-1.0 if v in graph.edges[i] else 0.0 for i in range(m)]
+        a_ub.append(row)
+        b_ub.append(-1.0)
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * m, method="highs")
+    if not res.success:
+        raise RuntimeError(f"fractional edge cover LP failed: {res.message}")
+    weights = {i: float(res.x[i]) for i in range(m)}
+    return float(res.fun), weights

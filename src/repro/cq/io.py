@@ -1,0 +1,89 @@
+"""Relation and database IO: CSV files and directories.
+
+The practical on-ramp: load relations from CSV (integer columns; a header
+row gives attribute names), save results, and assemble a
+:class:`~repro.cq.query.Database` from a directory of ``<atom>.csv`` files.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from .query import Atom, ConjunctiveQuery, Database
+from .relation import Attr, Relation
+
+PathLike = Union[str, os.PathLike]
+
+
+def relation_from_csv(path: PathLike, schema: Optional[Sequence[Attr]] = None
+                      ) -> Relation:
+    """Load a relation from a CSV file.
+
+    Without ``schema``, the first row is the header.  Values must be
+    integers (the paper's domain ``[u]``).
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row and any(c.strip() for c in row)]
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    if schema is None:
+        schema = tuple(c.strip() for c in rows[0])
+        data = rows[1:]
+    else:
+        schema = tuple(schema)
+        data = rows
+    parsed = []
+    for lineno, row in enumerate(data, start=2 if schema else 1):
+        if len(row) != len(schema):
+            raise ValueError(
+                f"{path}:{lineno}: {len(row)} fields, schema has {len(schema)}")
+        try:
+            parsed.append(tuple(int(c) for c in row))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: non-integer value") from exc
+    return Relation(schema, parsed)
+
+
+def relation_to_csv(relation: Relation, path: PathLike,
+                    header: bool = True) -> None:
+    """Write a relation as CSV (rows in canonical sorted order)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(relation.schema)
+        for row in relation:
+            writer.writerow(row)
+
+
+def database_from_dir(directory: PathLike, query: ConjunctiveQuery
+                      ) -> Database:
+    """Assemble a database from ``<atom-name>.csv`` files in a directory.
+
+    Each file's header must name exactly the atom's variables (order free).
+    """
+    directory = Path(directory)
+    relations: Dict[str, Relation] = {}
+    for atom in query.atoms:
+        path = directory / f"{atom.name}.csv"
+        if not path.exists():
+            raise FileNotFoundError(f"missing relation file {path}")
+        rel = relation_from_csv(path)
+        if rel.attrs != atom.varset:
+            raise ValueError(
+                f"{path}: columns {sorted(rel.attrs)} do not match atom "
+                f"variables {sorted(atom.varset)}")
+        relations[atom.name] = rel.reorder(atom.vars)
+    return Database(relations)
+
+
+def database_to_dir(db: Database, query: ConjunctiveQuery,
+                    directory: PathLike) -> None:
+    """Write every atom's relation as ``<atom-name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for atom in query.atoms:
+        relation_to_csv(db[atom.name], directory / f"{atom.name}.csv")

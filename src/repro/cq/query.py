@@ -1,0 +1,235 @@
+"""Conjunctive queries (Section 3.1).
+
+A CQ is a hypergraph plus a set of free variables:
+
+    Q(A_1..A_k) <- ∃(A_{k+1}..A_n) ⋀_{F ∈ E} R_F(A_F)
+
+* ``k = n`` (all variables free): *full* query, FCQ;
+* ``k = 0``: *Boolean* query, BCQ.
+
+Each hyperedge (atom) has a name so that self-joins — repeated relation
+symbols over different variables — are representable; the :class:`Database`
+maps atom names to relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .degree import DCSet, cardinality
+from .hypergraph import Hypergraph
+from .relation import Attr, AttrSet, Relation, attrset, fmt_attrs
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One query atom ``name(vars)``; ``vars`` is ordered."""
+
+    name: str
+    vars: Tuple[Attr, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.vars)) != len(self.vars):
+            raise ValueError(f"repeated variable within an atom: {self}")
+
+    @property
+    def varset(self) -> AttrSet:
+        return frozenset(self.vars)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({','.join(self.vars)})"
+
+
+class ConjunctiveQuery:
+    """A conjunctive query over named atoms.
+
+    Parameters
+    ----------
+    atoms:
+        The query body.
+    free:
+        Free (output) variables; defaults to all variables (an FCQ).
+    """
+
+    def __init__(self, atoms: Iterable[Atom], free: Optional[Iterable[Attr]] = None):
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        if not self.atoms:
+            raise ValueError("a query needs at least one atom")
+        names = [a.name for a in self.atoms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"atom names must be unique, got {names}")
+        all_vars = frozenset(v for a in self.atoms for v in a.vars)
+        self.free: AttrSet = all_vars if free is None else frozenset(free)
+        if not self.free <= all_vars:
+            raise ValueError(
+                f"free variables {self.free - all_vars} not in the body"
+            )
+        self.variables: AttrSet = all_vars
+
+    # ------------------------------------------------------------------
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return Hypergraph([a.varset for a in self.atoms])
+
+    @property
+    def bound(self) -> AttrSet:
+        """Bound (existential) variables."""
+        return self.variables - self.free
+
+    @property
+    def is_full(self) -> bool:
+        return self.free == self.variables
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.free
+
+    def atom(self, name: str) -> Atom:
+        for a in self.atoms:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def full_version(self) -> "ConjunctiveQuery":
+        """The FCQ with the same body and all variables free."""
+        return ConjunctiveQuery(self.atoms, free=self.variables)
+
+    def __repr__(self) -> str:
+        head = ",".join(sorted(self.free))
+        body = ", ".join(repr(a) for a in self.atoms)
+        return f"Q({head}) <- {body}"
+
+    # ------------------------------------------------------------------
+    # evaluation oracle (RAM; used as ground truth in tests)
+    # ------------------------------------------------------------------
+    def evaluate(self, db: "Database") -> Relation:
+        """Reference evaluation: left-deep natural joins then projection.
+
+        This is the correctness oracle; efficient evaluators live in
+        :mod:`repro.ram` and :mod:`repro.core`.
+        """
+        result: Optional[Relation] = None
+        for a in self.atoms:
+            rel = db[a.name]
+            if rel.attrs != a.varset:
+                rel = rel.rename(dict(zip(rel.schema, a.vars)))
+            result = rel if result is None else result.join(rel)
+        assert result is not None
+        if self.is_boolean:
+            return Relation((), [()] if len(result) else [])
+        return result.project(tuple(sorted(self.free)))
+
+    def output_size(self, db: "Database") -> int:
+        return len(self.evaluate(db))
+
+    def default_dc(self, db: "Database") -> DCSet:
+        """Cardinality constraints read off a database instance."""
+        dc = DCSet()
+        for a in self.atoms:
+            dc.add(cardinality(a.varset, max(1, len(db[a.name]))))
+        return dc
+
+
+class Database:
+    """A database instance: atom name -> relation.
+
+    Relations are stored with their schema renamed to the query's variables,
+    so lookups by atom name return a relation over that atom's variable set.
+    """
+
+    def __init__(self, relations: Mapping[str, Relation]):
+        self._relations: Dict[str, Relation] = dict(relations)
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.items())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def total_size(self) -> int:
+        """``N``: the total number of tuples across relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def domain_size(self) -> int:
+        """``u``: the largest attribute value in the instance."""
+        return max((r.domain_size() for r in self._relations.values()), default=0)
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        new = dict(self._relations)
+        new[name] = relation
+        return Database(new)
+
+    def conforms_to(self, query: ConjunctiveQuery, dc: DCSet) -> bool:
+        """Check every constraint in ``dc`` against its guard atom(s).
+
+        A constraint ``(X, Y, b)`` must be guarded by *some* atom whose
+        variable set is exactly ``Y`` and whose relation satisfies it.
+        """
+        for c in dc:
+            ok = False
+            for a in query.atoms:
+                if a.varset == c.y and c.holds_on(self[a.name].rename(
+                        dict(zip(self[a.name].schema, a.vars)))):
+                    ok = True
+                    break
+            if not ok:
+                return False
+        return True
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style query string.
+
+    Grammar (whitespace-insensitive)::
+
+        Q(A, B) <- R(A, B), S(B, C)       # free variables in the head
+        Q() <- R(A, B), S(B, C)           # Boolean query
+        R(A, B), S(B, C)                  # headless: full query
+
+    Atom names must be unique (use ``R1``, ``R2`` for self-joins).
+    """
+    text = text.strip()
+    free: Optional[List[Attr]] = None
+    body = text
+    if "<-" in text:
+        head, body = text.split("<-", 1)
+        head = head.strip()
+        if not (head.endswith(")") and "(" in head):
+            raise ValueError(f"malformed head: {head!r}")
+        inner = head[head.index("(") + 1:-1].strip()
+        free = [v.strip() for v in inner.split(",") if v.strip()] if inner else []
+    atoms: List[Atom] = []
+    depth = 0
+    token = ""
+    parts: List[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(token)
+            token = ""
+        else:
+            token += ch
+    if token.strip():
+        parts.append(token)
+    for part in parts:
+        part = part.strip()
+        if not (part.endswith(")") and "(" in part):
+            raise ValueError(f"malformed atom: {part!r}")
+        name = part[: part.index("(")].strip()
+        inner = part[part.index("(") + 1:-1]
+        vars_ = tuple(v.strip() for v in inner.split(",") if v.strip())
+        if not name or not vars_:
+            raise ValueError(f"malformed atom: {part!r}")
+        atoms.append(Atom(name, vars_))
+    return ConjunctiveQuery(atoms, free=free)

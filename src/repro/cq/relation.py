@@ -1,0 +1,280 @@
+"""Relations over integer domains.
+
+The paper (Section 3.1) works with relations whose tuples draw values from an
+integer domain ``[u] = {1, ..., u}``.  A :class:`Relation` pairs a *schema* (an
+ordered tuple of attribute names) with a set of value tuples.  Relations are
+immutable: every operator returns a new relation.
+
+Attributes are plain strings (the paper writes them ``A_1, ..., A_n``); a set
+of attributes is canonically represented as a :func:`frozenset` and rendered
+in sorted order for display.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+Attr = str
+AttrSet = FrozenSet[Attr]
+Row = Tuple[int, ...]
+
+
+def attrset(attrs: Iterable[Attr]) -> AttrSet:
+    """Return the canonical (frozen) form of a set of attributes."""
+    return frozenset(attrs)
+
+
+def fmt_attrs(attrs: Iterable[Attr]) -> str:
+    """Render an attribute set the way the paper does, e.g. ``ABC``."""
+    names = sorted(attrs)
+    if not names:
+        return "{}"
+    if all(len(name) == 1 for name in names):
+        return "".join(names)
+    return ",".join(names)
+
+
+class Relation:
+    """An immutable relation: an ordered schema plus a set of integer rows.
+
+    Parameters
+    ----------
+    schema:
+        Ordered attribute names; duplicates are rejected.
+    rows:
+        Iterable of tuples, each of the same arity as ``schema``.
+    """
+
+    __slots__ = ("schema", "rows", "_index_cache")
+
+    def __init__(self, schema: Sequence[Attr], rows: Iterable[Sequence[int]] = ()):
+        schema = tuple(schema)
+        if len(set(schema)) != len(schema):
+            raise ValueError(f"duplicate attributes in schema {schema!r}")
+        self.schema: Tuple[Attr, ...] = schema
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row {row!r} has arity {len(row)}, schema {schema!r} "
+                    f"has arity {len(schema)}"
+                )
+        self.rows: FrozenSet[Row] = frozen
+        self._index_cache: Dict[Tuple[Attr, ...], Dict[Row, list]] = {}
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def attrs(self) -> AttrSet:
+        """The schema as an (unordered) attribute set."""
+        return frozenset(self.schema)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self.rows))
+
+    def __contains__(self, row: Sequence[int]) -> bool:
+        return tuple(row) in self.rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attrs != other.attrs:
+            return False
+        return self.reorder(sorted(self.attrs)).rows == other.reorder(sorted(other.attrs)).rows
+
+    def __hash__(self) -> int:
+        order = tuple(sorted(self.attrs))
+        return hash((order, self.reorder(order).rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({fmt_attrs(self.schema)}, {len(self.rows)} rows)"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, schema: Sequence[Attr], dicts: Iterable[Mapping[Attr, int]]) -> "Relation":
+        """Build a relation from mappings ``attr -> value``."""
+        schema = tuple(schema)
+        return cls(schema, (tuple(d[a] for a in schema) for d in dicts))
+
+    def as_dicts(self) -> Iterator[Dict[Attr, int]]:
+        """Yield each row as an ``attr -> value`` dict (sorted row order)."""
+        for row in self:
+            yield dict(zip(self.schema, row))
+
+    # ------------------------------------------------------------------
+    # relational algebra
+    # ------------------------------------------------------------------
+    def reorder(self, schema: Sequence[Attr]) -> "Relation":
+        """Return the same relation with columns permuted to ``schema``."""
+        schema = tuple(schema)
+        if frozenset(schema) != self.attrs or len(schema) != len(self.schema):
+            raise ValueError(f"cannot reorder {self.schema!r} to {schema!r}")
+        if schema == self.schema:
+            return self
+        pos = [self.schema.index(a) for a in schema]
+        return Relation(schema, (tuple(row[p] for p in pos) for row in self.rows))
+
+    def project(self, attrs: Sequence[Attr]) -> "Relation":
+        """Projection with duplicate elimination, ``Π_F(R)``."""
+        attrs = tuple(attrs)
+        missing = set(attrs) - self.attrs
+        if missing:
+            raise ValueError(f"projection attrs {missing!r} not in schema {self.schema!r}")
+        pos = [self.schema.index(a) for a in attrs]
+        return Relation(attrs, (tuple(row[p] for p in pos) for row in self.rows))
+
+    def select(self, predicate: Callable[[Dict[Attr, int]], bool]) -> "Relation":
+        """Selection ``σ_φ(R)`` with a row-dict predicate."""
+        keep = [row for row in self.rows if predicate(dict(zip(self.schema, row)))]
+        return Relation(self.schema, keep)
+
+    def select_eq(self, attr: Attr, value: int) -> "Relation":
+        """Selection ``σ_{A=v}(R)`` (the common special case, fast path)."""
+        pos = self.schema.index(attr)
+        return Relation(self.schema, (row for row in self.rows if row[pos] == value))
+
+    def rename(self, mapping: Mapping[Attr, Attr]) -> "Relation":
+        """Rename attributes; attributes absent from ``mapping`` are kept."""
+        schema = tuple(mapping.get(a, a) for a in self.schema)
+        return Relation(schema, self.rows)
+
+    def _index(self, key: Sequence[Attr]) -> Dict[Row, list]:
+        """A hash index from key values to matching rows (memoised)."""
+        key = tuple(key)
+        cached = self._index_cache.get(key)
+        if cached is not None:
+            return cached
+        pos = [self.schema.index(a) for a in key]
+        index: Dict[Row, list] = {}
+        for row in self.rows:
+            index.setdefault(tuple(row[p] for p in pos), []).append(row)
+        self._index_cache[key] = index
+        return index
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural join ``R ⋈ S`` (hash join on the common attributes)."""
+        common = tuple(sorted(self.attrs & other.attrs))
+        out_schema = self.schema + tuple(a for a in other.schema if a not in self.attrs)
+        if not common:
+            rows = (
+                left + right
+                for left, right in itertools.product(self.rows, other.rows)
+            )
+            return Relation(out_schema, rows)
+        # Probe the smaller side's index.
+        if len(other) < len(self):
+            build, probe = other, self
+        else:
+            build, probe = self, other
+        index = build._index(common)
+        probe_pos = [probe.schema.index(a) for a in common]
+        extra_pos = [
+            other.schema.index(a) for a in other.schema if a not in self.attrs
+        ]
+        self_pos = list(range(len(self.schema)))
+        out_rows = []
+        for prow in probe.rows:
+            key = tuple(prow[p] for p in probe_pos)
+            for brow in index.get(key, ()):
+                if probe is self:
+                    srow, orow = prow, brow
+                else:
+                    srow, orow = brow, prow
+                out_rows.append(
+                    tuple(srow[p] for p in self_pos) + tuple(orow[p] for p in extra_pos)
+                )
+        return Relation(out_schema, out_rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Semijoin ``R ⋉ S``: rows of ``R`` that join with some row of ``S``."""
+        common = tuple(sorted(self.attrs & other.attrs))
+        if not common:
+            return self if len(other) else Relation(self.schema)
+        keys = set(other.project(common).rows)
+        pos = [self.schema.index(a) for a in common]
+        return Relation(
+            self.schema,
+            (row for row in self.rows if tuple(row[p] for p in pos) in keys),
+        )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; schemas must cover the same attribute set."""
+        if self.attrs != other.attrs:
+            raise ValueError(
+                f"union over different attribute sets: {self.schema!r} vs {other.schema!r}"
+            )
+        return Relation(self.schema, self.rows | other.reorder(self.schema).rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``R - S``."""
+        if self.attrs != other.attrs:
+            raise ValueError("difference over different attribute sets")
+        return Relation(self.schema, self.rows - other.reorder(self.schema).rows)
+
+    def aggregate(self, group_by: Sequence[Attr], agg: str, attr: Attr | None = None,
+                  out_attr: Attr = "agg") -> "Relation":
+        """Group-by aggregation ``Π_{F, agg(A)}(R)`` (Section 4.3).
+
+        ``agg`` is one of ``count``, ``sum``, ``min``, ``max``.  For ``count``,
+        ``attr`` is ignored.  The result has schema ``group_by + (out_attr,)``.
+        """
+        group_by = tuple(group_by)
+        gpos = [self.schema.index(a) for a in group_by]
+        if agg != "count":
+            if attr is None:
+                raise ValueError(f"aggregate {agg!r} needs an attribute")
+            apos = self.schema.index(attr)
+        groups: Dict[Row, list] = {}
+        for row in self.rows:
+            key = tuple(row[p] for p in gpos)
+            groups.setdefault(key, []).append(row)
+        out_rows = []
+        for key, rows in groups.items():
+            if agg == "count":
+                value = len(rows)
+            else:
+                values = [row[apos] for row in rows]
+                if agg == "sum":
+                    value = sum(values)
+                elif agg == "min":
+                    value = min(values)
+                elif agg == "max":
+                    value = max(values)
+                else:
+                    raise ValueError(f"unknown aggregate {agg!r}")
+            out_rows.append(key + (value,))
+        return Relation(group_by + (out_attr,), out_rows)
+
+    # ------------------------------------------------------------------
+    # degree statistics (Section 3.1)
+    # ------------------------------------------------------------------
+    def degree(self, of: Iterable[Attr]) -> int:
+        """``deg_R(X) = max_t |σ_{X=t}(R)|`` — maximum fan-out from ``X``.
+
+        For ``X = ∅`` this is just ``|R|``.
+        """
+        key = tuple(sorted(of))
+        if not key:
+            return len(self.rows)
+        if not self.rows:
+            return 0
+        index = self._index(key)
+        return max(len(rows) for rows in index.values())
+
+    def domain_size(self) -> int:
+        """The largest value appearing anywhere in the relation (0 if empty)."""
+        return max((v for row in self.rows for v in row), default=0)
+
+
+def product_relation(schema: Sequence[Attr], domains: Mapping[Attr, Iterable[int]]) -> Relation:
+    """The full cross product over per-attribute domains (testing helper)."""
+    schema = tuple(schema)
+    pools = [list(domains[a]) for a in schema]
+    return Relation(schema, itertools.product(*pools))

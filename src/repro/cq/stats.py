@@ -1,0 +1,82 @@
+"""Degree-constraint discovery from data.
+
+PANDA-C consumes degree constraints; real data rarely comes with them.
+This module profiles a database instance and *suggests* a DC set:
+
+* exact cardinalities per atom;
+* degree bounds ``deg(Y|X)`` for every key subset ``X``, rounded up to the
+  next power of two (so constraints stay valid under modest data growth and
+  the circuit does not have to be regenerated per insert);
+* functional dependencies are recognised as degree-1 constraints.
+
+The suggestions are sound for the profiled instance by construction; the
+round-up head-room is configurable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, List, Optional
+
+from .degree import DCSet, DegreeConstraint, cardinality
+from .query import ConjunctiveQuery, Database
+from .relation import Attr, attrset
+
+
+def round_up_pow2(value: int) -> int:
+    """The smallest power of two ≥ value (≥ 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def suggest_constraints(query: ConjunctiveQuery, db: Database,
+                        max_key_size: int = 2,
+                        headroom: int = 1,
+                        round_pow2: bool = True) -> DCSet:
+    """Profile ``db`` and return a DC set the instance conforms to.
+
+    Parameters
+    ----------
+    max_key_size:
+        Profile degree keys ``X`` up to this size (constraints on larger
+        keys are rarely useful and cost profiling time).
+    headroom:
+        Multiply observed values by this factor before rounding, to keep
+        the constraints valid under growth.
+    round_pow2:
+        Round bounds up to powers of two (keeps the DC set stable).
+    """
+    if headroom < 1:
+        raise ValueError("headroom must be ≥ 1")
+    dc = DCSet()
+
+    def finish(value: int) -> int:
+        value = max(1, value * headroom)
+        return round_up_pow2(value) if round_pow2 else value
+
+    for atom in query.atoms:
+        rel = db[atom.name].rename(
+            dict(zip(db[atom.name].schema, atom.vars)))
+        dc.add(cardinality(atom.varset, finish(len(rel))))
+        vars_sorted = sorted(atom.varset)
+        for size in range(1, min(max_key_size, len(vars_sorted) - 1) + 1):
+            for key in itertools.combinations(vars_sorted, size):
+                observed = rel.degree(key)
+                bound = finish(observed)
+                # Skip vacuous constraints (no tighter than cardinality).
+                if bound < finish(len(rel)):
+                    dc.add(DegreeConstraint(attrset(key), atom.varset, bound))
+    return dc
+
+
+def functional_dependencies(query: ConjunctiveQuery, db: Database,
+                            max_key_size: int = 2) -> List[DegreeConstraint]:
+    """The FDs (degree-1 constraints) the instance satisfies."""
+    fds = []
+    for c in suggest_constraints(query, db, max_key_size=max_key_size,
+                                 round_pow2=False):
+        if c.is_fd:
+            fds.append(c)
+    return fds

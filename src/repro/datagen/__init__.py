@@ -1,0 +1,42 @@
+"""Workload generators for tests and benchmarks."""
+
+from .generators import (
+    bowtie_query,
+    clique_query,
+    cycle_query,
+    hierarchical_query,
+    degree_bounded_relation,
+    loomis_whitney_query,
+    path_query,
+    random_database,
+    random_relation,
+    skewed_relation,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+from .worstcase import (
+    agm_worst_triangle,
+    blowup_path,
+    matching_path,
+    skew_triangle,
+)
+
+__all__ = [
+    "agm_worst_triangle",
+    "bowtie_query",
+    "clique_query",
+    "hierarchical_query",
+    "blowup_path",
+    "cycle_query",
+    "degree_bounded_relation",
+    "loomis_whitney_query",
+    "matching_path",
+    "path_query",
+    "random_database",
+    "random_relation",
+    "skewed_relation",
+    "star_query",
+    "triangle_query",
+    "uniform_dc",
+]

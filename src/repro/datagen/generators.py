@@ -1,0 +1,179 @@
+"""Workload generators: random and structured instances with controlled
+cardinalities and degrees.
+
+All generators take an explicit :class:`random.Random` seed or instance so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cq.degree import DCSet, DegreeConstraint, cardinality
+from ..cq.query import Atom, ConjunctiveQuery, Database
+from ..cq.relation import Attr, Relation
+
+
+def _rng(seed) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_relation(schema: Sequence[Attr], size: int, domain: int,
+                    seed=0) -> Relation:
+    """``size`` distinct uniform tuples over ``[domain]^arity``.
+
+    Raises if the domain cannot host that many distinct tuples.
+    """
+    rng = _rng(seed)
+    arity = len(schema)
+    if domain ** arity < size:
+        raise ValueError(f"domain {domain}^{arity} too small for {size} tuples")
+    rows = set()
+    while len(rows) < size:
+        rows.add(tuple(rng.randint(1, domain) for _ in range(arity)))
+    return Relation(schema, rows)
+
+
+def degree_bounded_relation(schema: Sequence[Attr], size: int, domain: int,
+                            key: Sequence[Attr], max_degree: int,
+                            seed=0) -> Relation:
+    """A binary-ish relation with ``deg(key) ≤ max_degree`` exactly enforced."""
+    rng = _rng(seed)
+    key = tuple(key)
+    rest = tuple(a for a in schema if a not in key)
+    rows = set()
+    counts: Dict[Tuple[int, ...], int] = {}
+    attempts = 0
+    while len(rows) < size and attempts < size * 50:
+        attempts += 1
+        kval = tuple(rng.randint(1, domain) for _ in key)
+        if counts.get(kval, 0) >= max_degree:
+            continue
+        row_map = dict(zip(key, kval))
+        row_map.update({a: rng.randint(1, domain) for a in rest})
+        row = tuple(row_map[a] for a in schema)
+        if row in rows:
+            continue
+        rows.add(row)
+        counts[kval] = counts.get(kval, 0) + 1
+    return Relation(schema, rows)
+
+
+def skewed_relation(schema: Sequence[Attr], size: int, domain: int,
+                    skew_attr: Attr, zipf: float = 1.2, seed=0) -> Relation:
+    """A relation whose ``skew_attr`` values follow a Zipf-like distribution
+    (a few heavy hitters, a long light tail) — the workload that motivates
+    heavy/light splitting."""
+    rng = _rng(seed)
+    weights = [1.0 / (i ** zipf) for i in range(1, domain + 1)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    rest = tuple(a for a in schema if a != skew_attr)
+    rows = set()
+    attempts = 0
+    while len(rows) < size and attempts < size * 100:
+        attempts += 1
+        value = rng.choices(range(1, domain + 1), weights=weights)[0]
+        row_map = {skew_attr: value}
+        row_map.update({a: rng.randint(1, domain) for a in rest})
+        rows.add(tuple(row_map[a] for a in schema))
+    return Relation(schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# query families
+# ---------------------------------------------------------------------------
+
+def triangle_query() -> ConjunctiveQuery:
+    """``Q△(A,B,C) ← R_AB(A,B), R_BC(B,C), R_AC(A,C)``."""
+    return ConjunctiveQuery([
+        Atom("R_AB", ("A", "B")),
+        Atom("R_BC", ("B", "C")),
+        Atom("R_AC", ("A", "C")),
+    ])
+
+
+def cycle_query(k: int) -> ConjunctiveQuery:
+    """The ``k``-cycle: ``R_i(X_i, X_{i+1 mod k})``."""
+    if k < 3:
+        raise ValueError("cycle needs k ≥ 3")
+    atoms = [
+        Atom(f"R{i}", (f"X{i}", f"X{(i + 1) % k}"))
+        for i in range(k)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def path_query(k: int, free: Optional[Iterable[Attr]] = None) -> ConjunctiveQuery:
+    """The ``k``-path: ``R_i(X_i, X_{i+1})`` for i in 0..k-1."""
+    if k < 1:
+        raise ValueError("path needs k ≥ 1")
+    atoms = [Atom(f"R{i}", (f"X{i}", f"X{i + 1}")) for i in range(k)]
+    return ConjunctiveQuery(atoms, free=free)
+
+
+def star_query(k: int, free: Optional[Iterable[Attr]] = None) -> ConjunctiveQuery:
+    """The ``k``-star: ``R_i(A, B_i)``."""
+    if k < 1:
+        raise ValueError("star needs k ≥ 1")
+    atoms = [Atom(f"R{i}", ("A", f"B{i}")) for i in range(k)]
+    return ConjunctiveQuery(atoms, free=free)
+
+
+def clique_query(k: int) -> ConjunctiveQuery:
+    """The ``k``-clique: one binary atom per pair of variables."""
+    if k < 3:
+        raise ValueError("clique needs k ≥ 3")
+    variables = [f"X{i}" for i in range(k)]
+    atoms = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            atoms.append(Atom(f"R{i}{j}", (variables[i], variables[j])))
+    return ConjunctiveQuery(atoms)
+
+
+def hierarchical_query(depth: int) -> ConjunctiveQuery:
+    """A hierarchical query: a root variable shared by nested atoms,
+    ``R_i(A, B_1, ..., B_i)`` for i in 1..depth."""
+    if depth < 1:
+        raise ValueError("hierarchy needs depth ≥ 1")
+    atoms = []
+    for i in range(1, depth + 1):
+        atoms.append(Atom(f"R{i}", ("A",) + tuple(f"B{j}" for j in range(1, i + 1))))
+    return ConjunctiveQuery(atoms)
+
+
+def bowtie_query() -> ConjunctiveQuery:
+    """Two triangles sharing one vertex (a classic GHD example)."""
+    return ConjunctiveQuery([
+        Atom("L1", ("A", "B")), Atom("L2", ("B", "C")), Atom("L3", ("A", "C")),
+        Atom("R1", ("C", "D")), Atom("R2", ("D", "E")), Atom("R3", ("C", "E")),
+    ])
+
+
+def loomis_whitney_query(k: int) -> ConjunctiveQuery:
+    """LW_k: one atom per (k-1)-subset of k variables; LW_3 is the triangle."""
+    if k < 3:
+        raise ValueError("Loomis–Whitney needs k ≥ 3")
+    variables = [f"X{i}" for i in range(k)]
+    atoms = []
+    for skip in range(k):
+        vs = tuple(v for i, v in enumerate(variables) if i != skip)
+        atoms.append(Atom(f"R{skip}", vs))
+    return ConjunctiveQuery(atoms)
+
+
+def random_database(query: ConjunctiveQuery, size: int, domain: int,
+                    seed=0) -> Database:
+    """Uniform random instance: each atom gets ``size`` random tuples."""
+    rng = _rng(seed)
+    rels = {}
+    for atom in query.atoms:
+        rels[atom.name] = random_relation(atom.vars, size, domain, seed=rng)
+    return Database(rels)
+
+
+def uniform_dc(query: ConjunctiveQuery, size: int) -> DCSet:
+    """Equal cardinality constraints ``|R_F| ≤ size`` for every atom."""
+    return DCSet(cardinality(a.varset, size) for a in query.atoms)

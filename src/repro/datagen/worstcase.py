@@ -1,0 +1,75 @@
+"""Worst-case database instances.
+
+These instances make the output-size bounds *tight*, so benchmarks can show
+circuits being exercised at their designed capacity rather than on easy
+random data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..cq.query import Database
+from ..cq.relation import Relation
+
+
+def agm_worst_triangle(n: int) -> Tuple[Database, int]:
+    """The AGM-tight triangle instance.
+
+    Each relation is ``[√N] × [√N]`` (so ``|R| ≈ N``), and every combination
+    ``(a, b, c) ∈ [√N]³`` is a triangle — output size ``N^{3/2}``, matching
+    ``DAPB(Q△)``.  Returns ``(database, per-relation size)``.
+    """
+    side = max(1, math.isqrt(n))
+    pairs = [(a, b) for a in range(1, side + 1) for b in range(1, side + 1)]
+    db = Database({
+        "R_AB": Relation(("A", "B"), pairs),
+        "R_BC": Relation(("B", "C"), pairs),
+        "R_AC": Relation(("A", "C"), pairs),
+    })
+    return db, side * side
+
+
+def skew_triangle(n: int, heavy_fraction: float = 0.5) -> Tuple[Database, int]:
+    """A triangle instance mixing one heavy C-hub with a light diagonal.
+
+    Half the tuples of ``R_BC`` share a single heavy ``C`` value (degree
+    ≈ N/2 ≫ √N); the rest are light.  Exercises both sides of the
+    Figure-1 heavy/light split at once.
+    """
+    n_heavy = max(1, int(n * heavy_fraction))
+    n_light = max(1, n - n_heavy)
+    hub = n + 1
+    bc = [(b, hub) for b in range(1, n_heavy + 1)]
+    bc += [(i, i) for i in range(1, n_light + 1)]
+    ab = [(a, b) for a in range(1, math.isqrt(n) + 1)
+          for b in range(1, math.isqrt(n) + 1)]
+    ac = [(a, hub) for a in range(1, n_heavy + 1)]
+    ac += [(i, i) for i in range(1, n_light + 1)]
+    db = Database({
+        "R_AB": Relation(("A", "B"), ab),
+        "R_BC": Relation(("B", "C"), bc),
+        "R_AC": Relation(("A", "C"), ac),
+    })
+    return db, max(len(db["R_AB"]), len(db["R_BC"]), len(db["R_AC"]))
+
+
+def matching_path(n: int, k: int) -> Database:
+    """A ``k``-path instance of perfect matchings: output size n (small OUT)."""
+    rels = {}
+    for i in range(k):
+        rels[f"R{i}"] = Relation((f"X{i}", f"X{i+1}"),
+                                 [(v, v) for v in range(1, n + 1)])
+    return Database(rels)
+
+
+def blowup_path(n: int, k: int) -> Database:
+    """A ``k``-path instance whose output blows up: each relation is a
+    complete bipartite ``[√n] × [√n]``, so OUT ≈ n^{(k+1)/2}."""
+    side = max(1, math.isqrt(n))
+    pairs = [(a, b) for a in range(1, side + 1) for b in range(1, side + 1)]
+    rels = {}
+    for i in range(k):
+        rels[f"R{i}"] = Relation((f"X{i}", f"X{i+1}"), pairs)
+    return Database(rels)

@@ -1,0 +1,27 @@
+"""Generalized hypertree decompositions and width measures (Section 6)."""
+
+from .decomposition import GHD, trivial_ghd
+from .search import enumerate_ghds, ghd_from_elimination
+from .widths import (
+    WidthResult,
+    bag_width,
+    candidate_ghds,
+    da_fhtw,
+    da_subw,
+    fhtw,
+    ghd_width,
+)
+
+__all__ = [
+    "GHD",
+    "WidthResult",
+    "bag_width",
+    "candidate_ghds",
+    "da_fhtw",
+    "da_subw",
+    "enumerate_ghds",
+    "fhtw",
+    "ghd_from_elimination",
+    "ghd_width",
+    "trivial_ghd",
+]

@@ -1,0 +1,164 @@
+"""Generalized hypertree decompositions (Definition 1, Section 6.1).
+
+A GHD of a query hypergraph is a rooted tree with a *bag* of variables per
+node such that (i) every hyperedge fits in some bag and (ii) each variable's
+occurrences form a connected subtree.  For non-full queries we additionally
+use *free-connex* GHDs: some connected set of nodes containing the root has
+bags whose union is exactly the free variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..cq.hypergraph import Hypergraph
+from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
+
+
+@dataclass
+class GHD:
+    """A rooted generalized hypertree decomposition.
+
+    ``bags[i]`` is node ``i``'s bag; ``parent[i]`` is its parent node id
+    (``None`` for the root).  Node 0 need not be the root.
+    """
+
+    bags: List[AttrSet]
+    parent: List[Optional[int]]
+
+    def __post_init__(self) -> None:
+        self.bags = [attrset(b) for b in self.bags]
+        if len(self.bags) != len(self.parent):
+            raise ValueError("bags and parent must have equal length")
+        roots = [i for i, p in enumerate(self.parent) if p is None]
+        if len(roots) != 1:
+            raise ValueError(f"need exactly one root, got {roots}")
+        self.root: int = roots[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.bags)
+
+    def children(self, node: int) -> List[int]:
+        return [i for i, p in enumerate(self.parent) if p == node]
+
+    def bottom_up(self) -> List[int]:
+        """Node ids with every child before its parent (root last)."""
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        def visit(node: int) -> None:
+            for child in self.children(node):
+                visit(child)
+            order.append(node)
+            seen.add(node)
+
+        visit(self.root)
+        if len(order) != self.n_nodes:
+            raise ValueError("parent pointers do not form one tree")
+        return order
+
+    def top_down(self) -> List[int]:
+        return list(reversed(self.bottom_up()))
+
+    # ------------------------------------------------------------------
+    def is_valid_for(self, hypergraph: Hypergraph) -> bool:
+        """Check Definition 1 against a query hypergraph."""
+        # (i) every hyperedge inside some bag
+        for edge in hypergraph.edges:
+            if not any(edge <= bag for bag in self.bags):
+                return False
+        # (ii) running-intersection: nodes containing each variable connect
+        for v in hypergraph.vertices:
+            nodes = {i for i, bag in enumerate(self.bags) if v in bag}
+            if nodes and not self._connected(nodes):
+                return False
+        return True
+
+    def _connected(self, nodes: Set[int]) -> bool:
+        start = next(iter(nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            cur = frontier.pop()
+            neighbours = set(self.children(cur))
+            if self.parent[cur] is not None:
+                neighbours.add(self.parent[cur])
+            for nb in neighbours & nodes:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        return seen == nodes
+
+    def free_connex_region(self, free: Iterable[Attr]) -> Optional[Set[int]]:
+        """A connected node set containing the root whose bags' union is
+        exactly ``free`` (Section 6.1 / [8]); None if no such set exists.
+
+        For a full query the whole tree qualifies; for a BCQ the region is
+        empty (conventionally ``{root}`` is not required — the caller treats
+        BCQs separately).
+        """
+        free = attrset(free)
+        all_vars = frozenset().union(*self.bags) if self.bags else frozenset()
+        if free == all_vars:
+            return set(range(self.n_nodes))
+        if not free:
+            return set()
+        # Only bags fully inside `free` can participate (union must be
+        # exactly `free`), so grow the region greedily from the root within
+        # that candidate set, then check coverage.
+        eligible = {i for i, bag in enumerate(self.bags) if bag <= free}
+        if self.root not in eligible:
+            return None
+        region = {self.root}
+        frontier = [self.root]
+        while frontier:
+            cur = frontier.pop()
+            neighbours = set(self.children(cur))
+            if self.parent[cur] is not None:
+                neighbours.add(self.parent[cur])
+            for nb in (neighbours & eligible) - region:
+                region.add(nb)
+                frontier.append(nb)
+        union = frozenset().union(*(self.bags[i] for i in region))
+        return region if union == free else None
+
+    def is_free_connex(self, free: Iterable[Attr]) -> bool:
+        """True iff :meth:`free_connex_region` exists (BCQs always qualify)."""
+        free = attrset(free)
+        if not free:
+            return True  # BCQ: all GHDs qualify (Section 6.1)
+        return self.free_connex_region(free) is not None
+
+    def rerooted(self, new_root: int) -> "GHD":
+        """The same tree re-rooted at ``new_root``."""
+        adj: Dict[int, Set[int]] = {i: set() for i in range(self.n_nodes)}
+        for i, p in enumerate(self.parent):
+            if p is not None:
+                adj[i].add(p)
+                adj[p].add(i)
+        parent: List[Optional[int]] = [None] * self.n_nodes
+        seen = {new_root}
+        frontier = [new_root]
+        while frontier:
+            cur = frontier.pop()
+            for nb in adj[cur]:
+                if nb not in seen:
+                    parent[nb] = cur
+                    seen.add(nb)
+                    frontier.append(nb)
+        return GHD(list(self.bags), parent)
+
+    def __repr__(self) -> str:
+        parts = []
+        for i, bag in enumerate(self.bags):
+            p = self.parent[i]
+            parts.append(f"{i}:{fmt_attrs(bag)}" + (f"->{p}" if p is not None else "*"))
+        return f"GHD({', '.join(parts)})"
+
+
+def trivial_ghd(hypergraph: Hypergraph) -> GHD:
+    """The one-bag GHD (always valid; width = the full polymatroid bound)."""
+    return GHD([hypergraph.vertices], [None])

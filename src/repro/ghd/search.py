@@ -1,0 +1,143 @@
+"""GHD enumeration via elimination orderings.
+
+Eliminating the variables of the primal graph in some order yields a tree
+decomposition (bags = closed neighbourhoods at elimination time), which is
+also a GHD of the hypergraph.  Enumerating all orderings is exhaustive for
+treewidth; for (da-)fhtw it is the standard practical search and exact on
+the query families used in the paper's examples (data complexity makes the
+query size — hence this search — constant).
+
+For non-full queries we restrict to orderings that eliminate all *bound*
+variables before any free variable, which yields free-connex GHDs after
+re-rooting; candidates are re-checked with :meth:`GHD.is_free_connex`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..cq.hypergraph import Hypergraph
+from ..cq.query import ConjunctiveQuery
+from ..cq.relation import Attr, AttrSet, attrset
+from .decomposition import GHD, trivial_ghd
+
+MAX_VERTICES = 9
+
+
+def ghd_from_elimination(hypergraph: Hypergraph, order: Sequence[Attr]) -> GHD:
+    """Build a GHD from an elimination ordering of all vertices."""
+    order = list(order)
+    if set(order) != set(hypergraph.vertices):
+        raise ValueError("order must enumerate exactly the vertices")
+    # Primal (Gaifman) graph adjacency.
+    adj: Dict[Attr, Set[Attr]] = {v: set() for v in hypergraph.vertices}
+    for edge in hypergraph.edges:
+        for a in edge:
+            adj[a] |= edge - {a}
+
+    position = {v: i for i, v in enumerate(order)}
+    bags: List[AttrSet] = []
+    bag_of_vertex: Dict[Attr, int] = {}
+    working = {v: set(nb) for v, nb in adj.items()}
+    for v in order:
+        neighbours = {u for u in working[v] if position[u] > position[v]}
+        bag = frozenset({v} | neighbours)
+        bag_of_vertex[v] = len(bags)
+        bags.append(bag)
+        # connect the remaining neighbours (fill-in)
+        for a in neighbours:
+            working[a] |= neighbours - {a}
+            working[a].discard(v)
+
+    # Link each bag to the bag of its earliest-eliminated later neighbour.
+    parent: List[Optional[int]] = [None] * len(bags)
+    for i, v in enumerate(order):
+        later = [u for u in bags[i] if u != v]
+        if later:
+            nxt = min(later, key=lambda u: position[u])
+            parent[i] = bag_of_vertex[nxt]
+    # The last-eliminated vertex's bag is the root; any isolated components
+    # get chained onto it so the structure is a single tree.
+    roots = [i for i, p in enumerate(parent) if p is None]
+    for extra in roots[:-1]:
+        parent[extra] = roots[-1]
+    ghd = GHD(bags, parent)
+    return ghd
+
+
+def _simplify(ghd: GHD) -> GHD:
+    """Drop bags contained in their tree neighbours (smaller, same width)."""
+    bags = list(ghd.bags)
+    parent = list(ghd.parent)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(bags)):
+            if bags[i] is None:
+                continue
+            p = parent[i]
+            if p is not None and bags[p] is not None and bags[i] <= bags[p]:
+                for j in range(len(bags)):
+                    if parent[j] == i:
+                        parent[j] = p
+                bags[i] = None
+                changed = True
+    keep = [i for i, b in enumerate(bags) if b is not None]
+    remap = {old: new for new, old in enumerate(keep)}
+    new_bags = [bags[i] for i in keep]
+    new_parent = [remap[parent[i]] if parent[i] is not None else None for i in keep]
+    return GHD(new_bags, new_parent)
+
+
+def enumerate_ghds(query: ConjunctiveQuery, limit: Optional[int] = None
+                   ) -> Iterator[GHD]:
+    """Yield distinct (simplified) GHDs of the query from all elimination
+    orderings; for non-full queries, bound variables are eliminated first
+    and only free-connex results are yielded."""
+    hg = query.hypergraph
+    if hg.n > MAX_VERTICES:
+        raise ValueError(
+            f"GHD enumeration limited to {MAX_VERTICES} variables, got {hg.n}"
+        )
+    bound_vars = sorted(query.bound)
+    free_vars = sorted(query.free)
+    seen: Set[Tuple] = set()
+    count = 0
+    for bound_perm in itertools.permutations(bound_vars) or [()]:
+        for free_perm in itertools.permutations(free_vars) or [()]:
+            order = list(bound_perm) + list(free_perm)
+            if not order:
+                continue
+            ghd = _simplify(ghd_from_elimination(hg, order))
+            # Root at a bag of free variables where possible.
+            if bound_vars:
+                candidates = [i for i, b in enumerate(ghd.bags)
+                              if b <= query.free]
+                if candidates:
+                    ghd = ghd.rerooted(candidates[0])
+                if not ghd.is_free_connex(query.free):
+                    continue
+            key = _canonical_key(ghd)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not ghd.is_valid_for(hg):  # defensive; always true by theory
+                continue
+            yield ghd
+            count += 1
+            if limit is not None and count >= limit:
+                return
+    if count == 0 and not bound_vars:
+        yield trivial_ghd(hg)
+
+
+def _canonical_key(ghd: GHD) -> Tuple:
+    edges = set()
+    for i, p in enumerate(ghd.parent):
+        if p is not None:
+            a = tuple(sorted(ghd.bags[i]))
+            b = tuple(sorted(ghd.bags[p]))
+            edges.add((min(a, b), max(a, b)))
+    return (tuple(sorted(tuple(sorted(b)) for b in ghd.bags)),
+            tuple(sorted(edges)))

@@ -1,0 +1,207 @@
+"""Width measures (Section 6.1 and Section 7).
+
+* ``da-fhtw`` (degree-aware fractional hypertree width, eq. (6)): minimum
+  over GHDs of the maximum bag bound ``max_{h ∈ Γ ∩ HDC} h(χ(t))``.  For
+  non-full queries the minimisation ranges over *free-connex* GHDs, realised
+  as GHDs of the hypergraph extended with a virtual ``free`` hyperedge (the
+  standard equivalence).
+
+* ``da-subw`` (degree-aware submodular width): ``max_h min_T max_t
+  h(χ_T(t))`` — computed by enumerating, for every choice of one bag per
+  GHD, the LP ``max z s.t. h(bag) ≥ z`` and taking the best (exact on our
+  GHD enumeration).
+
+GHD enumeration uses elimination orderings, which is the standard practical
+search; the returned widths are therefore upper bounds that are exact on
+the paper's example families.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..bounds.polymatroid import all_subsets, solve_polymatroid_bound
+from ..cq.degree import DCSet
+from ..cq.hypergraph import Hypergraph
+from ..cq.query import ConjunctiveQuery
+from ..cq.relation import AttrSet, attrset
+from .decomposition import GHD
+from .search import enumerate_ghds
+
+
+def bag_width(variables: Iterable, dc: DCSet, bag: AttrSet) -> float:
+    """``max_{h ∈ Γ ∩ HDC} h(bag)`` in bits."""
+    return solve_polymatroid_bound(variables, dc, target=bag).log_bound
+
+
+def ghd_width(query: ConjunctiveQuery, dc: DCSet, ghd: GHD) -> float:
+    """The width of one GHD: its worst bag."""
+    return max(bag_width(query.variables, dc, bag) for bag in ghd.bags)
+
+
+@dataclass
+class WidthResult:
+    """A width value together with the witnessing GHD."""
+
+    width: float
+    ghd: GHD
+
+    @property
+    def size_bound(self) -> int:
+        """``2^width`` rounded up — the per-bag materialisation bound."""
+        return int(math.ceil(2.0 ** self.width - 1e-9))
+
+
+def candidate_ghds(query: ConjunctiveQuery, limit: Optional[int] = None
+                   ) -> List[GHD]:
+    """Free-connex candidate GHDs.
+
+    Full queries and BCQs: every GHD qualifies.  Non-full queries: a GHD
+    qualifies if some rooting gives a connected region of free-only bags
+    whose union is exactly the free variables; the first such rooting is
+    used.  Queries that admit no free-connex GHD (e.g. ``Q(A,C) ← R(A,B),
+    S(B,C)``) return an empty list — the evaluator then falls back to the
+    worst-case circuit plus a final projection, which is the standard
+    penalty for non-free-connex queries.
+    """
+    base = query.full_version() if not query.is_full else query
+    if query.is_full or query.is_boolean:
+        return list(enumerate_ghds(base, limit=limit))
+    out = []
+    for ghd in enumerate_ghds(base, limit=limit):
+        for root in range(ghd.n_nodes):
+            rerooted = ghd.rerooted(root)
+            if rerooted.free_connex_region(query.free) is not None:
+                out.append(rerooted)
+                break
+    return out
+
+
+def da_fhtw(query: ConjunctiveQuery, dc: DCSet,
+            limit: Optional[int] = None) -> WidthResult:
+    """Degree-aware fractional hypertree width with its best GHD (eq. (6)).
+
+    For a non-free-connex query (no candidate GHD) the result is the
+    trivial single-bag decomposition, whose width is the full polymatroid
+    bound — the unavoidable materialisation cost.
+    """
+    from .decomposition import trivial_ghd
+
+    best: Optional[WidthResult] = None
+    for ghd in candidate_ghds(query, limit=limit):
+        w = ghd_width(query, dc, ghd)
+        if best is None or w < best.width - 1e-12:
+            best = WidthResult(w, ghd)
+    if best is None:
+        ghd = trivial_ghd(query.hypergraph)
+        best = WidthResult(ghd_width(query, dc, ghd), ghd)
+    return best
+
+
+def da_subw(query: ConjunctiveQuery, dc: DCSet,
+            limit: Optional[int] = 12,
+            max_selections: int = 20000) -> float:
+    """Degree-aware submodular width (Section 7).
+
+    ``max_h min_T max_t h(bag)``: for each selection of one bag per GHD we
+    solve ``max z s.t. ∀T: h(bag_σ(T)) ≥ z`` over ``Γ ∩ HDC`` and take the
+    maximum over selections; the inner min-max is attained at one of them.
+
+    Pruning (exactness preserved): trees with identical *maximal* bag sets
+    are merged (h is monotone, so only inclusion-maximal bags can attain a
+    tree's max), and dominated trees — whose maximal bags each contain a
+    maximal bag of another tree — are dropped (they can never be the
+    arg-min).  ``max_selections`` caps the product enumeration; hitting it
+    raises rather than silently under-reporting.
+    """
+    ghds = candidate_ghds(query, limit=limit)
+    if not ghds:
+        raise ValueError(f"no GHD found for {query!r}")
+    variables = frozenset(query.variables)
+
+    def maximal(bags: List[AttrSet]) -> FrozenSet[AttrSet]:
+        return frozenset(
+            b for b in bags if not any(b < other for other in bags)
+        )
+
+    bag_sets = {maximal(list(g.bags)) for g in ghds}
+    # Drop dominated trees: T dominates T' if every maximal bag of T' has a
+    # maximal bag of T inside it (then h-width(T) ≤ h-width(T') for all h,
+    # so T' never attains the min).
+    pruned = []
+    for s in bag_sets:
+        dominated = any(
+            other != s and all(any(o <= b for o in other) for b in s)
+            for other in bag_sets
+        )
+        if not dominated:
+            pruned.append(sorted(s, key=lambda b: tuple(sorted(b))))
+
+    total = 1
+    for s in pruned:
+        total *= len(s)
+    if total > max_selections:
+        raise ValueError(
+            f"da_subw selection space {total} exceeds cap {max_selections}"
+        )
+    best = 0.0
+    for selection in itertools.product(*pruned):
+        value = _max_min_h(variables, dc, tuple(selection))
+        best = max(best, value)
+    return best
+
+
+def _max_min_h(variables: AttrSet, dc: DCSet, bags: Tuple[AttrSet, ...]) -> float:
+    """``max_{h ∈ Γ ∩ HDC} min_i h(bags[i])`` via one LP with a z variable."""
+    subsets = all_subsets(variables)
+    index = {s: i for i, s in enumerate(subsets)}
+    nvar = len(subsets) + 1  # last variable is z
+    z = nvar - 1
+
+    a_rows, b_vals = [], []
+
+    def add_row(coeffs: Dict[AttrSet, float], z_coeff: float, rhs: float) -> None:
+        row = np.zeros(nvar)
+        for s, c in coeffs.items():
+            row[index[s]] += c
+        row[z] += z_coeff
+        a_rows.append(row)
+        b_vals.append(rhs)
+
+    for v in sorted(variables):
+        add_row({variables - {v}: 1.0, variables: -1.0}, 0.0, 0.0)
+    for i, j in itertools.combinations(sorted(variables), 2):
+        for s in all_subsets(variables - {i, j}):
+            add_row({s | {i, j}: 1.0, s: 1.0, s | {i}: -1.0, s | {j}: -1.0},
+                    0.0, 0.0)
+    for c in dc:
+        if c.y <= variables:
+            add_row({c.y: 1.0, c.x: -1.0}, 0.0, math.log2(c.bound))
+    for bag in bags:
+        add_row({bag: -1.0}, 1.0, 0.0)  # z - h(bag) <= 0
+
+    a_eq = np.zeros((1, nvar))
+    a_eq[0, index[frozenset()]] = 1.0
+    c_obj = np.zeros(nvar)
+    c_obj[z] = -1.0
+    res = linprog(c_obj, A_ub=np.vstack(a_rows), b_ub=np.array(b_vals),
+                  A_eq=a_eq, b_eq=np.array([0.0]),
+                  bounds=[(0, None)] * nvar, method="highs")
+    if not res.success:
+        raise RuntimeError(f"subw LP failed: {res.message}")
+    return -float(res.fun)
+
+
+def fhtw(query: ConjunctiveQuery, limit: Optional[int] = None) -> float:
+    """Classical fractional hypertree width: da-fhtw under unit-log
+    cardinalities (every relation size N, width in units of log N)."""
+    from ..cq.degree import cardinality
+
+    dc = DCSet(cardinality(a.varset, 2) for a in query.atoms)
+    return da_fhtw(query, dc, limit=limit).width

@@ -1,0 +1,26 @@
+"""RAM-model baselines: instrumented operators, Yannakakis, worst-case
+optimal join, and the naive cross-product evaluation."""
+
+from .mpc_model import (
+    HyperCubeResult,
+    hypercube_join,
+    integer_shares,
+    optimal_share_exponents,
+)
+from .naive import naive_circuit_size, naive_join
+from .operators import CostCounter, RamOperators
+from .wcoj import generic_join
+from .yannakakis import yannakakis
+
+__all__ = [
+    "CostCounter",
+    "HyperCubeResult",
+    "hypercube_join",
+    "integer_shares",
+    "optimal_share_exponents",
+    "RamOperators",
+    "generic_join",
+    "naive_circuit_size",
+    "naive_join",
+    "yannakakis",
+]

@@ -1,0 +1,149 @@
+"""The massively parallel computation (MPC) model and the HyperCube join.
+
+Section 1 situates circuits against the MPC line of work [26, 24, 30]: any
+MPC algorithm simulates on a PRAM, but MPC is provably weaker than the RAM
+for some CQs [22].  This module implements the model so benchmarks can
+place all three on one axis:
+
+* ``p`` servers, data initially spread arbitrarily; computation proceeds in
+  rounds; the cost is the maximum per-server *load* (tuples received);
+* the **HyperCube / Shares** algorithm [26]: servers form a grid
+  ``p = Π_v p_v^{x_v}``; each tuple is replicated to the grid slice fixed
+  by hashing its attributes; every output tuple is then found by exactly
+  one server in a single round.  The optimal share exponents come from an
+  LP (maximise the minimum covered exponent sum — the fractional
+  edge-packing dual), giving load ``Õ(N / p^{1/ρ*})`` for the triangle
+  (``p^{2/3}`` replication).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from scipy.optimize import linprog
+
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Attr, Relation
+from .wcoj import generic_join
+
+
+@dataclass
+class HyperCubeResult:
+    """Output plus the model's cost metrics."""
+
+    output: Relation
+    shares: Dict[Attr, int]
+    max_load: int
+    total_communication: int
+    rounds: int = 1
+
+    @property
+    def servers(self) -> int:
+        p = 1
+        for s in self.shares.values():
+            p *= s
+        return p
+
+
+def optimal_share_exponents(query: ConjunctiveQuery) -> Dict[Attr, float]:
+    """The Shares LP: exponents ``x_v ≥ 0, Σ x_v = 1`` maximising
+    ``min_F Σ_{v ∈ F} x_v`` (each atom's replication saving)."""
+    variables = sorted(query.variables)
+    n = len(variables)
+    # variables: x_0..x_{n-1}, t;  maximise t
+    c = [0.0] * n + [-1.0]
+    a_ub, b_ub = [], []
+    for atom in query.atoms:
+        row = [-1.0 if v in atom.varset else 0.0 for v in variables] + [1.0]
+        a_ub.append(row)  # t - Σ_{v∈F} x_v <= 0
+        b_ub.append(0.0)
+    a_eq = [[1.0] * n + [0.0]]
+    b_eq = [1.0]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=[(0, None)] * n + [(0, None)], method="highs")
+    if not res.success:
+        raise RuntimeError(f"shares LP failed: {res.message}")
+    return {v: float(res.x[i]) for i, v in enumerate(variables)}
+
+
+def integer_shares(query: ConjunctiveQuery, p: int) -> Dict[Attr, int]:
+    """Round the LP exponents to integer per-dimension shares with product
+    ≤ p (at least 1 per dimension)."""
+    exponents = optimal_share_exponents(query)
+    shares = {}
+    for v, x in exponents.items():
+        shares[v] = max(1, int(round(p ** x)))
+    # shrink greedily if rounding overshot the budget
+    while math.prod(shares.values()) > p:
+        v = max((v for v in shares if shares[v] > 1),
+                key=lambda v: shares[v], default=None)
+        if v is None:
+            break
+        shares[v] -= 1
+    return shares
+
+
+def _hash(value: int, buckets: int, salt: int) -> int:
+    return (value * 2654435761 + salt * 40503) % max(1, buckets)
+
+
+def hypercube_join(query: ConjunctiveQuery, db: Database, p: int,
+                   shares: Optional[Dict[Attr, int]] = None
+                   ) -> HyperCubeResult:
+    """One-round HyperCube evaluation of a full CQ on ``p`` servers.
+
+    Returns the exact join result plus the measured maximum server load —
+    the quantity the MPC model charges.
+    """
+    if not query.is_full:
+        raise ValueError("hypercube_join expects a full CQ")
+    shares = shares if shares is not None else integer_shares(query, p)
+    variables = sorted(query.variables)
+    dims = [shares[v] for v in variables]
+    grid = list(itertools.product(*(range(d) for d in dims)))
+    server_data: Dict[Tuple[int, ...], Dict[str, set]] = {
+        coord: {a.name: set() for a in query.atoms} for coord in grid
+    }
+
+    total_comm = 0
+    for atom in query.atoms:
+        rel = db[atom.name].rename(dict(zip(db[atom.name].schema, atom.vars)))
+        positions = {v: i for i, v in enumerate(rel.schema)}
+        for row in rel.rows:
+            fixed = {
+                v: _hash(row[positions[v]], shares[v], salt=variables.index(v))
+                for v in atom.varset
+            }
+            free_dims = [v for v in variables if v not in atom.varset]
+            for combo in itertools.product(*(range(shares[v])
+                                             for v in free_dims)):
+                coord = tuple(
+                    fixed[v] if v in fixed else combo[free_dims.index(v)]
+                    for v in variables
+                )
+                server_data[coord][atom.name].add(row)
+                total_comm += 1
+
+    max_load = 0
+    out_rows = set()
+    for coord in grid:
+        local = server_data[coord]
+        load = sum(len(rows) for rows in local.values())
+        max_load = max(max_load, load)
+        if any(not rows for rows in local.values()):
+            continue
+        local_db = Database({
+            name: Relation(query.atom(name).vars, rows)
+            for name, rows in local.items()
+        })
+        out_rows |= generic_join(query, local_db).reorder(variables).rows
+
+    return HyperCubeResult(
+        output=Relation(tuple(variables), out_rows),
+        shares=shares,
+        max_load=max_load,
+        total_communication=total_comm,
+    )

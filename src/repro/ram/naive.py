@@ -1,0 +1,72 @@
+"""The naive ``Õ(N^m)`` evaluation — the classical circuit baseline.
+
+Section 1 recalls that the textbook NC construction [1] (and SMCQL [10])
+uses a circuit of size ``Õ(N^m)``: one comparison per combination of one
+tuple from each relation.  This module provides (a) that algorithm on the
+RAM, with step accounting, and (b) the *size* of the corresponding naive
+circuit, for the E1 comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..cq.degree import DCSet
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Relation
+from .operators import CostCounter
+
+
+def naive_join(query: ConjunctiveQuery, db: Database,
+               counter: Optional[CostCounter] = None) -> Relation:
+    """Enumerate the full cross product of all atoms, filter, project."""
+    counter = counter if counter is not None else CostCounter()
+    rels = []
+    for atom in query.atoms:
+        rels.append(db[atom.name].rename(
+            dict(zip(db[atom.name].schema, atom.vars))))
+    combos = 1
+    for rel in rels:
+        combos *= max(1, len(rel))
+    counter.charge("cross_product", combos)
+
+    variables = sorted(query.variables)
+    rows = set()
+
+    def recurse(index: int, assignment: Dict[str, int]) -> None:
+        if index == len(rels):
+            rows.add(tuple(assignment[v] for v in variables))
+            return
+        rel = rels[index]
+        for row in rel.rows:
+            new = dict(assignment)
+            consistent = True
+            for attr, value in zip(rel.schema, row):
+                if new.get(attr, value) != value:
+                    consistent = False
+                    break
+                new[attr] = value
+            if consistent:
+                recurse(index + 1, new)
+
+    recurse(0, {})
+    full = Relation(tuple(variables), rows)
+    if query.is_boolean:
+        return Relation((), [()] if len(full) else [])
+    if query.is_full:
+        return full
+    return full.project(tuple(sorted(query.free)))
+
+
+def naive_circuit_size(query: ConjunctiveQuery, dc: DCSet) -> int:
+    """Gate count of the classical circuit: one constant-size comparator
+    block per combination of one tuple per relation — ``Π_F N_F`` blocks."""
+    size = 1
+    for atom in query.atoms:
+        card = dc.cardinality_of(atom.varset)
+        if card is None:
+            raise ValueError(f"no cardinality bound for {atom!r}")
+        size *= card
+    comparisons_per_block = sum(len(a.vars) for a in query.atoms)
+    return size * comparisons_per_block

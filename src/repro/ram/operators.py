@@ -1,0 +1,68 @@
+"""RAM-model relational operators with instrumented costs.
+
+These are the baselines the paper's cost model is calibrated against
+(Section 4.3: "standard algorithms for these operators in the RAM model
+match these costs asymptotically").  Each operator counts the elementary
+steps it performs, so benchmarks can compare measured RAM work against
+circuit cost *in the same unit* (tuple operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cq.relation import Attr, Relation
+
+
+@dataclass
+class CostCounter:
+    """Accumulates elementary tuple operations."""
+
+    steps: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, op: str, amount: int) -> None:
+        self.steps += amount
+        self.by_op[op] = self.by_op.get(op, 0) + amount
+
+
+class RamOperators:
+    """Relational operators over :class:`Relation` with step accounting."""
+
+    def __init__(self, counter: Optional[CostCounter] = None):
+        self.counter = counter if counter is not None else CostCounter()
+
+    def select(self, rel: Relation, predicate: Callable[[Dict[Attr, int]], bool]
+               ) -> Relation:
+        self.counter.charge("select", len(rel))
+        return rel.select(predicate)
+
+    def project(self, rel: Relation, attrs: Sequence[Attr]) -> Relation:
+        self.counter.charge("project", len(rel))
+        return rel.project(attrs)
+
+    def join(self, left: Relation, right: Relation) -> Relation:
+        out = left.join(right)
+        self.counter.charge("join", len(left) + len(right) + len(out))
+        return out
+
+    def semijoin(self, left: Relation, right: Relation) -> Relation:
+        self.counter.charge("semijoin", len(left) + len(right))
+        return left.semijoin(right)
+
+    def union(self, left: Relation, right: Relation) -> Relation:
+        self.counter.charge("union", len(left) + len(right))
+        return left.union(right)
+
+    def aggregate(self, rel: Relation, group_by: Sequence[Attr], agg: str,
+                  attr: Optional[Attr] = None, out_attr: Attr = "agg") -> Relation:
+        self.counter.charge("aggregate", len(rel))
+        return rel.aggregate(group_by, agg, attr, out_attr=out_attr)
+
+    def sort(self, rel: Relation, attrs: Sequence[Attr]) -> List[Tuple[int, ...]]:
+        self.counter.charge("sort", len(rel))
+        pos = [rel.schema.index(a) for a in attrs]
+        rest = [i for i in range(len(rel.schema)) if i not in pos]
+        return sorted(rel.rows, key=lambda row: (
+            tuple(row[p] for p in pos), tuple(row[p] for p in rest)))

@@ -1,0 +1,78 @@
+"""A generic worst-case optimal join (attribute-at-a-time, NPRR/LFTJ-style).
+
+Extends partial assignments one variable at a time; for each new variable,
+candidate values are the intersection of matches in every atom covering it.
+The smallest-candidate-set atom drives the intersection, which is what
+yields the AGM-bound running time [28, 31].  Used as a RAM baseline and as
+an independent correctness oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Attr, Relation
+from .operators import CostCounter
+
+
+def generic_join(query: ConjunctiveQuery, db: Database,
+                 order: Optional[Sequence[Attr]] = None,
+                 counter: Optional[CostCounter] = None) -> Relation:
+    """Evaluate the full version of ``query`` by generic join, projecting to
+    the free variables at the end."""
+    counter = counter if counter is not None else CostCounter()
+    variables = (list(order) if order is not None
+                 else sorted(query.variables))
+    if set(variables) != set(query.variables):
+        raise ValueError("order must enumerate the query variables")
+
+    atoms = [(a, db[a.name].rename(dict(zip(db[a.name].schema, a.vars))))
+             for a in query.atoms]
+
+    # Per-atom tries: prefix (restricted to the atom's vars, in global
+    # order) -> possible next values.
+    tries: List[Tuple[Tuple[Attr, ...], Dict[Tuple[int, ...], set]]] = []
+    for atom, rel in atoms:
+        avars = tuple(v for v in variables if v in atom.varset)
+        index: Dict[Tuple[int, ...], set] = {}
+        for row in rel.reorder(avars).rows:
+            for depth in range(len(avars)):
+                index.setdefault(row[:depth], set()).add(row[depth])
+        counter.charge("index", len(rel) * len(avars))
+        tries.append((avars, index))
+
+    results: List[Tuple[int, ...]] = []
+
+    def extend(assignment: Dict[Attr, int], depth: int) -> None:
+        if depth == len(variables):
+            results.append(tuple(assignment[v] for v in variables))
+            return
+        var = variables[depth]
+        candidate_sets = []
+        for avars, index in tries:
+            if var not in avars:
+                continue
+            prefix = tuple(assignment[v] for v in avars[: avars.index(var)])
+            candidate_sets.append(index.get(prefix, set()))
+        if not candidate_sets:
+            raise ValueError(f"variable {var} not covered by any atom")
+        candidate_sets.sort(key=len)
+        candidates = candidate_sets[0]
+        for other in candidate_sets[1:]:
+            candidates = candidates & other
+            if not candidates:
+                break
+        counter.charge("intersect", len(candidate_sets[0]) + 1)
+        for value in candidates:
+            assignment[var] = value
+            extend(assignment, depth + 1)
+            del assignment[var]
+
+    extend({}, 0)
+    full = Relation(tuple(variables), results)
+    if query.is_boolean:
+        return Relation((), [()] if len(full) else [])
+    if query.is_full:
+        return full
+    return full.project(tuple(sorted(query.free)))

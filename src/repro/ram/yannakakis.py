@@ -1,0 +1,90 @@
+"""The classical Yannakakis algorithm [34] in the RAM model.
+
+Three phases over a (free-connex) GHD: compute bag relations, full-reduce
+with two semijoin passes, then assemble the answer bottom-up over the
+free-connex region.  Runs in ``Õ(N + 2^w + OUT)`` where ``w`` is the GHD
+width — the RAM counterpart of Yannakakis-C, used both as a correctness
+oracle and a cost baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cq.degree import DCSet
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Relation
+from ..ghd.decomposition import GHD
+from ..ghd.widths import da_fhtw
+from .operators import CostCounter, RamOperators
+
+
+def yannakakis(query: ConjunctiveQuery, db: Database,
+               ghd: Optional[GHD] = None,
+               dc: Optional[DCSet] = None,
+               counter: Optional[CostCounter] = None) -> Relation:
+    """Evaluate ``query`` with the Yannakakis algorithm.
+
+    ``ghd`` defaults to the best free-connex GHD under ``dc`` (or uniform
+    cardinalities read off the instance).
+    """
+    ops = RamOperators(counter)
+    if ghd is None:
+        dc = dc if dc is not None else query.default_dc(db)
+        ghd = da_fhtw(query, dc).ghd
+
+    # Phase 1: bag relations = join of the atoms inside each bag, projected.
+    bags: Dict[int, Relation] = {}
+    for node in range(ghd.n_nodes):
+        bag = ghd.bags[node]
+        members = [a for a in query.atoms if a.varset <= bag]
+        rel: Optional[Relation] = None
+        for atom in members:
+            r = db[atom.name].rename(dict(zip(db[atom.name].schema, atom.vars)))
+            rel = r if rel is None else ops.join(rel, r)
+        if rel is None:
+            # A bag with no contained atom: populate from intersecting atoms.
+            for atom in query.atoms:
+                if atom.varset & bag:
+                    r = db[atom.name].rename(
+                        dict(zip(db[atom.name].schema, atom.vars)))
+                    piece = ops.project(r, tuple(sorted(atom.varset & bag)))
+                    rel = piece if rel is None else ops.join(rel, piece)
+        assert rel is not None, f"bag {bag} intersects no atom"
+        bags[node] = ops.project(rel, tuple(sorted(bag & rel.attrs)))
+
+    # Phase 2: full reduction (bottom-up then top-down semijoins).
+    for v in ghd.bottom_up():
+        p = ghd.parent[v]
+        if p is None:
+            continue
+        if bags[p].attrs & bags[v].attrs:
+            bags[p] = ops.semijoin(bags[p], bags[v])
+        elif not len(bags[v]):
+            bags[p] = Relation(bags[p].schema)
+    for v in ghd.top_down():
+        for c in ghd.children(v):
+            if bags[c].attrs & bags[v].attrs:
+                bags[c] = ops.semijoin(bags[c], bags[v])
+            elif not len(bags[v]):
+                bags[c] = Relation(bags[c].schema)
+
+    # Phase 3: assemble over the free-connex region.
+    if query.is_boolean:
+        return Relation((), [()] if len(bags[ghd.root]) else [])
+    region = ghd.free_connex_region(query.free)
+    if region is None:
+        result: Optional[Relation] = None
+        for node in ghd.bottom_up():
+            result = bags[node] if result is None else ops.join(result, bags[node])
+        assert result is not None
+        return ops.project(result, tuple(sorted(query.free)))
+    merged = {v: bags[v] for v in region}
+    for v in ghd.bottom_up():
+        if v not in region:
+            continue
+        p = ghd.parent[v]
+        if p is None or p not in region:
+            continue
+        merged[p] = ops.join(merged[p], merged[v])
+    return ops.project(merged[ghd.root], tuple(sorted(query.free)))

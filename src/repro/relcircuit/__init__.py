@@ -1,0 +1,62 @@
+"""Relational circuits with bounded wires (Section 4.3)."""
+
+from .bounds import (
+    WireBound,
+    join_output_bound,
+    project_output_bound,
+    union_output_bound,
+)
+from .ir import (
+    BoundViolation,
+    COUNT_COL,
+    Gate,
+    ORDER_COL,
+    RelationalCircuit,
+)
+from .export import to_dot
+from .validate import ValidationReport, validate
+from .predicates import (
+    Add,
+    And,
+    Col,
+    Const,
+    EqAttr,
+    EqConst,
+    MapExpr,
+    MapSpec,
+    Mul,
+    Not,
+    Or,
+    Parity,
+    Predicate,
+    Range,
+)
+
+__all__ = [
+    "Add",
+    "And",
+    "BoundViolation",
+    "COUNT_COL",
+    "Col",
+    "Const",
+    "EqAttr",
+    "EqConst",
+    "Gate",
+    "MapExpr",
+    "MapSpec",
+    "Mul",
+    "Not",
+    "ORDER_COL",
+    "Or",
+    "Parity",
+    "Predicate",
+    "Range",
+    "RelationalCircuit",
+    "WireBound",
+    "join_output_bound",
+    "project_output_bound",
+    "union_output_bound",
+    "to_dot",
+    "ValidationReport",
+    "validate",
+]

@@ -1,0 +1,154 @@
+"""Bounded wires (Section 4.3).
+
+Each wire of a relational circuit is parameterised by a :class:`WireBound`:
+a cardinality bound plus degree bounds, and only carries relations conforming
+to them.  Bounds are *derived* from the input constraints, never measured
+from data — this is what makes the lowered Boolean circuit data-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..cq.relation import Attr, AttrSet, Relation, attrset, fmt_attrs
+
+
+@dataclass(frozen=True)
+class WireBound:
+    """Constraints on the relation a wire may carry.
+
+    Parameters
+    ----------
+    schema:
+        Ordered attribute names of the wire.
+    card:
+        Cardinality bound ``|R| ≤ card`` — the wire's capacity once lowered.
+    degrees:
+        Map ``X -> b`` asserting ``deg_R(X) ≤ b`` (max tuples sharing each
+        ``X``-value).  ``deg`` for unlisted sets is inferred: any stored
+        ``Y ⊆ X`` upper-bounds ``deg(X)``.
+    """
+
+    schema: Tuple[Attr, ...]
+    card: int
+    degrees: Tuple[Tuple[AttrSet, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.card < 0:
+            raise ValueError(f"negative cardinality bound {self.card}")
+        attrs = frozenset(self.schema)
+        norm = []
+        for x, b in dict(self.degrees).items():
+            x = attrset(x)
+            if not x <= attrs:
+                raise ValueError(f"degree key {fmt_attrs(x)} outside schema {self.schema}")
+            if x and b >= 1:
+                norm.append((x, int(b)))
+        object.__setattr__(self, "degrees",
+                           tuple(sorted(norm, key=lambda kv: tuple(sorted(kv[0])))))
+
+    @property
+    def attrs(self) -> AttrSet:
+        return frozenset(self.schema)
+
+    def degree(self, of: Iterable[Attr]) -> int:
+        """The tightest implied bound on ``deg(X)``."""
+        x = attrset(of)
+        if x >= self.attrs:
+            return min(1, self.card)  # set semantics: full rows are unique
+        best = self.card
+        for y, b in self.degrees:
+            if y <= x:
+                best = min(best, b)
+        return best
+
+    def with_card(self, card: int) -> "WireBound":
+        return WireBound(self.schema, min(card, self.card), self.degrees)
+
+    def with_degree(self, x: Iterable[Attr], bound: int) -> "WireBound":
+        degrees = dict(self.degrees)
+        x = attrset(x)
+        degrees[x] = min(bound, degrees.get(x, bound))
+        return WireBound(self.schema, self.card, tuple(degrees.items()))
+
+    def with_schema(self, schema: Iterable[Attr]) -> "WireBound":
+        """Re-schema keeping only degree keys that survive."""
+        schema = tuple(schema)
+        attrs = frozenset(schema)
+        degrees = tuple((x, b) for x, b in self.degrees if x <= attrs)
+        return WireBound(schema, self.card, degrees)
+
+    def conforms(self, relation: Relation) -> bool:
+        """Check an actual relation against this bound."""
+        if relation.attrs != self.attrs:
+            return False
+        if len(relation) > self.card:
+            return False
+        for x, b in self.degrees:
+            if relation.degree(x) > b:
+                return False
+        return True
+
+    def violations(self, relation: Relation) -> list:
+        """Human-readable list of violated constraints (empty if conforming)."""
+        out = []
+        if relation.attrs != self.attrs:
+            out.append(f"schema {relation.schema} != {self.schema}")
+            return out
+        if len(relation) > self.card:
+            out.append(f"|R|={len(relation)} > card bound {self.card}")
+        for x, b in self.degrees:
+            d = relation.degree(x)
+            if d > b:
+                out.append(f"deg({fmt_attrs(x)})={d} > bound {b}")
+        return out
+
+    def __repr__(self) -> str:
+        degs = ", ".join(f"deg({fmt_attrs(x)})≤{b}" for x, b in self.degrees)
+        extra = f", {degs}" if degs else ""
+        return f"WireBound({fmt_attrs(self.schema)}, |R|≤{self.card}{extra})"
+
+
+def join_output_bound(left: WireBound, right: WireBound,
+                      out_schema: Tuple[Attr, ...]) -> WireBound:
+    """Derive the bound of a natural-join output.
+
+    Cardinality: ``min(M·deg_S(C), N'·deg_R(C))`` where ``C`` is the common
+    attribute set.  Degrees: for each useful key ``X``,
+    ``deg(X) ≤ deg_R(X∩A_R) · deg_S((X∩A_S) ∪ C)``.
+    """
+    common = left.attrs & right.attrs
+    card = min(
+        left.card * right.degree(common),
+        right.card * left.degree(common),
+    )
+    degrees: Dict[AttrSet, int] = {}
+    # Propagate each side's stored keys, completed on the other side.
+    keys = {x for x, _ in left.degrees} | {x for x, _ in right.degrees}
+    keys |= {common} if common else set()
+    keys |= {left.attrs, right.attrs}
+    out_attrs = frozenset(out_schema)
+    for x in keys:
+        x = x & out_attrs
+        if not x:
+            continue
+        bound = (left.degree(x & left.attrs)
+                 * right.degree((x & right.attrs) | common))
+        degrees[x] = min(degrees.get(x, bound), bound, card)
+    return WireBound(out_schema, card, tuple(degrees.items()))
+
+
+def union_output_bound(left: WireBound, right: WireBound,
+                       out_schema: Tuple[Attr, ...]) -> WireBound:
+    card = left.card + right.card
+    keys = {x for x, _ in left.degrees} | {x for x, _ in right.degrees}
+    degrees = {x: left.degree(x) + right.degree(x) for x in keys}
+    return WireBound(out_schema, card, tuple(degrees.items()))
+
+
+def project_output_bound(bound: WireBound, out_schema: Tuple[Attr, ...]) -> WireBound:
+    """Projection cannot raise cardinality or any surviving degree."""
+    out_attrs = frozenset(out_schema)
+    degrees = tuple((x, b) for x, b in bound.degrees if x <= out_attrs)
+    return WireBound(out_schema, bound.card, degrees)

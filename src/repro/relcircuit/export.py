@@ -1,0 +1,90 @@
+"""Graphviz/DOT export for relational circuits.
+
+Renders the circuit the way the paper's Figures 1 and 2 are drawn: one node
+per relational gate, labelled with the operator and the wire bound, inputs
+at the top, outputs highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cq.relation import fmt_attrs
+from .ir import Gate, RelationalCircuit
+
+_SHAPES = {
+    "input": "box",
+    "select": "ellipse",
+    "project": "ellipse",
+    "join": "diamond",
+    "union": "invtriangle",
+    "aggregate": "hexagon",
+    "sort": "parallelogram",
+    "map": "ellipse",
+}
+
+_OP_SYMBOLS = {
+    "select": "σ",
+    "project": "Π",
+    "join": "⋈",
+    "union": "∪",
+    "aggregate": "Π-agg",
+    "sort": "τ",
+    "map": "ρ",
+}
+
+
+def _label(circuit: RelationalCircuit, gate: Gate) -> str:
+    symbol = _OP_SYMBOLS.get(gate.op, gate.op)
+    if gate.op == "input":
+        symbol = gate.params["name"]
+    elif gate.op == "project":
+        symbol = f"Π_{{{fmt_attrs(gate.params['attrs'])}}}"
+    elif gate.op == "select":
+        symbol = f"σ[{gate.params['predicate']!r}]"
+    elif gate.op == "sort":
+        symbol = f"τ_{{{fmt_attrs(gate.params['attrs'])}}}"
+    elif gate.op == "aggregate":
+        p = gate.params
+        symbol = f"Π_{{{fmt_attrs(p['group_by'])}, {p['agg']}}}"
+    elif gate.op == "join" and gate.params.get("out_card") is not None:
+        symbol = f"⋈[OUT≤{gate.params['out_card']}]"
+    bound = f"{fmt_attrs(gate.bound.schema)}, ≤{gate.bound.card}"
+    degs = ", ".join(
+        f"deg({fmt_attrs(x)})≤{b}" for x, b in gate.bound.degrees[:2]
+    )
+    lines = [symbol, bound] + ([degs] if degs else [])
+    if gate.label:
+        lines.append(f"[{gate.label}]")
+    return "\\n".join(lines)
+
+
+def to_dot(circuit: RelationalCircuit, title: str = "relational circuit",
+           max_gates: Optional[int] = 400) -> str:
+    """Render the circuit as a DOT digraph.
+
+    ``max_gates`` guards against rendering huge PANDA-C branch forests;
+    pass None to render everything.
+    """
+    if max_gates is not None and circuit.size > max_gates:
+        raise ValueError(
+            f"circuit has {circuit.size} gates > max_gates={max_gates}; "
+            "pass max_gates=None to force rendering"
+        )
+    out = [f'digraph "{title}" {{', "  rankdir=BT;",
+           '  node [fontname="Helvetica", fontsize=10];']
+    outputs = set(circuit.outputs)
+    for gate in circuit.gates:
+        shape = _SHAPES.get(gate.op, "ellipse")
+        style = ', style=filled, fillcolor="#ffe9a8"' if gate.gid in outputs else ""
+        if gate.op == "input":
+            style = ', style=filled, fillcolor="#d7e8ff"'
+        out.append(
+            f'  g{gate.gid} [label="{_label(circuit, gate)}", '
+            f'shape={shape}{style}];'
+        )
+    for gate in circuit.gates:
+        for src in gate.inputs:
+            out.append(f"  g{src} -> g{gate.gid};")
+    out.append("}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,332 @@
+"""The relational circuit IR (Section 4.3).
+
+A relational circuit is a DAG of relational gates over *bounded wires*:
+selection, projection, join, union, plus the two extended operators the paper
+adds — (group-by) aggregation and ordering (sort) — and the map operator ρ of
+Algorithm 11.  Every gate derives the bound of its output wire from the
+bounds of its inputs, never from data.
+
+The circuit doubles as its own reference interpreter
+(:meth:`RelationalCircuit.evaluate`), and exposes the Section-4.3 cost model
+(:meth:`RelationalCircuit.cost`), which is what the lowered Boolean circuit's
+size matches up to polylog factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..cq.relation import Attr, AttrSet, Relation, attrset, fmt_attrs
+from .bounds import (
+    WireBound,
+    join_output_bound,
+    project_output_bound,
+    union_output_bound,
+)
+from .predicates import Col, MapSpec, Predicate
+
+ORDER_COL = "@order"
+COUNT_COL = "@count"
+
+
+class BoundViolation(RuntimeError):
+    """A wire carried a relation that violates its declared bound."""
+
+
+@dataclass
+class Gate:
+    """One relational gate.
+
+    ``op`` ∈ {input, select, project, join, union, aggregate, sort, map}.
+    ``params`` holds per-op data (predicate, projection schema, …).
+    ``bound`` is the derived output wire bound.
+    """
+
+    gid: int
+    op: str
+    inputs: Tuple[int, ...]
+    params: Dict
+    bound: WireBound
+    label: str = ""
+
+    def __repr__(self) -> str:
+        name = self.label or f"g{self.gid}"
+        return f"<{name}:{self.op} {self.bound!r}>"
+
+
+class RelationalCircuit:
+    """A relational circuit with bounded wires.
+
+    Build with the ``add_*`` methods (each returns a gate id), mark outputs
+    with :meth:`set_output`, evaluate with :meth:`evaluate`.
+    """
+
+    def __init__(self) -> None:
+        self.gates: List[Gate] = []
+        self.outputs: List[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add(self, op: str, inputs: Sequence[int], params: Dict,
+             bound: WireBound, label: str = "") -> int:
+        gid = len(self.gates)
+        for i in inputs:
+            if not 0 <= i < gid:
+                raise ValueError(f"gate input {i} out of range")
+        self.gates.append(Gate(gid, op, tuple(inputs), params, bound, label))
+        return gid
+
+    def add_input(self, name: str, bound: WireBound) -> int:
+        """An input wire carrying the relation bound to ``name``."""
+        return self._add("input", (), {"name": name}, bound, label=name)
+
+    def add_select(self, src: int, predicate: Predicate, label: str = "") -> int:
+        bound = self.gates[src].bound
+        return self._add("select", (src,), {"predicate": predicate}, bound, label)
+
+    def add_project(self, src: int, attrs: Sequence[Attr], label: str = "") -> int:
+        attrs = tuple(attrs)
+        src_bound = self.gates[src].bound
+        missing = set(attrs) - src_bound.attrs
+        if missing:
+            raise ValueError(f"projection attrs {missing} not on wire {src_bound}")
+        bound = project_output_bound(src_bound, attrs)
+        return self._add("project", (src,), {"attrs": attrs}, bound, label)
+
+    def add_join(self, left: int, right: int, label: str = "",
+                 out_card: Optional[int] = None) -> int:
+        """Natural join.  ``out_card`` caps the output bound — used by the
+        output-bounded join of Algorithm 10 (Section 6.3)."""
+        lb, rb = self.gates[left].bound, self.gates[right].bound
+        out_schema = lb.schema + tuple(a for a in rb.schema if a not in lb.attrs)
+        bound = join_output_bound(lb, rb, out_schema)
+        if out_card is not None:
+            bound = bound.with_card(out_card)
+        params: Dict = {"out_card": out_card}
+        return self._add("join", (left, right), params, bound, label)
+
+    def add_union(self, left: int, right: int, label: str = "") -> int:
+        lb, rb = self.gates[left].bound, self.gates[right].bound
+        if lb.attrs != rb.attrs:
+            raise ValueError(f"union schema mismatch: {lb.schema} vs {rb.schema}")
+        bound = union_output_bound(lb, rb, lb.schema)
+        return self._add("union", (left, right), {}, bound, label)
+
+    def add_union_all(self, srcs: Sequence[int], label: str = "") -> int:
+        """Balanced union tree over many wires (keeps depth logarithmic)."""
+        if not srcs:
+            raise ValueError("union of nothing")
+        level = list(srcs)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.add_union(level[i], level[i + 1], label=label))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def add_aggregate(self, src: int, group_by: Sequence[Attr], agg: str,
+                      attr: Optional[Attr] = None, out_attr: Attr = COUNT_COL,
+                      label: str = "") -> int:
+        group_by = tuple(group_by)
+        src_bound = self.gates[src].bound
+        if agg not in ("count", "sum", "min", "max"):
+            raise ValueError(f"unknown aggregate {agg!r}")
+        if agg != "count" and attr is None:
+            raise ValueError("aggregate needs an attribute")
+        out_schema = group_by + (out_attr,)
+        degrees = dict(project_output_bound(src_bound, group_by).degrees)
+        if group_by:
+            degrees[frozenset(group_by)] = 1
+        bound = WireBound(out_schema, src_bound.card, tuple(degrees.items()))
+        params = {"group_by": group_by, "agg": agg, "attr": attr, "out_attr": out_attr}
+        return self._add("aggregate", (src,), params, bound, label)
+
+    def add_sort(self, src: int, attrs: Sequence[Attr], out_attr: Attr = ORDER_COL,
+                 label: str = "") -> int:
+        """The ordering operator ``τ_F``: appends a 1-based position column."""
+        attrs = tuple(attrs)
+        src_bound = self.gates[src].bound
+        out_schema = src_bound.schema + (out_attr,)
+        degrees = dict(src_bound.degrees)
+        degrees[frozenset({out_attr})] = 1
+        bound = WireBound(out_schema, src_bound.card, tuple(degrees.items()))
+        return self._add("sort", (src,), {"attrs": attrs, "out_attr": out_attr},
+                         bound, label)
+
+    def add_map(self, src: int, spec: MapSpec, label: str = "") -> int:
+        """The ρ operator: per-tuple recomputation of columns."""
+        src_bound = self.gates[src].bound
+        out_schema = tuple(spec.keys())
+        passthrough = {
+            out: expr.attr for out, expr in spec.items() if isinstance(expr, Col)
+        }
+        degrees = []
+        rev = {v: k for k, v in passthrough.items()}
+        for x, b in src_bound.degrees:
+            if x <= frozenset(rev):
+                degrees.append((frozenset(rev[a] for a in x), b))
+        bound = WireBound(out_schema, src_bound.card, tuple(degrees))
+        return self._add("map", (src,), {"spec": dict(spec)}, bound, label)
+
+    def add_semijoin(self, left: int, right: int, label: str = "") -> int:
+        """``R ⋉ S`` as ``R ⋈ Π_{common}(S)`` (Section 6.2)."""
+        lb, rb = self.gates[left].bound, self.gates[right].bound
+        common = tuple(sorted(lb.attrs & rb.attrs))
+        if not common:
+            raise ValueError("semijoin with no common attributes")
+        proj = self.add_project(right, common, label=f"{label}.proj" if label else "")
+        # The projection's degree on its full schema is 1 (it deduplicates),
+        # so the join is a primary-key join of size O(|R| + |S|).
+        pb = self.gates[proj].bound.with_degree(common, 1)
+        self.gates[proj].bound = pb
+        gid = self.add_join(left, proj, label=label)
+        # Semijoin output is a subset of the left input.
+        self.gates[gid].bound = lb
+        return gid
+
+    def set_output(self, gid: int) -> None:
+        self.outputs.append(gid)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of relational gates (Theorem 3 claims ``Õ(1)``)."""
+        return len(self.gates)
+
+    def depth(self) -> int:
+        """Longest input→output path in relational gates."""
+        depth = [0] * len(self.gates)
+        for g in self.gates:
+            depth[g.gid] = 1 + max((depth[i] for i in g.inputs), default=0)
+        return max((depth[o] for o in self.outputs), default=0)
+
+    def input_names(self) -> List[str]:
+        return [g.params["name"] for g in self.gates if g.op == "input"]
+
+    def gate_cost(self, gate: Gate) -> int:
+        """The Section-4.3 cost of one gate, from its input wire bounds."""
+        if gate.op == "input":
+            return 0
+        bounds = [self.gates[i].bound for i in gate.inputs]
+        if gate.op in ("select", "project", "aggregate", "sort", "map"):
+            return bounds[0].card
+        if gate.op == "union":
+            return bounds[0].card + bounds[1].card
+        if gate.op == "join":
+            lb, rb = bounds
+            out_card = gate.params.get("out_card")
+            if out_card is not None:
+                # Output-bounded join (Algorithm 10): Õ(M + N' + OUT).
+                return lb.card + rb.card + out_card
+            common = lb.attrs & rb.attrs
+            forward = lb.card * rb.degree(common) + rb.card
+            backward = rb.card * lb.degree(common) + lb.card
+            return min(forward, backward)
+        raise ValueError(f"unknown op {gate.op}")
+
+    def cost(self) -> int:
+        """Total circuit cost (Section 4.3): Σ gate costs over wire bounds."""
+        return sum(self.gate_cost(g) for g in self.gates)
+
+    def cost_by_op(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for g in self.gates:
+            out[g.op] = out.get(g.op, 0) + self.gate_cost(g)
+        return out
+
+    # ------------------------------------------------------------------
+    # reference interpreter
+    # ------------------------------------------------------------------
+    def evaluate(self, env: Mapping[str, Relation],
+                 check_bounds: bool = True) -> Dict[int, Relation]:
+        """Evaluate every gate on an instance; returns gate id -> relation.
+
+        With ``check_bounds`` (default), every wire's relation is validated
+        against its :class:`WireBound`; a violation means the circuit was
+        constructed for different degree constraints than the data exhibits,
+        and raises :class:`BoundViolation`.
+        """
+        values: Dict[int, Relation] = {}
+        for g in self.gates:
+            ins = [values[i] for i in g.inputs]
+            values[g.gid] = self._eval_gate(g, ins, env)
+            if check_bounds:
+                problems = g.bound.violations(values[g.gid])
+                if problems:
+                    raise BoundViolation(f"{g!r}: {'; '.join(problems)}")
+        return values
+
+    def run(self, env: Mapping[str, Relation], check_bounds: bool = True) -> List[Relation]:
+        """Evaluate and return just the output relations."""
+        values = self.evaluate(env, check_bounds=check_bounds)
+        return [values[o] for o in self.outputs]
+
+    def _eval_gate(self, gate: Gate, ins: List[Relation],
+                   env: Mapping[str, Relation]) -> Relation:
+        if gate.op == "input":
+            rel = env[gate.params["name"]]
+            if rel.attrs != gate.bound.attrs:
+                raise ValueError(
+                    f"input {gate.params['name']!r}: schema {rel.schema} "
+                    f"does not match wire {gate.bound.schema}"
+                )
+            return rel.reorder(gate.bound.schema)
+        if gate.op == "select":
+            pred: Predicate = gate.params["predicate"]
+            return ins[0].select(pred.evaluate)
+        if gate.op == "project":
+            return ins[0].project(gate.params["attrs"])
+        if gate.op == "join":
+            return ins[0].join(ins[1]).reorder(gate.bound.schema)
+        if gate.op == "union":
+            return ins[0].union(ins[1])
+        if gate.op == "aggregate":
+            p = gate.params
+            return ins[0].aggregate(p["group_by"], p["agg"], p["attr"],
+                                    out_attr=p["out_attr"])
+        if gate.op == "sort":
+            return _sorted_with_order(ins[0], gate.params["attrs"],
+                                      gate.params["out_attr"])
+        if gate.op == "map":
+            spec: MapSpec = gate.params["spec"]
+            out_schema = tuple(spec.keys())
+            rows = []
+            for row in ins[0].as_dicts():
+                rows.append(tuple(spec[a].evaluate(row) for a in out_schema))
+            return Relation(out_schema, rows)
+        raise ValueError(f"unknown op {gate.op}")
+
+    def __repr__(self) -> str:
+        return (f"RelationalCircuit({self.size} gates, depth {self.depth()}, "
+                f"cost {self.cost()})")
+
+    def describe(self) -> str:
+        """Multi-line description of the circuit (gates with bounds)."""
+        lines = []
+        for g in self.gates:
+            ins = ",".join(str(i) for i in g.inputs)
+            mark = " <out>" if g.gid in self.outputs else ""
+            lines.append(
+                f"g{g.gid:<4} {g.op:<9} [{ins:<9}] {g.bound!r}"
+                f"{'  # ' + g.label if g.label else ''}{mark}"
+            )
+        return "\n".join(lines)
+
+
+def _sorted_with_order(rel: Relation, attrs: Sequence[Attr], out_attr: Attr) -> Relation:
+    """``τ_F(R)``: append the 1-based sort position (ties broken by the
+    remaining columns, deterministically)."""
+    key_pos = [rel.schema.index(a) for a in attrs]
+    rest_pos = [i for i in range(len(rel.schema)) if i not in key_pos]
+    ordered = sorted(
+        rel.rows,
+        key=lambda row: (tuple(row[p] for p in key_pos), tuple(row[p] for p in rest_pos)),
+    )
+    out_rows = [row + (i + 1,) for i, row in enumerate(ordered)]
+    return Relation(rel.schema + (out_attr,), out_rows)

@@ -1,0 +1,214 @@
+"""Data-independent predicates and map specifications.
+
+Selection conditions and map functions in a relational circuit must have a
+fixed structure (they are lowered to per-slot Boolean sub-circuits), so they
+are small ASTs rather than arbitrary Python callables.  Every node knows how
+to evaluate itself on a row dict (for the relational interpreter) and how
+many word gates it costs per tuple (for lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple, Union
+
+from ..cq.relation import Attr
+
+
+class Predicate:
+    """Base class for selection conditions ``φ``."""
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        raise NotImplementedError
+
+    def gate_cost(self) -> int:
+        """Word gates needed per tuple when lowered."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EqConst(Predicate):
+    """``A = v``."""
+
+    attr: Attr
+    value: int
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return row[self.attr] == self.value
+
+    def gate_cost(self) -> int:
+        return 2  # CONST + EQ
+
+    def __repr__(self) -> str:
+        return f"{self.attr}={self.value}"
+
+
+@dataclass(frozen=True)
+class EqAttr(Predicate):
+    """``A = B``."""
+
+    left: Attr
+    right: Attr
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return row[self.left] == row[self.right]
+
+    def gate_cost(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``lo ≤ A < hi`` — the dyadic bucket filter of Algorithm 2."""
+
+    attr: Attr
+    lo: int
+    hi: int
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return self.lo <= row[self.attr] < self.hi
+
+    def gate_cost(self) -> int:
+        return 5  # two CONSTs, two comparisons, one AND
+
+    def __repr__(self) -> str:
+        return f"{self.lo}≤{self.attr}<{self.hi}"
+
+
+@dataclass(frozen=True)
+class Parity(Predicate):
+    """``A`` is odd/even — the order-parity split of Algorithm 2 lines 5–6."""
+
+    attr: Attr
+    odd: bool
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return (row[self.attr] % 2 == 1) == self.odd
+
+    def gate_cost(self) -> int:
+        return 3
+
+    def __repr__(self) -> str:
+        return f"{self.attr} is {'odd' if self.odd else 'even'}"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return not self.inner.evaluate(row)
+
+    def gate_cost(self) -> int:
+        return 1 + self.inner.gate_cost()
+
+    def __repr__(self) -> str:
+        return f"¬({self.inner!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def gate_cost(self) -> int:
+        return 1 + self.left.gate_cost() + self.right.gate_cost()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[Attr, int]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def gate_cost(self) -> int:
+        return 1 + self.left.gate_cost() + self.right.gate_cost()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+# ---------------------------------------------------------------------------
+# Map expressions (the ρ operator of Algorithm 11)
+# ---------------------------------------------------------------------------
+
+class MapExpr:
+    """Base class for per-tuple output-column expressions."""
+
+    def evaluate(self, row: Mapping[Attr, int]) -> int:
+        raise NotImplementedError
+
+    def gate_cost(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Col(MapExpr):
+    attr: Attr
+
+    def evaluate(self, row: Mapping[Attr, int]) -> int:
+        return row[self.attr]
+
+    def gate_cost(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return self.attr
+
+
+@dataclass(frozen=True)
+class Const(MapExpr):
+    value: int
+
+    def evaluate(self, row: Mapping[Attr, int]) -> int:
+        return self.value
+
+    def gate_cost(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mul(MapExpr):
+    left: MapExpr
+    right: MapExpr
+
+    def evaluate(self, row: Mapping[Attr, int]) -> int:
+        return self.left.evaluate(row) * self.right.evaluate(row)
+
+    def gate_cost(self) -> int:
+        return 1 + self.left.gate_cost() + self.right.gate_cost()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}·{self.right!r})"
+
+
+@dataclass(frozen=True)
+class Add(MapExpr):
+    left: MapExpr
+    right: MapExpr
+
+    def evaluate(self, row: Mapping[Attr, int]) -> int:
+        return self.left.evaluate(row) + self.right.evaluate(row)
+
+    def gate_cost(self) -> int:
+        return 1 + self.left.gate_cost() + self.right.gate_cost()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}+{self.right!r})"
+
+
+MapSpec = Dict[Attr, MapExpr]  # output column name -> expression

@@ -1,0 +1,110 @@
+"""Static validation of relational circuits.
+
+The builder enforces local well-formedness; this pass checks global
+properties a *hand-assembled* or mutated circuit might violate (bounds are
+overwritten by Algorithm 2 and Figure-1 style constructions, so a
+post-construction check is worth having):
+
+* structural: acyclicity by construction order, input references in range,
+  outputs designated, input names unique;
+* schema: every gate's declared bound schema is consistent with its inputs
+  and parameters;
+* bound sanity: monotone facts that must hold regardless of semantics
+  (e.g. a projection's card bound never exceeds its input's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..cq.relation import fmt_attrs
+from .ir import Gate, RelationalCircuit
+
+
+@dataclass
+class ValidationReport:
+    """Collected problems; empty ⇔ the circuit is well-formed."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __repr__(self) -> str:
+        return (f"ValidationReport(ok={self.ok}, {len(self.errors)} errors, "
+                f"{len(self.warnings)} warnings)")
+
+
+def validate(circuit: RelationalCircuit) -> ValidationReport:
+    """Run all static checks; never raises."""
+    report = ValidationReport()
+    err = report.errors.append
+    warn = report.warnings.append
+
+    if not circuit.outputs:
+        warn("circuit has no designated outputs")
+    names = [g.params["name"] for g in circuit.gates if g.op == "input"]
+    if len(set(names)) != len(names):
+        err(f"duplicate input names: {sorted(names)}")
+
+    for gate in circuit.gates:
+        prefix = f"g{gate.gid} ({gate.op})"
+        for src in gate.inputs:
+            if not 0 <= src < gate.gid:
+                err(f"{prefix}: input {src} is not an earlier gate")
+        ins = [circuit.gates[i].bound for i in gate.inputs
+               if 0 <= i < gate.gid]
+        if len(ins) != len(gate.inputs):
+            continue  # structural error already recorded
+
+        if gate.op == "select":
+            if gate.bound.attrs != ins[0].attrs:
+                err(f"{prefix}: selection changed the schema")
+        elif gate.op == "project":
+            attrs = set(gate.params["attrs"])
+            if not attrs <= ins[0].attrs:
+                err(f"{prefix}: projects attributes missing from input")
+            if gate.bound.card > ins[0].card:
+                err(f"{prefix}: projection bound {gate.bound.card} exceeds "
+                    f"input bound {ins[0].card}")
+        elif gate.op == "join":
+            expected = ins[0].attrs | ins[1].attrs
+            if gate.bound.attrs != expected:
+                err(f"{prefix}: join schema {fmt_attrs(gate.bound.attrs)} ≠ "
+                    f"{fmt_attrs(expected)}")
+        elif gate.op == "union":
+            if ins[0].attrs != ins[1].attrs:
+                err(f"{prefix}: union over different schemas")
+            if gate.bound.card > ins[0].card + ins[1].card:
+                err(f"{prefix}: union bound exceeds the sum of inputs")
+        elif gate.op == "aggregate":
+            group = set(gate.params["group_by"])
+            if not group <= ins[0].attrs:
+                err(f"{prefix}: group-by attributes missing from input")
+            if gate.params["out_attr"] in ins[0].attrs & group:
+                err(f"{prefix}: aggregate column shadows a group column")
+        elif gate.op == "sort":
+            if not set(gate.params["attrs"]) <= ins[0].attrs:
+                err(f"{prefix}: sort key missing from input")
+            if gate.params["out_attr"] in ins[0].attrs:
+                err(f"{prefix}: order column shadows an existing attribute")
+        elif gate.op == "map":
+            from .predicates import Col
+            for out_col, expr in gate.params["spec"].items():
+                if isinstance(expr, Col) and expr.attr not in ins[0].attrs:
+                    err(f"{prefix}: map reads missing column {expr.attr!r}")
+        elif gate.op == "input":
+            pass
+        else:
+            err(f"{prefix}: unknown op")
+
+        if gate.bound.card == 0 and gate.op != "input":
+            warn(f"{prefix}: zero-capacity wire (gate can never carry tuples)")
+
+    for out in circuit.outputs:
+        if not 0 <= out < len(circuit.gates):
+            err(f"output {out} is not a gate")
+    return report

@@ -1,0 +1,209 @@
+"""Deeper tests: the 0-1 principle for the sorting network, explicit-GHD
+Yannakakis, PANDA-C options, and proof-sequence order sensitivity."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.cq import DCSet, Database, Relation, cardinality, parse_query
+from repro.bounds import synthesize_proof
+from repro.boolcircuit import ArrayBuilder, bitonic_sort
+from repro.core import (
+    PandaC,
+    aggregate_c,
+    compile_fcq,
+    count_c,
+    decode_count,
+    panda_c,
+    yannakakis_c,
+)
+from repro.ghd import GHD
+from repro.datagen import (
+    path_query,
+    random_database,
+    triangle_query,
+    uniform_dc,
+)
+
+
+class TestZeroOnePrinciple:
+    """A comparator network sorts all inputs iff it sorts all 0-1 inputs
+    (Knuth 5.3.4) — exhaustive certification of the bitonic sorter."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_bitonic_sorts_all_01_sequences(self, n):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), n)
+        out = bitonic_sort(b, arr, ["A"])
+        for bits in itertools.product((1, 2), repeat=n):
+            values = []
+            for v in bits:
+                values.extend([v, 1])  # field, valid
+            result = b.c.evaluate(values)
+            decoded = [result[bus.fields[0]] for bus in out.buses
+                       if result[bus.valid]]
+            assert decoded == sorted(bits), bits
+
+    def test_bitonic_with_dummies_all_01(self):
+        """0-1 principle extended with the dummy dimension: all (value,
+        valid) combinations for small n."""
+        n = 4
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), n)
+        out = bitonic_sort(b, arr, ["A"])
+        for bits in itertools.product((1, 2), repeat=n):
+            for valids in itertools.product((0, 1), repeat=n):
+                values = []
+                for v, ok in zip(bits, valids):
+                    values.extend([v, ok])
+                result = b.c.evaluate(values)
+                flags = [result[bus.valid] for bus in out.buses]
+                # dummies strictly after non-dummies
+                assert flags == sorted(flags, reverse=True), (bits, valids)
+                decoded = [result[bus.fields[0]]
+                           for bus in out.buses if result[bus.valid]]
+                expected = sorted(v for v, ok in zip(bits, valids) if ok)
+                assert decoded == expected
+
+
+class TestExplicitGHD:
+    def path_ghd(self):
+        return GHD([frozenset({"X0", "X1"}), frozenset({"X1", "X2"})],
+                   [None, 0])
+
+    def test_yannakakis_with_given_ghd(self):
+        q = path_query(2)
+        db = random_database(q, 8, 5, seed=1)
+        truth = q.evaluate(db)
+        circuit, report = yannakakis_c(q, uniform_dc(q, 8),
+                                       out_bound=max(1, len(truth)),
+                                       ghd=self.path_ghd())
+        env = {a.name: db[a.name] for a in q.atoms}
+        assert circuit.run(env, check_bounds=False)[0] == truth.reorder(
+            sorted(q.variables))
+        assert report.ghd is not None
+
+    def test_count_with_given_ghd(self):
+        q = path_query(2)
+        db = random_database(q, 8, 5, seed=2)
+        circuit, _ = count_c(q, uniform_dc(q, 8), ghd=self.path_ghd())
+        env = {a.name: db[a.name] for a in q.atoms}
+        assert decode_count(circuit.run(env, check_bounds=False)[0]) == \
+            len(q.evaluate(db))
+
+    def test_bad_ghd_still_counts_with_trivial_bag(self):
+        """A one-bag GHD always works (it is the worst-case circuit)."""
+        q = path_query(2)
+        ghd = GHD([frozenset({"X0", "X1", "X2"})], [None])
+        db = random_database(q, 6, 4, seed=3)
+        circuit, _ = count_c(q, uniform_dc(q, 6), ghd=ghd)
+        env = {a.name: db[a.name] for a in q.atoms}
+        assert decode_count(circuit.run(env, check_bounds=False)[0]) == \
+            len(q.evaluate(db))
+
+    def test_aggregate_with_given_ghd(self):
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        env = {
+            "R0": Relation(("X0", "X1", "w"), [(1, 1, 3), (1, 2, 4)]),
+            "R1": Relation(("X1", "X2", "w"), [(1, 9, 2), (2, 9, 5)]),
+        }
+        # free = {X0}: the root bag must be exactly the free variables
+        ghd = GHD([frozenset({"X0"}), frozenset({"X0", "X1"}),
+                   frozenset({"X1", "X2"})], [None, 0, 1])
+        ann = {"R0": True, "R1": True}
+        circuit = aggregate_c(q, uniform_dc(q, 4), annotated=ann, ghd=ghd)
+        from repro.core import ram_join_aggregate
+        assert circuit.run(env) == ram_join_aggregate(q, env, ann)
+
+
+class TestPandaOptions:
+    def test_dapb_slack_admits_looser_joins(self):
+        """With huge slack, no composition is ever re-planned."""
+        q = triangle_query()
+        _, tight = panda_c(q, uniform_dc(q, 64), canonical_key="triangle")
+        _, loose = panda_c(q, uniform_dc(q, 64), canonical_key="triangle",
+                           dapb_slack=10 ** 9)
+        assert any(c.replanned for c in tight.checks)
+        assert not any(c.replanned for c in loose.checks)
+
+    def test_explicit_proof_object(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 16)
+        proof = synthesize_proof(q.variables, dc, canonical_key="triangle")
+        circuit, _ = panda_c(q, dc, proof=proof)
+        db = random_database(q, 16, 6, seed=4)
+        env = {a.name: db[a.name] for a in q.atoms}
+        out = circuit.run(env, check_bounds=False)[0]
+        assert out.rows >= q.evaluate(db).rows
+
+    def test_compiler_exposes_output_gate(self):
+        q = triangle_query()
+        compiler = PandaC(q, uniform_dc(q, 8), canonical_key="triangle")
+        circuit, _ = compiler.compile()
+        assert compiler.output_gate in circuit.outputs
+
+    def test_atom_without_cardinality_rejected(self):
+        from repro.core import PandaError
+        q = triangle_query()
+        dc = DCSet([cardinality("AB", 8)])
+        with pytest.raises((PandaError, Exception)):
+            panda_c(q, dc)
+
+
+class TestProofOrderSensitivity:
+    def test_all_orders_verify_and_compile(self):
+        """Every attribute order yields a valid chain proof; all compile and
+        agree (costs may differ — that is the planner's dimension)."""
+        q = path_query(2)
+        dc = uniform_dc(q, 8)
+        db = random_database(q, 8, 5, seed=5)
+        env = {a.name: db[a.name] for a in q.atoms}
+        truth = q.evaluate(db)
+        costs = set()
+        for order in itertools.permutations(sorted(q.variables)):
+            proof = synthesize_proof(q.variables, dc, order=order)
+            circuit, _ = compile_fcq(q, dc, proof=proof)
+            assert circuit.run(env, check_bounds=False)[0] == truth
+            costs.add(circuit.cost())
+        assert costs  # at least one plan; often several distinct costs
+
+
+class TestOddEvenMergeSort:
+    """The ablation alternative sorting network, certified like bitonic."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_zero_one_principle(self, n):
+        from repro.boolcircuit.sorting import odd_even_merge_sort
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), n)
+        out = odd_even_merge_sort(b, arr, ["A"])
+        for bits in itertools.product((1, 2), repeat=n):
+            values = []
+            for v in bits:
+                values.extend([v, 1])
+            result = b.c.evaluate(values)
+            decoded = [result[bus.fields[0]] for bus in out.buses
+                       if result[bus.valid]]
+            assert decoded == sorted(bits), bits
+
+    def test_fewer_comparators_than_bitonic(self):
+        from repro.boolcircuit.sorting import odd_even_merge_sort
+        b1 = ArrayBuilder()
+        bitonic_sort(b1, b1.input_array(("A",), 64), ["A"])
+        b2 = ArrayBuilder()
+        odd_even_merge_sort(b2, b2.input_array(("A",), 64), ["A"])
+        assert b2.c.size < b1.c.size
+
+    def test_dummies_last(self):
+        from repro.cq import Relation
+        from repro.boolcircuit import ArrayBuilder as AB
+        from repro.boolcircuit.sorting import odd_even_merge_sort
+        b = AB()
+        arr = b.input_array(("A",), 6)
+        out = odd_even_merge_sort(b, arr, ["A"])
+        rel = Relation(("A",), [(5,), (1,)])
+        values = b.c.evaluate(AB.encode_relation(rel, arr))
+        flags = [values[bus.valid] for bus in out.buses]
+        assert flags == [1, 1, 0, 0, 0, 0]

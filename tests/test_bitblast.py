@@ -1,0 +1,254 @@
+"""Tests for the bit-blasting pass: word circuits → pure Boolean circuits
+(the literal objects of Section 4.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import Relation
+from repro.apps import mpc_cost, mpc_cost_exact
+from repro.boolcircuit import (
+    ArrayBuilder,
+    BooleanCircuit,
+    Circuit,
+    aggregate,
+    bit_blast,
+    bitonic_sort,
+    pk_join,
+    project,
+)
+from repro.boolcircuit.bitblast import (
+    _const_word,
+    _equals,
+    _less_than,
+    _multiply,
+    _ripple_add,
+    _ripple_sub,
+)
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+
+
+class TestBooleanCircuit:
+    def test_gates(self):
+        bc = BooleanCircuit()
+        a, b = bc.input(), bc.input()
+        gates = {
+            "and": bc.and_(a, b), "or": bc.or_(a, b),
+            "not": bc.not_(a), "xor": bc.xor(a, b),
+        }
+        v = bc.evaluate([1, 0])
+        assert (v[gates["and"]], v[gates["or"]], v[gates["not"]],
+                v[gates["xor"]]) == (0, 1, 0, 1)
+
+    def test_constant_folding(self):
+        bc = BooleanCircuit()
+        a = bc.input()
+        assert bc.and_(a, bc.one()) == a
+        assert bc.and_(a, bc.zero()) == bc.zero()
+        assert bc.or_(a, bc.zero()) == a
+        assert bc.xor(a, bc.zero()) == a
+        assert bc.not_(bc.zero()) == bc.one()
+
+    def test_mux_bit(self):
+        bc = BooleanCircuit()
+        c, a, b = bc.input(), bc.input(), bc.input()
+        m = bc.mux(c, a, b)
+        assert bc.evaluate([1, 1, 0])[m] == 1
+        assert bc.evaluate([0, 1, 0])[m] == 0
+
+    def test_size_and_and_count(self):
+        bc = BooleanCircuit()
+        a, b = bc.input(), bc.input()
+        bc.and_(a, b)
+        bc.xor(a, b)
+        assert bc.size == 2
+        assert bc.and_count == 1  # XOR free under free-XOR
+
+    def test_wrong_input_count(self):
+        bc = BooleanCircuit()
+        bc.input()
+        with pytest.raises(ValueError):
+            bc.evaluate([1, 0])
+
+
+class TestArithmeticBlocks:
+    def word_in(self, bc, value):
+        wires = tuple(bc.input() for _ in range(WIDTH))
+        bits = [(value >> i) & 1 for i in range(WIDTH)]
+        return wires, bits
+
+    def decode(self, bc, wires, all_bits):
+        values = bc.evaluate(all_bits)
+        return sum(values[w] << i for i, w in enumerate(wires))
+
+    @given(st.integers(0, MASK), st.integers(0, MASK))
+    @settings(max_examples=40, deadline=None)
+    def test_adder(self, x, y):
+        bc = BooleanCircuit()
+        a, abits = self.word_in(bc, x)
+        b, bbits = self.word_in(bc, y)
+        out = _ripple_add(bc, a, b)
+        assert self.decode(bc, out, abits + bbits) == (x + y) & MASK
+
+    @given(st.integers(0, MASK), st.integers(0, MASK))
+    @settings(max_examples=40, deadline=None)
+    def test_subtractor_and_borrow(self, x, y):
+        bc = BooleanCircuit()
+        a, abits = self.word_in(bc, x)
+        b, bbits = self.word_in(bc, y)
+        out, borrow = _ripple_sub(bc, a, b)
+        values = bc.evaluate(abits + bbits)
+        got = sum(values[w] << i for i, w in enumerate(out))
+        assert got == (x - y) & MASK
+        assert values[borrow] == (1 if x < y else 0)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier(self, x, y):
+        bc = BooleanCircuit()
+        a, abits = self.word_in(bc, x)
+        b, bbits = self.word_in(bc, y)
+        out = _multiply(bc, a, b)
+        assert self.decode(bc, out, abits + bbits) == (x * y) & MASK
+
+    @given(st.integers(0, MASK), st.integers(0, MASK))
+    @settings(max_examples=40, deadline=None)
+    def test_comparators(self, x, y):
+        bc = BooleanCircuit()
+        a, abits = self.word_in(bc, x)
+        b, bbits = self.word_in(bc, y)
+        eq = _equals(bc, a, b)
+        lt = _less_than(bc, a, b)
+        values = bc.evaluate(abits + bbits)
+        assert values[eq] == int(x == y)
+        assert values[lt] == int(x < y)
+
+    def test_const_word(self):
+        bc = BooleanCircuit()
+        wires = _const_word(bc, 0b1011, 4)
+        values = bc.evaluate([])
+        assert [values[w] for w in wires] == [1, 1, 0, 1]
+
+
+def random_safe_word_circuit(seed, n_inputs=4, n_ops=40):
+    """A random word circuit whose intermediates stay non-negative (SUB is
+    applied as max-minus-min), matching the operator circuits' discipline."""
+    rng = random.Random(seed)
+    c = Circuit()
+    ins = [c.input() for _ in range(n_inputs)]
+    gates = list(ins)
+    for _ in range(n_ops):
+        op = rng.choice(["add", "mul", "eq", "lt", "and", "or", "not",
+                         "xor", "mux", "min", "max", "sub"])
+        a, b, d = (rng.choice(gates) for _ in range(3))
+        if op == "not":
+            gates.append(c.not_(a))
+        elif op == "mux":
+            gates.append(c.mux(a, b, d))
+        elif op == "sub":
+            gates.append(c.sub(c.max_(a, b), c.min_(a, b)))
+        elif op == "min":
+            gates.append(c.min_(a, b))
+        elif op == "max":
+            gates.append(c.max_(a, b))
+        else:
+            gates.append(getattr(c, op if op not in ("and", "or") else op + "_")(a, b))
+    return c, ins
+
+
+class TestBitBlast:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_word_semantics(self, seed):
+        c, ins = random_safe_word_circuit(seed)
+        blasted = bit_blast(c, word_bits=16)
+        rng = random.Random(seed + 100)
+        for _ in range(5):
+            vals = [rng.randint(0, 50) for _ in ins]
+            word_vals = c.evaluate(vals)
+            bit_vals = blasted.evaluate_words(vals)
+            for gid in range(len(c.ops)):
+                assert bit_vals[gid] == word_vals[gid] & 0xFFFF, gid
+
+    def test_pk_join_through_pure_boolean(self):
+        b = ArrayBuilder()
+        r = b.input_array(("A", "B"), 3)
+        s = b.input_array(("B", "C"), 3)
+        j = pk_join(b, r, s)
+        R = Relation(("A", "B"), [(1, 1), (2, 1), (3, 2)])
+        S = Relation(("B", "C"), [(1, 7), (2, 9)])
+        vals = (ArrayBuilder.encode_relation(R, r)
+                + ArrayBuilder.encode_relation(S, s))
+        blasted = bit_blast(b.c, word_bits=8)
+        gate_values = blasted.evaluate_words(vals)
+        rows = [tuple(gate_values[f] for f in bus.fields)
+                for bus in j.buses if gate_values[bus.valid]]
+        assert Relation(j.schema, rows) == R.join(S)
+
+    def test_sort_through_pure_boolean(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 4)
+        out = bitonic_sort(b, arr, ["A"])
+        rel = Relation(("A",), [(9,), (3,), (6,)])
+        vals = ArrayBuilder.encode_relation(rel, arr)
+        blasted = bit_blast(b.c, word_bits=8)
+        gate_values = blasted.evaluate_words(vals)
+        decoded = [gate_values[bus.fields[0]] for bus in out.buses
+                   if gate_values[bus.valid]]
+        assert decoded == [3, 6, 9]
+
+    def test_aggregate_through_pure_boolean(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A", "B"), 4)
+        out = aggregate(b, arr, ("A",), "sum", "B", out_attr="@v")
+        rel = Relation(("A", "B"), [(1, 3), (1, 4), (2, 5)])
+        vals = ArrayBuilder.encode_relation(rel, arr)
+        blasted = bit_blast(b.c, word_bits=8)
+        gate_values = blasted.evaluate_words(vals)
+        rows = [tuple(gate_values[f] for f in bus.fields)
+                for bus in out.buses if gate_values[bus.valid]]
+        assert Relation(out.schema, rows) == Relation(("A", "@v"),
+                                                      [(1, 7), (2, 5)])
+
+    def test_expansion_factor_is_o_log_u(self):
+        """Doubling the word width should roughly double the Boolean size
+        (linear blocks dominate; the multiplier is quadratic but rare)."""
+        b = ArrayBuilder()
+        arr = b.input_array(("A", "B"), 8)
+        project(b, arr, ("A",))
+        s8 = bit_blast(b.c, word_bits=8).size
+        s16 = bit_blast(b.c, word_bits=16).size
+        assert 1.5 < s16 / s8 < 3.0
+
+    def test_depth_polylog_preserved(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 8)
+        bitonic_sort(b, arr, ["A"])
+        blasted = bit_blast(b.c, word_bits=8)
+        # Boolean depth = word depth × O(word_bits) for ripple carries.
+        assert blasted.depth <= b.c.depth * 4 * 8
+
+    def test_exact_mpc_cost(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A", "B"), 6)
+        project(b, arr, ("A",))
+        blasted = bit_blast(b.c, word_bits=16)
+        exact = mpc_cost_exact(blasted)
+        estimate = mpc_cost(b.c, word_bits=16)
+        assert exact.and_gates == blasted.boolean.and_count
+        assert exact.garbled_bytes > 0
+        # the analytic estimate should be within ~20x of ground truth
+        ratio = estimate.boolean_gates / max(1, exact.boolean_gates)
+        assert 0.05 < ratio < 20, ratio
+
+    def test_unknown_op_rejected(self):
+        c = Circuit()
+        c.ops.append(99)
+        c.in_a.append(-1)
+        c.in_b.append(-1)
+        c.in_c.append(-1)
+        with pytest.raises(ValueError):
+            bit_blast(c)

@@ -1,0 +1,257 @@
+"""Tests for the three join circuits (Algorithms 6, 7, 10) and the lowering
+pass (Theorem 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import Relation
+from repro.boolcircuit import (
+    ArrayBuilder,
+    degree_bounded_join,
+    output_bounded_join,
+    pk_join,
+    semijoin,
+)
+from repro.boolcircuit.lower import lower
+from repro.relcircuit import RelationalCircuit, WireBound
+from repro.datagen import random_database, triangle_query, uniform_dc
+
+
+def run(b, pairs, out):
+    values = []
+    for arr, rel in pairs:
+        values.extend(ArrayBuilder.encode_relation(rel, arr))
+    return ArrayBuilder.decode_rows(out, b.c.evaluate(values))
+
+
+def join_setup(cap_r, cap_s, schema_r=("A", "B"), schema_s=("B", "C")):
+    b = ArrayBuilder()
+    r = b.input_array(schema_r, cap_r)
+    s = b.input_array(schema_s, cap_s)
+    return b, r, s
+
+
+pk_right = st.dictionaries(st.integers(1, 6), st.integers(1, 9), max_size=6)
+left_rel = st.sets(st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=8)
+
+
+class TestPkJoin:
+    def test_paper_figure3_example(self):
+        """Figure 3: R = {(a1,b1),(a1,b2),(a2,b1)}, S = {(b1,c1),(b3,c1)}."""
+        r_rel = Relation(("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        s_rel = Relation(("B", "C"), [(1, 1), (3, 1)])
+        b, r, s = join_setup(3, 2)
+        out = pk_join(b, r, s)
+        result = run(b, [(r, r_rel), (s, s_rel)], out)
+        assert set(result.rows) == {(1, 1, 1), (2, 1, 1)}
+
+    @given(left_rel, pk_right)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_relational_join(self, rows_r, mapping):
+        r_rel = Relation(("A", "B"), rows_r)
+        s_rel = Relation(("B", "C"), [(k, v) for k, v in mapping.items()])
+        b, r, s = join_setup(8, 6)
+        out = pk_join(b, r, s)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+    def test_multi_column_key(self):
+        r_rel = Relation(("A", "B", "C"), [(1, 1, 2), (2, 1, 2), (1, 3, 3)])
+        s_rel = Relation(("B", "C", "D"), [(1, 2, 7), (3, 3, 8)])
+        b, r, s = join_setup(3, 2, ("A", "B", "C"), ("B", "C", "D"))
+        out = pk_join(b, r, s)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+    def test_no_common_rejected(self):
+        b, r, s = join_setup(2, 2, ("A",), ("B",))
+        with pytest.raises(ValueError):
+            pk_join(b, r, s)
+
+    def test_size_linear(self):
+        sizes = {}
+        for n in (8, 16, 32):
+            b, r, s = join_setup(n, n)
+            pk_join(b, r, s)
+            sizes[n] = b.c.size
+        # Õ(M + N'): doubling capacity should scale well under O(n log^2 n)
+        assert sizes[32] / sizes[16] < 3.5
+
+    def test_output_capacity_is_m(self):
+        b, r, s = join_setup(5, 9)
+        out = pk_join(b, r, s)
+        assert out.capacity == 5
+
+
+class TestSemijoinCircuit:
+    @given(left_rel, st.sets(st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                             max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_relational(self, rows_r, rows_s):
+        r_rel = Relation(("A", "B"), rows_r)
+        s_rel = Relation(("B", "C"), rows_s)
+        b, r, s = join_setup(8, 8)
+        out = semijoin(b, r, s)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.semijoin(s_rel)
+
+
+class TestDegreeBoundedJoin:
+    def test_paper_figure4_example(self):
+        """Figure 4: M=3, N=5."""
+        r_rel = Relation(("A", "B"), [(1, 1), (2, 2), (1, 3)])
+        s_rel = Relation(("B", "C"), [(1, 1), (1, 2), (1, 3), (2, 4), (3, 5)])
+        b, r, s = join_setup(3, 5)
+        out = degree_bounded_join(b, r, s, 5)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+    @given(left_rel,
+           st.sets(st.tuples(st.integers(1, 5), st.integers(1, 8)), max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_relational(self, rows_r, rows_s):
+        r_rel = Relation(("A", "B"), rows_r)
+        s_rel = Relation(("B", "C"), rows_s)
+        deg = max(1, s_rel.degree(("B",)))
+        b, r, s = join_setup(8, 10)
+        out = degree_bounded_join(b, r, s, deg)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+    def test_degree_one_delegates_to_pk(self):
+        r_rel = Relation(("A", "B"), [(1, 1)])
+        s_rel = Relation(("B", "C"), [(1, 9)])
+        b, r, s = join_setup(1, 1)
+        out = degree_bounded_join(b, r, s, 1)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+    def test_degree_exceeding_promise_is_what_bounds_guard(self):
+        """With data violating the degree promise the output loses tuples —
+        exactly why wires carry (and check) bounds upstream."""
+        r_rel = Relation(("A", "B"), [(1, 1)])
+        s_rel = Relation(("B", "C"), [(1, c) for c in range(1, 6)])
+        b, r, s = join_setup(1, 5)
+        out = degree_bounded_join(b, r, s, 2)  # promise deg ≤ 2, actual 5
+        result = run(b, [(r, r_rel), (s, s_rel)], out)
+        assert len(result) <= len(r_rel.join(s_rel))
+
+    def test_size_scales_with_mn(self):
+        sizes = {}
+        for deg in (2, 4, 8):
+            b, r, s = join_setup(6, 6 * deg)
+            degree_bounded_join(b, r, s, deg)
+            sizes[deg] = b.c.size
+        assert sizes[8] > sizes[2]  # grows with the degree bound
+        # but stays Õ(M·N): doubling deg should not quadruple size
+        assert sizes[8] / sizes[4] < 4
+
+
+class TestOutputBoundedJoin:
+    @given(left_rel,
+           st.sets(st.tuples(st.integers(1, 5), st.integers(1, 6)), max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_relational(self, rows_r, rows_s):
+        r_rel = Relation(("A", "B"), rows_r)
+        s_rel = Relation(("B", "C"), rows_s)
+        out_size = max(1, len(r_rel.join(s_rel)))
+        b, r, s = join_setup(8, 8)
+        out = output_bounded_join(b, r, s, out_size)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+    def test_output_capacity_is_out(self):
+        b, r, s = join_setup(4, 4)
+        out = output_bounded_join(b, r, s, 7)
+        assert out.capacity == 7
+
+    def test_skewed_degrees(self):
+        """One heavy key + many light keys exercise several dyadic classes."""
+        r_rel = Relation(("A", "B"), [(a, 1) for a in range(1, 4)]
+                         + [(9, b) for b in range(2, 5)])
+        s_rel = Relation(("B", "C"), [(1, c) for c in range(1, 7)]
+                         + [(b, 9) for b in range(2, 5)])
+        out_size = len(r_rel.join(s_rel))
+        b, r, s = join_setup(6, 9)
+        out = output_bounded_join(b, r, s, out_size)
+        assert run(b, [(r, r_rel), (s, s_rel)], out) == r_rel.join(s_rel)
+
+
+class TestLowering:
+    def lower_and_run(self, build, env):
+        rc = RelationalCircuit()
+        out = build(rc)
+        rc.set_output(out)
+        lc = lower(rc)
+        return rc, lc, lc.run(env)[0]
+
+    def test_join_gate(self):
+        R = Relation(("A", "B"), [(1, 1), (2, 1), (3, 2)])
+        S = Relation(("B", "C"), [(1, 7), (1, 8), (2, 9)])
+
+        def build(rc):
+            r = rc.add_input("R", WireBound(("A", "B"), 4))
+            s = rc.add_input("S", WireBound(("B", "C"), 4))
+            return rc.add_join(r, s)
+
+        _, lc, out = self.lower_and_run(build, {"R": R, "S": S})
+        assert out == R.join(S)
+
+    def test_cross_product_gate(self):
+        R = Relation(("A",), [(1,), (2,)])
+        S = Relation(("B",), [(7,)])
+
+        def build(rc):
+            r = rc.add_input("R", WireBound(("A",), 2))
+            s = rc.add_input("S", WireBound(("B",), 2))
+            return rc.add_join(r, s)
+
+        _, lc, out = self.lower_and_run(build, {"R": R, "S": S})
+        assert out == R.join(S)
+
+    def test_pk_flavor_chosen_for_degree_one(self):
+        def build(rc):
+            r = rc.add_input("R", WireBound(("A", "B"), 8))
+            s = rc.add_input("S", WireBound(("B", "C"), 8,
+                                            ((frozenset("B"), 1),)))
+            return rc.add_join(r, s)
+
+        rc = RelationalCircuit()
+        out = build(rc)
+        rc.set_output(out)
+        pk_size = lower(rc).size
+
+        rc2 = RelationalCircuit()
+        r = rc2.add_input("R", WireBound(("A", "B"), 8))
+        s = rc2.add_input("S", WireBound(("B", "C"), 8))
+        rc2.set_output(rc2.add_join(r, s))
+        generic_size = lower(rc2).size
+        assert pk_size < generic_size  # pk join is strictly cheaper
+
+    def test_aggregate_sort_select_project_chain(self):
+        R = Relation(("A", "B"), [(1, 1), (1, 2), (2, 2), (3, 1)])
+
+        def build(rc):
+            from repro.relcircuit import Range, COUNT_COL
+            r = rc.add_input("R", WireBound(("A", "B"), 6))
+            agg = rc.add_aggregate(r, ("A",), "count")
+            sel = rc.add_select(agg, Range(COUNT_COL, 2, 10))
+            return rc.add_project(sel, ("A",))
+
+        _, lc, out = self.lower_and_run(build, {"R": R})
+        assert out == Relation(("A",), [(1,)])
+
+    def test_input_over_capacity_raises(self):
+        rc = RelationalCircuit()
+        r = rc.add_input("R", WireBound(("A",), 1))
+        rc.set_output(r)
+        lc = lower(rc)
+        with pytest.raises(ValueError):
+            lc.run({"R": Relation(("A",), [(1,), (2,)])})
+
+    def test_word_size_vs_relational_cost(self):
+        """Theorem 4: word-gate count within polylog of the §4.3 cost."""
+        rc = RelationalCircuit()
+        r = rc.add_input("R", WireBound(("A", "B"), 16))
+        s = rc.add_input("S", WireBound(("B", "C"), 16))
+        rc.set_output(rc.add_join(r, s))
+        lc = lower(rc)
+        cost = rc.cost()
+        polylog = (math.log2(cost) + 1) ** 3
+        assert lc.size <= 40 * cost * polylog

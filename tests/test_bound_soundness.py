@@ -1,0 +1,170 @@
+"""Soundness of bound derivation: every derived wire bound must hold on
+every conforming instance.
+
+This is the load-bearing invariant of the whole paper: the lowered circuit
+is sized by the derived bounds, so an unsound derivation silently truncates
+real tuples.  We attack it with randomly composed relational circuits over
+randomly generated conforming instances — if bound propagation through any
+operator is wrong, these tests find it.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import Relation
+from repro.relcircuit import (
+    COUNT_COL,
+    EqConst,
+    Range,
+    RelationalCircuit,
+    WireBound,
+)
+from repro.datagen import random_relation
+
+
+SCHEMAS = [("A", "B"), ("B", "C"), ("A", "C"), ("C", "D")]
+
+
+def random_bounded_instance(rng, schema, card):
+    size = rng.randint(0, card)
+    domain = rng.randint(2, 6)
+    rows = set()
+    for _ in range(size):
+        rows.add(tuple(rng.randint(1, domain) for _ in schema))
+    return Relation(schema, rows)
+
+
+def build_random_circuit(rng, n_ops=6):
+    """Compose random gates; returns (circuit, input specs)."""
+    c = RelationalCircuit()
+    inputs = []
+    gates = []
+    for i, schema in enumerate(SCHEMAS[: rng.randint(2, 4)]):
+        card = rng.randint(1, 8)
+        gid = c.add_input(f"I{i}", WireBound(schema, card))
+        inputs.append((f"I{i}", schema, card))
+        gates.append(gid)
+    for _ in range(n_ops):
+        op = rng.choice(["select", "project", "join", "union", "aggregate",
+                         "sort", "semijoin"])
+        src = rng.choice(gates)
+        bound = c.gates[src].bound
+        try:
+            if op == "select":
+                attr = rng.choice(bound.schema)
+                gates.append(c.add_select(src, EqConst(attr, rng.randint(1, 4))))
+            elif op == "project":
+                keep = [a for a in bound.schema if rng.random() < 0.7]
+                if not keep:
+                    continue
+                gates.append(c.add_project(src, tuple(keep)))
+            elif op == "join":
+                other = rng.choice(gates)
+                gates.append(c.add_join(src, other))
+            elif op == "semijoin":
+                other = rng.choice(gates)
+                if not (bound.attrs & c.gates[other].bound.attrs):
+                    continue
+                gates.append(c.add_semijoin(src, other))
+            elif op == "union":
+                partners = [gid for gid in gates
+                            if c.gates[gid].bound.attrs == bound.attrs]
+                if not partners:
+                    continue
+                gates.append(c.add_union(src, rng.choice(partners)))
+            elif op == "aggregate":
+                group = [a for a in bound.schema if rng.random() < 0.5
+                         and not a.startswith("@")]
+                gates.append(c.add_aggregate(src, tuple(group), "count"))
+            elif op == "sort":
+                keys = [a for a in bound.schema if not a.startswith("@")]
+                if not keys:
+                    continue
+                gates.append(c.add_sort(src, (rng.choice(keys),),
+                                        out_attr=f"@o{len(gates)}"))
+        except ValueError:
+            continue
+    for gid in gates:
+        c.set_output(gid)
+    return c, inputs
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_derived_bounds_always_hold(seed):
+    """check_bounds=True must never raise on conforming inputs."""
+    rng = random.Random(seed)
+    circuit, inputs = build_random_circuit(rng)
+    env = {name: random_bounded_instance(rng, schema, card)
+           for name, schema, card in inputs}
+    circuit.run(env, check_bounds=True)  # must not raise BoundViolation
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_degree_annotated_inputs(seed):
+    """Same property with degree-constrained input wires and conforming
+    degree-bounded data."""
+    from repro.datagen import degree_bounded_relation
+
+    rng = random.Random(seed)
+    c = RelationalCircuit()
+    card, deg = 8, rng.randint(1, 3)
+    r = c.add_input("R", WireBound(("A", "B"), card))
+    s = c.add_input("S", WireBound(("B", "C"), card,
+                                   ((frozenset("B"), deg),)))
+    j = c.add_join(r, s)
+    p = c.add_project(j, ("A", "C"))
+    c.set_output(p)
+    env = {
+        "R": random_relation(("A", "B"), rng.randint(1, card), 5, seed=seed),
+        "S": degree_bounded_relation(("B", "C"), rng.randint(1, card), 5,
+                                     ("B",), deg, seed=seed + 1),
+    }
+    c.run(env, check_bounds=True)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_decomposition_bounds_hold(seed):
+    """Algorithm 2's assigned piece bounds hold on live data."""
+    from repro.core import decompose
+
+    rng = random.Random(seed)
+    c = RelationalCircuit()
+    card = rng.randint(2, 24)
+    src = c.add_input("R", WireBound(("B", "C"), card))
+    pieces = decompose(c, src, ("B",))
+    for p in pieces:
+        c.set_output(p.rel_gate)
+        c.set_output(p.proj_gate)
+    domain = rng.randint(2, 8)
+    rel = random_relation(("B", "C"), rng.randint(1, min(card, domain * domain)),
+                          domain, seed=seed)
+    c.run({"R": rel}, check_bounds=True)
+
+
+def test_nonconforming_input_is_caught():
+    c = RelationalCircuit()
+    r = c.add_input("R", WireBound(("A", "B"), 2))
+    c.set_output(r)
+    from repro.relcircuit import BoundViolation
+    with pytest.raises(BoundViolation):
+        c.run({"R": Relation(("A", "B"), [(1, 1), (2, 2), (3, 3)])})
+
+
+@given(st.integers(0, 10 ** 6))
+@settings(max_examples=30, deadline=None)
+def test_panda_wire_bounds_hold(seed):
+    """Every wire inside a PANDA-C circuit conforms on conforming data."""
+    from repro.core import panda_c
+    from repro.datagen import random_database, triangle_query, uniform_dc
+
+    rng = random.Random(seed)
+    q = triangle_query()
+    domain = rng.randint(3, 6)
+    n = rng.randint(2, min(10, domain * domain))
+    db = random_database(q, n, domain, seed=seed)
+    circuit, _ = panda_c(q, uniform_dc(q, n), canonical_key="triangle")
+    env = {a.name: db[a.name] for a in q.atoms}
+    circuit.run(env, check_bounds=True)

@@ -1,0 +1,220 @@
+"""Tests for the polymatroid bound, Shannon-flow inequalities, and the
+entropic machinery (paper Sections 3.2–3.3)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import DCSet, DegreeConstraint, Relation, cardinality, parse_query
+from repro.bounds import (
+    FlowInequality,
+    agm_bound,
+    dapb,
+    entropy_of_relation,
+    is_entropic_point,
+    log_dapb,
+    semantic_gap,
+    solve_polymatroid_bound,
+    theorem1_inequality,
+)
+from repro.datagen import (
+    cycle_query,
+    loomis_whitney_query,
+    path_query,
+    random_database,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+EMPTY = frozenset()
+
+
+def fs(s):
+    return frozenset(s)
+
+
+class TestPolymatroidBound:
+    def test_triangle_agm(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 64)
+        assert log_dapb(q, dc) == pytest.approx(1.5 * 6)
+        assert dapb(q, dc) == 64 ** 1.5
+
+    def test_unequal_cardinalities(self):
+        q = triangle_query()
+        dc = DCSet([cardinality("AB", 4), cardinality("BC", 16), cardinality("AC", 64)])
+        # AGM: sqrt(|AB| |BC| |AC|) = sqrt(4*16*64) = 64
+        assert 2 ** log_dapb(q, dc) == pytest.approx(64)
+
+    def test_path_query(self):
+        q = path_query(2)
+        dc = uniform_dc(q, 8)
+        assert 2 ** log_dapb(q, dc) == pytest.approx(64)
+
+    def test_star_query(self):
+        q = star_query(3)
+        dc = uniform_dc(q, 8)
+        # integral cover: all three edges needed
+        assert 2 ** log_dapb(q, dc) == pytest.approx(512)
+
+    def test_four_cycle(self):
+        q = cycle_query(4)
+        dc = uniform_dc(q, 16)
+        # rho* = 2 for even cycles
+        assert 2 ** log_dapb(q, dc) == pytest.approx(256)
+
+    def test_lw3_equals_triangle(self):
+        q = loomis_whitney_query(3)
+        dc = uniform_dc(q, 16)
+        assert log_dapb(q, dc) == pytest.approx(1.5 * 4)
+
+    def test_degree_constraint_tightens(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 2 ** 10)
+        base = log_dapb(q, dc)
+        dc.add(DegreeConstraint(fs("B"), fs("BC"), 2 ** 2))
+        tightened = log_dapb(q, dc)
+        assert tightened < base
+        assert tightened == pytest.approx(12.0)  # min(N·d, AGM) = 2^{10+2}
+
+    def test_fd_collapses_bound(self):
+        q = path_query(2)
+        dc = uniform_dc(q, 100)
+        dc.add(DegreeConstraint(fs({"X1"}), fs({"X1", "X2"}), 1))
+        # with FD X1→X2 the join is at most |R0|
+        assert 2 ** log_dapb(q, dc) == pytest.approx(100, rel=1e-6)
+
+    def test_uncovered_variable_unbounded(self):
+        q = parse_query("R(A,B)")
+        dc = DCSet([DegreeConstraint(fs("A"), fs("AB"), 5)])
+        with pytest.raises(ValueError):
+            solve_polymatroid_bound({"A", "B"}, dc)
+
+    def test_bag_target(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 64)
+        lp = solve_polymatroid_bound(q.variables, dc, target=fs("AB"))
+        assert lp.log_bound == pytest.approx(6.0)
+
+    def test_agm_bound_matches_when_cardinality_only(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 32)
+        assert agm_bound(q, dc) == pytest.approx(2 ** log_dapb(q, dc))
+
+    def test_too_many_variables_rejected(self):
+        from repro.cq import Atom, ConjunctiveQuery
+        atoms = [Atom(f"R{i}", (f"V{i}", f"V{i+1}")) for i in range(11)]
+        q = ConjunctiveQuery(atoms)
+        with pytest.raises(ValueError):
+            solve_polymatroid_bound(q.variables, uniform_dc(q, 4))
+
+
+class TestTheorem1Dual:
+    def test_triangle_dual_budget(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 64)
+        ineq = theorem1_inequality(q.variables, dc)
+        assert ineq.log_budget(dc) == pytest.approx(log_dapb(q, dc))
+        assert ineq.is_semantically_valid()
+
+    def test_degree_dual_budget(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 2 ** 8)
+        dc.add(DegreeConstraint(fs("B"), fs("BC"), 4))
+        ineq = theorem1_inequality(q.variables, dc)
+        assert ineq.log_budget(dc) == pytest.approx(log_dapb(q, dc), abs=1e-4)
+        assert ineq.is_semantically_valid()
+
+
+class TestFlowInequalityValidity:
+    def test_paper_inequality_2_is_valid(self):
+        # h(AB) + h(BC) + h(AC) >= 2 h(ABC)
+        ineq = FlowInequality(
+            universe=fs("ABC"),
+            delta={(EMPTY, fs("AB")): Fraction(1), (EMPTY, fs("BC")): Fraction(1),
+                   (EMPTY, fs("AC")): Fraction(1)},
+            lam={fs("ABC"): Fraction(2)},
+        )
+        assert ineq.is_semantically_valid()
+
+    def test_too_strong_inequality_invalid(self):
+        # h(AB) >= h(ABC) is false
+        ineq = FlowInequality(
+            universe=fs("ABC"),
+            delta={(EMPTY, fs("AB")): Fraction(1)},
+            lam={fs("ABC"): Fraction(1)},
+        )
+        assert not ineq.is_semantically_valid()
+        assert semantic_gap(ineq) < -0.5
+
+    def test_monotonicity_instance_valid(self):
+        ineq = FlowInequality(
+            universe=fs("AB"),
+            delta={(EMPTY, fs("AB")): Fraction(1)},
+            lam={fs("A"): Fraction(1)},
+        )
+        assert ineq.is_semantically_valid()
+
+    def test_log_budget_requires_dc_terms(self):
+        ineq = FlowInequality(
+            universe=fs("AB"),
+            delta={(EMPTY, fs("AB")): Fraction(1)},
+            lam={fs("AB"): Fraction(1)},
+        )
+        with pytest.raises(ValueError):
+            ineq.log_budget(DCSet([cardinality("A", 5)]))
+
+
+class TestEntropicSide:
+    def test_entropy_of_uniform_product(self):
+        rows = [(a, b) for a in range(1, 5) for b in range(1, 5)]
+        h = entropy_of_relation(rows, ("A", "B"))
+        assert h[fs("AB")] == pytest.approx(4.0)
+        assert h[fs("A")] == pytest.approx(2.0)
+        assert is_entropic_point(h)
+
+    def test_entropy_empty(self):
+        h = entropy_of_relation([], ("A",))
+        assert h[fs("A")] == 0.0
+
+    def test_entropic_point_violation_detected(self):
+        h = {EMPTY: 0.0, fs("A"): 2.0, fs("B"): 2.0, fs("AB"): 5.0}
+        assert not is_entropic_point(h)  # violates subadditivity
+
+    def test_output_entropy_below_dapb(self):
+        """log |Q(D)| = h(vars) of the output distribution ≤ LOGDAPB."""
+        q = triangle_query()
+        db = random_database(q, 32, 12, seed=7)
+        dc = uniform_dc(q, 32)
+        out = q.evaluate(db)
+        if len(out):
+            assert math.log2(len(out)) <= log_dapb(q, dc) + 1e-9
+
+
+@given(st.integers(2, 64), st.integers(2, 64), st.integers(2, 64))
+@settings(max_examples=25, deadline=None)
+def test_agm_triangle_formula(na, nb, nc):
+    """DAPB under cardinality constraints = sqrt of the product (AGM)."""
+    q = triangle_query()
+    dc = DCSet([cardinality("AB", na), cardinality("BC", nb), cardinality("AC", nc)])
+    expected = 0.5 * (math.log2(na) + math.log2(nb) + math.log2(nc))
+    got = log_dapb(q, dc)
+    # AGM maximum may also be limited by a single pair of edges
+    alt = min(
+        math.log2(na) + math.log2(nb),
+        math.log2(nb) + math.log2(nc),
+        math.log2(na) + math.log2(nc),
+    )
+    assert got == pytest.approx(min(expected, alt), abs=1e-5)
+
+
+@given(st.integers(1, 6), st.integers(2, 32))
+@settings(max_examples=20, deadline=None)
+def test_star_bound_is_product(k, n):
+    q = star_query(k)
+    dc = uniform_dc(q, n)
+    assert log_dapb(q, dc) == pytest.approx(k * math.log2(n), abs=1e-5)

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_degree, build_parser, main
+
+
+class TestArgumentParsing:
+    def test_degree_spec(self):
+        c = _parse_degree("B->BC:5")
+        assert c.x == frozenset("B") and c.y == frozenset("BC") and c.bound == 5
+
+    def test_bad_degree_spec(self):
+        import argparse
+        for bad in ("B-BC:5", "B->BC", "B->BC:x"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_degree(bad)
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["bound", "R(A,B)", "-n", "10"])
+        assert args.command == "bound" and args.n == 10
+
+
+class TestCommands:
+    def test_bound(self, capsys):
+        assert main(["bound", "R(A,B), S(B,C), T(A,C)", "-n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "LOGDAPB" in out and "DAPB" in out
+
+    def test_bound_with_degree(self, capsys):
+        assert main(["bound", "R(A,B), S(B,C)", "-n", "100",
+                     "--degree", "B->BC:1"]) == 0
+        out = capsys.readouterr().out
+        assert "6.64" in out  # log2(100)
+
+    def test_proof(self, capsys):
+        assert main(["proof", "R(A,B), S(B,C), T(A,C)", "-n", "64",
+                     "--canonical", "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert "s_{AB,C}" in out and "route:    canonical" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "R(A,B), S(B,C), T(A,C)", "-n", "16",
+                     "--canonical", "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert "DAPB checks passed: True" in out
+
+    def test_compile_verbose(self, capsys):
+        assert main(["compile", "R(A,B)", "-n", "8", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "input" in out
+
+    def test_compile_rejects_projection(self, capsys):
+        assert main(["compile", "Q(A) <- R(A,B)", "-n", "8"]) == 2
+
+    def test_lower_with_bits(self, capsys):
+        assert main(["lower", "R(A,B), S(B,C)", "-n", "4", "--bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "boolean gates" in out and "word gates" in out
+
+    def test_ghd(self, capsys):
+        assert main(["ghd", "Q(X0,X1) <- R0(X0,X1), R1(X1,X2)", "-n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "da-fhtw" in out and "free-connex region" in out
+
+    def test_ghd_subw(self, capsys):
+        assert main(["ghd", "R(A,B), S(B,C), T(A,C)", "-n", "16",
+                     "--subw"]) == 0
+        out = capsys.readouterr().out
+        assert "da-subw" in out
+
+
+class TestStatsCommand:
+    def test_stats(self, tmp_path, capsys):
+        from repro.cq import database_to_dir
+        from repro.datagen import random_database, triangle_query
+
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=1)
+        database_to_dir(db, q, tmp_path)
+        assert main(["stats", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cardinality" in out and "LOGDAPB" in out
+
+    def test_stats_headroom(self, tmp_path, capsys):
+        from repro.cq import database_to_dir
+        from repro.datagen import random_database, triangle_query
+
+        q = triangle_query()
+        db = random_database(q, 4, 4, seed=2)
+        database_to_dir(db, q, tmp_path)
+        assert main(["stats", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "--headroom", "2"]) == 0
+        assert "({}, AB, 8)" in capsys.readouterr().out

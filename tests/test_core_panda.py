@@ -1,0 +1,296 @@
+"""Tests for the core pipeline: Algorithm 2 (decomposition), the Figure-1
+triangle circuit, and PANDA-C (Algorithm 1 / Theorem 3)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import DCSet, Database, DegreeConstraint, Relation, cardinality
+from repro.bounds import dapb, synthesize_proof
+from repro.core import PandaError, compile_fcq, decompose, panda_c, triangle_circuit
+from repro.relcircuit import RelationalCircuit, WireBound
+from repro.datagen import (
+    cycle_query,
+    loomis_whitney_query,
+    path_query,
+    random_database,
+    random_relation,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+from repro.datagen.worstcase import agm_worst_triangle, skew_triangle
+
+EMPTY = frozenset()
+
+
+def fs(s):
+    return frozenset(s)
+
+
+class TestDecomposition:
+    """Algorithm 2 must satisfy conditions (4)(a)-(d)."""
+
+    def build(self, n_bound, rel, x=("B",)):
+        c = RelationalCircuit()
+        src = c.add_input("R", WireBound(tuple(rel.schema), n_bound))
+        pieces = decompose(c, src, x)
+        for p in pieces:
+            c.set_output(p.rel_gate)
+        values = c.evaluate({"R": rel}, check_bounds=False)
+        return c, pieces, values
+
+    def test_union_recovers_input(self):
+        rel = random_relation(("B", "C"), 30, 8, seed=1)
+        c, pieces, values = self.build(30, rel)
+        union = Relation(("B", "C"), [])
+        for p in pieces:
+            union = union.union(values[p.rel_gate])
+        assert union == rel  # condition (a)
+
+    def test_pieces_satisfy_degree_bounds(self):
+        rel = random_relation(("B", "C"), 30, 6, seed=2)
+        c, pieces, values = self.build(30, rel)
+        for p in pieces:
+            piece_rel = values[p.rel_gate]
+            assert piece_rel.degree(("B",)) <= p.n_y_given_x  # condition (b)
+            assert len(values[p.proj_gate]) <= p.n_x  # condition (c)
+
+    def test_product_bounded_by_n(self):
+        rel = random_relation(("B", "C"), 32, 8, seed=3)
+        c, pieces, _ = self.build(32, rel)
+        for p in pieces:
+            assert p.n_x * p.n_y_given_x <= 32  # condition (d)
+
+    def test_piece_count_is_logarithmic(self):
+        rel = random_relation(("B", "C"), 64, 10, seed=4)
+        c, pieces, _ = self.build(64, rel)
+        k = 1 + math.floor(math.log2(64))
+        assert len(pieces) <= 2 * k
+
+    def test_pruning_under_degree_bound(self):
+        """Buckets above a declared degree bound are pruned data-independently."""
+        c = RelationalCircuit()
+        src = c.add_input("R", WireBound(("B", "C"), 64, ((fs("B"), 4),)))
+        pieces = decompose(c, src, ("B",))
+        # only buckets with 2^{i-1} ≤ 4 survive: i ∈ {1,2,3} → 6 pieces
+        assert len(pieces) == 6
+
+    def test_skewed_data(self):
+        rows = [(1, c) for c in range(1, 20)] + [(b, 1) for b in range(2, 10)]
+        rel = Relation(("B", "C"), rows)
+        c, pieces, values = self.build(len(rows), rel)
+        union = Relation(("B", "C"), [])
+        for p in pieces:
+            piece_rel = values[p.rel_gate]
+            assert piece_rel.degree(("B",)) <= p.n_y_given_x
+            union = union.union(piece_rel)
+        assert union == rel
+
+    def test_x_must_be_proper_subset(self):
+        c = RelationalCircuit()
+        src = c.add_input("R", WireBound(("B", "C"), 8))
+        with pytest.raises(ValueError):
+            decompose(c, src, ("B", "C"))
+
+    @given(st.sets(st.tuples(st.integers(1, 6), st.integers(1, 12)), min_size=1,
+                   max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_decomposition_invariants_random(self, rows):
+        rel = Relation(("B", "C"), rows)
+        c, pieces, values = self.build(max(len(rel), 1), rel)
+        union = Relation(("B", "C"), [])
+        for p in pieces:
+            piece_rel = values[p.rel_gate]
+            assert piece_rel.degree(("B",)) <= p.n_y_given_x
+            assert len(values[p.proj_gate]) <= p.n_x
+            assert p.n_x * p.n_y_given_x <= max(len(rel), 1)
+            union = union.union(piece_rel)
+        assert union == rel
+
+
+class TestFigure1Triangle:
+    def triangle_env(self, n, seed=0, domain=None):
+        domain = domain or max(2, int(math.isqrt(n)) * 2)
+        q = triangle_query()
+        db = random_database(q, n, domain, seed=seed)
+        return q, db
+
+    @pytest.mark.parametrize("n,seed", [(8, 0), (16, 1), (32, 2), (64, 3)])
+    def test_matches_reference(self, n, seed):
+        q, db = self.triangle_env(n, seed)
+        circ = triangle_circuit(n)
+        out = circ.run({a.name: db[a.name] for a in q.atoms})[0]
+        assert out == q.evaluate(db)
+
+    def test_worst_case_instance(self):
+        db, n = agm_worst_triangle(36)
+        circ = triangle_circuit(n)
+        out = circ.run({"R_AB": db["R_AB"], "R_BC": db["R_BC"],
+                        "R_AC": db["R_AC"]})[0]
+        assert len(out) == 6 ** 3  # side^3 triangles
+
+    def test_skewed_instance(self):
+        db, n = skew_triangle(40)
+        q = triangle_query()
+        circ = triangle_circuit(n)
+        out = circ.run({a.name: db[a.name] for a in q.atoms},
+                       check_bounds=False)[0]
+        assert out == q.evaluate(db)
+
+    def test_cost_matches_n_to_1_5(self):
+        """Cost(N) should grow like N^1.5 (Figure 1's claim)."""
+        costs = {n: triangle_circuit(n).cost() for n in (64, 256, 1024, 4096)}
+        for n in (64, 256, 1024):
+            ratio = costs[n * 4] / costs[n]
+            # N -> 4N should scale cost by ~8 (4^1.5); allow slack for the
+            # additive O(N) terms
+            assert 4.0 < ratio < 12.0
+
+    def test_every_wire_bounded_by_n_1_5(self):
+        n = 256
+        circ = triangle_circuit(n)
+        for g in circ.gates:
+            assert g.bound.card <= 2.01 * n ** 1.5
+
+    def test_threshold_ablation_worsens_cost(self):
+        n = 4096
+        balanced = triangle_circuit(n, threshold_exponent=0.5).cost()
+        lopsided = triangle_circuit(n, threshold_exponent=0.9).cost()
+        assert lopsided > balanced
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            triangle_circuit(0)
+
+
+class TestPandaC:
+    def check_query(self, query, n=16, domain=8, seed=0, dc=None,
+                    canonical_key=None):
+        dc = dc or uniform_dc(query, n)
+        db = random_database(query, n, domain, seed=seed)
+        circuit, report = compile_fcq(query, dc, canonical_key=canonical_key)
+        env = {a.name: db[a.name] for a in query.atoms}
+        out = circuit.run(env, check_bounds=False)[0]
+        expected = query.evaluate(db).reorder(sorted(query.variables))
+        assert out == expected, f"{query!r}: {len(out)} vs {len(expected)}"
+        return circuit, report
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangle_canonical(self, seed):
+        circuit, report = self.check_query(triangle_query(), seed=seed,
+                                           canonical_key="triangle")
+        assert report.all_checks_passed
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_triangle_chain(self, seed):
+        self.check_query(triangle_query(), n=8, domain=6, seed=seed)
+
+    def test_path2(self):
+        self.check_query(path_query(2), n=16)
+
+    def test_path3(self):
+        self.check_query(path_query(3), n=12, domain=6)
+
+    def test_star3(self):
+        self.check_query(star_query(3), n=16)
+
+    def test_single_atom_returns_input(self):
+        from repro.cq import parse_query
+        q = parse_query("R(A,B)")
+        circuit, _ = compile_fcq(q, uniform_dc(q, 8))
+        db = random_database(q, 8, 5, seed=0)
+        out = circuit.run({"R": db["R"]}, check_bounds=False)[0]
+        assert out == db["R"].reorder(("A", "B"))
+
+    def test_triangle_worst_case(self):
+        db, n = agm_worst_triangle(25)
+        q = triangle_query()
+        circuit, report = compile_fcq(q, uniform_dc(q, n), canonical_key="triangle")
+        out = circuit.run({a.name: db[a.name] for a in q.atoms},
+                          check_bounds=False)[0]
+        assert len(out) == 5 ** 3
+        assert report.all_checks_passed
+
+    def test_degree_constrained_triangle(self):
+        q = triangle_query()
+        n, d = 16, 2
+        dc = uniform_dc(q, n)
+        dc.add(DegreeConstraint(fs("B"), fs("BC"), d))
+        from repro.datagen import degree_bounded_relation
+        db = Database({
+            "R_AB": random_relation(("A", "B"), n, 8, seed=1),
+            "R_BC": degree_bounded_relation(("B", "C"), n, 8, ("B",), d, seed=2),
+            "R_AC": random_relation(("A", "C"), n, 8, seed=3),
+        })
+        circuit, report = compile_fcq(q, dc)
+        out = circuit.run({a.name: db[a.name] for a in q.atoms},
+                          check_bounds=False)[0]
+        assert out == q.evaluate(db)
+        # the degree-aware bound N·d is respected by every join check
+        assert report.dapb <= n * d
+
+    def test_canonical_all_checks_pass_and_replanning_fires(self):
+        """The paper's Example 2: heavy branches join with R_AB, light with
+        R_AC — i.e. some compositions must be re-planned."""
+        q = triangle_query()
+        circuit, report = panda_c(q, uniform_dc(q, 64), canonical_key="triangle")
+        assert report.all_checks_passed
+        assert any(c.replanned for c in report.checks)
+        assert any(not c.replanned for c in report.checks)
+
+    def test_circuit_size_polylog(self):
+        """Theorem 3: relational circuit size is Õ(1) — polylog in N."""
+        q = triangle_query()
+        sizes = {}
+        for n in (16, 256, 4096):
+            circuit, _ = panda_c(q, uniform_dc(q, n), canonical_key="triangle")
+            sizes[n] = circuit.size
+        # size grows at most linearly in log N (one branch set per log-bucket)
+        assert sizes[4096] <= sizes[16] * (math.log2(4096) / math.log2(16)) * 2
+
+    def test_cost_within_polylog_of_dapb(self):
+        q = triangle_query()
+        for n in (64, 256, 1024):
+            circuit, report = panda_c(q, uniform_dc(q, n), canonical_key="triangle")
+            bound = n + n ** 1.5
+            polylog = (math.log2(n) + 1) ** 2
+            assert circuit.cost() <= 20 * bound * polylog
+
+    def test_missing_cardinality_raises(self):
+        q = triangle_query()
+        dc = DCSet([cardinality("AB", 8), cardinality("BC", 8)])
+        with pytest.raises((PandaError, Exception)):
+            compile_fcq(q, dc)
+
+    def test_non_full_query_rejected(self):
+        from repro.cq import parse_query
+        q = parse_query("Q(A) <- R(A,B)")
+        with pytest.raises(ValueError):
+            compile_fcq(q, DCSet([cardinality("AB", 4)]))
+
+    def test_report_accounting(self):
+        q = triangle_query()
+        _, report = panda_c(q, uniform_dc(q, 64), canonical_key="triangle")
+        assert report.dapb == 512
+        assert report.total_input == 3 * 64
+        assert report.branches > 0
+        assert report.violations == []
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_panda_triangle_randomized(seed):
+    """PANDA-C (canonical) equals the reference evaluator on random data."""
+    rng = random.Random(seed)
+    domain = rng.randint(3, 10)
+    n = rng.randint(4, min(24, domain * domain))
+    q = triangle_query()
+    db = random_database(q, n, domain, seed=seed)
+    circuit, _ = compile_fcq(q, uniform_dc(q, n), canonical_key="triangle")
+    out = circuit.run({a.name: db[a.name] for a in q.atoms},
+                      check_bounds=False)[0]
+    assert out == q.evaluate(db)

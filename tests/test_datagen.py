@@ -1,0 +1,166 @@
+"""Tests for the workload generators: every generator must deliver exactly
+the structure it promises (sizes, degrees, skew, worst-case shapes)."""
+
+import math
+import random
+
+import pytest
+
+from repro.cq import Relation
+from repro.datagen import (
+    agm_worst_triangle,
+    blowup_path,
+    bowtie_query,
+    clique_query,
+    cycle_query,
+    degree_bounded_relation,
+    hierarchical_query,
+    loomis_whitney_query,
+    matching_path,
+    path_query,
+    random_database,
+    random_relation,
+    skew_triangle,
+    skewed_relation,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+
+class TestRandomGenerators:
+    def test_random_relation_size_and_domain(self):
+        r = random_relation(("A", "B"), 20, 10, seed=1)
+        assert len(r) == 20
+        assert r.domain_size() <= 10
+
+    def test_random_relation_reproducible(self):
+        assert random_relation(("A",), 5, 50, seed=3) == \
+            random_relation(("A",), 5, 50, seed=3)
+
+    def test_random_relation_domain_too_small(self):
+        with pytest.raises(ValueError):
+            random_relation(("A",), 10, 3, seed=0)
+
+    def test_degree_bounded_relation(self):
+        r = degree_bounded_relation(("B", "C"), 30, 20, ("B",), 2, seed=2)
+        assert r.degree(("B",)) <= 2
+        assert len(r) > 0
+
+    def test_skewed_relation_has_heavy_hitter(self):
+        r = skewed_relation(("B", "C"), 60, 30, "B", zipf=1.5, seed=4)
+        degrees = sorted(
+            (r.degree(("B",)),), reverse=True)
+        assert degrees[0] >= 5  # value 1 is heavily repeated
+
+    def test_random_database_covers_atoms(self):
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=5)
+        for atom in q.atoms:
+            assert len(db[atom.name]) == 8
+
+    def test_uniform_dc(self):
+        q = star_query(3)
+        dc = uniform_dc(q, 7)
+        for atom in q.atoms:
+            assert dc.cardinality_of(atom.varset) == 7
+
+
+class TestQueryFamilies:
+    def test_triangle(self):
+        q = triangle_query()
+        assert q.hypergraph.n == 3 and q.hypergraph.m == 3
+
+    def test_cycle_structure(self):
+        q = cycle_query(5)
+        assert q.hypergraph.n == 5 and q.hypergraph.m == 5
+        assert not q.hypergraph.is_acyclic()
+        with pytest.raises(ValueError):
+            cycle_query(2)
+
+    def test_path_structure(self):
+        q = path_query(4)
+        assert q.hypergraph.n == 5 and q.hypergraph.is_acyclic()
+        with pytest.raises(ValueError):
+            path_query(0)
+
+    def test_star_structure(self):
+        q = star_query(4)
+        assert q.hypergraph.n == 5
+        assert all("A" in a.varset for a in q.atoms)
+
+    def test_clique_structure(self):
+        q = clique_query(4)
+        assert q.hypergraph.m == 6
+        with pytest.raises(ValueError):
+            clique_query(2)
+
+    def test_loomis_whitney(self):
+        q = loomis_whitney_query(4)
+        assert q.hypergraph.m == 4
+        assert all(len(a.vars) == 3 for a in q.atoms)
+        with pytest.raises(ValueError):
+            loomis_whitney_query(2)
+
+    def test_hierarchical(self):
+        q = hierarchical_query(3)
+        assert q.hypergraph.m == 3
+        # nested structure: each atom's vars contain the previous atom's
+        varsets = [a.varset for a in q.atoms]
+        assert varsets[0] < varsets[1] < varsets[2]
+        with pytest.raises(ValueError):
+            hierarchical_query(0)
+
+    def test_bowtie(self):
+        q = bowtie_query()
+        assert q.hypergraph.n == 5 and q.hypergraph.m == 6
+        assert not q.hypergraph.is_acyclic()
+
+
+class TestWorstCaseInstances:
+    def test_agm_worst_triangle_output_size(self):
+        db, n = agm_worst_triangle(49)
+        q = triangle_query()
+        side = math.isqrt(49)
+        assert len(db["R_AB"]) == side * side == n
+        assert len(q.evaluate(db)) == side ** 3  # the AGM bound, attained
+
+    def test_skew_triangle_has_heavy_hub(self):
+        db, n = skew_triangle(40)
+        assert db["R_BC"].degree(("C",)) >= 10  # the hub
+        q = triangle_query()
+        assert len(q.evaluate(db)) > 0
+
+    def test_matching_path_linear_output(self):
+        db = matching_path(12, 3)
+        q = path_query(3)
+        assert len(q.evaluate(db)) == 12
+
+    def test_blowup_path_output_explodes(self):
+        db = blowup_path(16, 2)
+        q = path_query(2)
+        side = 4
+        assert len(q.evaluate(db)) == side ** 3
+
+
+class TestWidthsOnNewFamilies:
+    def test_clique4_fhtw(self):
+        from repro.ghd import fhtw
+        assert fhtw(clique_query(4)) == pytest.approx(2.0)
+
+    def test_hierarchical_is_acyclic_width_one(self):
+        from repro.ghd import fhtw
+        assert fhtw(hierarchical_query(3)) == pytest.approx(1.0)
+
+    def test_bowtie_width(self):
+        from repro.ghd import da_fhtw
+        q = bowtie_query()
+        res = da_fhtw(q, uniform_dc(q, 16), limit=30)
+        # two triangles: width 1.5 per side
+        assert res.width == pytest.approx(1.5 * 4)
+
+    def test_lw4_bound(self):
+        from repro.bounds import log_dapb
+        q = loomis_whitney_query(4)
+        # AGM for LW_k with arity-(k-1) atoms: N^{k/(k-1)}
+        assert log_dapb(q, uniform_dc(q, 2 ** 6)) == pytest.approx(6 * 4 / 3)

@@ -1,0 +1,219 @@
+"""Tests for GHDs, free-connex regions, and width measures (Section 6.1,
+Section 7)."""
+
+import pytest
+
+from repro.cq import DCSet, DegreeConstraint, cardinality, parse_query
+from repro.ghd import (
+    GHD,
+    bag_width,
+    candidate_ghds,
+    da_fhtw,
+    da_subw,
+    enumerate_ghds,
+    fhtw,
+    ghd_from_elimination,
+    ghd_width,
+    trivial_ghd,
+)
+from repro.datagen import (
+    cycle_query,
+    loomis_whitney_query,
+    path_query,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+
+def fs(s):
+    return frozenset(s)
+
+
+class TestGHDStructure:
+    def simple(self):
+        # path GHD: {X0X1} - {X1X2} - {X2X3}, rooted at node 0
+        return GHD([fs({"X0", "X1"}), fs({"X1", "X2"}), fs({"X2", "X3"})],
+                   [None, 0, 1])
+
+    def test_root_detection(self):
+        assert self.simple().root == 0
+
+    def test_exactly_one_root_required(self):
+        with pytest.raises(ValueError):
+            GHD([fs("A"), fs("B")], [None, None])
+
+    def test_bottom_up_order(self):
+        order = self.simple().bottom_up()
+        assert order[-1] == 0
+        assert order.index(2) < order.index(1)
+
+    def test_children(self):
+        g = self.simple()
+        assert g.children(0) == [1] and g.children(2) == []
+
+    def test_validity(self):
+        q = path_query(3)
+        assert self.simple().is_valid_for(q.hypergraph)
+        # missing coverage of an edge
+        bad = GHD([fs({"X0", "X1"})], [None])
+        assert not bad.is_valid_for(q.hypergraph)
+
+    def test_running_intersection_violation(self):
+        # X1 appears in two disconnected nodes
+        bad = GHD([fs({"X0", "X1"}), fs({"X2"}), fs({"X1", "X2"})],
+                  [None, 0, 1])
+        from repro.cq import Hypergraph
+        assert not bad.is_valid_for(Hypergraph([("X0", "X1"), ("X1", "X2")]))
+
+    def test_rerooted_preserves_edges(self):
+        g = self.simple().rerooted(2)
+        assert g.root == 2
+        assert g.parent[0] == 1 and g.parent[1] == 2
+
+    def test_trivial_ghd(self):
+        q = triangle_query()
+        g = trivial_ghd(q.hypergraph)
+        assert g.is_valid_for(q.hypergraph)
+        assert g.n_nodes == 1
+
+
+class TestFreeConnexRegion:
+    def test_full_query_region_is_everything(self):
+        g = GHD([fs({"A", "B"}), fs({"B", "C"})], [None, 0])
+        region = g.free_connex_region({"A", "B", "C"})
+        assert region == {0, 1}
+
+    def test_bcq_region_empty(self):
+        g = GHD([fs({"A", "B"})], [None])
+        assert g.free_connex_region(set()) == set()
+        assert g.is_free_connex(set())
+
+    def test_region_found_for_prefix(self):
+        g = GHD([fs({"X0", "X1"}), fs({"X1", "X2"})], [None, 0])
+        assert g.free_connex_region({"X0", "X1"}) == {0}
+
+    def test_region_missing(self):
+        # free = {X0, X2} cannot be a union of free-only bags here
+        g = GHD([fs({"X0", "X1"}), fs({"X1", "X2"})], [None, 0])
+        assert g.free_connex_region({"X0", "X2"}) is None
+
+    def test_region_spanning_multiple_bags(self):
+        # R(A,B), S(B,C), T(C,D) with free {A,B,C}: region {AB, BC}
+        g = GHD([fs({"A", "B"}), fs({"B", "C"}), fs({"C", "D"})],
+                [None, 0, 1])
+        assert g.free_connex_region({"A", "B", "C"}) == {0, 1}
+
+
+class TestElimination:
+    def test_triangle_single_bag(self):
+        q = triangle_query()
+        g = ghd_from_elimination(q.hypergraph, ["A", "B", "C"])
+        assert g.is_valid_for(q.hypergraph)
+        assert any(bag == fs({"A", "B", "C"}) for bag in g.bags)
+
+    def test_path_small_bags(self):
+        q = path_query(4)
+        order = ["X0", "X1", "X2", "X3", "X4"]
+        g = ghd_from_elimination(q.hypergraph, order)
+        assert g.is_valid_for(q.hypergraph)
+        assert max(len(b) for b in g.bags) == 2
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            ghd_from_elimination(triangle_query().hypergraph, ["A", "B"])
+
+    def test_enumeration_yields_valid_unique(self):
+        q = cycle_query(4)
+        ghds = list(enumerate_ghds(q))
+        assert ghds
+        keys = set()
+        for g in ghds:
+            assert g.is_valid_for(q.hypergraph)
+            keys.add(tuple(sorted(tuple(sorted(b)) for b in g.bags)))
+        assert len(keys) == len(ghds)
+
+    def test_limit_respected(self):
+        q = cycle_query(5)
+        assert len(list(enumerate_ghds(q, limit=3))) == 3
+
+    def test_too_many_vars_rejected(self):
+        q = path_query(10)
+        with pytest.raises(ValueError):
+            list(enumerate_ghds(q))
+
+
+class TestWidths:
+    def test_fhtw_values(self):
+        assert fhtw(triangle_query()) == pytest.approx(1.5)
+        assert fhtw(path_query(3)) == pytest.approx(1.0)
+        assert fhtw(star_query(3)) == pytest.approx(1.0)
+        assert fhtw(cycle_query(4)) == pytest.approx(2.0)
+        assert fhtw(cycle_query(5)) == pytest.approx(2.0)
+
+    def test_da_fhtw_triangle(self):
+        q = triangle_query()
+        res = da_fhtw(q, uniform_dc(q, 16))
+        assert res.width == pytest.approx(6.0)
+        assert res.size_bound == 64
+
+    def test_da_fhtw_uses_degree_constraints(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 2 ** 8)
+        base = da_fhtw(q, dc).width
+        dc.add(DegreeConstraint(fs("B"), fs({"B", "C"}), 2))
+        assert da_fhtw(q, dc).width < base
+
+    def test_subw_c4_beats_fhtw(self):
+        """Marx's separation: subw(C4) = 1.5 < 2 = fhtw(C4)."""
+        q = cycle_query(4)
+        dc = uniform_dc(q, 16)
+        subw = da_subw(q, dc)
+        fh = da_fhtw(q, dc).width
+        assert subw == pytest.approx(1.5 * 4)
+        assert fh == pytest.approx(2.0 * 4)
+
+    def test_subw_never_exceeds_fhtw(self):
+        for q in (triangle_query(), path_query(3), star_query(3)):
+            dc = uniform_dc(q, 16)
+            assert da_subw(q, dc) <= da_fhtw(q, dc).width + 1e-6
+
+    def test_bag_width(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 16)
+        assert bag_width(q.variables, dc, fs({"A", "B"})) == pytest.approx(4.0)
+
+    def test_ghd_width_is_max_bag(self):
+        q = path_query(2)
+        dc = uniform_dc(q, 16)
+        g = GHD([fs({"X0", "X1"}), fs({"X1", "X2"})], [None, 0])
+        assert ghd_width(q, dc, g) == pytest.approx(4.0)
+
+
+class TestCandidateGHDs:
+    def test_full_query_all_ghds(self):
+        q = triangle_query()
+        assert candidate_ghds(q)
+
+    def test_free_connex_prefix(self):
+        q = parse_query("Q(X0,X1) <- R0(X0,X1), R1(X1,X2)")
+        cands = candidate_ghds(q)
+        assert cands
+        for g in cands:
+            assert g.free_connex_region(q.free) is not None
+
+    def test_spread_region_keeps_width_one(self):
+        """Q(A,B,C) over a 3-path: free-connex region of width-1 bags."""
+        q = parse_query("Q(A,B,C) <- R(A,B), S(B,C), T(C,D)")
+        res = da_fhtw(q, uniform_dc(q, 16))
+        assert res.width == pytest.approx(4.0)  # one relation's worth
+
+    def test_non_free_connex_pays(self):
+        """Q(X0,X2) over a 2-path: width must reach 2 log N."""
+        q = parse_query("Q(X0,X2) <- R0(X0,X1), R1(X1,X2)")
+        res = da_fhtw(q, uniform_dc(q, 16))
+        assert res.width == pytest.approx(8.0)
+
+    def test_bcq_candidates(self):
+        q = parse_query("Q() <- R(A,B), S(B,C)")
+        assert candidate_ghds(q)

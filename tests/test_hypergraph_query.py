@@ -1,0 +1,189 @@
+"""Unit tests for hypergraphs, queries, the parser, and degree constraints."""
+
+import pytest
+
+from repro.cq import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    DCSet,
+    DegreeConstraint,
+    Hypergraph,
+    Relation,
+    cardinality,
+    constraints_of_instance,
+    fractional_edge_cover_lp,
+    functional_dependency,
+    parse_query,
+)
+from repro.datagen import cycle_query, path_query, star_query, triangle_query
+
+
+class TestHypergraph:
+    def test_vertices_from_edges(self):
+        h = Hypergraph([("A", "B"), ("B", "C")])
+        assert h.vertices == {"A", "B", "C"}
+        assert h.n == 3 and h.m == 2
+
+    def test_repeated_edges_kept(self):
+        h = Hypergraph([("A", "B"), ("A", "B")])
+        assert h.m == 2
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph([()])
+
+    def test_neighbors_and_incidence(self):
+        h = Hypergraph([("A", "B"), ("B", "C")])
+        assert h.neighbors("B") == {"A", "C"}
+        assert h.edges_containing("B") == [0, 1]
+        assert h.incident(["A"]) == [0]
+
+    def test_connectivity(self):
+        assert Hypergraph([("A", "B"), ("B", "C")]).is_connected()
+        assert not Hypergraph([("A", "B"), ("C", "D")]).is_connected()
+
+    def test_induced(self):
+        h = Hypergraph([("A", "B", "C")]).induced(["A", "B"])
+        assert h.edges == (frozenset({"A", "B"}),)
+
+    def test_acyclicity(self):
+        assert path_query(3).hypergraph.is_acyclic()
+        assert star_query(4).hypergraph.is_acyclic()
+        assert not triangle_query().hypergraph.is_acyclic()
+        assert not cycle_query(4).hypergraph.is_acyclic()
+
+    def test_fractional_cover_triangle(self):
+        rho, w = fractional_edge_cover_lp(triangle_query().hypergraph)
+        assert rho == pytest.approx(1.5)
+        assert all(wi == pytest.approx(0.5) for wi in w.values())
+
+    def test_fractional_cover_path(self):
+        rho, _ = fractional_edge_cover_lp(path_query(3).hypergraph)
+        assert rho == pytest.approx(2.0)
+
+
+class TestQuery:
+    def test_full_and_boolean(self):
+        q = triangle_query()
+        assert q.is_full and not q.is_boolean
+        b = ConjunctiveQuery(q.atoms, free=())
+        assert b.is_boolean
+
+    def test_free_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([Atom("R", ("A",))], free=("Z",))
+
+    def test_duplicate_atom_names_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([Atom("R", ("A",)), Atom("R", ("B",))])
+
+    def test_repeated_var_in_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("R", ("A", "A"))
+
+    def test_evaluate_triangle(self):
+        q = triangle_query()
+        db = Database({
+            "R_AB": Relation(("A", "B"), [(1, 1), (1, 2)]),
+            "R_BC": Relation(("B", "C"), [(1, 3), (2, 3)]),
+            "R_AC": Relation(("A", "C"), [(1, 3)]),
+        })
+        out = q.evaluate(db)
+        assert set(out.rows) == {(1, 1, 3), (1, 2, 3)}
+
+    def test_evaluate_projection(self):
+        q = parse_query("Q(A) <- R(A,B), S(B,C)")
+        db = Database({
+            "R": Relation(("A", "B"), [(1, 1), (2, 9)]),
+            "S": Relation(("B", "C"), [(1, 5)]),
+        })
+        assert list(q.evaluate(db)) == [(1,)]
+
+    def test_evaluate_boolean(self):
+        q = parse_query("Q() <- R(A)")
+        assert len(q.evaluate(Database({"R": Relation(("A",), [(1,)])}))) == 1
+        assert len(q.evaluate(Database({"R": Relation(("A",), [])}))) == 0
+
+    def test_full_version(self):
+        q = parse_query("Q(A) <- R(A,B)")
+        assert q.full_version().is_full
+
+
+class TestParser:
+    def test_headless_is_full(self):
+        q = parse_query("R(A,B), S(B,C)")
+        assert q.is_full
+        assert {a.name for a in q.atoms} == {"R", "S"}
+
+    def test_head_free_vars(self):
+        q = parse_query("Q(A, C) <- R(A,B), S(B,C)")
+        assert q.free == {"A", "C"}
+
+    def test_boolean_head(self):
+        assert parse_query("Q() <- R(A,B)").is_boolean
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_query("R(A,B), S(B,C")
+        with pytest.raises(ValueError):
+            parse_query("Q(A <- R(A)")
+        with pytest.raises(ValueError):
+            parse_query("(A,B)")
+
+
+class TestDegreeConstraints:
+    def test_cardinality_special_case(self):
+        c = cardinality(("A", "B"), 10)
+        assert c.is_cardinality and not c.is_fd
+
+    def test_fd_special_case(self):
+        c = functional_dependency(("A",), ("A", "B"))
+        assert c.is_fd and c.bound == 1
+
+    def test_x_subset_y_required(self):
+        with pytest.raises(ValueError):
+            DegreeConstraint(frozenset("C"), frozenset("AB"), 5)
+        with pytest.raises(ValueError):
+            DegreeConstraint(frozenset("AB"), frozenset("AB"), 5)
+
+    def test_positive_bound_required(self):
+        with pytest.raises(ValueError):
+            cardinality(("A",), 0)
+
+    def test_holds_on(self):
+        r = Relation(("A", "B"), [(1, 1), (1, 2)])
+        assert cardinality(("A", "B"), 2).holds_on(r)
+        assert not cardinality(("A", "B"), 1).holds_on(r)
+        assert DegreeConstraint(frozenset("A"), frozenset("AB"), 2).holds_on(r)
+        assert not DegreeConstraint(frozenset("A"), frozenset("AB"), 1).holds_on(r)
+        # wrong schema: not a guard
+        assert not cardinality(("A", "C"), 10).holds_on(r)
+
+    def test_dcset_keeps_tightest(self):
+        dc = DCSet([cardinality("AB", 10), cardinality("AB", 5)])
+        assert dc.cardinality_of("AB") == 5
+        dc.add(cardinality("AB", 7))
+        assert dc.cardinality_of("AB") == 5
+
+    def test_dcset_contains(self):
+        dc = DCSet([cardinality("AB", 5)])
+        assert cardinality("AB", 10) in dc
+        assert cardinality("AB", 3) not in dc
+
+    def test_total_input_size(self):
+        dc = DCSet([cardinality("AB", 5), cardinality("BC", 7),
+                    functional_dependency("A", "AB")])
+        assert dc.total_input_size() == 12
+
+    def test_constraints_of_instance(self):
+        r = Relation(("A", "B"), [(1, 1), (1, 2)])
+        dc = constraints_of_instance([r], {frozenset("AB"): [frozenset("A")]})
+        assert dc.cardinality_of("AB") == 2
+        assert dc.lookup(frozenset("A"), frozenset("AB")).bound == 2
+
+    def test_conforms_to(self):
+        q = parse_query("R(A,B)")
+        db = Database({"R": Relation(("A", "B"), [(1, 1), (1, 2)])})
+        assert db.conforms_to(q, DCSet([cardinality("AB", 2)]))
+        assert not db.conforms_to(q, DCSet([cardinality("AB", 1)]))

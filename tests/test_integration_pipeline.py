@@ -1,0 +1,241 @@
+"""End-to-end integration tests: the full paper pipeline at every level.
+
+These tests exercise the *composition* of subsystems: (Q, DC) → bounds →
+proof → PANDA-C → relational circuit → word circuit → (bit-blasted Boolean
+circuit), and the Section-6 two-family protocol lowered to word circuits.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.cq import DCSet, Database, DegreeConstraint, Relation, cardinality, parse_query
+from repro.bounds import dapb, log_dapb, synthesize_proof
+from repro.boolcircuit import bit_blast
+from repro.boolcircuit.lower import lower
+from repro.core import (
+    OutputSensitiveFamily,
+    compile_fcq,
+    count_c,
+    decode_count,
+    yannakakis_c,
+)
+from repro.ram import generic_join, yannakakis
+from repro.datagen import (
+    path_query,
+    random_database,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+from repro.datagen.worstcase import agm_worst_triangle
+
+
+def env_of(q, db):
+    return {a.name: db[a.name] for a in q.atoms}
+
+
+class TestFullPipelineLevels:
+    """One query, four levels of abstraction, one answer."""
+
+    def setup_method(self):
+        self.q = triangle_query()
+        self.n = 8
+        self.dc = uniform_dc(self.q, self.n)
+        self.db = random_database(self.q, self.n, 5, seed=77)
+        self.truth = self.q.evaluate(self.db)
+        self.env = env_of(self.q, self.db)
+
+    def test_level0_reference_vs_ram(self):
+        assert yannakakis(self.q, self.db) == self.truth
+        assert generic_join(self.q, self.db) == self.truth
+
+    def test_level1_relational_circuit(self):
+        circuit, report = compile_fcq(self.q, self.dc, canonical_key="triangle")
+        assert circuit.run(self.env, check_bounds=False)[0] == self.truth
+        assert report.all_checks_passed
+
+    def test_level2_word_circuit(self):
+        circuit, _ = compile_fcq(self.q, self.dc, canonical_key="triangle")
+        lowered = lower(circuit)
+        assert lowered.run(self.env)[0] == self.truth
+
+    def test_level3_boolean_circuit(self):
+        """The literal Theorem-4 object: a pure AND/OR/NOT/XOR circuit."""
+        q = parse_query("R(A,B), S(B,C)")
+        n = 4
+        db = random_database(q, n, 3, seed=5)
+        circuit, _ = compile_fcq(q, uniform_dc(q, n))
+        lowered = lower(circuit)
+        blasted = bit_blast(lowered.circuit, word_bits=6)
+        values = []
+        for name in lowered.input_order:
+            from repro.boolcircuit import ArrayBuilder
+            values.extend(ArrayBuilder.encode_relation(
+                db[name], lowered.input_arrays[name]))
+        gate_values = blasted.evaluate_words(values)
+        out_array = lowered.output_arrays[0]
+        rows = [tuple(gate_values[f] for f in bus.fields)
+                for bus in out_array.buses if gate_values[bus.valid]]
+        assert Relation(out_array.schema, rows) == q.evaluate(db)
+
+
+class TestOutputSensitiveAtWordLevel:
+    def test_count_circuit_lowers(self):
+        q = path_query(2)
+        n = 6
+        dc = uniform_dc(q, n)
+        db = random_database(q, n, 4, seed=2)
+        circuit, _ = count_c(q, dc)
+        lowered = lower(circuit)
+        out = decode_count(lowered.run(env_of(q, db))[0])
+        assert out == len(q.evaluate(db))
+
+    def test_eval_circuit_lowers(self):
+        q = path_query(2)
+        n = 6
+        dc = uniform_dc(q, n)
+        db = random_database(q, n, 4, seed=2)
+        truth = q.evaluate(db)
+        circuit, _ = yannakakis_c(q, dc, out_bound=max(1, len(truth)))
+        lowered = lower(circuit)
+        assert lowered.run(env_of(q, db))[0] == truth.reorder(
+            sorted(q.variables))
+
+    def test_projection_count_lowers(self):
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        n = 6
+        db = random_database(q, n, 4, seed=5)
+        circuit, _ = count_c(q, uniform_dc(q, n))
+        lowered = lower(circuit)
+        assert decode_count(lowered.run(env_of(q, db))[0]) == len(q.evaluate(db))
+
+    def test_two_phase_word_level(self):
+        """The complete Section-6 protocol with word circuits end to end."""
+        q = path_query(2)
+        n = 5
+        dc = uniform_dc(q, n)
+        db = random_database(q, n, 4, seed=8)
+        count_circuit, _ = count_c(q, dc)
+        out = decode_count(lower(count_circuit).run(env_of(q, db))[0])
+        assert out == len(q.evaluate(db))
+        eval_circuit, _ = yannakakis_c(q, dc, out_bound=max(1, out))
+        answer = lower(eval_circuit).run(env_of(q, db))[0]
+        assert answer == q.evaluate(db).reorder(sorted(q.variables))
+
+
+class TestDegreeConstrainedPipeline:
+    def test_fd_pipeline(self):
+        """A functional dependency flows bounds → proof → circuit → answer."""
+        q = parse_query("R(A,B), S(B,C)")
+        n = 10
+        dc = DCSet([cardinality("AB", n), cardinality("BC", n),
+                    DegreeConstraint(frozenset("B"), frozenset("BC"), 1)])
+        assert dapb(q, dc) == n  # FD collapses the bound to |R|
+        proof = synthesize_proof(q.variables, dc)
+        assert proof.optimal and proof.route == "search"
+        s_rows = [(b, b + 50) for b in range(1, n + 1)]  # B → C functional
+        db = Database({
+            "R": Relation(("A", "B"), [(a, a % n + 1) for a in range(1, n + 1)]),
+            "S": Relation(("B", "C"), s_rows),
+        })
+        circuit, report = compile_fcq(q, dc)
+        assert report.all_checks_passed
+        out = circuit.run(env_of(q, db), check_bounds=False)[0]
+        assert out == q.evaluate(db)
+        lowered = lower(circuit)
+        assert lowered.run(env_of(q, db))[0] == q.evaluate(db)
+
+    def test_bound_violating_instance_detected(self):
+        """An instance breaking DC is rejected at the wire, not silently
+        miscomputed."""
+        q = parse_query("R(A,B), S(B,C)")
+        dc = DCSet([cardinality("AB", 4), cardinality("BC", 4),
+                    DegreeConstraint(frozenset("B"), frozenset("BC"), 1)])
+        db = Database({
+            "R": Relation(("A", "B"), [(1, 1)]),
+            "S": Relation(("B", "C"), [(1, 1), (1, 2)]),  # degree 2 > 1
+        })
+        circuit, _ = compile_fcq(q, dc)
+        from repro.relcircuit import BoundViolation
+        with pytest.raises(BoundViolation):
+            circuit.run(env_of(q, db), check_bounds=True)
+
+
+class TestWorstCaseEndToEnd:
+    def test_agm_tight_through_word_circuit(self):
+        db, n = agm_worst_triangle(16)
+        q = triangle_query()
+        circuit, _ = compile_fcq(q, uniform_dc(q, n), canonical_key="triangle")
+        lowered = lower(circuit)
+        out = lowered.run(env_of(q, db))[0]
+        assert len(out) == 4 ** 3
+
+    def test_bounds_sandwich(self):
+        """|Q(D)| ≤ entropic ≤ DAPB on worst-case data, with equality at
+        the AGM-tight instance."""
+        db, n = agm_worst_triangle(64)
+        q = triangle_query()
+        out_size = len(q.evaluate(db))
+        bound = dapb(q, uniform_dc(q, n))
+        assert out_size <= bound
+        assert out_size >= bound * 0.99  # AGM-tight: equality up to rounding
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_randomized_cross_level_agreement(seed):
+    rng = random.Random(seed)
+    q = [triangle_query(), path_query(2), star_query(2)][seed % 3]
+    domain = rng.randint(3, 5)
+    n = rng.randint(3, 7)
+    db = random_database(q, n, domain, seed=seed)
+    dc = uniform_dc(q, n)
+    truth = q.evaluate(db)
+    key = "triangle" if seed % 3 == 0 else None
+    circuit, _ = compile_fcq(q, dc, canonical_key=key)
+    assert circuit.run(env_of(q, db), check_bounds=False)[0] == truth
+    assert lower(circuit).run(env_of(q, db))[0] == truth
+    fam = OutputSensitiveFamily(q, dc)
+    assert fam.evaluate(db).out == len(truth)
+
+
+class TestAggregateAtWordLevel:
+    def test_semiring_circuit_lowers(self):
+        """§7 join-aggregate circuits lower to word circuits end to end."""
+        from repro.core import aggregate_c, ram_join_aggregate
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        dc = uniform_dc(q, 4)
+        env = {
+            "R0": Relation(("X0", "X1", "w"), [(1, 1, 2), (1, 2, 3), (2, 2, 5)]),
+            "R1": Relation(("X1", "X2", "w"), [(1, 7, 1), (2, 8, 4)]),
+        }
+        ann = {"R0": True, "R1": True}
+        ac = aggregate_c(q, dc, annotated=ann)
+        lowered = lower(ac.circuit)
+        prepared = {}
+        for atom in q.atoms:
+            rel = env[atom.name]
+            expected = tuple(atom.vars) + (f"@w_{atom.name}",)
+            prepared[atom.name] = rel.rename(dict(zip(rel.schema, expected)))
+        out = lowered.run(prepared)[0]
+        assert out == ram_join_aggregate(q, env, ann)
+
+    def test_tropical_circuit_lowers(self):
+        from repro.core import aggregate_c, ram_join_aggregate
+        q = parse_query("Q(X0,X2) <- R0(X0,X1), R1(X1,X2)")
+        dc = uniform_dc(q, 3)
+        env = {
+            "R0": Relation(("X0", "X1", "w"), [(1, 1, 2), (1, 2, 9)]),
+            "R1": Relation(("X1", "X2", "w"), [(1, 5, 3), (2, 5, 1)]),
+        }
+        ann = {"R0": True, "R1": True}
+        ac = aggregate_c(q, dc, annotated=ann, semiring=("min", "add"))
+        lowered = lower(ac.circuit)
+        prepared = {}
+        for atom in q.atoms:
+            rel = env[atom.name]
+            expected = tuple(atom.vars) + (f"@w_{atom.name}",)
+            prepared[atom.name] = rel.rename(dict(zip(rel.schema, expected)))
+        out = lowered.run(prepared)[0]
+        assert out == ram_join_aggregate(q, env, ann, semiring=("min", "add"))

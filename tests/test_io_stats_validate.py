@@ -1,0 +1,195 @@
+"""Tests for relation IO, degree-constraint discovery, circuit validation,
+and dead-gate elimination."""
+
+import random
+
+import pytest
+
+from repro.cq import (
+    DCSet,
+    Database,
+    Relation,
+    database_from_dir,
+    database_to_dir,
+    functional_dependencies,
+    parse_query,
+    relation_from_csv,
+    relation_to_csv,
+    round_up_pow2,
+    suggest_constraints,
+)
+from repro.boolcircuit import prune, prune_lowered
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq, triangle_circuit
+from repro.relcircuit import (
+    EqConst,
+    RelationalCircuit,
+    WireBound,
+    validate,
+)
+from repro.datagen import random_database, triangle_query, uniform_dc
+
+
+class TestRelationIO:
+    def test_csv_roundtrip(self, tmp_path):
+        rel = Relation(("A", "B"), [(1, 2), (3, 4)])
+        path = tmp_path / "r.csv"
+        relation_to_csv(rel, path)
+        assert relation_from_csv(path) == rel
+
+    def test_csv_without_header(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2\n3,4\n")
+        rel = relation_from_csv(path, schema=("X", "Y"))
+        assert rel == Relation(("X", "Y"), [(1, 2), (3, 4)])
+
+    def test_csv_bad_arity(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1\n")
+        with pytest.raises(ValueError):
+            relation_from_csv(path)
+
+    def test_csv_non_integer(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A\nfoo\n")
+        with pytest.raises(ValueError):
+            relation_from_csv(path)
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            relation_from_csv(path)
+
+    def test_database_dir_roundtrip(self, tmp_path):
+        q = triangle_query()
+        db = random_database(q, 6, 4, seed=1)
+        database_to_dir(db, q, tmp_path)
+        back = database_from_dir(tmp_path, q)
+        for atom in q.atoms:
+            assert back[atom.name] == db[atom.name]
+
+    def test_database_dir_missing_file(self, tmp_path):
+        q = triangle_query()
+        with pytest.raises(FileNotFoundError):
+            database_from_dir(tmp_path, q)
+
+    def test_database_dir_wrong_columns(self, tmp_path):
+        q = parse_query("R(A,B)")
+        (tmp_path / "R.csv").write_text("X,Y\n1,2\n")
+        with pytest.raises(ValueError):
+            database_from_dir(tmp_path, q)
+
+
+class TestConstraintDiscovery:
+    def test_round_up_pow2(self):
+        assert [round_up_pow2(v) for v in (0, 1, 2, 3, 4, 5, 1000)] == \
+            [1, 1, 2, 4, 4, 8, 1024]
+
+    def test_suggested_constraints_hold(self):
+        q = triangle_query()
+        db = random_database(q, 10, 5, seed=2)
+        dc = suggest_constraints(q, db)
+        assert db.conforms_to(q, dc)
+
+    def test_degree_constraints_found(self):
+        q = parse_query("R(A,B)")
+        db = Database({"R": Relation(("A", "B"),
+                                     [(1, 1), (1, 2), (2, 1), (3, 1)])})
+        dc = suggest_constraints(q, db, round_pow2=False)
+        c = dc.lookup(frozenset("A"), frozenset("AB"))
+        assert c is not None and c.bound == 2
+
+    def test_fd_detection(self):
+        q = parse_query("R(A,B)")
+        db = Database({"R": Relation(("A", "B"), [(1, 5), (2, 6), (3, 5)])})
+        fds = functional_dependencies(q, db)
+        assert any(c.x == frozenset("A") for c in fds)
+
+    def test_headroom(self):
+        q = parse_query("R(A,B)")
+        db = Database({"R": Relation(("A", "B"), [(1, 1)])})
+        dc = suggest_constraints(q, db, headroom=4, round_pow2=False)
+        assert dc.cardinality_of("AB") == 4
+        with pytest.raises(ValueError):
+            suggest_constraints(q, db, headroom=0)
+
+    def test_discovered_dc_drives_compiler(self):
+        """The end-to-end workflow: data → DC → circuit → answer."""
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=3)
+        dc = suggest_constraints(q, db)
+        circuit, _ = compile_fcq(q, dc, canonical_key="triangle")
+        env = {a.name: db[a.name] for a in q.atoms}
+        assert circuit.run(env, check_bounds=True)[0] == q.evaluate(db)
+
+
+class TestValidate:
+    def good(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 5))
+        c.set_output(c.add_project(c.add_select(r, EqConst("A", 1)), ("A",)))
+        return c
+
+    def test_good_circuit_passes(self):
+        report = validate(self.good())
+        assert report.ok and not report.errors
+
+    def test_missing_output_warns(self):
+        c = RelationalCircuit()
+        c.add_input("R", WireBound(("A",), 1))
+        report = validate(c)
+        assert report.ok and report.warnings
+
+    def test_duplicate_inputs_flagged(self):
+        c = RelationalCircuit()
+        c.add_input("R", WireBound(("A",), 1))
+        c.add_input("R", WireBound(("B",), 1))
+        assert not validate(c).ok
+
+    def test_mutated_bound_flagged(self):
+        c = self.good()
+        # sabotage: raise the projection's bound beyond its input
+        c.gates[2].bound = WireBound(("A",), 10 ** 6)
+        assert not validate(c).ok
+
+    def test_paper_circuits_validate(self):
+        assert validate(triangle_circuit(64)).ok
+        q = triangle_query()
+        circuit, _ = compile_fcq(q, uniform_dc(q, 16), canonical_key="triangle")
+        assert validate(circuit).ok
+
+
+class TestPruning:
+    def test_prune_removes_dead_gates(self):
+        from repro.boolcircuit import Circuit
+        c = Circuit()
+        x, y = c.input(), c.input()
+        live = c.add(x, y)
+        c.mul(x, y)  # dead
+        pruned, remap = prune(c, [live])
+        assert pruned.size == 1
+        assert pruned.evaluate([2, 3])[remap[live]] == 5
+
+    def test_prune_keeps_inputs(self):
+        from repro.boolcircuit import Circuit
+        c = Circuit()
+        c.input()
+        c.input()
+        pruned, _ = prune(c, [])
+        assert len(pruned.inputs) == 2
+
+    def test_prune_lowered_preserves_semantics(self):
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=4)
+        env = {a.name: db[a.name] for a in q.atoms}
+        lowered = lower(triangle_circuit(8))
+        pruned = prune_lowered(lowered)
+        assert pruned.size < lowered.size
+        assert pruned.run(env)[0] == lowered.run(env)[0] == q.evaluate(db)
+
+    def test_prune_is_idempotent(self):
+        lowered = lower(triangle_circuit(4))
+        once = prune_lowered(lowered)
+        twice = prune_lowered(once)
+        assert twice.size == once.size

@@ -1,0 +1,155 @@
+"""Miscellaneous edge cases across modules (gap-filling coverage)."""
+
+import math
+
+import pytest
+
+from repro.cq import Relation
+from repro.cq.hypergraph import Hypergraph, fractional_edge_cover_lp
+from repro.boolcircuit import (
+    ArrayBuilder,
+    Circuit,
+    op_first,
+    op_max,
+    op_min,
+    op_sum,
+    scan,
+    segment_boundaries,
+    segmented_scan,
+)
+from repro.boolcircuit.sorting import bitonic_sort
+from repro.apps import mpc_cost, naive_mpc_cost
+
+
+class TestScanEdges:
+    def test_scan_single_element(self):
+        c = Circuit()
+        x = c.input()
+        out = scan(c, [x], op_sum)
+        assert c.evaluate([7])[out[0]] == 7
+
+    def test_scan_empty(self):
+        c = Circuit()
+        assert scan(c, [], op_sum) == []
+
+    def test_op_first_identity(self):
+        c = Circuit()
+        a, b = c.input(), c.input()
+        assert op_first(c, a, b) == a  # no gate created
+
+    def test_segment_boundaries_single_segment(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A", "B"), 3)
+        sorted_arr = bitonic_sort(b, arr, ["A"])
+        first, last = segment_boundaries(b, sorted_arr, ["A"])
+        rel = Relation(("A", "B"), [(1, 1), (1, 2), (1, 3)])
+        values = b.c.evaluate(ArrayBuilder.encode_relation(rel, arr))
+        firsts = [values[f] for f in first]
+        lasts = [values[f] for f in last]
+        assert sum(firsts) == 1 and sum(lasts) == 1
+
+    def test_segment_boundaries_all_distinct(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 3)
+        sorted_arr = bitonic_sort(b, arr, ["A"])
+        first, last = segment_boundaries(b, sorted_arr, ["A"])
+        rel = Relation(("A",), [(1,), (2,), (3,)])
+        values = b.c.evaluate(ArrayBuilder.encode_relation(rel, arr))
+        assert [values[f] for f in first] == [1, 1, 1]
+        assert [values[f] for f in last] == [1, 1, 1]
+
+    def test_segmented_scan_min_and_max(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A", "B"), 4)
+        sorted_arr = bitonic_sort(b, arr, ["A"])
+        mins = segmented_scan(b, sorted_arr, ["A"], ["B"], op_min)
+        rel = Relation(("A", "B"), [(1, 5), (1, 2), (2, 9)])
+        values = b.c.evaluate(ArrayBuilder.encode_relation(rel, arr))
+        per_segment = {}
+        for bus in mins.buses:
+            if values[bus.valid]:
+                a = values[bus.fields[0]]
+                per_segment[a] = values[bus.fields[1]]  # last wins = total
+        assert per_segment == {1: 2, 2: 9}
+
+
+class TestHypergraphEdges:
+    def test_cover_lp_empty_graph(self):
+        rho, weights = fractional_edge_cover_lp(Hypergraph([]))
+        assert rho == 0.0 and weights == {}
+
+    def test_cover_lp_single_edge(self):
+        rho, weights = fractional_edge_cover_lp(Hypergraph([("A", "B")]))
+        assert rho == pytest.approx(1.0)
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_induced_empty(self):
+        h = Hypergraph([("A", "B")]).induced([])
+        assert h.n == 0 and h.m == 0
+
+
+class TestMpcModelEdges:
+    def test_zero_word_bits_guarded(self):
+        c = Circuit()
+        a, b = c.input(), c.input()
+        c.add(a, b)
+        cost = mpc_cost(c, word_bits=1)
+        assert cost.boolean_gates > 0
+
+    def test_naive_model_tiny(self):
+        cost = naive_mpc_cost(n_blocks=1, comparisons_per_block=1)
+        assert cost.gmw_rounds >= 1
+
+    def test_depth_scales_with_word_width(self):
+        c = Circuit()
+        a, b = c.input(), c.input()
+        c.add(a, b)
+        assert mpc_cost(c, word_bits=64).depth >= mpc_cost(c, word_bits=8).depth
+
+
+class TestRelationEdges:
+    def test_zeroary_relation(self):
+        t = Relation((), [()])
+        f = Relation((), [])
+        assert len(t) == 1 and len(f) == 0
+        assert t.union(f) == t
+        assert t.join(Relation(("A",), [(1,)])) == Relation(("A",), [(1,)])
+
+    def test_join_with_zeroary_false(self):
+        f = Relation((), [])
+        r = Relation(("A",), [(1,)])
+        assert len(r.join(f)) == 0
+
+    def test_rename_to_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("A", "B"), []).rename({"A": "B"})
+
+    def test_select_eq_missing_attr(self):
+        with pytest.raises(ValueError):
+            Relation(("A",), []).select_eq("Z", 1)
+
+
+class TestSortingEdges:
+    def test_sort_empty_array(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 0)
+        out = bitonic_sort(b, arr, ["A"])
+        assert len(out.buses) == 0
+
+    def test_sort_single_slot(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 1)
+        out = bitonic_sort(b, arr, ["A"])
+        rel = Relation(("A",), [(9,)])
+        values = b.c.evaluate(ArrayBuilder.encode_relation(rel, arr))
+        assert values[out.buses[0].fields[0]] == 9
+
+    def test_sort_non_power_of_two(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 5)
+        out = bitonic_sort(b, arr, ["A"])
+        rel = Relation(("A",), [(3,), (1,), (4,), (1,), (5,)])
+        values = b.c.evaluate(ArrayBuilder.encode_relation(rel, arr))
+        decoded = [values[bus.fields[0]] for bus in out.buses
+                   if values[bus.valid]]
+        assert decoded == sorted(v for (v,) in rel.rows)

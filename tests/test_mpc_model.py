@@ -1,0 +1,107 @@
+"""Tests for the massively-parallel (MPC) model substrate: HyperCube
+shares and the one-round join (paper Section 1's [26, 24] context)."""
+
+import math
+import random
+
+import pytest
+
+from repro.ram import (
+    hypercube_join,
+    integer_shares,
+    optimal_share_exponents,
+)
+from repro.cq import parse_query
+from repro.datagen import (
+    cycle_query,
+    path_query,
+    random_database,
+    star_query,
+    triangle_query,
+)
+from repro.datagen.worstcase import agm_worst_triangle
+
+
+class TestShares:
+    def test_triangle_exponents_are_thirds(self):
+        exp = optimal_share_exponents(triangle_query())
+        for v in ("A", "B", "C"):
+            assert exp[v] == pytest.approx(1 / 3)
+
+    def test_star_puts_everything_on_hub(self):
+        """For stars the LP covers every atom through the shared variable."""
+        exp = optimal_share_exponents(star_query(3))
+        assert exp["A"] == pytest.approx(1.0)
+
+    def test_exponents_sum_to_one(self):
+        for q in (triangle_query(), path_query(3), cycle_query(4)):
+            exp = optimal_share_exponents(q)
+            assert sum(exp.values()) == pytest.approx(1.0)
+
+    def test_integer_shares_respect_budget(self):
+        for p in (4, 8, 27, 64):
+            shares = integer_shares(triangle_query(), p)
+            assert math.prod(shares.values()) <= p
+            assert all(s >= 1 for s in shares.values())
+
+
+class TestHyperCubeJoin:
+    @pytest.mark.parametrize("p", [1, 8, 27])
+    def test_triangle_correct(self, p):
+        q = triangle_query()
+        db = random_database(q, 24, 8, seed=p)
+        res = hypercube_join(q, db, p=p)
+        assert res.output == q.evaluate(db).reorder(sorted(q.variables))
+
+    def test_path_correct(self):
+        q = path_query(3)
+        db = random_database(q, 16, 6, seed=3)
+        res = hypercube_join(q, db, p=8)
+        assert res.output == q.evaluate(db).reorder(sorted(q.variables))
+
+    def test_load_decreases_with_servers(self):
+        q = triangle_query()
+        db, n = agm_worst_triangle(144)
+        loads = {}
+        for p in (1, 8, 64):
+            loads[p] = hypercube_join(q, db, p=p).max_load
+        assert loads[8] < loads[1]
+        assert loads[64] < loads[8]
+
+    def test_triangle_load_near_theory(self):
+        """Load ≈ N / p^{2/3} · replication for the AGM-worst triangle."""
+        q = triangle_query()
+        db, n = agm_worst_triangle(256)
+        p = 64
+        res = hypercube_join(q, db, p=p)
+        theory = 3 * n / p ** (2 / 3)
+        assert res.max_load <= 6 * theory  # constant + hashing skew slack
+
+    def test_one_round(self):
+        q = triangle_query()
+        db = random_database(q, 8, 4, seed=9)
+        assert hypercube_join(q, db, p=8).rounds == 1
+
+    def test_non_full_rejected(self):
+        q = parse_query("Q(A) <- R(A,B)")
+        db = random_database(q, 4, 3, seed=0)
+        with pytest.raises(ValueError):
+            hypercube_join(q, db, p=4)
+
+    def test_servers_property(self):
+        q = triangle_query()
+        db = random_database(q, 6, 4, seed=1)
+        res = hypercube_join(q, db, p=8)
+        assert res.servers == math.prod(res.shares.values())
+
+    def test_replication_counted(self):
+        """Each R_AB tuple is replicated across the C dimension."""
+        q = triangle_query()
+        db = random_database(q, 10, 5, seed=2)
+        res = hypercube_join(q, db, p=8)
+        expected = sum(
+            len(db[a.name]) * math.prod(
+                s for v, s in res.shares.items() if v not in a.varset)
+            for a in q.atoms
+        )
+        assert res.total_communication == expected

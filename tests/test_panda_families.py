@@ -1,0 +1,113 @@
+"""PANDA-C across query families: correctness and plan-structure checks
+beyond the triangle."""
+
+import math
+import random
+
+import pytest
+
+from repro.cq import DCSet, DegreeConstraint, Database, cardinality, parse_query
+from repro.core import compile_fcq, panda_c
+from repro.datagen import (
+    cycle_query,
+    degree_bounded_relation,
+    hierarchical_query,
+    loomis_whitney_query,
+    random_database,
+    random_relation,
+    star_query,
+    uniform_dc,
+)
+
+
+def check(query, n, domain, seed, dc=None, canonical_key=None):
+    dc = dc or uniform_dc(query, n)
+    db = random_database(query, n, domain, seed=seed)
+    circuit, report = compile_fcq(query, dc, canonical_key=canonical_key)
+    env = {a.name: db[a.name] for a in query.atoms}
+    out = circuit.run(env, check_bounds=False)[0]
+    assert out == query.evaluate(db).reorder(sorted(query.variables))
+    return circuit, report
+
+
+class TestFamilies:
+    def test_four_cycle(self):
+        check(cycle_query(4), n=8, domain=4, seed=0)
+
+    def test_lw3_canonical(self):
+        q = loomis_whitney_query(3)
+        # LW3 shares the triangle hypergraph; the canonical entry applies
+        check(q, n=9, domain=3, seed=1, canonical_key="lw3")
+
+    def test_star_lazy_plan_has_no_branches(self):
+        q = star_query(4)
+        circuit, report = check(q, n=10, domain=5, seed=2)
+        assert report.branches == 0  # speculative lazy: integral cover
+        assert circuit.size < 40
+
+    def test_hierarchical(self):
+        q = hierarchical_query(2)
+        check(q, n=8, domain=4, seed=3)
+
+    def test_mixed_arity_query(self):
+        q = parse_query("R(A,B,C), S(C,D)")
+        check(q, n=8, domain=4, seed=4)
+
+    def test_two_disconnected_atoms(self):
+        q = parse_query("R(A,B), S(C,D)")
+        check(q, n=4, domain=3, seed=5)
+
+
+class TestDegreeConstrainedFamilies:
+    def test_star_with_fd(self):
+        """FDs on every spoke collapse the star's bound to N."""
+        q = star_query(2)
+        n = 12
+        dc = DCSet([cardinality(a.varset, n) for a in q.atoms])
+        for a in q.atoms:
+            dc.add(DegreeConstraint(frozenset({"A"}), a.varset, 1))
+        db = Database({
+            a.name: degree_bounded_relation(tuple(a.vars), n, 20, ("A",), 1,
+                                            seed=i)
+            for i, a in enumerate(q.atoms)
+        })
+        circuit, report = compile_fcq(q, dc)
+        assert report.dapb <= n
+        env = {a.name: db[a.name] for a in q.atoms}
+        out = circuit.run(env, check_bounds=False)[0]
+        assert out == q.evaluate(db)
+
+    def test_path_with_bounded_middle_degree(self):
+        from repro.datagen import path_query
+        q = path_query(2)
+        n, d = 16, 2
+        dc = uniform_dc(q, n)
+        dc.add(DegreeConstraint(frozenset({"X1"}), frozenset({"X1", "X2"}), d))
+        db = Database({
+            "R0": random_relation(("X0", "X1"), n, 8, seed=6),
+            "R1": degree_bounded_relation(("X1", "X2"), n, 8, ("X1",), d,
+                                          seed=7),
+        })
+        circuit, report = compile_fcq(q, dc)
+        assert report.dapb <= n * d
+        env = {a.name: db[a.name] for a in q.atoms}
+        assert circuit.run(env, check_bounds=False)[0] == q.evaluate(db)
+
+
+class TestPlanStructure:
+    def test_lazy_rollback_restores_gate_count(self):
+        """When speculation fails, the circuit contains no leftover gates:
+        compiling twice yields identical circuits."""
+        q = cycle_query(4)
+        dc = uniform_dc(q, 16)
+        c1, _ = panda_c(q, dc)
+        c2, _ = panda_c(q, dc)
+        assert c1.size == c2.size
+        assert [g.op for g in c1.gates] == [g.op for g in c2.gates]
+
+    def test_report_branch_accounting(self):
+        q = cycle_query(4)
+        _, report = panda_c(q, uniform_dc(q, 16))
+        # decompositions happened (fractional cover) and were all recorded
+        assert report.branches > 0
+        assert len(report.checks) >= report.branches // 4

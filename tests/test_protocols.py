@@ -1,0 +1,184 @@
+"""Tests for the executable MPC protocol simulations (garbled circuits and
+GMW) over bit-blasted query circuits."""
+
+import random
+
+import pytest
+
+from repro.cq import Relation
+from repro.apps.protocols import (
+    GarbledCircuit,
+    GmwTranscript,
+    evaluate_garbled,
+    garble,
+    run_gmw,
+)
+from repro.boolcircuit import ArrayBuilder, bit_blast, pk_join, project
+from repro.boolcircuit.bitblast import BooleanCircuit
+
+
+def boolean_of(build, word_bits=4):
+    """Build a word circuit via ``build(ArrayBuilder)``, blast it, and
+    return (blasted, input encoder, output wires, arrays)."""
+    b = ArrayBuilder()
+    out_array = build(b)
+    blasted = bit_blast(b.c, word_bits=word_bits)
+    out_wires = []
+    for bus in out_array.buses:
+        for f in bus.fields + (bus.valid,):
+            out_wires.extend(blasted.word_outputs[f])
+    return b, blasted, out_wires, out_array
+
+
+def tiny_adder():
+    bc = BooleanCircuit()
+    a, b_, c = bc.input(), bc.input(), bc.input()
+    s1 = bc.xor(a, b_)
+    s = bc.xor(s1, c)
+    carry = bc.or_(bc.and_(a, b_), bc.and_(s1, c))
+    return bc, [s, carry]
+
+
+class TestGarbledCircuits:
+    def test_full_adder_all_inputs(self):
+        bc, outs = tiny_adder()
+        gc = garble(bc, outs, seed=1)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    plain = bc.evaluate([a, b, c])
+                    got = evaluate_garbled(gc, [a, b, c])
+                    assert got == {w: plain[w] for w in outs}, (a, b, c)
+
+    def test_labels_hide_values(self):
+        """Different inputs produce different evaluator views (labels), and
+        no wire label equals the plaintext bit."""
+        bc, outs = tiny_adder()
+        gc = garble(bc, outs, seed=2)
+        l0, l1 = gc.input_labels[0]
+        assert l0 != 0 and l1 != 1 and l0 != l1
+
+    def test_free_xor_costs_nothing(self):
+        bc = BooleanCircuit()
+        a, b = bc.input(), bc.input()
+        bc.xor(a, b)
+        gc = garble(bc, [2], seed=3)
+        assert gc.communication_bytes == 0
+
+    def test_and_costs_four_ciphertexts(self):
+        bc = BooleanCircuit()
+        a, b = bc.input(), bc.input()
+        g = bc.and_(a, b)
+        gc = garble(bc, [g], seed=4)
+        assert gc.communication_bytes == 4 * 16
+
+    def test_wrong_input_count(self):
+        bc, outs = tiny_adder()
+        gc = garble(bc, outs, seed=5)
+        with pytest.raises(ValueError):
+            evaluate_garbled(gc, [1, 0])
+
+    def test_query_circuit_under_garbling(self):
+        """The paper's application: evaluate a join obliviously via Yao."""
+        def build(b):
+            r = b.input_array(("A", "B"), 2)
+            s = b.input_array(("B", "C"), 2)
+            self.r_arr, self.s_arr = r, s
+            return pk_join(b, r, s)
+
+        b, blasted, out_wires, out_array = boolean_of(build)
+        R = Relation(("A", "B"), [(1, 1), (2, 2)])
+        S = Relation(("B", "C"), [(1, 7)])
+        word_vals = (ArrayBuilder.encode_relation(R, self.r_arr)
+                     + ArrayBuilder.encode_relation(S, self.s_arr))
+        bits = blasted.encode_inputs(word_vals)
+        plain = blasted.boolean.evaluate(bits)
+        gc = garble(blasted.boolean, out_wires, seed=6)
+        got = evaluate_garbled(gc, bits)
+        assert got == {w: plain[w] for w in out_wires}
+        # decode the join result from garbled-evaluation outputs
+        rows = []
+        for bus in out_array.buses:
+            valid_bits = blasted.word_outputs[bus.valid]
+            valid = sum(got[w] << i for i, w in enumerate(valid_bits))
+            if valid:
+                row = tuple(
+                    sum(got[w] << i
+                        for i, w in enumerate(blasted.word_outputs[f]))
+                    for f in bus.fields)
+                rows.append(row)
+        assert Relation(out_array.schema, rows) == R.join(S)
+
+
+class TestGmw:
+    def test_full_adder_all_inputs(self):
+        bc, outs = tiny_adder()
+        for seed in range(3):
+            for a in (0, 1):
+                for b in (0, 1):
+                    for c in (0, 1):
+                        plain = bc.evaluate([a, b, c])
+                        got, _ = run_gmw(bc, outs, [a, b, c], seed=seed)
+                        assert got == {w: plain[w] for w in outs}
+
+    def test_transcript_counts(self):
+        bc, outs = tiny_adder()
+        _, tr = run_gmw(bc, outs, [1, 1, 1], seed=0)
+        assert tr.and_gates == 3  # two ANDs + one OR
+        assert tr.rounds >= 1
+        assert tr.bytes_exchanged == 4 * tr.and_gates
+
+    def test_rounds_bounded_by_depth(self):
+        def build(b):
+            arr = b.input_array(("A", "B"), 3)
+            self.arr = arr
+            return project(b, arr, ("A",))
+
+        b, blasted, out_wires, _ = boolean_of(build)
+        rel = Relation(("A", "B"), [(1, 2), (3, 1)])
+        bits = blasted.encode_inputs(ArrayBuilder.encode_relation(rel, self.arr))
+        _, tr = run_gmw(blasted.boolean, out_wires, bits, seed=1)
+        assert tr.rounds <= blasted.boolean.depth
+
+    def test_gmw_matches_plain_on_query_circuit(self):
+        def build(b):
+            arr = b.input_array(("A", "B"), 3)
+            self.arr = arr
+            return project(b, arr, ("A",))
+
+        b, blasted, out_wires, out_array = boolean_of(build)
+        rel = Relation(("A", "B"), [(1, 2), (1, 3), (2, 1)])
+        bits = blasted.encode_inputs(ArrayBuilder.encode_relation(rel, self.arr))
+        plain = blasted.boolean.evaluate(bits)
+        got, _ = run_gmw(blasted.boolean, out_wires, bits, seed=2)
+        assert got == {w: plain[w] for w in out_wires}
+
+    def test_wrong_input_count(self):
+        bc, outs = tiny_adder()
+        with pytest.raises(ValueError):
+            run_gmw(bc, outs, [1], seed=0)
+
+
+class TestProtocolsAgree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_yao_and_gmw_agree_on_random_circuits(self, seed):
+        rng = random.Random(seed)
+        bc = BooleanCircuit()
+        ins = [bc.input() for _ in range(5)]
+        wires = list(ins)
+        builders = {"and": bc.and_, "or": bc.or_, "xor": bc.xor}
+        for _ in range(25):
+            op = rng.choice(["and", "or", "xor", "not"])
+            a, b = rng.choice(wires), rng.choice(wires)
+            if op == "not":
+                wires.append(bc.not_(a))
+            else:
+                wires.append(builders[op](a, b))
+        outs = wires[-5:]
+        bits = [rng.getrandbits(1) for _ in ins]
+        plain = bc.evaluate(bits)
+        expected = {w: plain[w] for w in outs}
+        gc = garble(bc, outs, seed=seed)
+        assert evaluate_garbled(gc, bits) == expected
+        got, _ = run_gmw(bc, outs, bits, seed=seed)
+        assert got == expected

@@ -1,0 +1,197 @@
+"""Tests for the RAM baselines and application layers (MPC cost model,
+obliviousness tracing)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import Database, Relation, parse_query
+from repro.apps import (
+    circuit_trace,
+    hash_join_trace,
+    mpc_cost,
+    naive_mpc_cost,
+    traces_identical,
+)
+from repro.boolcircuit.lower import lower
+from repro.core import compile_fcq, triangle_circuit
+from repro.ram import (
+    CostCounter,
+    RamOperators,
+    generic_join,
+    naive_circuit_size,
+    naive_join,
+    yannakakis,
+)
+from repro.datagen import (
+    cycle_query,
+    path_query,
+    random_database,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+
+class TestRamOperators:
+    def test_costs_charged(self):
+        ops = RamOperators()
+        r = Relation(("A", "B"), [(1, 1), (2, 2)])
+        s = Relation(("B", "C"), [(1, 5)])
+        ops.join(r, s)
+        ops.select(r, lambda d: True)
+        ops.project(r, ("A",))
+        assert ops.counter.steps == (2 + 1 + 1) + 2 + 2
+        assert set(ops.counter.by_op) == {"join", "select", "project"}
+
+    def test_all_operators_match_relation_methods(self):
+        ops = RamOperators()
+        r = Relation(("A", "B"), [(1, 1), (1, 2), (2, 2)])
+        s = Relation(("B", "C"), [(1, 5), (2, 9)])
+        assert ops.join(r, s) == r.join(s)
+        assert ops.semijoin(r, s) == r.semijoin(s)
+        assert ops.union(r, r) == r
+        assert ops.aggregate(r, ("A",), "count") == r.aggregate(("A",), "count")
+        assert ops.sort(r, ("B",))[0][1] == 1
+
+
+class TestBaselineEvaluators:
+    @pytest.mark.parametrize("query,n", [
+        (triangle_query(), 16), (path_query(3), 12),
+        (star_query(3), 12), (cycle_query(4), 10),
+    ])
+    def test_all_evaluators_agree(self, query, n):
+        db = random_database(query, n, 6, seed=11)
+        truth = query.evaluate(db)
+        assert yannakakis(query, db) == truth
+        assert generic_join(query, db) == truth
+        assert naive_join(query, db) == truth
+
+    def test_projection_queries(self):
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        db = random_database(q, 8, 4, seed=12)
+        truth = q.evaluate(db)
+        assert yannakakis(q, db) == truth
+        assert generic_join(q, db) == truth
+        assert naive_join(q, db) == truth
+
+    def test_boolean_queries(self):
+        q = parse_query("Q() <- R0(X0,X1), R1(X1,X2)")
+        db = random_database(q, 6, 4, seed=13)
+        truth = q.evaluate(db)
+        assert yannakakis(q, db) == truth
+        assert generic_join(q, db) == truth
+        assert naive_join(q, db) == truth
+
+    def test_yannakakis_cost_linear_for_acyclic(self):
+        q = path_query(3)
+        steps = {}
+        for n in (20, 40, 80):
+            db = Database({f"R{i}": Relation((f"X{i}", f"X{i+1}"),
+                                             [(v, v) for v in range(n)])
+                           for i in range(3)})
+            counter = CostCounter()
+            yannakakis(q, db, counter=counter)
+            steps[n] = counter.steps
+        # matching instances: linear in N
+        assert steps[80] / steps[20] < 6
+
+    def test_naive_cost_is_cross_product(self):
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=14)
+        counter = CostCounter()
+        naive_join(q, db, counter=counter)
+        assert counter.by_op["cross_product"] == 8 ** 3
+
+    def test_generic_join_respects_agm(self):
+        """WCOJ intersection work stays near the AGM bound."""
+        q = triangle_query()
+        from repro.datagen.worstcase import agm_worst_triangle
+        db, n = agm_worst_triangle(64)
+        counter = CostCounter()
+        out = generic_join(q, db, counter=counter)
+        assert len(out) == 8 ** 3  # side^3
+        assert counter.steps < 40 * n ** 1.5
+
+    def test_wcoj_explicit_order(self):
+        q = triangle_query()
+        db = random_database(q, 10, 5, seed=15)
+        truth = q.evaluate(db)
+        for order in (["A", "B", "C"], ["C", "A", "B"]):
+            assert generic_join(q, db, order=order) == truth
+        with pytest.raises(ValueError):
+            generic_join(q, db, order=["A", "B"])
+
+    def test_naive_circuit_size_formula(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 10)
+        assert naive_circuit_size(q, dc) == 10 ** 3 * 6
+
+
+class TestMpcCost:
+    def test_costs_scale_with_circuit(self):
+        small = lower(triangle_circuit(4))
+        big = lower(triangle_circuit(16))
+        cs, cb = mpc_cost(small.circuit), mpc_cost(big.circuit)
+        assert cb.garbled_bytes > cs.garbled_bytes
+        assert cb.boolean_gates > cs.boolean_gates
+
+    def test_naive_model(self):
+        c = naive_mpc_cost(n_blocks=1000, comparisons_per_block=6)
+        assert c.garbled_bytes > 0 and c.gmw_rounds > 0
+
+    def test_our_circuit_growth_beats_naive(self):
+        """E1's headline shape: ours grows ~N^1.5, naive ~N^3, so over a 4x
+        size increase ours grows ≈8x while naive grows 64x (the absolute
+        crossover point, pushed out by polylog factors, is measured by the
+        E1 benchmark)."""
+        ours = {n: mpc_cost(lower(triangle_circuit(n)).circuit).garbled_bytes
+                for n in (16, 64)}
+        naive = {n: naive_mpc_cost(n ** 3, 6).garbled_bytes for n in (16, 64)}
+        ours_growth = ours[64] / ours[16]
+        naive_growth = naive[64] / naive[16]
+        assert ours_growth < 20 < naive_growth
+
+
+class TestObliviousness:
+    def test_circuit_trace_is_input_independent(self):
+        q = triangle_query()
+        n = 6
+        lowered = lower(triangle_circuit(n))
+        traces = []
+        for seed in range(3):
+            db = random_database(q, n, 4, seed=seed)
+            traces.append(circuit_trace(
+                lowered, {a.name: db[a.name] for a in q.atoms}))
+        assert traces_identical(traces)
+
+    def test_hash_join_trace_is_input_dependent(self):
+        rng = random.Random(0)
+        traces = set()
+        for seed in range(6):
+            rows_r = {(rng.randint(1, 50), rng.randint(1, 50)) for _ in range(12)}
+            rows_s = {(rng.randint(1, 50), rng.randint(1, 50)) for _ in range(12)}
+            trace = hash_join_trace(Relation(("A", "B"), rows_r),
+                                    Relation(("B", "C"), rows_s))
+            traces.add(tuple(trace))
+        assert len(traces) > 1  # pattern leaks data
+
+    def test_traces_identical_helper(self):
+        assert traces_identical([])
+        assert traces_identical([[1, 2], [1, 2]])
+        assert not traces_identical([[1], [2]])
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=10, deadline=None)
+def test_evaluator_agreement_randomized(seed):
+    rng = random.Random(seed)
+    q = [triangle_query(), path_query(2), star_query(2)][seed % 3]
+    domain = rng.randint(3, 7)
+    n = rng.randint(2, min(14, domain * domain))
+    db = random_database(q, n, domain, seed=seed)
+    truth = q.evaluate(db)
+    assert yannakakis(q, db) == truth
+    assert generic_join(q, db) == truth

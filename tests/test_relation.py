@@ -1,0 +1,211 @@
+"""Unit tests for repro.cq.relation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.relation import Relation, fmt_attrs, product_relation
+
+
+def rel(schema, rows):
+    return Relation(schema, rows)
+
+
+class TestConstruction:
+    def test_empty(self):
+        r = rel(("A", "B"), [])
+        assert len(r) == 0
+        assert r.attrs == {"A", "B"}
+
+    def test_duplicate_rows_collapse(self):
+        r = rel(("A",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ValueError):
+            rel(("A", "A"), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rel(("A", "B"), [(1,)])
+
+    def test_from_dicts_roundtrip(self):
+        r = Relation.from_dicts(("A", "B"), [{"A": 1, "B": 2}, {"A": 3, "B": 4}])
+        assert list(r.as_dicts()) == [{"A": 1, "B": 2}, {"A": 3, "B": 4}]
+
+    def test_equality_is_schema_order_insensitive(self):
+        r1 = rel(("A", "B"), [(1, 2)])
+        r2 = rel(("B", "A"), [(2, 1)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_inequality_on_different_attrs(self):
+        assert rel(("A",), [(1,)]) != rel(("B",), [(1,)])
+
+
+class TestOperators:
+    def test_project_dedups(self):
+        r = rel(("A", "B"), [(1, 1), (1, 2)])
+        assert len(r.project(("A",))) == 1
+
+    def test_project_missing_attr(self):
+        with pytest.raises(ValueError):
+            rel(("A",), [(1,)]).project(("Z",))
+
+    def test_reorder(self):
+        r = rel(("A", "B"), [(1, 2)])
+        assert list(r.reorder(("B", "A"))) == [(2, 1)]
+
+    def test_reorder_invalid(self):
+        with pytest.raises(ValueError):
+            rel(("A", "B"), []).reorder(("A", "C"))
+
+    def test_select(self):
+        r = rel(("A", "B"), [(1, 1), (2, 2)])
+        assert list(r.select(lambda d: d["A"] == 1)) == [(1, 1)]
+        assert r.select_eq("A", 2) == rel(("A", "B"), [(2, 2)])
+
+    def test_rename(self):
+        r = rel(("A", "B"), [(1, 2)]).rename({"A": "X"})
+        assert r.schema == ("X", "B")
+
+    def test_join_common_attr(self):
+        r = rel(("A", "B"), [(1, 10), (2, 20)])
+        s = rel(("B", "C"), [(10, 5), (10, 6)])
+        j = r.join(s)
+        assert j.schema == ("A", "B", "C")
+        assert set(j.rows) == {(1, 10, 5), (1, 10, 6)}
+
+    def test_join_is_commutative_as_sets(self):
+        r = rel(("A", "B"), [(1, 10), (2, 20)])
+        s = rel(("B", "C"), [(10, 5), (20, 6)])
+        assert r.join(s) == s.join(r)
+
+    def test_cross_product_join(self):
+        r = rel(("A",), [(1,), (2,)])
+        s = rel(("B",), [(3,)])
+        assert len(r.join(s)) == 2
+
+    def test_semijoin(self):
+        r = rel(("A", "B"), [(1, 10), (2, 20)])
+        s = rel(("B", "C"), [(10, 5)])
+        assert list(r.semijoin(s)) == [(1, 10)]
+
+    def test_semijoin_no_common_nonempty(self):
+        r = rel(("A",), [(1,)])
+        s = rel(("B",), [(2,)])
+        assert r.semijoin(s) == r
+
+    def test_semijoin_no_common_empty_right(self):
+        r = rel(("A",), [(1,)])
+        s = rel(("B",), [])
+        assert len(r.semijoin(s)) == 0
+
+    def test_union_and_difference(self):
+        r = rel(("A",), [(1,)])
+        s = rel(("A",), [(2,)])
+        assert len(r.union(s)) == 2
+        assert r.union(s).difference(s) == r
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            rel(("A",), []).union(rel(("B",), []))
+
+    def test_union_reorders(self):
+        r = rel(("A", "B"), [(1, 2)])
+        s = rel(("B", "A"), [(2, 1)])
+        assert len(r.union(s)) == 1
+
+
+class TestAggregation:
+    def test_count(self):
+        r = rel(("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        agg = r.aggregate(("A",), "count")
+        assert agg == rel(("A", "agg"), [(1, 2), (2, 1)])
+
+    def test_sum_min_max(self):
+        r = rel(("A", "B"), [(1, 3), (1, 5), (2, 7)])
+        assert r.aggregate(("A",), "sum", "B") == rel(("A", "agg"), [(1, 8), (2, 7)])
+        assert r.aggregate(("A",), "min", "B") == rel(("A", "agg"), [(1, 3), (2, 7)])
+        assert r.aggregate(("A",), "max", "B") == rel(("A", "agg"), [(1, 5), (2, 7)])
+
+    def test_global_aggregate(self):
+        r = rel(("A",), [(1,), (2,), (3,)])
+        assert list(r.aggregate((), "count")) == [(3,)]
+
+    def test_unknown_agg(self):
+        with pytest.raises(ValueError):
+            rel(("A",), [(1,)]).aggregate((), "median", "A")
+
+    def test_missing_attr(self):
+        with pytest.raises(ValueError):
+            rel(("A",), [(1,)]).aggregate((), "sum")
+
+
+class TestDegree:
+    def test_degree_empty_key_is_cardinality(self):
+        r = rel(("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        assert r.degree(()) == 3
+
+    def test_degree(self):
+        r = rel(("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        assert r.degree(("A",)) == 2
+        assert r.degree(("B",)) == 2
+        assert r.degree(("A", "B")) == 1
+
+    def test_degree_empty_relation(self):
+        assert rel(("A",), []).degree(("A",)) == 0
+
+    def test_domain_size(self):
+        assert rel(("A", "B"), [(3, 7)]).domain_size() == 7
+        assert rel(("A",), []).domain_size() == 0
+
+
+class TestHelpers:
+    def test_fmt_attrs(self):
+        assert fmt_attrs({"B", "A"}) == "AB"
+        assert fmt_attrs(set()) == "{}"
+        assert fmt_attrs({"X1", "X2"}) == "X1,X2"
+
+    def test_product_relation(self):
+        r = product_relation(("A", "B"), {"A": [1, 2], "B": [1, 2, 3]})
+        assert len(r) == 6
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+row_strategy = st.tuples(st.integers(1, 5), st.integers(1, 5))
+rel_strategy = st.sets(row_strategy, max_size=30)
+
+
+@given(rel_strategy, rel_strategy)
+def test_join_matches_nested_loop(rows_r, rows_s):
+    r = Relation(("A", "B"), rows_r)
+    s = Relation(("B", "C"), rows_s)
+    expected = {
+        (a, b, c) for (a, b) in rows_r for (b2, c) in rows_s if b == b2
+    }
+    assert set(r.join(s).rows) == expected
+
+
+@given(rel_strategy)
+def test_project_then_join_back_is_superset(rows):
+    r = Relation(("A", "B"), rows)
+    back = r.project(("A",)).join(r.project(("B",)))
+    assert r.rows <= back.rows
+
+
+@given(rel_strategy, rel_strategy)
+def test_semijoin_equals_projection_of_join(rows_r, rows_s):
+    r = Relation(("A", "B"), rows_r)
+    s = Relation(("B", "C"), rows_s)
+    assert r.semijoin(s) == r.join(s).project(("A", "B"))
+
+
+@given(rel_strategy)
+def test_degree_bounds_cardinality(rows):
+    r = Relation(("A", "B"), rows)
+    assert r.degree(("A",)) <= len(r)
+    assert sum(1 for _ in r.project(("A",))) * r.degree(("A",)) >= len(r)

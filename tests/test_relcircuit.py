@@ -1,0 +1,312 @@
+"""Tests for the relational-circuit IR: bounded wires, gates, the cost
+model (Section 4.3), and the reference interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import Relation
+from repro.relcircuit import (
+    BoundViolation,
+    COUNT_COL,
+    Col,
+    Const,
+    EqAttr,
+    EqConst,
+    Mul,
+    ORDER_COL,
+    Parity,
+    Range,
+    RelationalCircuit,
+    WireBound,
+)
+
+
+class TestWireBound:
+    def test_basic(self):
+        b = WireBound(("A", "B"), 10)
+        assert b.card == 10 and b.attrs == {"A", "B"}
+        assert b.degree(("A",)) == 10  # falls back to cardinality
+
+    def test_degree_lookup_uses_subsets(self):
+        b = WireBound(("A", "B", "C"), 100, ((frozenset("A"), 5),))
+        assert b.degree(("A",)) == 5
+        assert b.degree(("A", "B")) == 5   # deg(AB) ≤ deg(A)
+        assert b.degree(("B",)) == 100
+
+    def test_with_methods(self):
+        b = WireBound(("A", "B"), 10).with_degree(("A",), 3).with_card(7)
+        assert b.card == 7 and b.degree(("A",)) == 3
+        # tightening only
+        assert b.with_card(100).card == 7
+        assert b.with_degree(("A",), 50).degree(("A",)) == 3
+
+    def test_degree_key_outside_schema_rejected(self):
+        with pytest.raises(ValueError):
+            WireBound(("A",), 5, ((frozenset("Z"), 2),))
+
+    def test_conforms(self):
+        b = WireBound(("A", "B"), 2, ((frozenset("A"), 1),))
+        assert b.conforms(Relation(("A", "B"), [(1, 1), (2, 2)]))
+        assert not b.conforms(Relation(("A", "B"), [(1, 1), (1, 2)]))  # degree
+        assert not b.conforms(Relation(("A", "B"), [(1, 1), (2, 1), (3, 1)]))
+        assert not b.conforms(Relation(("A", "C"), [(1, 1)]))  # schema
+
+    def test_violations_messages(self):
+        b = WireBound(("A", "B"), 1)
+        msgs = b.violations(Relation(("A", "B"), [(1, 1), (2, 2)]))
+        assert any("card" in m for m in msgs)
+
+
+class TestGates:
+    def setup_method(self):
+        self.c = RelationalCircuit()
+        self.r = self.c.add_input("R", WireBound(("A", "B"), 10))
+        self.s = self.c.add_input("S", WireBound(("B", "C"), 10))
+        self.R = Relation(("A", "B"), [(1, 1), (1, 2), (2, 2)])
+        self.S = Relation(("B", "C"), [(1, 5), (2, 6), (2, 7)])
+
+    def run(self, gid, check_bounds=True):
+        self.c.outputs = [gid]
+        return self.c.run({"R": self.R, "S": self.S}, check_bounds=check_bounds)[0]
+
+    def test_select(self):
+        g = self.c.add_select(self.r, EqConst("A", 1))
+        assert set(self.run(g).rows) == {(1, 1), (1, 2)}
+
+    def test_select_eq_attr(self):
+        g = self.c.add_select(self.r, EqAttr("A", "B"))
+        assert set(self.run(g).rows) == {(1, 1), (2, 2)}
+
+    def test_project(self):
+        g = self.c.add_project(self.r, ("A",))
+        assert set(self.run(g).rows) == {(1,), (2,)}
+
+    def test_project_missing_attr(self):
+        with pytest.raises(ValueError):
+            self.c.add_project(self.r, ("Z",))
+
+    def test_join(self):
+        g = self.c.add_join(self.r, self.s)
+        out = self.run(g)
+        assert set(out.rows) == {(1, 1, 5), (1, 2, 6), (1, 2, 7), (2, 2, 6), (2, 2, 7)}
+
+    def test_join_out_card_caps_bound(self):
+        g = self.c.add_join(self.r, self.s, out_card=3)
+        assert self.c.gates[g].bound.card == 3
+
+    def test_union(self):
+        t = self.c.add_input("T", WireBound(("A", "B"), 5))
+        g = self.c.add_union(self.r, t)
+        self.c.outputs = [g]
+        out = self.c.run({"R": self.R, "S": self.S,
+                          "T": Relation(("A", "B"), [(9, 9)])})[0]
+        assert (9, 9) in out.rows and len(out) == 4
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            self.c.add_union(self.r, self.s)
+
+    def test_union_all_balanced_depth(self):
+        gates = [self.c.add_input(f"I{i}", WireBound(("A",), 1)) for i in range(8)]
+        g = self.c.add_union_all(gates)
+        # 8-way union should nest 3 deep, not 7
+        depth = 0
+        cur = {g}
+        while cur:
+            nxt = set()
+            for gid in cur:
+                gate = self.c.gates[gid]
+                if gate.op == "union":
+                    nxt.update(gate.inputs)
+            if not nxt:
+                break
+            depth += 1
+            cur = nxt
+        assert depth == 3
+
+    def test_aggregate_count(self):
+        g = self.c.add_aggregate(self.r, ("A",), "count")
+        assert set(self.run(g).rows) == {(1, 2), (2, 1)}
+
+    def test_aggregate_sets_group_fd(self):
+        g = self.c.add_aggregate(self.r, ("A",), "count")
+        assert self.c.gates[g].bound.degree(("A",)) == 1
+
+    def test_sort_assigns_positions(self):
+        g = self.c.add_sort(self.r, ("B",))
+        out = self.run(g)
+        orders = {row[:2]: row[2] for row in out.rows}
+        assert sorted(orders.values()) == [1, 2, 3]
+        assert orders[(1, 1)] == 1  # smallest B first
+
+    def test_map(self):
+        g = self.c.add_map(self.r, {"A": Col("A"), "D": Mul(Col("B"), Const(10))})
+        out = self.run(g, check_bounds=False)
+        assert set(out.rows) == {(1, 10), (1, 20), (2, 20)}
+
+    def test_semijoin(self):
+        g = self.c.add_semijoin(self.r, self.s)
+        out = self.run(g)
+        assert out == self.R.semijoin(self.S)
+
+    def test_semijoin_requires_common(self):
+        t = self.c.add_input("T", WireBound(("Z",), 5))
+        with pytest.raises(ValueError):
+            self.c.add_semijoin(self.r, t)
+
+    def test_input_schema_mismatch(self):
+        self.c.outputs = [self.r]
+        with pytest.raises(ValueError):
+            self.c.run({"R": Relation(("A", "Z"), []), "S": self.S})
+
+    def test_bound_violation_raised(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A",), 1))
+        c.set_output(r)
+        with pytest.raises(BoundViolation):
+            c.run({"R": Relation(("A",), [(1,), (2,)])})
+
+    def test_bound_violation_suppressible(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A",), 1))
+        c.set_output(r)
+        out = c.run({"R": Relation(("A",), [(1,), (2,)])}, check_bounds=False)
+        assert len(out[0]) == 2
+
+
+class TestCostModel:
+    """The Section-4.3 cost model depends only on wire bounds, never data."""
+
+    def test_unary_costs(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 100))
+        assert c.gate_cost(c.gates[c.add_select(r, EqConst("A", 1))]) == 100
+        assert c.gate_cost(c.gates[c.add_project(r, ("A",))]) == 100
+        assert c.gate_cost(c.gates[c.add_aggregate(r, ("A",), "count")]) == 100
+        assert c.gate_cost(c.gates[c.add_sort(r, ("A",))]) == 100
+
+    def test_union_cost(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A",), 70))
+        s = c.add_input("S", WireBound(("A",), 30))
+        assert c.gate_cost(c.gates[c.add_union(r, s)]) == 100
+
+    def test_join_cost_mn_plus_nprime(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 50))
+        s = c.add_input("S", WireBound(("B", "C"), 200, ((frozenset("B"), 4),)))
+        # M·N + N' = 50·4 + 200 = 400 (vs reversed 200·50+50 much worse)
+        assert c.gate_cost(c.gates[c.add_join(r, s)]) == 400
+
+    def test_join_cost_picks_cheaper_orientation(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 200, ((frozenset("B"), 2),)))
+        s = c.add_input("S", WireBound(("B", "C"), 50))
+        assert c.gate_cost(c.gates[c.add_join(r, s)]) == 50 * 2 + 200
+
+    def test_cost_is_data_independent(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 100))
+        j = c.add_join(r, c.add_input("S", WireBound(("B", "C"), 100)))
+        c.set_output(j)
+        before = c.cost()
+        c.run({"R": Relation(("A", "B"), [(1, 1)]),
+               "S": Relation(("B", "C"), [(1, 1)])})
+        assert c.cost() == before
+
+    def test_cost_by_op_sums_to_total(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 10))
+        c.add_project(c.add_select(r, EqConst("A", 1)), ("A",))
+        assert sum(c.cost_by_op().values()) == c.cost()
+
+
+class TestDerivedBounds:
+    def test_join_bound_uses_degree(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 10))
+        s = c.add_input("S", WireBound(("B", "C"), 10, ((frozenset("B"), 2),)))
+        j = c.add_join(r, s)
+        assert c.gates[j].bound.card == 20
+
+    def test_cross_product_bound(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A",), 10))
+        s = c.add_input("S", WireBound(("B",), 7))
+        assert c.gates[c.add_join(r, s)].bound.card == 70
+
+    def test_projection_keeps_degrees(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B", "C"), 10, ((frozenset("A"), 2),)))
+        p = c.add_project(r, ("A", "B"))
+        assert c.gates[p].bound.degree(("A",)) == 2
+
+    def test_union_bound_adds(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A",), 4))
+        s = c.add_input("S", WireBound(("A",), 5))
+        assert c.gates[c.add_union(r, s)].bound.card == 9
+
+    def test_depth_and_size(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 10))
+        p = c.add_project(c.add_select(r, EqConst("A", 1)), ("A",))
+        c.set_output(p)
+        assert c.size == 3
+        assert c.depth() == 3
+
+    def test_describe_runs(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A",), 10))
+        c.set_output(r)
+        assert "input" in c.describe()
+
+
+class TestPredicates:
+    def test_range(self):
+        p = Range("X", 2, 4)
+        assert not p.evaluate({"X": 1})
+        assert p.evaluate({"X": 2})
+        assert p.evaluate({"X": 3})
+        assert not p.evaluate({"X": 4})
+
+    def test_parity(self):
+        assert Parity("X", odd=True).evaluate({"X": 3})
+        assert Parity("X", odd=False).evaluate({"X": 4})
+
+    def test_gate_costs_positive(self):
+        from repro.relcircuit import And, Not, Or
+        preds = [EqConst("X", 1), EqAttr("X", "Y"), Range("X", 1, 2),
+                 Parity("X", True), Not(EqConst("X", 1)),
+                 And(EqConst("X", 1), EqConst("Y", 1)),
+                 Or(EqConst("X", 1), EqConst("Y", 1))]
+        assert all(p.gate_cost() > 0 for p in preds)
+
+
+@given(st.sets(st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=20),
+       st.sets(st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_circuit_join_matches_relation_join(rows_r, rows_s):
+    c = RelationalCircuit()
+    r = c.add_input("R", WireBound(("A", "B"), 40))
+    s = c.add_input("S", WireBound(("B", "C"), 40))
+    c.set_output(c.add_join(r, s))
+    R = Relation(("A", "B"), rows_r)
+    S = Relation(("B", "C"), rows_s)
+    assert c.run({"R": R, "S": S})[0] == R.join(S)
+
+
+@given(st.sets(st.tuples(st.integers(1, 4), st.integers(1, 4)), max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_sort_order_column_is_permutation(rows):
+    c = RelationalCircuit()
+    r = c.add_input("R", WireBound(("A", "B"), 16))
+    c.set_output(c.add_sort(r, ("A",)))
+    out = c.run({"R": Relation(("A", "B"), rows)})[0]
+    orders = sorted(row[-1] for row in out.rows)
+    assert orders == list(range(1, len(rows) + 1))
+    # order respects the sort key
+    by_order = sorted(out.rows, key=lambda t: t[-1])
+    keys = [row[0] for row in by_order]
+    assert keys == sorted(keys)

@@ -1,0 +1,79 @@
+"""Tests for the Brent-scheduling module (parallel evaluation, Section 1)."""
+
+import math
+
+import pytest
+
+from repro.boolcircuit import ArrayBuilder, Circuit, bitonic_sort
+from repro.boolcircuit.lower import lower
+from repro.boolcircuit.schedule import Schedule, schedule, speedup_curve
+from repro.core import triangle_circuit
+
+
+class TestSchedule:
+    def diamond(self):
+        c = Circuit()
+        x, y = c.input(), c.input()
+        a = c.add(x, y)
+        b = c.mul(x, y)
+        c.add(a, b)
+        return c
+
+    def test_level_profile(self):
+        sched = schedule(self.diamond())
+        assert sched.level_widths == [2, 1]
+        assert sched.size == 3 and sched.depth == 2
+
+    def test_pram_steps(self):
+        sched = schedule(self.diamond())
+        assert sched.pram_steps(1) == 3       # sequential
+        assert sched.pram_steps(2) == 2       # level-parallel
+        assert sched.pram_steps(100) == 2     # bounded by depth
+
+    def test_brent_bound_holds(self):
+        sched = schedule(self.diamond())
+        for p in (1, 2, 4, 100):
+            assert sched.pram_steps(p) <= sched.brent_bound(p)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            schedule(self.diamond()).pram_steps(0)
+
+    def test_inputs_and_consts_free(self):
+        c = Circuit()
+        x = c.input()
+        c.const(5)
+        sched = schedule(c)
+        assert sched.size == 0 and sched.pram_steps(1) == 0
+
+
+class TestParallelismOfOurCircuits:
+    def test_sorter_is_wide(self):
+        """A sorting network's average parallelism is Θ(N/ log N-ish)."""
+        b = ArrayBuilder()
+        arr = b.input_array(("A",), 64)
+        bitonic_sort(b, arr, ["A"])
+        sched = schedule(b.c)
+        assert sched.max_parallelism > 64  # many comparators per level
+
+    def test_brent_bound_on_lowered_triangle(self):
+        lowered = lower(triangle_circuit(8))
+        sched = schedule(lowered.circuit)
+        for p in (1, 16, 256, 4096):
+            assert sched.pram_steps(p) <= sched.brent_bound(p)
+
+    def test_speedup_saturates_at_depth(self):
+        """With unlimited processors, time = depth: the NC story."""
+        lowered = lower(triangle_circuit(8))
+        sched = schedule(lowered.circuit)
+        unlimited = sched.pram_steps(10 ** 9)
+        assert unlimited == sum(1 for w in sched.level_widths if w)
+        assert unlimited <= sched.depth
+
+    def test_speedup_curve_monotone(self):
+        lowered = lower(triangle_circuit(8))
+        curve = speedup_curve(lowered.circuit, [1, 4, 16, 64, 256])
+        values = list(curve.values())
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(1.0, abs=0.01)
+        assert values[-1] > 10  # real parallelism available

@@ -1,0 +1,105 @@
+"""Tests for circuit serialisation (uniformity, Section 4.2) and DOT
+export."""
+
+import pytest
+
+from repro.cq import Relation
+from repro.boolcircuit import ArrayBuilder, Circuit, pk_join, project
+from repro.boolcircuit.serialize import describe, describe_lines, parse
+from repro.core import triangle_circuit
+from repro.relcircuit import EqConst, RelationalCircuit, WireBound
+from repro.relcircuit.export import to_dot
+
+
+class TestSerialization:
+    def build_sample(self):
+        c = Circuit()
+        x, y = c.input(), c.input()
+        s = c.add(x, y)
+        c.mux(c.lt(x, y), s, c.const(7))
+        return c
+
+    def test_roundtrip_structure(self):
+        c = self.build_sample()
+        text = describe(c)
+        back = parse(text)
+        assert back.ops == c.ops
+        assert back.in_a == c.in_a
+        assert back.in_b == c.in_b
+        assert back.in_c == c.in_c
+        assert back.consts == c.consts
+
+    def test_roundtrip_semantics(self):
+        c = self.build_sample()
+        back = parse(describe(c))
+        for vals in ([3, 9], [9, 3], [0, 0]):
+            assert back.evaluate(vals) == c.evaluate(vals)
+
+    def test_roundtrip_operator_circuit(self):
+        b = ArrayBuilder()
+        arr = b.input_array(("A", "B"), 4)
+        out = project(b, arr, ("A",))
+        back = parse(describe(b.c))
+        rel = Relation(("A", "B"), [(1, 1), (1, 2), (3, 4)])
+        vals = ArrayBuilder.encode_relation(rel, arr)
+        assert back.evaluate(vals) == b.c.evaluate(vals)
+
+    def test_streaming_is_line_by_line(self):
+        c = self.build_sample()
+        lines = list(describe_lines(c))
+        assert lines[0].startswith("c repro")
+        assert len(lines) == 1 + len(c.ops)
+
+    def test_deterministic_generation(self):
+        """Uniformity: identical parameters → byte-identical descriptions."""
+        def build():
+            b = ArrayBuilder()
+            r = b.input_array(("A", "B"), 3)
+            s = b.input_array(("B", "C"), 3)
+            pk_join(b, r, s)
+            return describe(b.c)
+
+        assert build() == build()
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            parse("nonsense\ni\n")
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            parse("c repro word circuit v1\ng add 0 1\n")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            parse("c repro word circuit v1\ni\ni\ng frobnicate 0 1\n")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            parse("c repro word circuit v1\ni\ng not 0 0\n")
+
+
+class TestDotExport:
+    def test_simple_circuit(self):
+        c = RelationalCircuit()
+        r = c.add_input("R", WireBound(("A", "B"), 10))
+        p = c.add_project(c.add_select(r, EqConst("A", 1)), ("A",))
+        c.set_output(p)
+        dot = to_dot(c)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == 2
+        assert "σ" in dot and "Π" in dot
+        assert "#ffe9a8" in dot  # output highlighted
+
+    def test_figure1_renders(self):
+        dot = to_dot(triangle_circuit(64), title="Figure 1")
+        assert "⋈" in dot and "∪" in dot and "τ" not in dot
+        assert "heavyC" in dot
+
+    def test_gate_cap(self):
+        from repro.core import panda_c
+        from repro.datagen import triangle_query, uniform_dc
+        q = triangle_query()
+        circuit, _ = panda_c(q, uniform_dc(q, 2 ** 12), canonical_key="triangle")
+        with pytest.raises(ValueError):
+            to_dot(circuit, max_gates=10)
+        assert to_dot(circuit, max_gates=None)

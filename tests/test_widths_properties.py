@@ -1,0 +1,100 @@
+"""Property-style tests for the width/bound machinery."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import DCSet, DegreeConstraint, cardinality
+from repro.bounds import log_dapb, solve_polymatroid_bound
+from repro.ghd import da_fhtw, da_subw, ghd_width
+from repro.datagen import (
+    bowtie_query,
+    cycle_query,
+    hierarchical_query,
+    path_query,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+FAMILIES = [triangle_query(), path_query(3), star_query(3), cycle_query(4),
+            hierarchical_query(3)]
+
+
+class TestBoundMonotonicity:
+    @pytest.mark.parametrize("query", FAMILIES)
+    def test_adding_constraints_never_raises_bound(self, query):
+        dc = uniform_dc(query, 32)
+        base = log_dapb(query, dc)
+        atom = query.atoms[0]
+        key = frozenset([sorted(atom.varset)[0]])
+        dc.add(DegreeConstraint(key, atom.varset, 2))
+        assert log_dapb(query, dc) <= base + 1e-9
+
+    @pytest.mark.parametrize("query", FAMILIES)
+    def test_growing_cardinalities_never_lowers_bound(self, query):
+        small = log_dapb(query, uniform_dc(query, 16))
+        large = log_dapb(query, uniform_dc(query, 64))
+        assert large >= small - 1e-9
+
+    def test_bound_monotone_in_target(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 16)
+        sub = solve_polymatroid_bound(q.variables, dc, target={"A", "B"})
+        full = solve_polymatroid_bound(q.variables, dc)
+        assert sub.log_bound <= full.log_bound + 1e-9
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_bound_formula_with_degrees(self, da, db_, dc_):
+        """DAPB(triangle with deg(B|A)≤2^da on AB …) ≤ every single-path
+        product bound (a sanity envelope the LP must respect)."""
+        q = triangle_query()
+        n = 2 ** 10
+        dcs = DCSet([cardinality("AB", n), cardinality("BC", n),
+                     cardinality("AC", n),
+                     DegreeConstraint(frozenset("A"), frozenset("AB"), 2 ** da),
+                     DegreeConstraint(frozenset("B"), frozenset("BC"), 2 ** db_),
+                     DegreeConstraint(frozenset("C"), frozenset("AC"), 2 ** dc_)])
+        bound = log_dapb(q, dcs)
+        # path A -> B -> C: |AB| * deg(C|B) etc.
+        envelope = min(10 + da + db_, 10 + db_ + dc_, 10 + dc_ + da, 15.0)
+        assert bound <= envelope + 1e-6
+
+
+class TestWidthRelations:
+    @pytest.mark.parametrize("query", [triangle_query(), path_query(3),
+                                       star_query(3)])
+    def test_subw_leq_fhtw_leq_dapb(self, query):
+        dc = uniform_dc(query, 16)
+        subw = da_subw(query, dc)
+        fh = da_fhtw(query, dc).width
+        full = log_dapb(query, dc)
+        assert subw <= fh + 1e-6
+        assert fh <= full + 1e-6
+
+    def test_acyclic_subw_equals_fhtw(self):
+        """For acyclic queries one GHD is optimal: subw = fhtw."""
+        q = path_query(3)
+        dc = uniform_dc(q, 16)
+        assert da_subw(q, dc) == pytest.approx(da_fhtw(q, dc).width, abs=1e-6)
+
+    def test_ghd_width_monotone_in_constraints(self):
+        q = triangle_query()
+        dc = uniform_dc(q, 2 ** 8)
+        ghd = da_fhtw(q, dc).ghd
+        base = ghd_width(q, dc, ghd)
+        dc.add(DegreeConstraint(frozenset("B"), frozenset("BC"), 2))
+        assert ghd_width(q, dc, ghd) <= base + 1e-9
+
+    def test_bowtie_decomposes_into_triangles(self):
+        q = bowtie_query()
+        res = da_fhtw(q, uniform_dc(q, 16), limit=30)
+        # each bag should be (a subset of) one of the two triangles
+        left = {"A", "B", "C"}
+        right = {"C", "D", "E"}
+        for bag in res.ghd.bags:
+            assert bag <= left or bag <= right

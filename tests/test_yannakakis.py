@@ -1,0 +1,249 @@
+"""Tests for Yannakakis-C, the OUT circuit, output-sensitive families
+(Theorem 5), and the Section-7 join-aggregate extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import DCSet, Database, Relation, cardinality, parse_query
+from repro.core import (
+    OutputSensitiveFamily,
+    aggregate_c,
+    count_c,
+    decode_count,
+    ram_join_aggregate,
+    yannakakis_c,
+)
+from repro.datagen import (
+    cycle_query,
+    matching_path,
+    path_query,
+    random_database,
+    star_query,
+    triangle_query,
+    uniform_dc,
+)
+
+
+def env_of(query, db):
+    return {a.name: db[a.name] for a in query.atoms}
+
+
+def check_pair(query, db, dc=None):
+    """Run both families and compare against the reference evaluator."""
+    dc = dc or query.default_dc(db)
+    fam = OutputSensitiveFamily(query, dc)
+    res = fam.evaluate(db)
+    truth = query.evaluate(db)
+    assert res.out == len(truth), f"OUT {res.out} != {len(truth)}"
+    if not query.is_boolean:
+        expected = truth.reorder(tuple(sorted(query.free)))
+        assert res.answer == expected
+    return res
+
+
+class TestCountCircuit:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_acyclic(self, seed):
+        q = path_query(3)
+        db = random_database(q, 10, 5, seed=seed)
+        circuit, _ = count_c(q, uniform_dc(q, 10))
+        out = decode_count(circuit.run(env_of(q, db), check_bounds=False)[0])
+        assert out == len(q.evaluate(db))
+
+    def test_full_cyclic(self):
+        q = triangle_query()
+        db = random_database(q, 16, 6, seed=1)
+        circuit, _ = count_c(q, uniform_dc(q, 16))
+        out = decode_count(circuit.run(env_of(q, db), check_bounds=False)[0])
+        assert out == len(q.evaluate(db))
+
+    def test_star(self):
+        q = star_query(3)
+        db = random_database(q, 12, 5, seed=2)
+        circuit, _ = count_c(q, uniform_dc(q, 12))
+        out = decode_count(circuit.run(env_of(q, db), check_bounds=False)[0])
+        assert out == len(q.evaluate(db))
+
+    def test_empty_result(self):
+        q = path_query(2)
+        db = Database({
+            "R0": Relation(("X0", "X1"), [(1, 1)]),
+            "R1": Relation(("X1", "X2"), [(2, 2)]),
+        })
+        circuit, _ = count_c(q, uniform_dc(q, 2))
+        out = decode_count(circuit.run(env_of(q, db), check_bounds=False)[0])
+        assert out == 0
+
+    def test_projection_count_distinct(self):
+        """Non-full query counts distinct projections, not join tuples."""
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        db = Database({
+            "R0": Relation(("X0", "X1"), [(1, 1), (1, 2)]),
+            "R1": Relation(("X1", "X2"), [(1, 5), (2, 6), (2, 7)]),
+        })
+        circuit, _ = count_c(q, uniform_dc(q, 3))
+        out = decode_count(circuit.run(env_of(q, db), check_bounds=False)[0])
+        assert out == 1  # only X0 = 1, despite 3 join tuples
+
+    def test_boolean_count(self):
+        q = parse_query("Q() <- R(A,B), S(B,C)")
+        db = Database({
+            "R": Relation(("A", "B"), [(1, 2)]),
+            "S": Relation(("B", "C"), [(2, 3)]),
+        })
+        circuit, _ = count_c(q, DCSet([cardinality("AB", 1), cardinality("BC", 1)]))
+        out = decode_count(circuit.run(env_of(q, db), check_bounds=False)[0])
+        assert out == 1
+
+
+class TestYannakakisC:
+    @pytest.mark.parametrize("query,n", [
+        (path_query(2), 12), (path_query(4), 8), (star_query(3), 10),
+        (triangle_query(), 14), (cycle_query(4), 8),
+    ])
+    def test_full_queries(self, query, n):
+        db = random_database(query, n, 6, seed=7)
+        check_pair(query, db, uniform_dc(query, n))
+
+    def test_free_connex_projection(self):
+        q = parse_query("Q(X0,X1) <- R0(X0,X1), R1(X1,X2)")
+        db = random_database(q, 10, 5, seed=3)
+        check_pair(q, db, uniform_dc(q, 10))
+
+    def test_non_free_connex(self):
+        q = parse_query("Q(X0,X2) <- R0(X0,X1), R1(X1,X2)")
+        db = random_database(q, 10, 5, seed=4)
+        check_pair(q, db, uniform_dc(q, 10))
+
+    def test_boolean_queries(self):
+        q = parse_query("Q() <- R0(X0,X1), R1(X1,X2)")
+        db = random_database(q, 6, 4, seed=5)
+        check_pair(q, db, uniform_dc(q, 6))
+        empty = Database({"R0": db["R0"],
+                          "R1": Relation(("X1", "X2"), [])})
+        dc = DCSet([cardinality({"X0", "X1"}, 6), cardinality({"X1", "X2"}, 1)])
+        fam = OutputSensitiveFamily(q, dc)
+        assert fam.evaluate(empty).out == 0
+
+    def test_small_out_small_circuit(self):
+        """Theorem 5's point: circuit size scales with OUT, not DAPB."""
+        q = path_query(3)
+        n = 32
+        dc = uniform_dc(q, n)
+        small, _ = yannakakis_c(q, dc, out_bound=4)
+        large, _ = yannakakis_c(q, dc, out_bound=n * n)
+        assert small.cost() < large.cost()
+
+    def test_matching_instance_small_out(self):
+        q = path_query(3)
+        db = matching_path(10, 3)
+        res = check_pair(q, db, uniform_dc(q, 10))
+        assert res.out == 10
+
+    def test_eval_circuit_cached_per_out(self):
+        q = path_query(2)
+        fam = OutputSensitiveFamily(q, uniform_dc(q, 8))
+        c1, _ = fam.eval_circuit(5)
+        c2, _ = fam.eval_circuit(5)
+        assert c1 is c2
+        c3, _ = fam.eval_circuit(6)
+        assert c3 is not c1
+
+    def test_disconnected_query(self):
+        q = parse_query("R(A,B), S(C,D)")
+        db = random_database(q, 4, 3, seed=8)
+        check_pair(q, db, uniform_dc(q, 4))
+
+    def test_disconnected_with_empty_side(self):
+        q = parse_query("Q() <- R(A,B), S(C,D)")
+        db = Database({
+            "R": Relation(("A", "B"), [(1, 1)]),
+            "S": Relation(("C", "D"), []),
+        })
+        dc = DCSet([cardinality("AB", 1), cardinality("CD", 1)])
+        fam = OutputSensitiveFamily(q, dc)
+        assert fam.evaluate(db).out == 0
+
+
+class TestAggregateC:
+    def weighted(self, schema, rows_weights):
+        return Relation(tuple(schema) + ("w",), rows_weights)
+
+    def test_weighted_path_sum(self):
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        dc = uniform_dc(q, 4)
+        env = {
+            "R0": self.weighted(("X0", "X1"), [(1, 1, 2), (1, 2, 3), (2, 2, 5)]),
+            "R1": self.weighted(("X1", "X2"), [(1, 7, 1), (2, 8, 4)]),
+        }
+        ann = {"R0": True, "R1": True}
+        got = aggregate_c(q, dc, annotated=ann).run(env)
+        assert got == ram_join_aggregate(q, env, ann)
+
+    def test_tropical_semiring(self):
+        q = parse_query("Q(X0,X2) <- R0(X0,X1), R1(X1,X2)")
+        dc = uniform_dc(q, 4)
+        env = {
+            "R0": self.weighted(("X0", "X1"), [(1, 1, 2), (1, 2, 9)]),
+            "R1": self.weighted(("X1", "X2"), [(1, 5, 3), (2, 5, 1)]),
+        }
+        ann = {"R0": True, "R1": True}
+        got = aggregate_c(q, dc, annotated=ann, semiring=("min", "add")).run(env)
+        assert got == ram_join_aggregate(q, env, ann, semiring=("min", "add"))
+        # the min-cost 2-hop path 1->5 has cost min(2+3, 9+1) = 5
+        assert (1, 5, 5) in got.rows
+
+    def test_max_mul(self):
+        q = parse_query("Q(A) <- R0(A,B0), R1(A,B1)")
+        dc = uniform_dc(q, 4)
+        env = {
+            "R0": self.weighted(("A", "B0"), [(1, 1, 2), (1, 2, 3)]),
+            "R1": self.weighted(("A", "B1"), [(1, 9, 4)]),
+        }
+        ann = {"R0": True, "R1": True}
+        got = aggregate_c(q, dc, annotated=ann, semiring=("max", "mul")).run(env)
+        assert got == ram_join_aggregate(q, env, ann, semiring=("max", "mul"))
+
+    def test_unannotated_atoms_are_identity(self):
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        dc = uniform_dc(q, 4)
+        env = {
+            "R0": self.weighted(("X0", "X1"), [(1, 1, 2)]),
+            "R1": Relation(("X1", "X2"), [(1, 4), (1, 5)]),
+        }
+        ann = {"R0": True, "R1": False}
+        got = aggregate_c(q, dc, annotated=ann).run(env)
+        assert got == ram_join_aggregate(q, env, ann)
+        assert list(got) == [(1, 4)]  # weight 2 × two extensions
+
+    def test_count_via_all_unannotated(self):
+        """All-identity annotations degrade to plain counting."""
+        q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
+        dc = uniform_dc(q, 6)
+        db = random_database(q, 6, 4, seed=9)
+        env = env_of(q, db)
+        ann = {"R0": False, "R1": False}
+        got = aggregate_c(q, dc, annotated=ann).run(env)
+        # per X0 value: number of (X1,X2) extensions
+        full = db["R0"].join(db["R1"])
+        expected = full.aggregate(("X0",), "count", out_attr="@ann")
+        assert got == expected
+
+    def test_bad_semiring_rejected(self):
+        q = path_query(2)
+        with pytest.raises(ValueError):
+            aggregate_c(q, uniform_dc(q, 4), semiring=("avg", "mul"))
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=8, deadline=None)
+def test_output_sensitive_randomized(seed):
+    rng = random.Random(seed)
+    q = path_query(rng.randint(2, 3))
+    domain = rng.randint(3, 6)
+    n = rng.randint(3, min(12, domain * domain))
+    db = random_database(q, n, domain, seed=seed)
+    check_pair(q, db, uniform_dc(q, n))
