@@ -1,63 +1,59 @@
 """Quickstart: compile a conjunctive query into a circuit and evaluate it.
 
-Walks the paper's whole pipeline on the triangle query Q△:
+Walks the paper's whole pipeline on the triangle query Q△ through the
+unified front door, ``repro.compile``:
 
 1. declare the query and degree constraints (here: cardinalities);
-2. PANDA-C compiles a *relational circuit* whose cost matches the
-   polymatroid bound DAPB(Q△) = N^{3/2} (Theorem 3);
-3. the lowering pass turns it into a word-level circuit (Theorem 4);
-4. both circuits evaluate any conforming database instance.
+2. read off the polymatroid bound DAPB(Q△) = N^{3/2} and the Shannon-flow
+   proof sequence behind it (Theorems 1–2);
+3. PANDA-C compiles a *relational circuit* whose cost matches the bound
+   (Theorem 3); the lowering pass turns it into a word-level circuit
+   (Theorem 4);
+4. evaluate any conforming database instance — by default on the levelized
+   vectorized engine (the PRAM schedule, executed; see docs/engine.md).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import parse_query, DCSet, cardinality
-from repro.bounds import dapb, synthesize_proof
-from repro.boolcircuit.lower import lower
-from repro.core import compile_fcq
+from repro import compile, parse_query
 from repro.datagen import random_database
+from repro.engine import EngineStats
 
 N = 12  # cardinality bound per relation
 
 # 1. The triangle query: which pairs of friends share a common interest?
+#    repro.compile is lazy — nothing below is computed until asked for.
 query = parse_query("R_AB(A,B), R_BC(B,C), R_AC(A,C)")
-dc = DCSet([
-    cardinality("AB", N),
-    cardinality("BC", N),
-    cardinality("AC", N),
-])
-print(f"query:       {query}")
-print(f"DAPB bound:  |Q(D)| ≤ {dapb(query, dc)}  (= N^1.5 for N={N})")
+cq = compile(query, n=N, canonical="triangle")
+print(f"query:       {cq.query}")
+print(f"DAPB bound:  |Q(D)| ≤ {cq.bound()}  (= N^1.5 for N={N})")
 
 # 2. The Shannon-flow proof sequence behind the plan (paper sequence (3)).
-proof = synthesize_proof(query.variables, dc, canonical_key="triangle")
+proof = cq.proof()
 print(f"proof:       {proof.sequence}")
 print(f"             route={proof.route}, budget=2^{proof.log_budget:.2f}, "
       f"optimal={proof.optimal}")
 
-# 3. PANDA-C: (Q, DC) -> relational circuit.  No data involved.
-circuit, report = compile_fcq(query, dc, canonical_key="triangle")
-print(f"\nrelational circuit: {circuit.size} gates, depth {circuit.depth()}, "
-      f"cost {circuit.cost()} (Õ(N + DAPB))")
-print(f"decomposition branches: {report.branches}, "
-      f"all joins within DAPB: {report.all_checks_passed}")
+# 3. PANDA-C: (Q, DC) -> relational circuit -> word circuit.  No data
+#    involved at any point.
+print(f"\nrelational circuit: {cq.circuit.size} gates, "
+      f"depth {cq.circuit.depth()}, cost {cq.circuit.cost()} (Õ(N + DAPB))")
+print(f"word circuit: {cq.lowered().size} gates, depth {cq.lowered().depth}")
 
-# 4. Lower to a word-level circuit: size is the hardware/MPC cost.
-lowered = lower(circuit)
-print(f"word circuit: {lowered.size} gates, depth {lowered.depth}")
-
-# 5. Evaluate on data.  Any instance with ≤ N tuples per relation works —
+# 4. Evaluate on data.  Any instance with ≤ N tuples per relation works —
 #    the circuit was built before the data existed.
 db = random_database(query, N, domain=6, seed=42)
-env = {atom.name: db[atom.name] for atom in query.atoms}
 
-answer_rel = circuit.run(env, check_bounds=False)[0]
-answer_word = lowered.run(env)[0]
+stats = EngineStats()
+answer = cq.evaluate(db, stats=stats)             # levelized vectorized engine
+answer_scalar = cq.evaluate(db, engine="scalar")  # per-gate interpreter
 truth = query.evaluate(db)
 
-print(f"\ntriangles found: {len(answer_rel)}")
-for row in answer_rel:
+print(f"\ntriangles found: {len(answer)}")
+for row in answer:
     print(f"  (A,B,C) = {row}")
-assert answer_rel == truth, "relational circuit disagrees with reference"
-assert answer_word == truth, "word circuit disagrees with reference"
-print("\nboth circuit levels match the reference evaluator ✓")
+print(f"engine:      {stats.gates_executed:,} gate-evals over "
+      f"{len(stats.levels)} levels in {stats.total_seconds * 1e3:.1f} ms")
+assert answer == truth, "engine disagrees with reference"
+assert answer_scalar == truth, "scalar interpreter disagrees with reference"
+print("\nboth engines match the reference evaluator ✓")

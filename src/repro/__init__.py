@@ -8,11 +8,16 @@ families via GHDs and Yannakakis-C, RAM baselines, and application layers
 
 Quickstart::
 
-    from repro import parse_query, Database, Relation
-    from repro.core import compile_fcq
+    import repro
 
-    q = parse_query("R(A,B), S(B,C), T(A,C)")
-    ...
+    cq = repro.compile("R(A,B), S(B,C), T(A,C)", n=12)
+    print(cq.bound())            # DAPB(Q) under the constraints
+    answers = cq.evaluate(db)    # levelized vectorized engine
+
+``repro.compile`` returns a :class:`repro.api.CompiledQuery` exposing every
+pipeline stage (``.bound()``, ``.proof()``, ``.circuit``, ``.lowered()``,
+``.evaluate(db, engine=...)``); the underlying stage functions
+(``compile_fcq``, ``lower``) are re-exported here too.
 """
 
 from .cq import (
@@ -28,9 +33,38 @@ from .cq import (
     parse_query,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Facade + pipeline stages, loaded lazily (PEP 562) so that importing
+# `repro` stays light: the compiler stack is pulled in only when used.
+_LAZY = {
+    "compile": ("repro.api", "compile"),
+    "CompiledQuery": ("repro.api", "CompiledQuery"),
+    "compile_fcq": ("repro.core", "compile_fcq"),
+    "lower": ("repro.boolcircuit.lower", "lower"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_LAZY))
+
 
 __all__ = [
+    "CompiledQuery",
+    "compile",
+    "compile_fcq",
+    "lower",
     "Atom",
     "ConjunctiveQuery",
     "Database",

@@ -1,0 +1,211 @@
+"""One front door: ``repro.compile(query, ...)`` → :class:`CompiledQuery`.
+
+The paper's pipeline is ``query → bound → proof sequence → PANDA-C
+relational circuit → lowered word circuit → answers``; historically each
+stage lived in its own module (`bounds`, `core`, `boolcircuit`, `engine`)
+and users wired them by hand.  ``compile`` packages the whole pipeline
+behind a single object with lazy, cached stages: nothing is computed until
+asked for, and each stage is computed at most once.
+
+    import repro
+
+    cq = repro.compile("R(A,B), S(B,C), T(A,C)", n=12)
+    cq.bound()                    # DAPB(Q) under the constraints
+    cq.proof()                    # the Shannon-flow proof sequence
+    cq.circuit                    # the PANDA-C relational circuit
+    cq.lowered()                  # the word-level circuit (Theorem 4)
+    cq.evaluate(db)               # answers, via the levelized engine
+
+Degree constraints come from one of three places, in priority order: an
+explicit ``dc=``, discovery from a sample database via ``stats=``
+(:func:`repro.cq.suggest_constraints`), or per-atom cardinalities via
+``n=``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Union
+
+from .bounds.proof_synthesis import SynthesizedProof, synthesize_proof
+from .cq import (
+    ConjunctiveQuery,
+    Database,
+    DCSet,
+    Relation,
+    cardinality,
+    parse_query,
+    suggest_constraints,
+)
+
+ENGINES = ("vectorized", "scalar")
+
+
+class CompiledQuery:
+    """A query plus constraints, with every pipeline stage lazily cached."""
+
+    def __init__(self, query: ConjunctiveQuery, dc: DCSet,
+                 canonical: Optional[str] = None,
+                 dapb_slack: float = 1.0):
+        self.query = query
+        self.dc = dc
+        self.canonical = canonical
+        self.dapb_slack = dapb_slack
+        self._log_bound: Optional[float] = None
+        self._proof: Optional[SynthesizedProof] = None
+        self._circuit = None
+        self._report = None
+        self._lowered = None
+
+    # -- bound ----------------------------------------------------------
+    def log_bound(self) -> float:
+        """``LOGDAPB(Q)``: the polymatroid bound, in bits."""
+        if self._log_bound is None:
+            from .bounds import log_dapb
+
+            self._log_bound = log_dapb(self.query, self.dc)
+        return self._log_bound
+
+    def bound(self) -> int:
+        """``DAPB(Q)``: the output-size bound in tuples (Theorem 1)."""
+        return math.ceil(2 ** self.log_bound())
+
+    # -- proof sequence -------------------------------------------------
+    def proof(self) -> SynthesizedProof:
+        """The synthesized (and verified) Shannon-flow proof sequence."""
+        if self._proof is None:
+            self._proof = synthesize_proof(
+                self.query.variables, self.dc, canonical_key=self.canonical)
+        return self._proof
+
+    # -- relational circuit ---------------------------------------------
+    def _compile(self):
+        if self._circuit is None:
+            from .core import compile_fcq
+
+            if not self.query.is_full:
+                raise ValueError(
+                    "repro.compile targets full CQs; for projections use "
+                    "repro.core.OutputSensitiveFamily / yannakakis_c")
+            self._circuit, self._report = compile_fcq(
+                self.query, self.dc, proof=self._proof,
+                canonical_key=self.canonical, dapb_slack=self.dapb_slack)
+        return self._circuit
+
+    @property
+    def circuit(self):
+        """The PANDA-C relational circuit (Theorem 3)."""
+        return self._compile()
+
+    @property
+    def report(self):
+        """The PANDA-C construction report (DAPB checks, branches)."""
+        self._compile()
+        return self._report
+
+    # -- word circuit ----------------------------------------------------
+    def lowered(self):
+        """The lowered word-level circuit (Theorem 4)."""
+        if self._lowered is None:
+            from .boolcircuit.lower import lower
+
+            self._lowered = lower(self.circuit)
+        return self._lowered
+
+    # -- answers ---------------------------------------------------------
+    def _env(self, db: Union[Database, Mapping[str, Relation]]
+             ) -> Mapping[str, Relation]:
+        return {atom.name: db[atom.name] for atom in self.query.atoms}
+
+    def evaluate(self, db: Union[Database, Mapping[str, Relation]],
+                 engine: str = "vectorized",
+                 stats=None, shards: Optional[int] = None) -> Relation:
+        """Answers on one instance, through the lowered circuit.
+
+        ``engine="vectorized"`` runs the levelized engine
+        (:mod:`repro.engine`, plan cached across calls);
+        ``engine="scalar"`` runs the per-gate scalar interpreter.
+        Pass an :class:`repro.engine.EngineStats` as ``stats`` to collect
+        per-level timings from the vectorized engine.
+        """
+        return self.evaluate_batch([db], engine=engine, stats=stats,
+                                   shards=shards)[0]
+
+    def evaluate_batch(self,
+                       dbs: List[Union[Database, Mapping[str, Relation]]],
+                       engine: str = "vectorized",
+                       stats=None,
+                       shards: Optional[int] = None) -> List[Relation]:
+        """Answers on many instances; the vectorized engine evaluates the
+        whole batch in one levelized pass."""
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        lowered = self.lowered()
+        envs = [self._env(db) for db in dbs]
+        if engine == "scalar":
+            return [lowered.run(env)[0] for env in envs]
+        from .engine import run_lowered
+
+        return [outs[0] for outs in
+                run_lowered(lowered, envs, stats=stats, shards=shards)]
+
+    # -- introspection ----------------------------------------------------
+    def explain(self) -> str:
+        """A human-readable summary of every computed stage."""
+        lines = [f"query:     {self.query}",
+                 f"DAPB:      {self.bound():,} tuples "
+                 f"(2^{self.log_bound():.3f})"]
+        proof = self.proof()
+        lines.append(f"proof:     {len(proof.sequence)} steps via "
+                     f"{proof.route} route, optimal={proof.optimal}")
+        circuit = self.circuit
+        lines.append(f"relational: {circuit.size} gates, "
+                     f"depth {circuit.depth()}, cost {circuit.cost():,}")
+        if self._lowered is not None:
+            lines.append(f"word:      {self._lowered.size:,} gates, "
+                         f"depth {self._lowered.depth:,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        stages = [
+            name for name, done in [
+                ("bound", self._log_bound is not None),
+                ("proof", self._proof is not None),
+                ("circuit", self._circuit is not None),
+                ("lowered", self._lowered is not None),
+            ] if done
+        ]
+        return (f"CompiledQuery({self.query}, "
+                f"stages computed: {', '.join(stages) or 'none'})")
+
+
+def compile(query: Union[str, ConjunctiveQuery],
+            dc: Optional[DCSet] = None,
+            stats: Optional[Database] = None,
+            n: Optional[int] = None,
+            canonical: Optional[str] = None,
+            dapb_slack: float = 1.0,
+            max_key_size: int = 2,
+            headroom: int = 1) -> CompiledQuery:
+    """Compile a conjunctive query into a lazily-evaluated pipeline object.
+
+    ``query`` is a datalog-style string (``"R(A,B), S(B,C), T(A,C)"``) or a
+    parsed :class:`ConjunctiveQuery`.  Constraints come from ``dc`` (used
+    as-is), else discovered from a sample :class:`Database` passed as
+    ``stats`` (cardinalities, FDs and degree bounds the instance satisfies),
+    else ``n`` as a per-atom cardinality bound.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if dc is None:
+        if stats is not None:
+            dc = suggest_constraints(query, stats, max_key_size=max_key_size,
+                                     headroom=headroom)
+        elif n is not None:
+            dc = DCSet(cardinality(atom.varset, n) for atom in query.atoms)
+        else:
+            raise ValueError(
+                "no constraints: pass dc=DCSet(...), stats=<sample Database>, "
+                "or n=<cardinality bound per relation>")
+    return CompiledQuery(query, dc, canonical=canonical,
+                         dapb_slack=dapb_slack)

@@ -58,6 +58,10 @@ class Circuit:
         self._depth: List[int] = []
         self._const_cache: Dict[int, int] = {}
         self.inputs: List[int] = []
+        # (gate_count, value) caches — the circuit is append-only, so a
+        # cached result is valid exactly while the gate count is unchanged.
+        self._levels_cache: Optional[Tuple[int, List[List[int]]]] = None
+        self._fingerprint_cache: Optional[Tuple[int, str]] = None
 
     # ------------------------------------------------------------------
     def _gate(self, op: int, a: int = -1, b: int = -1, c: int = -1) -> int:
@@ -149,6 +153,56 @@ class Circuit:
 
     def depth_of(self, gid: int) -> int:
         return self._depth[gid]
+
+    def levels(self) -> List[List[int]]:
+        """Gate ids grouped by topological level, in one forward pass.
+
+        Level 0 holds inputs and constants (free in the PRAM model); level
+        ``d ≥ 1`` holds the compute gates at depth ``d``.  This is the shared
+        level structure behind both :func:`repro.boolcircuit.schedule.schedule`
+        (the analytical profile) and :func:`repro.engine.compile_plan` (the
+        executable plan).  Cached; recomputed only after gates are appended.
+        """
+        n = len(self.ops)
+        cached = self._levels_cache
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        level_of: List[int] = [0] * n
+        levels: List[List[int]] = [[]]
+        for gid in range(n):
+            op = self.ops[gid]
+            if op in (INPUT, CONST):
+                levels[0].append(gid)
+                continue
+            d = 0
+            for x in (self.in_a[gid], self.in_b[gid], self.in_c[gid]):
+                if x >= 0 and level_of[x] > d:
+                    d = level_of[x]
+            d += 1
+            level_of[gid] = d
+            while len(levels) <= d:
+                levels.append([])
+            levels[d].append(gid)
+        self._levels_cache = (n, levels)
+        return levels
+
+    def fingerprint(self) -> str:
+        """A structural identity for plan caching: two circuits share a
+        fingerprint iff they have identical gate arrays and constants.
+        Cached per gate count (the circuit is append-only)."""
+        import hashlib
+
+        n = len(self.ops)
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        h = hashlib.blake2b(digest_size=16)
+        for arr in (self.ops, self.in_a, self.in_b, self.in_c):
+            h.update(repr(arr).encode())
+        h.update(repr(sorted(self.consts.items())).encode())
+        digest = h.hexdigest()
+        self._fingerprint_cache = (n, digest)
+        return digest
 
     def boolean_size_estimate(self, word_bits: int = 32) -> int:
         """Size after expanding words into ``word_bits``-bit Boolean gates.

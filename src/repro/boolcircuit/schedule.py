@@ -49,14 +49,15 @@ class Schedule:
 
 
 def schedule(circuit: Circuit) -> Schedule:
-    """Group gates by depth level (inputs/constants are level 0, free)."""
-    widths: Dict[int, int] = {}
-    for gid, op in enumerate(circuit.ops):
-        if op in (INPUT, CONST):
-            continue
-        level = circuit.depth_of(gid)
-        widths[level] = widths.get(level, 0) + 1
-    level_widths = [widths.get(i, 0) for i in range(1, circuit.depth + 1)]
+    """Group gates by depth level (inputs/constants are level 0, free).
+
+    The level structure comes from :meth:`Circuit.levels` — one cached
+    topological pass shared with the execution-plan compiler
+    (:func:`repro.engine.compile_plan`), so the profile reported here is
+    computed from exactly the levels the vectorized engine executes.
+    """
+    levels = circuit.levels()
+    level_widths = [len(levels[i]) for i in range(1, len(levels))]
     return Schedule(
         level_widths=level_widths,
         size=circuit.size,

@@ -6,6 +6,7 @@ Commands
 ``proof``    — synthesize and print the Shannon-flow proof sequence
 ``compile``  — compile a query to a relational circuit and print stats
 ``lower``    — additionally lower to a word circuit (small N)
+``run``      — execute a query end-to-end on CSV data (repro.compile facade)
 ``ghd``      — show the best free-connex GHD and width measures
 
 Queries use the datalog-ish syntax of :func:`repro.cq.parse_query`, e.g.::
@@ -124,6 +125,51 @@ def cmd_lower(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    """End-to-end execution through the ``repro.compile`` facade."""
+    from . import api
+    from .cq import database_from_dir, suggest_constraints
+    from .engine import EngineStats
+
+    query = parse_query(args.query)
+    if not query.is_full:
+        print("run expects a full query (use the library's "
+              "OutputSensitiveFamily for projections)", file=sys.stderr)
+        return 2
+    db = database_from_dir(args.data, query)
+    if args.n is not None:
+        dc = DCSet(cardinality(a.varset, args.n) for a in query.atoms)
+        for constraint in args.degree or []:
+            dc.add(constraint)
+    else:
+        dc = suggest_constraints(query, db)
+    cq = api.compile(query, dc=dc, canonical=args.canonical)
+    print(f"query:      {query}")
+    print(f"data:       {args.data} ({db.total_size} tuples)")
+    print(f"DAPB:       {cq.bound():,} tuples")
+    lowered = cq.lowered()
+    print(f"circuit:    {cq.circuit.size} relational gates → "
+          f"{lowered.size:,} word gates, depth {lowered.depth:,}")
+
+    stats = EngineStats() if args.engine == "vectorized" else None
+    answers = cq.evaluate(db, engine=args.engine, stats=stats)
+    print(f"\nanswers ({len(answers)} rows):")
+    for row in sorted(answers.rows):
+        print(f"  {row}")
+
+    if stats is not None:
+        print(f"\nengine:     {stats.gates_executed:,} gates over "
+              f"{len(stats.levels)} levels in "
+              f"{stats.total_seconds * 1e3:.2f} ms "
+              f"({stats.gate_evals_per_second:,.0f} gate-evals/s)")
+        if args.timings:
+            print(f"{'level':>6} | {'width':>7} | {'groups':>6} | ms")
+            for level, width, groups, seconds in stats.table():
+                print(f"{level:>6} | {width:>7} | {groups:>6} | "
+                      f"{seconds * 1e3:.3f}")
+    return 0
+
+
 def cmd_ghd(args) -> int:
     from .ghd import da_fhtw, da_subw
 
@@ -201,6 +247,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=0,
                    help="also bit-blast at this word width")
     p.set_defaults(func=cmd_lower)
+
+    p = sub.add_parser(
+        "run", help="execute a query end-to-end on CSV data")
+    p.add_argument("query", help="datalog-style query string")
+    p.add_argument("data", help="directory of <atom>.csv files")
+    p.add_argument("-n", type=int, default=None,
+                   help="cardinality bound per relation "
+                        "(default: discovered from the data)")
+    p.add_argument("--degree", action="append", type=_parse_degree,
+                   metavar="X->Y:b",
+                   help="degree constraint (repeatable; only with -n)")
+    p.add_argument("--engine", choices=("vectorized", "scalar"),
+                   default="vectorized", help="execution engine")
+    p.add_argument("--canonical", help="canonical-library key")
+    p.add_argument("--timings", action="store_true",
+                   help="print the per-level engine timing table")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("stats", help="discover degree constraints from CSVs")
     p.add_argument("query", help="datalog-style query string")

@@ -1,0 +1,89 @@
+"""LRU cache of compiled execution plans.
+
+Planning is ``O(size)`` Python work per circuit; repeated evaluation of the
+same compiled query (the common case: one data-independent circuit, many
+instances) should pay it once.  Plans are keyed by the circuit's structural
+:meth:`~repro.boolcircuit.graph.Circuit.fingerprint` plus the requested
+output set, so two structurally identical circuits share a cache entry and
+a circuit that grows new gates misses cleanly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..boolcircuit.graph import Circuit
+from .plan import ExecutionPlan, compile_plan
+
+Key = Tuple[str, Optional[Tuple[int, ...]]]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """A bounded LRU mapping ``(circuit identity, outputs) -> ExecutionPlan``."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._plans: "OrderedDict[Key, ExecutionPlan]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @staticmethod
+    def key_for(circuit: Circuit,
+                outputs: Optional[Sequence[int]] = None) -> Key:
+        out_key = (tuple(dict.fromkeys(int(o) for o in outputs))
+                   if outputs is not None else None)
+        return (circuit.fingerprint(), out_key)
+
+    def get(self, circuit: Circuit,
+            outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
+        """Return the cached plan, compiling (and inserting) on a miss."""
+        key = self.key_for(circuit, outputs)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.stats.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.stats.misses += 1
+        plan = compile_plan(circuit, outputs)
+        self._plans[key] = plan
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+        return plan
+
+    def contains(self, circuit: Circuit,
+                 outputs: Optional[Sequence[int]] = None) -> bool:
+        return self.key_for(circuit, outputs) in self._plans
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (f"PlanCache({len(self._plans)}/{self.capacity} plans, "
+                f"{self.stats.hits} hits / {self.stats.misses} misses)")
+
+
+#: Process-wide default used by :func:`repro.engine.evaluate` and friends.
+DEFAULT_PLAN_CACHE = PlanCache(capacity=64)

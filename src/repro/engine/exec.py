@@ -1,0 +1,168 @@
+"""Vectorized plan execution with per-level instrumentation.
+
+One NumPy call per ``(level, opcode)`` group; semantics are bit-identical to
+the scalar interpreter (:meth:`Circuit.evaluate`) and the per-gate batched
+evaluator (:func:`~repro.boolcircuit.fasteval.evaluate_batch`) over int64
+domains.  An :class:`EngineStats` collector records each level's executed
+width and wall time — the measured counterpart of the theoretical PRAM
+profile in :mod:`repro.boolcircuit.schedule`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..boolcircuit import graph as g
+from .plan import ExecutionPlan, OpGroup
+
+
+@dataclass
+class LevelTiming:
+    """Measured execution of one topological level."""
+
+    level: int
+    width: int        # compute gates executed
+    groups: int       # opcode groups (vectorized NumPy calls)
+    seconds: float
+
+
+@dataclass
+class EngineStats:
+    """Per-run instrumentation; pass one to ``execute_plan`` to fill it."""
+
+    batch: int = 0
+    levels: List[LevelTiming] = field(default_factory=list)
+    total_seconds: float = 0.0
+    runs: int = 0
+
+    @property
+    def gates_executed(self) -> int:
+        return sum(t.width for t in self.levels)
+
+    @property
+    def gate_evals_per_second(self) -> float:
+        """Gate evaluations (gates × batch) per wall-clock second."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.gates_executed * max(1, self.batch) / self.total_seconds
+
+    def table(self) -> List[tuple]:
+        """Rows ``(level, width, groups, seconds)`` for display."""
+        return [(t.level, t.width, t.groups, t.seconds) for t in self.levels]
+
+    def __repr__(self) -> str:
+        return (f"EngineStats({self.gates_executed} gates × batch "
+                f"{self.batch} in {self.total_seconds * 1e3:.2f} ms, "
+                f"{len(self.levels)} levels)")
+
+
+class EngineRun:
+    """The result of one plan execution: a slot buffer plus accessors."""
+
+    def __init__(self, plan: ExecutionPlan, buf: np.ndarray):
+        self.plan = plan
+        self.buf = buf
+
+    @property
+    def batch(self) -> int:
+        return self.buf.shape[1]
+
+    def gate(self, gid: int) -> np.ndarray:
+        """The length-``batch`` value vector of one (live) gate."""
+        return self.buf[self.plan.slot(gid)]
+
+    def gates(self, gids: Sequence[int]) -> np.ndarray:
+        """Values of several live gates, shape ``(len(gids), batch)``."""
+        idx = np.fromiter((self.plan.slot(gid) for gid in gids),
+                          dtype=np.intp, count=len(gids))
+        return self.buf[idx]
+
+    def all_gates(self) -> List[np.ndarray]:
+        """Per-gate arrays in gid order (requires an ``outputs=None`` plan,
+        where every gate stays live)."""
+        return [self.buf[self.plan.slot(gid)]
+                for gid in range(self.plan.n_gates)]
+
+    def __repr__(self) -> str:
+        return f"EngineRun({self.plan!r}, batch {self.batch})"
+
+
+def _apply(grp: OpGroup, buf: np.ndarray) -> None:
+    """One vectorized call for one opcode group.
+
+    Fancy-indexed gathers copy, so the scatter into ``buf[grp.dst]`` never
+    aliases its own operands even when slots are being recycled.
+    """
+    op = grp.op
+    a = buf[grp.a]
+    if op == g.NOT:
+        buf[grp.dst] = a == 0
+        return
+    if op == g.MUX:
+        buf[grp.dst] = np.where(a != 0, buf[grp.b], buf[grp.c])
+        return
+    b = buf[grp.b]
+    if op == g.ADD:
+        buf[grp.dst] = a + b
+    elif op == g.SUB:
+        buf[grp.dst] = a - b
+    elif op == g.MUL:
+        buf[grp.dst] = a * b
+    elif op == g.EQ:
+        buf[grp.dst] = a == b
+    elif op == g.LT:
+        buf[grp.dst] = a < b
+    elif op == g.AND:
+        buf[grp.dst] = (a != 0) & (b != 0)
+    elif op == g.OR:
+        buf[grp.dst] = (a != 0) | (b != 0)
+    elif op == g.XOR:
+        buf[grp.dst] = (a != 0) != (b != 0)
+    elif op == g.MIN:
+        buf[grp.dst] = np.minimum(a, b)
+    elif op == g.MAX:
+        buf[grp.dst] = np.maximum(a, b)
+    else:
+        raise ValueError(f"unknown op {op}")
+
+
+def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
+                 stats: Optional[EngineStats] = None) -> EngineRun:
+    """Run a compiled plan on a column matrix of shape ``(n_inputs, batch)``."""
+    if columns.ndim != 2 or columns.shape[0] != plan.n_inputs:
+        raise ValueError(
+            f"expected a ({plan.n_inputs}, batch) column matrix, "
+            f"got shape {columns.shape}")
+    batch = columns.shape[1]
+    if batch == 0:
+        raise ValueError("empty batch")
+    columns = np.ascontiguousarray(columns, dtype=np.int64)
+
+    t_start = time.perf_counter()
+    buf = np.empty((plan.n_slots, batch), dtype=np.int64)
+    if len(plan.input_slots):
+        buf[plan.input_slots] = columns[plan.input_cols]
+    if len(plan.const_slots):
+        buf[plan.const_slots] = plan.const_values[:, None]
+
+    if stats is None:
+        for level in plan.levels:
+            for grp in level.groups:
+                _apply(grp, buf)
+    else:
+        for level in plan.levels:
+            t0 = time.perf_counter()
+            for grp in level.groups:
+                _apply(grp, buf)
+            stats.levels.append(LevelTiming(
+                level=level.index, width=level.width,
+                groups=len(level.groups),
+                seconds=time.perf_counter() - t0))
+        stats.batch = batch
+        stats.total_seconds += time.perf_counter() - t_start
+        stats.runs += 1
+    return EngineRun(plan, buf)

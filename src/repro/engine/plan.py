@@ -1,0 +1,266 @@
+"""Execution-plan compiler: the PRAM schedule as an executable artifact.
+
+Brent's theorem (Section 1) says a circuit of size ``W`` and depth ``D``
+evaluates in ``O(W/P + D)`` parallel steps by processing it level by level.
+:mod:`repro.boolcircuit.schedule` *reports* that profile; this module
+*executes* it.  ``compile_plan`` partitions the gates into topological
+levels (via the cached single-pass :meth:`Circuit.levels`), then groups each
+level's gates by opcode into contiguous index arrays, so evaluation is one
+fancy-indexed NumPy call per ``(level, opcode)`` pair instead of one Python
+iteration per gate.
+
+Two further compile-time analyses:
+
+* **dead-gate elimination** — when the caller names its output gates, gates
+  that cannot reach any output are dropped from the plan entirely;
+* **liveness / register allocation** — each gate's value lives in a buffer
+  *slot*; a slot is recycled once its gate's last reader has executed, so
+  peak memory is ``O(max-live × batch)`` instead of ``O(size × batch)``
+  (which is what :func:`repro.boolcircuit.fasteval.evaluate_batch` holds
+  alive today).
+
+Slot recycling is safe because slots freed at level ``L`` are only handed to
+gates *written* at levels ``> L``, and every value read at level ``L+1``
+belongs to a gate whose last use is ``≥ L+1`` — its slot is still pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..boolcircuit import graph as g
+
+
+@dataclass
+class OpGroup:
+    """All gates of one opcode within one level, as index arrays."""
+
+    op: int
+    dst: np.ndarray           # destination slots, shape (k,)
+    a: np.ndarray             # first-operand slots (empty if arity 0)
+    b: np.ndarray             # second-operand slots (empty if arity < 2)
+    c: np.ndarray             # third-operand slots (MUX only)
+
+    def __len__(self) -> int:
+        return len(self.dst)
+
+
+@dataclass
+class PlanLevel:
+    """One topological level: its opcode groups plus profile numbers."""
+
+    index: int
+    groups: List[OpGroup]
+
+    @property
+    def width(self) -> int:
+        return sum(len(grp) for grp in self.groups)
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled, data-independent evaluation schedule for one circuit."""
+
+    n_gates: int                  # gates in the source circuit
+    n_slots: int                  # buffer rows actually allocated
+    n_executed: int               # compute gates surviving dead-gate elim
+    input_slots: np.ndarray       # slot per live input gate
+    input_cols: np.ndarray        # matching row indices into the column matrix
+    n_inputs: int                 # circuit inputs expected per instance
+    const_slots: np.ndarray       # slot per live constant gate
+    const_values: np.ndarray      # matching constant values
+    levels: List[PlanLevel]
+    slot_of: np.ndarray           # gid -> slot at end of run (-1 if recycled)
+    outputs: Optional[Tuple[int, ...]]
+    fingerprint: str
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def slot(self, gid: int) -> int:
+        """The buffer slot holding ``gid``'s value after execution.
+
+        Raises ``KeyError`` for gates whose buffer was recycled mid-run or
+        eliminated as dead — compile the plan with those gids in
+        ``outputs`` (or with ``outputs=None``) to keep them live.
+        """
+        s = int(self.slot_of[gid])
+        if s < 0:
+            raise KeyError(
+                f"gate {gid} is not live at the end of this plan "
+                f"(outputs={self.outputs!r}); recompile with it in outputs")
+        return s
+
+    def level_widths(self) -> List[int]:
+        return [lvl.width for lvl in self.levels]
+
+    def __repr__(self) -> str:
+        return (f"ExecutionPlan({self.n_executed}/{self.n_gates} gates over "
+                f"{self.depth} levels, {self.n_slots} slots, "
+                f"{sum(len(l.groups) for l in self.levels)} opcode groups)")
+
+
+_EMPTY = np.empty(0, dtype=np.intp)
+
+# Operand count per opcode (compute gates only).
+_ARITY = {
+    g.NOT: 1,
+    g.ADD: 2, g.SUB: 2, g.MUL: 2, g.EQ: 2, g.LT: 2,
+    g.AND: 2, g.OR: 2, g.XOR: 2, g.MIN: 2, g.MAX: 2,
+    g.MUX: 3,
+}
+
+
+def _live_set(circuit: g.Circuit, outputs: Sequence[int]) -> np.ndarray:
+    """Backward reachability from the outputs (dead-gate elimination)."""
+    needed = np.zeros(len(circuit.ops), dtype=bool)
+    for gid in outputs:
+        needed[gid] = True
+    in_a, in_b, in_c = circuit.in_a, circuit.in_b, circuit.in_c
+    for gid in range(len(circuit.ops) - 1, -1, -1):
+        if not needed[gid]:
+            continue
+        for x in (in_a[gid], in_b[gid], in_c[gid]):
+            if x >= 0:
+                needed[x] = True
+    return needed
+
+
+def compile_plan(circuit: g.Circuit,
+                 outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
+    """Compile a circuit into a levelized, opcode-grouped execution plan.
+
+    ``outputs`` names the gates whose values must survive to the end of the
+    run.  With ``outputs=None`` every gate is kept live (one slot per gate,
+    no recycling) — the drop-in replacement for
+    :func:`~repro.boolcircuit.fasteval.evaluate_batch`.  With an explicit
+    list, dead gates are eliminated and buffers are recycled at each gate's
+    last use.
+    """
+    n = len(circuit.ops)
+    levels = circuit.levels()
+    ops, in_a, in_b, in_c = circuit.ops, circuit.in_a, circuit.in_b, circuit.in_c
+
+    out_key: Optional[Tuple[int, ...]] = None
+    if outputs is not None:
+        out_key = tuple(dict.fromkeys(int(o) for o in outputs))
+        for gid in out_key:
+            if not 0 <= gid < n:
+                raise ValueError(f"output gate {gid} out of range")
+        needed = _live_set(circuit, out_key)
+        recycle = True
+    else:
+        needed = np.ones(n, dtype=bool)
+        recycle = False
+
+    # Liveness: the last level at which each gate's value is read.  Output
+    # gates are pinned past the final level.
+    n_levels = len(levels)
+    level_of: List[int] = [0] * n
+    for lvl, gids in enumerate(levels):
+        for gid in gids:
+            level_of[gid] = lvl
+    last_use = np.full(n, -1, dtype=np.int64)
+    for gid in range(n):
+        if not needed[gid]:
+            continue
+        lvl = level_of[gid]
+        for x in (in_a[gid], in_b[gid], in_c[gid]):
+            if x >= 0 and lvl > last_use[x]:
+                last_use[x] = lvl
+    if out_key is not None:
+        for gid in out_key:
+            last_use[gid] = n_levels
+
+    # Gates to release after each level executes.
+    release: List[List[int]] = [[] for _ in range(n_levels)]
+    if recycle:
+        for gid in range(n):
+            if needed[gid] and 0 <= last_use[gid] < n_levels:
+                release[int(last_use[gid])].append(gid)
+
+    slot_of = np.full(n, -1, dtype=np.int64)
+    free: List[int] = []
+    n_slots = 0
+
+    def alloc(gid: int) -> int:
+        nonlocal n_slots
+        if recycle and free:
+            s = free.pop()
+        else:
+            s = n_slots
+            n_slots += 1
+        slot_of[gid] = s
+        return s
+
+    # Level 0: inputs and constants.
+    input_slots: List[int] = []
+    input_cols: List[int] = []
+    const_slots: List[int] = []
+    const_values: List[int] = []
+    col_of = {gid: i for i, gid in enumerate(circuit.inputs)}
+    for gid in levels[0]:
+        if not needed[gid]:
+            continue
+        s = alloc(gid)
+        if ops[gid] == g.INPUT:
+            input_slots.append(s)
+            input_cols.append(col_of[gid])
+        else:
+            const_slots.append(s)
+            const_values.append(circuit.consts[gid])
+    for gid in release[0] if recycle else ():
+        free.append(int(slot_of[gid]))
+        slot_of[gid] = -1
+
+    # Compute levels: allocate destinations, group by opcode, then release.
+    plan_levels: List[PlanLevel] = []
+    n_executed = 0
+    for lvl in range(1, n_levels):
+        by_op: Dict[int, List[int]] = {}
+        for gid in levels[lvl]:
+            if needed[gid]:
+                by_op.setdefault(ops[gid], []).append(gid)
+        groups: List[OpGroup] = []
+        for op in sorted(by_op):
+            gids = by_op[op]
+            arity = _ARITY[op]
+            # Operand slots are read *before* destinations are allocated:
+            # a destination may legally reuse a slot freed at an earlier
+            # level, never one still read at this level.
+            a = np.fromiter((slot_of[in_a[x]] for x in gids),
+                            dtype=np.intp, count=len(gids))
+            b = (np.fromiter((slot_of[in_b[x]] for x in gids),
+                             dtype=np.intp, count=len(gids))
+                 if arity >= 2 else _EMPTY)
+            c = (np.fromiter((slot_of[in_c[x]] for x in gids),
+                             dtype=np.intp, count=len(gids))
+                 if arity >= 3 else _EMPTY)
+            dst = np.fromiter((alloc(x) for x in gids),
+                              dtype=np.intp, count=len(gids))
+            groups.append(OpGroup(op=op, dst=dst, a=a, b=b, c=c))
+            n_executed += len(gids)
+        plan_levels.append(PlanLevel(index=lvl, groups=groups))
+        if recycle:
+            for gid in release[lvl]:
+                free.append(int(slot_of[gid]))
+                slot_of[gid] = -1
+
+    return ExecutionPlan(
+        n_gates=n,
+        n_slots=n_slots,
+        n_executed=n_executed,
+        input_slots=np.asarray(input_slots, dtype=np.intp),
+        input_cols=np.asarray(input_cols, dtype=np.intp),
+        n_inputs=len(circuit.inputs),
+        const_slots=np.asarray(const_slots, dtype=np.intp),
+        const_values=np.asarray(const_values, dtype=np.int64),
+        levels=plan_levels,
+        slot_of=slot_of,
+        outputs=out_key,
+        fingerprint=circuit.fingerprint(),
+    )

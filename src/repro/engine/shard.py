@@ -1,0 +1,61 @@
+"""Optional multiprocessing sharding of large batches.
+
+The levelized engine is single-threaded NumPy; for very large batches the
+batch axis is embarrassingly parallel (the circuit is oblivious — every
+instance touches the same gates in the same order), so we can split the
+column matrix into contiguous chunks and evaluate each in a worker process.
+This is the ``W/P`` half of Brent's bound realised across processes rather
+than within one vectorized call.
+
+Sharding is opt-in (``shards > 1``) and only engages above a minimum chunk
+size — process start-up plus result pickling dominates below it.  Workers
+re-execute the (pickled) plan; per-level stats are not collected inside
+workers, only the total wall time on the coordinating side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import List, Optional
+
+import numpy as np
+
+from .exec import EngineRun, execute_plan
+from .plan import ExecutionPlan
+
+#: Below this many instances per shard, sharding is refused (not worth it).
+MIN_SHARD_BATCH = 16
+
+
+def _run_shard(args) -> np.ndarray:
+    plan, columns = args
+    return execute_plan(plan, columns).buf
+
+
+def effective_shards(batch: int, shards: Optional[int],
+                     min_shard_batch: int = MIN_SHARD_BATCH) -> int:
+    """How many workers a batch actually supports (≥ 1)."""
+    if not shards or shards <= 1:
+        return 1
+    return max(1, min(int(shards), batch // min_shard_batch))
+
+
+def execute_sharded(plan: ExecutionPlan, columns: np.ndarray,
+                    shards: int,
+                    min_shard_batch: int = MIN_SHARD_BATCH) -> EngineRun:
+    """Evaluate ``columns`` across ``shards`` worker processes.
+
+    Falls back to in-process execution when the batch is too small to
+    split or only one worker is requested.
+    """
+    batch = columns.shape[1]
+    workers = effective_shards(batch, shards, min_shard_batch)
+    if workers == 1:
+        return execute_plan(plan, columns)
+    columns = np.ascontiguousarray(columns, dtype=np.int64)
+    chunks = np.array_split(columns, workers, axis=1)
+    ctx = mp.get_context()
+    with ctx.Pool(processes=workers) as pool:
+        bufs: List[np.ndarray] = pool.map(
+            _run_shard, [(plan, chunk) for chunk in chunks])
+    return EngineRun(plan, np.concatenate(bufs, axis=1))

@@ -71,6 +71,50 @@ class TestCommands:
         assert "da-subw" in out
 
 
+class TestRunCommand:
+    def _data_dir(self, tmp_path, n=8, seed=1):
+        from repro.cq import database_to_dir
+        from repro.datagen import random_database, triangle_query
+
+        q = triangle_query()
+        db = random_database(q, n, 5, seed=seed)
+        database_to_dir(db, q, tmp_path)
+        return q, db
+
+    def test_run_vectorized(self, tmp_path, capsys):
+        q, db = self._data_dir(tmp_path)
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "answers" in out and "engine:" in out and "levels" in out
+        for row in q.evaluate(db).rows:
+            assert str(row) in out
+
+    def test_run_scalar_agrees(self, tmp_path, capsys):
+        q, db = self._data_dir(tmp_path, n=4, seed=2)
+        query = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+        assert main(["run", query, str(tmp_path), "-n", "4"]) == 0
+        vec = capsys.readouterr().out
+        assert main(["run", query, str(tmp_path), "-n", "4",
+                     "--engine", "scalar"]) == 0
+        scal = capsys.readouterr().out
+        assert vec.split("answers")[1].split("\nengine")[0] == \
+            scal.split("answers")[1]
+        assert "engine:" not in scal
+
+    def test_run_timings_table(self, tmp_path, capsys):
+        self._data_dir(tmp_path, n=4, seed=3)
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "-n", "4", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "level" in out and "width" in out and "groups" in out
+
+    def test_run_rejects_projection(self, tmp_path):
+        self._data_dir(tmp_path, n=4, seed=4)
+        assert main(["run", "Q(A) <- R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "-n", "4"]) == 2
+
+
 class TestStatsCommand:
     def test_stats(self, tmp_path, capsys):
         from repro.cq import database_to_dir

@@ -1,0 +1,152 @@
+"""Tests for the unified ``repro.compile`` front door (repro.api)."""
+
+import pytest
+
+import repro
+from repro import DCSet, cardinality, parse_query
+from repro.bounds import dapb
+from repro.datagen import random_database, triangle_query
+
+
+TRIANGLE = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+
+
+class TestCompileConstruction:
+    def test_from_string(self):
+        cq = repro.compile(TRIANGLE, n=8)
+        assert cq.query.is_full
+        assert len(cq.query.atoms) == 3
+
+    def test_from_parsed_query(self):
+        q = parse_query(TRIANGLE)
+        cq = repro.compile(q, n=8)
+        assert cq.query is q
+
+    def test_explicit_dc_wins(self):
+        q = parse_query(TRIANGLE)
+        dc = DCSet([cardinality(a.varset, 4) for a in q.atoms])
+        cq = repro.compile(q, dc=dc, n=100)
+        assert cq.bound() == dapb(q, dc)
+
+    def test_dc_from_stats_database(self):
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=3)
+        cq = repro.compile(q, stats=db)
+        # Discovered constraints admit the sample instance itself.
+        assert cq.evaluate(db) == q.evaluate(db)
+
+    def test_no_constraints_rejected(self):
+        with pytest.raises(ValueError, match="no constraints"):
+            repro.compile(TRIANGLE)
+
+    def test_nothing_computed_eagerly(self):
+        cq = repro.compile(TRIANGLE, n=8)
+        assert "stages computed: none" in repr(cq)
+
+
+class TestPipelineStages:
+    def test_bound_matches_dapb(self):
+        q = parse_query(TRIANGLE)
+        dc = DCSet([cardinality(a.varset, 16) for a in q.atoms])
+        cq = repro.compile(q, dc=dc)
+        assert cq.bound() == dapb(q, dc)
+        assert 2 ** cq.log_bound() == pytest.approx(64.0)  # N^1.5
+
+    def test_proof_verifies(self):
+        cq = repro.compile(TRIANGLE, n=16, canonical="triangle")
+        proof = cq.proof()
+        proof.sequence.verify(proof.inequality.delta, proof.inequality.lam)
+        assert proof.optimal
+
+    def test_stages_cached(self):
+        cq = repro.compile(TRIANGLE, n=6)
+        assert cq.proof() is cq.proof()
+        assert cq.circuit is cq.circuit
+        assert cq.lowered() is cq.lowered()
+        assert cq.report is cq.report
+
+    def test_circuit_and_report(self):
+        cq = repro.compile(TRIANGLE, n=8, canonical="triangle")
+        assert cq.circuit.size > 0
+        assert cq.report.all_checks_passed
+
+    def test_non_full_query_rejected_at_compile_stage(self):
+        cq = repro.compile("Q(A) <- R(A,B)", n=8)
+        assert cq.bound() > 0  # bound works for any CQ
+        with pytest.raises(ValueError, match="full CQ"):
+            cq.circuit
+
+    def test_explain_mentions_each_stage(self):
+        cq = repro.compile(TRIANGLE, n=6)
+        text = cq.explain()
+        assert "DAPB" in text and "proof" in text and "relational" in text
+
+
+class TestEvaluate:
+    def setup_method(self):
+        self.q = triangle_query()
+        self.db = random_database(self.q, 8, 5, seed=0)
+        self.truth = self.q.evaluate(self.db)
+        self.cq = repro.compile(self.q, n=8, canonical="triangle")
+
+    def test_vectorized_matches_reference(self):
+        assert self.cq.evaluate(self.db) == self.truth
+
+    def test_scalar_matches_reference(self):
+        assert self.cq.evaluate(self.db, engine="scalar") == self.truth
+
+    def test_engines_agree_bit_identically(self):
+        assert (self.cq.evaluate(self.db) ==
+                self.cq.evaluate(self.db, engine="scalar"))
+
+    def test_batch_evaluation(self):
+        dbs = [random_database(self.q, 8, 5, seed=s) for s in range(3)]
+        answers = self.cq.evaluate_batch(dbs)
+        assert answers == [self.q.evaluate(db) for db in dbs]
+
+    def test_accepts_plain_mapping(self):
+        env = {a.name: self.db[a.name] for a in self.q.atoms}
+        assert self.cq.evaluate(env) == self.truth
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            self.cq.evaluate(self.db, engine="gpu")
+
+    def test_engine_stats_collected(self):
+        from repro.engine import EngineStats
+
+        stats = EngineStats()
+        self.cq.evaluate(self.db, stats=stats)
+        assert stats.gates_executed > 0 and stats.batch == 1
+
+
+class TestTopLevelExports:
+    def test_quickstart_roundtrip_no_submodule_imports(self):
+        """The acceptance example: parse → compile → evaluate via `repro`."""
+        from repro import compile, parse_query  # noqa: A004
+
+        from repro.datagen import random_database  # data helper, not pipeline
+
+        query = parse_query(TRIANGLE)
+        cq = compile(query, n=8)
+        db = random_database(query, 8, 5, seed=1)
+        assert cq.evaluate(db) == query.evaluate(db)
+
+    def test_reexported_stage_functions(self):
+        from repro import CompiledQuery, compile_fcq, lower
+
+        q = parse_query(TRIANGLE)
+        dc = DCSet([cardinality(a.varset, 4) for a in q.atoms])
+        circuit, report = compile_fcq(q, dc)
+        lowered = lower(circuit)
+        assert lowered.size > 0
+        assert isinstance(repro.compile(q, dc=dc), CompiledQuery)
+
+    def test_dir_lists_facade(self):
+        names = dir(repro)
+        for name in ("compile", "CompiledQuery", "compile_fcq", "lower"):
+            assert name in names
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol

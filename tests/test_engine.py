@@ -1,0 +1,297 @@
+"""Tests for the levelized vectorized execution engine (repro.engine).
+
+The load-bearing property is golden equivalence: the scalar interpreter,
+the per-gate batched evaluator, and the levelized engine are three
+independently-implemented evaluation paths, and they must agree gate-for-gate
+on every circuit — randomized circuits (hypothesis) and the real lowered
+join circuits alike.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolcircuit import ArrayBuilder, Circuit
+from repro.boolcircuit.fasteval import evaluate_batch as per_gate_batch
+from repro.boolcircuit.fasteval import run_lowered_batch
+from repro.boolcircuit.lower import lower
+from repro.core import count_c, decode_count, triangle_circuit, yannakakis_c
+from repro.cq import DCSet, cardinality, parse_query
+from repro.datagen import random_database, triangle_query
+from repro.engine import (
+    EngineStats,
+    PlanCache,
+    compile_plan,
+    evaluate,
+    evaluate_batch,
+    execute_plan,
+    run_lowered,
+)
+
+OPS = ["add", "sub", "mul", "eq", "lt", "and_", "or_", "not_", "xor",
+       "mux", "min_", "max_"]
+
+
+def random_circuit(seed, n_inputs=4, n_gates=60):
+    rng = random.Random(seed)
+    c = Circuit()
+    ins = [c.input() for _ in range(n_inputs)]
+    wires = list(ins) + [c.const(rng.randint(0, 9)) for _ in range(2)]
+    for _ in range(n_gates):
+        op = rng.choice(OPS)
+        a, b, d = (rng.choice(wires) for _ in range(3))
+        if op == "not_":
+            wires.append(c.not_(a))
+        elif op == "mux":
+            wires.append(c.mux(a, b, d))
+        else:
+            wires.append(getattr(c, op)(a, b))
+    return c, ins, wires
+
+
+class TestGoldenEquivalence:
+    """scalar interpreter ≡ per-gate batch ≡ levelized engine."""
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_circuits_all_three_paths_agree(self, seed):
+        c, ins, _ = random_circuit(seed)
+        rng = random.Random(seed + 1)
+        batch = [[rng.randint(0, 40) for _ in ins] for _ in range(5)]
+        old = per_gate_batch(c, batch)
+        new = evaluate_batch(c, batch, cache=None)
+        for gid in range(len(c.ops)):
+            assert (old[gid] == new[gid]).all(), gid
+        for idx, row in enumerate(batch):
+            scalar = c.evaluate(row)
+            for gid in range(len(c.ops)):
+                assert int(new[gid][idx]) == scalar[gid], (gid, idx)
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_output_restricted_plans_agree_on_outputs(self, seed):
+        c, ins, wires = random_circuit(seed)
+        rng = random.Random(seed + 2)
+        outputs = rng.sample(wires, min(4, len(wires)))
+        batch = [[rng.randint(0, 40) for _ in ins] for _ in range(3)]
+        run = evaluate(c, batch, outputs=outputs, cache=None)
+        reference = per_gate_batch(c, batch)
+        for gid in outputs:
+            assert (run.gate(gid) == reference[gid]).all(), gid
+
+    def test_lowered_triangle_circuit(self):
+        q = triangle_query()
+        lowered = lower(triangle_circuit(6))
+        envs = []
+        for seed in range(4):
+            db = random_database(q, 6, 4, seed=seed)
+            envs.append({a.name: db[a.name] for a in q.atoms})
+        engine_out = run_lowered(lowered, envs, cache=None)
+        per_gate_out = run_lowered_batch(lowered, envs)
+        for env, fast, slow in zip(envs, engine_out, per_gate_out):
+            assert fast[0] == slow[0]
+            assert fast[0] == lowered.run(env)[0]
+
+    def test_lowered_yannakakis_count_circuit(self):
+        q = parse_query("Q() <- R(A,B), S(B,C)")
+        dc = DCSet([cardinality("AB", 4), cardinality("BC", 4)])
+        circuit, _ = count_c(q, dc)
+        lowered = lower(circuit)
+        envs = []
+        for seed in range(3):
+            db = random_database(q, 4, 3, seed=seed)
+            envs.append({a.name: db[a.name] for a in q.atoms})
+        engine_out = run_lowered(lowered, envs, cache=None)
+        for env, outs in zip(envs, engine_out):
+            assert outs == lowered.run(env)
+
+    def test_lowered_yannakakis_full_circuit(self):
+        q = parse_query("R(A,B), S(B,C)")
+        dc = DCSet([cardinality("AB", 4), cardinality("BC", 4)])
+        circuit, _ = yannakakis_c(q, dc, out_bound=16)
+        lowered = lower(circuit)
+        db = random_database(q, 4, 3, seed=7)
+        env = {a.name: db[a.name] for a in q.atoms}
+        engine_out = run_lowered(lowered, [env], cache=None)[0]
+        assert engine_out[0] == lowered.run(env)[0]
+        assert engine_out[0] == q.evaluate(db)
+
+
+class TestPlanStructure:
+    def test_plan_covers_every_compute_gate_without_outputs(self):
+        c, _, _ = random_circuit(3)
+        plan = compile_plan(c)
+        assert plan.n_executed == c.size
+        assert plan.n_slots == len(c.ops)
+        assert plan.depth == c.depth
+
+    def test_level_widths_match_schedule(self):
+        from repro.boolcircuit.schedule import schedule
+
+        c, _, _ = random_circuit(4)
+        plan = compile_plan(c)
+        assert plan.level_widths() == schedule(c).level_widths
+
+    def test_opcode_groups_are_disjoint_and_leveled(self):
+        c, _, _ = random_circuit(5)
+        plan = compile_plan(c)
+        seen = set()
+        for level in plan.levels:
+            ops_in_level = [grp.op for grp in level.groups]
+            assert len(ops_in_level) == len(set(ops_in_level))
+            for grp in level.groups:
+                for gid_slot in grp.dst:
+                    assert gid_slot not in seen
+                    seen.add(int(gid_slot))
+
+    def test_dead_gates_are_eliminated(self):
+        c = Circuit()
+        x, y = c.input(), c.input()
+        live = c.add(x, y)
+        for _ in range(10):  # a dead chain, unreachable from the output
+            y = c.mul(y, y)
+        plan = compile_plan(c, outputs=[live])
+        assert plan.n_executed == 1
+        assert compile_plan(c).n_executed == c.size
+
+    def test_liveness_recycles_slots_on_a_chain(self):
+        c = Circuit()
+        x = c.input()
+        for _ in range(100):
+            x = c.add(x, x)
+        plan = compile_plan(c, outputs=[x])
+        # A chain needs O(1) live values at a time, not O(n).
+        assert plan.n_slots <= 3
+        assert plan.n_executed == 100
+
+    def test_recycled_gate_is_not_addressable(self):
+        c = Circuit()
+        x = c.input()
+        mid = c.add(x, x)
+        out = c.add(mid, mid)
+        plan = compile_plan(c, outputs=[out])
+        run = execute_plan(plan, np.array([[2, 5]], dtype=np.int64))
+        assert list(run.gate(out)) == [8, 20]
+        with pytest.raises(KeyError):
+            run.gate(mid)
+
+    def test_bad_output_gid_rejected(self):
+        c = Circuit()
+        c.input()
+        with pytest.raises(ValueError):
+            compile_plan(c, outputs=[99])
+
+    def test_input_validation(self):
+        c = Circuit()
+        c.input()
+        with pytest.raises(ValueError):
+            evaluate(c, [], cache=None)
+        with pytest.raises(ValueError):
+            evaluate(c, [[1, 2]], cache=None)
+
+
+class TestPlanCache:
+    def test_hit_on_identical_circuit_structure(self):
+        cache = PlanCache(capacity=4)
+        c1, _, _ = random_circuit(11)
+        c2, _, _ = random_circuit(11)  # structurally identical, new object
+        p1 = cache.get(c1)
+        p2 = cache.get(c2)
+        assert p1 is p2
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_miss_on_different_outputs(self):
+        cache = PlanCache(capacity=4)
+        c, _, wires = random_circuit(12)
+        cache.get(c)
+        cache.get(c, outputs=[wires[-1]])
+        assert cache.stats.misses == 2
+        cache.get(c, outputs=[wires[-1]])
+        assert cache.stats.hits == 1
+
+    def test_miss_after_circuit_grows(self):
+        cache = PlanCache(capacity=4)
+        c, _, _ = random_circuit(13)
+        cache.get(c)
+        x = c.input()
+        c.add(x, x)
+        cache.get(c)
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        circuits = [random_circuit(seed, n_gates=10)[0] for seed in range(3)]
+        for c in circuits:
+            cache.get(c)
+        assert len(cache) == 2 and cache.stats.evictions == 1
+        # circuits[0] was evicted; [1] and [2] still hit.
+        cache.get(circuits[1])
+        cache.get(circuits[2])
+        assert cache.stats.hits == 2
+        cache.get(circuits[0])
+        assert cache.stats.misses == 4
+
+    def test_evaluate_uses_default_style_cache(self):
+        cache = PlanCache(capacity=4)
+        c, ins, _ = random_circuit(14)
+        batch = [[1 for _ in ins]]
+        evaluate(c, batch, cache=cache)
+        evaluate(c, batch, cache=cache)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_clear(self):
+        cache = PlanCache(capacity=4)
+        c, _, _ = random_circuit(15)
+        cache.get(c)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+
+class TestInstrumentation:
+    def test_stats_widths_match_executed_gates(self):
+        c, ins, _ = random_circuit(21)
+        stats = EngineStats()
+        evaluate(c, [[1] * len(ins)], cache=None, stats=stats)
+        assert stats.gates_executed == c.size
+        assert stats.batch == 1 and stats.runs == 1
+        assert all(t.seconds >= 0 for t in stats.levels)
+        assert stats.total_seconds >= sum(t.seconds for t in stats.levels) * 0.5
+        assert stats.gate_evals_per_second > 0
+
+    def test_stats_accumulate_across_runs(self):
+        c, ins, _ = random_circuit(22)
+        stats = EngineStats()
+        evaluate(c, [[1] * len(ins)], cache=None, stats=stats)
+        evaluate(c, [[2] * len(ins)], cache=None, stats=stats)
+        assert stats.runs == 2
+        assert stats.gates_executed == 2 * c.size
+
+    def test_table_rows(self):
+        c, ins, _ = random_circuit(23)
+        stats = EngineStats()
+        evaluate(c, [[1] * len(ins)], cache=None, stats=stats)
+        rows = stats.table()
+        assert len(rows) == len(stats.levels)
+        assert rows[0][0] == 1  # first compute level
+
+
+class TestSharding:
+    def test_sharded_matches_inline(self):
+        c, ins, _ = random_circuit(31, n_gates=40)
+        rng = random.Random(99)
+        batch = [[rng.randint(0, 20) for _ in ins] for _ in range(64)]
+        inline = evaluate_batch(c, batch, cache=None)
+        sharded = evaluate(c, batch, cache=None, shards=2)
+        for gid in range(len(c.ops)):
+            assert (sharded.gate(gid) == inline[gid]).all(), gid
+
+    def test_small_batches_refuse_to_shard(self):
+        from repro.engine import effective_shards
+
+        assert effective_shards(8, 4) == 1
+        assert effective_shards(64, 2) == 2
+        assert effective_shards(64, 100) == 4
+        assert effective_shards(1000, None) == 1

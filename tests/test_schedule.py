@@ -47,6 +47,47 @@ class TestSchedule:
         assert sched.size == 0 and sched.pram_steps(1) == 0
 
 
+class TestSharedLevels:
+    """`Circuit.levels()` is the single source of levels for both the
+    schedule profile and the execution engine's planner."""
+
+    def test_levels_partition_all_gates(self):
+        c = Circuit()
+        x, y = c.input(), c.input()
+        a = c.add(x, y)
+        c.mul(a, c.const(3))
+        levels = c.levels()
+        flat = [gid for lvl in levels for gid in lvl]
+        assert sorted(flat) == list(range(len(c.ops)))
+        assert len(levels) == c.depth + 1
+
+    def test_levels_agree_with_depth_of(self):
+        b = ArrayBuilder()
+        bitonic_sort(b, b.input_array(("A",), 16), ["A"])
+        for level, gids in enumerate(b.c.levels()):
+            for gid in gids:
+                assert b.c.depth_of(gid) == level
+
+    def test_levels_cached_and_invalidated_on_append(self):
+        c = Circuit()
+        x = c.input()
+        c.add(x, x)
+        first = c.levels()
+        assert c.levels() is first  # cached
+        c.add(x, x)
+        second = c.levels()
+        assert second is not first  # append invalidates
+        assert len(second[1]) == 2
+
+    def test_schedule_uses_shared_levels(self):
+        c = Circuit()
+        x, y = c.input(), c.input()
+        c.add(c.add(x, y), c.mul(x, y))
+        sched = schedule(c)
+        levels = c.levels()
+        assert sched.level_widths == [len(l) for l in levels[1:]]
+
+
 class TestParallelismOfOurCircuits:
     def test_sorter_is_wide(self):
         """A sorting network's average parallelism is Θ(N/ log N-ish)."""
