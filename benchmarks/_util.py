@@ -4,12 +4,22 @@ Each bench regenerates one paper artifact (figure / theorem claim): it
 prints the series the paper's claim is about, attaches it to the
 pytest-benchmark record via ``extra_info``, and asserts the claim's *shape*
 (growth exponents, who wins, crossovers) — not absolute constants.
+
+Durable perf record: a bench module that wants its numbers to accumulate
+across PRs calls :func:`write_bench_json` with its result series; the file
+``BENCH_<name>.json`` lands at the repo root through the
+:mod:`repro.obs` metrics exporter, carrying the obs metrics and span tree
+collected while the bench ran alongside the explicit results.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -42,3 +52,21 @@ def record(benchmark, **info) -> None:
     if benchmark is not None:
         for key, value in info.items():
             benchmark.extra_info[key] = value
+
+
+def write_bench_json(name: str, results: Dict,
+                     root: Optional[Path] = None) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root via the obs exporter.
+
+    ``results`` is the bench module's own result dict (one key per test);
+    the obs metrics and span tree recorded while the bench ran ride along
+    in the same document.
+    """
+    from repro import obs
+
+    path = (root or REPO_ROOT) / f"BENCH_{name}.json"
+    doc = obs.bench_document(name, results)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True, default=str)
+    print(f"\nbench results written to {path}")
+    return path

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import List, Mapping, Optional, Union
 
+from . import obs
 from .bounds.proof_synthesis import SynthesizedProof, synthesize_proof
 from .cq import (
     ConjunctiveQuery,
@@ -63,7 +64,9 @@ class CompiledQuery:
         if self._log_bound is None:
             from .bounds import log_dapb
 
-            self._log_bound = log_dapb(self.query, self.dc)
+            with obs.span("pipeline.bound", query=str(self.query)) as sp:
+                self._log_bound = log_dapb(self.query, self.dc)
+                sp.set(log_bound=self._log_bound)
         return self._log_bound
 
     def bound(self) -> int:
@@ -74,8 +77,12 @@ class CompiledQuery:
     def proof(self) -> SynthesizedProof:
         """The synthesized (and verified) Shannon-flow proof sequence."""
         if self._proof is None:
-            self._proof = synthesize_proof(
-                self.query.variables, self.dc, canonical_key=self.canonical)
+            with obs.span("pipeline.proof", query=str(self.query)) as sp:
+                self._proof = synthesize_proof(
+                    self.query.variables, self.dc,
+                    canonical_key=self.canonical)
+                sp.set(steps=len(self._proof.sequence),
+                       route=self._proof.route)
         return self._proof
 
     # -- relational circuit ---------------------------------------------
@@ -87,9 +94,15 @@ class CompiledQuery:
                 raise ValueError(
                     "repro.compile targets full CQs; for projections use "
                     "repro.core.OutputSensitiveFamily / yannakakis_c")
-            self._circuit, self._report = compile_fcq(
-                self.query, self.dc, proof=self._proof,
-                canonical_key=self.canonical, dapb_slack=self.dapb_slack)
+            # Force the proof stage first so its span is attributed to
+            # `pipeline.proof`, never folded into `pipeline.circuit`.
+            proof = self.proof()
+            with obs.span("pipeline.circuit", query=str(self.query)) as sp:
+                self._circuit, self._report = compile_fcq(
+                    self.query, self.dc, proof=proof,
+                    canonical_key=self.canonical, dapb_slack=self.dapb_slack)
+                sp.set(gates=self._circuit.size,
+                       branches=self._report.branches)
         return self._circuit
 
     @property
@@ -109,7 +122,11 @@ class CompiledQuery:
         if self._lowered is None:
             from .boolcircuit.lower import lower
 
-            self._lowered = lower(self.circuit)
+            circuit = self.circuit
+            with obs.span("pipeline.lower", query=str(self.query)) as sp:
+                self._lowered = lower(circuit)
+                sp.set(word_gates=self._lowered.size,
+                       depth=self._lowered.depth)
         return self._lowered
 
     # -- answers ---------------------------------------------------------
@@ -142,12 +159,13 @@ class CompiledQuery:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         lowered = self.lowered()
         envs = [self._env(db) for db in dbs]
-        if engine == "scalar":
-            return [lowered.run(env)[0] for env in envs]
-        from .engine import run_lowered
+        with obs.span("pipeline.evaluate", engine=engine, batch=len(envs)):
+            if engine == "scalar":
+                return [lowered.run(env)[0] for env in envs]
+            from .engine import run_lowered
 
-        return [outs[0] for outs in
-                run_lowered(lowered, envs, stats=stats, shards=shards)]
+            return [outs[0] for outs in
+                    run_lowered(lowered, envs, stats=stats, shards=shards)]
 
     # -- introspection ----------------------------------------------------
     def explain(self) -> str:

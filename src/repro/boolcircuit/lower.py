@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+from .. import obs
 from ..cq.relation import Attr, Relation
 from ..relcircuit.ir import Gate, RelationalCircuit
 from .aggregation import aggregate
@@ -80,23 +81,40 @@ def _realign(arr: TupleArray, schema: Sequence[Attr]) -> TupleArray:
 
 def lower(rel_circuit: RelationalCircuit) -> LoweredCircuit:
     """Lower a relational circuit into one word circuit (Theorem 4)."""
-    b = ArrayBuilder()
-    arrays: Dict[int, TupleArray] = {}
-    input_arrays: Dict[str, TupleArray] = {}
-    input_order: List[str] = []
+    with obs.span("lower.run",
+                  relational_gates=len(rel_circuit.gates)) as sp:
+        b = ArrayBuilder()
+        arrays: Dict[int, TupleArray] = {}
+        input_arrays: Dict[str, TupleArray] = {}
+        input_order: List[str] = []
 
-    for gate in rel_circuit.gates:
-        arrays[gate.gid] = _lower_gate(b, rel_circuit, gate, arrays,
-                                       input_arrays, input_order)
+        for gate in rel_circuit.gates:
+            arrays[gate.gid] = _lower_gate(b, rel_circuit, gate, arrays,
+                                           input_arrays, input_order)
 
-    outputs = [arrays[o] for o in rel_circuit.outputs]
-    return LoweredCircuit(
-        circuit=b.c,
-        input_arrays=input_arrays,
-        input_order=input_order,
-        output_arrays=outputs,
-        source=rel_circuit,
-    )
+        outputs = [arrays[o] for o in rel_circuit.outputs]
+        lowered = LoweredCircuit(
+            circuit=b.c,
+            input_arrays=input_arrays,
+            input_order=input_order,
+            output_arrays=outputs,
+            source=rel_circuit,
+        )
+        if obs.STATE.on:
+            sp.set(word_gates=lowered.size, depth=lowered.depth)
+            _record_lowering_metrics(lowered)
+    return lowered
+
+
+def _record_lowering_metrics(lowered: LoweredCircuit) -> None:
+    """Size / depth / per-level width of the lowered word circuit."""
+    m = obs.metrics
+    m.counter("lower.runs").inc()
+    m.gauge("lower.gates").set(lowered.size)
+    m.gauge("lower.depth").set(lowered.depth)
+    widths = m.histogram("lower.level_width")
+    for level in lowered.circuit.levels():
+        widths.observe(len(level))
 
 
 def _lower_gate(b: ArrayBuilder, rc: RelationalCircuit, gate: Gate,

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from .. import obs
 from ..cq.degree import DCSet, DegreeConstraint
 from ..cq.query import ConjunctiveQuery
 from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
@@ -149,8 +150,18 @@ def solve_polymatroid_bound(variables: Iterable[Attr], dc: DCSet,
     c_obj = np.zeros(nvar)
     c_obj[index[target_set]] = -1.0
 
-    res = linprog(c_obj, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
-                  bounds=[(0, None)] * nvar, method="highs")
+    with obs.span("lp.solve", variables=nvar,
+                  constraints=len(a_rows)) as sp:
+        res = linprog(c_obj, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                      bounds=[(0, None)] * nvar, method="highs")
+        sp.set(iterations=int(getattr(res, "nit", 0) or 0),
+               status=int(res.status))
+    if obs.STATE.on:
+        obs.metrics.counter("lp.solves").inc()
+        obs.metrics.counter("lp.iterations").inc(
+            int(getattr(res, "nit", 0) or 0))
+        obs.metrics.gauge("lp.constraints").set(len(a_rows))
+        obs.metrics.gauge("lp.variables").set(nvar)
     if not res.success:
         if "unbounded" in (res.message or "").lower() or res.status == 3:
             raise ValueError(

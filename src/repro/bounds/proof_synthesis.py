@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from scipy.optimize import linprog
 
+from .. import obs
 from ..cq.degree import DCSet
 from ..cq.relation import Attr, AttrSet, attrset, fmt_attrs
 from .polymatroid import solve_polymatroid_bound
@@ -284,6 +285,23 @@ def _moves(delta: DeltaVector, pool: Sequence[AttrSet], target: AttrSet):
 # Entry point
 # ---------------------------------------------------------------------------
 
+#: Proof rules as named in Section 3.4, keyed by the step classes' ``kind``.
+RULE_NAMES = {"s": "submodularity", "m": "monotonicity",
+              "c": "composition", "d": "decomposition"}
+
+
+def _record_proof_metrics(proof: SynthesizedProof) -> None:
+    m = obs.metrics
+    m.counter("proof.synthesized").inc(route=proof.route)
+    m.gauge("proof.steps").set(len(proof.sequence))
+    mix: Dict[str, int] = {}
+    for ws in proof.sequence:
+        kind = getattr(ws.step, "kind", "?")
+        mix[kind] = mix.get(kind, 0) + 1
+    for kind, count in mix.items():
+        m.counter("proof.rules").inc(count, rule=RULE_NAMES.get(kind, kind))
+
+
 def synthesize_proof(variables: Iterable[Attr], dc: DCSet,
                      target: Optional[Iterable[Attr]] = None,
                      order: Optional[Sequence[Attr]] = None,
@@ -298,6 +316,22 @@ def synthesize_proof(variables: Iterable[Attr], dc: DCSet,
     returned proof records which route fired and whether its budget matches
     ``LOGDAPB``.
     """
+    with obs.span("proof.synthesize") as sp:
+        proof = _synthesize_proof(variables, dc, target=target, order=order,
+                                  canonical_key=canonical_key,
+                                  search_expansions=search_expansions)
+        if obs.STATE.on:
+            sp.set(route=proof.route, steps=len(proof.sequence),
+                   optimal=proof.optimal)
+            _record_proof_metrics(proof)
+    return proof
+
+
+def _synthesize_proof(variables: Iterable[Attr], dc: DCSet,
+                      target: Optional[Iterable[Attr]] = None,
+                      order: Optional[Sequence[Attr]] = None,
+                      canonical_key: Optional[str] = None,
+                      search_expansions: int = 20000) -> SynthesizedProof:
     from . import canonical as canonical_lib
 
     variables = attrset(variables)
@@ -326,7 +360,8 @@ def synthesize_proof(variables: Iterable[Attr], dc: DCSet,
         ineq = FlowInequality(universe=variables, delta=dict(lp.delta),
                               lam={target_set: Fraction(1)})
         if ineq.is_semantically_valid():
-            seq = search_sequence(ineq, max_expansions=search_expansions)
+            with obs.span("proof.search"):
+                seq = search_sequence(ineq, max_expansions=search_expansions)
             if seq is not None:
                 return SynthesizedProof(
                     inequality=ineq, sequence=seq,
@@ -336,8 +371,9 @@ def synthesize_proof(variables: Iterable[Attr], dc: DCSet,
                 )
 
     # Route 1: cardinality chain (always valid; optimal when cardinality-only).
-    cover = weighted_cover(dc, target_set)
-    ineq, seq = chain_sequence(variables, cover, target_set, order=order)
+    with obs.span("proof.chain"):
+        cover = weighted_cover(dc, target_set)
+        ineq, seq = chain_sequence(variables, cover, target_set, order=order)
     return SynthesizedProof(
         inequality=ineq, sequence=seq,
         order=tuple(order or sorted(target_set)),

@@ -6,7 +6,10 @@ Commands
 ``proof``    — synthesize and print the Shannon-flow proof sequence
 ``compile``  — compile a query to a relational circuit and print stats
 ``lower``    — additionally lower to a word circuit (small N)
-``run``      — execute a query end-to-end on CSV data (repro.compile facade)
+``run``      — execute a query end-to-end on CSV data (repro.compile facade);
+               ``--trace out.json`` / ``--metrics`` record the pipeline via
+               :mod:`repro.obs`
+``trace``    — print the stage-time / metric summary of a saved trace
 ``ghd``      — show the best free-connex GHD and width measures
 
 Queries use the datalog-ish syntax of :func:`repro.cq.parse_query`, e.g.::
@@ -126,10 +129,22 @@ def cmd_lower(args) -> int:
 
 
 def cmd_run(args) -> int:
-    """End-to-end execution through the ``repro.compile`` facade."""
-    from . import api
+    """End-to-end execution through the ``repro.compile`` facade.
+
+    Default output is just the answers; ``--verbose`` adds the pipeline
+    header and engine summary, ``--timings`` the per-level table,
+    ``--trace FILE`` a Chrome-loadable trace of every pipeline stage, and
+    ``--metrics`` the stage-time / metric summary (see
+    ``docs/observability.md``).
+    """
+    from . import api, obs
     from .cq import database_from_dir, suggest_constraints
     from .engine import EngineStats
+
+    tracing = bool(args.trace) or args.metrics or obs.enabled()
+    if tracing:
+        obs.enable()
+    verbose = args.verbose or args.timings
 
     query = parse_query(args.query)
     if not query.is_full:
@@ -144,16 +159,22 @@ def cmd_run(args) -> int:
     else:
         dc = suggest_constraints(query, db)
     cq = api.compile(query, dc=dc, canonical=args.canonical)
-    print(f"query:      {query}")
-    print(f"data:       {args.data} ({db.total_size} tuples)")
-    print(f"DAPB:       {cq.bound():,} tuples")
+    if verbose or tracing:
+        # The bound stage is not needed to evaluate, but verbose output
+        # reports it and a trace should cover all five pipeline stages.
+        cq.bound()
     lowered = cq.lowered()
-    print(f"circuit:    {cq.circuit.size} relational gates → "
-          f"{lowered.size:,} word gates, depth {lowered.depth:,}")
+    if verbose:
+        print(f"query:      {query}")
+        print(f"data:       {args.data} ({db.total_size} tuples)")
+        print(f"DAPB:       {cq.bound():,} tuples")
+        print(f"circuit:    {cq.circuit.size} relational gates → "
+              f"{lowered.size:,} word gates, depth {lowered.depth:,}")
+        print()
 
-    stats = EngineStats() if args.engine == "vectorized" else None
+    stats = EngineStats() if (verbose and args.engine == "vectorized") else None
     answers = cq.evaluate(db, engine=args.engine, stats=stats)
-    print(f"\nanswers ({len(answers)} rows):")
+    print(f"answers ({len(answers)} rows):")
     for row in sorted(answers.rows):
         print(f"  {row}")
 
@@ -167,6 +188,32 @@ def cmd_run(args) -> int:
             for level, width, groups, seconds in stats.table():
                 print(f"{level:>6} | {width:>7} | {groups:>6} | "
                       f"{seconds * 1e3:.3f}")
+
+    if args.metrics:
+        print("\n" + obs.summary(obs.trace_document()))
+    if args.trace:
+        obs.write_trace(args.trace, meta={"query": str(query),
+                                          "data": str(args.data)})
+        print(f"\ntrace written to {args.trace} "
+              f"(load in chrome://tracing or `repro trace {args.trace}`)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Summarize a trace JSON produced by ``repro run --trace``."""
+    from . import obs
+
+    try:
+        doc = obs.load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict) or (
+            "spans" not in doc and "metrics" not in doc):
+        print(f"{args.file!r} is not a repro.obs trace document",
+              file=sys.stderr)
+        return 2
+    print(obs.summary(doc))
     return 0
 
 
@@ -261,9 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("vectorized", "scalar"),
                    default="vectorized", help="execution engine")
     p.add_argument("--canonical", help="canonical-library key")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print the pipeline header and engine summary "
+                        "(default output is just the answers)")
     p.add_argument("--timings", action="store_true",
-                   help="print the per-level engine timing table")
+                   help="print the per-level engine timing table "
+                        "(implies --verbose)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="enable repro.obs and write a Chrome-loadable "
+                        "trace + metrics JSON to FILE")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable repro.obs and print the stage-time / "
+                        "metric summary")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "trace", help="summarize a trace JSON written by `run --trace`")
+    p.add_argument("file", help="trace document produced by `run --trace`")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("stats", help="discover degree constraints from CSVs")
     p.add_argument("query", help="datalog-style query string")

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bounds.proof_steps import (
     Composition,
     Decomposition,
@@ -151,6 +152,17 @@ class PandaC:
     def compile(self) -> Tuple[RelationalCircuit, PandaReport]:
         """Build the circuit; its single output is a superset of
         ``Π_target(Q(D))`` over exactly the target attributes."""
+        mark = len(self.circuit.gates)
+        with obs.span("panda.compile",
+                      steps=len(self.proof.sequence)) as sp:
+            result = self._compile_traced()
+            if obs.STATE.on:
+                sp.set(gates=len(self.circuit.gates) - mark,
+                       branches=self.report.branches)
+                _record_panda_metrics(self.circuit.gates[mark:], self.report)
+        return result
+
+    def _compile_traced(self) -> Tuple[RelationalCircuit, PandaReport]:
         state = _State({}, {})
         # Input gates: one per atom; each guards its constraints.
         for atom in self.query.atoms:
@@ -381,6 +393,17 @@ class PandaC:
         ))
 
 
+def _record_panda_metrics(gates, report: PandaReport) -> None:
+    """Push one compile's construction counts into the obs registry."""
+    m = obs.metrics
+    for gate in gates:
+        m.counter("panda.gates").inc(op=gate.op)
+    m.counter("panda.branches").inc(report.branches)
+    for check in report.checks:
+        m.counter("panda.checks").inc(passed=check.passed,
+                                      replanned=check.replanned)
+
+
 def panda_c(query: ConjunctiveQuery, dc: DCSet,
             proof: Optional[SynthesizedProof] = None,
             canonical_key: Optional[str] = None,
@@ -413,9 +436,13 @@ def compile_fcq(query: ConjunctiveQuery, dc: DCSet,
     compiler = PandaC(query, dc, proof=proof, dapb_slack=dapb_slack,
                       canonical_key=canonical_key)
     circuit, report = compiler.compile()
+    mark = len(circuit.gates)
     out = circuit.outputs.pop()
     input_gates = [g.gid for g in circuit.gates if g.op == "input"]
     for gid in input_gates:
         out = circuit.add_semijoin(out, gid, label="cleanup")
     circuit.set_output(out)
+    if obs.STATE.on:
+        for gate in circuit.gates[mark:]:
+            obs.metrics.counter("panda.gates").inc(op=gate.op)
     return circuit, report

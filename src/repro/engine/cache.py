@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from .. import obs
 from ..boolcircuit.graph import Circuit
 from .plan import ExecutionPlan, compile_plan
 
@@ -62,14 +63,20 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is not None:
             self.stats.hits += 1
+            if obs.STATE.on:
+                obs.metrics.counter("plancache.hits").inc()
             self._plans.move_to_end(key)
             return plan
         self.stats.misses += 1
+        if obs.STATE.on:
+            obs.metrics.counter("plancache.misses").inc()
         plan = compile_plan(circuit, outputs)
         self._plans[key] = plan
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
             self.stats.evictions += 1
+            if obs.STATE.on:
+                obs.metrics.counter("plancache.evictions").inc()
         return plan
 
     def contains(self, circuit: Circuit,

@@ -16,7 +16,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..boolcircuit import graph as g
+from ..boolcircuit.graph import _NAMES as OP_NAMES
 from .plan import ExecutionPlan, OpGroup
 
 
@@ -132,7 +134,15 @@ def _apply(grp: OpGroup, buf: np.ndarray) -> None:
 
 def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
                  stats: Optional[EngineStats] = None) -> EngineRun:
-    """Run a compiled plan on a column matrix of shape ``(n_inputs, batch)``."""
+    """Run a compiled plan on a column matrix of shape ``(n_inputs, batch)``.
+
+    Instrumentation is two-tier: an explicit :class:`EngineStats` collects
+    per-level timings for this one call, and — when :mod:`repro.obs` is
+    enabled — the same numbers (plus per-``(level, opcode)`` group timings)
+    flow into the process-wide metrics registry under an
+    ``engine.execute`` span.  With obs disabled and no ``stats``, the loop
+    below is the untimed fast path.
+    """
     if columns.ndim != 2 or columns.shape[0] != plan.n_inputs:
         raise ValueError(
             f"expected a ({plan.n_inputs}, batch) column matrix, "
@@ -142,6 +152,7 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
         raise ValueError("empty batch")
     columns = np.ascontiguousarray(columns, dtype=np.int64)
 
+    obs_on = obs.STATE.on
     t_start = time.perf_counter()
     buf = np.empty((plan.n_slots, batch), dtype=np.int64)
     if len(plan.input_slots):
@@ -149,20 +160,44 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
     if len(plan.const_slots):
         buf[plan.const_slots] = plan.const_values[:, None]
 
-    if stats is None:
+    if stats is None and not obs_on:
         for level in plan.levels:
             for grp in level.groups:
                 _apply(grp, buf)
-    else:
+        return EngineRun(plan, buf)
+
+    with obs.span("engine.execute", batch=batch, levels=plan.depth,
+                  gates=plan.n_executed):
+        m = obs.metrics if obs_on else None
+        group_hist = m.histogram("engine.group.seconds") if obs_on else None
+        level_hist = m.histogram("engine.level.seconds") if obs_on else None
         for level in plan.levels:
             t0 = time.perf_counter()
-            for grp in level.groups:
-                _apply(grp, buf)
-            stats.levels.append(LevelTiming(
-                level=level.index, width=level.width,
-                groups=len(level.groups),
-                seconds=time.perf_counter() - t0))
-        stats.batch = batch
-        stats.total_seconds += time.perf_counter() - t_start
-        stats.runs += 1
+            if group_hist is not None:
+                for grp in level.groups:
+                    g0 = time.perf_counter()
+                    _apply(grp, buf)
+                    group_hist.observe(time.perf_counter() - g0,
+                                       level=level.index,
+                                       op=OP_NAMES[grp.op])
+            else:
+                for grp in level.groups:
+                    _apply(grp, buf)
+            dt = time.perf_counter() - t0
+            if stats is not None:
+                stats.levels.append(LevelTiming(
+                    level=level.index, width=level.width,
+                    groups=len(level.groups), seconds=dt))
+            if level_hist is not None:
+                level_hist.observe(dt, level=level.index)
+        total = time.perf_counter() - t_start
+        if stats is not None:
+            stats.batch = batch
+            stats.total_seconds += total
+            stats.runs += 1
+        if m is not None:
+            m.counter("engine.runs").inc()
+            m.counter("engine.gates_executed").inc(plan.n_executed)
+            m.counter("engine.gate_evals").inc(plan.n_executed * batch)
+            m.counter("engine.seconds").inc(total)
     return EngineRun(plan, buf)

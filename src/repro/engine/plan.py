@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..boolcircuit import graph as g
 
 
@@ -141,6 +142,24 @@ def compile_plan(circuit: g.Circuit,
     list, dead gates are eliminated and buffers are recycled at each gate's
     last use.
     """
+    with obs.span("engine.plan", gates=len(circuit.ops)) as sp:
+        plan = _compile_plan(circuit, outputs)
+        if obs.STATE.on:
+            sp.set(slots=plan.n_slots, executed=plan.n_executed,
+                   levels=plan.depth)
+            m = obs.metrics
+            m.counter("engine.plans").inc()
+            m.gauge("plan.gates").set(plan.n_gates)
+            m.gauge("plan.executed").set(plan.n_executed)
+            m.gauge("plan.slots").set(plan.n_slots)
+            m.gauge("plan.levels").set(plan.depth)
+            m.gauge("plan.groups").set(
+                sum(len(lvl.groups) for lvl in plan.levels))
+    return plan
+
+
+def _compile_plan(circuit: g.Circuit,
+                  outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
     n = len(circuit.ops)
     levels = circuit.levels()
     ops, in_a, in_b, in_c = circuit.ops, circuit.in_a, circuit.in_b, circuit.in_c

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from .exec import EngineRun, execute_plan
 from .plan import ExecutionPlan
 
@@ -52,10 +53,14 @@ def execute_sharded(plan: ExecutionPlan, columns: np.ndarray,
     workers = effective_shards(batch, shards, min_shard_batch)
     if workers == 1:
         return execute_plan(plan, columns)
-    columns = np.ascontiguousarray(columns, dtype=np.int64)
-    chunks = np.array_split(columns, workers, axis=1)
-    ctx = mp.get_context()
-    with ctx.Pool(processes=workers) as pool:
-        bufs: List[np.ndarray] = pool.map(
-            _run_shard, [(plan, chunk) for chunk in chunks])
-    return EngineRun(plan, np.concatenate(bufs, axis=1))
+    with obs.span("engine.shard", workers=workers, batch=batch):
+        if obs.STATE.on:
+            obs.metrics.counter("engine.sharded_runs").inc()
+            obs.metrics.gauge("engine.shards").set(workers)
+        columns = np.ascontiguousarray(columns, dtype=np.int64)
+        chunks = np.array_split(columns, workers, axis=1)
+        ctx = mp.get_context()
+        with ctx.Pool(processes=workers) as pool:
+            bufs: List[np.ndarray] = pool.map(
+                _run_shard, [(plan, chunk) for chunk in chunks])
+        return EngineRun(plan, np.concatenate(bufs, axis=1))

@@ -1,0 +1,124 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling hooks.
+
+One dependency-free substrate for the whole pipeline (``bound → proof →
+PANDA-C → lowering → execution``):
+
+* **tracing** — ``with obs.span("lp.solve"): ...`` (also a decorator)
+  produces nested spans with wall time; export with
+  :func:`write_trace` / :func:`chrome_events` (Chrome ``chrome://tracing``
+  trace-event format) or :func:`span_tree` (nested JSON);
+* **metrics** — :data:`metrics` is a process-local registry of named
+  counters / gauges / histograms (LP iterations, proof rule mix, PANDA-C
+  gate counts, circuit size/depth, plan-cache hits, per-(level, opcode)
+  engine timings — see ``docs/observability.md`` for the naming scheme);
+* **hooks** — :func:`on_span_end` / :func:`on_metric` let benchmarks and
+  tests subscribe instead of scraping output.
+
+Disabled by default.  The disabled fast path is a single boolean check —
+instrumented hot loops guard with ``if obs.STATE.on:`` and stage
+boundaries pay one no-op context manager.  Enable with
+:func:`enable`, ``repro run --trace``, or ``REPRO_TRACE=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .export import (
+    bench_document,
+    chrome_events,
+    load_trace,
+    span_tree,
+    summary,
+    trace_document,
+    write_trace,
+)
+from .hooks import clear_hooks, on_metric, on_span_end
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NOOP_SPAN, STATE, TRACER, Span, Tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "STATE",
+    "TRACER",
+    "Tracer",
+    "bench_document",
+    "chrome_events",
+    "clear_hooks",
+    "disable",
+    "enable",
+    "enabled",
+    "load_trace",
+    "metrics",
+    "on_metric",
+    "on_span_end",
+    "reset",
+    "span",
+    "span_tree",
+    "spans",
+    "summary",
+    "trace_document",
+    "write_trace",
+]
+
+#: The process-local metrics registry.
+metrics = REGISTRY
+
+
+def enable() -> None:
+    """Turn observability on (spans and metrics start recording)."""
+    STATE.on = True
+
+
+def disable() -> None:
+    """Turn observability off; recorded data is kept until :func:`reset`."""
+    STATE.on = False
+
+
+def enabled() -> bool:
+    return STATE.on
+
+
+def spans() -> List[Span]:
+    """Finished root spans, in completion order."""
+    return list(TRACER.roots)
+
+
+def reset() -> None:
+    """Drop all recorded spans, metrics, and hook subscriptions.
+
+    The enabled/disabled state is left as-is.
+    """
+    TRACER.reset()
+    REGISTRY.reset()
+    clear_hooks()
+
+
+# The engine's per-run collectors predate obs; they now write through the
+# metrics registry and are re-exported here so `repro.obs` is the one
+# instrumentation namespace.  Lazy to avoid a circular import (the engine
+# itself imports repro.obs).
+_ENGINE_REEXPORTS = ("EngineStats", "LevelTiming", "CacheStats")
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_REEXPORTS:
+        from .. import engine
+
+        value = getattr(engine, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_ENGINE_REEXPORTS))
+
+
+if os.environ.get("REPRO_TRACE", "").strip() not in ("", "0"):
+    enable()

@@ -1,0 +1,177 @@
+"""Exporters: nested-span JSON, Chrome ``chrome://tracing`` events, and the
+text summary behind ``repro trace``.
+
+The on-disk format written by ``repro run --trace out.json`` (and by
+:func:`write_trace`) is one JSON object::
+
+    {
+      "traceEvents": [...],   # Chrome trace-event B/E pairs
+      "spans":       [...],   # the same spans, nested
+      "metrics":     {...},   # MetricsRegistry.snapshot()
+      "meta":        {...}
+    }
+
+Chrome / Perfetto load it directly (they read the ``traceEvents`` key and
+ignore the rest), while ``repro trace`` and the benchmarks read the nested
+``spans`` and ``metrics`` halves.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import REGISTRY, MetricsRegistry
+from .trace import TRACER, Span, Tracer
+
+FORMAT_VERSION = 1
+
+
+# -- spans → JSON -----------------------------------------------------------
+
+def span_tree(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Nested JSON-serializable dicts, one per root span."""
+
+    def node(s: Span) -> Dict[str, Any]:
+        return {
+            "name": s.name,
+            "wall_ms": s.wall * 1e3,
+            "self_ms": s.self_seconds * 1e3,
+            "attrs": dict(s.attrs),
+            "children": [node(c) for c in s.children],
+        }
+
+    return [node(s) for s in spans]
+
+
+def chrome_events(spans: Sequence[Span],
+                  epoch: Optional[float] = None) -> List[Dict[str, Any]]:
+    """Chrome trace-event ``B``/``E`` pairs for a span forest.
+
+    Timestamps are microseconds relative to ``epoch`` (the tracer's clock
+    origin), one ``tid`` per originating thread.
+    """
+    if epoch is None:
+        epoch = TRACER.epoch
+    events: List[Dict[str, Any]] = []
+
+    def emit(s: Span) -> None:
+        ts = (s.start - epoch) * 1e6
+        tid = s.thread % 100000
+        events.append({"name": s.name, "ph": "B", "ts": ts,
+                       "pid": 1, "tid": tid, "args": dict(s.attrs)})
+        for child in s.children:
+            emit(child)
+        events.append({"name": s.name, "ph": "E", "ts": ts + s.wall * 1e6,
+                       "pid": 1, "tid": tid})
+
+    for s in spans:
+        emit(s)
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def trace_document(tracer: Optional[Tracer] = None,
+                   registry: Optional[MetricsRegistry] = None,
+                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The combined Chrome-loadable trace + metrics document."""
+    tracer = tracer if tracer is not None else TRACER
+    registry = registry if registry is not None else REGISTRY
+    roots = list(tracer.roots)
+    doc = {
+        "traceEvents": chrome_events(roots, tracer.epoch),
+        "spans": span_tree(roots),
+        "metrics": registry.snapshot(),
+        "meta": {"format": "repro.obs", "version": FORMAT_VERSION,
+                 **(meta or {})},
+    }
+    return doc
+
+
+def write_trace(path, tracer: Optional[Tracer] = None,
+                registry: Optional[MetricsRegistry] = None,
+                meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Write :func:`trace_document` to ``path``; returns the document."""
+    doc = trace_document(tracer, registry, meta)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True, default=str)
+    return doc
+
+
+def load_trace(path) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# -- summary ----------------------------------------------------------------
+
+def _aggregate_spans(nodes: Sequence[Dict[str, Any]],
+                     acc: Dict[str, List[float]]) -> None:
+    for node in nodes:
+        cell = acc.setdefault(node["name"], [0, 0.0, 0.0])
+        cell[0] += 1
+        cell[1] += node.get("wall_ms", 0.0)
+        cell[2] += node.get("self_ms", node.get("wall_ms", 0.0))
+        _aggregate_spans(node.get("children", ()), acc)
+
+
+def _metric_value(name: str, body: Dict[str, Any]) -> str:
+    rows = body.get("values", [])
+    kind = body.get("kind")
+    if kind == "histogram":
+        count = sum(r.get("count", 0) for r in rows)
+        total = sum(r.get("sum", 0.0) for r in rows)
+        return f"count={count:g} sum={total:.6g}"
+    total = sum(r.get("value", 0) for r in rows)
+    if kind == "gauge" and len(rows) == 1:
+        return f"{rows[0].get('value', 0):g}"
+    return f"{total:g}"
+
+
+def summary(doc: Dict[str, Any], max_metric_rows: int = 40) -> str:
+    """A stage-time / metric summary table for a trace document."""
+    lines: List[str] = []
+
+    acc: Dict[str, List[float]] = {}
+    _aggregate_spans(doc.get("spans", ()), acc)
+    if acc:
+        name_w = max(len("span"), max(len(n) for n in acc))
+        lines.append(f"{'span':<{name_w}} | {'count':>5} | "
+                     f"{'total ms':>10} | {'self ms':>10}")
+        lines.append("-" * name_w + "-+-------+-" + "-" * 10 + "-+-" + "-" * 10)
+        for name, (count, total, self_ms) in sorted(
+                acc.items(), key=lambda kv: -kv[1][1]):
+            lines.append(f"{name:<{name_w}} | {int(count):>5} | "
+                         f"{total:>10.3f} | {self_ms:>10.3f}")
+    else:
+        lines.append("no spans recorded")
+
+    metrics = doc.get("metrics", {})
+    if metrics:
+        lines.append("")
+        name_w = max(len("metric"), max(len(n) for n in metrics))
+        lines.append(f"{'metric':<{name_w}} | {'kind':<9} | value")
+        lines.append("-" * name_w + "-+-----------+------")
+        for i, (name, body) in enumerate(sorted(metrics.items())):
+            if i >= max_metric_rows:
+                lines.append(f"... ({len(metrics) - max_metric_rows} more)")
+                break
+            lines.append(f"{name:<{name_w}} | {body.get('kind', '?'):<9} | "
+                         f"{_metric_value(name, body)}")
+    return "\n".join(lines)
+
+
+def bench_document(name: str, results: Dict[str, Any],
+                   tracer: Optional[Tracer] = None,
+                   registry: Optional[MetricsRegistry] = None
+                   ) -> Dict[str, Any]:
+    """The ``BENCH_<name>.json`` payload: bench results + the obs metrics
+    and span tree collected while the bench ran."""
+    doc = trace_document(tracer, registry, meta={"bench": name})
+    return {
+        "bench": name,
+        "results": results,
+        "metrics": doc["metrics"],
+        "spans": doc["spans"],
+        "meta": doc["meta"],
+    }

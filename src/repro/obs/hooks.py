@@ -1,0 +1,69 @@
+"""Profiling hook API: subscribe to span completions and metric updates.
+
+Benchmarks and tests *subscribe* instead of scraping printed output:
+
+    from repro import obs
+
+    unsubscribe = obs.on_span_end(lambda span: durations.append(span.wall))
+    ...
+    unsubscribe()
+
+Hooks only fire while observability is enabled (the instrumented code never
+reaches the hook dispatch on the disabled fast path).  Hook exceptions
+propagate to the instrumented call site — a subscriber that raises is a
+programming error, not something to silence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+SpanHook = Callable[[Any], None]
+MetricHook = Callable[[str, str, float, Dict[str, Any]], None]
+
+_span_hooks: List[SpanHook] = []
+_metric_hooks: List[MetricHook] = []
+
+
+def on_span_end(fn: SpanHook) -> Callable[[], None]:
+    """Call ``fn(span)`` whenever a span finishes; returns an unsubscriber."""
+    _span_hooks.append(fn)
+
+    def unsubscribe() -> None:
+        try:
+            _span_hooks.remove(fn)
+        except ValueError:
+            pass
+
+    return unsubscribe
+
+
+def on_metric(fn: MetricHook) -> Callable[[], None]:
+    """Call ``fn(name, kind, value, labels)`` on every metric update;
+    returns an unsubscriber."""
+    _metric_hooks.append(fn)
+
+    def unsubscribe() -> None:
+        try:
+            _metric_hooks.remove(fn)
+        except ValueError:
+            pass
+
+    return unsubscribe
+
+
+def fire_span_end(span) -> None:
+    for fn in tuple(_span_hooks):
+        fn(span)
+
+
+def fire_metric(name: str, kind: str, value: float,
+                labels: Dict[str, Any]) -> None:
+    for fn in tuple(_metric_hooks):
+        fn(name, kind, value, labels)
+
+
+def clear_hooks() -> None:
+    """Drop every subscriber (used by ``obs.reset``)."""
+    del _span_hooks[:]
+    del _metric_hooks[:]

@@ -1,0 +1,178 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Named instruments with optional string labels, e.g.
+
+    obs.metrics.counter("plancache.hits").inc()
+    obs.metrics.gauge("plan.slots").set(plan.n_slots)
+    obs.metrics.histogram("engine.level.seconds").observe(dt, level=3, op="ADD")
+
+Histograms are summary-style (count / sum / min / max) — enough for the
+stage-time and width distributions the benchmarks need, with no bucket
+configuration and no dependencies.  Every update fires the
+:func:`repro.obs.on_metric` hooks.
+
+Instrument methods are only reached from instrumented code that already
+checked ``STATE.on``, so the registry imposes zero cost while disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple
+
+from . import hooks
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total, per label set."""
+
+    kind = "counter"
+    __slots__ = ("name", "_lock", "values")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.values: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1, **labels: Any) -> None:
+        k = _key(labels)
+        with self._lock:
+            self.values[k] = self.values.get(k, 0) + n
+        hooks.fire_metric(self.name, self.kind, n, labels)
+
+    def value(self, **labels: Any) -> float:
+        return self.values.get(_key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self.values.values())
+
+
+class Gauge:
+    """A last-value-wins measurement, per label set."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_lock", "values")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self.values[_key(labels)] = value
+        hooks.fire_metric(self.name, self.kind, value, labels)
+
+    def value(self, **labels: Any) -> float:
+        return self.values.get(_key(labels), 0)
+
+
+class Histogram:
+    """A summary (count, sum, min, max) of observations, per label set."""
+
+    kind = "histogram"
+    __slots__ = ("name", "_lock", "values")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        # label key -> [count, sum, min, max]
+        self.values: Dict[LabelKey, List[float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        k = _key(labels)
+        with self._lock:
+            cell = self.values.get(k)
+            if cell is None:
+                self.values[k] = [1, value, value, value]
+            else:
+                cell[0] += 1
+                cell[1] += value
+                if value < cell[2]:
+                    cell[2] = value
+                if value > cell[3]:
+                    cell[3] = value
+        hooks.fire_metric(self.name, self.kind, value, labels)
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        cell = self.values.get(_key(labels))
+        if cell is None:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+        return {"count": cell[0], "sum": cell[1],
+                "min": cell[2], "max": cell[3]}
+
+    @property
+    def total_count(self) -> int:
+        return int(sum(cell[0] for cell in self.values.values()))
+
+    @property
+    def total_sum(self) -> float:
+        return sum(cell[1] for cell in self.values.values())
+
+
+class MetricsRegistry:
+    """Create-on-first-use instruments, keyed by name."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.setdefault(name, cls(name, self._lock))
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"not {cls.kind}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-serializable dump: ``name -> {kind, values: [...]}`` where
+        each value row carries its labels explicitly."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.names():
+            inst = self._instruments[name]
+            rows = []
+            for k, v in sorted(inst.values.items(),
+                               key=lambda kv: repr(kv[0])):
+                labels = {lk: lv for lk, lv in k}
+                if inst.kind == "histogram":
+                    rows.append({"labels": labels, "count": v[0], "sum": v[1],
+                                 "min": v[2], "max": v[3]})
+                else:
+                    rows.append({"labels": labels, "value": v})
+            out[name] = {"kind": inst.kind, "values": rows}
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,181 @@
+"""Hierarchical tracing: ``span("lp.solve")`` as context manager / decorator.
+
+Spans nest per thread: entering a span while another is open makes it a
+child, so one ``repro run --trace`` yields the pipeline tree
+``pipeline.evaluate → engine.plan / engine.execute → ...`` with wall time
+at every node.
+
+The whole layer is disabled by default and its fast path is a single
+boolean check (``STATE.on``) — hot code guards with
+
+    from repro.obs import STATE
+    if STATE.on:
+        ...record...
+
+while stage boundaries simply write ``with obs.span("stage"):``, which
+costs one small object allocation and two attribute checks when disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from . import hooks
+
+
+class _State:
+    """The global on/off switch; a slotted instance so the hot-path check is
+    one attribute load."""
+
+    __slots__ = ("on",)
+
+    def __init__(self) -> None:
+        self.on = False
+
+
+STATE = _State()
+
+
+class Span:
+    """One finished or in-flight region of work."""
+
+    __slots__ = ("name", "attrs", "start", "wall", "children", "thread")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.start = 0.0          # perf_counter at entry
+        self.wall = 0.0           # seconds, filled at exit
+        self.children: List["Span"] = []
+        self.thread = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not accounted to child spans."""
+        return max(0.0, self.wall - sum(c.wall for c in self.children))
+
+    def walk(self):
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.wall * 1e3:.3f} ms, "
+                f"{len(self.children)} children)")
+
+
+class _NoopSpan:
+    """What a disabled ``with obs.span(...)`` yields; absorbs ``.set``."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished root spans; maintains one open-span stack per
+    thread."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self, name: str, attrs: Optional[Dict[str, Any]]) -> Span:
+        s = Span(name, attrs)
+        s.thread = threading.get_ident()
+        s.start = time.perf_counter()
+        self._stack().append(s)
+        return s
+
+    def end(self, span: Span) -> None:
+        span.wall = time.perf_counter() - span.start
+        stack = self._stack()
+        # Tolerate out-of-order exits (e.g. a generator finalized late): pop
+        # through to the span being closed.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        hooks.fire_span_end(span)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def reset(self) -> None:
+        with self._lock:
+            del self.roots[:]
+        self._local = threading.local()
+        self.epoch = time.perf_counter()
+
+
+TRACER = Tracer()
+
+
+class span:
+    """``with obs.span("name", key=val): ...`` or ``@obs.span("name")``.
+
+    As a context manager it yields the live :class:`Span` (or a no-op stub
+    when disabled) so callers can ``.set(...)`` attributes.  As a decorator
+    it re-checks enablement on every call, so functions decorated at import
+    time trace correctly once ``obs.enable()`` runs.
+    """
+
+    __slots__ = ("name", "attrs", "_span")
+
+    def __init__(self, name: str, **attrs: Any):
+        self.name = name
+        self.attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self):
+        if not STATE.on:
+            return NOOP_SPAN
+        self._span = TRACER.begin(self.name, self.attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None:
+            if exc_type is not None:
+                self._span.attrs.setdefault("error", exc_type.__name__)
+            TRACER.end(self._span)
+            self._span = None
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        name, attrs = self.name, self.attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not STATE.on:
+                return fn(*args, **kwargs)
+            with span(name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper

@@ -86,9 +86,18 @@ class TestRunCommand:
         assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
                      str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "answers" in out and "engine:" in out and "levels" in out
+        # default output is just the answers — no engine chatter
+        assert "answers" in out and "engine:" not in out
         for row in q.evaluate(db).rows:
             assert str(row) in out
+
+    def test_run_verbose(self, tmp_path, capsys):
+        self._data_dir(tmp_path)
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "answers" in out and "engine:" in out and "levels" in out
+        assert "DAPB" in out and "word gates" in out
 
     def test_run_scalar_agrees(self, tmp_path, capsys):
         q, db = self._data_dir(tmp_path, n=4, seed=2)
@@ -98,8 +107,7 @@ class TestRunCommand:
         assert main(["run", query, str(tmp_path), "-n", "4",
                      "--engine", "scalar"]) == 0
         scal = capsys.readouterr().out
-        assert vec.split("answers")[1].split("\nengine")[0] == \
-            scal.split("answers")[1]
+        assert vec.split("answers")[1] == scal.split("answers")[1]
         assert "engine:" not in scal
 
     def test_run_timings_table(self, tmp_path, capsys):

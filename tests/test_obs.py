@@ -1,0 +1,267 @@
+"""Tests for the repro.obs substrate itself: spans, metrics, hooks,
+exporters, and the disabled no-op fast path."""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with obs disabled and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_yields_noop(self):
+        with obs.span("x", a=1) as s:
+            assert s is obs.NOOP_SPAN
+            assert s.set(b=2) is s          # .set is absorbed, chainable
+        assert obs.spans() == []
+
+    def test_disabled_decorator_is_passthrough(self):
+        calls = []
+
+        @obs.span("f.call")
+        def f(x):
+            calls.append(x)
+            return x * 2
+
+        assert f(3) == 6
+        assert calls == [3]
+        assert obs.spans() == []
+
+    def test_disabled_records_no_metrics(self):
+        # Instrumented code guards with `if obs.STATE.on:` — nothing should
+        # reach the registry while disabled.
+        assert obs.metrics.names() == []
+
+    def test_disabled_overhead_micro(self):
+        """The disabled span body is a single boolean check plus one small
+        allocation; 100k iterations must be far under a second."""
+        t0 = time.perf_counter()
+        for _ in range(100_000):
+            with obs.span("noop"):
+                pass
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_state_flag_round_trips(self):
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled() and obs.STATE.on
+        obs.disable()
+        assert not obs.enabled()
+
+
+class TestSpans:
+    def test_nesting(self):
+        obs.enable()
+        with obs.span("outer") as o:
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b"):
+                pass
+        roots = obs.spans()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in o.children] == ["inner.a", "inner.b"]
+        assert o.wall >= sum(c.wall for c in o.children)
+        assert o.self_seconds <= o.wall
+
+    def test_walk_is_depth_first(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        (root,) = obs.spans()
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_attrs_and_set(self):
+        obs.enable()
+        with obs.span("s", query="triangle") as s:
+            s.set(gates=7).set(depth=2)
+        assert s.attrs == {"query": "triangle", "gates": 7, "depth": 2}
+
+    def test_decorator_traces_once_enabled(self):
+        @obs.span("f.call", tag="t")
+        def f():
+            return 42
+
+        assert f() == 42                     # disabled: no span
+        obs.enable()
+        assert f() == 42
+        (root,) = obs.spans()
+        assert root.name == "f.call" and root.attrs == {"tag": "t"}
+
+    def test_exception_tags_span_and_propagates(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("nope")
+        (root,) = obs.spans()
+        assert root.attrs["error"] == "ValueError"
+        assert root.wall >= 0
+
+    def test_reset_drops_spans(self):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        assert obs.spans()
+        obs.reset()
+        assert obs.spans() == []
+        assert obs.enabled()                 # reset keeps the on/off state
+
+
+class TestMetrics:
+    def test_counter(self):
+        obs.enable()
+        c = obs.metrics.counter("hits")
+        c.inc()
+        c.inc(2, route="lp")
+        assert c.value() == 1
+        assert c.value(route="lp") == 2
+        assert c.total == 3
+
+    def test_gauge_last_value_wins(self):
+        g = obs.metrics.gauge("slots")
+        g.set(5)
+        g.set(9)
+        assert g.value() == 9
+
+    def test_histogram_summary(self):
+        h = obs.metrics.histogram("dt")
+        for v in (0.5, 1.5, 1.0):
+            h.observe(v, level=0)
+        s = h.summary(level=0)
+        assert s == {"count": 3, "sum": 3.0, "min": 0.5, "max": 1.5}
+        assert h.total_count == 3 and h.total_sum == 3.0
+        assert h.summary(level=99)["count"] == 0
+
+    def test_kind_mismatch_rejected(self):
+        obs.metrics.counter("m")
+        with pytest.raises(TypeError, match="already registered"):
+            obs.metrics.gauge("m")
+
+    def test_snapshot_is_json_serializable(self):
+        obs.metrics.counter("c").inc(ok=True, op="ADD")
+        obs.metrics.histogram("h").observe(1.25, level=3)
+        snap = obs.metrics.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["c"]["kind"] == "counter"
+        assert snap["h"]["values"][0]["labels"] == {"level": 3}
+
+
+class TestHooks:
+    def test_on_span_end(self):
+        obs.enable()
+        seen = []
+        unsub = obs.on_span_end(lambda s: seen.append(s.name))
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        assert seen == ["b", "a"]           # completion order
+        unsub()
+        with obs.span("c"):
+            pass
+        assert seen == ["b", "a"]
+
+    def test_on_metric(self):
+        seen = []
+        unsub = obs.on_metric(
+            lambda name, kind, value, labels: seen.append(
+                (name, kind, value, labels)))
+        obs.metrics.counter("n").inc(2, op="MUL")
+        assert seen == [("n", "counter", 2, {"op": "MUL"})]
+        unsub()
+
+
+class TestExporters:
+    def _make_spans(self):
+        obs.enable()
+        with obs.span("pipeline.evaluate", batch=4) as s:
+            s.set(engine="vectorized")
+            with obs.span("engine.plan"):
+                pass
+            with obs.span("engine.execute"):
+                pass
+        with obs.span("other"):
+            pass
+
+    def test_span_tree(self):
+        self._make_spans()
+        tree = obs.span_tree(obs.spans())
+        assert [n["name"] for n in tree] == ["pipeline.evaluate", "other"]
+        root = tree[0]
+        assert [c["name"] for c in root["children"]] == \
+            ["engine.plan", "engine.execute"]
+        assert root["attrs"]["engine"] == "vectorized"
+        assert root["wall_ms"] >= root["self_ms"] >= 0
+
+    def test_chrome_events_matched_pairs(self):
+        self._make_spans()
+        events = obs.chrome_events(obs.spans())
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 4
+        # every B has a matching E per name, and the stream is time-ordered
+        assert sorted(e["name"] for e in begins) == \
+            sorted(e["name"] for e in ends)
+        assert all(a["ts"] <= b["ts"] for a, b in zip(events, events[1:]))
+        # nesting: a child's B comes after its parent's B, its E before
+        ts = {(e["name"], e["ph"]): e["ts"] for e in events}
+        assert ts[("pipeline.evaluate", "B")] <= ts[("engine.plan", "B")]
+        assert ts[("engine.execute", "E")] <= ts[("pipeline.evaluate", "E")]
+
+    def test_trace_round_trip(self, tmp_path):
+        self._make_spans()
+        obs.metrics.counter("engine.runs").inc()
+        path = tmp_path / "trace.json"
+        written = obs.write_trace(path, meta={"query": "Q"})
+        loaded = obs.load_trace(path)
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["meta"]["format"] == "repro.obs"
+        assert loaded["meta"]["query"] == "Q"
+        assert {e["ph"] for e in loaded["traceEvents"]} == {"B", "E"}
+        assert loaded["metrics"]["engine.runs"]["values"][0]["value"] == 1
+
+    def test_summary_tables(self):
+        self._make_spans()
+        obs.metrics.counter("lp.solves").inc(3)
+        obs.metrics.histogram("engine.level.seconds").observe(0.5, level=0)
+        text = obs.summary(obs.trace_document())
+        assert "pipeline.evaluate" in text and "engine.plan" in text
+        assert "lp.solves" in text and "counter" in text
+        assert "count=1" in text             # histogram summary cell
+
+    def test_summary_empty(self):
+        assert "no spans recorded" in obs.summary({"spans": [], "metrics": {}})
+
+    def test_bench_document(self):
+        self._make_spans()
+        doc = obs.bench_document("engine", {"speedup": {"value": 7.0}})
+        assert doc["bench"] == "engine"
+        assert doc["results"]["speedup"]["value"] == 7.0
+        assert doc["meta"]["bench"] == "engine"
+        assert isinstance(doc["spans"], list) and "metrics" in doc
+
+
+class TestEngineReexports:
+    def test_stats_classes_reachable_via_obs(self):
+        from repro.engine import CacheStats, EngineStats, LevelTiming
+
+        assert obs.EngineStats is EngineStats
+        assert obs.LevelTiming is LevelTiming
+        assert obs.CacheStats is CacheStats
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            obs.no_such_thing

@@ -1,0 +1,192 @@
+"""Observability of the real pipeline: stage spans through CompiledQuery,
+plan-cache counters, golden equivalence with obs on/off, and the
+``repro run --trace`` end-to-end path."""
+
+import pytest
+
+import repro
+from repro import obs
+from repro.boolcircuit import Circuit
+from repro.cli import main
+from repro.cq import database_to_dir
+from repro.datagen import random_database, triangle_query
+from repro.engine import PlanCache
+
+STAGES = ("pipeline.bound", "pipeline.proof", "pipeline.circuit",
+          "pipeline.lower", "pipeline.evaluate")
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _span_counts():
+    counts = {}
+    for root in obs.spans():
+        for s in root.walk():
+            counts[s.name] = counts.get(s.name, 0) + 1
+    return counts
+
+
+class TestStageSpans:
+    def setup_method(self):
+        self.q = triangle_query()
+        self.db = random_database(self.q, 8, 5, seed=0)
+
+    def test_stage_spans_exactly_once_under_repeated_access(self):
+        obs.enable()
+        cq = repro.compile(self.q, n=8, canonical="triangle")
+        for _ in range(3):                   # cached stages trace once
+            cq.bound()
+            cq.proof()
+            cq.circuit
+            cq.lowered()
+        cq.evaluate(self.db)
+        cq.evaluate(self.db)                 # evaluation traces per call
+        counts = _span_counts()
+        assert counts["pipeline.bound"] == 1
+        assert counts["pipeline.proof"] == 1
+        assert counts["pipeline.circuit"] == 1
+        assert counts["pipeline.lower"] == 1
+        assert counts["pipeline.evaluate"] == 2
+
+    def test_stage_spans_nest_their_workers(self):
+        obs.enable()
+        cq = repro.compile(self.q, n=8, canonical="triangle")
+        cq.bound()
+        cq.evaluate(self.db)
+        by_name = {s.name: s for root in obs.spans() for s in root.walk()}
+        # lp.solve happens inside the bound stage, the engine inside evaluate
+        bound_children = {c.name for c in by_name["pipeline.bound"].children}
+        assert "lp.solve" in bound_children
+        eval_children = {s.name for s in by_name["pipeline.evaluate"].walk()}
+        assert "engine.execute" in eval_children
+        assert "panda.compile" in {
+            s.name for s in by_name["pipeline.circuit"].walk()}
+        assert "lower.run" in {
+            s.name for s in by_name["pipeline.lower"].walk()}
+
+    def test_lazy_stages_trace_nothing_until_touched(self):
+        obs.enable()
+        repro.compile(self.q, n=8, canonical="triangle")
+        assert _span_counts() == {}
+
+
+class TestPlanCacheCounters:
+    @staticmethod
+    def _circuit(k):
+        c = Circuit()
+        a, b = c.input(), c.input()
+        w = c.add(a, b)
+        for _ in range(k):
+            w = c.mul(w, b)
+        return c
+
+    def test_counters_agree_with_cache_stats(self):
+        obs.enable()
+        cache = PlanCache(capacity=1)
+        c1, c2 = self._circuit(1), self._circuit(2)
+        cache.get(c1)                        # miss
+        cache.get(c1)                        # hit
+        cache.get(c2)                        # miss + evicts c1
+        cache.get(c1)                        # miss + evicts c2
+        assert (cache.stats.hits, cache.stats.misses,
+                cache.stats.evictions) == (1, 3, 2)
+        m = obs.metrics
+        assert m.counter("plancache.hits").total == cache.stats.hits
+        assert m.counter("plancache.misses").total == cache.stats.misses
+        assert m.counter("plancache.evictions").total == cache.stats.evictions
+
+    def test_disabled_obs_still_fills_cache_stats(self):
+        cache = PlanCache(capacity=4)
+        c1 = self._circuit(1)
+        cache.get(c1)
+        cache.get(c1)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert obs.metrics.names() == []     # nothing leaked into obs
+
+
+class TestGoldenEquivalence:
+    """Instrumentation must not change a single output bit."""
+
+    def setup_method(self):
+        self.q = triangle_query()
+        self.db = random_database(self.q, 8, 5, seed=3)
+        self.truth = self.q.evaluate(self.db)
+
+    def test_results_identical_with_obs_on_and_off(self):
+        cq = repro.compile(self.q, n=8, canonical="triangle")
+        off = cq.evaluate(self.db)
+        obs.enable()
+        on = cq.evaluate(self.db)
+        assert off == on == self.truth
+
+    def test_scalar_engine_identical_with_obs_on(self):
+        cq = repro.compile(self.q, n=8, canonical="triangle")
+        obs.enable()
+        assert cq.evaluate(self.db, engine="scalar") == self.truth
+
+
+class TestRunTraceEndToEnd:
+    def _data_dir(self, tmp_path):
+        q = triangle_query()
+        db = random_database(q, 8, 5, seed=1)
+        data = tmp_path / "data"
+        data.mkdir()
+        database_to_dir(db, q, data)
+        return data
+
+    def test_trace_covers_all_five_stages(self, tmp_path, capsys):
+        data = self._data_dir(tmp_path)
+        trace = tmp_path / "trace.json"
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)", str(data),
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        doc = obs.load_trace(trace)
+        names = {n["name"] for top in doc["spans"]
+                 for n in self._walk_json(top)}
+        for stage in STAGES:
+            assert stage in names, f"missing stage span {stage}"
+        # Chrome-loadable: every B event has a matching E event
+        begins = sorted(e["name"] for e in doc["traceEvents"]
+                        if e["ph"] == "B")
+        ends = sorted(e["name"] for e in doc["traceEvents"]
+                      if e["ph"] == "E")
+        assert begins == ends and begins
+        assert doc["meta"]["format"] == "repro.obs"
+        assert doc["metrics"]                # registry rode along
+
+    def test_metrics_flag_prints_summary(self, tmp_path, capsys):
+        data = self._data_dir(tmp_path)
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)", str(data),
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.evaluate" in out and "engine.runs" in out
+
+    def test_trace_subcommand_summarizes(self, tmp_path, capsys):
+        data = self._data_dir(tmp_path)
+        trace = tmp_path / "trace.json"
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)", str(data),
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.evaluate" in out and "total ms" in out
+
+    def test_trace_subcommand_rejects_non_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["trace", str(bad)]) == 2
+        assert main(["trace", str(tmp_path / "missing.json")]) == 2
+
+    @staticmethod
+    def _walk_json(node):
+        yield node
+        for child in node.get("children", ()):
+            yield from TestRunTraceEndToEnd._walk_json(child)
