@@ -1,25 +1,75 @@
 """Shared helpers for the benchmark harness.
 
 Each bench regenerates one paper artifact (figure / theorem claim): it
-prints the series the paper's claim is about, attaches it to the
-pytest-benchmark record via ``extra_info``, and asserts the claim's *shape*
-(growth exponents, who wins, crossovers) — not absolute constants.
+prints the series the paper's claim is about, records it via :func:`record`
+(which lands in both the pytest-benchmark record and the standardized
+``BENCH_<name>.json`` document the module-level harness in ``conftest.py``
+writes), and asserts the claim's *shape* (growth exponents, who wins,
+crossovers) — not absolute constants.
 
-Durable perf record: a bench module that wants its numbers to accumulate
-across PRs calls :func:`write_bench_json` with its result series; the file
-``BENCH_<name>.json`` lands at the repo root through the
-:mod:`repro.obs` metrics exporter, carrying the obs metrics and span tree
-collected while the bench ran alongside the explicit results.
+Data generation is seeded through :func:`bench_seed`, one run-wide knob
+(``$REPRO_BENCH_SEED``, or ``repro bench run --seed``) recorded in every
+document's environment fingerprint, so a regression reproduces run-to-run.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_seed(offset: int = 0) -> int:
+    """The run-wide data-generation seed plus a per-site offset.
+
+    The base comes from ``$REPRO_BENCH_SEED`` (default 0, so the default
+    run reproduces the historical literal seeds); distinct call sites keep
+    distinct offsets so their instances stay decorrelated.
+    """
+    from repro.obs.env import bench_seed as base_seed
+
+    return base_seed() + offset
+
+
+def out_dir() -> Path:
+    """Where BENCH documents land: ``$REPRO_BENCH_OUT`` or the repo root."""
+    out = os.environ.get("REPRO_BENCH_OUT", "").strip()
+    return Path(out) if out else REPO_ROOT
+
+
+class _ResultStore:
+    """Per-module result series, filled by :func:`record` during the run."""
+
+    def __init__(self) -> None:
+        self._by_bench: Dict[str, Dict[str, Dict]] = {}
+        self._current: Optional[str] = None
+
+    def begin(self, bench: str) -> None:
+        self._current = bench
+        self._by_bench[bench] = {}
+
+    def add(self, info: Dict) -> None:
+        if self._current is None:
+            return
+        test = _current_test_name()
+        self._by_bench[self._current].setdefault(test, {}).update(info)
+
+    def collect(self, bench: str) -> Dict[str, Dict]:
+        return self._by_bench.get(bench, {})
+
+
+RESULTS = _ResultStore()
+
+
+def _current_test_name() -> str:
+    """The running test's function name, from pytest's env breadcrumb."""
+    current = os.environ.get("PYTEST_CURRENT_TEST", "")
+    name = current.split("::")[-1].split(" ")[0]
+    return name or "module"
 
 
 def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -48,24 +98,38 @@ def print_table(title: str, headers: Sequence[str],
 
 
 def record(benchmark, **info) -> None:
-    """Attach a result series to the pytest-benchmark JSON record."""
+    """Attach a result series to the pytest-benchmark record AND the
+    standardized ``BENCH_<name>.json`` document for this module."""
     if benchmark is not None:
         for key, value in info.items():
             benchmark.extra_info[key] = value
+    RESULTS.add(info)
+
+
+def record_conformance(benchmark, report) -> None:
+    """Record a :class:`repro.obs.ConformanceReport` under the running test
+    and assert the paper envelope held."""
+    record(benchmark, **{f"conformance_{k}": v
+                         for k, v in report.as_dict().items()
+                         if isinstance(v, (int, float)) and
+                         not isinstance(v, bool)})
+    assert report.ok, f"paper-bound conformance violated: {report}"
 
 
 def write_bench_json(name: str, results: Dict,
-                     root: Optional[Path] = None) -> Path:
-    """Write ``BENCH_<name>.json`` at the repo root via the obs exporter.
+                     root: Optional[Path] = None,
+                     duration_seconds: Optional[float] = None) -> Path:
+    """Write the standardized ``BENCH_<name>.json`` document.
 
-    ``results`` is the bench module's own result dict (one key per test);
-    the obs metrics and span tree recorded while the bench ran ride along
-    in the same document.
+    ``results`` is the module's collected result series (one key per test);
+    the obs metrics and span tree recorded while the bench ran, the
+    environment fingerprint, and the run duration ride along in the same
+    document (schema ``repro.obs.bench/2``).
     """
     from repro import obs
 
-    path = (root or REPO_ROOT) / f"BENCH_{name}.json"
-    doc = obs.bench_document(name, results)
+    path = (root or out_dir()) / f"BENCH_{name}.json"
+    doc = obs.bench_document(name, results, duration_seconds=duration_seconds)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True, default=str)
     print(f"\nbench results written to {path}")

@@ -20,7 +20,7 @@ from repro.core import (
 )
 from repro.datagen import path_query, random_database, uniform_dc
 
-from _util import print_table, record
+from _util import bench_seed, print_table, record
 
 
 def weighted_db(query, n, domain, seed):
@@ -38,7 +38,7 @@ def weighted_db(query, n, domain, seed):
 def test_e5_semirings_correct(benchmark):
     q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
     dc = uniform_dc(q, 16)
-    env = weighted_db(q, 16, 6, seed=5)
+    env = weighted_db(q, 16, 6, seed=bench_seed(5))
     ann = {"R0": True, "R1": True}
     rows = []
     for semiring in (("sum", "mul"), ("min", "add"), ("max", "mul")):
@@ -78,7 +78,7 @@ def test_e5_counting_parity_with_algorithm11(benchmark):
     q = parse_query("Q(X0) <- R0(X0,X1), R1(X1,X2)")
     n = 12
     dc = uniform_dc(q, n)
-    db = random_database(q, n, 5, seed=9)
+    db = random_database(q, n, 5, seed=bench_seed(9))
     env = {a.name: db[a.name] for a in q.atoms}
     ann = {a.name: False for a in q.atoms}
     per_group = aggregate_c(q, dc, annotated=ann).run(env)
@@ -99,7 +99,7 @@ def test_e5_tropical_shortest_hops(benchmark):
     """min-plus on a layered graph = shortest 2-hop distances."""
     q = parse_query("Q(X0,X2) <- R0(X0,X1), R1(X1,X2)")
     dc = uniform_dc(q, 32)
-    env = weighted_db(q, 32, 6, seed=11)
+    env = weighted_db(q, 32, 6, seed=bench_seed(11))
     ann = {"R0": True, "R1": True}
     circuit = aggregate_c(q, dc, annotated=ann, semiring=("min", "add"))
     got = benchmark(circuit.run, env)

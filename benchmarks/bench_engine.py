@@ -11,15 +11,15 @@ Claims measured:
 * with repro.obs disabled, execute_plan's no-op instrumentation path
   costs < 5% versus a hand-inlined raw loop.
 
-Results are written machine-readably to ``BENCH_engine.json`` at the repo
-root via the ``repro.obs`` metrics exporter (one document: per-test result
-series + the obs metrics and spans recorded while the benches ran).
+Results are written machine-readably to the standardized
+``BENCH_engine.json`` by the shared harness in ``conftest.py`` (one
+document: per-test result series + the obs metrics and spans recorded
+while the benches ran + the environment fingerprint).
 """
 
 import time
 
 import numpy as np
-import pytest
 
 from repro import obs
 from repro.boolcircuit.builder import ArrayBuilder
@@ -30,29 +30,10 @@ from repro.datagen import random_database, triangle_query
 from repro.engine import PlanCache, compile_plan, execute_plan
 from repro.engine.exec import _apply
 
-from _util import print_table, record, write_bench_json
+from _util import bench_seed, print_table, record
 
 N = 8          # triangle wire bound; the lowered circuit has ~10^5 gates
 BATCH = 256
-
-_RESULTS = {}
-
-
-def _record(benchmark, key, **info):
-    """Attach to the pytest-benchmark record AND the BENCH_engine.json doc."""
-    record(benchmark, **info)
-    _RESULTS[key] = info
-
-
-@pytest.fixture(scope="module", autouse=True)
-def _bench_obs_session():
-    was_on = obs.enabled()
-    obs.reset()
-    obs.enable()
-    yield
-    write_bench_json("engine", _RESULTS)
-    if not was_on:
-        obs.disable()
 
 
 def _lowered_and_batches(n=N, batch=BATCH):
@@ -60,7 +41,7 @@ def _lowered_and_batches(n=N, batch=BATCH):
     lowered = lower(triangle_circuit(n))
     batches = []
     for seed in range(batch):
-        db = random_database(q, n, 5, seed=seed)
+        db = random_database(q, n, 5, seed=bench_seed(seed))
         env = {a.name: db[a.name] for a in q.atoms}
         values = []
         for name in lowered.input_order:
@@ -104,7 +85,7 @@ def test_e8_engine_throughput_vs_per_gate(benchmark):
     print_table(
         f"E8: lowered triangle (N={N}, {lowered.size:,} gates, "
         f"batch {BATCH})", ["evaluator", "ms", "speed-up"], rows)
-    _record(benchmark, "throughput_vs_per_gate", speedup=speedup,
+    record(benchmark, speedup=speedup,
             per_gate_ms=t_per_gate * 1e3, engine_ms=t_engine * 1e3,
             gates=lowered.size, batch=BATCH)
     assert speedup >= 5.0, f"engine only {speedup:.1f}x over per-gate"
@@ -120,7 +101,7 @@ def test_e8_liveness_shrinks_buffers(benchmark):
             ("outputs only", live.n_slots, live.n_executed)]
     print_table("E8: plan buffer slots (N=8 lowered triangle)",
                 ["plan", "slots", "gates executed"], rows)
-    _record(benchmark, "liveness_buffers", full_slots=full.n_slots,
+    record(benchmark, full_slots=full.n_slots,
             live_slots=live.n_slots,
             dead_gates=full.n_executed - live.n_executed)
     assert live.n_slots < full.n_slots / 10
@@ -150,7 +131,7 @@ def test_e8_plan_cache_amortises_planning(benchmark):
                 [("plan (miss)", f"{t_plan * 1e3:.2f}"),
                  ("plan (hit)", f"{t_hit * 1e3:.3f}"),
                  ("execute", f"{t_exec * 1e3:.2f}")])
-    _record(benchmark, "plan_cache", plan_ms=t_plan * 1e3,
+    record(benchmark, plan_ms=t_plan * 1e3,
             hit_ms=t_hit * 1e3)
     assert cache.stats.hits == 1 and cache.stats.misses == 1
     assert t_hit < t_plan
@@ -193,7 +174,7 @@ def test_e8_obs_noop_overhead(benchmark):
         [("raw inlined loop", f"{t_raw * 1e3:.2f}", "—"),
          ("execute_plan (obs off)", f"{t_obs * 1e3:.2f}",
           f"{overhead * 100:+.2f}%")])
-    _record(benchmark, "obs_noop_overhead", raw_ms=t_raw * 1e3,
+    record(benchmark, raw_ms=t_raw * 1e3,
             obs_off_ms=t_obs * 1e3, overhead_pct=overhead * 100)
     assert overhead < 0.05, (
         f"disabled-obs path {overhead * 100:.1f}% slower than raw loop")

@@ -5,16 +5,21 @@ Claims reproduced:
   light side, all wires ≤ O(N^1.5));
 * total cost grows as N^1.5;
 * the circuit computes the exact triangle set on worst-case and skewed
-  instances.
+  instances;
+* the full compiled triangle pipeline stays inside the paper's
+  polylog-factored Õ(N + DAPB) size/depth envelope (the conformance
+  gauges `conformance.size_ratio` / `conformance.depth_ratio`).
 """
 
 import math
 
+import repro
+from repro import obs
 from repro.core import triangle_circuit
 from repro.datagen import triangle_query
 from repro.datagen.worstcase import agm_worst_triangle, skew_triangle
 
-from _util import fit_exponent, print_table, record
+from _util import fit_exponent, print_table, record, record_conformance
 
 SWEEP = [2 ** k for k in range(6, 15)]
 
@@ -62,6 +67,30 @@ def test_fig1_skewed_instance(benchmark):
     env = {a.name: db[a.name] for a in q.atoms}
     out = benchmark(lambda: circuit.run(env, check_bounds=False)[0])
     assert out == q.evaluate(db)
+
+
+def test_fig1_conformance_envelope(benchmark):
+    """Theorem 4 as a runtime assertion: the compiled-and-lowered triangle
+    pipeline's size/depth ratios against the predicted Õ(N + DAPB) budget
+    stay ≤ 1 (with calibrated constants leaving ~3× headroom), and the
+    conformance gauges land in the metrics registry."""
+    rows = []
+    report = None
+    for n in (4, 8):
+        cq = repro.compile("R_AB(A,B), R_BC(B,C), R_AC(A,C)", n=n,
+                           canonical="triangle")
+        cq.lowered()                      # emits the gauges (obs is on)
+        report = cq.conformance()
+        rows.append((n, report.observed_size, round(report.size_ratio, 3),
+                     round(report.depth_ratio, 3)))
+        record(benchmark, **{f"n{n}_size_ratio": report.size_ratio,
+                             f"n{n}_depth_ratio": report.depth_ratio})
+    print_table("F1: conformance vs Õ(N + DAPB) envelope (ratios ≤ 1)",
+                ["N", "word gates", "size ratio", "depth ratio"], rows)
+    record_conformance(benchmark, report)
+    gauge = obs.metrics.get("conformance.size_ratio")
+    assert gauge is not None and gauge.values, "conformance gauges missing"
+    benchmark(cq.conformance)
 
 
 def test_fig1_threshold_ablation(benchmark):

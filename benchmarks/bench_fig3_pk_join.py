@@ -3,15 +3,18 @@
 Claims reproduced:
 * the figure's worked example (R = {(a1,b1),(a1,b2),(a2,b1)},
   S = {(b1,c1),(b3,c1)}) yields exactly {(a1,b1,c1),(a2,b1,c1)};
-* circuit size is Õ(M + N') and depth Õ(1) (polylog).
+* circuit size is Õ(M + N') and depth Õ(1) (polylog);
+* the built circuit sits inside the calibrated Õ(N + DAPB) conformance
+  envelope (gauges `conformance.size_ratio` / `conformance.depth_ratio`).
 """
 
 import math
 
+from repro import obs
 from repro.cq import Relation
 from repro.boolcircuit import ArrayBuilder, pk_join
 
-from _util import fit_exponent, print_table, record
+from _util import fit_exponent, print_table, record, record_conformance
 
 SWEEP = [8, 16, 32, 64, 128]
 
@@ -52,6 +55,28 @@ def test_fig3_size_linear_depth_polylog(benchmark):
     record(benchmark, size_slope=size_slope, depth_slope=depth_slope)
     assert size_slope < 1.5, f"size not quasi-linear: {size_slope}"
     assert depth_slope < 0.6, f"depth not polylog: {depth_slope}"
+    benchmark(build, 64, 64)
+
+
+def test_fig3_conformance_envelope(benchmark):
+    """The pk-join word circuit stays inside the paper-bound envelope:
+    with B a key of S the output is ≤ |R| = M tuples, so the budget is M
+    and the predicted size is Õ(N + M) with N = M + N' input tuples."""
+    rows = []
+    report = None
+    for m in (16, 64):
+        b, *_ = build(m, m)
+        report = obs.check_lowered(f"pk_join_m{m}", b.c.size, b.c.depth,
+                                   n_input=2 * m, budget_tuples=m)
+        rows.append((m, b.c.size, round(report.size_ratio, 3),
+                     round(report.depth_ratio, 3)))
+        record(benchmark, **{f"m{m}_size_ratio": report.size_ratio,
+                             f"m{m}_depth_ratio": report.depth_ratio})
+    print_table("F3: conformance vs Õ(N + budget) envelope (ratios ≤ 1)",
+                ["M=N'", "gates", "size ratio", "depth ratio"], rows)
+    record_conformance(benchmark, report)
+    gauge = obs.metrics.get("conformance.size_ratio")
+    assert gauge is not None and gauge.values, "conformance gauges missing"
     benchmark(build, 64, 64)
 
 

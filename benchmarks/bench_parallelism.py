@@ -27,7 +27,7 @@ from repro.ram import CostCounter, generic_join
 from repro.datagen import random_database, triangle_query
 from repro.datagen.worstcase import agm_worst_triangle
 
-from _util import print_table, record
+from _util import bench_seed, print_table, record
 
 PROCESSORS = [1, 4, 16, 64, 256, 1024, 4096]
 
@@ -36,7 +36,7 @@ def _triangle_columns(lowered, batch):
     q = triangle_query()
     rows = []
     for seed in range(batch):
-        db = random_database(q, 8, 5, seed=seed)
+        db = random_database(q, 8, 5, seed=bench_seed(seed))
         env = {a.name: db[a.name] for a in q.atoms}
         values = []
         for name in lowered.input_order:

@@ -15,7 +15,7 @@ from repro.cq import Relation
 from repro.apps.protocols import evaluate_garbled, garble, run_gmw
 from repro.boolcircuit import ArrayBuilder, bit_blast, pk_join
 
-from _util import print_table, record
+from _util import bench_seed, print_table, record
 
 
 def build_join(m, n, word_bits=5):
@@ -55,7 +55,7 @@ def test_e7_garbled_join_correct_and_priced(benchmark):
     R = Relation(("A", "B"), [(1, 1), (2, 1), (3, 2)])
     S = Relation(("B", "C"), [(1, 7), (2, 9)])
     bits = encode(blasted, r, s, R, S)
-    gc = garble(blasted.boolean, out_wires, seed=11)
+    gc = garble(blasted.boolean, out_wires, seed=bench_seed(11))
     got = benchmark(evaluate_garbled, gc, bits)
     assert decode_join(blasted, got, j) == R.join(S)
     nonlinear = blasted.boolean.and_count
@@ -90,7 +90,7 @@ def test_e7_free_xor_measured(benchmark):
     sizes = {}
     for m in (2, 4):
         _, r, s, j, blasted, out_wires = build_join(m, m)
-        gc = garble(blasted.boolean, out_wires, seed=m)
+        gc = garble(blasted.boolean, out_wires, seed=bench_seed(m))
         xor_not = blasted.boolean.size - blasted.boolean.and_count
         sizes[m] = (blasted.boolean.size, xor_not, gc.communication_bytes)
         assert gc.communication_bytes == blasted.boolean.and_count * 64

@@ -1,0 +1,41 @@
+"""The shared bench harness (see ``repro.obs.bench``).
+
+Every ``bench_*.py`` module in this directory runs under one fresh
+``repro.obs`` span/metrics context: the autouse module fixture resets and
+enables observability before the module's first test, collects everything
+the tests record through ``_util.record``, and on module teardown writes
+one standardized ``BENCH_<name>.json`` document (result series + obs
+metrics/spans + environment fingerprint + duration) to the directory named
+by ``$REPRO_BENCH_OUT`` (default: the repo root).
+
+The document is written even when a test fails, so a regression run still
+leaves a durable record of what it measured before the assertion tripped.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from _util import RESULTS, write_bench_json
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_harness(request):
+    from repro import obs
+
+    name = Path(request.module.__file__).stem
+    if name.startswith("bench_"):
+        name = name[len("bench_"):]
+    was_on = obs.enabled()
+    obs.reset()
+    obs.enable()
+    RESULTS.begin(name)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        write_bench_json(name, RESULTS.collect(name),
+                         duration_seconds=time.perf_counter() - t0)
+        if not was_on:
+            obs.disable()

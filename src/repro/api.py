@@ -127,7 +127,19 @@ class CompiledQuery:
                 self._lowered = lower(circuit)
                 sp.set(word_gates=self._lowered.size,
                        depth=self._lowered.depth)
+            if obs.STATE.on:
+                # Paper-bound conformance: emit size/depth ratio gauges
+                # against the Õ(N + DAPB) envelope on every traced compile.
+                report = self.conformance()
+                with obs.span("pipeline.conformance") as sp:
+                    sp.set(size_ratio=report.size_ratio,
+                           depth_ratio=report.depth_ratio, ok=report.ok)
         return self._lowered
+
+    def conformance(self):
+        """Observed vs predicted (Theorem 4) size/depth of the lowered
+        circuit; emits the ``conformance.*`` gauges when obs is enabled."""
+        return obs.check_compiled(self)
 
     # -- answers ---------------------------------------------------------
     def _env(self, db: Union[Database, Mapping[str, Relation]]

@@ -10,6 +10,9 @@ Commands
                ``--trace out.json`` / ``--metrics`` record the pipeline via
                :mod:`repro.obs`
 ``trace``    — print the stage-time / metric summary of a saved trace
+``bench``    — continuous benchmarking (``run`` the suite into standardized
+               ``BENCH_<name>.json`` documents, ``compare`` against stored
+               baselines, ``report`` the cross-run trajectory)
 ``ghd``      — show the best free-connex GHD and width measures
 
 Queries use the datalog-ish syntax of :func:`repro.cq.parse_query`, e.g.::
@@ -27,6 +30,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .bounds import log_dapb, synthesize_proof
@@ -217,6 +221,104 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench_run(args) -> int:
+    """Run bench modules under the shared harness; see ``repro.obs.bench``."""
+    from .obs.bench import BenchRunner
+
+    if not args.names and not args.all:
+        print("bench run: name at least one bench or pass --all",
+              file=sys.stderr)
+        return 2
+    runner = BenchRunner(
+        bench_dir=args.bench_dir, out_dir=args.out, seed=args.seed,
+        calibrate=args.calibrate,
+        extra_pytest_args=args.pytest_args or ())
+    try:
+        summary = runner.run(names=args.names or None, echo=args.verbose,
+                             keep_going=not args.stop_on_fail,
+                             trajectory=not args.no_trajectory)
+    except ValueError as exc:
+        print(f"bench run: {exc}", file=sys.stderr)
+        return 2
+
+    width = max((len(o.name) for o in summary.outcomes), default=5)
+    for o in summary.outcomes:
+        status = "ok" if o.ok else f"FAIL (exit {o.returncode})"
+        where = f" -> {o.doc_path}" if o.doc_path else ""
+        print(f"{o.name:<{width}}  {o.duration_seconds:8.1f}s  "
+              f"{status}{where}")
+        if not o.ok and o.output_tail and not args.verbose:
+            print("  " + "\n  ".join(o.output_tail.splitlines()[-10:]))
+    if summary.trajectory_path is not None:
+        print(f"\ntrajectory row appended to {summary.trajectory_path} "
+              f"(seed {runner.seed})")
+
+    if args.update_baseline is not None and summary.ok:
+        import shutil
+
+        baseline_dir = Path(args.update_baseline)
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for o in summary.outcomes:
+            if o.doc_path is not None:
+                shutil.copy2(o.doc_path, baseline_dir / o.doc_path.name)
+        print(f"baselines updated in {baseline_dir}")
+    return 0 if summary.ok else 1
+
+
+def cmd_bench_compare(args) -> int:
+    """Diff current BENCH docs against the baseline store; exit 1 on any
+    regression beyond threshold (the CI perf gate)."""
+    from .obs.regression import compare_dirs
+
+    names = [n.strip() for n in args.only.split(",") if n.strip()] \
+        if args.only else None
+    reports = compare_dirs(
+        Path(args.current), Path(args.baseline), names=names,
+        threshold=args.threshold, strict_times=args.strict_times,
+        include_obs_metrics=args.obs_metrics)
+    if not reports:
+        print(f"no BENCH_*.json documents found under {args.current!r}",
+              file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.format_table(only_interesting=not args.full))
+        print()
+    failed = [r for r in reports if not r.ok]
+    total = sum(len(r.regressions) for r in failed)
+    if failed:
+        print(f"perf gate: FAIL — {total} regression(s) in "
+              f"{', '.join(r.bench for r in failed)}")
+        return 1
+    print(f"perf gate: pass ({len(reports)} bench(es) within "
+          f"{args.threshold * 100:.0f}%)")
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    """Print the cross-run trajectory and, for named benches, the latest
+    standardized document's headline numbers."""
+    from .obs.bench import format_trajectory, headline_scalars, load_trajectory
+    from .obs.regression import load_bench_doc
+
+    rows = load_trajectory(Path(args.trajectory))
+    print(format_trajectory(rows, last=args.last))
+    for name in args.names:
+        path = Path(args.dir) / f"BENCH_{name}.json"
+        try:
+            doc = load_bench_doc(path)
+        except (OSError, ValueError) as exc:
+            print(f"\n{name}: cannot read {path} ({exc})", file=sys.stderr)
+            continue
+        env = doc.get("env") or {}
+        print(f"\n## {name} ({path})")
+        print(f"env: python {env.get('python')}, numpy {env.get('numpy')}, "
+              f"{env.get('cpu_count')} cpus, seed {env.get('seed')}, "
+              f"sha {(env.get('git_sha') or '?')[:10]}")
+        for metric, value in headline_scalars(doc, limit=64).items():
+            print(f"  {metric:<48} {value:.6g}")
+    return 0
+
+
 def cmd_ghd(args) -> int:
     from .ghd import da_fhtw, da_subw
 
@@ -326,6 +428,73 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="summarize a trace JSON written by `run --trace`")
     p.add_argument("file", help="trace document produced by `run --trace`")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="continuous benchmarking: run / compare / report")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    pb = bench_sub.add_parser(
+        "run", help="run bench modules into standardized BENCH_<name>.json")
+    pb.add_argument("names", nargs="*",
+                    help="bench names (e.g. engine fig1_triangle)")
+    pb.add_argument("--all", action="store_true",
+                    help="run every discovered bench module")
+    pb.add_argument("--seed", type=int, default=None,
+                    help="data-generation seed recorded in the fingerprint "
+                         "(default: $REPRO_BENCH_SEED or 0)")
+    pb.add_argument("--out", default=None,
+                    help="directory for BENCH_*.json + trajectory "
+                         "(default: repo root)")
+    pb.add_argument("--bench-dir", default=None,
+                    help="directory of bench_*.py modules")
+    pb.add_argument("--calibrate", action="store_true",
+                    help="keep pytest-benchmark's calibrated timing loops "
+                         "(slower; default disables them)")
+    pb.add_argument("--stop-on-fail", action="store_true",
+                    help="abort the run at the first failing bench")
+    pb.add_argument("--no-trajectory", action="store_true",
+                    help="do not append a trajectory row")
+    pb.add_argument("--update-baseline", nargs="?", metavar="DIR",
+                    const="benchmarks/baselines", default=None,
+                    help="on success, copy the documents into the baseline "
+                         "store (default DIR: benchmarks/baselines)")
+    pb.add_argument("-v", "--verbose", action="store_true",
+                    help="stream each bench's pytest output")
+    pb.add_argument("--pytest-arg", action="append", dest="pytest_args",
+                    metavar="ARG", help="extra pytest argument (repeatable)")
+    pb.set_defaults(func=cmd_bench_run)
+
+    pb = bench_sub.add_parser(
+        "compare",
+        help="regression-gate current BENCH docs against the baselines")
+    pb.add_argument("--current", default=".",
+                    help="directory of current BENCH_*.json (default: .)")
+    pb.add_argument("--baseline", default="benchmarks/baselines",
+                    help="baseline store (default: benchmarks/baselines)")
+    pb.add_argument("--only", metavar="A,B",
+                    help="comma-separated bench names to gate")
+    pb.add_argument("--threshold", type=float, default=0.20,
+                    help="relative regression tolerance (default 0.20)")
+    pb.add_argument("--strict-times", action="store_true",
+                    help="gate wall-clock metrics even across machines")
+    pb.add_argument("--obs-metrics", action="store_true",
+                    help="also gate histogram percentiles from obs metrics")
+    pb.add_argument("--full", action="store_true",
+                    help="print every metric row, not just the notable ones")
+    pb.set_defaults(func=cmd_bench_compare)
+
+    pb = bench_sub.add_parser(
+        "report", help="print the cross-run trajectory and bench headlines")
+    pb.add_argument("names", nargs="*",
+                    help="benches whose latest document to summarize")
+    pb.add_argument("--trajectory", default="BENCH_trajectory.jsonl",
+                    help="trajectory file (default: BENCH_trajectory.jsonl)")
+    pb.add_argument("--dir", default=".",
+                    help="directory of BENCH_*.json documents (default: .)")
+    pb.add_argument("--last", type=int, default=10,
+                    help="trajectory rows to show (default 10)")
+    pb.set_defaults(func=cmd_bench_report)
 
     p = sub.add_parser("stats", help="discover degree constraints from CSVs")
     p.add_argument("query", help="datalog-style query string")

@@ -12,7 +12,13 @@ PANDA-C → lowering → execution``):
   gate counts, circuit size/depth, plan-cache hits, per-(level, opcode)
   engine timings — see ``docs/observability.md`` for the naming scheme);
 * **hooks** — :func:`on_span_end` / :func:`on_metric` let benchmarks and
-  tests subscribe instead of scraping output.
+  tests subscribe instead of scraping output;
+* **continuous benchmarking** — :class:`BenchRunner` runs the bench suite
+  into standardized ``BENCH_<name>.json`` documents, :func:`compare`
+  detects perf regressions against a stored baseline, and the
+  :mod:`conformance <repro.obs.conformance>` monitor turns the paper's
+  size/depth envelopes into runtime gauges
+  (``conformance.size_ratio`` / ``conformance.depth_ratio``).
 
 Disabled by default.  The disabled fast path is a single boolean check —
 instrumented hot loops guard with ``if obs.STATE.on:`` and stage
@@ -25,6 +31,20 @@ from __future__ import annotations
 import os
 from typing import List
 
+from .bench import (
+    BenchOutcome,
+    BenchRunner,
+    RunSummary,
+    append_trajectory,
+    discover,
+    load_trajectory,
+)
+from .conformance import (
+    ConformanceReport,
+    check_compiled,
+    check_lowered,
+)
+from .env import bench_seed, fingerprint
 from .export import (
     bench_document,
     chrome_events,
@@ -36,24 +56,40 @@ from .export import (
 )
 from .hooks import clear_hooks, on_metric, on_span_end
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .regression import CompareReport, MetricDelta, compare, compare_dirs
 from .trace import NOOP_SPAN, STATE, TRACER, Span, Tracer, span
 
 __all__ = [
+    "BenchOutcome",
+    "BenchRunner",
+    "CompareReport",
+    "ConformanceReport",
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricDelta",
     "MetricsRegistry",
+    "RunSummary",
     "Span",
     "STATE",
     "TRACER",
     "Tracer",
+    "append_trajectory",
     "bench_document",
+    "bench_seed",
+    "check_compiled",
+    "check_lowered",
     "chrome_events",
     "clear_hooks",
+    "compare",
+    "compare_dirs",
     "disable",
+    "discover",
     "enable",
     "enabled",
+    "fingerprint",
     "load_trace",
+    "load_trajectory",
     "metrics",
     "on_metric",
     "on_span_end",

@@ -1,0 +1,265 @@
+"""Continuous benchmarking: discover, run, and record the bench suite.
+
+The repo's ``benchmarks/bench_*.py`` modules are pytest modules; the shared
+harness in ``benchmarks/conftest.py`` runs each one under a fresh
+span/metrics context and writes one standardized ``BENCH_<name>.json``
+document per module (results series + fitted exponents + obs metrics +
+environment fingerprint — :data:`SCHEMA`).
+
+This module is the driver above that: :class:`BenchRunner` discovers the
+modules, executes each in an isolated subprocess (so one bench's process
+state, warm caches, or crash cannot contaminate another's numbers), then
+appends one summary row per run to ``BENCH_trajectory.jsonl`` — the
+cross-PR perf history the regression detector and ``repro bench report``
+read.  ``repro bench run|compare|report`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .env import SEED_ENV, bench_seed, fingerprint
+
+#: Schema tag carried by every standardized bench document.
+SCHEMA = "repro.obs.bench/2"
+
+#: Environment variable telling the bench harness where to land the
+#: ``BENCH_<name>.json`` documents (default: the repo root).
+OUT_ENV = "REPRO_BENCH_OUT"
+
+TRAJECTORY_NAME = "BENCH_trajectory.jsonl"
+
+#: At most this many headline scalars ride in one trajectory row per bench.
+MAX_TRAJECTORY_SCALARS = 32
+
+
+def repo_root() -> Path:
+    """The checkout root (three levels above ``src/repro/obs``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+@dataclass
+class BenchModule:
+    """One discovered ``benchmarks/bench_<name>.py``."""
+
+    name: str
+    path: Path
+
+
+def discover(bench_dir: Optional[Path] = None) -> List[BenchModule]:
+    """All bench modules under ``bench_dir`` (default: ``<repo>/benchmarks``),
+    sorted by name."""
+    bench_dir = Path(bench_dir) if bench_dir else repo_root() / "benchmarks"
+    return [BenchModule(name=p.stem[len("bench_"):], path=p)
+            for p in sorted(bench_dir.glob("bench_*.py"))]
+
+
+@dataclass
+class BenchOutcome:
+    """One bench module's run: exit status, duration, and its document."""
+
+    name: str
+    returncode: int
+    duration_seconds: float
+    doc_path: Optional[Path] = None
+    doc: Optional[Dict[str, Any]] = None
+    output_tail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0 and self.doc is not None
+
+
+@dataclass
+class RunSummary:
+    """Everything one ``repro bench run`` produced."""
+
+    outcomes: List[BenchOutcome] = field(default_factory=list)
+    trajectory_path: Optional[Path] = None
+    trajectory_row: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+
+def headline_scalars(doc: Dict[str, Any],
+                     limit: int = MAX_TRAJECTORY_SCALARS) -> Dict[str, float]:
+    """The flattened numeric results that summarize a bench document in a
+    trajectory row (alphabetical, capped at ``limit``)."""
+    from .regression import flatten_results
+
+    flat = flatten_results(doc.get("results") or {})
+    return {k: flat[k] for k in sorted(flat)[:limit]}
+
+
+class BenchRunner:
+    """Run bench modules in isolated subprocesses under the shared harness.
+
+    Each module runs as ``python -m pytest <module> -q`` with
+    ``--benchmark-disable`` (pytest-benchmark's calibrated timing loops are
+    off by default — the benches' own measured series and assertions still
+    run; pass ``calibrate=True`` to keep them).  The subprocess environment
+    carries the run's seed (:data:`SEED_ENV`) and output directory
+    (:data:`OUT_ENV`) so every document lands in one place with one
+    reproducible fingerprint.
+    """
+
+    def __init__(self, bench_dir: Optional[Path] = None,
+                 out_dir: Optional[Path] = None,
+                 seed: Optional[int] = None,
+                 calibrate: bool = False,
+                 extra_pytest_args: Sequence[str] = (),
+                 timeout: float = 3600.0):
+        self.bench_dir = Path(bench_dir) if bench_dir \
+            else repo_root() / "benchmarks"
+        self.out_dir = Path(out_dir) if out_dir else self.bench_dir.parent
+        self.seed = bench_seed() if seed is None else seed
+        self.calibrate = calibrate
+        self.extra_pytest_args = list(extra_pytest_args)
+        self.timeout = timeout
+
+    def modules(self, names: Optional[Sequence[str]] = None
+                ) -> List[BenchModule]:
+        mods = discover(self.bench_dir)
+        if names:
+            by_name = {m.name: m for m in mods}
+            missing = [n for n in names if n not in by_name]
+            if missing:
+                known = ", ".join(sorted(by_name))
+                raise ValueError(
+                    f"unknown bench(es) {missing}; available: {known}")
+            mods = [by_name[n] for n in names]
+        return mods
+
+    def _subprocess_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        env[SEED_ENV] = str(self.seed)
+        env[OUT_ENV] = str(self.out_dir)
+        src = str(repo_root() / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return env
+
+    def run_one(self, module: BenchModule, echo: bool = False) -> BenchOutcome:
+        cmd = [sys.executable, "-m", "pytest", str(module.path), "-q", "-s"]
+        if not self.calibrate:
+            cmd.append("--benchmark-disable")
+        cmd.extend(self.extra_pytest_args)
+        t0 = time.perf_counter()
+        try:
+            proc = subprocess.run(
+                cmd, env=self._subprocess_env(), cwd=str(self.bench_dir.parent),
+                capture_output=True, text=True, timeout=self.timeout)
+            returncode, output = proc.returncode, proc.stdout + proc.stderr
+        except subprocess.TimeoutExpired as exc:
+            returncode = -1
+            output = (exc.stdout or "") + (exc.stderr or "") + \
+                f"\n[timeout after {self.timeout:.0f}s]"
+        duration = time.perf_counter() - t0
+        if echo and output:
+            print(output, end="" if output.endswith("\n") else "\n")
+        outcome = BenchOutcome(
+            name=module.name, returncode=returncode,
+            duration_seconds=duration,
+            output_tail="\n".join(output.splitlines()[-25:]))
+        doc_path = self.out_dir / f"BENCH_{module.name}.json"
+        if doc_path.exists():
+            try:
+                with open(doc_path) as fh:
+                    outcome.doc = json.load(fh)
+                outcome.doc_path = doc_path
+            except ValueError:
+                outcome.returncode = outcome.returncode or 1
+        return outcome
+
+    def run(self, names: Optional[Sequence[str]] = None,
+            echo: bool = False, keep_going: bool = True,
+            trajectory: bool = True) -> RunSummary:
+        summary = RunSummary()
+        for module in self.modules(names):
+            # Stale documents must not masquerade as this run's output.
+            doc_path = self.out_dir / f"BENCH_{module.name}.json"
+            if doc_path.exists():
+                doc_path.unlink()
+            outcome = self.run_one(module, echo=echo)
+            summary.outcomes.append(outcome)
+            if not outcome.ok and not keep_going:
+                break
+        if trajectory and summary.outcomes:
+            summary.trajectory_path = self.out_dir / TRAJECTORY_NAME
+            summary.trajectory_row = append_trajectory(
+                summary.trajectory_path, summary.outcomes, seed=self.seed)
+        return summary
+
+
+def append_trajectory(path: Path, outcomes: Sequence[BenchOutcome],
+                      seed: Optional[int] = None) -> Dict[str, Any]:
+    """Append one summary row for a run to the trajectory JSONL file."""
+    env = fingerprint(seed=seed)
+    row: Dict[str, Any] = {
+        "ts": time.time(),
+        "schema": SCHEMA,
+        "git_sha": env.get("git_sha"),
+        "seed": env.get("seed"),
+        "env": env,
+        "ok": all(o.ok for o in outcomes),
+        "benches": {
+            o.name: {
+                "ok": o.ok,
+                "duration_seconds": round(o.duration_seconds, 3),
+                "scalars": headline_scalars(o.doc) if o.doc else {},
+            }
+            for o in outcomes
+        },
+    }
+    path = Path(path)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+    return row
+
+
+def load_trajectory(path: Path) -> List[Dict[str, Any]]:
+    """All rows of a trajectory JSONL file (skipping corrupt lines)."""
+    rows: List[Dict[str, Any]] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except ValueError:
+                    continue
+    except OSError:
+        pass
+    return rows
+
+
+def format_trajectory(rows: Sequence[Dict[str, Any]],
+                      last: int = 10) -> str:
+    """A terminal table of the most recent trajectory rows."""
+    rows = list(rows)[-last:]
+    if not rows:
+        return "trajectory is empty (run `repro bench run` to start it)"
+    lines = ["ts                  | sha      | seed | ok   | benches"]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        ts = time.strftime("%Y-%m-%d %H:%M:%S",
+                           time.localtime(row.get("ts", 0)))
+        sha = (row.get("git_sha") or "?")[:8]
+        benches = row.get("benches") or {}
+        failed = sorted(n for n, b in benches.items() if not b.get("ok"))
+        detail = (f"{len(benches)} ran"
+                  + (f", failed: {', '.join(failed)}" if failed else ""))
+        lines.append(f"{ts} | {sha:<8} | {row.get('seed', '?'):>4} | "
+                     f"{'pass' if row.get('ok') else 'FAIL':<4} | {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Paper-bound conformance monitoring: the theorems as runtime assertions.
+
+Theorem 4 promises the lowered word circuit for an FCQ has size
+``Õ(N + DAPB(Q))`` and polylog depth, where the budget comes from the
+polymatroid bound through the synthesized proof sequence (``Σ δ·n``).
+This module turns that envelope into gauges: for a compiled query it
+computes the *predicted* size/depth budget
+
+    size  ≤ SIZE_CONST  · (N + 2^log_budget) · log2(capacity)^3
+    depth ≤ DEPTH_CONST · log2(capacity)^2
+
+and emits ``conformance.size_ratio`` / ``conformance.depth_ratio``
+(observed ÷ predicted) per query, plus a ``conformance.violations``
+counter whenever a ratio exceeds 1.0 — i.e. the construction left the
+polylog-factored envelope the paper proves and a perf PR should fail loud.
+
+The constants are calibrated on the seed circuits (triangle ratios sit
+near 0.3, leaving ~3× headroom for constant-factor drift before a
+violation fires); the *growth* is what the gauges guard, and the
+benchmarks chart the ratios across N so drift is visible long before 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .metrics import REGISTRY
+from .trace import STATE
+
+#: Calibrated constant factors of the Õ(·) envelopes (see module docstring).
+SIZE_CONST = 256
+DEPTH_CONST = 256
+
+#: Polylog exponents of the envelopes: the lowering pays one log factor for
+#: word encoding and two for the sorting networks.
+SIZE_POLYLOG_EXP = 3
+DEPTH_POLYLOG_EXP = 2
+
+
+def polylog(capacity: float, exponent: int) -> float:
+    """``log2(capacity)^exponent`` with a floor of 1 (tiny circuits)."""
+    return max(1.0, math.log2(max(2.0, capacity))) ** exponent
+
+
+def size_budget(n_input: float, budget_tuples: float,
+                capacity: Optional[float] = None) -> float:
+    """Predicted word-gate budget ``Õ(N + DAPB)`` (Theorems 3 + 4)."""
+    if capacity is None:
+        capacity = n_input + budget_tuples
+    return SIZE_CONST * (n_input + budget_tuples) * \
+        polylog(capacity, SIZE_POLYLOG_EXP)
+
+
+def depth_budget(capacity: float) -> float:
+    """Predicted word-circuit depth budget ``Õ(1)`` (Theorem 4)."""
+    return DEPTH_CONST * polylog(capacity, DEPTH_POLYLOG_EXP)
+
+
+@dataclass
+class ConformanceReport:
+    """Observed vs predicted size/depth for one compiled pipeline."""
+
+    name: str
+    observed_size: int
+    predicted_size: float
+    observed_depth: int
+    predicted_depth: float
+    n_input: float
+    budget_tuples: float
+    capacity: float
+
+    @property
+    def size_ratio(self) -> float:
+        return self.observed_size / self.predicted_size
+
+    @property
+    def depth_ratio(self) -> float:
+        return self.observed_depth / self.predicted_depth
+
+    @property
+    def ok(self) -> bool:
+        return self.size_ratio <= 1.0 and self.depth_ratio <= 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "observed_size": self.observed_size,
+            "predicted_size": self.predicted_size,
+            "size_ratio": self.size_ratio,
+            "observed_depth": self.observed_depth,
+            "predicted_depth": self.predicted_depth,
+            "depth_ratio": self.depth_ratio,
+            "n_input": self.n_input,
+            "budget_tuples": self.budget_tuples,
+            "capacity": self.capacity,
+            "ok": self.ok,
+        }
+
+    def __str__(self) -> str:
+        flag = "OK" if self.ok else "VIOLATION"
+        return (f"conformance[{self.name}] {flag}: "
+                f"size {self.observed_size:,}/{self.predicted_size:,.0f} "
+                f"({self.size_ratio:.3f}), "
+                f"depth {self.observed_depth:,}/{self.predicted_depth:,.0f} "
+                f"({self.depth_ratio:.3f})")
+
+
+def emit(report: ConformanceReport) -> ConformanceReport:
+    """Record the report's gauges (and any violation) in the metrics
+    registry; a no-op while observability is disabled."""
+    if STATE.on:
+        REGISTRY.gauge("conformance.size_ratio").set(
+            report.size_ratio, query=report.name)
+        REGISTRY.gauge("conformance.depth_ratio").set(
+            report.depth_ratio, query=report.name)
+        if not report.ok:
+            REGISTRY.counter("conformance.violations").inc(query=report.name)
+    return report
+
+
+def check_lowered(name: str, observed_size: int, observed_depth: int,
+                  n_input: float, budget_tuples: float,
+                  capacity: Optional[float] = None) -> ConformanceReport:
+    """Check any lowered word circuit against the paper envelope.
+
+    ``n_input`` is the paper's ``N`` (total input tuples under the DC set),
+    ``budget_tuples`` the proof-sequence budget ``2^Σδ·n`` (``DAPB`` when
+    the proof is optimal; for building blocks like the pk-join, the output
+    bound).  Emits the conformance gauges when observability is on.
+    """
+    if capacity is None:
+        capacity = n_input + budget_tuples
+    report = ConformanceReport(
+        name=name,
+        observed_size=observed_size,
+        predicted_size=size_budget(n_input, budget_tuples, capacity),
+        observed_depth=observed_depth,
+        predicted_depth=depth_budget(capacity),
+        n_input=n_input,
+        budget_tuples=budget_tuples,
+        capacity=capacity,
+    )
+    return emit(report)
+
+
+def check_compiled(cq: Any) -> ConformanceReport:
+    """Conformance of a :class:`repro.api.CompiledQuery`'s lowered circuit
+    against its own polymatroid bound and proof sequence."""
+    proof = cq.proof()
+    lowered = cq.lowered()
+    n_input = cq.dc.total_input_size()
+    budget_tuples = 2.0 ** proof.log_budget
+    return check_lowered(str(cq.query), lowered.size, lowered.depth,
+                         n_input, budget_tuples)

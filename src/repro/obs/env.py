@@ -1,0 +1,69 @@
+"""Environment fingerprint for durable benchmark records.
+
+Every ``BENCH_<name>.json`` and trajectory row carries the fingerprint so a
+perf number can always be traced back to the toolchain, machine, and seed
+that produced it — and so the regression detector can tell *comparable*
+metrics (counts, ratios, exponents) apart from *machine-relative* ones
+(wall-clock timings), which it only gates when the two fingerprints come
+from the same machine class.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+#: Environment variable holding the shared data-generation seed for a bench
+#: run (see ``benchmarks/_util.bench_seed``); recorded in the fingerprint.
+SEED_ENV = "REPRO_BENCH_SEED"
+
+
+def bench_seed() -> int:
+    """The run-wide benchmark seed (``REPRO_BENCH_SEED``, default 0)."""
+    try:
+        return int(os.environ.get(SEED_ENV, "0"))
+    except ValueError:
+        return 0
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def machine_id(env: Dict[str, Any]) -> str:
+    """The machine-class key two fingerprints must share for wall-clock
+    timings to be comparable."""
+    return "/".join(str(env.get(k, "?"))
+                    for k in ("platform", "machine", "cpu_count"))
+
+
+def fingerprint(cwd: Optional[str] = None,
+                seed: Optional[int] = None) -> Dict[str, Any]:
+    """A JSON-serializable snapshot of the toolchain, machine, and seed."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    env: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha(cwd),
+        "seed": bench_seed() if seed is None else seed,
+    }
+    return env

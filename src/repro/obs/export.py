@@ -121,7 +121,12 @@ def _metric_value(name: str, body: Dict[str, Any]) -> str:
     if kind == "histogram":
         count = sum(r.get("count", 0) for r in rows)
         total = sum(r.get("sum", 0.0) for r in rows)
-        return f"count={count:g} sum={total:.6g}"
+        text = f"count={count:g} sum={total:.6g}"
+        busiest = max(rows, key=lambda r: r.get("count", 0), default=None)
+        if busiest and "p50" in busiest:
+            text += (f" p50={busiest['p50']:.4g} p95={busiest['p95']:.4g}"
+                     f" p99={busiest['p99']:.4g}")
+        return text
     total = sum(r.get("value", 0) for r in rows)
     if kind == "gauge" and len(rows) == 1:
         return f"{rows[0].get('value', 0):g}"
@@ -163,15 +168,27 @@ def summary(doc: Dict[str, Any], max_metric_rows: int = 40) -> str:
 
 def bench_document(name: str, results: Dict[str, Any],
                    tracer: Optional[Tracer] = None,
-                   registry: Optional[MetricsRegistry] = None
+                   registry: Optional[MetricsRegistry] = None,
+                   duration_seconds: Optional[float] = None
                    ) -> Dict[str, Any]:
-    """The ``BENCH_<name>.json`` payload: bench results + the obs metrics
-    and span tree collected while the bench ran."""
+    """The standardized ``BENCH_<name>.json`` payload (schema
+    ``repro.obs.bench/2``): bench result series + the obs metrics and span
+    tree collected while the bench ran + the environment fingerprint
+    (python/numpy versions, CPU count, git SHA, data seed) that makes the
+    record comparable across runs — see ``docs/observability.md``."""
+    from .bench import SCHEMA
+    from .env import fingerprint
+
     doc = trace_document(tracer, registry, meta={"bench": name})
-    return {
+    out = {
+        "schema": SCHEMA,
         "bench": name,
+        "env": fingerprint(),
         "results": results,
         "metrics": doc["metrics"],
         "spans": doc["spans"],
         "meta": doc["meta"],
     }
+    if duration_seconds is not None:
+        out["duration_seconds"] = round(duration_seconds, 3)
+    return out

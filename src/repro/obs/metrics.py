@@ -6,10 +6,11 @@ Named instruments with optional string labels, e.g.
     obs.metrics.gauge("plan.slots").set(plan.n_slots)
     obs.metrics.histogram("engine.level.seconds").observe(dt, level=3, op="ADD")
 
-Histograms are summary-style (count / sum / min / max) — enough for the
-stage-time and width distributions the benchmarks need, with no bucket
-configuration and no dependencies.  Every update fires the
-:func:`repro.obs.on_metric` hooks.
+Histograms are summary-style (count / sum / min / max) plus p50/p95/p99
+percentiles estimated from a bounded reservoir sample (Algorithm R,
+deterministic per-instrument RNG), so the per-observation cost stays a few
+list operations with no bucket configuration and no dependencies.  Every
+update fires the :func:`repro.obs.on_metric` hooks.
 
 Instrument methods are only reached from instrumented code that already
 checked ``STATE.on``, so the registry imposes zero cost while disabled.
@@ -17,16 +18,31 @@ checked ``STATE.on``, so the registry imposes zero cost while disabled.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Any, Dict, List, Tuple
 
 from . import hooks
 
 LabelKey = Tuple[Tuple[str, Any], ...]
 
+#: Reservoir capacity per (histogram, label set).  Percentiles are exact up
+#: to this many observations and a uniform sample beyond it.
+RESERVOIR_SIZE = 256
+
+PERCENTILES = (50, 95, 99)
+
 
 def _key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted(labels.items()))
+
+
+def _percentile(sorted_sample: List[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty sample."""
+    rank = max(0, min(len(sorted_sample) - 1,
+                      int(p / 100.0 * len(sorted_sample) + 0.5) - 1))
+    return sorted_sample[rank]
 
 
 class Counter:
@@ -76,16 +92,25 @@ class Gauge:
 
 
 class Histogram:
-    """A summary (count, sum, min, max) of observations, per label set."""
+    """A summary (count, sum, min, max, p50/p95/p99) of observations, per
+    label set.
+
+    Percentiles come from a bounded reservoir (:data:`RESERVOIR_SIZE`
+    values per label set, Vitter's Algorithm R): exact while the count fits
+    the reservoir, an unbiased uniform sample after.  The replacement RNG
+    is seeded from the instrument name so runs are reproducible.
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "_lock", "values")
+    __slots__ = ("name", "_lock", "values", "reservoirs", "_rng")
 
     def __init__(self, name: str, lock: threading.Lock):
         self.name = name
         self._lock = lock
         # label key -> [count, sum, min, max]
         self.values: Dict[LabelKey, List[float]] = {}
+        self.reservoirs: Dict[LabelKey, List[float]] = {}
+        self._rng = random.Random(zlib.crc32(name.encode()))
 
     def observe(self, value: float, **labels: Any) -> None:
         k = _key(labels)
@@ -93,6 +118,7 @@ class Histogram:
             cell = self.values.get(k)
             if cell is None:
                 self.values[k] = [1, value, value, value]
+                self.reservoirs[k] = [value]
             else:
                 cell[0] += 1
                 cell[1] += value
@@ -100,14 +126,38 @@ class Histogram:
                     cell[2] = value
                 if value > cell[3]:
                     cell[3] = value
+                reservoir = self.reservoirs[k]
+                if len(reservoir) < RESERVOIR_SIZE:
+                    reservoir.append(value)
+                else:
+                    j = self._rng.randrange(int(cell[0]))
+                    if j < RESERVOIR_SIZE:
+                        reservoir[j] = value
         hooks.fire_metric(self.name, self.kind, value, labels)
+
+    def percentile(self, p: float, **labels: Any) -> float:
+        """The (reservoir-estimated) ``p``-th percentile; 0.0 when empty."""
+        reservoir = self.reservoirs.get(_key(labels))
+        if not reservoir:
+            return 0.0
+        return _percentile(sorted(reservoir), p)
+
+    def percentiles(self, **labels: Any) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for one label set."""
+        reservoir = self.reservoirs.get(_key(labels))
+        if not reservoir:
+            return {f"p{p}": 0.0 for p in PERCENTILES}
+        ordered = sorted(reservoir)
+        return {f"p{p}": _percentile(ordered, p) for p in PERCENTILES}
 
     def summary(self, **labels: Any) -> Dict[str, float]:
         cell = self.values.get(_key(labels))
         if cell is None:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    **{f"p{p}": 0.0 for p in PERCENTILES}}
         return {"count": cell[0], "sum": cell[1],
-                "min": cell[2], "max": cell[3]}
+                "min": cell[2], "max": cell[3],
+                **self.percentiles(**labels)}
 
     @property
     def total_count(self) -> int:
@@ -164,7 +214,8 @@ class MetricsRegistry:
                 labels = {lk: lv for lk, lv in k}
                 if inst.kind == "histogram":
                     rows.append({"labels": labels, "count": v[0], "sum": v[1],
-                                 "min": v[2], "max": v[3]})
+                                 "min": v[2], "max": v[3],
+                                 **inst.percentiles(**labels)})
                 else:
                     rows.append({"labels": labels, "value": v})
             out[name] = {"kind": inst.kind, "values": rows}

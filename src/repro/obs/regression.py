@@ -1,0 +1,303 @@
+"""Noise-tolerant perf-regression detection over ``BENCH_<name>.json`` docs.
+
+:func:`compare` diffs the flattened numeric results of a current bench
+document against a stored baseline with per-metric relative thresholds:
+
+* metric **direction** is inferred from the name (``*_ms`` / ``*cost*`` /
+  ``*gates*`` regress upward, ``*speedup*`` / ``*throughput*`` regress
+  downward, everything else is informational);
+* **wall-clock metrics** are machine-relative, so they are only gated when
+  the two documents' environment fingerprints name the same machine class
+  (or ``strict_times=True`` forces it), never below ``min_time_ms``, and
+  at ``time_threshold_factor`` × the base threshold (single-run timings
+  vary by tens of percent even idle; the time gate catches step changes
+  while machine-independent counts stay tight);
+* **min-sample guard**: percentile metrics derived from obs histograms are
+  only gated when the histogram saw at least ``min_samples`` observations;
+* a **zero-valued baseline** has no relative scale, so a nonzero current
+  value is reported (``new-from-zero``) but never gated;
+* metrics present on only one side are reported, not gated.
+
+:func:`compare_dirs` pairs whole directories of bench documents (the
+baseline store), which is what ``repro bench compare`` and the CI perf
+gate run.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .env import machine_id
+
+#: Default relative-change tolerance before a gated metric regresses.
+DEFAULT_THRESHOLD = 0.20
+
+#: Wall-clock metrics below this many milliseconds are too noisy to gate.
+DEFAULT_MIN_TIME_MS = 1.0
+
+#: Histogram percentiles need at least this many observations to be gated.
+DEFAULT_MIN_SAMPLES = 8
+
+#: Wall-clock metrics are gated at this multiple of the base threshold:
+#: single-run timings vary by tens of percent even on an idle machine, so
+#: the time gate catches step changes (2×+) while counts stay tight.
+DEFAULT_TIME_THRESHOLD_FACTOR = 3.0
+
+_LOWER_BETTER = ("_ms", "_seconds", "_s", "_ns", "_bytes", "_mb",
+                 "cost", "gates", "size", "depth", "steps", "slots",
+                 "bytes", "latency", "p50", "p95", "p99")
+_HIGHER_BETTER = ("speedup", "throughput", "per_second", "saving",
+                  "ops_per", "gate_evals")
+_TIME_MARKERS = ("_ms", "_seconds", "_ns", "seconds.", ".ms", "latency")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` / ``"higher"`` (better) or ``"neutral"`` (informational,
+    e.g. fitted exponents and crossovers, which the benches assert on
+    directly).  Only the leaf of a dotted path counts: the *test* name
+    (``test_throughput_vs_per_gate.gates``) must not flip its metrics."""
+    low = name.lower().rsplit(".", 1)[-1]
+    if any(marker in low for marker in _HIGHER_BETTER):
+        return "higher"
+    if any(low.endswith(suffix) or suffix in low
+           for suffix in _LOWER_BETTER):
+        return "lower"
+    return "neutral"
+
+
+def is_time_metric(name: str) -> bool:
+    low = name.lower()
+    return any(marker in low for marker in _TIME_MARKERS)
+
+
+def flatten_results(results: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-path numeric leaves of a bench ``results`` tree (non-numeric
+    leaves — tables, series dicts keyed by N, strings — are skipped)."""
+    flat: Dict[str, float] = {}
+    if isinstance(results, dict):
+        for key, value in results.items():
+            sub = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_results(value, sub))
+    elif isinstance(results, bool):
+        pass
+    elif isinstance(results, (int, float)) and prefix:
+        flat[prefix] = float(results)
+    return flat
+
+
+def histogram_stats(doc: Dict[str, Any]) -> Dict[str, Tuple[float, int]]:
+    """``metrics.<name>.p50 -> (value, count)`` for every obs histogram in
+    the document (summed label sets use the busiest row)."""
+    out: Dict[str, Tuple[float, int]] = {}
+    for name, body in (doc.get("metrics") or {}).items():
+        if body.get("kind") != "histogram":
+            continue
+        rows = body.get("values") or []
+        best = max(rows, key=lambda r: r.get("count", 0), default=None)
+        if best is None or "p50" not in best:
+            continue
+        for p in ("p50", "p95", "p99"):
+            out[f"metrics.{name}.{p}"] = (float(best[p]),
+                                          int(best.get("count", 0)))
+    return out
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric: values, relative change, and classification."""
+
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    direction: str
+    status: str          # ok | regression | improvement | skipped |
+    #                      baseline-only | current-only | new-from-zero
+    rel_change: Optional[float] = None
+    note: str = ""
+
+    def format_row(self) -> Tuple[str, str, str, str, str]:
+        fmt = lambda v: "—" if v is None else f"{v:.6g}"  # noqa: E731
+        change = ("—" if self.rel_change is None
+                  else f"{self.rel_change * 100:+.1f}%")
+        return (self.metric, fmt(self.baseline), fmt(self.current),
+                change, self.status + (f" ({self.note})" if self.note else ""))
+
+
+@dataclass
+class CompareReport:
+    """The outcome of comparing one bench against its baseline."""
+
+    bench: str
+    threshold: float
+    deltas: List[MetricDelta] = field(default_factory=list)
+    note: str = ""
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_table(self, only_interesting: bool = True) -> str:
+        header = ("PASS" if self.ok else "FAIL")
+        lines = [f"[{header}] bench {self.bench} "
+                 f"(threshold {self.threshold * 100:.0f}%"
+                 + (f"; {self.note}" if self.note else "") + ")"]
+        deltas = self.deltas
+        if only_interesting:
+            deltas = [d for d in deltas
+                      if d.status not in ("ok", "skipped")] or deltas
+        rows = [d.format_row() for d in deltas]
+        if rows:
+            widths = [max(len(r[i]) for r in rows + [
+                ("metric", "baseline", "current", "Δ", "status")])
+                for i in range(5)]
+            head = ("metric", "baseline", "current", "Δ", "status")
+            lines.append("  " + " | ".join(
+                h.ljust(w) for h, w in zip(head, widths)))
+            for r in rows:
+                lines.append("  " + " | ".join(
+                    c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+def _threshold_for(name: str, default: float,
+                   per_metric: Optional[Dict[str, float]]
+                   ) -> Tuple[float, bool]:
+    """The threshold for ``name`` and whether an explicit per-metric
+    pattern (which wins over the time-metric loosening) supplied it."""
+    if per_metric:
+        for pattern, value in per_metric.items():
+            if name == pattern or fnmatch.fnmatch(name, pattern):
+                return value, True
+    return default, False
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            threshold: float = DEFAULT_THRESHOLD,
+            per_metric: Optional[Dict[str, float]] = None,
+            strict_times: bool = False,
+            min_time_ms: float = DEFAULT_MIN_TIME_MS,
+            min_samples: int = DEFAULT_MIN_SAMPLES,
+            time_threshold_factor: float = DEFAULT_TIME_THRESHOLD_FACTOR,
+            include_obs_metrics: bool = False) -> CompareReport:
+    """Diff two bench documents; see the module docstring for the policy."""
+    bench = current.get("bench") or baseline.get("bench") or "?"
+    report = CompareReport(bench=bench, threshold=threshold)
+
+    same_machine = machine_id(current.get("env") or {}) == \
+        machine_id(baseline.get("env") or {})
+    times_gated = strict_times or same_machine
+    if not times_gated:
+        report.note = "different machines; wall-clock metrics not gated"
+
+    cur_flat = flatten_results(current.get("results") or {})
+    base_flat = flatten_results(baseline.get("results") or {})
+    counts: Dict[str, int] = {}
+    if include_obs_metrics:
+        cur_hist = histogram_stats(current)
+        base_hist = histogram_stats(baseline)
+        for name, (value, count) in cur_hist.items():
+            cur_flat[name] = value
+            counts[name] = min(count, base_hist.get(name, (0, 0))[1])
+        for name, (value, _count) in base_hist.items():
+            base_flat[name] = value
+
+    for name in sorted(set(cur_flat) | set(base_flat)):
+        direction = metric_direction(name)
+        base = base_flat.get(name)
+        cur = cur_flat.get(name)
+        if base is None:
+            report.deltas.append(MetricDelta(
+                name, None, cur, direction, "current-only"))
+            continue
+        if cur is None:
+            report.deltas.append(MetricDelta(
+                name, base, None, direction, "baseline-only"))
+            continue
+        if base == 0:
+            status = "ok" if cur == 0 else "new-from-zero"
+            report.deltas.append(MetricDelta(
+                name, base, cur, direction, status,
+                note="" if cur == 0 else "no relative scale"))
+            continue
+        rel = (cur - base) / abs(base)
+        delta = MetricDelta(name, base, cur, direction, "ok", rel_change=rel)
+        gated = direction != "neutral"
+        if gated and is_time_metric(name):
+            if not times_gated:
+                delta.status, delta.note = "skipped", "machine-relative"
+                gated = False
+            elif max(abs(base), abs(cur)) < min_time_ms:
+                delta.status, delta.note = "skipped", \
+                    f"below {min_time_ms:g} ms noise floor"
+                gated = False
+        if gated and name in counts and counts[name] < min_samples:
+            delta.status, delta.note = "skipped", \
+                f"only {counts[name]} samples (< {min_samples})"
+            gated = False
+        if gated:
+            limit, explicit = _threshold_for(name, threshold, per_metric)
+            if not explicit and is_time_metric(name):
+                limit *= time_threshold_factor
+            bad = rel > limit if direction == "lower" else rel < -limit
+            good = rel < -limit if direction == "lower" else rel > limit
+            if bad:
+                delta.status = "regression"
+            elif good:
+                delta.status = "improvement"
+        report.deltas.append(delta)
+    return report
+
+
+def load_bench_doc(path: Path) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_dirs(current_dir: Path, baseline_dir: Path,
+                 names: Optional[Sequence[str]] = None,
+                 **kwargs: Any) -> List[CompareReport]:
+    """Pair ``BENCH_<name>.json`` files across two directories.
+
+    A bench with no baseline yet passes with a note (the first recorded run
+    *becomes* the baseline); a baseline whose current run is missing is
+    reported the same way only when ``names`` asked for it explicitly.
+    """
+    current_dir, baseline_dir = Path(current_dir), Path(baseline_dir)
+    reports: List[CompareReport] = []
+    wanted = set(names) if names else None
+    for cur_path in sorted(current_dir.glob("BENCH_*.json")):
+        name = cur_path.stem[len("BENCH_"):]
+        if wanted is not None and name not in wanted:
+            continue
+        base_path = baseline_dir / cur_path.name
+        if not base_path.exists():
+            reports.append(CompareReport(
+                bench=name, threshold=kwargs.get(
+                    "threshold", DEFAULT_THRESHOLD),
+                note="no baseline recorded; run passes"))
+            continue
+        reports.append(compare(load_bench_doc(cur_path),
+                               load_bench_doc(base_path), **kwargs))
+    if wanted:
+        seen = {r.bench for r in reports}
+        for name in sorted(wanted - seen):
+            reports.append(CompareReport(
+                bench=name,
+                threshold=kwargs.get("threshold", DEFAULT_THRESHOLD),
+                deltas=[MetricDelta(name, None, None, "neutral",
+                                    "regression",
+                                    note="bench produced no current doc")],
+                note="requested bench missing from current run"))
+    return reports

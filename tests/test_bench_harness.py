@@ -1,0 +1,228 @@
+"""The continuous-benchmarking harness (repro.obs.bench) end to end:
+module discovery, subprocess isolation with seed/output plumbing, the
+standardized document schema, the trajectory file, and the ``repro bench``
+CLI verbs including the perf-gate exit codes.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    SCHEMA,
+    BenchOutcome,
+    BenchRunner,
+    append_trajectory,
+    discover,
+    format_trajectory,
+    headline_scalars,
+    load_trajectory,
+)
+
+TOY_BENCH = textwrap.dedent("""\
+    import json, os
+    from pathlib import Path
+
+    def test_toy():
+        from repro.obs.env import bench_seed, fingerprint
+        doc = {"schema": "repro.obs.bench/2", "bench": "toy",
+               "env": fingerprint(),
+               "results": {"test_toy": {"gates": 100,
+                                        "seed_seen": bench_seed()}}}
+        out = Path(os.environ["REPRO_BENCH_OUT"]) / "BENCH_toy.json"
+        out.write_text(json.dumps(doc))
+""")
+
+BAD_BENCH = "def test_bad():\n    assert False, 'injected failure'\n"
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    d = tmp_path / "benches"
+    d.mkdir()
+    (d / "bench_toy.py").write_text(TOY_BENCH)
+    return d
+
+
+def write_doc(path, bench, results):
+    doc = {"schema": SCHEMA, "bench": bench,
+           "env": {"platform": "linux", "machine": "x", "cpu_count": 1},
+           "results": results, "metrics": {}}
+    path.write_text(json.dumps(doc))
+
+
+# ------------------------------------------------------------- discovery
+
+def test_discover_repo_bench_modules():
+    mods = discover()
+    names = [m.name for m in mods]
+    assert "engine" in names and "fig1_triangle" in names
+    assert len(names) >= 17
+    assert names == sorted(names)
+    assert all(m.path.name == f"bench_{m.name}.py" for m in mods)
+
+
+def test_discover_custom_dir(bench_dir):
+    assert [m.name for m in discover(bench_dir)] == ["toy"]
+
+
+def test_unknown_bench_name_raises(bench_dir):
+    runner = BenchRunner(bench_dir=bench_dir)
+    with pytest.raises(ValueError, match="unknown bench"):
+        runner.modules(["nope"])
+
+
+# ------------------------------------------------------ runner subprocess
+
+def test_runner_end_to_end(bench_dir, tmp_path):
+    """One subprocess run: seed plumbed through the env, document collected
+    under the schema, failure isolated, trajectory row appended."""
+    (bench_dir / "bench_bad.py").write_text(BAD_BENCH)
+    out = tmp_path / "out"
+    out.mkdir()
+    runner = BenchRunner(bench_dir=bench_dir, out_dir=out, seed=42,
+                         timeout=300)
+    summary = runner.run()
+
+    by_name = {o.name: o for o in summary.outcomes}
+    assert set(by_name) == {"bad", "toy"}
+    assert not summary.ok
+
+    toy = by_name["toy"]
+    assert toy.ok and toy.doc_path == out / "BENCH_toy.json"
+    assert toy.doc["schema"] == SCHEMA
+    assert toy.doc["env"]["seed"] == 42
+    assert toy.doc["results"]["test_toy"]["seed_seen"] == 42
+
+    bad = by_name["bad"]
+    assert not bad.ok and bad.returncode != 0
+    assert "injected failure" in bad.output_tail
+
+    rows = load_trajectory(summary.trajectory_path)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["seed"] == 42 and row["ok"] is False
+    assert row["benches"]["toy"]["ok"] is True
+    assert row["benches"]["toy"]["scalars"]["test_toy.gates"] == 100.0
+    assert "pass" not in format_trajectory(rows).splitlines()[-1].split("|")[3]
+
+
+def test_runner_removes_stale_documents(bench_dir, tmp_path):
+    """A failing bench must not pass on the strength of an old document."""
+    (bench_dir / "bench_toy.py").write_text(BAD_BENCH)
+    out = tmp_path / "out"
+    out.mkdir()
+    write_doc(out / "BENCH_toy.json", "toy", {"test_toy": {"gates": 1}})
+    summary = BenchRunner(bench_dir=bench_dir, out_dir=out,
+                          timeout=300).run(trajectory=False)
+    assert not summary.ok
+    assert not (out / "BENCH_toy.json").exists()
+
+
+# ------------------------------------------------------------- trajectory
+
+def test_trajectory_append_and_load(tmp_path):
+    path = tmp_path / "traj.jsonl"
+    outcome = BenchOutcome(name="toy", returncode=0, duration_seconds=0.5,
+                           doc={"results": {"t": {"gates": 7}}})
+    append_trajectory(path, [outcome], seed=3)
+    path.write_text(path.read_text() + "not json\n")   # corrupt tail line
+    append_trajectory(path, [outcome], seed=4)
+    rows = load_trajectory(path)
+    assert [r["seed"] for r in rows] == [3, 4]
+    assert rows[0]["benches"]["toy"]["scalars"] == {"t.gates": 7.0}
+    assert "2 ran" not in format_trajectory(rows)
+
+
+def test_headline_scalars_capped():
+    doc = {"results": {"t": {f"m{i:03d}": i for i in range(100)}}}
+    scalars = headline_scalars(doc, limit=32)
+    assert len(scalars) == 32
+    assert min(scalars) == "t.m000"
+
+
+# -------------------------------------------------------------------- CLI
+
+def test_cli_bench_run_requires_names_or_all(capsys):
+    assert main(["bench", "run"]) == 2
+
+
+def test_cli_bench_run_unknown_name(bench_dir, tmp_path, capsys):
+    assert main(["bench", "run", "nope", "--bench-dir", str(bench_dir),
+                 "--out", str(tmp_path)]) == 2
+    assert "unknown bench" in capsys.readouterr().err
+
+
+def test_cli_bench_run_all_updates_baseline(bench_dir, tmp_path, capsys):
+    out, baselines = tmp_path / "out", tmp_path / "baselines"
+    out.mkdir()
+    rc = main(["bench", "run", "--all", "--bench-dir", str(bench_dir),
+               "--out", str(out), "--seed", "7",
+               "--update-baseline", str(baselines)])
+    assert rc == 0
+    assert (out / "BENCH_toy.json").exists()
+    assert (baselines / "BENCH_toy.json").exists()
+    assert load_trajectory(out / "BENCH_trajectory.jsonl")
+    stdout = capsys.readouterr().out
+    assert "trajectory row appended" in stdout and "baselines updated" in stdout
+
+
+def test_cli_bench_compare_gate(tmp_path, capsys):
+    """Exit 0 on a clean run, 1 on an injected regression, 2 with no docs."""
+    cur, base = tmp_path / "cur", tmp_path / "base"
+    cur.mkdir(), base.mkdir()
+    write_doc(base / "BENCH_toy.json", "toy", {"t": {"gates": 100}})
+
+    write_doc(cur / "BENCH_toy.json", "toy", {"t": {"gates": 101}})
+    assert main(["bench", "compare", "--current", str(cur),
+                 "--baseline", str(base)]) == 0
+    assert "perf gate: pass" in capsys.readouterr().out
+
+    write_doc(cur / "BENCH_toy.json", "toy", {"t": {"gates": 200}})
+    assert main(["bench", "compare", "--current", str(cur),
+                 "--baseline", str(base)]) == 1
+    assert "perf gate: FAIL" in capsys.readouterr().out
+
+    assert main(["bench", "compare", "--current", str(tmp_path / "empty"),
+                 "--baseline", str(base)]) == 2
+
+
+def test_cli_bench_compare_only_and_threshold(tmp_path, capsys):
+    cur, base = tmp_path / "cur", tmp_path / "base"
+    cur.mkdir(), base.mkdir()
+    write_doc(base / "BENCH_a.json", "a", {"t": {"gates": 100}})
+    write_doc(cur / "BENCH_a.json", "a", {"t": {"gates": 130}})
+    write_doc(base / "BENCH_b.json", "b", {"t": {"gates": 100}})
+    write_doc(cur / "BENCH_b.json", "b", {"t": {"gates": 500}})
+    # gate only a; its +30% passes a loosened 50% threshold
+    assert main(["bench", "compare", "--current", str(cur),
+                 "--baseline", str(base), "--only", "a",
+                 "--threshold", "0.5"]) == 0
+    capsys.readouterr()
+    # the default 20% threshold catches it
+    assert main(["bench", "compare", "--current", str(cur),
+                 "--baseline", str(base), "--only", "a"]) == 1
+
+
+def test_cli_bench_report(tmp_path, capsys):
+    out = tmp_path
+    write_doc(out / "BENCH_toy.json", "toy", {"t": {"gates": 9}})
+    outcome = BenchOutcome(name="toy", returncode=0, duration_seconds=0.1,
+                           doc={"results": {"t": {"gates": 9}}})
+    append_trajectory(out / "BENCH_trajectory.jsonl", [outcome], seed=5)
+    rc = main(["bench", "report", "toy",
+               "--trajectory", str(out / "BENCH_trajectory.jsonl"),
+               "--dir", str(out)])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "## toy" in stdout and "t.gates" in stdout
+    assert "|    5 | pass" in stdout      # the trajectory row's seed column
+
+
+def test_cli_bench_report_empty_trajectory(tmp_path, capsys):
+    assert main(["bench", "report",
+                 "--trajectory", str(tmp_path / "none.jsonl"),
+                 "--dir", str(tmp_path)]) == 0
+    assert "trajectory is empty" in capsys.readouterr().out

@@ -1,0 +1,299 @@
+"""Edge cases of the noise-tolerant perf-regression detector
+(repro.obs.regression): direction inference, the just-under / just-over
+threshold boundary, zero-valued baselines, one-sided metrics, missing
+baseline documents, machine-relative wall-clock gating, and the
+min-sample guard on histogram percentiles.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.env import fingerprint, machine_id
+from repro.obs.regression import (
+    CompareReport,
+    MetricDelta,
+    compare,
+    compare_dirs,
+    flatten_results,
+    histogram_stats,
+    is_time_metric,
+    metric_direction,
+)
+
+ENV = {"platform": "linux", "machine": "x86_64", "cpu_count": 8,
+       "python": "3.11.0", "seed": 0}
+OTHER_ENV = {"platform": "darwin", "machine": "arm64", "cpu_count": 10,
+             "python": "3.11.0", "seed": 0}
+
+
+def doc(results, env=ENV, bench="demo", metrics=None):
+    return {"schema": "repro.obs.bench/2", "bench": bench, "env": env,
+            "results": results, "metrics": metrics or {}}
+
+
+def by_metric(report, name):
+    for delta in report.deltas:
+        if delta.metric == name:
+            return delta
+    raise AssertionError(f"{name} not in report: "
+                         f"{[d.metric for d in report.deltas]}")
+
+
+# ---------------------------------------------------------------- direction
+
+def test_direction_inference():
+    assert metric_direction("test_a.engine_ms") == "lower"
+    assert metric_direction("test_a.gates") == "lower"
+    assert metric_direction("test_a.plan_cost") == "lower"
+    assert metric_direction("test_a.p95") == "lower"
+    assert metric_direction("test_a.speedup") == "higher"
+    assert metric_direction("test_a.rows_per_second") == "higher"
+    # fitted exponents and crossovers are informational, never gated
+    assert metric_direction("test_a.slope") == "neutral"
+    assert metric_direction("test_a.best_exponent") == "neutral"
+    # only the leaf counts: a test *named* for throughput must not flip
+    # its lower-better metrics into higher-better ones
+    assert metric_direction("test_throughput_vs_per_gate.gates") == "lower"
+    assert metric_direction("test_speedup_curve.series.64") == "neutral"
+
+
+def test_time_metric_detection():
+    assert is_time_metric("t.engine_ms")
+    assert is_time_metric("t.duration_seconds")
+    assert not is_time_metric("t.gates")
+    assert not is_time_metric("t.speedup")
+
+
+def test_flatten_skips_non_numeric_and_bools():
+    flat = flatten_results({"t": {"gates": 10, "ok": True, "name": "x",
+                                  "series": {"64": 1.0, "128": 2.0}}})
+    assert flat == {"t.gates": 10.0, "t.series.64": 1.0, "t.series.128": 2.0}
+    assert "t.ok" not in flat
+
+
+# ------------------------------------------------------ threshold boundary
+
+def test_noise_just_under_threshold_passes():
+    report = compare(doc({"t": {"gates": 119}}), doc({"t": {"gates": 100}}),
+                     threshold=0.20)
+    assert by_metric(report, "t.gates").status == "ok"
+    assert report.ok
+
+
+def test_noise_just_over_threshold_regresses():
+    report = compare(doc({"t": {"gates": 121}}), doc({"t": {"gates": 100}}),
+                     threshold=0.20)
+    delta = by_metric(report, "t.gates")
+    assert delta.status == "regression"
+    assert delta.rel_change == pytest.approx(0.21)
+    assert not report.ok
+
+
+def test_higher_better_direction_flips_the_gate():
+    # speedup falling by >20% is the regression; rising is the improvement
+    worse = compare(doc({"t": {"speedup": 7.0}}),
+                    doc({"t": {"speedup": 10.0}}))
+    assert by_metric(worse, "t.speedup").status == "regression"
+    better = compare(doc({"t": {"speedup": 13.0}}),
+                     doc({"t": {"speedup": 10.0}}))
+    assert by_metric(better, "t.speedup").status == "improvement"
+
+
+def test_improvement_on_lower_better_metric():
+    report = compare(doc({"t": {"gates": 70}}), doc({"t": {"gates": 100}}))
+    assert by_metric(report, "t.gates").status == "improvement"
+    assert report.ok
+
+
+def test_per_metric_threshold_override():
+    current, baseline = doc({"t": {"gates": 130}}), doc({"t": {"gates": 100}})
+    strict = compare(current, baseline, per_metric={"t.gates": 0.10})
+    assert by_metric(strict, "t.gates").status == "regression"
+    loose = compare(current, baseline, per_metric={"t.*": 0.50})
+    assert by_metric(loose, "t.gates").status == "ok"
+
+
+# --------------------------------------------------------- zero baselines
+
+def test_zero_valued_baseline_is_never_gated():
+    report = compare(doc({"t": {"gates": 50}}), doc({"t": {"gates": 0}}))
+    delta = by_metric(report, "t.gates")
+    assert delta.status == "new-from-zero"
+    assert delta.rel_change is None
+    assert report.ok        # informational, not a failure
+
+
+def test_zero_to_zero_is_ok():
+    report = compare(doc({"t": {"gates": 0}}), doc({"t": {"gates": 0}}))
+    assert by_metric(report, "t.gates").status == "ok"
+
+
+# ------------------------------------------------------ one-sided metrics
+
+def test_metric_only_in_current_is_reported_not_gated():
+    report = compare(doc({"t": {"gates": 10, "depth": 5}}),
+                     doc({"t": {"gates": 10}}))
+    delta = by_metric(report, "t.depth")
+    assert delta.status == "current-only"
+    assert delta.baseline is None
+    assert report.ok
+
+
+def test_metric_only_in_baseline_is_reported_not_gated():
+    report = compare(doc({"t": {"gates": 10}}),
+                     doc({"t": {"gates": 10, "depth": 5}}))
+    delta = by_metric(report, "t.depth")
+    assert delta.status == "baseline-only"
+    assert delta.current is None
+    assert report.ok
+
+
+# ------------------------------------------------- wall-clock time policy
+
+def test_wall_clock_skipped_across_machines():
+    report = compare(doc({"t": {"engine_ms": 500.0}}),
+                     doc({"t": {"engine_ms": 100.0}}, env=OTHER_ENV))
+    delta = by_metric(report, "t.engine_ms")
+    assert delta.status == "skipped"
+    assert "machine" in delta.note
+    assert report.ok and "wall-clock" in report.note
+
+
+def test_wall_clock_gated_on_same_machine():
+    report = compare(doc({"t": {"engine_ms": 500.0}}),
+                     doc({"t": {"engine_ms": 100.0}}))
+    assert by_metric(report, "t.engine_ms").status == "regression"
+
+
+def test_wall_clock_threshold_is_loosened():
+    """Timings gate at 3× the base threshold: +40% single-run noise
+    passes where a +40% gate count would fail."""
+    report = compare(doc({"t": {"engine_ms": 140.0, "gates": 140}}),
+                     doc({"t": {"engine_ms": 100.0, "gates": 100}}))
+    assert by_metric(report, "t.engine_ms").status == "ok"
+    assert by_metric(report, "t.gates").status == "regression"
+    step = compare(doc({"t": {"engine_ms": 200.0}}),
+                   doc({"t": {"engine_ms": 100.0}}))
+    assert by_metric(step, "t.engine_ms").status == "regression"
+
+
+def test_explicit_per_metric_threshold_wins_over_time_loosening():
+    report = compare(doc({"t": {"engine_ms": 140.0}}),
+                     doc({"t": {"engine_ms": 100.0}}),
+                     per_metric={"t.engine_ms": 0.30})
+    assert by_metric(report, "t.engine_ms").status == "regression"
+
+
+def test_strict_times_forces_cross_machine_gating():
+    report = compare(doc({"t": {"engine_ms": 500.0}}),
+                     doc({"t": {"engine_ms": 100.0}}, env=OTHER_ENV),
+                     strict_times=True)
+    assert by_metric(report, "t.engine_ms").status == "regression"
+
+
+def test_sub_millisecond_timings_below_noise_floor():
+    report = compare(doc({"t": {"hit_ms": 0.9}}), doc({"t": {"hit_ms": 0.3}}))
+    delta = by_metric(report, "t.hit_ms")
+    assert delta.status == "skipped"
+    assert "noise floor" in delta.note
+
+
+def test_count_metrics_gated_even_across_machines():
+    """Gate counts are machine-independent: they regress anywhere."""
+    report = compare(doc({"t": {"gates": 200}}),
+                     doc({"t": {"gates": 100}}, env=OTHER_ENV))
+    assert by_metric(report, "t.gates").status == "regression"
+
+
+def test_machine_id_distinguishes_fingerprints():
+    assert machine_id(ENV) != machine_id(OTHER_ENV)
+    fp = fingerprint(seed=7)
+    assert fp["seed"] == 7
+    assert machine_id(fp) == machine_id(fingerprint())
+
+
+# --------------------------------------------- histogram min-sample guard
+
+def hist_doc(p95, count, results=None):
+    metrics = {"span.duration_ms": {
+        "kind": "histogram",
+        "values": [{"labels": {"name": "x"}, "count": count, "sum": 1.0,
+                    "min": 0.0, "max": 1.0, "p50": p95 / 2,
+                    "p95": p95, "p99": p95}]}}
+    return doc(results or {}, metrics=metrics)
+
+
+def test_histogram_stats_extraction():
+    stats = histogram_stats(hist_doc(p95=8.0, count=100))
+    assert stats["metrics.span.duration_ms.p95"] == (8.0, 100)
+
+
+def test_percentiles_skipped_under_min_samples():
+    report = compare(hist_doc(p95=50.0, count=3), hist_doc(p95=10.0, count=3),
+                     include_obs_metrics=True, min_samples=8)
+    delta = by_metric(report, "metrics.span.duration_ms.p95")
+    assert delta.status == "skipped"
+    assert "samples" in delta.note
+
+
+def test_percentiles_gated_with_enough_samples():
+    report = compare(hist_doc(p95=50.0, count=100),
+                     hist_doc(p95=10.0, count=100),
+                     include_obs_metrics=True, min_samples=8)
+    assert by_metric(report, "metrics.span.duration_ms.p95").status == \
+        "regression"
+
+
+def test_obs_metrics_excluded_by_default():
+    report = compare(hist_doc(p95=50.0, count=100),
+                     hist_doc(p95=10.0, count=100))
+    with pytest.raises(AssertionError):
+        by_metric(report, "metrics.span.duration_ms.p95")
+
+
+# ------------------------------------------------------- compare_dirs / IO
+
+def write_doc(path, document):
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+
+
+def test_missing_baseline_passes_with_note(tmp_path):
+    cur, base = tmp_path / "cur", tmp_path / "base"
+    cur.mkdir(), base.mkdir()
+    write_doc(cur / "BENCH_demo.json", doc({"t": {"gates": 10}}))
+    reports = compare_dirs(cur, base)
+    assert len(reports) == 1 and reports[0].ok
+    assert "no baseline" in reports[0].note
+
+
+def test_requested_bench_missing_from_current_run_fails(tmp_path):
+    cur, base = tmp_path / "cur", tmp_path / "base"
+    cur.mkdir(), base.mkdir()
+    reports = compare_dirs(cur, base, names=["engine"])
+    assert len(reports) == 1 and not reports[0].ok
+    assert reports[0].regressions[0].note == "bench produced no current doc"
+
+
+def test_compare_dirs_pairs_and_filters(tmp_path):
+    cur, base = tmp_path / "cur", tmp_path / "base"
+    cur.mkdir(), base.mkdir()
+    write_doc(cur / "BENCH_a.json", doc({"t": {"gates": 300}}, bench="a"))
+    write_doc(base / "BENCH_a.json", doc({"t": {"gates": 100}}, bench="a"))
+    write_doc(cur / "BENCH_b.json", doc({"t": {"gates": 100}}, bench="b"))
+    write_doc(base / "BENCH_b.json", doc({"t": {"gates": 100}}, bench="b"))
+    all_reports = compare_dirs(cur, base)
+    assert [r.bench for r in all_reports] == ["a", "b"]
+    assert not all_reports[0].ok and all_reports[1].ok
+    only_b = compare_dirs(cur, base, names=["b"])
+    assert [r.bench for r in only_b] == ["b"] and only_b[0].ok
+
+
+def test_report_formatting_mentions_verdict():
+    report = compare(doc({"t": {"gates": 300}}), doc({"t": {"gates": 100}}))
+    table = report.format_table()
+    assert "FAIL" in table and "t.gates" in table and "+200.0%" in table
+    clean = CompareReport(bench="x", threshold=0.2,
+                          deltas=[MetricDelta("m", 1.0, 1.0, "lower", "ok")])
+    assert "PASS" in clean.format_table()

@@ -1,0 +1,138 @@
+"""Paper-bound conformance monitoring (repro.obs.conformance): predicted
+Õ(N + DAPB) envelopes, the observed/predicted gauges, violation counting,
+and the CompiledQuery integration on the triangle and pk-join pipelines.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro import obs
+from repro.boolcircuit import ArrayBuilder, pk_join
+from repro.obs.conformance import (
+    DEPTH_POLYLOG_EXP,
+    SIZE_POLYLOG_EXP,
+    ConformanceReport,
+    check_lowered,
+    depth_budget,
+    polylog,
+    size_budget,
+)
+
+
+@pytest.fixture
+def obs_on():
+    was_on = obs.enabled()
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    if not was_on:
+        obs.disable()
+
+
+def make_report(observed_size=100, observed_depth=10,
+                predicted_size=1000.0, predicted_depth=100.0):
+    return ConformanceReport(
+        name="toy", observed_size=observed_size,
+        predicted_size=predicted_size, observed_depth=observed_depth,
+        predicted_depth=predicted_depth, n_input=8, budget_tuples=8,
+        capacity=16)
+
+
+# ----------------------------------------------------------- the budgets
+
+def test_polylog_floor_and_growth():
+    assert polylog(1, 3) == 1.0                       # floored for tiny caps
+    assert polylog(2, 3) == 1.0
+    assert polylog(256, 2) == pytest.approx(64.0)
+    assert polylog(256, 3) == pytest.approx(512.0)
+
+
+def test_size_budget_shape():
+    """Õ(N + B): linear in the tuple mass, polylog in the capacity."""
+    base = size_budget(100, 100)
+    assert size_budget(200, 200) > 2 * base           # linear × growing log
+    cap = 200 + 200
+    expected = 256 * 400 * math.log2(cap) ** SIZE_POLYLOG_EXP
+    assert size_budget(200, 200) == pytest.approx(expected)
+
+
+def test_depth_budget_polylog_only():
+    """Õ(1): the depth budget must not grow with the tuple mass, only
+    (polylogarithmically) with the capacity."""
+    assert depth_budget(2 ** 20) == pytest.approx(
+        256 * 20 ** DEPTH_POLYLOG_EXP)
+    assert depth_budget(2 ** 40) / depth_budget(2 ** 20) == pytest.approx(4.0)
+
+
+def test_report_ratios_and_violation():
+    ok = make_report()
+    assert ok.size_ratio == pytest.approx(0.1)
+    assert ok.depth_ratio == pytest.approx(0.1)
+    assert ok.ok and "OK" in str(ok)
+    bad = make_report(observed_size=2000)
+    assert bad.size_ratio == pytest.approx(2.0)
+    assert not bad.ok and "VIOLATION" in str(bad)
+    assert bad.as_dict()["ok"] is False
+
+
+# ---------------------------------------------------------------- gauges
+
+def test_check_lowered_emits_gauges(obs_on):
+    report = check_lowered("toy", 100, 10, n_input=8, budget_tuples=8)
+    assert report.ok
+    size_gauge = obs.metrics.get("conformance.size_ratio")
+    depth_gauge = obs.metrics.get("conformance.depth_ratio")
+    assert size_gauge.value(query="toy") == pytest.approx(report.size_ratio)
+    assert depth_gauge.value(query="toy") == pytest.approx(report.depth_ratio)
+    assert obs.metrics.get("conformance.violations") is None
+
+
+def test_violation_increments_counter(obs_on):
+    report = check_lowered("huge", 10 ** 12, 10, n_input=8, budget_tuples=8)
+    assert not report.ok and report.size_ratio > 1.0
+    assert obs.metrics.get("conformance.violations").value(query="huge") == 1
+
+
+def test_check_lowered_noop_when_disabled():
+    obs.reset()
+    assert not obs.enabled()
+    report = check_lowered("quiet", 100, 10, n_input=8, budget_tuples=8)
+    assert report.ok                       # the report still computes…
+    assert obs.metrics.get("conformance.size_ratio") is None   # …silently
+
+
+# ------------------------------------------------- pipeline integrations
+
+def test_triangle_compiled_conformance(obs_on):
+    cq = repro.compile("R_AB(A,B), R_BC(B,C), R_AC(A,C)", n=4,
+                       canonical="triangle")
+    report = cq.conformance()
+    assert report.ok
+    assert report.observed_size == cq.lowered().size
+    assert report.budget_tuples == pytest.approx(2.0 ** cq.proof().log_budget)
+    # lowering emitted the gauges as a side effect
+    gauge = obs.metrics.get("conformance.size_ratio")
+    assert gauge is not None and gauge.values
+
+
+def test_pk_join_conformance(obs_on):
+    m = 16
+    b = ArrayBuilder()
+    r = b.input_array(("A", "B"), m)
+    s = b.input_array(("B", "C"), m)
+    pk_join(b, r, s)
+    report = check_lowered("pk_join", b.c.size, b.c.depth,
+                           n_input=2 * m, budget_tuples=m)
+    assert report.ok
+    assert obs.metrics.get("conformance.size_ratio").value(
+        query="pk_join") == pytest.approx(report.size_ratio)
+
+
+def test_conformance_span_recorded_on_lowering(obs_on):
+    cq = repro.compile("R(A,B), S(B,C)", n=4)
+    cq.lowered()
+    names = {s.name for root in obs.spans() for s in root.walk()}
+    assert "pipeline.conformance" in names

@@ -142,9 +142,52 @@ class TestMetrics:
         for v in (0.5, 1.5, 1.0):
             h.observe(v, level=0)
         s = h.summary(level=0)
-        assert s == {"count": 3, "sum": 3.0, "min": 0.5, "max": 1.5}
+        assert s == {"count": 3, "sum": 3.0, "min": 0.5, "max": 1.5,
+                     "p50": 1.0, "p95": 1.5, "p99": 1.5}
         assert h.total_count == 3 and h.total_sum == 3.0
         assert h.summary(level=99)["count"] == 0
+
+    def test_histogram_percentiles_exact_within_reservoir(self):
+        """Up to RESERVOIR_SIZE observations the sample is complete, so the
+        percentiles are exact nearest-rank values."""
+        h = obs.metrics.histogram("exact")
+        for v in range(1, 101):                 # 1..100, any order
+            h.observe(float(101 - v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentiles() == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        assert h.percentile(50, level=7) == 0.0          # unseen label set
+
+    def test_histogram_percentiles_sampled_beyond_reservoir(self):
+        """Past the reservoir bound the estimate comes from a uniform
+        sample: bounded memory, deterministic run-to-run, and close to the
+        true quantiles of a 10k-observation stream."""
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        n = 10_000
+        h = obs.metrics.histogram("sampled")
+        for v in range(n):
+            h.observe(float(v))
+        (key,) = h.reservoirs
+        assert len(h.reservoirs[key]) == RESERVOIR_SIZE
+        assert h.total_count == n
+        assert abs(h.percentile(50) - n / 2) < n * 0.15
+        assert h.percentile(95) > h.percentile(50) > h.percentile(5)
+        # the per-instrument RNG is seeded from the name: reproducible
+        h2 = obs.metrics.histogram("sampled2")          # fresh instrument,
+        h3 = obs.metrics.histogram("sampled2_")         # different seed ok
+        for v in range(n):
+            h2.observe(float(v))
+            h3.observe(float(v))
+        assert abs(h2.percentile(50) - n / 2) < n * 0.15
+        assert abs(h3.percentile(50) - n / 2) < n * 0.15
+
+    def test_snapshot_carries_percentiles(self):
+        h = obs.metrics.histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v, op="ADD")
+        row = obs.metrics.snapshot()["h"]["values"][0]
+        assert row["count"] == 4 and row["p50"] == 2.0 and row["p99"] == 4.0
 
     def test_kind_mismatch_rejected(self):
         obs.metrics.counter("m")
