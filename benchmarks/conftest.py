@@ -29,7 +29,7 @@ def bench_harness(request):
         name = name[len("bench_"):]
     was_on = obs.enabled()
     obs.reset()
-    obs.enable()
+    obs.enable(memory=True)
     RESULTS.begin(name)
     t0 = time.perf_counter()
     try:

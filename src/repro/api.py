@@ -148,23 +148,26 @@ class CompiledQuery:
 
     def evaluate(self, db: Union[Database, Mapping[str, Relation]],
                  engine: str = "vectorized",
-                 stats=None, shards: Optional[int] = None) -> Relation:
+                 stats=None, shards: Optional[int] = None,
+                 mem_budget=None) -> Relation:
         """Answers on one instance, through the lowered circuit.
 
         ``engine="vectorized"`` runs the levelized engine
         (:mod:`repro.engine`, plan cached across calls);
         ``engine="scalar"`` runs the per-gate scalar interpreter.
         Pass an :class:`repro.engine.EngineStats` as ``stats`` to collect
-        per-level timings from the vectorized engine.
+        per-level timings from the vectorized engine; ``mem_budget`` caps
+        the engine's buffer bytes (see :mod:`repro.obs.memory`).
         """
         return self.evaluate_batch([db], engine=engine, stats=stats,
-                                   shards=shards)[0]
+                                   shards=shards, mem_budget=mem_budget)[0]
 
     def evaluate_batch(self,
                        dbs: List[Union[Database, Mapping[str, Relation]]],
                        engine: str = "vectorized",
                        stats=None,
-                       shards: Optional[int] = None) -> List[Relation]:
+                       shards: Optional[int] = None,
+                       mem_budget=None) -> List[Relation]:
         """Answers on many instances; the vectorized engine evaluates the
         whole batch in one levelized pass."""
         if engine not in ENGINES:
@@ -176,8 +179,21 @@ class CompiledQuery:
                 return [lowered.run(env)[0] for env in envs]
             from .engine import run_lowered
 
-            return [outs[0] for outs in
-                    run_lowered(lowered, envs, stats=stats, shards=shards)]
+            results = [outs[0] for outs in
+                       run_lowered(lowered, envs, stats=stats, shards=shards,
+                                   mem_budget=mem_budget)]
+            if obs.STATE.on:
+                # Theorem-4 space conformance: the engine just published
+                # its per-row buffer pressure; check it against the size
+                # envelope in bytes (chunk-invariant, so budget splits
+                # report the same ratio).
+                per_row = obs.metrics.gauge(
+                    "engine.buffer_bytes_per_row").value()
+                if per_row > 0:
+                    obs.check_space(str(self.query), per_row,
+                                    self.dc.total_input_size(),
+                                    2.0 ** self.proof().log_budget)
+            return results
 
     # -- introspection ----------------------------------------------------
     def explain(self) -> str:

@@ -137,17 +137,28 @@ def cmd_run(args) -> int:
 
     Default output is just the answers; ``--verbose`` adds the pipeline
     header and engine summary, ``--timings`` the per-level table,
-    ``--trace FILE`` a Chrome-loadable trace of every pipeline stage, and
-    ``--metrics`` the stage-time / metric summary (see
-    ``docs/observability.md``).
+    ``--trace FILE`` a Chrome-loadable trace of every pipeline stage,
+    ``--metrics`` the stage-time / metric summary, ``--mem`` per-span
+    memory accounting, and ``--mem-budget BYTES`` a cap on the engine
+    buffer (over-budget batches run chunked; see ``docs/observability.md``).
     """
     from . import api, obs
     from .cq import database_from_dir, suggest_constraints
     from .engine import EngineStats
 
+    mem_budget = None
+    if args.mem_budget:
+        try:
+            mem_budget = obs.MemoryBudget(obs.parse_bytes(args.mem_budget))
+        except ValueError as exc:
+            print(f"run: bad --mem-budget: {exc}", file=sys.stderr)
+            return 2
     tracing = bool(args.trace) or args.metrics or obs.enabled()
     if tracing:
-        obs.enable()
+        obs.enable(memory=args.mem)
+    elif args.mem:
+        obs.enable(memory=True)
+        tracing = True
     verbose = args.verbose or args.timings
 
     query = parse_query(args.query)
@@ -177,7 +188,21 @@ def cmd_run(args) -> int:
         print()
 
     stats = EngineStats() if (verbose and args.engine == "vectorized") else None
-    answers = cq.evaluate(db, engine=args.engine, stats=stats)
+    try:
+        if args.repeat > 1:
+            batch = cq.evaluate_batch([db] * args.repeat, engine=args.engine,
+                                      stats=stats, mem_budget=mem_budget)
+            answers = batch[0]
+        else:
+            answers = cq.evaluate(db, engine=args.engine, stats=stats,
+                                  mem_budget=mem_budget)
+    except obs.MemoryBudgetExceeded as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        for row in exc.breakdown()["per_level"]:
+            print(f"  level {row['level']:>4}: {row['width']:>8} gates, "
+                  f"{obs.format_bytes(row['row_bytes'])}/row",
+                  file=sys.stderr)
+        return 3
     print(f"answers ({len(answers)} rows):")
     for row in sorted(answers.rows):
         print(f"  {row}")
@@ -296,8 +321,14 @@ def cmd_bench_compare(args) -> int:
 
 def cmd_bench_report(args) -> int:
     """Print the cross-run trajectory and, for named benches, the latest
-    standardized document's headline numbers."""
-    from .obs.bench import format_trajectory, headline_scalars, load_trajectory
+    standardized document's headline numbers (and memory footprint)."""
+    from .obs.bench import (
+        doc_footprint,
+        format_trajectory,
+        headline_scalars,
+        load_trajectory,
+    )
+    from .obs.memory import format_bytes
     from .obs.regression import load_bench_doc
 
     rows = load_trajectory(Path(args.trajectory))
@@ -314,6 +345,21 @@ def cmd_bench_report(args) -> int:
         print(f"env: python {env.get('python')}, numpy {env.get('numpy')}, "
               f"{env.get('cpu_count')} cpus, seed {env.get('seed')}, "
               f"sha {(env.get('git_sha') or '?')[:10]}")
+        fp = doc_footprint(doc)
+        buffer_row = ((doc.get("metrics") or {})
+                      .get("engine.buffer_bytes", {}).get("values") or [])
+        buffer_bytes = buffer_row[0].get("value", 0) if buffer_row else 0
+        if fp or buffer_bytes:
+            parts = []
+            if fp.get("peak_rss_bytes"):
+                parts.append(f"peak rss {format_bytes(fp['peak_rss_bytes'])}")
+            if fp.get("current_rss_bytes"):
+                parts.append(
+                    f"end rss {format_bytes(fp['current_rss_bytes'])}")
+            if buffer_bytes:
+                parts.append(
+                    f"predicted buffer {format_bytes(buffer_bytes)}")
+            print("mem: " + ", ".join(parts))
         for metric, value in headline_scalars(doc, limit=64).items():
             print(f"  {metric:<48} {value:.6g}")
     return 0
@@ -422,6 +468,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="enable repro.obs and print the stage-time / "
                         "metric summary")
+    p.add_argument("--mem", action="store_true",
+                   help="enable memory accounting (per-span RSS and "
+                        "tracemalloc deltas in traces and metrics)")
+    p.add_argument("--mem-budget", metavar="BYTES",
+                   help="cap the engine buffer (e.g. 512M); over-budget "
+                        "batches are split into sequential chunks")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="evaluate the instance as a batch of N copies "
+                        "(exercises batch execution and memory budgets)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(

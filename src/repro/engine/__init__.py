@@ -20,6 +20,13 @@ Entry points, highest level first:
 
 Plans are cached in :data:`DEFAULT_PLAN_CACHE` (LRU, keyed by circuit
 fingerprint + output set); pass ``cache=None`` to bypass it.
+
+Every entry point takes a ``mem_budget`` (bytes, a parseable size string,
+or a :class:`repro.obs.MemoryBudget`; ``None`` falls back to the
+``REPRO_MEM_BUDGET`` default).  A batch whose predicted buffer exceeds the
+budget is split into sequential chunks via :func:`execute_chunked` —
+identical output, bounded peak — and :class:`repro.obs.MemoryBudgetExceeded`
+is raised with a per-level breakdown when even one row cannot fit.
 """
 
 from __future__ import annotations
@@ -29,10 +36,17 @@ from typing import List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..boolcircuit.graph import Circuit
+from ..obs.memory import MemoryBudgetExceeded, resolve_budget
 from .cache import DEFAULT_PLAN_CACHE, CacheStats, PlanCache
 from .exec import EngineRun, EngineStats, LevelTiming, execute_plan
 from .plan import ExecutionPlan, OpGroup, PlanLevel, compile_plan
-from .shard import MIN_SHARD_BATCH, effective_shards, execute_sharded
+from .shard import (
+    MIN_SHARD_BATCH,
+    effective_shards,
+    end_live_slots,
+    execute_chunked,
+    execute_sharded,
+)
 
 __all__ = [
     "CacheStats",
@@ -42,13 +56,16 @@ __all__ = [
     "ExecutionPlan",
     "LevelTiming",
     "MIN_SHARD_BATCH",
+    "MemoryBudgetExceeded",
     "OpGroup",
     "PlanCache",
     "PlanLevel",
     "compile_plan",
     "effective_shards",
+    "end_live_slots",
     "evaluate",
     "evaluate_batch",
+    "execute_chunked",
     "execute_plan",
     "execute_sharded",
     "run_lowered",
@@ -81,16 +98,28 @@ def evaluate(circuit: Circuit, input_batches: Sequence[Sequence[int]],
              plan: Optional[ExecutionPlan] = None,
              cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
              stats: Optional[EngineStats] = None,
-             shards: Optional[int] = None) -> EngineRun:
+             shards: Optional[int] = None,
+             mem_budget=None) -> EngineRun:
     """Levelized batch evaluation; returns an :class:`EngineRun`.
 
     ``input_batches[i]`` is the i-th instance's input vector.  ``outputs``
     limits which gates stay addressable (enabling dead-gate elimination and
     buffer recycling); ``shards`` > 1 splits large batches across worker
-    processes.
+    processes; ``mem_budget`` caps the predicted buffer bytes (over-budget
+    batches run chunked, see the module docstring).
     """
     columns = _columns(len(circuit.inputs), input_batches)
     the_plan = _plan_for(circuit, outputs, plan, cache)
+    budget = resolve_budget(mem_budget)
+    if budget is not None:
+        batch = columns.shape[1]
+        if not budget.allows(the_plan.buffer_bytes(batch)):
+            max_rows = budget.max_rows(the_plan.buffer_bytes(1))
+            if max_rows < 1:
+                raise MemoryBudgetExceeded(
+                    budget.cap_bytes, the_plan.buffer_bytes(1), batch,
+                    the_plan.per_level_footprint())
+            return execute_chunked(the_plan, columns, max_rows, stats=stats)
     if effective_shards(columns.shape[1], shards) > 1:
         import time
 
@@ -107,18 +136,20 @@ def evaluate(circuit: Circuit, input_batches: Sequence[Sequence[int]],
 def evaluate_batch(circuit: Circuit, input_batches: Sequence[Sequence[int]],
                    plan: Optional[ExecutionPlan] = None,
                    cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
-                   stats: Optional[EngineStats] = None) -> List[np.ndarray]:
+                   stats: Optional[EngineStats] = None,
+                   mem_budget=None) -> List[np.ndarray]:
     """Drop-in replacement for :func:`repro.boolcircuit.fasteval.evaluate_batch`:
     one length-``batch`` array per gate, every gate kept live."""
     run = evaluate(circuit, input_batches, outputs=None, plan=plan,
-                   cache=cache, stats=stats)
+                   cache=cache, stats=stats, mem_budget=mem_budget)
     return run.all_gates()
 
 
 def run_lowered(lowered, envs: Sequence[Mapping],
                 cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
                 stats: Optional[EngineStats] = None,
-                shards: Optional[int] = None) -> List[List]:
+                shards: Optional[int] = None,
+                mem_budget=None) -> List[List]:
     """Evaluate a :class:`~repro.boolcircuit.lower.LoweredCircuit` on many
     database instances; returns, per instance, its output relations.
 
@@ -143,7 +174,8 @@ def run_lowered(lowered, envs: Sequence[Mapping],
         batches.append(values)
 
     run = evaluate(lowered.circuit, batches, outputs=out_gids,
-                   cache=cache, stats=stats, shards=shards)
+                   cache=cache, stats=stats, shards=shards,
+                   mem_budget=mem_budget)
 
     results: List[List[Relation]] = []
     for idx in range(len(envs)):

@@ -63,30 +63,47 @@ class EngineStats:
 
 
 class EngineRun:
-    """The result of one plan execution: a slot buffer plus accessors."""
+    """The result of one plan execution: a slot buffer plus accessors.
 
-    def __init__(self, plan: ExecutionPlan, buf: np.ndarray):
+    ``buf`` normally has one row per plan slot.  Budget-driven chunked
+    execution (:func:`~repro.engine.shard.execute_chunked`) gathers only
+    the end-live slots into a compact matrix and passes ``slot_rows``, the
+    slot → buffer-row remap, so the accessors stay identical either way.
+    """
+
+    def __init__(self, plan: ExecutionPlan, buf: np.ndarray,
+                 slot_rows: Optional[np.ndarray] = None):
         self.plan = plan
         self.buf = buf
+        self.slot_rows = slot_rows
 
     @property
     def batch(self) -> int:
         return self.buf.shape[1]
 
+    def _row(self, slot: int) -> int:
+        if self.slot_rows is None:
+            return slot
+        row = int(self.slot_rows[slot])
+        if row < 0:
+            raise KeyError(
+                f"slot {slot} was not gathered into this chunked run")
+        return row
+
     def gate(self, gid: int) -> np.ndarray:
         """The length-``batch`` value vector of one (live) gate."""
-        return self.buf[self.plan.slot(gid)]
+        return self.buf[self._row(self.plan.slot(gid))]
 
     def gates(self, gids: Sequence[int]) -> np.ndarray:
         """Values of several live gates, shape ``(len(gids), batch)``."""
-        idx = np.fromiter((self.plan.slot(gid) for gid in gids),
+        idx = np.fromiter((self._row(self.plan.slot(gid)) for gid in gids),
                           dtype=np.intp, count=len(gids))
         return self.buf[idx]
 
     def all_gates(self) -> List[np.ndarray]:
         """Per-gate arrays in gid order (requires an ``outputs=None`` plan,
         where every gate stays live)."""
-        return [self.buf[self.plan.slot(gid)]
+        return [self.buf[self._row(self.plan.slot(gid))]
                 for gid in range(self.plan.n_gates)]
 
     def __repr__(self) -> str:
@@ -167,8 +184,18 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
         return EngineRun(plan, buf)
 
     with obs.span("engine.execute", batch=batch, levels=plan.depth,
-                  gates=plan.n_executed):
+                  gates=plan.n_executed) as sp:
         m = obs.metrics if obs_on else None
+        if m is not None:
+            # Analytic footprint: exact bytes of the buffer just allocated,
+            # per-row pressure (chunk-invariant), and what recycling saved.
+            sp.set(buffer_bytes=plan.buffer_bytes(batch))
+            m.gauge("engine.buffer_bytes").set(plan.buffer_bytes(batch))
+            m.gauge("engine.buffer_bytes_per_row").set(plan.buffer_bytes(1))
+            m.gauge("engine.slot_savings_bytes").set(
+                plan.slot_savings_bytes(batch))
+            mem_on = obs.MEM.on
+            rss0 = obs.peak_rss_bytes() if mem_on else 0
         group_hist = m.histogram("engine.group.seconds") if obs_on else None
         level_hist = m.histogram("engine.level.seconds") if obs_on else None
         for level in plan.levels:
@@ -200,4 +227,9 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
             m.counter("engine.gates_executed").inc(plan.n_executed)
             m.counter("engine.gate_evals").inc(plan.n_executed * batch)
             m.counter("engine.seconds").inc(total)
+            if mem_on:
+                # Measured counterpart of engine.buffer_bytes: how much the
+                # process high-water mark actually moved during this run.
+                m.gauge("engine.peak_rss_delta_bytes").set(
+                    max(0, obs.peak_rss_bytes() - rss0))
     return EngineRun(plan, buf)

@@ -77,10 +77,41 @@ class ExecutionPlan:
     slot_of: np.ndarray           # gid -> slot at end of run (-1 if recycled)
     outputs: Optional[Tuple[int, ...]]
     fingerprint: str
+    n_live: int = 0               # gates surviving dead-gate elim (incl. L0);
+                                  # the slots a no-recycling plan would need
 
     @property
     def depth(self) -> int:
         return len(self.levels)
+
+    #: Bytes per buffer word; the engine computes over int64.
+    ITEMSIZE = 8
+
+    def buffer_bytes(self, batch: int, itemsize: int = ITEMSIZE) -> int:
+        """Exact bytes of the ``n_slots × batch`` value buffer the engine
+        will allocate for this plan (the *analytic* footprint — predicted,
+        not measured)."""
+        return self.n_slots * int(batch) * itemsize
+
+    def slot_savings_bytes(self, batch: int,
+                           itemsize: int = ITEMSIZE) -> int:
+        """Bytes liveness recycling saves vs a no-recycling plan, which
+        would hold one slot per live gate (``n_live``) instead of reusing
+        freed slots (``n_slots``)."""
+        return max(0, self.n_live - self.n_slots) * int(batch) * itemsize
+
+    def per_level_footprint(self, itemsize: int = ITEMSIZE) -> List[dict]:
+        """Per-level buffer pressure rows ``{"level", "width", "row_bytes"}``
+        — the bytes each level *writes* per batch row.  This is the
+        breakdown attached to :class:`~repro.obs.MemoryBudgetExceeded`."""
+        rows = [{"level": 0,
+                 "width": len(self.input_slots) + len(self.const_slots),
+                 "row_bytes": (len(self.input_slots)
+                               + len(self.const_slots)) * itemsize}]
+        rows.extend({"level": lvl.index, "width": lvl.width,
+                     "row_bytes": lvl.width * itemsize}
+                    for lvl in self.levels)
+        return rows
 
     def slot(self, gid: int) -> int:
         """The buffer slot holding ``gid``'s value after execution.
@@ -155,6 +186,9 @@ def compile_plan(circuit: g.Circuit,
             m.gauge("plan.levels").set(plan.depth)
             m.gauge("plan.groups").set(
                 sum(len(lvl.groups) for lvl in plan.levels))
+            m.gauge("plan.live_gates").set(plan.n_live)
+            m.gauge("plan.buffer_bytes_per_row").set(
+                plan.buffer_bytes(1))
     return plan
 
 
@@ -282,4 +316,5 @@ def _compile_plan(circuit: g.Circuit,
         slot_of=slot_of,
         outputs=out_key,
         fingerprint=circuit.fingerprint(),
+        n_live=int(needed.sum()),
     )

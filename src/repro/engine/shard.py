@@ -11,6 +11,13 @@ Sharding is opt-in (``shards > 1``) and only engages above a minimum chunk
 size — process start-up plus result pickling dominates below it.  Workers
 re-execute the (pickled) plan; per-level stats are not collected inside
 workers, only the total wall time on the coordinating side.
+
+:func:`execute_chunked` reuses the same batch-axis split for a different
+goal: *peak memory* rather than wall time.  It runs the chunks
+sequentially in-process, gathering only the end-live slots of each chunk
+into a compact output matrix, so the peak working set is one
+``n_slots × chunk`` buffer instead of ``n_slots × batch``.  This is the
+degrade-gracefully path behind :class:`repro.obs.MemoryBudget`.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import obs
-from .exec import EngineRun, execute_plan
+from .exec import EngineRun, EngineStats, execute_plan
 from .plan import ExecutionPlan
 
 #: Below this many instances per shard, sharding is refused (not worth it).
@@ -64,3 +71,43 @@ def execute_sharded(plan: ExecutionPlan, columns: np.ndarray,
             bufs: List[np.ndarray] = pool.map(
                 _run_shard, [(plan, chunk) for chunk in chunks])
         return EngineRun(plan, np.concatenate(bufs, axis=1))
+
+
+def end_live_slots(plan: ExecutionPlan) -> np.ndarray:
+    """The sorted slots still holding a gate value after the plan runs."""
+    return np.unique(plan.slot_of[plan.slot_of >= 0]).astype(np.intp)
+
+
+def execute_chunked(plan: ExecutionPlan, columns: np.ndarray,
+                    max_rows: int,
+                    stats: Optional[EngineStats] = None) -> EngineRun:
+    """Evaluate ``columns`` in sequential chunks of ``≤ max_rows`` rows.
+
+    Unlike :func:`execute_sharded` (which optimizes wall time and still
+    concatenates full ``n_slots``-row buffers), this caps the *peak*
+    buffer: each chunk allocates ``n_slots × chunk`` transiently and only
+    its end-live slot rows are copied into the compact result, which the
+    returned :class:`EngineRun` addresses through a ``slot_rows`` remap.
+    Output values are bit-identical to an unchunked run — the circuit is
+    oblivious, so the batch axis splits freely.
+    """
+    batch = columns.shape[1]
+    max_rows = max(1, int(max_rows))
+    if max_rows >= batch:
+        return execute_plan(plan, columns, stats=stats)
+    live = end_live_slots(plan)
+    slot_rows = np.full(plan.n_slots, -1, dtype=np.int64)
+    slot_rows[live] = np.arange(len(live))
+    out = np.empty((len(live), batch), dtype=np.int64)
+    n_chunks = -(-batch // max_rows)
+    with obs.span("engine.autoshard", batch=batch, chunks=n_chunks,
+                  chunk_rows=max_rows):
+        if obs.STATE.on:
+            obs.metrics.counter("engine.budget_splits").inc()
+            obs.metrics.gauge("engine.budget_chunk_rows").set(max_rows)
+            obs.metrics.gauge("engine.budget_chunks").set(n_chunks)
+        for start in range(0, batch, max_rows):
+            stop = min(start + max_rows, batch)
+            run = execute_plan(plan, columns[:, start:stop], stats=stats)
+            out[:, start:stop] = run.buf[live]
+    return EngineRun(plan, out, slot_rows=slot_rows)

@@ -13,6 +13,10 @@ PANDA-C → lowering → execution``):
   engine timings — see ``docs/observability.md`` for the naming scheme);
 * **hooks** — :func:`on_span_end` / :func:`on_metric` let benchmarks and
   tests subscribe instead of scraping output;
+* **memory** — :mod:`repro.obs.memory`: opt-in per-span RSS/tracemalloc
+  accounting (``enable(memory=True)`` / ``REPRO_MEM=1``), analytic engine
+  buffer-byte gauges, and :class:`MemoryBudget` caps that degrade
+  gracefully by batch splitting (``repro run --mem-budget``);
 * **continuous benchmarking** — :class:`BenchRunner` runs the bench suite
   into standardized ``BENCH_<name>.json`` documents, :func:`compare`
   detects perf regressions against a stored baseline, and the
@@ -37,12 +41,15 @@ from .bench import (
     RunSummary,
     append_trajectory,
     discover,
+    doc_footprint,
     load_trajectory,
 )
 from .conformance import (
     ConformanceReport,
+    SpaceReport,
     check_compiled,
     check_lowered,
+    check_space,
 )
 from .env import bench_seed, fingerprint
 from .export import (
@@ -54,10 +61,23 @@ from .export import (
     trace_document,
     write_trace,
 )
-from .hooks import clear_hooks, on_metric, on_span_end
+from .hooks import clear_hooks, hook_errors, on_metric, on_span_end
+from .memory import (
+    MEM,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    current_rss_bytes,
+    format_bytes,
+    mem_enabled,
+    parse_bytes,
+    peak_rss_bytes,
+    resolve_budget,
+    set_default_budget,
+)
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
 from .regression import CompareReport, MetricDelta, compare, compare_dirs
 from .trace import NOOP_SPAN, STATE, TRACER, Span, Tracer, span
+from . import memory
 
 __all__ = [
     "BenchOutcome",
@@ -67,10 +87,14 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MEM",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
     "MetricDelta",
     "MetricsRegistry",
     "RunSummary",
     "Span",
+    "SpaceReport",
     "STATE",
     "TRACER",
     "Tracer",
@@ -79,21 +103,32 @@ __all__ = [
     "bench_seed",
     "check_compiled",
     "check_lowered",
+    "check_space",
     "chrome_events",
     "clear_hooks",
     "compare",
     "compare_dirs",
+    "current_rss_bytes",
     "disable",
     "discover",
+    "doc_footprint",
     "enable",
     "enabled",
     "fingerprint",
+    "format_bytes",
+    "hook_errors",
     "load_trace",
     "load_trajectory",
+    "mem_enabled",
+    "memory",
     "metrics",
     "on_metric",
     "on_span_end",
+    "parse_bytes",
+    "peak_rss_bytes",
     "reset",
+    "resolve_budget",
+    "set_default_budget",
     "span",
     "span_tree",
     "spans",
@@ -106,14 +141,30 @@ __all__ = [
 metrics = REGISTRY
 
 
-def enable() -> None:
-    """Turn observability on (spans and metrics start recording)."""
+def enable(memory: bool = False) -> None:
+    """Turn observability on (spans and metrics start recording).
+
+    ``memory=True`` additionally enables memory accounting (peak-RSS and
+    ``tracemalloc`` deltas on every span, measured engine footprints) —
+    see :mod:`repro.obs.memory` and ``docs/observability.md``.
+    """
     STATE.on = True
+    if memory:
+        from . import memory as _memory
+
+        _memory.enable()
 
 
 def disable() -> None:
-    """Turn observability off; recorded data is kept until :func:`reset`."""
+    """Turn observability off; recorded data is kept until :func:`reset`.
+
+    Memory accounting (and the ``tracemalloc`` tracer it may own) is shut
+    down too — re-enable it explicitly with ``enable(memory=True)``.
+    """
     STATE.on = False
+    from . import memory as _memory
+
+    _memory.disable()
 
 
 def enabled() -> bool:
@@ -158,3 +209,5 @@ def __dir__():
 
 if os.environ.get("REPRO_TRACE", "").strip() not in ("", "0"):
     enable()
+if os.environ.get(memory.MEM_ENV, "").strip() not in ("", "0"):
+    enable(memory=True)

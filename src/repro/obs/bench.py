@@ -100,6 +100,15 @@ def headline_scalars(doc: Dict[str, Any],
     return {k: flat[k] for k in sorted(flat)[:limit]}
 
 
+def doc_footprint(doc: Optional[Dict[str, Any]]) -> Dict[str, float]:
+    """The process-memory ``footprint`` block of a bench document (empty
+    for pre-memory-layer documents)."""
+    if not doc:
+        return {}
+    fp = doc.get("footprint")
+    return dict(fp) if isinstance(fp, dict) else {}
+
+
 class BenchRunner:
     """Run bench modules in isolated subprocesses under the shared harness.
 
@@ -216,6 +225,7 @@ def append_trajectory(path: Path, outcomes: Sequence[BenchOutcome],
                 "ok": o.ok,
                 "duration_seconds": round(o.duration_seconds, 3),
                 "scalars": headline_scalars(o.doc) if o.doc else {},
+                "footprint": doc_footprint(o.doc),
             }
             for o in outcomes
         },
@@ -246,11 +256,16 @@ def load_trajectory(path: Path) -> List[Dict[str, Any]]:
 
 def format_trajectory(rows: Sequence[Dict[str, Any]],
                       last: int = 10) -> str:
-    """A terminal table of the most recent trajectory rows."""
+    """A terminal table of the most recent trajectory rows (the ``peak rss``
+    column is the largest bench-subprocess high-water mark in the run;
+    ``—`` for rows recorded before footprints were tracked)."""
+    from .memory import format_bytes
+
     rows = list(rows)[-last:]
     if not rows:
         return "trajectory is empty (run `repro bench run` to start it)"
-    lines = ["ts                  | sha      | seed | ok   | benches"]
+    lines = ["ts                  | sha      | seed | ok   | peak rss | "
+             "benches"]
     lines.append("-" * len(lines[0]))
     for row in rows:
         ts = time.strftime("%Y-%m-%d %H:%M:%S",
@@ -260,6 +275,11 @@ def format_trajectory(rows: Sequence[Dict[str, Any]],
         failed = sorted(n for n, b in benches.items() if not b.get("ok"))
         detail = (f"{len(benches)} ran"
                   + (f", failed: {', '.join(failed)}" if failed else ""))
+        peaks = [b.get("footprint", {}).get("peak_rss_bytes", 0)
+                 for b in benches.values()]
+        peak = max([p for p in peaks if p], default=0)
+        peak_txt = format_bytes(peak) if peak else "—"
         lines.append(f"{ts} | {sha:<8} | {row.get('seed', '?'):>4} | "
-                     f"{'pass' if row.get('ok') else 'FAIL':<4} | {detail}")
+                     f"{'pass' if row.get('ok') else 'FAIL':<4} | "
+                     f"{peak_txt:>8} | {detail}")
     return "\n".join(lines)

@@ -14,6 +14,13 @@ and emits ``conformance.size_ratio`` / ``conformance.depth_ratio``
 counter whenever a ratio exceeds 1.0 — i.e. the construction left the
 polylog-factored envelope the paper proves and a perf PR should fail loud.
 
+The *space* side of the same theorem: the engine's value buffer holds at
+most one word per live gate, so the per-instance footprint must sit inside
+the size envelope times the word width.  :func:`check_space` turns that
+into a ``conformance.space_ratio`` gauge (observed buffer bytes per
+instance ÷ ``size envelope × WORD_BYTES``), emitted alongside the
+size/depth ratios whenever a compiled query is evaluated under tracing.
+
 The constants are calibrated on the seed circuits (triangle ratios sit
 near 0.3, leaving ~3× headroom for constant-factor drift before a
 violation fires); the *growth* is what the gauges guard, and the
@@ -38,6 +45,9 @@ DEPTH_CONST = 256
 SIZE_POLYLOG_EXP = 3
 DEPTH_POLYLOG_EXP = 2
 
+#: Bytes per engine buffer word (the levelized engine computes over int64).
+WORD_BYTES = 8
+
 
 def polylog(capacity: float, exponent: int) -> float:
     """``log2(capacity)^exponent`` with a floor of 1 (tiny circuits)."""
@@ -56,6 +66,17 @@ def size_budget(n_input: float, budget_tuples: float,
 def depth_budget(capacity: float) -> float:
     """Predicted word-circuit depth budget ``Õ(1)`` (Theorem 4)."""
     return DEPTH_CONST * polylog(capacity, DEPTH_POLYLOG_EXP)
+
+
+def space_budget(n_input: float, budget_tuples: float,
+                 capacity: Optional[float] = None) -> float:
+    """Predicted per-instance footprint ``Õ(N + DAPB) × WORD_BYTES``.
+
+    The engine buffer holds one int64 word per live slot and slots never
+    exceed circuit size, so a construction inside the Theorem-4 size
+    envelope must also fit this byte envelope.
+    """
+    return size_budget(n_input, budget_tuples, capacity) * WORD_BYTES
 
 
 @dataclass
@@ -105,6 +126,69 @@ class ConformanceReport:
                 f"({self.size_ratio:.3f}), "
                 f"depth {self.observed_depth:,}/{self.predicted_depth:,.0f} "
                 f"({self.depth_ratio:.3f})")
+
+
+@dataclass
+class SpaceReport:
+    """Observed vs predicted per-instance memory footprint for one query."""
+
+    name: str
+    observed_bytes: float        # engine buffer bytes per batch row
+    predicted_bytes: float       # space_budget(...) envelope
+    n_input: float
+    budget_tuples: float
+
+    @property
+    def space_ratio(self) -> float:
+        return self.observed_bytes / self.predicted_bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.space_ratio <= 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "observed_bytes": self.observed_bytes,
+            "predicted_bytes": self.predicted_bytes,
+            "space_ratio": self.space_ratio,
+            "n_input": self.n_input,
+            "budget_tuples": self.budget_tuples,
+            "ok": self.ok,
+        }
+
+    def __str__(self) -> str:
+        flag = "OK" if self.ok else "VIOLATION"
+        return (f"conformance[{self.name}] {flag}: "
+                f"space {self.observed_bytes:,.0f}/"
+                f"{self.predicted_bytes:,.0f} bytes/instance "
+                f"({self.space_ratio:.3f})")
+
+
+def check_space(name: str, observed_bytes: float, n_input: float,
+                budget_tuples: float,
+                capacity: Optional[float] = None) -> SpaceReport:
+    """Check a measured per-instance footprint against the Theorem-4 size
+    envelope (in bytes); emits ``conformance.space_ratio`` (and a
+    violation) when observability is on.
+
+    ``observed_bytes`` is the engine's buffer footprint per batch row —
+    ``ExecutionPlan.n_slots × 8`` for the levelized engine, or a measured
+    per-instance RSS share if the caller prefers a physical number.
+    """
+    report = SpaceReport(
+        name=name,
+        observed_bytes=float(observed_bytes),
+        predicted_bytes=space_budget(n_input, budget_tuples, capacity),
+        n_input=n_input,
+        budget_tuples=budget_tuples,
+    )
+    if STATE.on:
+        REGISTRY.gauge("conformance.space_ratio").set(
+            report.space_ratio, query=report.name)
+        if not report.ok:
+            REGISTRY.counter("conformance.violations").inc(query=report.name)
+    return report
 
 
 def emit(report: ConformanceReport) -> ConformanceReport:

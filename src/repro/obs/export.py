@@ -169,25 +169,40 @@ def summary(doc: Dict[str, Any], max_metric_rows: int = 40) -> str:
 def bench_document(name: str, results: Dict[str, Any],
                    tracer: Optional[Tracer] = None,
                    registry: Optional[MetricsRegistry] = None,
-                   duration_seconds: Optional[float] = None
-                   ) -> Dict[str, Any]:
+                   duration_seconds: Optional[float] = None,
+                   compact_metrics: bool = True) -> Dict[str, Any]:
     """The standardized ``BENCH_<name>.json`` payload (schema
     ``repro.obs.bench/2``): bench result series + the obs metrics and span
     tree collected while the bench ran + the environment fingerprint
     (python/numpy versions, CPU count, git SHA, data seed) that makes the
-    record comparable across runs — see ``docs/observability.md``."""
+    record comparable across runs + the process memory ``footprint`` — see
+    ``docs/observability.md``.
+
+    Bench documents (and therefore the committed baselines) are written
+    with ``compact_metrics=True``: histograms are collapsed to one pooled
+    summary row each, so a per-``(level, op)`` instrument contributes a
+    dozen lines instead of tens of thousands.  Trace documents written by
+    ``repro run --trace`` keep the full per-label detail.
+    """
+    from . import memory
     from .bench import SCHEMA
     from .env import fingerprint
 
     doc = trace_document(tracer, registry, meta={"bench": name})
+    reg = registry if registry is not None else REGISTRY
     out = {
         "schema": SCHEMA,
         "bench": name,
         "env": fingerprint(),
         "results": results,
-        "metrics": doc["metrics"],
+        "metrics": reg.snapshot(compact=True) if compact_metrics
+        else doc["metrics"],
         "spans": doc["spans"],
         "meta": doc["meta"],
+        "footprint": {
+            "peak_rss_bytes": memory.peak_rss_bytes(),
+            "current_rss_bytes": memory.current_rss_bytes(),
+        },
     }
     if duration_seconds is not None:
         out["duration_seconds"] = round(duration_seconds, 3)

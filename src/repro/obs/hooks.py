@@ -9,20 +9,37 @@ Benchmarks and tests *subscribe* instead of scraping printed output:
     unsubscribe()
 
 Hooks only fire while observability is enabled (the instrumented code never
-reaches the hook dispatch on the disabled fast path).  Hook exceptions
-propagate to the instrumented call site — a subscriber that raises is a
-programming error, not something to silence.
+reaches the hook dispatch on the disabled fast path).  Hook exceptions are
+*isolated*: a subscriber that raises must not corrupt the instrumented
+pipeline stage or starve the remaining subscribers, so the dispatcher
+swallows the exception, records it in :func:`hook_errors` (bounded), and
+keeps going — inspect ``hook_errors()`` in tests to fail loudly on buggy
+subscribers.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Tuple
 
 SpanHook = Callable[[Any], None]
 MetricHook = Callable[[str, str, float, Dict[str, Any]], None]
 
 _span_hooks: List[SpanHook] = []
 _metric_hooks: List[MetricHook] = []
+
+#: Bounded record of ``(hook name, exception)`` pairs from raising hooks.
+_errors: List[Tuple[str, BaseException]] = []
+MAX_HOOK_ERRORS = 64
+
+
+def hook_errors() -> List[Tuple[str, BaseException]]:
+    """Exceptions swallowed by the dispatcher since the last clear."""
+    return list(_errors)
+
+
+def _record_error(fn: Callable, exc: BaseException) -> None:
+    if len(_errors) < MAX_HOOK_ERRORS:
+        _errors.append((getattr(fn, "__name__", repr(fn)), exc))
 
 
 def on_span_end(fn: SpanHook) -> Callable[[], None]:
@@ -54,16 +71,23 @@ def on_metric(fn: MetricHook) -> Callable[[], None]:
 
 def fire_span_end(span) -> None:
     for fn in tuple(_span_hooks):
-        fn(span)
+        try:
+            fn(span)
+        except Exception as exc:
+            _record_error(fn, exc)
 
 
 def fire_metric(name: str, kind: str, value: float,
                 labels: Dict[str, Any]) -> None:
     for fn in tuple(_metric_hooks):
-        fn(name, kind, value, labels)
+        try:
+            fn(name, kind, value, labels)
+        except Exception as exc:
+            _record_error(fn, exc)
 
 
 def clear_hooks() -> None:
-    """Drop every subscriber (used by ``obs.reset``)."""
+    """Drop every subscriber and recorded error (used by ``obs.reset``)."""
     del _span_hooks[:]
     del _metric_hooks[:]
+    del _errors[:]

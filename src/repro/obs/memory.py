@@ -1,0 +1,270 @@
+"""Memory accounting: the *space* side of the observability layer.
+
+The paper's headline guarantees are size bounds — Theorem 4 gives circuits
+of size ``Õ(N + 2^DAPB)`` — and in this reproduction circuit size is
+literally memory: the levelized engine materializes an
+``n_slots × batch`` int64 buffer whose footprint, not wall time, is what
+first breaks on large instances.  This module adds three things on top of
+the time-only substrate:
+
+* **span-level accounting** — when enabled (``obs.enable(memory=True)`` or
+  ``REPRO_MEM=1``), every finished span carries
+
+  - ``rss_peak_delta_bytes``: growth of the process peak RSS
+    (``ru_maxrss``) while the span was open — 0 when the span fit inside
+    an already-touched high-water mark;
+  - ``py_alloc_delta_bytes`` / ``py_peak_bytes``: the ``tracemalloc``
+    counter diff (net Python allocations during the span, and the traced
+    peak), recorded only while ``tracemalloc`` is tracing.
+
+  Accounting is opt-in *on top of* tracing: the one-boolean
+  ``STATE.on`` no-op fast path is untouched, and even with tracing on the
+  memory probes cost two extra attribute checks per span unless
+  :data:`MEM` is enabled.
+
+* **process probes** — :func:`peak_rss_bytes` / :func:`current_rss_bytes`
+  are dependency-free (``resource`` + ``/proc``) and safe on platforms
+  without either (they return 0).
+
+* **budgets** — :class:`MemoryBudget` caps the engine's predicted buffer
+  bytes.  ``repro run --mem-budget 512M`` (or ``REPRO_MEM_BUDGET``) makes
+  :func:`repro.engine.evaluate` split an over-budget batch into
+  sequential chunks through the shard path instead of OOMing, and raise a
+  structured :class:`MemoryBudgetExceeded` (with the per-level footprint
+  breakdown) when even a single-row batch cannot fit.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+#: ``REPRO_MEM=1`` enables observability *with* memory accounting at import.
+MEM_ENV = "REPRO_MEM"
+
+#: Default byte cap for :func:`resolve_budget` (parsed like ``--mem-budget``).
+BUDGET_ENV = "REPRO_MEM_BUDGET"
+
+
+class _MemState:
+    """The memory-accounting switch; checked only after ``STATE.on``."""
+
+    __slots__ = ("on", "_owns_tracemalloc")
+
+    def __init__(self) -> None:
+        self.on = False
+        self._owns_tracemalloc = False
+
+
+MEM = _MemState()
+
+
+def enable() -> None:
+    """Turn memory accounting on (and start ``tracemalloc`` if nobody else
+    has); spans only record memory while tracing itself is enabled."""
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        MEM._owns_tracemalloc = True
+    MEM.on = True
+
+
+def disable() -> None:
+    """Turn memory accounting off; stops ``tracemalloc`` iff we started it."""
+    MEM.on = False
+    if MEM._owns_tracemalloc:
+        import tracemalloc
+
+        tracemalloc.stop()
+        MEM._owns_tracemalloc = False
+
+
+def mem_enabled() -> bool:
+    return MEM.on
+
+
+# -- process probes ---------------------------------------------------------
+
+def peak_rss_bytes() -> int:
+    """The process high-water RSS in bytes (``ru_maxrss``), 0 if unknown.
+
+    Linux reports KiB, macOS bytes; both are normalized here.  The value is
+    monotonic, so per-span *deltas* measure only growth past the previous
+    peak — a span that fits in already-touched pages reports 0.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def current_rss_bytes() -> int:
+    """The current resident set size in bytes (``/proc``), 0 if unknown."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return 0
+
+
+def _traced() -> Optional[tuple]:
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        return tracemalloc.get_traced_memory()
+    return None
+
+
+# -- span accounting --------------------------------------------------------
+
+def begin_span(span: Any) -> None:
+    """Stash the memory counters at span entry (called by the tracer when
+    :data:`MEM` is on)."""
+    traced = _traced()
+    span.mem = (peak_rss_bytes(), traced[0] if traced else None)
+
+
+def end_span(span: Any) -> None:
+    """Turn the stashed entry counters into span attributes."""
+    start = span.mem
+    span.mem = None
+    if start is None:
+        return
+    rss0, py0 = start
+    span.attrs["rss_peak_delta_bytes"] = max(0, peak_rss_bytes() - rss0)
+    traced = _traced()
+    if py0 is not None and traced is not None:
+        current, peak = traced
+        span.attrs["py_alloc_delta_bytes"] = current - py0
+        span.attrs["py_peak_bytes"] = peak
+
+
+# -- byte sizes -------------------------------------------------------------
+
+_UNITS = {"": 1, "b": 1,
+          "k": 1024, "kb": 1024,
+          "m": 1024 ** 2, "mb": 1024 ** 2,
+          "g": 1024 ** 3, "gb": 1024 ** 3,
+          "t": 1024 ** 4, "tb": 1024 ** 4}
+
+
+def parse_bytes(size: Union[int, float, str]) -> int:
+    """``"512M"`` / ``"64k"`` / ``"1.5gb"`` / ``4096`` → bytes (binary
+    units).  Raises ``ValueError`` on anything unparseable or negative."""
+    if isinstance(size, (int, float)):
+        value = float(size)
+    else:
+        text = str(size).strip().lower().replace("_", "")
+        digits = text.rstrip("abcdefghijklmnopqrstuvwxyz")
+        unit = text[len(digits):].strip()
+        if unit not in _UNITS:
+            raise ValueError(f"unknown byte unit {unit!r} in {size!r}")
+        try:
+            value = float(digits) * _UNITS[unit]
+        except ValueError as exc:
+            raise ValueError(f"cannot parse byte size {size!r}") from exc
+    if value < 0:
+        raise ValueError(f"negative byte size {size!r}")
+    return int(value)
+
+
+def format_bytes(n: Union[int, float]) -> str:
+    """``1536`` → ``"1.5K"`` — compact human-readable binary units."""
+    n = float(n)
+    for unit in ("", "K", "M", "G", "T"):
+        if abs(n) < 1024.0 or unit == "T":
+            return f"{n:.0f}{unit}" if unit == "" or abs(n) >= 10 \
+                else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.0f}P"  # pragma: no cover - absurd sizes
+
+
+# -- budgets ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A cap on the engine's *predicted* buffer bytes for one execution."""
+
+    cap_bytes: int
+
+    def allows(self, total_bytes: int) -> bool:
+        return total_bytes <= self.cap_bytes
+
+    def max_rows(self, bytes_per_row: int) -> int:
+        """How many batch rows fit under the cap (0 when not even one)."""
+        if bytes_per_row <= 0:
+            return sys.maxsize
+        return self.cap_bytes // bytes_per_row
+
+    def __str__(self) -> str:
+        return format_bytes(self.cap_bytes)
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """Even a single-row batch cannot fit under the budget.
+
+    Carries the structured breakdown the engine computed: the cap, the
+    single-row requirement, the batch that was asked for, and the
+    per-level footprint (``{"level", "width", "row_bytes"}`` rows) so the
+    caller can see *which* levels dominate the buffer.
+    """
+
+    def __init__(self, cap_bytes: int, required_bytes: int, batch: int,
+                 per_level: Optional[List[Dict[str, int]]] = None):
+        self.cap_bytes = cap_bytes
+        self.required_bytes = required_bytes
+        self.batch = batch
+        self.per_level = list(per_level or [])
+        widest = max(self.per_level, key=lambda r: r.get("width", 0),
+                     default=None)
+        detail = (f"; widest level {widest['level']} holds "
+                  f"{widest['width']} gates" if widest else "")
+        super().__init__(
+            f"memory budget {format_bytes(cap_bytes)} cannot fit one row "
+            f"({format_bytes(required_bytes)}/row × batch {batch})"
+            f"{detail}")
+
+    def breakdown(self) -> Dict[str, Any]:
+        """A JSON-serializable report of the failure."""
+        return {"cap_bytes": self.cap_bytes,
+                "required_bytes_per_row": self.required_bytes,
+                "batch": self.batch,
+                "per_level": list(self.per_level)}
+
+
+def _budget_from_env() -> Optional[MemoryBudget]:
+    raw = os.environ.get(BUDGET_ENV, "").strip()
+    if not raw or raw == "0":
+        return None
+    try:
+        return MemoryBudget(parse_bytes(raw))
+    except ValueError:
+        return None
+
+
+#: Process-wide default budget (``REPRO_MEM_BUDGET``), honored by
+#: :func:`repro.engine.evaluate` when no explicit budget is passed.
+DEFAULT_BUDGET: Optional[MemoryBudget] = _budget_from_env()
+
+
+def set_default_budget(budget: Union[None, int, str, MemoryBudget]) -> None:
+    """Install (or clear, with ``None``) the process-wide default budget."""
+    global DEFAULT_BUDGET
+    DEFAULT_BUDGET = resolve_budget(budget, use_default=False)
+
+
+def resolve_budget(value: Union[None, int, str, MemoryBudget],
+                   use_default: bool = True) -> Optional[MemoryBudget]:
+    """Normalize a budget argument: ``None`` falls back to
+    :data:`DEFAULT_BUDGET`, ints/strings are parsed as byte sizes."""
+    if value is None:
+        return DEFAULT_BUDGET if use_default else None
+    if isinstance(value, MemoryBudget):
+        return value
+    return MemoryBudget(parse_bytes(value))

@@ -202,12 +202,24 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._instruments)
 
-    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+    def snapshot(self, compact: bool = False) -> Dict[str, Dict[str, Any]]:
         """A JSON-serializable dump: ``name -> {kind, values: [...]}`` where
-        each value row carries its labels explicitly."""
+        each value row carries its labels explicitly.
+
+        ``compact=True`` collapses each histogram's per-label rows into one
+        merged summary row (count/sum/min/max plus percentiles over the
+        pooled reservoirs, with a ``label_sets`` count) — the bench-document
+        / committed-baseline form, where a fine-grained instrument like
+        ``engine.group.seconds`` would otherwise contribute thousands of
+        per-``(level, op)`` rows.
+        """
         out: Dict[str, Dict[str, Any]] = {}
         for name in self.names():
             inst = self._instruments[name]
+            if compact and inst.kind == "histogram" and inst.values:
+                out[name] = {"kind": inst.kind,
+                             "values": [self._merged_row(inst)]}
+                continue
             rows = []
             for k, v in sorted(inst.values.items(),
                                key=lambda kv: repr(kv[0])):
@@ -220,6 +232,23 @@ class MetricsRegistry:
                     rows.append({"labels": labels, "value": v})
             out[name] = {"kind": inst.kind, "values": rows}
         return out
+
+    @staticmethod
+    def _merged_row(hist: "Histogram") -> Dict[str, Any]:
+        """One summary row pooling every label set of a histogram."""
+        count = sum(cell[0] for cell in hist.values.values())
+        total = sum(cell[1] for cell in hist.values.values())
+        lo = min(cell[2] for cell in hist.values.values())
+        hi = max(cell[3] for cell in hist.values.values())
+        pooled: List[float] = []
+        for reservoir in hist.reservoirs.values():
+            pooled.extend(reservoir)
+        pooled.sort()
+        pcts = ({f"p{p}": _percentile(pooled, p) for p in PERCENTILES}
+                if pooled else {f"p{p}": 0.0 for p in PERCENTILES})
+        return {"labels": {}, "count": count, "sum": total,
+                "min": lo, "max": hi, "label_sets": len(hist.values),
+                **pcts}
 
     def reset(self) -> None:
         with self._lock:

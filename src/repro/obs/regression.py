@@ -4,14 +4,21 @@
 document against a stored baseline with per-metric relative thresholds:
 
 * metric **direction** is inferred from the name (``*_ms`` / ``*cost*`` /
-  ``*gates*`` regress upward, ``*speedup*`` / ``*throughput*`` regress
-  downward, everything else is informational);
+  ``*gates*`` / ``*_bytes`` / ``*rss*`` / ``*mem*`` regress upward,
+  ``*speedup*`` / ``*throughput*`` / ``*savings*`` regress downward,
+  everything else is informational);
 * **wall-clock metrics** are machine-relative, so they are only gated when
   the two documents' environment fingerprints name the same machine class
   (or ``strict_times=True`` forces it), never below ``min_time_ms``, and
   at ``time_threshold_factor`` × the base threshold (single-run timings
   vary by tens of percent even idle; the time gate catches step changes
   while machine-independent counts stay tight);
+* **measured-RSS metrics** (``*rss*``) get the same machine-relative,
+  relaxed-threshold treatment as wall clock, plus a ``min_rss_bytes``
+  noise floor — peak RSS depends on allocator, page size, and whatever
+  the process touched earlier, so only step changes gate.  *Analytic*
+  byte metrics (predicted buffer sizes, ``*_bytes`` without ``rss``) are
+  exact arithmetic and gate at the tight base threshold;
 * **min-sample guard**: percentile metrics derived from obs histograms are
   only gated when the histogram saw at least ``min_samples`` observations;
 * a **zero-valued baseline** has no relative scale, so a nonzero current
@@ -49,10 +56,16 @@ DEFAULT_TIME_THRESHOLD_FACTOR = 3.0
 
 _LOWER_BETTER = ("_ms", "_seconds", "_s", "_ns", "_bytes", "_mb",
                  "cost", "gates", "size", "depth", "steps", "slots",
-                 "bytes", "latency", "p50", "p95", "p99")
+                 "bytes", "latency", "p50", "p95", "p99",
+                 "rss", "_mem", "mem_")
 _HIGHER_BETTER = ("speedup", "throughput", "per_second", "saving",
                   "ops_per", "gate_evals")
 _TIME_MARKERS = ("_ms", "_seconds", "_ns", "seconds.", ".ms", "latency")
+_RSS_MARKERS = ("rss",)
+
+#: Measured-RSS metrics below this many bytes are too noisy to gate
+#: (a handful of pages either way is allocator weather, not a regression).
+DEFAULT_MIN_RSS_BYTES = 1 << 20
 
 
 def metric_direction(name: str) -> str:
@@ -72,6 +85,14 @@ def metric_direction(name: str) -> str:
 def is_time_metric(name: str) -> bool:
     low = name.lower()
     return any(marker in low for marker in _TIME_MARKERS)
+
+
+def is_rss_metric(name: str) -> bool:
+    """Measured physical-memory metrics (peak/current RSS): gated with the
+    machine-relative, relaxed policy of wall-clock metrics, unlike the
+    analytic ``*_bytes`` predictions which gate exactly."""
+    low = name.lower()
+    return any(marker in low for marker in _RSS_MARKERS)
 
 
 def flatten_results(results: Any, prefix: str = "") -> Dict[str, float]:
@@ -190,6 +211,7 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
             min_time_ms: float = DEFAULT_MIN_TIME_MS,
             min_samples: int = DEFAULT_MIN_SAMPLES,
             time_threshold_factor: float = DEFAULT_TIME_THRESHOLD_FACTOR,
+            min_rss_bytes: float = DEFAULT_MIN_RSS_BYTES,
             include_obs_metrics: bool = False) -> CompareReport:
     """Diff two bench documents; see the module docstring for the policy."""
     bench = current.get("bench") or baseline.get("bench") or "?"
@@ -199,7 +221,7 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
         machine_id(baseline.get("env") or {})
     times_gated = strict_times or same_machine
     if not times_gated:
-        report.note = "different machines; wall-clock metrics not gated"
+        report.note = "different machines; wall-clock/RSS metrics not gated"
 
     cur_flat = flatten_results(current.get("results") or {})
     base_flat = flatten_results(baseline.get("results") or {})
@@ -234,6 +256,7 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
         rel = (cur - base) / abs(base)
         delta = MetricDelta(name, base, cur, direction, "ok", rel_change=rel)
         gated = direction != "neutral"
+        relaxed = is_time_metric(name) or is_rss_metric(name)
         if gated and is_time_metric(name):
             if not times_gated:
                 delta.status, delta.note = "skipped", "machine-relative"
@@ -242,13 +265,21 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 delta.status, delta.note = "skipped", \
                     f"below {min_time_ms:g} ms noise floor"
                 gated = False
+        elif gated and is_rss_metric(name):
+            if not times_gated:
+                delta.status, delta.note = "skipped", "machine-relative"
+                gated = False
+            elif max(abs(base), abs(cur)) < min_rss_bytes:
+                delta.status, delta.note = "skipped", \
+                    "below RSS noise floor"
+                gated = False
         if gated and name in counts and counts[name] < min_samples:
             delta.status, delta.note = "skipped", \
                 f"only {counts[name]} samples (< {min_samples})"
             gated = False
         if gated:
             limit, explicit = _threshold_for(name, threshold, per_metric)
-            if not explicit and is_time_metric(name):
+            if not explicit and relaxed:
                 limit *= time_threshold_factor
             bad = rel > limit if direction == "lower" else rel < -limit
             good = rel < -limit if direction == "lower" else rel > limit

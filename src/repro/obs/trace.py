@@ -23,7 +23,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from . import hooks
+from . import hooks, memory
 
 
 class _State:
@@ -42,7 +42,8 @@ STATE = _State()
 class Span:
     """One finished or in-flight region of work."""
 
-    __slots__ = ("name", "attrs", "start", "wall", "children", "thread")
+    __slots__ = ("name", "attrs", "start", "wall", "children", "thread",
+                 "mem")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
@@ -51,6 +52,7 @@ class Span:
         self.wall = 0.0           # seconds, filled at exit
         self.children: List["Span"] = []
         self.thread = 0
+        self.mem = None           # entry memory counters while MEM is on
 
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes to the span; chainable."""
@@ -104,12 +106,16 @@ class Tracer:
     def begin(self, name: str, attrs: Optional[Dict[str, Any]]) -> Span:
         s = Span(name, attrs)
         s.thread = threading.get_ident()
+        if memory.MEM.on:
+            memory.begin_span(s)
         s.start = time.perf_counter()
         self._stack().append(s)
         return s
 
     def end(self, span: Span) -> None:
         span.wall = time.perf_counter() - span.start
+        if span.mem is not None:
+            memory.end_span(span)
         stack = self._stack()
         # Tolerate out-of-order exits (e.g. a generator finalized late): pop
         # through to the span being closed.

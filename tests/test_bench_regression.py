@@ -17,6 +17,7 @@ from repro.obs.regression import (
     compare_dirs,
     flatten_results,
     histogram_stats,
+    is_rss_metric,
     is_time_metric,
     metric_direction,
 )
@@ -211,6 +212,77 @@ def test_machine_id_distinguishes_fingerprints():
     fp = fingerprint(seed=7)
     assert fp["seed"] == 7
     assert machine_id(fp) == machine_id(fingerprint())
+
+
+# --------------------------------------------------- memory-metric policy
+
+def test_memory_direction_inference():
+    assert metric_direction("t.buffer_bytes") == "lower"
+    assert metric_direction("t.peak_rss_bytes") == "lower"
+    assert metric_direction("t.py_alloc_delta_bytes") == "lower"
+    # recycling savings growing is good; shrinking is the regression
+    assert metric_direction("t.slot_savings_bytes") == "higher"
+
+
+def test_rss_metric_detection():
+    assert is_rss_metric("t.peak_rss_bytes")
+    assert is_rss_metric("metrics.engine.peak_rss_delta_bytes.value")
+    assert not is_rss_metric("t.buffer_bytes")
+    assert not is_rss_metric("t.engine_ms")
+
+
+def test_analytic_bytes_gated_at_base_threshold():
+    """Predicted buffer bytes are exact — a 2× growth fails even though the
+    same growth in a measured-RSS metric would ride the relaxed policy."""
+    report = compare(doc({"t": {"buffer_bytes": 2 << 20}}),
+                     doc({"t": {"buffer_bytes": 1 << 20}}))
+    assert by_metric(report, "t.buffer_bytes").status == "regression"
+
+
+def test_analytic_bytes_gated_even_across_machines():
+    report = compare(doc({"t": {"buffer_bytes": 2 << 20}}),
+                     doc({"t": {"buffer_bytes": 1 << 20}}, env=OTHER_ENV))
+    assert by_metric(report, "t.buffer_bytes").status == "regression"
+
+
+def test_rss_noise_under_relaxed_threshold_passes():
+    """+40% measured RSS is allocator noise, not a regression."""
+    report = compare(doc({"t": {"peak_rss_bytes": 140 << 20}}),
+                     doc({"t": {"peak_rss_bytes": 100 << 20}}))
+    assert by_metric(report, "t.peak_rss_bytes").status == "ok"
+
+
+def test_rss_step_gated_on_same_machine():
+    report = compare(doc({"t": {"peak_rss_bytes": 200 << 20}}),
+                     doc({"t": {"peak_rss_bytes": 100 << 20}}))
+    assert by_metric(report, "t.peak_rss_bytes").status == "regression"
+
+
+def test_rss_skipped_across_machines():
+    report = compare(doc({"t": {"peak_rss_bytes": 500 << 20}}),
+                     doc({"t": {"peak_rss_bytes": 100 << 20}}, env=OTHER_ENV))
+    delta = by_metric(report, "t.peak_rss_bytes")
+    assert delta.status == "skipped"
+    assert "machine" in delta.note
+    assert report.ok
+
+
+def test_rss_below_noise_floor_skipped():
+    """Sub-MiB RSS deltas are below allocator granularity."""
+    report = compare(doc({"t": {"peak_rss_bytes": 900_000}}),
+                     doc({"t": {"peak_rss_bytes": 300_000}}))
+    delta = by_metric(report, "t.peak_rss_bytes")
+    assert delta.status == "skipped"
+    assert "noise floor" in delta.note
+
+
+def test_slot_savings_shrinking_is_the_regression():
+    worse = compare(doc({"t": {"slot_savings_bytes": 50 << 20}}),
+                    doc({"t": {"slot_savings_bytes": 100 << 20}}))
+    assert by_metric(worse, "t.slot_savings_bytes").status == "regression"
+    better = compare(doc({"t": {"slot_savings_bytes": 150 << 20}}),
+                     doc({"t": {"slot_savings_bytes": 100 << 20}}))
+    assert by_metric(better, "t.slot_savings_bytes").status == "improvement"
 
 
 # --------------------------------------------- histogram min-sample guard

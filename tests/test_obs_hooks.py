@@ -1,0 +1,151 @@
+"""The profiling hook API (repro.obs.hooks): subscription and
+unsubscription for span/metric hooks, exception isolation (a raising
+subscriber must not break the pipeline or starve other subscribers, and
+lands in hook_errors), the bounded error log, and behavior across
+obs.reset()."""
+
+import pytest
+
+from repro import obs
+from repro.obs import hooks
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ------------------------------------------------------------ subscription
+
+def test_span_hook_sees_finished_spans():
+    obs.enable()
+    seen = []
+    obs.on_span_end(lambda s: seen.append((s.name, s.attrs.get("k"))))
+    with obs.span("outer"):
+        with obs.span("inner", k=1):
+            pass
+    # children finish before parents
+    assert seen == [("inner", 1), ("outer", None)]
+
+
+def test_metric_hook_sees_updates():
+    obs.enable()
+    seen = []
+    obs.on_metric(lambda name, kind, value, labels:
+                  seen.append((name, kind, value, dict(labels))))
+    obs.metrics.counter("c").inc(2)
+    obs.metrics.gauge("g").set(7.0, stage="x")
+    assert ("c", "counter", 2, {}) in seen
+    assert ("g", "gauge", 7.0, {"stage": "x"}) in seen
+
+
+def test_unsubscribe_stops_delivery():
+    obs.enable()
+    seen = []
+    unsubscribe = obs.on_span_end(lambda s: seen.append(s.name))
+    with obs.span("a"):
+        pass
+    unsubscribe()
+    with obs.span("b"):
+        pass
+    assert seen == ["a"]
+    unsubscribe()  # idempotent: double-unsubscribe must not raise
+
+
+def test_hooks_do_not_fire_while_disabled():
+    seen = []
+    obs.on_span_end(lambda s: seen.append(s.name))
+    obs.on_metric(lambda *a: seen.append(a))
+    with obs.span("quiet"):
+        pass
+    assert seen == []
+
+
+def test_multiple_subscribers_all_fire():
+    obs.enable()
+    a, b = [], []
+    obs.on_span_end(lambda s: a.append(s.name))
+    obs.on_span_end(lambda s: b.append(s.name))
+    with obs.span("x"):
+        pass
+    assert a == ["x"] and b == ["x"]
+
+
+# ------------------------------------------------------ exception isolation
+
+def test_raising_span_hook_is_isolated():
+    obs.enable()
+    survived = []
+
+    def bad_hook(span):
+        raise RuntimeError("subscriber bug")
+
+    obs.on_span_end(bad_hook)
+    obs.on_span_end(lambda s: survived.append(s.name))
+    with obs.span("work") as sp:
+        sp.set(done=True)  # the instrumented stage itself must not see
+    (span,) = obs.spans()  # the subscriber's exception
+    assert span.attrs["done"] is True
+    assert survived == ["work"]  # later subscribers still ran
+    errors = obs.hook_errors()
+    assert len(errors) == 1
+    name, exc = errors[0]
+    assert name == "bad_hook"
+    assert isinstance(exc, RuntimeError)
+
+
+def test_raising_metric_hook_is_isolated():
+    obs.enable()
+    survived = []
+
+    def bad_hook(name, kind, value, labels):
+        raise ValueError("boom")
+
+    obs.on_metric(bad_hook)
+    obs.on_metric(lambda *a: survived.append(a[0]))
+    obs.metrics.counter("c").inc()
+    assert obs.metrics.counter("c").total == 1
+    assert survived == ["c"]
+    assert any(isinstance(e, ValueError) for _, e in obs.hook_errors())
+
+
+def test_hook_error_log_is_bounded():
+    obs.enable()
+
+    def bad_hook(*a):
+        raise RuntimeError("again")
+
+    obs.on_metric(bad_hook)
+    for _ in range(hooks.MAX_HOOK_ERRORS + 10):
+        obs.metrics.counter("c").inc()
+    assert len(obs.hook_errors()) == hooks.MAX_HOOK_ERRORS
+
+
+def test_hook_errors_returns_a_copy():
+    obs.enable()
+    obs.on_metric(lambda *a: (_ for _ in ()).throw(RuntimeError()))
+    obs.metrics.counter("c").inc()
+    snapshot = obs.hook_errors()
+    snapshot.clear()
+    assert len(obs.hook_errors()) == 1
+
+
+# ------------------------------------------------------------------- reset
+
+def test_reset_clears_subscribers_and_errors():
+    obs.enable()
+    seen = []
+    obs.on_span_end(lambda s: seen.append(s.name))
+    obs.on_metric(lambda *a: (_ for _ in ()).throw(RuntimeError()))
+    obs.metrics.counter("c").inc()
+    assert obs.hook_errors()
+    obs.reset()
+    assert obs.hook_errors() == []
+    with obs.span("after-reset"):
+        pass
+    assert seen == []  # subscriptions did not survive the reset
+    assert obs.enabled()  # but the on/off state did

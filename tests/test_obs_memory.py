@@ -1,0 +1,247 @@
+"""The memory-accounting layer (repro.obs.memory): byte parsing and
+formatting, the enable/disable tracemalloc ownership contract, per-span
+RSS/tracemalloc attributes, MemoryBudget math, the structured
+MemoryBudgetExceeded failure, budget-driven chunked execution in the
+engine, and the Theorem-4 space-conformance gauge."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.memory import MemoryBudget, MemoryBudgetExceeded
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.set_default_budget(None)
+    yield
+    obs.disable()
+    obs.reset()
+    obs.set_default_budget(None)
+
+
+# ------------------------------------------------------------- byte sizes
+
+def test_parse_bytes_units_and_numbers():
+    assert obs.parse_bytes(4096) == 4096
+    assert obs.parse_bytes("4096") == 4096
+    assert obs.parse_bytes("64k") == 64 * 1024
+    assert obs.parse_bytes("512M") == 512 * 1024 ** 2
+    assert obs.parse_bytes("1.5gb") == int(1.5 * 1024 ** 3)
+    assert obs.parse_bytes(" 2 T ".replace(" ", "")) == 2 * 1024 ** 4
+
+
+def test_parse_bytes_rejects_junk():
+    with pytest.raises(ValueError):
+        obs.parse_bytes("12 parsecs")
+    with pytest.raises(ValueError):
+        obs.parse_bytes("M")
+    with pytest.raises(ValueError):
+        obs.parse_bytes(-1)
+
+
+def test_format_bytes_round_trip_magnitudes():
+    assert obs.format_bytes(512) == "512"
+    assert obs.format_bytes(1536) == "1.5K"
+    assert obs.format_bytes(64 * 1024 ** 2) == "64M"
+    assert obs.format_bytes(3 * 1024 ** 3) == "3.0G"
+
+
+# ------------------------------------------------------------------ probes
+
+def test_rss_probes_report_plausible_values():
+    peak, cur = obs.peak_rss_bytes(), obs.current_rss_bytes()
+    # both probes work on Linux CI; a running interpreter uses > 1 MiB
+    assert peak > 1 << 20
+    assert cur > 1 << 20
+    assert peak >= 0 and cur >= 0
+
+
+# -------------------------------------------------- enable/disable contract
+
+def test_enable_memory_starts_tracemalloc_and_disable_stops_it():
+    assert not tracemalloc.is_tracing()
+    obs.enable(memory=True)
+    assert obs.mem_enabled() and tracemalloc.is_tracing()
+    obs.disable()
+    assert not obs.mem_enabled()
+    assert not tracemalloc.is_tracing()
+
+
+def test_disable_leaves_foreign_tracemalloc_running():
+    """If the app started tracemalloc itself, obs must not stop it."""
+    tracemalloc.start()
+    try:
+        obs.enable(memory=True)
+        obs.disable()
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()
+
+
+def test_plain_enable_does_not_start_memory_accounting():
+    obs.enable()
+    assert obs.enabled()
+    assert not obs.mem_enabled()
+    assert not tracemalloc.is_tracing()
+
+
+# --------------------------------------------------------- span accounting
+
+def test_span_records_memory_attrs_when_enabled():
+    obs.enable(memory=True)
+    with obs.span("alloc"):
+        blob = bytearray(4 << 20)  # 4 MiB the tracer must see
+        del blob
+    (span,) = obs.spans()
+    assert span.attrs["rss_peak_delta_bytes"] >= 0
+    assert span.attrs["py_alloc_delta_bytes"] is not None
+    assert span.attrs["py_peak_bytes"] >= 4 << 20
+
+
+def test_span_has_no_memory_attrs_without_memory_accounting():
+    obs.enable()
+    with obs.span("plain"):
+        pass
+    (span,) = obs.spans()
+    assert "rss_peak_delta_bytes" not in span.attrs
+    assert "py_alloc_delta_bytes" not in span.attrs
+
+
+# ------------------------------------------------------------- budget math
+
+def test_budget_allows_and_max_rows():
+    budget = MemoryBudget(cap_bytes=1000)
+    assert budget.allows(1000) and not budget.allows(1001)
+    assert budget.max_rows(100) == 10
+    assert budget.max_rows(1001) == 0
+    assert budget.max_rows(0) > 1 << 40  # zero-width plan: effectively ∞
+    assert str(budget) == "1000"
+
+
+def test_resolve_budget_normalizes_and_falls_back():
+    assert obs.resolve_budget(None) is None
+    assert obs.resolve_budget("64k").cap_bytes == 64 * 1024
+    assert obs.resolve_budget(4096).cap_bytes == 4096
+    b = MemoryBudget(7)
+    assert obs.resolve_budget(b) is b
+    obs.set_default_budget("1M")
+    assert obs.resolve_budget(None).cap_bytes == 1 << 20
+    assert obs.resolve_budget(None, use_default=False) is None
+    obs.set_default_budget(None)
+    assert obs.resolve_budget(None) is None
+
+
+def test_budget_exceeded_carries_structured_breakdown():
+    per_level = [{"level": 0, "width": 3, "row_bytes": 24},
+                 {"level": 1, "width": 7, "row_bytes": 56}]
+    exc = MemoryBudgetExceeded(64, 80, 16, per_level)
+    assert isinstance(exc, MemoryError)
+    assert "widest level 1" in str(exc)
+    report = exc.breakdown()
+    assert report["cap_bytes"] == 64
+    assert report["required_bytes_per_row"] == 80
+    assert report["batch"] == 16
+    assert report["per_level"] == per_level
+
+
+# --------------------------------------------------------- engine chunking
+
+def _tiny_circuit():
+    from repro.boolcircuit.graph import Circuit
+
+    c = Circuit()
+    x, y = c.input(), c.input()
+    s = c.add(x, y)
+    p = c.mul(s, c.const(3))
+    return c, [p]
+
+
+def _rows(batch):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 100, size=(batch, 2), dtype=np.int64).tolist()
+
+
+def test_budget_splits_batch_with_identical_output():
+    from repro.engine import compile_plan, evaluate, execute_plan
+
+    c, outputs = _tiny_circuit()
+    batch = 64
+    rows = _rows(batch)
+    plan = compile_plan(c, outputs=outputs)
+    base = execute_plan(plan, np.asarray(rows, dtype=np.int64).T)
+
+    obs.enable()
+    budget = plan.buffer_bytes(batch) // 4
+    run = evaluate(c, rows, outputs=outputs, cache=None, mem_budget=budget)
+    assert run.slot_rows is not None  # went through the chunked path
+    assert np.array_equal(run.gates(outputs), base.gates(outputs))
+    assert obs.metrics.counter("engine.budget_splits").total >= 1
+    chunk_rows = obs.metrics.gauge("engine.budget_chunk_rows").value()
+    assert 1 <= chunk_rows < batch
+    names = [s.name for root in obs.spans() for s in _iter_spans(root)]
+    assert "engine.autoshard" in names  # the split shows up in the trace
+
+
+def _iter_spans(span):
+    yield span
+    for child in span.children:
+        yield from _iter_spans(child)
+
+
+def test_budget_wide_enough_uses_plain_path():
+    from repro.engine import compile_plan, evaluate
+
+    c, outputs = _tiny_circuit()
+    plan = compile_plan(c, outputs=outputs)
+    run = evaluate(c, _rows(8), outputs=outputs, cache=None,
+                   mem_budget=plan.buffer_bytes(8))
+    assert run.slot_rows is None  # fits: no chunking
+
+
+def test_budget_too_small_for_one_row_raises_structured():
+    from repro.engine import evaluate
+
+    c, outputs = _tiny_circuit()
+    with pytest.raises(MemoryBudgetExceeded) as info:
+        evaluate(c, _rows(4), outputs=outputs, cache=None, mem_budget=1)
+    exc = info.value
+    assert exc.cap_bytes == 1
+    assert exc.required_bytes >= 8  # at least one int64 slot per row
+    assert exc.per_level, "per-level breakdown must ride on the error"
+    assert {"level", "width", "row_bytes"} <= set(exc.per_level[0])
+
+
+def test_default_budget_env_path_applies_to_evaluate():
+    from repro.engine import compile_plan, evaluate
+
+    c, outputs = _tiny_circuit()
+    batch = 32
+    plan = compile_plan(c, outputs=outputs)
+    obs.set_default_budget(plan.buffer_bytes(batch) // 2)
+    try:
+        run = evaluate(c, _rows(batch), outputs=outputs, cache=None)
+        assert run.slot_rows is not None
+    finally:
+        obs.set_default_budget(None)
+
+
+# -------------------------------------------------------- space conformance
+
+def test_check_space_emits_ratio_gauge_and_violations():
+    obs.enable()
+    report = obs.check_space("q", observed_bytes=4096, n_input=100,
+                             budget_tuples=1e6)
+    assert report.ok and 0 < report.space_ratio < 1
+    assert obs.metrics.gauge("conformance.space_ratio").value(
+        query="q") == pytest.approx(report.space_ratio)
+
+    big = obs.check_space("q2", observed_bytes=int(1e12), n_input=10,
+                          budget_tuples=10)
+    assert not big.ok
+    assert obs.metrics.counter("conformance.violations").total >= 1
+    assert "space" in str(big)
