@@ -42,6 +42,7 @@ _LAZY = {
     "CompiledQuery": ("repro.api", "CompiledQuery"),
     "compile_fcq": ("repro.core", "compile_fcq"),
     "lower": ("repro.boolcircuit.lower", "lower"),
+    "run_fuzz": ("repro.testkit", "run_fuzz"),
 }
 
 
@@ -65,6 +66,7 @@ __all__ = [
     "compile",
     "compile_fcq",
     "lower",
+    "run_fuzz",
     "Atom",
     "ConjunctiveQuery",
     "Database",

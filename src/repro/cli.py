@@ -13,6 +13,9 @@ Commands
 ``bench``    — continuous benchmarking (``run`` the suite into standardized
                ``BENCH_<name>.json`` documents, ``compare`` against stored
                baselines, ``report`` the cross-run trajectory)
+``fuzz``     — property-based differential fuzzing: every backend vs the
+               RAM reference on random (query, instance) cases
+               (:mod:`repro.testkit`)
 ``ghd``      — show the best free-connex GHD and width measures
 
 Queries use the datalog-ish syntax of :func:`repro.cq.parse_query`, e.g.::
@@ -146,6 +149,10 @@ def cmd_run(args) -> int:
     from .cq import database_from_dir, suggest_constraints
     from .engine import EngineStats
 
+    if args.repeat < 1:
+        print(f"run: --repeat must be a positive integer, got {args.repeat}",
+              file=sys.stderr)
+        return 2
     mem_budget = None
     if args.mem_budget:
         try:
@@ -365,6 +372,72 @@ def cmd_bench_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Property-based differential fuzzing of the whole pipeline.
+
+    Samples ``--budget`` (query, instance) cases from ``--seed``, runs
+    every backend in the oracle matrix on each, and checks differential
+    agreement, bound/proof conformance, and metamorphic properties.
+    Failures are shrunk to minimal witnesses; ``--save-failures DIR``
+    persists them as corpus JSON.  Exit 0 on agreement, 1 on any
+    failure, 2 on bad arguments.
+    """
+    from . import obs
+    from .testkit import check_case, load_corpus, resolve_backends, run_fuzz
+    from .testkit.corpus import write_failure
+
+    if args.budget < 0:
+        print(f"fuzz: --budget must be >= 0, got {args.budget}",
+              file=sys.stderr)
+        return 2
+    names = [n.strip() for n in args.backends.split(",") if n.strip()] \
+        if args.backends else None
+    try:
+        matrix = resolve_backends(names)
+    except ValueError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics:
+        obs.enable()
+
+    failures = []
+    if args.replay:
+        corpus = load_corpus(args.replay)
+        if not corpus:
+            print(f"fuzz: no corpus cases under {args.replay!r}",
+                  file=sys.stderr)
+            return 2
+        for stem, case in sorted(corpus.items()):
+            if args.verbose:
+                print(f"replay {stem}: {case.describe()}")
+            failures.extend(check_case(case, matrix,
+                                       rng=0, word_capacity=args.word_capacity))
+        print(f"replayed {len(corpus)} corpus case(s) — "
+              f"{'ok' if not failures else f'{len(failures)} FAILURE(S)'}")
+
+    report = run_fuzz(
+        budget=args.budget, seed=args.seed, backends=names,
+        max_atoms=args.max_atoms, word_capacity=args.word_capacity,
+        metamorphic=not args.no_metamorphic, shrink=not args.no_shrink,
+        full_only=args.full_only,
+        on_case=(lambda c: print(c.describe())) if args.verbose else None)
+    failures.extend(report.failures)
+    print(report.summary())
+    if report.skipped and args.verbose:
+        skips = ", ".join(f"{k}×{v}" for k, v in sorted(report.skipped.items()))
+        print(f"skipped (not applicable / over word budget): {skips}")
+    for failure in failures:
+        print()
+        print(failure)
+    if args.save_failures and failures:
+        for failure in failures:
+            path = write_failure(failure, args.save_failures)
+            print(f"witness written to {path}")
+    if args.metrics:
+        print("\n" + obs.summary(obs.trace_document()))
+    return 1 if failures else 0
+
+
 def cmd_ghd(args) -> int:
     from .ghd import da_fhtw, da_subw
 
@@ -550,6 +623,40 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--last", type=int, default=10,
                     help="trajectory rows to show (default 10)")
     pb.set_defaults(func=cmd_bench_report)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: all backends vs the RAM reference")
+    p.add_argument("--budget", type=int, default=50, metavar="N",
+                   help="number of random cases to sample (default 50)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i is reproducible as (seed, i)")
+    p.add_argument("--backends", metavar="A,B",
+                   help="comma-separated backend names (default: all; "
+                        "see repro.testkit.oracles)")
+    p.add_argument("--max-atoms", type=int, default=4,
+                   help="largest sampled query body (default 4)")
+    p.add_argument("--word-capacity", type=int, default=40,
+                   help="run word-circuit backends only when N + DAPB is "
+                        "at most this (default 40)")
+    p.add_argument("--replay", metavar="DIR",
+                   help="first replay every corpus JSON under DIR "
+                        "(e.g. tests/corpus)")
+    p.add_argument("--save-failures", metavar="DIR",
+                   help="write shrunk failure witnesses as corpus JSON")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimising them")
+    p.add_argument("--no-metamorphic", action="store_true",
+                   help="skip metamorphic (permutation/renaming/subset) "
+                        "properties")
+    p.add_argument("--full-only", action="store_true",
+                   help="sample only full CQs (every variable free)")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable repro.obs and print the stage-time / "
+                        "metric summary")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every sampled case")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("stats", help="discover degree constraints from CSVs")
     p.add_argument("query", help="datalog-style query string")

@@ -1,6 +1,7 @@
 """Workload generators for tests and benchmarks."""
 
 from .generators import (
+    rng_of,
     bowtie_query,
     clique_query,
     cycle_query,
@@ -35,6 +36,7 @@ __all__ = [
     "path_query",
     "random_database",
     "random_relation",
+    "rng_of",
     "skewed_relation",
     "star_query",
     "triangle_query",

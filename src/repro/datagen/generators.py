@@ -1,8 +1,13 @@
 """Workload generators: random and structured instances with controlled
 cardinalities and degrees.
 
-All generators take an explicit :class:`random.Random` seed or instance so
-experiments are reproducible.
+All generators draw from one :class:`numpy.random.Generator` threaded
+through every helper (:func:`rng_of`), so a single integer seed reproduces
+bit-identical instances on every platform — the property the benchmark
+seed knob (``REPRO_BENCH_SEED``) and the :mod:`repro.testkit` fuzzing
+seeds rely on.  Passing the same ``Generator`` object to several helpers
+consumes one deterministic stream across all of them; passing an ``int``
+(or a legacy :class:`random.Random`) starts a fresh stream.
 """
 
 from __future__ import annotations
@@ -10,13 +15,36 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..cq.degree import DCSet, DegreeConstraint, cardinality
 from ..cq.query import Atom, ConjunctiveQuery, Database
 from ..cq.relation import Attr, Relation
 
 
-def _rng(seed) -> random.Random:
-    return seed if isinstance(seed, random.Random) else random.Random(seed)
+def rng_of(seed) -> np.random.Generator:
+    """The one RNG constructor every generator goes through.
+
+    ``seed`` may be an existing :class:`numpy.random.Generator` (threaded
+    through unchanged, so helpers share one stream), an ``int``/``None``
+    seed, a :class:`numpy.random.SeedSequence`, or a legacy
+    :class:`random.Random` (its state seeds a fresh Generator, kept only
+    so older call sites keep working deterministically).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, random.Random):
+        return np.random.default_rng(seed.randrange(2 ** 63))
+    return np.random.default_rng(seed)
+
+
+# Backwards-compatible alias (pre-1.2 private name).
+_rng = rng_of
+
+
+def _randint(rng: np.random.Generator, low: int, high: int) -> int:
+    """Uniform integer in ``[low, high]`` (inclusive), as a Python int."""
+    return int(rng.integers(low, high + 1))
 
 
 def random_relation(schema: Sequence[Attr], size: int, domain: int,
@@ -25,13 +53,13 @@ def random_relation(schema: Sequence[Attr], size: int, domain: int,
 
     Raises if the domain cannot host that many distinct tuples.
     """
-    rng = _rng(seed)
+    rng = rng_of(seed)
     arity = len(schema)
     if domain ** arity < size:
         raise ValueError(f"domain {domain}^{arity} too small for {size} tuples")
     rows = set()
     while len(rows) < size:
-        rows.add(tuple(rng.randint(1, domain) for _ in range(arity)))
+        rows.add(tuple(int(v) for v in rng.integers(1, domain + 1, size=arity)))
     return Relation(schema, rows)
 
 
@@ -39,7 +67,7 @@ def degree_bounded_relation(schema: Sequence[Attr], size: int, domain: int,
                             key: Sequence[Attr], max_degree: int,
                             seed=0) -> Relation:
     """A binary-ish relation with ``deg(key) ≤ max_degree`` exactly enforced."""
-    rng = _rng(seed)
+    rng = rng_of(seed)
     key = tuple(key)
     rest = tuple(a for a in schema if a not in key)
     rows = set()
@@ -47,11 +75,11 @@ def degree_bounded_relation(schema: Sequence[Attr], size: int, domain: int,
     attempts = 0
     while len(rows) < size and attempts < size * 50:
         attempts += 1
-        kval = tuple(rng.randint(1, domain) for _ in key)
+        kval = tuple(_randint(rng, 1, domain) for _ in key)
         if counts.get(kval, 0) >= max_degree:
             continue
         row_map = dict(zip(key, kval))
-        row_map.update({a: rng.randint(1, domain) for a in rest})
+        row_map.update({a: _randint(rng, 1, domain) for a in rest})
         row = tuple(row_map[a] for a in schema)
         if row in rows:
             continue
@@ -65,18 +93,17 @@ def skewed_relation(schema: Sequence[Attr], size: int, domain: int,
     """A relation whose ``skew_attr`` values follow a Zipf-like distribution
     (a few heavy hitters, a long light tail) — the workload that motivates
     heavy/light splitting."""
-    rng = _rng(seed)
-    weights = [1.0 / (i ** zipf) for i in range(1, domain + 1)]
-    total = sum(weights)
-    weights = [w / total for w in weights]
+    rng = rng_of(seed)
+    weights = np.array([1.0 / (i ** zipf) for i in range(1, domain + 1)])
+    weights /= weights.sum()
     rest = tuple(a for a in schema if a != skew_attr)
     rows = set()
     attempts = 0
     while len(rows) < size and attempts < size * 100:
         attempts += 1
-        value = rng.choices(range(1, domain + 1), weights=weights)[0]
+        value = int(rng.choice(np.arange(1, domain + 1), p=weights))
         row_map = {skew_attr: value}
-        row_map.update({a: rng.randint(1, domain) for a in rest})
+        row_map.update({a: _randint(rng, 1, domain) for a in rest})
         rows.add(tuple(row_map[a] for a in schema))
     return Relation(schema, rows)
 
@@ -167,7 +194,7 @@ def loomis_whitney_query(k: int) -> ConjunctiveQuery:
 def random_database(query: ConjunctiveQuery, size: int, domain: int,
                     seed=0) -> Database:
     """Uniform random instance: each atom gets ``size`` random tuples."""
-    rng = _rng(seed)
+    rng = rng_of(seed)
     rels = {}
     for atom in query.atoms:
         rels[atom.name] = random_relation(atom.vars, size, domain, seed=rng)

@@ -33,7 +33,12 @@ def yannakakis(query: ConjunctiveQuery, db: Database,
         dc = dc if dc is not None else query.default_dc(db)
         ghd = da_fhtw(query, dc).ghd
 
-    # Phase 1: bag relations = join of the atoms inside each bag, projected.
+    # Phase 1: bag relations = join of the atoms inside each bag, extended
+    # with projections of intersecting atoms until the relation covers the
+    # whole bag label.  Coverage matters: the free-connex assembly in
+    # phase 3 merges only the region's bag relations, so a bag variable
+    # witnessed only by an atom *outside* the region must still appear in
+    # this bag's schema (via that atom's projection) or it is lost.
     bags: Dict[int, Relation] = {}
     for node in range(ghd.n_nodes):
         bag = ghd.bags[node]
@@ -42,14 +47,15 @@ def yannakakis(query: ConjunctiveQuery, db: Database,
         for atom in members:
             r = db[atom.name].rename(dict(zip(db[atom.name].schema, atom.vars)))
             rel = r if rel is None else ops.join(rel, r)
-        if rel is None:
-            # A bag with no contained atom: populate from intersecting atoms.
-            for atom in query.atoms:
-                if atom.varset & bag:
-                    r = db[atom.name].rename(
-                        dict(zip(db[atom.name].schema, atom.vars)))
-                    piece = ops.project(r, tuple(sorted(atom.varset & bag)))
-                    rel = piece if rel is None else ops.join(rel, piece)
+        for atom in query.atoms:
+            missing = bag - rel.attrs if rel is not None else bag
+            if not missing:
+                break
+            if atom.varset & missing:
+                r = db[atom.name].rename(
+                    dict(zip(db[atom.name].schema, atom.vars)))
+                piece = ops.project(r, tuple(sorted(atom.varset & bag)))
+                rel = piece if rel is None else ops.join(rel, piece)
         assert rel is not None, f"bag {bag} intersects no atom"
         bags[node] = ops.project(rel, tuple(sorted(bag & rel.attrs)))
 

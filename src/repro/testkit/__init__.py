@@ -1,0 +1,43 @@
+"""repro.testkit — seeded property-based fuzzing for the circuit pipeline.
+
+The testkit closes the loop between the paper's theorems and the code:
+random conjunctive queries (:mod:`~repro.testkit.qgen`) paired with
+constraint-conforming instances (:mod:`~repro.testkit.dbgen`) are pushed
+through every backend in the repo (:mod:`~repro.testkit.oracles`) and
+checked for set-identical answers, bound conformance, verified proof
+sequences, and metamorphic invariants (:mod:`~repro.testkit.harness`).
+Failures shrink to minimal witnesses (:mod:`~repro.testkit.shrink`)
+committed to the regression corpus (:mod:`~repro.testkit.corpus`).
+
+Entry points::
+
+    from repro.testkit import run_fuzz, make_case
+    report = run_fuzz(budget=200, seed=0)
+    assert report.ok, report.summary()
+
+or from the CLI: ``repro fuzz --budget 200 --seed 0``.
+"""
+
+from .cases import FuzzCase, make_case
+from .corpus import (case_from_dict, case_to_dict, load_case, load_corpus,
+                     replay_entries, save_case, write_failure)
+from .dbgen import (PerAtomDC, build_instance, conforms_strict, dcset_of,
+                    sample_constraints)
+from .harness import (Failure, FuzzReport, WORD_CAPACITY, check_case,
+                      failure_predicate, metamorphic_failures, run_fuzz,
+                      shrink_failure, word_tier_allowed)
+from .oracles import ALL_BACKENDS, BY_NAME, REFERENCE, Backend, \
+    resolve_backends
+from .qgen import SHAPES, sample_query
+from .shrink import shrink_case
+
+__all__ = [
+    "ALL_BACKENDS", "BY_NAME", "Backend", "Failure", "FuzzCase",
+    "FuzzReport", "PerAtomDC", "REFERENCE", "SHAPES", "WORD_CAPACITY",
+    "build_instance", "case_from_dict", "case_to_dict", "check_case",
+    "conforms_strict", "dcset_of", "failure_predicate", "load_case",
+    "load_corpus", "make_case", "metamorphic_failures", "replay_entries",
+    "resolve_backends", "run_fuzz", "sample_constraints", "sample_query",
+    "save_case", "shrink_case", "shrink_failure", "word_tier_allowed",
+    "write_failure",
+]

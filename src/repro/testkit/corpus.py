@@ -1,0 +1,103 @@
+"""The regression corpus: shrunk counterexamples as committed JSON.
+
+Every fuzz failure the shrinker minimises can be persisted here and
+replayed forever after as an ordinary pytest case (see
+``tests/test_corpus_replay.py``).  The format is deliberately plain —
+the query in datalog syntax (round-trips through
+:func:`repro.cq.parse_query`), constraints as ``{x, y, bound}`` triples
+keyed by atom, relations as sorted row lists — so a human can read a
+corpus file and reproduce the failure by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..cq.degree import DegreeConstraint
+from ..cq.query import Database, parse_query
+from ..cq.relation import Relation
+from .cases import FuzzCase
+
+#: Schema tag written into every corpus file; bump on breaking changes.
+FORMAT = "repro.testkit/1"
+
+
+def case_to_dict(case: FuzzCase) -> dict:
+    """A JSON-ready representation of ``case``."""
+    return {
+        "format": FORMAT,
+        "name": case.name,
+        "note": case.note,
+        "query": str(case.query),
+        "constraints": {
+            name: [{"x": sorted(c.x), "y": sorted(c.y), "bound": c.bound}
+                   for c in cs]
+            for name, cs in case.per_atom_dc.items()
+        },
+        "db": {
+            name: {"schema": list(rel.schema),
+                   "rows": [list(row) for row in sorted(rel.rows)]}
+            for name, rel in case.db
+        },
+    }
+
+
+def case_from_dict(data: dict) -> FuzzCase:
+    """Rebuild a :class:`FuzzCase` from :func:`case_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValueError(f"unsupported corpus format {data.get('format')!r};"
+                         f" expected {FORMAT!r}")
+    query = parse_query(data["query"])
+    per_atom = {
+        name: [DegreeConstraint(frozenset(c["x"]), frozenset(c["y"]),
+                                c["bound"])
+               for c in cs]
+        for name, cs in data["constraints"].items()
+    }
+    db = Database({
+        name: Relation(tuple(spec["schema"]),
+                       (tuple(row) for row in spec["rows"]))
+        for name, spec in data["db"].items()
+    })
+    return FuzzCase(name=data["name"], query=query, per_atom_dc=per_atom,
+                    db=db, note=data.get("note", ""))
+
+
+def save_case(case: FuzzCase, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case_to_dict(case), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Union[str, Path]) -> FuzzCase:
+    return case_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_corpus(directory: Union[str, Path]) -> Dict[str, FuzzCase]:
+    """All corpus cases in ``directory``, keyed by file stem."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return {}
+    return {p.stem: load_case(p) for p in sorted(directory.glob("*.json"))}
+
+
+def write_failure(failure, directory: Union[str, Path]) -> Path:
+    """Persist a harness failure's witness under a descriptive name."""
+    witness = failure.witness
+    slug = failure.backend.replace(".", "_")
+    kind = failure.kind.split(":", 1)[-1]
+    witness = witness if witness.note else \
+        witness.with_db(witness.db)  # defensive copy before annotating
+    witness.note = (witness.note + " " if witness.note else "") + \
+        f"{failure.kind} in {failure.backend}: {failure.detail.splitlines()[0]}"
+    return save_case(witness,
+                     Path(directory) / f"{witness.name}_{slug}_{kind}.json")
+
+
+def replay_entries(directory: Union[str, Path]) -> List[tuple]:
+    """(id, case) pairs for pytest parametrisation over the corpus."""
+    return sorted(load_corpus(directory).items())

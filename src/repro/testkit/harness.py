@@ -1,0 +1,402 @@
+"""The differential fuzzing harness.
+
+For every sampled case the harness runs the full correctness ladder:
+
+1. **Differential oracles** — every applicable backend in the matrix
+   (:mod:`repro.testkit.oracles`) must return a set-identical answer to
+   the plain-RAM reference evaluation.
+2. **Bound conformance** — the observed output never exceeds ``DAPB(Q)``
+   (Theorem 1), the synthesized proof sequence re-verifies step by step
+   (Theorems 1–2 via :mod:`repro.bounds.proof_steps`), and word-tier
+   cases must sit inside the Theorem-4 size/depth envelope
+   (:func:`repro.obs.check_compiled`).
+3. **Metamorphic properties** — answers are invariant under atom
+   permutation, equivariant under injective domain renaming, and
+   monotone under instance subsetting.
+
+Failures are greedily shrunk (:mod:`repro.testkit.shrink`) and can be
+persisted to the regression corpus (:mod:`repro.testkit.corpus`).  The
+whole run is instrumented with :mod:`repro.obs` spans and metrics when
+observability is enabled.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import obs
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Relation
+from ..datagen.generators import rng_of
+from .cases import FuzzCase, make_case
+from .oracles import REFERENCE, Backend, resolve_backends
+from .shrink import shrink_case
+
+#: Word-tier gate: lower through Theorem 4 only when ``N + DAPB`` is at
+#: most this many tuples (word-circuit size is Õ(N + DAPB), so this caps
+#: per-case lowering cost).
+WORD_CAPACITY = 40
+
+#: Metamorphic property names (see :func:`metamorphic_failures`).
+PROPERTIES = ("atom_permutation", "domain_renaming", "subset_monotonicity")
+
+
+@dataclass
+class Failure:
+    """One confirmed disagreement, with its (optionally shrunk) witness."""
+
+    case: FuzzCase
+    backend: str
+    kind: str                 # mismatch | error | bound | proof | conformance
+    detail: str               # | metamorphic:<property>
+    shrunk: Optional[FuzzCase] = None
+
+    @property
+    def witness(self) -> FuzzCase:
+        return self.shrunk if self.shrunk is not None else self.case
+
+    def __str__(self) -> str:
+        w = self.witness
+        lines = [f"[{self.kind}] backend={self.backend} case={self.case.name}",
+                 f"  query: {w.query}",
+                 f"  dc:    {list(w.dc)}"]
+        for atom in w.query.atoms:
+            lines.append(f"  {atom.name}: {sorted(w.db[atom.name].rows)}")
+        lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    seed: int
+    budget: int
+    cases: int = 0
+    checks: int = 0
+    word_cases: int = 0
+    skipped: Dict[str, int] = field(default_factory=dict)
+    failures: List[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (f"fuzz seed={self.seed} budget={self.budget}: {self.cases} "
+                f"cases, {self.checks} checks "
+                f"({self.word_cases} word-tier) — {status}")
+
+
+def _mismatch(expected: Relation, got: Relation) -> str:
+    missing = sorted(expected.rows - got.rows)[:5]
+    extra = sorted(got.rows - expected.rows)[:5]
+    return (f"expected {len(expected)} rows, got {len(got)}; "
+            f"missing={missing} extra={extra}")
+
+
+def _run_backend(backend: Backend, case: FuzzCase,
+                 truth: Relation) -> Optional[Failure]:
+    """One differential comparison; None when the backend agrees."""
+    try:
+        got = backend.run(case)
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        return Failure(case, backend.name, "error",
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc(limit=3)}")
+    if got != truth:
+        return Failure(case, backend.name, "mismatch", _mismatch(truth, got))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# bound + proof conformance (Theorems 1, 2 and 4 as assertions)
+# ---------------------------------------------------------------------------
+
+def bound_failures(case: FuzzCase) -> List[Failure]:
+    """Theorem 1/2 conformance: DAPB caps the output and the synthesized
+    proof sequence re-verifies against its own flow inequality."""
+    from ..bounds import log_dapb, synthesize_proof
+    from ..bounds.proof_steps import InvalidProofSequence
+
+    failures: List[Failure] = []
+    try:
+        logb = log_dapb(case.query, case.dc)
+        full_out = len(case.query.full_version().evaluate(case.db))
+        if full_out > math.ceil(2 ** logb) + 1e-9:
+            failures.append(Failure(
+                case, "bounds.log_dapb", "bound",
+                f"instance output {full_out} exceeds DAPB "
+                f"{math.ceil(2 ** logb)} (2^{logb:.3f})"))
+        proof = synthesize_proof(case.query.variables, case.dc)
+        proof.sequence.verify(proof.inequality.delta, proof.inequality.lam)
+        if proof.log_budget < logb - 1e-6:
+            failures.append(Failure(
+                case, "bounds.proof", "proof",
+                f"proof budget 2^{proof.log_budget:.3f} below LOGDAPB "
+                f"2^{logb:.3f} — the certified bound would be unsound"))
+    except InvalidProofSequence as exc:
+        failures.append(Failure(case, "bounds.proof", "proof", str(exc)))
+    except Exception as exc:  # noqa: BLE001
+        failures.append(Failure(case, "bounds", "error",
+                                f"{type(exc).__name__}: {exc}"))
+    return failures
+
+
+def conformance_failure(case: FuzzCase) -> Optional[Failure]:
+    """Theorem-4 envelope: lowered size/depth ratios must stay ≤ 1."""
+    try:
+        report = case.compiled().conformance()
+    except Exception as exc:  # noqa: BLE001
+        return Failure(case, "obs.conformance", "error",
+                       f"{type(exc).__name__}: {exc}")
+    if not report.ok:
+        return Failure(case, "obs.conformance", "conformance",
+                       f"size_ratio={report.size_ratio:.3f} "
+                       f"depth_ratio={report.depth_ratio:.3f} "
+                       f"(observed {report.observed_size} gates, "
+                       f"depth {report.observed_depth})")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# metamorphic properties
+# ---------------------------------------------------------------------------
+
+def _permute_atoms(case: FuzzCase, rng: np.random.Generator) -> FuzzCase:
+    order = rng.permutation(len(case.query.atoms))
+    atoms = [case.query.atoms[i] for i in order]
+    query = ConjunctiveQuery(atoms, free=case.query.free)
+    return FuzzCase(name=case.name + "+perm", query=query,
+                    per_atom_dc=case.per_atom_dc, db=case.db)
+
+
+def _rename_domain(case: FuzzCase,
+                   rng: np.random.Generator) -> tuple:
+    """An injective value renaming applied to the instance; returns the
+    transformed case and the mapping."""
+    values = sorted({v for _, rel in case.db for row in rel.rows
+                     for v in row})
+    targets = [int(t) for t in
+               rng.permutation(np.arange(1, len(values) + 3))[:len(values)]]
+    mapping = dict(zip(values, targets))
+    rels = {}
+    for name, rel in case.db:
+        rels[name] = Relation(
+            rel.schema, (tuple(mapping[v] for v in row) for row in rel.rows))
+    return case.with_db(Database(rels)), mapping
+
+
+def _drop_tuple(case: FuzzCase,
+                rng: np.random.Generator) -> Optional[FuzzCase]:
+    nonempty = [a.name for a in case.query.atoms if len(case.db[a.name])]
+    if not nonempty:
+        return None
+    name = nonempty[int(rng.integers(0, len(nonempty)))]
+    rows = sorted(case.db[name].rows)
+    victim = rows[int(rng.integers(0, len(rows)))]
+    rel = Relation(case.db[name].schema,
+                   (r for r in rows if r != victim))
+    return case.with_db(case.db.with_relation(name, rel))
+
+
+def metamorphic_failures(case: FuzzCase, backend: Backend,
+                         rng: np.random.Generator,
+                         baseline: Relation) -> List[Failure]:
+    """Check the three metamorphic properties of ``backend`` on ``case``.
+
+    ``baseline`` is the backend's (already differentially validated)
+    answer on the untransformed case.  Transforms that reuse the instance
+    keep the compiled pipeline, so word-tier backends stay cheap; atom
+    permutation recompiles and is only run below the word tier.
+    """
+    failures: List[Failure] = []
+
+    if backend.tier != "word" and len(case.query.atoms) > 1:
+        permuted = _permute_atoms(case, rng)
+        try:
+            got = backend.run(permuted)
+            if got != baseline:
+                failures.append(Failure(
+                    case, backend.name, "metamorphic:atom_permutation",
+                    f"atom order {[a.name for a in permuted.query.atoms]} "
+                    f"changed the answer: {_mismatch(baseline, got)}"))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(Failure(
+                case, backend.name, "metamorphic:atom_permutation",
+                f"{type(exc).__name__}: {exc}"))
+
+    renamed, mapping = _rename_domain(case, rng)
+    expected = Relation(tuple(sorted(case.query.free)),
+                        (tuple(mapping[v] for v in row)
+                         for row in baseline.rows))
+    try:
+        got = backend.run(renamed)
+        if got != expected:
+            failures.append(Failure(
+                case, backend.name, "metamorphic:domain_renaming",
+                f"injective renaming {mapping} not equivariant: "
+                f"{_mismatch(expected, got)}"))
+    except Exception as exc:  # noqa: BLE001
+        failures.append(Failure(
+            case, backend.name, "metamorphic:domain_renaming",
+            f"{type(exc).__name__}: {exc}"))
+
+    subset = _drop_tuple(case, rng)
+    if subset is not None:
+        try:
+            got = backend.run(subset)
+            if not got.rows <= baseline.rows:
+                failures.append(Failure(
+                    case, backend.name, "metamorphic:subset_monotonicity",
+                    f"removing one tuple *added* answer rows: "
+                    f"{sorted(got.rows - baseline.rows)[:5]}"))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(Failure(
+                case, backend.name, "metamorphic:subset_monotonicity",
+                f"{type(exc).__name__}: {exc}"))
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# per-case check + the fuzz loop
+# ---------------------------------------------------------------------------
+
+def word_tier_allowed(case: FuzzCase,
+                      word_capacity: int = WORD_CAPACITY) -> bool:
+    """Gate the Theorem-4 lowering on the case's ``N + DAPB`` budget."""
+    if not case.query.is_full:
+        return False
+    try:
+        from ..bounds import log_dapb
+
+        budget = math.ceil(2 ** log_dapb(case.query, case.dc))
+    except Exception:  # noqa: BLE001 — bound failures surface elsewhere
+        return False
+    return case.dc.total_input_size() + budget <= word_capacity
+
+
+def check_case(case: FuzzCase, backends: Sequence[Backend],
+               rng=None, word_capacity: int = WORD_CAPACITY,
+               metamorphic: bool = True,
+               report: Optional[FuzzReport] = None) -> List[Failure]:
+    """Run the full correctness ladder on one case; returns raw
+    (unshrunk) failures."""
+    rng = rng_of(rng if rng is not None else 0)
+    failures: List[Failure] = []
+    truth = REFERENCE.run(case)
+    failures.extend(bound_failures(case))
+
+    word_ok = word_tier_allowed(case, word_capacity)
+    ran: List[Backend] = []
+    for backend in backends:
+        if not backend.applicable(case) or \
+                (backend.tier == "word" and not word_ok):
+            if report is not None:
+                report.skipped[backend.name] = \
+                    report.skipped.get(backend.name, 0) + 1
+            continue
+        failure = _run_backend(backend, case, truth)
+        if report is not None:
+            report.checks += 1
+        if failure is not None:
+            failures.append(failure)
+        else:
+            ran.append(backend)
+
+    if word_ok and any(b.tier == "word" for b in ran):
+        if report is not None:
+            report.word_cases += 1
+        conf = conformance_failure(case)
+        if conf is not None:
+            failures.append(conf)
+
+    if metamorphic and ran:
+        target = ran[int(rng.integers(0, len(ran)))]
+        failures.extend(metamorphic_failures(case, target, rng, truth))
+        if report is not None:
+            report.checks += len(PROPERTIES)
+    return failures
+
+
+def failure_predicate(backend: Backend) -> Callable[[FuzzCase], bool]:
+    """The shrinker's oracle: does ``backend`` still disagree (or crash)
+    on a candidate case?"""
+    def still_fails(candidate: FuzzCase) -> bool:
+        try:
+            truth = REFERENCE.run(candidate)
+        except Exception:  # noqa: BLE001 — reference must stay healthy
+            return False
+        return _run_backend(backend, candidate, truth) is not None
+
+    return still_fails
+
+
+def shrink_failure(failure: Failure,
+                   max_checks: int = 400) -> Failure:
+    """Attach a greedily minimised witness to a differential failure.
+
+    Only mismatch/error failures shrink against the backend oracle;
+    bound, proof, conformance and metamorphic failures keep the original
+    case as witness (their predicates are not per-backend).
+    """
+    if failure.kind not in ("mismatch", "error"):
+        return failure
+    from .oracles import BY_NAME
+
+    backend = BY_NAME.get(failure.backend)
+    if backend is None:
+        return failure
+    failure.shrunk = shrink_case(failure.case, failure_predicate(backend),
+                                 max_checks=max_checks)
+    return failure
+
+
+def run_fuzz(budget: int = 50, seed: int = 0,
+             backends: Optional[Sequence[str]] = None,
+             max_atoms: int = 4, max_card: int = 6, max_domain: int = 5,
+             word_capacity: int = WORD_CAPACITY,
+             metamorphic: bool = True, shrink: bool = True,
+             full_only: bool = False,
+             on_case: Optional[Callable[[FuzzCase], None]] = None
+             ) -> FuzzReport:
+    """Sample ``budget`` cases from ``seed`` and run the correctness
+    ladder on each; returns a :class:`FuzzReport` with shrunk failures.
+
+    Reproduce any failure with
+    ``make_case(seed, index)`` where ``index`` is parsed from the case
+    name ``s<seed>i<index>``.
+    """
+    matrix = resolve_backends(backends)
+    report = FuzzReport(seed=seed, budget=budget)
+    with obs.span("fuzz.run", seed=seed, budget=budget) as sp:
+        for index in range(budget):
+            case = make_case(seed, index, max_atoms=max_atoms,
+                             max_card=max_card, max_domain=max_domain,
+                             full_only=full_only)
+            if on_case is not None:
+                on_case(case)
+            report.cases += 1
+            case_rng = np.random.SeedSequence((seed, index, 1))
+            with obs.span("fuzz.case", case=case.name,
+                          query=str(case.query)):
+                failures = check_case(case, matrix, rng=case_rng,
+                                      word_capacity=word_capacity,
+                                      metamorphic=metamorphic,
+                                      report=report)
+            if obs.STATE.on:
+                obs.metrics.counter("fuzz.cases").inc()
+                if failures:
+                    obs.metrics.counter("fuzz.failures").inc(len(failures))
+            for failure in failures:
+                report.failures.append(
+                    shrink_failure(failure) if shrink else failure)
+        sp.set(cases=report.cases, checks=report.checks,
+               failures=len(report.failures))
+    return report

@@ -1,0 +1,159 @@
+"""The differential-oracle matrix: every backend that can answer a CQ.
+
+Each :class:`Backend` evaluates a :class:`~repro.testkit.cases.FuzzCase`
+and returns a :class:`~repro.cq.Relation`; the harness asserts all
+applicable backends return *set-identical* answers.  Backends are tiered
+by cost:
+
+========== ==================================================== ==========
+tier       backends                                             when run
+========== ==================================================== ==========
+ram        ``ram.naive``, ``ram.wcoj``, ``ram.yannakakis``      every case
+relational ``core.panda_c`` (full CQs),                         every case
+           ``core.output_sensitive`` (projections/BCQs)
+word       ``engine.vectorized``, ``engine.scalar``,            small cases
+           ``boolcircuit.fasteval``                             only
+========== ==================================================== ==========
+
+The word tier lowers through Theorem 4 (word-circuit size grows with
+``N + DAPB``), so the harness gates it on the case's bound budget; the
+three word backends share one compiled pipeline per case.
+
+Backends resolve their implementation module at *call* time, so mutation
+tests can monkeypatch a kernel (e.g. ``Relation.semijoin``) and watch the
+matrix catch the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cq.relation import Relation
+from .cases import FuzzCase
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One evaluation strategy in the oracle matrix."""
+
+    name: str
+    tier: str                     # "ram" | "relational" | "word"
+    full_only: bool
+    run: Callable[[FuzzCase], Relation]
+
+    def applicable(self, case: FuzzCase) -> bool:
+        return case.query.is_full or not self.full_only
+
+
+def _env(case: FuzzCase) -> Dict[str, Relation]:
+    return {a.name: case.db[a.name] for a in case.query.atoms}
+
+
+def _normalize(case: FuzzCase, rel: Relation) -> Relation:
+    """Project/reorder a backend's answer onto the sorted free schema so
+    set comparison is schema-independent."""
+    free = tuple(sorted(case.query.free))
+    if rel.attrs == frozenset(free):
+        return rel.reorder(free)
+    return rel.project(free)
+
+
+# ---------------------------------------------------------------------------
+# RAM tier
+# ---------------------------------------------------------------------------
+
+def _run_reference(case: FuzzCase) -> Relation:
+    return _normalize(case, case.query.evaluate(case.db))
+
+
+def _run_naive(case: FuzzCase) -> Relation:
+    from ..ram import naive
+
+    return _normalize(case, naive.naive_join(case.query, case.db))
+
+
+def _run_wcoj(case: FuzzCase) -> Relation:
+    from ..ram import wcoj
+
+    return _normalize(case, wcoj.generic_join(case.query, case.db))
+
+
+def _run_yannakakis(case: FuzzCase) -> Relation:
+    from ..ram.yannakakis import yannakakis
+
+    return _normalize(case, yannakakis(case.query, case.db, dc=case.dc))
+
+
+# ---------------------------------------------------------------------------
+# relational-circuit tier
+# ---------------------------------------------------------------------------
+
+def _run_panda_c(case: FuzzCase) -> Relation:
+    circuit = case.compiled().circuit
+    return _normalize(case, circuit.run(_env(case), check_bounds=False)[0])
+
+
+def _run_output_sensitive(case: FuzzCase) -> Relation:
+    from ..core import OutputSensitiveFamily
+
+    fam = OutputSensitiveFamily(case.query, case.dc)
+    result = fam.evaluate(case.db)
+    answer = _normalize(case, result.answer)
+    if result.out != len(answer):
+        raise AssertionError(
+            f"count circuit says OUT={result.out} but the eval circuit "
+            f"returned {len(answer)} rows")
+    return answer
+
+
+# ---------------------------------------------------------------------------
+# word-circuit tier (Theorem 4; shares one compiled pipeline per case)
+# ---------------------------------------------------------------------------
+
+def _run_engine(case: FuzzCase) -> Relation:
+    return _normalize(case, case.compiled().evaluate(case.db))
+
+
+def _run_scalar(case: FuzzCase) -> Relation:
+    return _normalize(case,
+                      case.compiled().evaluate(case.db, engine="scalar"))
+
+
+def _run_fasteval(case: FuzzCase) -> Relation:
+    from ..boolcircuit import fasteval
+
+    lowered = case.compiled().lowered()
+    outs = fasteval.run_lowered_batch(lowered, [_env(case)])
+    return _normalize(case, outs[0][0])
+
+
+#: The reference oracle every backend is compared against (plain RAM
+#: left-deep join — ``ConjunctiveQuery.evaluate``).
+REFERENCE = Backend("reference", "ram", False, _run_reference)
+
+ALL_BACKENDS: List[Backend] = [
+    Backend("ram.naive", "ram", False, _run_naive),
+    Backend("ram.wcoj", "ram", False, _run_wcoj),
+    Backend("ram.yannakakis", "ram", False, _run_yannakakis),
+    Backend("core.panda_c", "relational", True, _run_panda_c),
+    Backend("core.output_sensitive", "relational", False,
+            _run_output_sensitive),
+    Backend("engine.vectorized", "word", True, _run_engine),
+    Backend("engine.scalar", "word", True, _run_scalar),
+    Backend("boolcircuit.fasteval", "word", True, _run_fasteval),
+]
+
+BY_NAME: Dict[str, Backend] = {b.name: b for b in ALL_BACKENDS}
+
+
+def resolve_backends(names: Optional[Sequence[str]] = None) -> List[Backend]:
+    """Map backend names to :class:`Backend` objects (all by default)."""
+    if not names:
+        return list(ALL_BACKENDS)
+    missing = [n for n in names if n not in BY_NAME]
+    if missing:
+        raise ValueError(
+            f"unknown backend(s) {', '.join(missing)}; "
+            f"choose from {', '.join(sorted(BY_NAME))}")
+    return [BY_NAME[n] for n in names]

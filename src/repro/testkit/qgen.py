@@ -1,0 +1,127 @@
+"""Random conjunctive-query generator for the differential fuzzer.
+
+Samples small hypergraphs in a mix of shapes — acyclic chains/stars/trees,
+cyclic cores, and unstructured random hypergraphs — then a free-variable
+subset (full, proper projection, or Boolean).  Everything is driven by one
+:class:`numpy.random.Generator` so a case is reproducible from its seed.
+
+The shapes are chosen to cover the regimes the paper's constructions
+branch on: free-connex acyclic queries (Yannakakis-C's easy case), cyclic
+queries needing the PANDA-C worst-case route, hypergraphs with non-binary
+atoms, repeated variable sets (self-join shape), and unary atoms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cq.query import Atom, ConjunctiveQuery
+from ..datagen.generators import rng_of
+
+#: Sampled query shapes, in rough order of structural difficulty.
+SHAPES = ("chain", "star", "cycle", "triangle_plus", "random")
+
+
+def _randint(rng: np.random.Generator, low: int, high: int) -> int:
+    return int(rng.integers(low, high + 1))
+
+
+def _chain(rng: np.random.Generator, max_atoms: int,
+           max_vars: int) -> List[Atom]:
+    k = _randint(rng, 1, max(1, min(max_atoms, max_vars - 1)))
+    return [Atom(f"R{i}", (f"X{i}", f"X{i + 1}")) for i in range(k)]
+
+
+def _star(rng: np.random.Generator, max_atoms: int,
+          max_vars: int) -> List[Atom]:
+    k = _randint(rng, 1, max(1, min(max_atoms, max_vars - 1)))
+    return [Atom(f"R{i}", ("X0", f"X{i + 1}")) for i in range(k)]
+
+
+def _cycle(rng: np.random.Generator, max_atoms: int,
+           max_vars: int) -> List[Atom]:
+    k = _randint(rng, 3, max(3, min(max_atoms, max_vars)))
+    return [Atom(f"R{i}", (f"X{i}", f"X{(i + 1) % k}")) for i in range(k)]
+
+
+def _triangle_plus(rng: np.random.Generator, max_atoms: int) -> List[Atom]:
+    """A triangle core, optionally with a pendant path atom."""
+    atoms = [Atom("R0", ("X0", "X1")), Atom("R1", ("X1", "X2")),
+             Atom("R2", ("X0", "X2"))]
+    if max_atoms > 3 and rng.random() < 0.5:
+        atoms.append(Atom("R3", ("X2", "X3")))
+    return atoms
+
+
+def _random_hypergraph(rng: np.random.Generator, max_atoms: int,
+                       max_arity: int, max_vars: int) -> List[Atom]:
+    """A connected random hypergraph over a small variable pool.
+
+    Connectivity is enforced constructively: each atom after the first
+    must include at least one already-used variable, so components never
+    split (disconnected queries are legal CQs but their cross products
+    blow the tiny instance budget without testing anything new).
+    """
+    n_vars = _randint(rng, 2, max_vars)
+    pool = [f"X{i}" for i in range(n_vars)]
+    n_atoms = _randint(rng, 1, max(1, max_atoms))
+    atoms: List[Atom] = []
+    used: List[str] = []
+    for i in range(n_atoms):
+        arity = _randint(rng, 1, min(max_arity, n_vars))
+        if not used:
+            vs = list(rng.choice(pool, size=arity, replace=False))
+        else:
+            anchor = used[_randint(rng, 0, len(used) - 1)]
+            rest = [v for v in pool if v != anchor]
+            extra = list(rng.choice(rest, size=arity - 1, replace=False)) \
+                if arity > 1 else []
+            vs = [anchor] + extra
+        atoms.append(Atom(f"R{i}", tuple(str(v) for v in vs)))
+        for v in vs:
+            if v not in used:
+                used.append(str(v))
+    return atoms
+
+
+def sample_query(seed, max_atoms: int = 4, max_arity: int = 3,
+                 max_vars: int = 4, full_only: bool = False,
+                 shape: Optional[str] = None) -> ConjunctiveQuery:
+    """Sample one conjunctive query.
+
+    ``seed`` is anything :func:`repro.datagen.rng_of` accepts; thread a
+    shared Generator to keep one deterministic stream per fuzz case.
+    With probability ~0.55 the query is full; otherwise a random proper
+    subset of the variables is free (possibly none — a Boolean query).
+
+    ``max_vars`` defaults to 4 because the polymatroid LP behind proof
+    synthesis works over the ``2^|vars|``-dimensional set lattice — a
+    fifth variable turns a millisecond bound computation into tens of
+    seconds, which a fuzz loop cannot afford per case.
+    """
+    rng = rng_of(seed)
+    shape = shape if shape is not None else \
+        str(rng.choice(np.asarray(SHAPES, dtype=object)))
+    if shape == "chain":
+        atoms = _chain(rng, max_atoms, max_vars)
+    elif shape == "star":
+        atoms = _star(rng, max_atoms, max_vars)
+    elif shape == "cycle":
+        atoms = _cycle(rng, max_atoms, max_vars)
+    elif shape == "triangle_plus":
+        atoms = _triangle_plus(rng, max_atoms)
+    elif shape == "random":
+        atoms = _random_hypergraph(rng, max_atoms, max_arity, max_vars)
+    else:
+        raise ValueError(f"unknown query shape {shape!r}; "
+                         f"choose from {SHAPES}")
+    variables = sorted({v for a in atoms for v in a.vars})
+    if full_only or rng.random() < 0.55:
+        return ConjunctiveQuery(atoms)
+    # A proper (possibly empty) free subset: each variable kept with p=1/2.
+    free = tuple(v for v in variables if rng.random() < 0.5)
+    if frozenset(free) == frozenset(variables):
+        free = free[:-1]
+    return ConjunctiveQuery(atoms, free=free)

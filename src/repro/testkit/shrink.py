@@ -1,0 +1,106 @@
+"""Greedy minimisation of failing fuzz cases.
+
+The shrinker repeatedly tries structure-removing transforms — drop an
+atom, drop a tuple, canonicalise the value domain — keeping a candidate
+only when the caller's ``still_fails`` predicate confirms the failure
+survives.  It terminates at a fixpoint (no single transform preserves
+the failure) or when the predicate-evaluation budget runs out, so a
+failure report shows a witness a human can read: typically ≤ 3 atoms
+and a handful of tuples over values ``1..k``.
+
+Every transform preserves the case's constraint conformance: dropping
+tuples can only loosen cardinality/degree slack, dropping an atom drops
+exactly that atom's constraints (``per_atom_dc`` is keyed by atom), and
+value canonicalisation is injective.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..cq.query import ConjunctiveQuery, Database
+from ..cq.relation import Relation
+from .cases import FuzzCase
+
+
+def _drop_atom(case: FuzzCase, name: str) -> Optional[FuzzCase]:
+    atoms = [a for a in case.query.atoms if a.name != name]
+    if not atoms:
+        return None
+    remaining = {v for a in atoms for v in a.vars}
+    free = tuple(v for v in sorted(case.query.free) if v in remaining)
+    if case.query.is_full:
+        query = ConjunctiveQuery(atoms)
+    else:
+        query = ConjunctiveQuery(atoms, free=free)
+    per_atom = {a.name: case.per_atom_dc[a.name] for a in atoms}
+    db = Database({a.name: case.db[a.name] for a in atoms})
+    # New query shape ⇒ the compiled pipeline cannot be reused.
+    return FuzzCase(name=case.name, query=query, per_atom_dc=per_atom,
+                    db=db, note=case.note)
+
+
+def _drop_tuple(case: FuzzCase, name: str, row: tuple) -> FuzzCase:
+    rel = case.db[name]
+    smaller = Relation(rel.schema, (r for r in rel.rows if r != row))
+    return case.with_db(case.db.with_relation(name, smaller))
+
+
+def _canonicalize_values(case: FuzzCase) -> Optional[FuzzCase]:
+    values = sorted({v for _, rel in case.db for row in rel.rows
+                     for v in row})
+    mapping = {v: i + 1 for i, v in enumerate(values)}
+    if all(k == v for k, v in mapping.items()):
+        return None
+    rels = {name: Relation(rel.schema,
+                           (tuple(mapping[v] for v in row)
+                            for row in rel.rows))
+            for name, rel in case.db}
+    return case.with_db(Database(rels))
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Single-step reductions, most aggressive first."""
+    for atom in case.query.atoms:
+        smaller = _drop_atom(case, atom.name)
+        if smaller is not None:
+            yield smaller
+    for atom in case.query.atoms:
+        for row in sorted(case.db[atom.name].rows):
+            yield _drop_tuple(case, atom.name, row)
+    canon = _canonicalize_values(case)
+    if canon is not None:
+        yield canon
+
+
+def shrink_case(case: FuzzCase,
+                still_fails: Callable[[FuzzCase], bool],
+                max_checks: int = 400) -> FuzzCase:
+    """Greedily minimise ``case`` while ``still_fails`` stays true.
+
+    ``still_fails`` must be true for ``case`` itself (the caller found
+    the failure); it is re-evaluated on every candidate, so it should be
+    cheap — typically "this one backend still disagrees with the
+    reference".
+    """
+    checks = 0
+    current = case
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:  # noqa: BLE001 — a broken candidate is no witness
+                failing = False
+            if failing:
+                current = candidate
+                progress = True
+                break  # restart candidate generation from the smaller case
+    if current is not case:
+        current.note = (current.note + " " if current.note else "") + \
+            f"shrunk({checks} checks)"
+    return current

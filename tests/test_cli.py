@@ -123,6 +123,82 @@ class TestRunCommand:
                      str(tmp_path), "-n", "4"]) == 2
 
 
+class TestExitCodes:
+    """Argument validation: bad inputs exit 2, never a traceback."""
+
+    def _data_dir(self, tmp_path, n=4, seed=5):
+        from repro.cq import database_to_dir
+        from repro.datagen import random_database, triangle_query
+
+        q = triangle_query()
+        database_to_dir(random_database(q, n, 4, seed=seed), q, tmp_path)
+
+    def test_run_repeat_zero_exits_2(self, tmp_path, capsys):
+        self._data_dir(tmp_path)
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "--repeat", "0"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_run_repeat_negative_exits_2(self, tmp_path, capsys):
+        self._data_dir(tmp_path)
+        assert main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "--repeat", "-2"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("budget", ["12xyz", "1.5Q", ""])
+    def test_run_bad_mem_budget_exits_2(self, tmp_path, capsys, budget):
+        self._data_dir(tmp_path)
+        code = main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                     str(tmp_path), "--mem-budget", budget])
+        if budget == "":
+            # an empty budget string is falsy -> treated as "no budget"
+            assert code == 0
+        else:
+            assert code == 2
+            assert "--mem-budget" in capsys.readouterr().err
+
+    def test_run_bad_engine_exits_2(self, tmp_path, capsys):
+        self._data_dir(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "R_AB(A,B), R_BC(B,C), R_AC(A,C)",
+                  str(tmp_path), "--engine", "quantum"])
+        assert exc.value.code == 2
+
+    def test_fuzz_unknown_backend_exits_2(self, capsys):
+        assert main(["fuzz", "--budget", "1",
+                     "--backends", "ram.naive,no.such.backend"]) == 2
+        err = capsys.readouterr().err
+        assert "no.such.backend" in err and "ram.wcoj" in err
+
+    def test_fuzz_negative_budget_exits_2(self, capsys):
+        assert main(["fuzz", "--budget", "-1"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_fuzz_missing_replay_dir_exits_2(self, tmp_path, capsys):
+        assert main(["fuzz", "--budget", "0",
+                     "--replay", str(tmp_path / "nowhere")]) == 2
+        assert "no corpus" in capsys.readouterr().err
+
+    def test_trace_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "missing.json")]) == 2
+
+
+class TestFuzzCommand:
+    def test_small_fuzz_run_passes(self, capsys):
+        assert main(["fuzz", "--budget", "3", "--seed", "0",
+                     "--backends", "ram.naive,ram.wcoj",
+                     "--no-metamorphic"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz seed=0 budget=3" in out and "ok" in out
+
+    def test_fuzz_verbose_lists_cases(self, capsys):
+        assert main(["fuzz", "--budget", "2", "--seed", "1",
+                     "--backends", "ram.naive", "--no-metamorphic",
+                     "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "s1i0" in out and "s1i1" in out
+
+
 class TestStatsCommand:
     def test_stats(self, tmp_path, capsys):
         from repro.cq import database_to_dir

@@ -1,0 +1,224 @@
+"""Tests for repro.testkit: generators, oracle matrix, harness, shrinker.
+
+The load-bearing test is the mutation check: injecting a fault into one
+join kernel (``Relation.semijoin``, used by the Yannakakis backend but
+not by the reference evaluator) must make the differential harness catch
+the disagreement and shrink it to a tiny witness.  That proves the
+fuzzer can actually detect the class of bug it exists for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cq.relation import Relation
+from repro.testkit import (
+    ALL_BACKENDS,
+    REFERENCE,
+    FuzzCase,
+    case_from_dict,
+    case_to_dict,
+    check_case,
+    conforms_strict,
+    dcset_of,
+    make_case,
+    resolve_backends,
+    run_fuzz,
+    sample_query,
+    shrink_case,
+    word_tier_allowed,
+)
+from repro.testkit.harness import bound_failures, failure_predicate
+from repro.testkit.qgen import SHAPES
+
+
+class TestQueryGenerator:
+    def test_deterministic(self):
+        assert str(sample_query(42)) == str(sample_query(42))
+
+    def test_shapes_all_sampled(self):
+        seen = set()
+        for seed in range(60):
+            q = sample_query(seed)
+            seen.add(len(q.atoms))
+        assert 1 in seen and 3 in seen  # singletons and cycles both appear
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_connected(self, shape):
+        for seed in range(20):
+            q = sample_query(seed, shape=shape)
+            atoms = list(q.atoms)
+            reached = set(atoms[0].vars)
+            frontier = True
+            while frontier:
+                frontier = False
+                for a in atoms:
+                    if set(a.vars) & reached and not set(a.vars) <= reached:
+                        reached |= set(a.vars)
+                        frontier = True
+            assert reached == set().union(*(a.vars for a in atoms))
+
+    def test_free_vars_are_subset(self):
+        for seed in range(40):
+            q = sample_query(seed)
+            assert q.free <= q.variables
+
+    def test_variable_budget_respected(self):
+        for seed in range(40):
+            q = sample_query(seed, max_vars=4)
+            assert len(q.variables) <= 4
+
+
+class TestInstanceGenerator:
+    def test_instances_conform_strictly(self):
+        for index in range(30):
+            case = make_case(7, index)
+            assert conforms_strict(case.query, case.db,
+                                   dcset_of(case.per_atom_dc))
+
+    def test_case_reproducible_by_index(self):
+        a, b = make_case(3, 12), make_case(3, 12)
+        assert str(a.query) == str(b.query)
+        assert {n: r.rows for n, r in a.db} == {n: r.rows for n, r in b.db}
+
+    def test_self_join_atoms_share_constraints(self):
+        # Atoms over the same variable set must share one constraint list,
+        # otherwise circuit wire bounds would truncate one of them.
+        for index in range(60):
+            case = make_case(11, index)
+            by_varset = {}
+            for atom in case.query.atoms:
+                cs = tuple(case.per_atom_dc[atom.name])
+                assert by_varset.setdefault(atom.varset, cs) == cs
+
+
+class TestOracleMatrix:
+    def test_resolve_unknown_backend(self):
+        with pytest.raises(ValueError, match="no.such"):
+            resolve_backends(["ram.naive", "no.such"])
+
+    def test_all_backends_agree_on_sampled_cases(self):
+        for index in range(6):
+            case = make_case(5, index)
+            truth = REFERENCE.run(case)
+            word_ok = word_tier_allowed(case)
+            for backend in ALL_BACKENDS:
+                if not backend.applicable(case) or \
+                        (backend.tier == "word" and not word_ok):
+                    continue
+                assert backend.run(case) == truth, \
+                    f"{backend.name} diverged on {case.describe()}"
+
+    def test_bound_and_proof_conformance(self):
+        for index in range(10):
+            assert bound_failures(make_case(9, index)) == []
+
+
+class TestHarness:
+    @pytest.mark.slow
+    def test_clean_run_has_no_failures(self):
+        report = run_fuzz(budget=8, seed=17)
+        assert report.ok, "\n".join(str(f) for f in report.failures)
+        assert report.cases == 8 and report.checks > 8
+
+    def test_clean_run_ram_tier_fast(self):
+        report = run_fuzz(budget=6, seed=31,
+                          backends=["ram.naive", "ram.wcoj",
+                                    "ram.yannakakis"])
+        assert report.ok, "\n".join(str(f) for f in report.failures)
+
+    def test_metamorphic_properties_hold(self):
+        for index in range(5):
+            case = make_case(23, index)
+            failures = check_case(case, resolve_backends(None),
+                                  rng=np.random.SeedSequence(index),
+                                  metamorphic=True)
+            assert failures == [], "\n".join(str(f) for f in failures)
+
+
+class TestMutationDetection:
+    """Inject a fault into one kernel; the harness must catch and shrink."""
+
+    @staticmethod
+    def _break_semijoin(monkeypatch):
+        real = Relation.semijoin
+
+        def faulty(self, other):
+            out = real(self, other)
+            rows = sorted(out.rows)
+            # Drop one surviving row — a classic off-by-one reducer bug.
+            return Relation(out.schema, rows[:-1]) if rows else out
+
+        monkeypatch.setattr(Relation, "semijoin", faulty)
+
+    def test_fault_is_caught_and_shrunk(self, monkeypatch):
+        self._break_semijoin(monkeypatch)
+        report = run_fuzz(budget=25, seed=0, backends=["ram.yannakakis"],
+                          metamorphic=False)
+        assert not report.ok, \
+            "injected semijoin fault was not detected by the harness"
+        mismatches = [f for f in report.failures if f.kind == "mismatch"]
+        assert mismatches, [f.kind for f in report.failures]
+        witness = mismatches[0].witness
+        assert len(witness.query.atoms) <= 3, witness.describe()
+        assert witness.total_tuples <= 8, witness.describe()
+        assert "shrunk" in witness.note
+
+    def test_reference_is_immune_to_the_fault(self, monkeypatch):
+        # The reference oracle must not share the mutated kernel, or the
+        # differential comparison would be blind to it.
+        self._break_semijoin(monkeypatch)
+        case = make_case(0, 9)  # triangle-shaped, nonempty instance
+        assert REFERENCE.run(case) == case.query.evaluate(case.db) \
+            .project(tuple(sorted(case.query.free)))
+
+
+class TestShrinker:
+    def test_shrinks_to_fixpoint_under_trivial_predicate(self):
+        case = make_case(1, 4)
+        small = shrink_case(case, lambda c: True, max_checks=200)
+        assert len(small.query.atoms) == 1
+        assert small.total_tuples == 0
+
+    def test_rejects_candidates_that_stop_failing(self):
+        case = make_case(1, 4)
+        total = case.total_tuples
+        kept = shrink_case(case, lambda c: c.total_tuples >= total,
+                           max_checks=100)
+        assert kept.total_tuples == total  # nothing could be removed
+
+    def test_predicate_exceptions_reject_candidate(self):
+        case = make_case(1, 4)
+
+        def flaky(c):
+            raise RuntimeError("oracle exploded")
+
+        same = shrink_case(case, flaky, max_checks=50)
+        assert same is case
+
+    def test_failure_predicate_tracks_one_backend(self, monkeypatch):
+        TestMutationDetection._break_semijoin(monkeypatch)
+        backend = resolve_backends(["ram.yannakakis"])[0]
+        pred = failure_predicate(backend)
+        failing = next(c for c in (make_case(0, i) for i in range(25))
+                       if pred(c))
+        shrunk = shrink_case(failing, pred)
+        assert pred(shrunk)
+        assert shrunk.total_tuples <= failing.total_tuples
+
+
+class TestCorpusRoundTrip:
+    def test_json_round_trip_preserves_semantics(self):
+        for index in range(8):
+            case = make_case(29, index)
+            back = case_from_dict(case_to_dict(case))
+            assert str(back.query) == str(case.query)
+            assert back.dc.lookup is not None
+            assert {n: r.rows for n, r in back.db} == \
+                {n: r.rows for n, r in case.db}
+            assert REFERENCE.run(back) == REFERENCE.run(case)
+
+    def test_format_tag_checked(self):
+        data = case_to_dict(make_case(29, 0))
+        data["format"] = "something/else"
+        with pytest.raises(ValueError, match="format"):
+            case_from_dict(data)
