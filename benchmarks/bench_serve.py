@@ -1,0 +1,173 @@
+"""SERVE — plan economics of the multi-tenant query service.
+
+Claims measured (see docs/serving.md):
+
+* **cold vs hot**: the first request for a query shape pays the full
+  planning pipeline (LP + proof synthesis + PANDA-C + lowering + engine
+  levelization, seconds); every later request against the shared plan
+  cache pays evaluation only — the cache-hit p95 must be ≥ 100× faster
+  than the cold path;
+* **closed-loop latency vs concurrency**: p50/p95/p99 per-request latency
+  as concurrent clients grow 1 → 4 → 16, with evaluation coalescing
+  folding concurrent requests into single ``evaluate_batch`` calls;
+* **one compile, ever**: across every request this module issues (cold
+  probe + full sweep), the server compiles the triangle plan exactly
+  once — the plan cache plus compile coalescing absorb the rest.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.datagen import random_database, triangle_query
+from repro.serve import Client, start_in_thread
+
+from _util import bench_seed, print_table, record
+
+TRIANGLE = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+N = 6                       # cardinality bound: cold planning takes ~1 min
+                            # under the harness's memory accounting
+SWEEP = (1, 4, 16)          # closed-loop concurrency levels
+REQUESTS_PER_CLIENT = {1: 10, 4: 6, 16: 4}
+TIMEOUT = 300.0             # generous: tracemalloc slows the cold path ~5×
+
+
+def _percentile(sample, p):
+    data = sorted(sample)
+    if not data:
+        return 0.0
+    k = min(len(data) - 1, max(0, round(p / 100 * (len(data) - 1))))
+    return data[k]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    q = triangle_query()
+    db = random_database(q, N, 5, seed=bench_seed(61))
+    return q, db, q.evaluate(db)
+
+
+@pytest.fixture(scope="module")
+def server(workload):
+    with start_in_thread(batch_window=0.002, max_queue=256) as handle:
+        yield handle
+
+
+def test_serve_cold_vs_hot(benchmark, server, workload):
+    """The headline: amortizing one compile across cache-hit traffic."""
+    _, db, truth = workload
+    with Client(server.url, tenant="bench-cold", timeout=TIMEOUT) as client:
+        t0 = time.perf_counter()
+        first = client.evaluate_full(TRIANGLE, db=db, n=N)
+        cold_seconds = time.perf_counter() - t0
+        assert first.cache == "miss"
+        assert first.answer_relation() == \
+            truth.reorder(first.answer_relation().schema)
+
+        hits = []
+        for _ in range(12):
+            t0 = time.perf_counter()
+            response = client.evaluate_full(TRIANGLE, db=db, n=N)
+            hits.append(time.perf_counter() - t0)
+            assert response.cache == "hit"
+
+    cold_ms = cold_seconds * 1e3
+    p50, p95 = (_percentile(hits, 50) * 1e3, _percentile(hits, 95) * 1e3)
+    speedup = cold_ms / max(p95, 1e-9)
+    print_table("SERVE: cold planning vs shared-plan cache hits",
+                ["path", "latency ms"],
+                [("cold (compile miss)", round(cold_ms, 1)),
+                 ("hit p50", round(p50, 2)), ("hit p95", round(p95, 2))])
+    record(benchmark, cold_ms=cold_ms, hit_p50_ms=p50, hit_p95_ms=p95,
+           speedup=speedup)
+    assert speedup >= 100, (
+        f"plan cache buys only {speedup:.0f}× (cold {cold_ms:.0f} ms, "
+        f"hit p95 {p95:.1f} ms); expected ≥ 100×")
+    benchmark(lambda: Client(server.url).evaluate(TRIANGLE, db=db, n=N))
+
+
+def test_serve_latency_vs_concurrency(benchmark, server, workload):
+    """Closed-loop load: per-request latency percentiles as clients grow."""
+    _, db, truth = workload
+    rows = []
+    series = {}
+    for concurrency in SWEEP:
+        requests = REQUESTS_PER_CLIENT[concurrency]
+        latencies = []
+        lock = threading.Lock()
+        errors = []
+
+        def worker(idx):
+            try:
+                with Client(server.url, tenant=f"bench{idx}",
+                            timeout=TIMEOUT) as client:
+                    for _ in range(requests):
+                        t0 = time.perf_counter()
+                        response = client.evaluate_full(TRIANGLE, db=db, n=N)
+                        dt = time.perf_counter() - t0
+                        assert response.cache in ("hit", "coalesced")
+                        with lock:
+                            latencies.append(dt)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(concurrency)]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        wall = time.perf_counter() - started
+        assert not errors, f"load workers failed: {errors[:3]}"
+
+        total = concurrency * requests
+        p50, p95, p99 = (_percentile(latencies, p) * 1e3
+                         for p in (50, 95, 99))
+        throughput = total / wall
+        rows.append((concurrency, total, round(p50, 2), round(p95, 2),
+                     round(p99, 2), round(throughput, 1)))
+        series[f"c{concurrency}_p50_ms"] = p50
+        series[f"c{concurrency}_p95_ms"] = p95
+        series[f"c{concurrency}_p99_ms"] = p99
+        series[f"c{concurrency}_rps"] = throughput
+
+    print_table("SERVE: closed-loop latency vs concurrency (cache hits)",
+                ["clients", "requests", "p50 ms", "p95 ms", "p99 ms",
+                 "req/s"], rows)
+    stats = server.server.stats
+    record(benchmark, **series,
+           batch_calls=stats["batch_calls"],
+           batch_instances=stats["batch_instances"],
+           max_batch=stats["max_batch"])
+    # Coalescing must have folded at least one concurrent pair.
+    assert stats["max_batch"] >= 2, f"no batched evaluation: {stats}"
+    with Client(server.url) as client:
+        benchmark(lambda: client.evaluate(TRIANGLE, db=db, n=N))
+
+
+def test_serve_compiles_exactly_once(benchmark, server, workload):
+    """Every request this module made shares one compiled plan."""
+    _, db, _ = workload
+    with Client(server.url) as client:
+        snapshot = client.stats()
+    counters = snapshot["counters"]
+    cache = snapshot["plan_cache"]
+    print_table("SERVE: plan sharing across the whole module",
+                ["counter", "value"],
+                [("requests", counters["requests"]),
+                 ("compiles", counters["compiles"]),
+                 ("plan-cache hits", cache["hits"]),
+                 ("batch calls", counters["batch_calls"]),
+                 ("max batch", counters["max_batch"]),
+                 ("tenants seen", len(counters["tenants"]))])
+    record(benchmark, compiles=counters["compiles"],
+           plan_cache_hits=cache["hits"],
+           plan_cache_hit_rate=cache["hit_rate"],
+           tenants=len(counters["tenants"]))
+    assert counters["compiles"] == 1, counters
+    assert cache["hits"] >= 10
+    assert len(counters["tenants"]) >= len(SWEEP) + 1
+    with Client(server.url) as client:
+        benchmark(lambda: client.evaluate(TRIANGLE, db=db, n=N))

@@ -26,10 +26,10 @@ N = 12  # cardinality bound per relation
 query = parse_query("R_AB(A,B), R_BC(B,C), R_AC(A,C)")
 cq = compile(query, n=N, canonical="triangle")
 print(f"query:       {cq.query}")
-print(f"DAPB bound:  |Q(D)| ≤ {cq.bound()}  (= N^1.5 for N={N})")
+print(f"DAPB bound:  |Q(D)| ≤ {cq.bound}  (= N^1.5 for N={N})")
 
 # 2. The Shannon-flow proof sequence behind the plan (paper sequence (3)).
-proof = cq.proof()
+proof = cq.proof
 print(f"proof:       {proof.sequence}")
 print(f"             route={proof.route}, budget=2^{proof.log_budget:.2f}, "
       f"optimal={proof.optimal}")
@@ -38,7 +38,7 @@ print(f"             route={proof.route}, budget=2^{proof.log_budget:.2f}, "
 #    involved at any point.
 print(f"\nrelational circuit: {cq.circuit.size} gates, "
       f"depth {cq.circuit.depth()}, cost {cq.circuit.cost()} (Õ(N + DAPB))")
-print(f"word circuit: {cq.lowered().size} gates, depth {cq.lowered().depth}")
+print(f"word circuit: {cq.lowered.size} gates, depth {cq.lowered.depth}")
 
 # 4. Evaluate on data.  Any instance with ≤ N tuples per relation works —
 #    the circuit was built before the data existed.

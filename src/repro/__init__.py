@@ -11,13 +11,15 @@ Quickstart::
     import repro
 
     cq = repro.compile("R(A,B), S(B,C), T(A,C)", n=12)
-    print(cq.bound())            # DAPB(Q) under the constraints
+    print(cq.bound)              # DAPB(Q) under the constraints
     answers = cq.evaluate(db)    # levelized vectorized engine
 
 ``repro.compile`` returns a :class:`repro.api.CompiledQuery` exposing every
-pipeline stage (``.bound()``, ``.proof()``, ``.circuit``, ``.lowered()``,
-``.evaluate(db, engine=...)``); the underlying stage functions
-(``compile_fcq``, ``lower``) are re-exported here too.
+pipeline stage as a cached property (``.bound``, ``.proof``, ``.circuit``,
+``.lowered``) plus ``.evaluate(db, engine=...)``; the underlying stage
+functions (``compile_fcq``, ``lower``) are re-exported here too.  For the
+client/server split (``repro serve``), :class:`repro.Client` talks the
+``repro.serve/1`` wire schema to a running server.
 """
 
 from .cq import (
@@ -40,9 +42,11 @@ __version__ = "1.1.0"
 _LAZY = {
     "compile": ("repro.api", "compile"),
     "CompiledQuery": ("repro.api", "CompiledQuery"),
+    "plan_signature": ("repro.api", "plan_signature"),
     "compile_fcq": ("repro.core", "compile_fcq"),
     "lower": ("repro.boolcircuit.lower", "lower"),
     "run_fuzz": ("repro.testkit", "run_fuzz"),
+    "Client": ("repro.serve", "Client"),
 }
 
 
@@ -62,10 +66,12 @@ def __dir__():
 
 
 __all__ = [
+    "Client",
     "CompiledQuery",
     "compile",
     "compile_fcq",
     "lower",
+    "plan_signature",
     "run_fuzz",
     "Atom",
     "ConjunctiveQuery",

@@ -10,22 +10,36 @@ asked for, and each stage is computed at most once.
     import repro
 
     cq = repro.compile("R(A,B), S(B,C), T(A,C)", n=12)
-    cq.bound()                    # DAPB(Q) under the constraints
-    cq.proof()                    # the Shannon-flow proof sequence
+    cq.bound                      # DAPB(Q) under the constraints
+    cq.proof                      # the Shannon-flow proof sequence
     cq.circuit                    # the PANDA-C relational circuit
-    cq.lowered()                  # the word-level circuit (Theorem 4)
+    cq.lowered                    # the word-level circuit (Theorem 4)
     cq.evaluate(db)               # answers, via the levelized engine
+
+Every stage is a **cached property**.  The historical callable forms
+(``cq.bound()``, ``cq.proof()``, ``cq.lowered()``, ``cq.report()``,
+``cq.conformance()``) still work as deprecation shims: the property value
+is itself callable, emitting a :class:`DeprecationWarning` and returning
+the underlying stage value.
 
 Degree constraints come from one of three places, in priority order: an
 explicit ``dc=``, discovery from a sample database via ``stats=``
 (:func:`repro.cq.suggest_constraints`), or per-atom cardinalities via
 ``n=``.
+
+:func:`plan_signature` canonicalizes a ``(query, constraints)`` pair up to
+variable/atom renaming into a stable cache key — the unit of sharing for
+the serve tier's compiled-plan cache (:mod:`repro.serve`), exposed on the
+compiled object as :attr:`CompiledQuery.cache_key`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import List, Mapping, Optional, Union
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from . import obs
 from .bounds.proof_synthesis import SynthesizedProof, synthesize_proof
@@ -33,6 +47,7 @@ from .cq import (
     ConjunctiveQuery,
     Database,
     DCSet,
+    DegreeConstraint,
     Relation,
     cardinality,
     parse_query,
@@ -42,8 +57,188 @@ from .cq import (
 ENGINES = ("vectorized", "scalar")
 
 
+# ---------------------------------------------------------------------------
+# deprecation shims: property values that still answer the legacy call form
+# ---------------------------------------------------------------------------
+
+def _warn_called(stage: str) -> None:
+    warnings.warn(
+        f"CompiledQuery.{stage}() is deprecated; read the cached property "
+        f"CompiledQuery.{stage} instead (the parentheses-free form)",
+        DeprecationWarning, stacklevel=3)
+
+
+class _CallableInt(int):
+    """An ``int`` that tolerates the legacy ``cq.bound()`` call form."""
+
+    def __new__(cls, value: int, stage: str) -> "_CallableInt":
+        self = super().__new__(cls, value)
+        self._stage = stage
+        return self
+
+    def __call__(self) -> int:
+        _warn_called(self._stage)
+        return int(self)
+
+
+class _CallableFloat(float):
+    """A ``float`` that tolerates the legacy ``cq.log_bound()`` call form."""
+
+    def __new__(cls, value: float, stage: str) -> "_CallableFloat":
+        self = super().__new__(cls, value)
+        self._stage = stage
+        return self
+
+    def __call__(self) -> float:
+        _warn_called(self._stage)
+        return float(self)
+
+
+class _StageProxy:
+    """A transparent attribute proxy over a stage value.
+
+    ``cq.proof.sequence`` behaves exactly like the underlying object
+    (attributes, repr, equality, isinstance via ``__class__``); calling it
+    (``cq.proof()``) emits the deprecation warning and returns the *raw*
+    stage value, so legacy identity checks like
+    ``cq.lowered() is cq.lowered()`` keep holding.
+    """
+
+    __slots__ = ("_value", "_stage")
+
+    def __init__(self, value: Any, stage: str):
+        object.__setattr__(self, "_value", value)
+        object.__setattr__(self, "_stage", stage)
+
+    def __call__(self) -> Any:
+        _warn_called(self._stage)
+        return self._value
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "_value"), name)
+
+    @property  # type: ignore[misc]
+    def __class__(self):  # noqa: D105 - makes isinstance() see through
+        return type(object.__getattribute__(self, "_value"))
+
+    def __repr__(self) -> str:
+        return repr(self._value)
+
+    def __str__(self) -> str:
+        return str(self._value)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _StageProxy):
+            other = object.__getattribute__(other, "_value")
+        return self._value == other
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __iter__(self):
+        return iter(self._value)
+
+    def __len__(self) -> int:
+        return len(self._value)
+
+
+# ---------------------------------------------------------------------------
+# plan signatures: the serve tier's unit of compiled-plan sharing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanSignature:
+    """A ``(query, constraints)`` pair canonicalized up to renaming.
+
+    ``key`` is the stable cache key (sha256 over the canonical text);
+    ``canonical_query`` is the renamed query actually compiled, and
+    ``atom_map`` / ``var_map`` translate a request's atom and variable
+    names into the canonical ones (the serve tier uses them to remap
+    database payloads in, and answer schemas back out).
+    """
+
+    key: str
+    text: str
+    canonical_query: ConjunctiveQuery
+    canonical_dc: DCSet = field(compare=False)
+    atom_map: Mapping[str, str] = field(compare=False)
+    var_map: Mapping[str, str] = field(compare=False)
+
+    @property
+    def inverse_var_map(self) -> Dict[str, str]:
+        return {v: k for k, v in self.var_map.items()}
+
+
+def _assign_var_ids(atoms) -> Dict[str, int]:
+    ids: Dict[str, int] = {}
+    for atom in atoms:
+        for v in atom.vars:
+            ids.setdefault(v, len(ids))
+    return ids
+
+
+def plan_signature(query: Union[str, ConjunctiveQuery],
+                   dc: DCSet,
+                   dapb_slack: float = 1.0) -> PlanSignature:
+    """Canonicalize ``(query, dc)`` into a shareable plan-cache key.
+
+    Variables are renamed ``v0, v1, ...`` by first appearance and atoms
+    ``a0, a1, ...`` after sorting by shape, so two tenants asking the
+    triangle query with different relation/variable names (and the same
+    constraint signature) land on the same compiled plan.  The
+    canonicalization is heuristic — sound (equal keys ⇒ isomorphic
+    compilation inputs) but not complete (a hypergraph-isomorphic query
+    written in a sufficiently different atom order may still miss).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    # Two renaming passes reach a stable atom order: ids from the given
+    # order, sort atoms by shape, then re-derive ids from the sorted order.
+    atoms = list(query.atoms)
+    for _ in range(2):
+        ids = _assign_var_ids(atoms)
+        atoms.sort(key=lambda a: (len(a.vars), tuple(ids[v] for v in a.vars),
+                                  a.name))
+        ids = _assign_var_ids(atoms)
+    var_map = {v: f"v{i}" for v, i in ids.items()}
+    atom_map = {a.name: f"a{i}" for i, a in enumerate(atoms)}
+
+    from .cq import Atom
+
+    canonical_atoms = [
+        Atom(atom_map[a.name], tuple(var_map[v] for v in a.vars))
+        for a in atoms]
+    free = None if query.is_full else sorted(var_map[v] for v in query.free)
+    canonical_query = ConjunctiveQuery(canonical_atoms, free=free)
+
+    canonical_dc = DCSet(
+        DegreeConstraint(frozenset(var_map[v] for v in c.x),
+                         frozenset(var_map[v] for v in c.y),
+                         c.bound)
+        for c in dc)
+    constraint_text = sorted(
+        f"({','.join(sorted(c.x))})->({','.join(sorted(c.y))}):{c.bound}"
+        for c in canonical_dc)
+    text = (f"{canonical_query!r} | {'; '.join(constraint_text)}"
+            f" | slack={dapb_slack:g}")
+    key = hashlib.sha256(text.encode()).hexdigest()[:24]
+    return PlanSignature(key=key, text=text,
+                         canonical_query=canonical_query,
+                         canonical_dc=canonical_dc,
+                         atom_map=atom_map, var_map=var_map)
+
+
+# ---------------------------------------------------------------------------
+# the compiled pipeline object
+# ---------------------------------------------------------------------------
+
 class CompiledQuery:
-    """A query plus constraints, with every pipeline stage lazily cached."""
+    """A query plus constraints, with every pipeline stage lazily cached.
+
+    Stages are **properties** (``bound``, ``log_bound``, ``proof``,
+    ``circuit``, ``report``, ``lowered``, ``conformance``), each computed
+    at most once.  The legacy method forms remain as deprecation shims.
+    """
 
     def __init__(self, query: ConjunctiveQuery, dc: DCSet,
                  canonical: Optional[str] = None,
@@ -52,94 +247,143 @@ class CompiledQuery:
         self.dc = dc
         self.canonical = canonical
         self.dapb_slack = dapb_slack
-        self._log_bound: Optional[float] = None
-        self._proof: Optional[SynthesizedProof] = None
-        self._circuit = None
-        self._report = None
-        self._lowered = None
+        self._stages: Dict[str, Any] = {}
+        self._shims: Dict[str, Any] = {}
+
+    # -- stage plumbing --------------------------------------------------
+    def _stage(self, name: str) -> Any:
+        """The raw (unproxied) stage value, computed once."""
+        if name not in self._stages:
+            self._stages[name] = getattr(self, f"_compute_{name}")()
+        return self._stages[name]
+
+    def _shim(self, name: str,
+              wrap: Callable[[Any, str], Any] = _StageProxy) -> Any:
+        shim = self._shims.get(name)
+        if shim is None:
+            shim = self._shims[name] = wrap(self._stage(name), name)
+        return shim
 
     # -- bound ----------------------------------------------------------
+    def _compute_log_bound(self) -> float:
+        from .bounds import log_dapb
+
+        with obs.span("pipeline.bound", query=str(self.query)) as sp:
+            value = log_dapb(self.query, self.dc)
+            sp.set(log_bound=value)
+        return value
+
+    @property
     def log_bound(self) -> float:
         """``LOGDAPB(Q)``: the polymatroid bound, in bits."""
-        if self._log_bound is None:
-            from .bounds import log_dapb
+        return self._shim("log_bound", _CallableFloat)
 
-            with obs.span("pipeline.bound", query=str(self.query)) as sp:
-                self._log_bound = log_dapb(self.query, self.dc)
-                sp.set(log_bound=self._log_bound)
-        return self._log_bound
+    def _compute_bound(self) -> int:
+        return math.ceil(2 ** self._stage("log_bound"))
 
+    @property
     def bound(self) -> int:
         """``DAPB(Q)``: the output-size bound in tuples (Theorem 1)."""
-        return math.ceil(2 ** self.log_bound())
+        return self._shim("bound", _CallableInt)
 
     # -- proof sequence -------------------------------------------------
+    def _compute_proof(self) -> SynthesizedProof:
+        with obs.span("pipeline.proof", query=str(self.query)) as sp:
+            proof = synthesize_proof(
+                self.query.variables, self.dc,
+                canonical_key=self.canonical)
+            sp.set(steps=len(proof.sequence), route=proof.route)
+        return proof
+
+    @property
     def proof(self) -> SynthesizedProof:
         """The synthesized (and verified) Shannon-flow proof sequence."""
-        if self._proof is None:
-            with obs.span("pipeline.proof", query=str(self.query)) as sp:
-                self._proof = synthesize_proof(
-                    self.query.variables, self.dc,
-                    canonical_key=self.canonical)
-                sp.set(steps=len(self._proof.sequence),
-                       route=self._proof.route)
-        return self._proof
+        return self._shim("proof")
 
     # -- relational circuit ---------------------------------------------
-    def _compile(self):
-        if self._circuit is None:
-            from .core import compile_fcq
+    def _compute_circuit(self):
+        from .core import compile_fcq
 
-            if not self.query.is_full:
-                raise ValueError(
-                    "repro.compile targets full CQs; for projections use "
-                    "repro.core.OutputSensitiveFamily / yannakakis_c")
-            # Force the proof stage first so its span is attributed to
-            # `pipeline.proof`, never folded into `pipeline.circuit`.
-            proof = self.proof()
-            with obs.span("pipeline.circuit", query=str(self.query)) as sp:
-                self._circuit, self._report = compile_fcq(
-                    self.query, self.dc, proof=proof,
-                    canonical_key=self.canonical, dapb_slack=self.dapb_slack)
-                sp.set(gates=self._circuit.size,
-                       branches=self._report.branches)
-        return self._circuit
+        if not self.query.is_full:
+            raise ValueError(
+                "repro.compile targets full CQs; for projections use "
+                "repro.core.OutputSensitiveFamily / yannakakis_c")
+        # Force the proof stage first so its span is attributed to
+        # `pipeline.proof`, never folded into `pipeline.circuit`.
+        proof = self._stage("proof")
+        with obs.span("pipeline.circuit", query=str(self.query)) as sp:
+            circuit, report = compile_fcq(
+                self.query, self.dc, proof=proof,
+                canonical_key=self.canonical, dapb_slack=self.dapb_slack)
+            sp.set(gates=circuit.size, branches=report.branches)
+        self._stages["report"] = report
+        return circuit
 
     @property
     def circuit(self):
         """The PANDA-C relational circuit (Theorem 3)."""
-        return self._compile()
+        return self._stage("circuit")
+
+    def _compute_report(self):
+        self._stage("circuit")
+        return self._stages["report"]
 
     @property
     def report(self):
         """The PANDA-C construction report (DAPB checks, branches)."""
-        self._compile()
-        return self._report
+        return self._shim("report")
 
     # -- word circuit ----------------------------------------------------
+    def _compute_lowered(self):
+        from .boolcircuit.lower import lower
+
+        circuit = self._stage("circuit")
+        with obs.span("pipeline.lower", query=str(self.query)) as sp:
+            lowered = lower(circuit)
+            sp.set(word_gates=lowered.size, depth=lowered.depth)
+        self._stages["lowered"] = lowered
+        if obs.STATE.on:
+            # Paper-bound conformance: emit size/depth ratio gauges
+            # against the Õ(N + DAPB) envelope on every traced compile.
+            report = self._stage("conformance")
+            with obs.span("pipeline.conformance") as sp:
+                sp.set(size_ratio=report.size_ratio,
+                       depth_ratio=report.depth_ratio, ok=report.ok)
+        return lowered
+
+    @property
     def lowered(self):
         """The lowered word-level circuit (Theorem 4)."""
-        if self._lowered is None:
-            from .boolcircuit.lower import lower
+        return self._shim("lowered")
 
-            circuit = self.circuit
-            with obs.span("pipeline.lower", query=str(self.query)) as sp:
-                self._lowered = lower(circuit)
-                sp.set(word_gates=self._lowered.size,
-                       depth=self._lowered.depth)
-            if obs.STATE.on:
-                # Paper-bound conformance: emit size/depth ratio gauges
-                # against the Õ(N + DAPB) envelope on every traced compile.
-                report = self.conformance()
-                with obs.span("pipeline.conformance") as sp:
-                    sp.set(size_ratio=report.size_ratio,
-                           depth_ratio=report.depth_ratio, ok=report.ok)
-        return self._lowered
+    def _compute_conformance(self):
+        # Lowering may itself fill the conformance cache (it emits the
+        # gauges when obs is on); reuse that report instead of re-checking.
+        self._stage("lowered")
+        if "conformance" in self._stages:
+            return self._stages["conformance"]
+        return obs.check_compiled(self)
 
+    @property
     def conformance(self):
         """Observed vs predicted (Theorem 4) size/depth of the lowered
         circuit; emits the ``conformance.*`` gauges when obs is enabled."""
-        return obs.check_compiled(self)
+        return self._shim("conformance")
+
+    # -- plan-cache identity ---------------------------------------------
+    def _compute_signature(self) -> PlanSignature:
+        return plan_signature(self.query, self.dc,
+                              dapb_slack=self.dapb_slack)
+
+    @property
+    def signature(self) -> PlanSignature:
+        """The canonicalized :class:`PlanSignature` of this pipeline."""
+        return self._stage("signature")
+
+    @property
+    def cache_key(self) -> str:
+        """The serve tier's plan-cache key (see :func:`plan_signature`)."""
+        return self.signature.key
 
     # -- answers ---------------------------------------------------------
     def _env(self, db: Union[Database, Mapping[str, Relation]]
@@ -169,10 +413,14 @@ class CompiledQuery:
                        shards: Optional[int] = None,
                        mem_budget=None) -> List[Relation]:
         """Answers on many instances; the vectorized engine evaluates the
-        whole batch in one levelized pass."""
+        whole batch in one levelized pass.
+
+        This is the serve tier's batch entry point: coalesced requests
+        against one shared plan fold their instances into a single call.
+        """
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
-        lowered = self.lowered()
+        lowered = self._stage("lowered")
         envs = [self._env(db) for db in dbs]
         with obs.span("pipeline.evaluate", engine=engine, batch=len(envs)):
             if engine == "scalar":
@@ -192,35 +440,32 @@ class CompiledQuery:
                 if per_row > 0:
                     obs.check_space(str(self.query), per_row,
                                     self.dc.total_input_size(),
-                                    2.0 ** self.proof().log_budget)
+                                    2.0 ** self._stage("proof").log_budget)
             return results
 
     # -- introspection ----------------------------------------------------
     def explain(self) -> str:
         """A human-readable summary of every computed stage."""
         lines = [f"query:     {self.query}",
-                 f"DAPB:      {self.bound():,} tuples "
-                 f"(2^{self.log_bound():.3f})"]
-        proof = self.proof()
+                 f"DAPB:      {self._stage('bound'):,} tuples "
+                 f"(2^{self._stage('log_bound'):.3f})"]
+        proof = self._stage("proof")
         lines.append(f"proof:     {len(proof.sequence)} steps via "
                      f"{proof.route} route, optimal={proof.optimal}")
-        circuit = self.circuit
+        circuit = self._stage("circuit")
         lines.append(f"relational: {circuit.size} gates, "
                      f"depth {circuit.depth()}, cost {circuit.cost():,}")
-        if self._lowered is not None:
-            lines.append(f"word:      {self._lowered.size:,} gates, "
-                         f"depth {self._lowered.depth:,}")
+        if "lowered" in self._stages:
+            lowered = self._stages["lowered"]
+            lines.append(f"word:      {lowered.size:,} gates, "
+                         f"depth {lowered.depth:,}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        stages = [
-            name for name, done in [
-                ("bound", self._log_bound is not None),
-                ("proof", self._proof is not None),
-                ("circuit", self._circuit is not None),
-                ("lowered", self._lowered is not None),
-            ] if done
-        ]
+        order = ("bound", "proof", "circuit", "lowered")
+        stages = [name for name in order
+                  if name in self._stages or
+                  (name == "bound" and "log_bound" in self._stages)]
         return (f"CompiledQuery({self.query}, "
                 f"stages computed: {', '.join(stages) or 'none'})")
 

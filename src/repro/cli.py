@@ -8,7 +8,10 @@ Commands
 ``lower``    — additionally lower to a word circuit (small N)
 ``run``      — execute a query end-to-end on CSV data (repro.compile facade);
                ``--trace out.json`` / ``--metrics`` record the pipeline via
-               :mod:`repro.obs`
+               :mod:`repro.obs`; ``--remote URL`` ships the query to a
+               running ``repro serve`` instance instead of compiling locally
+``serve``    — start the multi-tenant query server (:mod:`repro.serve`):
+               shared plan cache, request coalescing, admission control
 ``trace``    — print the stage-time / metric summary of a saved trace
 ``bench``    — continuous benchmarking (``run`` the suite into standardized
                ``BENCH_<name>.json`` documents, ``compare`` against stored
@@ -153,6 +156,8 @@ def cmd_run(args) -> int:
         print(f"run: --repeat must be a positive integer, got {args.repeat}",
               file=sys.stderr)
         return 2
+    if args.remote:
+        return _run_remote(args)
     mem_budget = None
     if args.mem_budget:
         try:
@@ -184,12 +189,12 @@ def cmd_run(args) -> int:
     if verbose or tracing:
         # The bound stage is not needed to evaluate, but verbose output
         # reports it and a trace should cover all five pipeline stages.
-        cq.bound()
-    lowered = cq.lowered()
+        cq.bound
+    lowered = cq.lowered
     if verbose:
         print(f"query:      {query}")
         print(f"data:       {args.data} ({db.total_size} tuples)")
-        print(f"DAPB:       {cq.bound():,} tuples")
+        print(f"DAPB:       {cq.bound:,} tuples")
         print(f"circuit:    {cq.circuit.size} relational gates → "
               f"{lowered.size:,} word gates, depth {lowered.depth:,}")
         print()
@@ -232,6 +237,115 @@ def cmd_run(args) -> int:
                                           "data": str(args.data)})
         print(f"\ntrace written to {args.trace} "
               f"(load in chrome://tracing or `repro trace {args.trace}`)")
+    return 0
+
+
+def _run_remote(args) -> int:
+    """``repro run --remote URL``: evaluate on a ``repro serve`` instance.
+
+    The CSV data directory is loaded locally and shipped as the wire
+    payload; constraints follow the same rules as local runs (``-n`` and
+    ``--degree``, else discovered from the data).
+    """
+    from .cq import database_from_dir, suggest_constraints
+    from .serve import Client, ServeError
+    from .serve.schema import dc_to_wire
+
+    query = parse_query(args.query)
+    if not query.is_full:
+        print("run expects a full query (use the library's "
+              "OutputSensitiveFamily for projections)", file=sys.stderr)
+        return 2
+    db = database_from_dir(args.data, query)
+    if args.n is not None:
+        dc = DCSet(cardinality(a.varset, args.n) for a in query.atoms)
+        for constraint in args.degree or []:
+            dc.add(constraint)
+    else:
+        dc = suggest_constraints(query, db)
+    try:
+        with Client(args.remote) as client:
+            response = client.evaluate_full(
+                args.query, db=db, dc=dc_to_wire(dc), engine=args.engine,
+                budget=args.mem_budget or None)
+    except ServeError as exc:
+        print(f"run: server error [{exc.code}] {exc.message}",
+              file=sys.stderr)
+        if exc.code == "over_budget":
+            for row in exc.detail.get("per_level", []):
+                print(f"  level {row['level']:>4}: {row['width']:>8} gates",
+                      file=sys.stderr)
+        return 3
+    except OSError as exc:
+        print(f"run: cannot reach {args.remote}: {exc}", file=sys.stderr)
+        return 3
+    answers = response.answer_relation()
+    if args.verbose or args.timings:
+        t = response.timings
+        print(f"query:      {query}")
+        print(f"server:     {args.remote} (plan {response.plan_key}, "
+              f"cache {response.cache}, batch {response.batch_size})")
+        print(f"DAPB:       {response.bound:,} tuples")
+        print(f"timings:    compile {t.compile_ms:.1f} ms, queue "
+              f"{t.queue_ms:.1f} ms, evaluate {t.evaluate_ms:.1f} ms, "
+              f"total {t.total_ms:.1f} ms")
+        print()
+    print(f"answers ({len(answers)} rows):")
+    for row in sorted(answers.rows):
+        print(f"  {row}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Start the multi-tenant query server (see docs/serving.md)."""
+    import asyncio
+
+    from . import obs
+    from .serve import QueryServer, ServerConfig
+
+    if args.trace or args.metrics:
+        obs.enable()
+    datasets = {}
+    for spec in args.dataset or []:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"serve: bad --dataset {spec!r}; expected NAME=DIR",
+                  file=sys.stderr)
+            return 2
+        from .cq.io import relation_from_csv
+
+        try:
+            files = sorted(Path(path).glob("*.csv"))
+            if not files:
+                raise OSError(f"no *.csv files under {path!r}")
+            datasets[name] = {f.stem: relation_from_csv(f) for f in files}
+        except (OSError, ValueError) as exc:
+            print(f"serve: cannot load dataset {spec!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        plan_cache_capacity=args.plan_cache,
+        max_queue=args.max_queue,
+        batch_window=args.batch_window / 1e3,
+        workers=args.workers,
+        mem_budget=args.mem_budget or None,
+        datasets=datasets)
+    server = QueryServer(config)
+    print(f"repro serve: listening on http://{config.host}:{config.port} "
+          f"(plan cache {config.plan_cache_capacity}, "
+          f"max queue {config.max_queue}, "
+          f"batch window {config.batch_window * 1e3:.1f} ms)")
+    if datasets:
+        print(f"datasets mounted: {', '.join(sorted(datasets))}")
+    print("endpoints: POST /v1/evaluate  POST /v1/compile  "
+          "GET /v1/healthz  GET /v1/stats")
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down")
+    finally:
+        server.close()
     return 0
 
 
@@ -550,7 +664,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1, metavar="N",
                    help="evaluate the instance as a batch of N copies "
                         "(exercises batch execution and memory budgets)")
+    p.add_argument("--remote", metavar="URL",
+                   help="evaluate on a running `repro serve` instance "
+                        "instead of compiling locally (e.g. "
+                        "http://127.0.0.1:8765)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the multi-tenant query server (repro.serve)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="bind port (default 8765; 0 = ephemeral)")
+    p.add_argument("--plan-cache", type=int, default=128, metavar="N",
+                   help="compiled plans kept hot (default 128)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="admission control: max in-flight requests before "
+                        "429 overloaded (default 64)")
+    p.add_argument("--batch-window", type=float, default=1.0, metavar="MS",
+                   help="milliseconds to hold an evaluation open for "
+                        "batch-mates (default 1.0; 0 disables batching)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="executor threads for compile/evaluate (default 4)")
+    p.add_argument("--mem-budget", metavar="BYTES",
+                   help="default engine memory budget per batch (e.g. "
+                        "512M); over-budget requests get a structured 503")
+    p.add_argument("--dataset", action="append", metavar="NAME=DIR",
+                   help="mount a directory of <relation>.csv files as a "
+                        "named dataset (repeatable)")
+    p.add_argument("--trace", action="store_true",
+                   help="enable repro.obs tracing/metrics in the server")
+    p.add_argument("--metrics", action="store_true",
+                   help="alias for --trace")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace", help="summarize a trace JSON written by `run --trace`")

@@ -37,7 +37,7 @@ import numpy as np
 
 from ..boolcircuit.graph import Circuit
 from ..obs.memory import MemoryBudgetExceeded, resolve_budget
-from .cache import DEFAULT_PLAN_CACHE, CacheStats, PlanCache
+from .cache import DEFAULT_PLAN_CACHE, CacheStats, LRUCache, PlanCache
 from .exec import EngineRun, EngineStats, LevelTiming, execute_plan
 from .plan import ExecutionPlan, OpGroup, PlanLevel, compile_plan
 from .shard import (
@@ -54,6 +54,7 @@ __all__ = [
     "EngineRun",
     "EngineStats",
     "ExecutionPlan",
+    "LRUCache",
     "LevelTiming",
     "MIN_SHARD_BATCH",
     "MemoryBudgetExceeded",

@@ -1,4 +1,4 @@
-"""LRU cache of compiled execution plans.
+"""Shared caches for compiled artifacts: a generic LRU plus the plan cache.
 
 Planning is ``O(size)`` Python work per circuit; repeated evaluation of the
 same compiled query (the common case: one data-independent circuit, many
@@ -6,13 +6,22 @@ instances) should pay it once.  Plans are keyed by the circuit's structural
 :meth:`~repro.boolcircuit.graph.Circuit.fingerprint` plus the requested
 output set, so two structurally identical circuits share a cache entry and
 a circuit that grows new gates misses cleanly.
+
+Both caches here are **thread-safe**: the serve tier
+(:mod:`repro.serve`) evaluates different plans concurrently on executor
+threads, all funnelling through :data:`DEFAULT_PLAN_CACHE`, and the
+compiled-query cache it fronts is shared across every tenant's requests.
+Each cache publishes hit/miss/eviction counters under its own metric
+prefix (``plancache.*`` for plans, ``serve.plan_cache.*`` for the serve
+tier) so cross-request sharing is observable, not inferred.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from .. import obs
 from ..boolcircuit.graph import Circuit
@@ -36,18 +45,105 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-class PlanCache:
-    """A bounded LRU mapping ``(circuit identity, outputs) -> ExecutionPlan``."""
+class LRUCache:
+    """A bounded, thread-safe LRU mapping with obs-instrumented stats.
 
-    def __init__(self, capacity: int = 64):
+    ``metric_prefix`` names the counter family (``<prefix>.hits`` /
+    ``.misses`` / ``.evictions``) emitted when observability is enabled;
+    distinct caches keep distinct prefixes so the serve tier's shared
+    compiled-query cache and the engine's plan cache stay separable in
+    traces and bench documents.
+    """
+
+    def __init__(self, capacity: int = 64, metric_prefix: str = "cache"):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._plans: "OrderedDict[Key, ExecutionPlan]" = OrderedDict()
+        self.metric_prefix = metric_prefix
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """The cached value (refreshing recency) or None; counts hit/miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+            else:
+                self.stats.misses += 1
+        if obs.STATE.on:
+            name = "hits" if value is not None else "misses"
+            obs.metrics.counter(f"{self.metric_prefix}.{name}").inc()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail over capacity."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        if evicted and obs.STATE.on:
+            obs.metrics.counter(
+                f"{self.metric_prefix}.evictions").inc(evicted)
+
+    def get_or_create(self, key: Hashable,
+                      factory: Callable[[], Any]) -> Any:
+        """The cached value, calling ``factory()`` and inserting on a miss.
+
+        The factory runs *outside* the lock (it may be an expensive
+        compile); two racing threads may both build, last-write-wins —
+        acceptable for pure values, and the serve tier prevents the race
+        entirely with per-key in-flight coalescing.
+        """
+        value = self.lookup(key)
+        if value is not None:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def keys(self) -> Sequence[Hashable]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view for ``/v1/stats`` and bench documents."""
+        with self._lock:
+            return {"size": len(self._entries),
+                    "capacity": self.capacity,
+                    "hits": self.stats.hits,
+                    "misses": self.stats.misses,
+                    "evictions": self.stats.evictions,
+                    "hit_rate": round(self.stats.hit_rate, 6)}
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({len(self._entries)}/{self.capacity} "
+                f"entries, {self.stats.hits} hits / "
+                f"{self.stats.misses} misses)")
+
+
+class PlanCache(LRUCache):
+    """A bounded LRU mapping ``(circuit identity, outputs) -> ExecutionPlan``."""
+
+    def __init__(self, capacity: int = 64):
+        super().__init__(capacity=capacity, metric_prefix="plancache")
 
     @staticmethod
     def key_for(circuit: Circuit,
@@ -59,36 +155,16 @@ class PlanCache:
     def get(self, circuit: Circuit,
             outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
         """Return the cached plan, compiling (and inserting) on a miss."""
-        key = self.key_for(circuit, outputs)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.stats.hits += 1
-            if obs.STATE.on:
-                obs.metrics.counter("plancache.hits").inc()
-            self._plans.move_to_end(key)
-            return plan
-        self.stats.misses += 1
-        if obs.STATE.on:
-            obs.metrics.counter("plancache.misses").inc()
-        plan = compile_plan(circuit, outputs)
-        self._plans[key] = plan
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.stats.evictions += 1
-            if obs.STATE.on:
-                obs.metrics.counter("plancache.evictions").inc()
-        return plan
+        return self.get_or_create(
+            self.key_for(circuit, outputs),
+            lambda: compile_plan(circuit, outputs))
 
     def contains(self, circuit: Circuit,
                  outputs: Optional[Sequence[int]] = None) -> bool:
-        return self.key_for(circuit, outputs) in self._plans
-
-    def clear(self) -> None:
-        self._plans.clear()
-        self.stats = CacheStats()
+        return self.key_for(circuit, outputs) in self
 
     def __repr__(self) -> str:
-        return (f"PlanCache({len(self._plans)}/{self.capacity} plans, "
+        return (f"PlanCache({len(self._entries)}/{self.capacity} plans, "
                 f"{self.stats.hits} hits / {self.stats.misses} misses)")
 
 

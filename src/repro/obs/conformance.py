@@ -232,8 +232,8 @@ def check_lowered(name: str, observed_size: int, observed_depth: int,
 def check_compiled(cq: Any) -> ConformanceReport:
     """Conformance of a :class:`repro.api.CompiledQuery`'s lowered circuit
     against its own polymatroid bound and proof sequence."""
-    proof = cq.proof()
-    lowered = cq.lowered()
+    proof = cq.proof
+    lowered = cq.lowered
     n_input = cq.dc.total_input_size()
     budget_tuples = 2.0 ** proof.log_budget
     return check_lowered(str(cq.query), lowered.size, lowered.depth,

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the multi-tenant query service tier.
+
+Planning is expensive (seconds) and evaluation is cheap (sub-millisecond);
+this package amortizes compiled plans across requests and tenants:
+
+* :class:`QueryServer` / :class:`ServerConfig` — the asyncio serving core
+  (shared plan cache keyed by :func:`repro.api.plan_signature`, compile
+  and evaluate coalescing, admission control) behind ``repro serve``;
+* :class:`Client` — the synchronous client (also ``repro.Client`` and
+  ``repro run --remote URL``);
+* :mod:`~repro.serve.schema` — the versioned wire format
+  ``repro.serve/1`` shared by all of the above;
+* :func:`start_in_thread` — a background-thread server for tests and
+  benchmarks.
+
+See ``docs/serving.md`` for the architecture and the JSON wire examples.
+"""
+
+from .client import Client
+from .schema import (
+    ERROR_STATUS,
+    SCHEMA,
+    EvaluateRequest,
+    EvaluateResponse,
+    ServeError,
+    Timings,
+)
+from .server import QueryServer, ServerConfig, ServerHandle, start_in_thread
+
+__all__ = [
+    "Client",
+    "ERROR_STATUS",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "QueryServer",
+    "SCHEMA",
+    "ServeError",
+    "ServerConfig",
+    "ServerHandle",
+    "Timings",
+    "start_in_thread",
+]

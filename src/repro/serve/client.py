@@ -1,0 +1,178 @@
+"""``repro.Client`` — a small synchronous client for the serve tier.
+
+Speaks :mod:`repro.serve.schema` over plain ``http.client`` (keep-alive,
+one retry on a torn connection), so the only runtime cost on the hot path
+is JSON encoding.  The same codecs power ``repro run --remote URL``.
+
+    import repro
+
+    client = repro.Client("http://127.0.0.1:8765")
+    answers = client.evaluate("R(A,B), S(B,C), T(A,C)", db=db, n=12)
+
+Server-side failures surface as :class:`repro.serve.ServeError` carrying
+the envelope's stable ``code`` (``overloaded``, ``over_budget``, ...).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Mapping, Optional, Union
+from urllib.parse import urlsplit
+
+from ..cq import Database, DCSet, Relation
+from .schema import (
+    SCHEMA,
+    EvaluateRequest,
+    EvaluateResponse,
+    ServeError,
+    database_to_wire,
+    dc_to_wire,
+)
+
+__all__ = ["Client"]
+
+DBLike = Union[Database, Mapping[str, Relation], Mapping[str, Any]]
+
+
+def _db_to_wire(db: DBLike) -> Dict[str, Any]:
+    if isinstance(db, Database):
+        return database_to_wire(db)
+    first = next(iter(db.values()), None) if hasattr(db, "values") else None
+    if isinstance(first, Relation) or first is None:
+        return database_to_wire(db)  # mapping of Relations
+    return dict(db)                  # already wire-form
+
+
+def _dc_to_wire(dc: Union[None, DCSet, List[Dict[str, Any]]]
+                ) -> Optional[List[Dict[str, Any]]]:
+    if dc is None or isinstance(dc, list):
+        return dc
+    return dc_to_wire(dc)
+
+
+class Client:
+    """A synchronous, keep-alive client for a :class:`repro.serve` server.
+
+    Thread-compatible but not thread-safe — use one ``Client`` per thread
+    (the load generator in ``benchmarks/bench_serve.py`` does exactly
+    that).  Also a context manager; :meth:`close` drops the connection.
+    """
+
+    def __init__(self, url: str = "http://127.0.0.1:8765",
+                 tenant: str = "default", timeout: float = 60.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8765
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport --------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException,
+                    socket.timeout, OSError):
+                # Stale keep-alive or server restart: reconnect once.
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            raise ServeError(
+                "internal",
+                f"server returned non-JSON ({response.status})") from exc
+        if "error" in doc:
+            raise ServeError.from_wire(doc)
+        return doc
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def _build_request(self, query: str, db: Optional[DBLike],
+                       dataset: Optional[str],
+                       dc: Union[None, DCSet, List[Dict[str, Any]]],
+                       n: Optional[int], engine: str,
+                       budget: Union[None, int, str]) -> EvaluateRequest:
+        return EvaluateRequest(
+            query=str(query),
+            db=_db_to_wire(db) if db is not None else None,
+            dataset=dataset,
+            dc=_dc_to_wire(dc),
+            n=n, engine=engine, tenant=self.tenant, budget=budget)
+
+    def evaluate_full(self, query: str, db: Optional[DBLike] = None,
+                      dataset: Optional[str] = None,
+                      dc: Union[None, DCSet, List[Dict[str, Any]]] = None,
+                      n: Optional[int] = None, engine: str = "vectorized",
+                      budget: Union[None, int, str] = None
+                      ) -> EvaluateResponse:
+        """Evaluate, returning the full wire response (answers + bound +
+        cache status + timings)."""
+        req = self._build_request(query, db, dataset, dc, n, engine, budget)
+        return EvaluateResponse.from_wire(
+            self._request("POST", "/v1/evaluate", req.to_wire()))
+
+    def evaluate(self, query: str, db: Optional[DBLike] = None,
+                 dataset: Optional[str] = None,
+                 dc: Union[None, DCSet, List[Dict[str, Any]]] = None,
+                 n: Optional[int] = None, engine: str = "vectorized",
+                 budget: Union[None, int, str] = None) -> Relation:
+        """Evaluate a query on the server; returns the answer Relation."""
+        return self.evaluate_full(query, db=db, dataset=dataset, dc=dc,
+                                  n=n, engine=engine,
+                                  budget=budget).answer_relation()
+
+    def compile(self, query: str,
+                dc: Union[None, DCSet, List[Dict[str, Any]]] = None,
+                n: Optional[int] = None,
+                dataset: Optional[str] = None) -> Dict[str, Any]:
+        """Warm the server's plan cache; returns ``{plan_key, cache,
+        bound, timings}`` without evaluating any data."""
+        req = self._build_request(query, None, dataset, dc, n,
+                                  "vectorized", None)
+        return self._request("POST", "/v1/compile", req.to_wire())
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's counters + plan-cache snapshot (``/v1/stats``)."""
+        return self._request("GET", "/v1/stats")
+
+    def __repr__(self) -> str:
+        return (f"Client(http://{self.host}:{self.port}, "
+                f"tenant={self.tenant!r}, schema={SCHEMA})")

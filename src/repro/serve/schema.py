@@ -1,0 +1,272 @@
+"""The versioned wire schema ``repro.serve/1``.
+
+One dataclass-backed request/response model shared *verbatim* by the
+server (:mod:`repro.serve.server`), the synchronous client
+(:class:`repro.Client`), and the CLI (``repro run --remote``), so every
+participant speaks the same JSON.  See ``docs/serving.md`` for a JSON
+example per endpoint.
+
+Design rules:
+
+* every document carries ``"schema": "repro.serve/1"`` — a server MUST
+  reject documents from a different major version with ``bad_request``;
+* errors travel in a structured envelope with a **stable machine-readable
+  code** (:data:`ERROR_STATUS` maps codes to HTTP statuses) — clients
+  branch on ``code``, never on message text;
+* relations are ``{"schema": [attr, ...], "rows": [[int, ...], ...]}``;
+  a database payload maps *atom names* to relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..cq import DCSet, Database, DegreeConstraint, Relation
+
+#: The wire-format version this module implements.
+SCHEMA = "repro.serve/1"
+
+#: Stable error codes and the HTTP status each travels with.
+ERROR_STATUS: Dict[str, int] = {
+    "bad_request": 400,        # malformed document / missing fields
+    "parse_error": 400,        # query string failed to parse
+    "not_full_query": 400,     # serve evaluates full CQs only
+    "no_constraints": 400,     # neither dc, n, nor a dataset to derive from
+    "unknown_engine": 400,     # engine not in repro.api.ENGINES
+    "schema_mismatch": 400,    # document from a different schema version
+    "db_mismatch": 400,        # payload relations don't fit the query atoms
+    "not_found": 404,          # no such endpoint
+    "unknown_dataset": 404,    # named dataset not mounted on the server
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "overloaded": 429,         # admission control: queue full, retry later
+    "compile_error": 500,      # the planning pipeline raised
+    "internal": 500,
+    "over_budget": 503,        # MemoryBudget cannot fit even one row
+}
+
+
+class ServeError(Exception):
+    """A structured serving failure; serializes to an error envelope."""
+
+    def __init__(self, code: str, message: str,
+                 detail: Optional[Dict[str, Any]] = None):
+        if code not in ERROR_STATUS:
+            code = "internal"
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+        super().__init__(f"[{code}] {message}")
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"schema": SCHEMA,
+                "error": {"code": self.code, "message": self.message,
+                          "detail": self.detail}}
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "ServeError":
+        err = obj.get("error") or {}
+        return cls(str(err.get("code", "internal")),
+                   str(err.get("message", "unknown server error")),
+                   err.get("detail") or {})
+
+
+def is_error(obj: Mapping[str, Any]) -> bool:
+    return isinstance(obj, Mapping) and "error" in obj
+
+
+# ---------------------------------------------------------------------------
+# relation / database / constraint codecs
+# ---------------------------------------------------------------------------
+
+def relation_to_wire(rel: Relation) -> Dict[str, Any]:
+    return {"schema": list(rel.schema),
+            "rows": [list(row) for row in sorted(rel.rows)]}
+
+
+def relation_from_wire(obj: Any, where: str = "relation") -> Relation:
+    if not isinstance(obj, Mapping) or \
+            "schema" not in obj or "rows" not in obj:
+        raise ServeError(
+            "bad_request",
+            f"{where}: expected {{'schema': [...], 'rows': [[...]]}}")
+    attrs = obj["schema"]
+    rows = obj["rows"]
+    if not isinstance(attrs, list) or \
+            not all(isinstance(a, str) for a in attrs):
+        raise ServeError("bad_request",
+                         f"{where}: 'schema' must be a list of strings")
+    if not isinstance(rows, list):
+        raise ServeError("bad_request", f"{where}: 'rows' must be a list")
+    try:
+        return Relation(tuple(attrs),
+                        [tuple(int(v) for v in row) for row in rows])
+    except (TypeError, ValueError) as exc:
+        raise ServeError("bad_request", f"{where}: {exc}") from exc
+
+
+def database_to_wire(db: Union[Database, Mapping[str, Relation]],
+                     query=None) -> Dict[str, Any]:
+    """Serialize a database (restricted to ``query``'s atoms when given)."""
+    if query is not None:
+        items = [(a.name, db[a.name]) for a in query.atoms]
+    elif isinstance(db, Database):
+        items = list(db)
+    else:
+        items = list(db.items())
+    return {name: relation_to_wire(rel) for name, rel in items}
+
+
+def database_from_wire(obj: Any) -> Dict[str, Relation]:
+    if not isinstance(obj, Mapping):
+        raise ServeError("bad_request",
+                         "db: expected a mapping of atom name -> relation")
+    return {str(name): relation_from_wire(rel, where=f"db[{name!r}]")
+            for name, rel in obj.items()}
+
+
+def dc_to_wire(dc: DCSet) -> List[Dict[str, Any]]:
+    return [{"x": sorted(c.x), "y": sorted(c.y), "bound": c.bound}
+            for c in dc]
+
+
+def dc_from_wire(items: Any) -> DCSet:
+    if not isinstance(items, list):
+        raise ServeError("bad_request",
+                         "dc: expected a list of {x, y, bound} objects")
+    dc = DCSet()
+    for i, item in enumerate(items):
+        if not isinstance(item, Mapping) or "y" not in item or \
+                "bound" not in item:
+            raise ServeError("bad_request",
+                             f"dc[{i}]: expected {{x?, y, bound}}")
+        try:
+            dc.add(DegreeConstraint(frozenset(item.get("x") or ()),
+                                    frozenset(item["y"]),
+                                    int(item["bound"])))
+        except (TypeError, ValueError) as exc:
+            raise ServeError("bad_request", f"dc[{i}]: {exc}") from exc
+    return dc
+
+
+# ---------------------------------------------------------------------------
+# request / response documents
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EvaluateRequest:
+    """``POST /v1/evaluate`` (and ``/v1/compile``, which ignores ``db``).
+
+    Exactly one data source: an inline ``db`` payload or a server-mounted
+    named ``dataset``.  Constraints come from ``dc`` (explicit wire-form
+    constraints), else ``n`` (per-atom cardinality bound), else — for
+    named datasets only — statistics discovered from the dataset itself.
+    """
+
+    query: str
+    db: Optional[Dict[str, Any]] = None
+    dataset: Optional[str] = None
+    dc: Optional[List[Dict[str, Any]]] = None
+    n: Optional[int] = None
+    engine: str = "vectorized"
+    tenant: str = "default"
+    budget: Optional[Union[int, str]] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        doc = {k: v for k, v in asdict(self).items() if v is not None}
+        doc["schema"] = SCHEMA
+        return doc
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> "EvaluateRequest":
+        if not isinstance(obj, Mapping):
+            raise ServeError("bad_request", "request body must be an object")
+        version = obj.get("schema", SCHEMA)
+        if version != SCHEMA:
+            raise ServeError(
+                "schema_mismatch",
+                f"unsupported wire schema {version!r}; this server speaks "
+                f"{SCHEMA}", {"supported": [SCHEMA]})
+        query = obj.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise ServeError("bad_request",
+                             "missing required string field 'query'")
+        n = obj.get("n")
+        if n is not None and (not isinstance(n, int) or n < 1):
+            raise ServeError("bad_request",
+                             "'n' must be a positive integer")
+        engine = obj.get("engine", "vectorized")
+        if not isinstance(engine, str):
+            raise ServeError("bad_request", "'engine' must be a string")
+        tenant = obj.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            tenant = "default"
+        return cls(query=query.strip(),
+                   db=obj.get("db"),
+                   dataset=obj.get("dataset"),
+                   dc=obj.get("dc"),
+                   n=n,
+                   engine=engine,
+                   tenant=tenant,
+                   budget=obj.get("budget"))
+
+
+@dataclass
+class Timings:
+    """Per-request stage timings, milliseconds (serve-stage histograms
+    aggregate the same numbers server-side)."""
+
+    compile_ms: float = 0.0
+    queue_ms: float = 0.0
+    evaluate_ms: float = 0.0
+    total_ms: float = 0.0
+
+    def to_wire(self) -> Dict[str, float]:
+        return {k: round(v, 3) for k, v in asdict(self).items()}
+
+
+@dataclass
+class EvaluateResponse:
+    """``200 OK`` body of ``POST /v1/evaluate``."""
+
+    answers: Dict[str, Any]                   # wire-form relation
+    bound: int                                # DAPB under the constraints
+    cache: str                                # "hit" | "miss" | "coalesced"
+    plan_key: str
+    batch_size: int = 1                       # instances folded into the call
+    tenant: str = "default"
+    timings: Timings = field(default_factory=Timings)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"schema": SCHEMA,
+                "answers": self.answers,
+                "bound": self.bound,
+                "cache": self.cache,
+                "plan_key": self.plan_key,
+                "batch_size": self.batch_size,
+                "tenant": self.tenant,
+                "timings": self.timings.to_wire()}
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "EvaluateResponse":
+        if is_error(obj):
+            raise ServeError.from_wire(obj)
+        try:
+            timings = Timings(**(obj.get("timings") or {}))
+            return cls(answers=obj["answers"], bound=int(obj["bound"]),
+                       cache=str(obj["cache"]),
+                       plan_key=str(obj.get("plan_key", "")),
+                       batch_size=int(obj.get("batch_size", 1)),
+                       tenant=str(obj.get("tenant", "default")),
+                       timings=timings)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(
+                "internal", f"malformed evaluate response: {exc}") from exc
+
+    def answer_relation(self) -> Relation:
+        return relation_from_wire(self.answers, where="answers")

@@ -1,0 +1,697 @@
+"""The multi-tenant query server behind ``repro serve``.
+
+Plan economics drive the whole design: planning the triangle query costs
+~1.8 s of LP + proof-synthesis + PANDA-C work, while evaluating the
+compiled plan on a conforming instance costs well under a millisecond.  A
+server that amortizes compiled plans across requests therefore wins ~1000×
+on steady-state latency.  Three mechanisms deliver that:
+
+* **a shared compiled-plan cache** — plans are keyed by
+  :func:`repro.api.plan_signature`, so two tenants asking the *same query
+  shape* under different atom/variable names share one
+  :class:`~repro.api.CompiledQuery`; requests remap their database payload
+  into the canonical plan's names on the way in and their answers back on
+  the way out;
+
+* **request coalescing** — concurrent requests for a plan that is still
+  compiling await the one in-flight compile (one ``serve.compile.calls``
+  increment no matter how many arrive), and concurrent *evaluations*
+  against the same plan are folded into a single
+  :meth:`~repro.api.CompiledQuery.evaluate_batch` call after a short batch
+  window (the vectorized engine evaluates the whole batch in one
+  levelized pass);
+
+* **admission control** — a bounded in-flight queue turns overload into a
+  structured 429 (``overloaded``), and
+  :class:`~repro.obs.MemoryBudgetExceeded` from the engine's
+  :class:`~repro.obs.MemoryBudget` becomes a structured 503
+  (``over_budget``) carrying the per-level footprint breakdown — never an
+  OOM kill.
+
+Everything is stdlib: ``asyncio`` owns the event loop and socket I/O
+(HTTP/1.1 parsed by hand — the wire surface is four JSON endpoints), and a
+small thread pool runs the CPU-bound compile/evaluate work so the loop
+stays responsive.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from .. import obs
+from ..api import ENGINES, CompiledQuery, PlanSignature, plan_signature
+from ..cq import (
+    ConjunctiveQuery,
+    DCSet,
+    Relation,
+    cardinality,
+    parse_query,
+    suggest_constraints,
+)
+from ..engine import LRUCache
+from ..obs.memory import MemoryBudget, MemoryBudgetExceeded, parse_bytes
+from .schema import (
+    SCHEMA,
+    EvaluateRequest,
+    EvaluateResponse,
+    ServeError,
+    Timings,
+    database_from_wire,
+    dc_from_wire,
+    relation_to_wire,
+)
+
+__all__ = ["ServerConfig", "QueryServer", "ServerHandle", "start_in_thread"]
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs for :class:`QueryServer` (see docs/serving.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: compiled plans kept hot (LRU; one entry per canonical query shape).
+    plan_cache_capacity: int = 128
+    #: admission control: max requests in flight before 429 ``overloaded``.
+    max_queue: int = 64
+    #: seconds to hold an evaluation open for batch-mates (0 = no batching).
+    batch_window: float = 0.001
+    #: executor threads for CPU-bound compile/evaluate work.
+    workers: int = 4
+    #: default engine memory budget (bytes / "512M" / MemoryBudget / None).
+    mem_budget: Union[None, int, str, MemoryBudget] = None
+    #: request body cap, bytes (413 ``payload_too_large`` beyond it).
+    max_body: int = 32 * 1024 * 1024
+    #: server-mounted named datasets: name -> {atom name -> Relation}.
+    datasets: Dict[str, Mapping[str, Relation]] = field(default_factory=dict)
+
+
+class _Pending:
+    """One evaluation waiting in a plan's batch window."""
+
+    __slots__ = ("env", "future", "enqueued")
+
+    def __init__(self, env: Mapping[str, Relation],
+                 future: "asyncio.Future") -> None:
+        self.env = env
+        self.future = future
+        self.enqueued = time.perf_counter()
+
+
+#: Evaluations batch per (plan, engine, budget) — instances in one
+#: ``evaluate_batch`` call must agree on everything but their data.
+_BatchKey = Tuple[str, str, Optional[int]]
+
+
+class QueryServer:
+    """The asyncio serving core: plan cache + coalescer + admission control.
+
+    Usable three ways: ``await server.serve_forever()`` inside an event
+    loop (what ``repro serve`` does), :func:`start_in_thread` for tests and
+    benchmarks, or — bypassing HTTP entirely — ``await
+    server.dispatch("POST", "/v1/evaluate", body)`` for in-process use.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 **overrides: Any) -> None:
+        config = config or ServerConfig()
+        for name, value in overrides.items():
+            if not hasattr(config, name):
+                raise TypeError(f"unknown ServerConfig field {name!r}")
+            setattr(config, name, value)
+        self.config = config
+        self.plans = LRUCache(config.plan_cache_capacity,
+                              metric_prefix="serve.plan_cache")
+        self._compiling: Dict[str, "asyncio.Future"] = {}
+        self._pending: Dict[_BatchKey, List[_Pending]] = {}
+        self._flush_handles: Dict[_BatchKey, "asyncio.TimerHandle"] = {}
+        self._dataset_dc: Dict[str, DCSet] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-serve")
+        self._default_budget = self._parse_budget(config.mem_budget,
+                                                  where="config.mem_budget")
+        self._active = 0
+        self._started = time.time()
+        self._lock = threading.Lock()
+        # Server-side counters that work with obs off; /v1/stats reads them.
+        self.stats: Dict[str, Any] = {
+            "requests": 0, "errors": 0,
+            "compiles": 0, "coalesced_compiles": 0,
+            "batch_calls": 0, "batch_instances": 0, "max_batch": 0,
+            "rejected_overload": 0, "rejected_budget": 0,
+            "tenants": {},
+        }
+
+    # -- counters ---------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1,
+               metric: Optional[str] = None) -> None:
+        with self._lock:
+            self.stats[name] = self.stats.get(name, 0) + n
+        if metric and obs.STATE.on:
+            obs.metrics.counter(metric).inc(n)
+
+    def _count_tenant(self, tenant: str) -> None:
+        with self._lock:
+            tenants = self.stats["tenants"]
+            tenants[tenant] = tenants.get(tenant, 0) + 1
+        if obs.STATE.on:
+            obs.metrics.counter("serve.tenant.requests").inc(tenant=tenant)
+
+    @staticmethod
+    def _observe_stage(stage: str, seconds: float) -> None:
+        if obs.STATE.on:
+            obs.metrics.histogram("serve.stage.ms").observe(
+                seconds * 1e3, stage=stage)
+
+    # -- request normalization -------------------------------------------
+
+    @staticmethod
+    def _parse_budget(value: Any, where: str = "budget"
+                      ) -> Optional[MemoryBudget]:
+        if value is None:
+            return None
+        if isinstance(value, MemoryBudget):
+            return value
+        try:
+            return MemoryBudget(parse_bytes(value))
+        except ValueError as exc:
+            raise ServeError("bad_request", f"{where}: {exc}") from exc
+
+    def _parse_query(self, text: str) -> ConjunctiveQuery:
+        try:
+            query = parse_query(text)
+        except Exception as exc:
+            raise ServeError("parse_error",
+                             f"cannot parse query: {exc}") from exc
+        if not query.is_full:
+            raise ServeError(
+                "not_full_query",
+                "the serve tier evaluates full CQs only (no projections); "
+                "see repro.core.OutputSensitiveFamily for projections")
+        return query
+
+    def _resolve_db(self, req: EvaluateRequest
+                    ) -> Optional[Mapping[str, Relation]]:
+        if req.db is not None:
+            return database_from_wire(req.db)
+        if req.dataset is not None:
+            db = self.config.datasets.get(req.dataset)
+            if db is None:
+                raise ServeError(
+                    "unknown_dataset",
+                    f"no dataset {req.dataset!r} mounted on this server",
+                    {"available": sorted(self.config.datasets)})
+            return db
+        return None
+
+    def _resolve_dc(self, req: EvaluateRequest, query: ConjunctiveQuery,
+                    db: Optional[Mapping[str, Relation]]) -> DCSet:
+        if req.dc is not None:
+            dc = dc_from_wire(req.dc)
+            unknown = {v for c in dc for v in c.x | c.y} - set(query.variables)
+            if unknown:
+                raise ServeError(
+                    "bad_request",
+                    f"dc mentions variables {sorted(unknown)} not in the "
+                    f"query")
+            return dc
+        if req.n is not None:
+            return DCSet(cardinality(a.varset, req.n) for a in query.atoms)
+        if req.dataset is not None and db is not None:
+            # Stats discovered once per dataset, then reused — keeps the
+            # plan key stable across requests against the same dataset.
+            cached = self._dataset_dc.get(req.dataset)
+            if cached is None:
+                from ..cq import Database
+
+                sample = db if isinstance(db, Database) else Database(dict(db))
+                cached = suggest_constraints(query, sample)
+                self._dataset_dc[req.dataset] = cached
+            return cached
+        raise ServeError(
+            "no_constraints",
+            "no constraints: pass 'dc', 'n', or a named 'dataset' to "
+            "derive statistics from")
+
+    @staticmethod
+    def _canonical_env(sig: PlanSignature, query: ConjunctiveQuery,
+                       db: Mapping[str, Relation]
+                       ) -> Dict[str, Relation]:
+        """Rename a request's payload into the canonical plan's names."""
+        env: Dict[str, Relation] = {}
+        for atom in query.atoms:
+            try:
+                rel = db[atom.name]
+            except KeyError:
+                raise ServeError(
+                    "db_mismatch",
+                    f"payload is missing relation {atom.name!r}") from None
+            want = tuple(atom.vars)
+            if rel.attrs == frozenset(want):
+                rel = rel.reorder(want)
+            elif len(rel.schema) == len(want):
+                rel = Relation(want, rel.rows)      # positional rename
+            else:
+                raise ServeError(
+                    "db_mismatch",
+                    f"relation {atom.name!r} has arity {len(rel.schema)}, "
+                    f"atom expects {len(want)}")
+            env[sig.atom_map[atom.name]] = rel.rename(dict(sig.var_map))
+        return env
+
+    # -- plan acquisition (compile coalescing) ----------------------------
+
+    def _compile_plan(self, sig: PlanSignature) -> CompiledQuery:
+        """Runs on an executor thread: the full planning pipeline.
+
+        Also warms the *engine* execution plan (an empty-instance
+        evaluation fills :data:`repro.engine.cache.DEFAULT_PLAN_CACHE`),
+        so the first cache-hit request pays pure evaluation, not a
+        levelization pass.
+        """
+        cq = CompiledQuery(sig.canonical_query, sig.canonical_dc)
+        with obs.span("serve.compile", key=sig.key):
+            cq.lowered          # forces bound → proof → circuit → lowering
+            cq.bound
+            empty = {a.name: Relation(tuple(a.vars), [])
+                     for a in sig.canonical_query.atoms}
+            cq.evaluate(empty)
+        return cq
+
+    async def _get_plan(self, sig: PlanSignature
+                        ) -> Tuple[CompiledQuery, str, float]:
+        """The shared plan, its cache status, and compile milliseconds.
+
+        Exactly one compile runs per key regardless of concurrency: the
+        first request installs an in-flight future, later arrivals await
+        it ("coalesced"), and once it lands everyone else hits the LRU.
+        """
+        cached = self.plans.lookup(sig.key)
+        if cached is not None:
+            return cached, "hit", 0.0
+        inflight = self._compiling.get(sig.key)
+        if inflight is not None:
+            self._count("coalesced_compiles",
+                        metric="serve.compile.coalesced")
+            return await inflight, "coalesced", 0.0
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._compiling[sig.key] = future
+        self._count("compiles", metric="serve.compile.calls")
+        start = time.perf_counter()
+        try:
+            cq = await loop.run_in_executor(
+                self._executor, self._compile_plan, sig)
+        except Exception as exc:
+            err = exc if isinstance(exc, ServeError) else ServeError(
+                "compile_error", f"planning failed: {exc}",
+                {"exception": type(exc).__name__})
+            future.set_exception(err)
+            future.exception()  # mark retrieved for the no-waiter case
+            raise err
+        finally:
+            self._compiling.pop(sig.key, None)
+        elapsed = time.perf_counter() - start
+        self._observe_stage("compile", elapsed)
+        self.plans.put(sig.key, cq)
+        future.set_result(cq)
+        return cq, "miss", elapsed * 1e3
+
+    # -- evaluation batching ----------------------------------------------
+
+    async def _evaluate(self, cq: CompiledQuery, sig: PlanSignature,
+                        env: Mapping[str, Relation], engine: str,
+                        budget: Optional[MemoryBudget]
+                        ) -> Tuple[Relation, int, float, float]:
+        """Enqueue one instance; resolves when its batch is evaluated.
+
+        Returns ``(answer, batch_size, queue_ms, evaluate_ms)``.
+        """
+        loop = asyncio.get_running_loop()
+        pend = _Pending(env, loop.create_future())
+        key: _BatchKey = (sig.key, engine,
+                          budget.cap_bytes if budget else None)
+        bucket = self._pending.setdefault(key, [])
+        bucket.append(pend)
+        if key not in self._flush_handles:
+            self._flush_handles[key] = loop.call_later(
+                self.config.batch_window,
+                lambda: loop.create_task(
+                    self._flush(key, cq, engine, budget)))
+        return await pend.future
+
+    async def _flush(self, key: _BatchKey, cq: CompiledQuery, engine: str,
+                     budget: Optional[MemoryBudget]) -> None:
+        """Fold everything queued for one plan into a single engine call."""
+        self._flush_handles.pop(key, None)
+        batch = self._pending.pop(key, [])
+        if not batch:
+            return
+        size = len(batch)
+        self._count("batch_calls", metric="serve.batch.calls")
+        self._count("batch_instances", size)
+        with self._lock:
+            self.stats["max_batch"] = max(self.stats["max_batch"], size)
+        if obs.STATE.on:
+            obs.metrics.histogram("serve.batch.size").observe(size)
+
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            answers = await loop.run_in_executor(
+                self._executor,
+                lambda: cq.evaluate_batch([p.env for p in batch],
+                                          engine=engine, mem_budget=budget))
+        except MemoryBudgetExceeded as exc:
+            self._count("rejected_budget", size, metric="serve.rejected")
+            err = ServeError(
+                "over_budget",
+                f"engine memory budget cannot fit the batch: {exc}",
+                exc.breakdown())
+            for p in batch:
+                if not p.future.done():
+                    p.future.set_exception(err)
+            return
+        except Exception as exc:
+            err = ServeError("internal", f"evaluation failed: {exc}",
+                             {"exception": type(exc).__name__})
+            for p in batch:
+                if not p.future.done():
+                    p.future.set_exception(err)
+            return
+        elapsed = time.perf_counter() - started
+        self._observe_stage("evaluate", elapsed)
+        share_ms = elapsed * 1e3 / size
+        for p, answer in zip(batch, answers):
+            if not p.future.done():
+                queue_ms = (started - p.enqueued) * 1e3
+                p.future.set_result((answer, size, queue_ms, share_ms))
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _handle_evaluate(self, body: Mapping[str, Any],
+                               want_answers: bool = True) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        req = EvaluateRequest.from_wire(body)
+        self._count_tenant(req.tenant)
+        if req.engine not in ENGINES:
+            raise ServeError(
+                "unknown_engine",
+                f"unknown engine {req.engine!r}",
+                {"engines": list(ENGINES)})
+        budget = self._parse_budget(req.budget) or self._default_budget
+        query = self._parse_query(req.query)
+        db = self._resolve_db(req)
+        dc = self._resolve_dc(req, query, db)
+        sig = plan_signature(query, dc)
+
+        cq, cache_status, compile_ms = await self._get_plan(sig)
+        timings = Timings(compile_ms=compile_ms)
+        bound = int(cq.bound)
+
+        if not want_answers:                       # /v1/compile: warm only
+            timings.total_ms = (time.perf_counter() - t0) * 1e3
+            return {"schema": SCHEMA, "plan_key": sig.key,
+                    "cache": cache_status, "bound": bound,
+                    "timings": timings.to_wire()}
+
+        if db is None:
+            raise ServeError("bad_request",
+                             "evaluate needs a 'db' payload or a 'dataset'")
+        env = self._canonical_env(sig, query, db)
+        answer, batch_size, queue_ms, eval_ms = await self._evaluate(
+            cq, sig, env, req.engine, budget)
+        answer = answer.rename(sig.inverse_var_map)
+        timings.queue_ms, timings.evaluate_ms = queue_ms, eval_ms
+        timings.total_ms = (time.perf_counter() - t0) * 1e3
+        return EvaluateResponse(
+            answers=relation_to_wire(answer), bound=bound,
+            cache=cache_status, plan_key=sig.key, batch_size=batch_size,
+            tenant=req.tenant, timings=timings).to_wire()
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        with self._lock:
+            stats = dict(self.stats)
+            stats["tenants"] = dict(stats["tenants"])
+        return {"schema": SCHEMA,
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "active_requests": self._active,
+                "plan_cache": self.plans.snapshot(),
+                "plans": list(self.plans.keys()),
+                "counters": stats,
+                "config": {
+                    "plan_cache_capacity": self.config.plan_cache_capacity,
+                    "max_queue": self.config.max_queue,
+                    "batch_window": self.config.batch_window,
+                    "workers": self.config.workers,
+                    "datasets": sorted(self.config.datasets),
+                }}
+
+    async def dispatch(self, method: str, path: str,
+                       body: Optional[Mapping[str, Any]] = None
+                       ) -> Tuple[int, Dict[str, Any]]:
+        """Route one request; returns ``(http status, response document)``.
+
+        This is the whole API surface — the HTTP layer below and any
+        in-process caller go through here, so they can't diverge.
+        """
+        self._count("requests")
+        try:
+            if path == "/v1/healthz":
+                if method != "GET":
+                    raise ServeError("method_not_allowed",
+                                     f"{path} is GET-only")
+                return 200, {"schema": SCHEMA, "ok": True,
+                             "plans": len(self.plans)}
+            if path == "/v1/stats":
+                if method != "GET":
+                    raise ServeError("method_not_allowed",
+                                     f"{path} is GET-only")
+                return 200, self._handle_stats()
+            if path in ("/v1/evaluate", "/v1/compile"):
+                if method != "POST":
+                    raise ServeError("method_not_allowed",
+                                     f"{path} is POST-only")
+                if self._active >= self.config.max_queue:
+                    self._count("rejected_overload", metric="serve.rejected")
+                    raise ServeError(
+                        "overloaded",
+                        f"{self._active} requests in flight (max "
+                        f"{self.config.max_queue}); retry later",
+                        {"max_queue": self.config.max_queue})
+                self._active += 1
+                try:
+                    doc = await self._handle_evaluate(
+                        body or {}, want_answers=(path == "/v1/evaluate"))
+                    return 200, doc
+                finally:
+                    self._active -= 1
+            raise ServeError("not_found", f"no endpoint {path!r}",
+                             {"endpoints": ["/v1/evaluate", "/v1/compile",
+                                            "/v1/healthz", "/v1/stats"]})
+        except ServeError as err:
+            self._count("errors")
+            return err.status, err.to_wire()
+        except Exception as exc:  # defense: never leak a traceback as 500 html
+            self._count("errors")
+            err = ServeError("internal", f"{type(exc).__name__}: {exc}")
+            return err.status, err.to_wire()
+
+    # -- the HTTP/1.1 layer ------------------------------------------------
+
+    async def _handle_connection(self, reader: "asyncio.StreamReader",
+                                 writer: "asyncio.StreamWriter") -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body_bytes = request
+                status, doc = await self._parse_and_dispatch(
+                    method, path, body_bytes)
+                keep = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(writer, status, doc, keep)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ValueError):
+            pass  # torn/oversized request framing: just drop the connection
+        except asyncio.CancelledError:
+            pass  # server shutdown while the connection was idle
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: "asyncio.StreamReader"
+                            ) -> Optional[Tuple[str, str, Dict[str, str],
+                                                bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            return ("GET", "/__malformed__", {}, b"")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > self.config.max_body:
+            return (method, "/__too_large__", headers, b"")
+        body = await reader.readexactly(length) if length else b""
+        return (method, target.split("?", 1)[0], headers, body)
+
+    async def _parse_and_dispatch(self, method: str, path: str,
+                                  body_bytes: bytes
+                                  ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/__too_large__":
+            err = ServeError("payload_too_large",
+                             f"body exceeds {self.config.max_body} bytes")
+            return err.status, err.to_wire()
+        if path == "/__malformed__":
+            err = ServeError("bad_request", "malformed request line")
+            return err.status, err.to_wire()
+        body: Optional[Mapping[str, Any]] = None
+        if body_bytes:
+            try:
+                body = json.loads(body_bytes)
+            except ValueError:
+                err = ServeError("bad_request", "request body is not JSON")
+                return err.status, err.to_wire()
+        return await self.dispatch(method, path, body)
+
+    @staticmethod
+    async def _write_response(writer: "asyncio.StreamWriter", status: int,
+                              doc: Mapping[str, Any], keep: bool) -> None:
+        payload = json.dumps(doc).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "Error")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+                f"\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "asyncio.base_events.Server":
+        """Bind and start accepting; returns the asyncio server object."""
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._asyncio_server = server
+        sock = server.sockets[0].getsockname()
+        self.config.port = sock[1]          # resolve port 0 → actual port
+        return server
+
+    async def serve_forever(self) -> None:
+        server = await self.start()
+        async with server:
+            await server.serve_forever()
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.config.port}"
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benchmarks, CI).
+
+    Use as a context manager::
+
+        with start_in_thread(batch_window=0.005) as handle:
+            client = Client(handle.url)
+            ...
+    """
+
+    def __init__(self, server: QueryServer):
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start within "
+                               f"{timeout}s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            srv = await self.server.start()
+            self._ready.set()
+            async with srv:
+                await srv.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            leftovers = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True))
+            loop.close()
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            def _cancel_all() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            loop.call_soon_threadsafe(_cancel_all)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.server.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def start_in_thread(config: Optional[ServerConfig] = None,
+                    **overrides: Any) -> ServerHandle:
+    """Run a :class:`QueryServer` on a daemon thread; port 0 by default so
+    parallel test runs never collide."""
+    if config is None:
+        overrides.setdefault("port", 0)
+    server = QueryServer(config, **overrides)
+    return ServerHandle(server).start()

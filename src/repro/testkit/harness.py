@@ -152,7 +152,7 @@ def bound_failures(case: FuzzCase) -> List[Failure]:
 def conformance_failure(case: FuzzCase) -> Optional[Failure]:
     """Theorem-4 envelope: lowered size/depth ratios must stay ≤ 1."""
     try:
-        report = case.compiled().conformance()
+        report = case.compiled().conformance
     except Exception as exc:  # noqa: BLE001
         return Failure(case, "obs.conformance", "error",
                        f"{type(exc).__name__}: {exc}")

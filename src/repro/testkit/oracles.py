@@ -123,7 +123,7 @@ def _run_scalar(case: FuzzCase) -> Relation:
 def _run_fasteval(case: FuzzCase) -> Relation:
     from ..boolcircuit import fasteval
 
-    lowered = case.compiled().lowered()
+    lowered = case.compiled().lowered
     outs = fasteval.run_lowered_batch(lowered, [_env(case)])
     return _normalize(case, outs[0][0])
 

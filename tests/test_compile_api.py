@@ -26,7 +26,7 @@ class TestCompileConstruction:
         q = parse_query(TRIANGLE)
         dc = DCSet([cardinality(a.varset, 4) for a in q.atoms])
         cq = repro.compile(q, dc=dc, n=100)
-        assert cq.bound() == dapb(q, dc)
+        assert cq.bound == dapb(q, dc)
 
     def test_dc_from_stats_database(self):
         q = triangle_query()
@@ -49,20 +49,20 @@ class TestPipelineStages:
         q = parse_query(TRIANGLE)
         dc = DCSet([cardinality(a.varset, 16) for a in q.atoms])
         cq = repro.compile(q, dc=dc)
-        assert cq.bound() == dapb(q, dc)
-        assert 2 ** cq.log_bound() == pytest.approx(64.0)  # N^1.5
+        assert cq.bound == dapb(q, dc)
+        assert 2 ** cq.log_bound == pytest.approx(64.0)  # N^1.5
 
     def test_proof_verifies(self):
         cq = repro.compile(TRIANGLE, n=16, canonical="triangle")
-        proof = cq.proof()
+        proof = cq.proof
         proof.sequence.verify(proof.inequality.delta, proof.inequality.lam)
         assert proof.optimal
 
     def test_stages_cached(self):
         cq = repro.compile(TRIANGLE, n=6)
-        assert cq.proof() is cq.proof()
+        assert cq.proof is cq.proof
         assert cq.circuit is cq.circuit
-        assert cq.lowered() is cq.lowered()
+        assert cq.lowered is cq.lowered
         assert cq.report is cq.report
 
     def test_circuit_and_report(self):
@@ -72,7 +72,7 @@ class TestPipelineStages:
 
     def test_non_full_query_rejected_at_compile_stage(self):
         cq = repro.compile("Q(A) <- R(A,B)", n=8)
-        assert cq.bound() > 0  # bound works for any CQ
+        assert cq.bound > 0  # bound works for any CQ
         with pytest.raises(ValueError, match="full CQ"):
             cq.circuit
 
@@ -118,6 +118,87 @@ class TestEvaluate:
         stats = EngineStats()
         self.cq.evaluate(self.db, stats=stats)
         assert stats.gates_executed > 0 and stats.batch == 1
+
+
+class TestDeprecationShims:
+    """The legacy callable stage forms still work, warning once per call."""
+
+    def setup_method(self):
+        self.cq = repro.compile(TRIANGLE, n=6)
+
+    def test_bound_call_form_warns_and_matches_property(self):
+        with pytest.warns(DeprecationWarning, match=r"bound\(\)"):
+            legacy = self.cq.bound()
+        assert legacy == self.cq.bound
+        assert isinstance(legacy, int)
+
+    def test_log_bound_call_form(self):
+        with pytest.warns(DeprecationWarning, match=r"log_bound\(\)"):
+            assert self.cq.log_bound() == pytest.approx(self.cq.log_bound)
+
+    def test_object_stages_return_the_raw_cached_value(self):
+        for stage in ("proof", "lowered", "report", "conformance"):
+            with pytest.warns(DeprecationWarning, match=stage):
+                first = getattr(self.cq, stage)()
+            with pytest.warns(DeprecationWarning, match=stage):
+                second = getattr(self.cq, stage)()
+            assert first is second
+
+    def test_property_access_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            self.cq.bound, self.cq.proof, self.cq.lowered
+            self.cq.report, self.cq.conformance
+
+    def test_proxies_are_transparent(self):
+        from repro.bounds.proof_synthesis import SynthesizedProof
+
+        assert isinstance(self.cq.proof, SynthesizedProof)
+        assert self.cq.proof.optimal in (True, False)
+        assert self.cq.lowered.size > 0
+        assert repr(self.cq.proof) == repr(self.cq.proof())
+
+
+class TestPlanSignature:
+    def test_renamed_queries_share_a_key(self):
+        from repro.api import plan_signature
+
+        q1 = parse_query("R(A,B), S(B,C), T(A,C)")
+        q2 = parse_query("E1(X,Y), E2(Y,Z), E3(X,Z)")
+        dc1 = DCSet(cardinality(a.varset, 8) for a in q1.atoms)
+        dc2 = DCSet(cardinality(a.varset, 8) for a in q2.atoms)
+        s1, s2 = plan_signature(q1, dc1), plan_signature(q2, dc2)
+        assert s1.key == s2.key
+        assert s1.text == s2.text
+
+    def test_different_constraints_miss(self):
+        from repro.api import plan_signature
+
+        q = parse_query(TRIANGLE)
+        dc8 = DCSet(cardinality(a.varset, 8) for a in q.atoms)
+        dc16 = DCSet(cardinality(a.varset, 16) for a in q.atoms)
+        assert plan_signature(q, dc8).key != plan_signature(q, dc16).key
+
+    def test_maps_translate_atoms_and_vars(self):
+        from repro.api import plan_signature
+
+        q = parse_query("R(A,B), S(B,C)")
+        dc = DCSet(cardinality(a.varset, 4) for a in q.atoms)
+        sig = plan_signature(q, dc)
+        assert set(sig.atom_map) == {"R", "S"}
+        assert set(sig.var_map) == {"A", "B", "C"}
+        assert sig.canonical_query.is_full
+        # the canonical query evaluates to the same answers modulo renaming
+        inverse = sig.inverse_var_map
+        assert sorted(inverse[v] for v in sig.canonical_query.variables) \
+            == sorted(q.variables)
+
+    def test_cache_key_property(self):
+        cq = repro.compile(TRIANGLE, n=8)
+        assert cq.cache_key == cq.signature.key
+        assert len(cq.cache_key) == 24
 
 
 class TestTopLevelExports:

@@ -109,10 +109,10 @@ def test_check_lowered_noop_when_disabled():
 def test_triangle_compiled_conformance(obs_on):
     cq = repro.compile("R_AB(A,B), R_BC(B,C), R_AC(A,C)", n=4,
                        canonical="triangle")
-    report = cq.conformance()
+    report = cq.conformance
     assert report.ok
-    assert report.observed_size == cq.lowered().size
-    assert report.budget_tuples == pytest.approx(2.0 ** cq.proof().log_budget)
+    assert report.observed_size == cq.lowered.size
+    assert report.budget_tuples == pytest.approx(2.0 ** cq.proof.log_budget)
     # lowering emitted the gauges as a side effect
     gauge = obs.metrics.get("conformance.size_ratio")
     assert gauge is not None and gauge.values
@@ -133,6 +133,6 @@ def test_pk_join_conformance(obs_on):
 
 def test_conformance_span_recorded_on_lowering(obs_on):
     cq = repro.compile("R(A,B), S(B,C)", n=4)
-    cq.lowered()
+    cq.lowered
     names = {s.name for root in obs.spans() for s in root.walk()}
     assert "pipeline.conformance" in names

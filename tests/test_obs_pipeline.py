@@ -42,10 +42,10 @@ class TestStageSpans:
         obs.enable()
         cq = repro.compile(self.q, n=8, canonical="triangle")
         for _ in range(3):                   # cached stages trace once
-            cq.bound()
-            cq.proof()
+            cq.bound
+            cq.proof
             cq.circuit
-            cq.lowered()
+            cq.lowered
         cq.evaluate(self.db)
         cq.evaluate(self.db)                 # evaluation traces per call
         counts = _span_counts()
@@ -58,7 +58,7 @@ class TestStageSpans:
     def test_stage_spans_nest_their_workers(self):
         obs.enable()
         cq = repro.compile(self.q, n=8, canonical="triangle")
-        cq.bound()
+        cq.bound
         cq.evaluate(self.db)
         by_name = {s.name: s for root in obs.spans() for s in root.walk()}
         # lp.solve happens inside the bound stage, the engine inside evaluate

@@ -1,0 +1,442 @@
+"""Tests for :mod:`repro.serve` — server, coalescing, admission, wire schema.
+
+The expensive pieces (plan compilation) are shared: one module-scoped
+server holds the compiled triangle plan for the round-trip tests, while
+the coalescing test boots its own server on a *fresh* plan key so the
+compile counter starts at zero.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro
+from repro import obs
+from repro.cq import DCSet, Relation, cardinality, parse_query
+from repro.datagen import random_database, triangle_query
+from repro.serve import (
+    ERROR_STATUS,
+    SCHEMA,
+    Client,
+    EvaluateRequest,
+    EvaluateResponse,
+    ServeError,
+    start_in_thread,
+)
+from repro.serve.schema import (
+    database_from_wire,
+    database_to_wire,
+    dc_from_wire,
+    dc_to_wire,
+    relation_from_wire,
+    relation_to_wire,
+)
+
+TRIANGLE = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+N = 4
+
+
+@pytest.fixture()
+def obs_session():
+    """Observability on, counters clean, restored afterwards."""
+    was_on = obs.enabled()
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.reset()
+    if not was_on:
+        obs.disable()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    q = triangle_query()
+    db = random_database(q, N, 4, seed=7)
+    return q, db, q.evaluate(db)
+
+
+@pytest.fixture(scope="module")
+def server(dataset):
+    _, db, _ = dataset
+    handle = start_in_thread(
+        batch_window=0.002,
+        datasets={"tri": {a: db[a] for a in ("R_AB", "R_BC", "R_AC")}})
+    with handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with Client(server.url, tenant="tests") as c:
+        yield c
+
+
+# ---------------------------------------------------------------------------
+# wire schema
+# ---------------------------------------------------------------------------
+
+class TestSchema:
+    def test_relation_roundtrip(self):
+        rel = Relation(("A", "B"), [(1, 2), (3, 4)])
+        assert relation_from_wire(relation_to_wire(rel)) == rel
+
+    def test_relation_rejects_garbage(self):
+        for bad in (42, {"schema": "AB"}, {"rows": []},
+                    {"schema": ["A"], "rows": [["x"]]}):
+            with pytest.raises(ServeError) as err:
+                relation_from_wire(bad)
+            assert err.value.code == "bad_request"
+
+    def test_database_roundtrip(self):
+        q = triangle_query()
+        db = random_database(q, 4, 3, seed=1)
+        wire = database_to_wire(db, q)
+        back = database_from_wire(wire)
+        for atom in q.atoms:
+            assert back[atom.name] == db[atom.name]
+
+    def test_dc_roundtrip(self):
+        q = parse_query(TRIANGLE)
+        dc = DCSet(cardinality(a.varset, 8) for a in q.atoms)
+        assert set(dc_from_wire(dc_to_wire(dc))) == set(dc)
+
+    def test_request_roundtrip(self):
+        req = EvaluateRequest(query=TRIANGLE, n=8, engine="scalar",
+                              tenant="t9", budget="64M")
+        wire = req.to_wire()
+        assert wire["schema"] == SCHEMA
+        back = EvaluateRequest.from_wire(json.loads(json.dumps(wire)))
+        assert back == req
+
+    def test_request_validation(self):
+        with pytest.raises(ServeError) as err:
+            EvaluateRequest.from_wire({"schema": SCHEMA})
+        assert err.value.code == "bad_request"
+        with pytest.raises(ServeError) as err:
+            EvaluateRequest.from_wire({"schema": "repro.serve/2",
+                                       "query": TRIANGLE})
+        assert err.value.code == "schema_mismatch"
+        with pytest.raises(ServeError) as err:
+            EvaluateRequest.from_wire({"query": TRIANGLE, "n": -1})
+        assert err.value.code == "bad_request"
+
+    def test_error_envelope_roundtrip(self):
+        err = ServeError("overloaded", "busy", {"max_queue": 4})
+        back = ServeError.from_wire(err.to_wire())
+        assert (back.code, back.message, back.detail) == \
+            ("overloaded", "busy", {"max_queue": 4})
+        assert back.status == 429
+
+    def test_every_code_has_a_status(self):
+        assert all(isinstance(s, int) and 400 <= s < 600
+                   for s in ERROR_STATUS.values())
+        assert ServeError("no_such_code", "x").code == "internal"
+
+    def test_response_from_wire_raises_on_envelope(self):
+        with pytest.raises(ServeError) as err:
+            EvaluateResponse.from_wire(
+                ServeError("over_budget", "too big").to_wire())
+        assert err.value.code == "over_budget"
+
+
+# ---------------------------------------------------------------------------
+# client/server round trips
+# ---------------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_healthz(self, client):
+        doc = client.healthz()
+        assert doc["ok"] is True and doc["schema"] == SCHEMA
+
+    def test_evaluate_inline_db(self, client, dataset):
+        _, db, truth = dataset
+        answers = client.evaluate(TRIANGLE, db=db, n=N)
+        assert answers == truth.reorder(answers.schema)
+
+    def test_evaluate_full_reports_plan_economics(self, client, dataset):
+        _, db, _ = dataset
+        response = client.evaluate_full(TRIANGLE, db=db, n=N)
+        assert response.cache in ("hit", "miss", "coalesced")
+        assert response.bound >= len(response.answer_relation())
+        assert len(response.plan_key) == 24
+        assert response.timings.total_ms > 0
+        # A second request for the same shape must hit the shared cache.
+        again = client.evaluate_full(TRIANGLE, db=db, n=N)
+        assert again.cache == "hit"
+        assert again.plan_key == response.plan_key
+        assert again.timings.compile_ms == 0.0
+
+    def test_renamed_tenants_share_one_plan(self, client, dataset):
+        """The whole point of plan_signature: same shape, different
+        names, one compiled plan."""
+        _, db, truth = dataset
+        first = client.evaluate_full(TRIANGLE, db=db, n=N)
+        renamed_db = {"E1": db["R_AB"], "E2": db["R_BC"], "E3": db["R_AC"]}
+        second = client.evaluate_full("E1(X,Y), E2(Y,Z), E3(X,Z)",
+                                      db=renamed_db, n=N)
+        assert second.plan_key == first.plan_key
+        assert second.cache == "hit"
+        # X/Y/Z correspond to A/B/C through the shared canonical plan.
+        mapped = second.answer_relation().rename(
+            {"X": "A", "Y": "B", "Z": "C"})
+        assert mapped.reorder(truth.schema) == truth
+
+    def test_named_dataset(self, client, dataset):
+        _, _, truth = dataset
+        answers = client.evaluate(TRIANGLE, dataset="tri", n=N)
+        assert answers == truth.reorder(answers.schema)
+
+    def test_dataset_derived_constraints(self, client, dataset):
+        """No dc/n at all: the server discovers stats from the dataset."""
+        _, _, truth = dataset
+        answers = client.evaluate(TRIANGLE, dataset="tri")
+        assert answers == truth.reorder(answers.schema)
+
+    def test_scalar_engine(self, client, dataset):
+        _, db, truth = dataset
+        answers = client.evaluate(TRIANGLE, db=db, n=N, engine="scalar")
+        assert answers == truth.reorder(answers.schema)
+
+    def test_explicit_dc(self, client, dataset):
+        _, db, truth = dataset
+        q = parse_query(TRIANGLE)
+        dc = DCSet(cardinality(a.varset, N) for a in q.atoms)
+        answers = client.evaluate(TRIANGLE, db=db, dc=dc)
+        assert answers == truth.reorder(answers.schema)
+
+    def test_compile_endpoint_warms_the_cache(self, client):
+        doc = client.compile(TRIANGLE, n=N)
+        assert doc["cache"] in ("hit", "miss", "coalesced")
+        assert doc["bound"] > 0 and len(doc["plan_key"]) == 24
+        assert client.compile(TRIANGLE, n=N)["cache"] == "hit"
+
+    def test_stats_endpoint(self, client):
+        doc = client.stats()
+        assert doc["counters"]["requests"] > 0
+        assert doc["plan_cache"]["capacity"] > 0
+        assert "tests" in doc["counters"]["tenants"]
+
+
+class TestErrorEnvelopes:
+    def test_parse_error(self, client):
+        with pytest.raises(ServeError) as err:
+            client.evaluate("this is not a query((", n=4, db={})
+        assert err.value.code == "parse_error"
+        assert err.value.status == 400
+
+    def test_not_full_query(self, client):
+        with pytest.raises(ServeError) as err:
+            client.evaluate("Q(A) <- R(A,B)", n=4, db={})
+        assert err.value.code == "not_full_query"
+
+    def test_no_constraints(self, client, dataset):
+        _, db, _ = dataset
+        with pytest.raises(ServeError) as err:
+            client.evaluate(TRIANGLE, db=db)
+        assert err.value.code == "no_constraints"
+
+    def test_unknown_engine(self, client, dataset):
+        _, db, _ = dataset
+        with pytest.raises(ServeError) as err:
+            client.evaluate(TRIANGLE, db=db, n=N, engine="gpu")
+        assert err.value.code == "unknown_engine"
+        assert "engines" in err.value.detail
+
+    def test_unknown_dataset(self, client):
+        with pytest.raises(ServeError) as err:
+            client.evaluate(TRIANGLE, dataset="nope", n=N)
+        assert err.value.code == "unknown_dataset"
+        assert err.value.detail["available"] == ["tri"]
+
+    def test_db_mismatch(self, client):
+        with pytest.raises(ServeError) as err:
+            client.evaluate(TRIANGLE, db={"R_AB": Relation(("A", "B"), [])},
+                            n=N)
+        assert err.value.code == "db_mismatch"
+
+    def test_not_found(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v2/evaluate")
+        assert err.value.code == "not_found"
+        assert "/v1/evaluate" in err.value.detail["endpoints"]
+
+    def test_method_not_allowed(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v1/evaluate")
+        assert err.value.code == "method_not_allowed"
+
+    def test_non_json_body(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/v1/evaluate", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert doc["error"]["code"] == "bad_request"
+
+    def test_schema_version_rejected(self, client, dataset):
+        _, db, _ = dataset
+        wire = EvaluateRequest(query=TRIANGLE, n=N).to_wire()
+        wire["schema"] = "repro.serve/99"
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/v1/evaluate", wire)
+        assert err.value.code == "schema_mismatch"
+        assert err.value.detail["supported"] == [SCHEMA]
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+class TestAdmissionControl:
+    def test_memory_budget_rejection(self, client, dataset):
+        """A budget too small for even one row → structured 503 with the
+        engine's per-level breakdown, not an OOM."""
+        _, db, _ = dataset
+        with pytest.raises(ServeError) as err:
+            client.evaluate(TRIANGLE, db=db, n=N, budget=1)
+        assert err.value.code == "over_budget"
+        assert err.value.status == 503
+        detail = err.value.detail
+        assert detail["cap_bytes"] == 1
+        assert detail["required_bytes_per_row"] > 1
+        assert detail["per_level"], "expected the per-level breakdown"
+
+    def test_queue_overload_rejection(self, dataset):
+        """max_queue=0 admits nothing: every POST gets a structured 429."""
+        _, db, _ = dataset
+        with start_in_thread(max_queue=0) as handle:
+            with Client(handle.url) as c:
+                assert c.healthz()["ok"]        # GETs bypass admission
+                with pytest.raises(ServeError) as err:
+                    c.evaluate(TRIANGLE, db=db, n=N)
+        assert err.value.code == "overloaded"
+        assert err.value.status == 429
+        assert err.value.detail["max_queue"] == 0
+
+    def test_bad_budget_string(self, client, dataset):
+        _, db, _ = dataset
+        with pytest.raises(ServeError) as err:
+            client.evaluate(TRIANGLE, db=db, n=N, budget="lots")
+        assert err.value.code == "bad_request"
+
+
+# ---------------------------------------------------------------------------
+# coalescing (the tentpole acceptance check)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestCoalescing:
+    CONCURRENCY = 16
+
+    def test_concurrent_identical_requests_compile_once(self, obs_session,
+                                                        dataset):
+        """16 concurrent identical queries: exactly one plan compile
+        (obs counter ``serve.compile.calls``), the other 15 coalesced or
+        cache-hit, and at least one multi-instance ``evaluate_batch``
+        (``serve.batch.size`` max ≥ 2)."""
+        _, db, truth = dataset
+        # A longer batch window than the default so evaluations pile up
+        # into one engine call even on a loaded CI machine.
+        with start_in_thread(batch_window=0.05) as handle:
+            results = [None] * self.CONCURRENCY
+            errors = []
+
+            def worker(i):
+                try:
+                    with Client(handle.url, tenant=f"tenant{i}") as c:
+                        results[i] = c.evaluate_full(TRIANGLE, db=db, n=N)
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.CONCURRENCY)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+            stats = handle.server.stats
+
+        assert not errors, f"workers failed: {errors[:3]}"
+        assert all(r is not None for r in results)
+        for r in results:
+            answers = r.answer_relation()
+            assert answers == truth.reorder(answers.schema)
+
+        # Exactly one compile, via the obs counter AND the server counter.
+        assert obs.metrics.counter("serve.compile.calls").total == 1
+        assert stats["compiles"] == 1
+        statuses = {r.cache for r in results}
+        assert "miss" in statuses
+        assert stats["coalesced_compiles"] == \
+            obs.metrics.counter("serve.compile.coalesced").total
+        assert stats["coalesced_compiles"] + \
+            obs.metrics.counter("serve.plan_cache.hits").total >= \
+            self.CONCURRENCY - 1
+
+        # At least one genuinely batched evaluate_batch call.
+        assert stats["batch_calls"] >= 1
+        assert stats["batch_instances"] == self.CONCURRENCY
+        assert stats["max_batch"] >= 2, (
+            f"no coalesced evaluation: batches {stats}")
+        sizes = obs.metrics.histogram("serve.batch.size")
+        assert sizes.total_count == stats["batch_calls"]
+        assert max(r.batch_size for r in results) == stats["max_batch"]
+
+
+# ---------------------------------------------------------------------------
+# repro.Client export and CLI surface
+# ---------------------------------------------------------------------------
+
+class TestPublicSurface:
+    def test_client_lazy_export(self):
+        assert repro.Client is Client
+        assert "Client" in dir(repro)
+
+    def test_client_url_parsing(self):
+        c = Client("http://example.test:9999", tenant="t")
+        assert (c.host, c.port) == ("example.test", 9999)
+        assert Client("127.0.0.1:8080").port == 8080
+        with pytest.raises(ValueError):
+            Client("https://example.test")
+
+    def test_cli_run_remote(self, server, dataset, tmp_path, capsys):
+        from repro.cli import main
+        from repro.cq.io import database_to_dir
+
+        q, db, truth = dataset
+        database_to_dir(db, q, tmp_path)
+        rc = main(["run", TRIANGLE, str(tmp_path), "-n", str(N),
+                   "--remote", server.url, "-v"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"answers ({len(truth)} rows)" in out
+        assert "cache" in out and "plan" in out
+
+    def test_cli_run_remote_server_error(self, server, dataset, tmp_path,
+                                         capsys):
+        from repro.cli import main
+        from repro.cq.io import database_to_dir
+
+        q, db, _ = dataset
+        database_to_dir(db, q, tmp_path)
+        rc = main(["run", TRIANGLE, str(tmp_path), "-n", str(N),
+                   "--remote", server.url, "--mem-budget", "1"])
+        assert rc == 3
+        assert "over_budget" in capsys.readouterr().err
+
+    def test_cli_serve_in_help(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--batch-window" in out and "--max-queue" in out
