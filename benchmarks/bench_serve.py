@@ -15,11 +15,13 @@ Claims measured (see docs/serving.md):
   once — the plan cache plus compile coalescing absorb the rest.
 """
 
+import io
 import threading
 import time
 
 import pytest
 
+from repro import obs
 from repro.datagen import random_database, triangle_query
 from repro.serve import Client, start_in_thread
 
@@ -169,5 +171,62 @@ def test_serve_compiles_exactly_once(benchmark, server, workload):
     assert counters["compiles"] == 1, counters
     assert cache["hits"] >= 10
     assert len(counters["tenants"]) >= len(SWEEP) + 1
+    with Client(server.url) as client:
+        benchmark(lambda: client.evaluate(TRIANGLE, db=db, n=N))
+
+
+def test_serve_obs_overhead(benchmark, server, workload):
+    """Acceptance bar: the serve tier's observability stack — request
+    spans, traceparent propagation, request ids, serve metrics, SLO
+    window, access log — costs < 5% on cache-hit request latency (obs on
+    + access log vs obs off + no log).
+
+    Measured on the **scalar** engine: its per-request cost is obs-flat,
+    so the on/off delta isolates the serve layer's additions.  (The
+    vectorized engine's own per-level instrumentation is a much larger
+    obs-on cost, with its own budget — bench_engine's E8 no-op gate.)
+
+    Runs last: it toggles the module's obs state, so nothing else may be
+    measuring while it does.  Samples are interleaved (off, on, off, on,
+    ...) and min-reduced so machine-speed drift hits both series equally.
+    """
+    _, db, _ = workload
+    reps, rounds = 8, 5
+
+    def run_batch(client):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            client.evaluate(TRIANGLE, db=db, n=N, engine="scalar")
+        return time.perf_counter() - t0
+
+    off_times, on_times = [], []
+    with Client(server.url, tenant="bench-obs", timeout=TIMEOUT) as client:
+        client.evaluate(TRIANGLE, db=db, n=N, engine="scalar")   # warm
+        try:
+            for _ in range(rounds):
+                obs.disable()
+                server.server.set_access_log(None)
+                off_times.append(run_batch(client))
+                obs.enable()                         # spans+metrics, no
+                server.server.set_access_log(io.StringIO())  # tracemalloc
+                on_times.append(run_batch(client))
+        finally:
+            obs.enable(memory=True)       # what bench_harness installed
+            server.server.set_access_log(None)
+
+    t_off, t_on = min(off_times), min(on_times)
+    off_ms, on_ms = (t * 1e3 / reps for t in (t_off, t_on))
+    overhead = t_on / t_off - 1.0
+    print_table(
+        "SERVE: request-path observability overhead (scalar cache hits)",
+        ["path", "ms/request", "overhead"],
+        [("obs off, no log", f"{off_ms:.3f}", "—"),
+         ("obs on + access log", f"{on_ms:.3f}",
+          f"{overhead * 100:+.2f}%")])
+    record(benchmark, obs_off_ms=off_ms, obs_on_ms=on_ms,
+           overhead_pct=overhead * 100)
+    assert overhead < 0.05, (
+        f"serve observability adds {overhead * 100:.1f}% to the hit path "
+        f"(off {off_ms:.3f} ms, on {on_ms:.3f} ms); budget is 5%")
     with Client(server.url) as client:
         benchmark(lambda: client.evaluate(TRIANGLE, db=db, n=N))

@@ -385,6 +385,24 @@ class CompiledQuery:
         """The serve tier's plan-cache key (see :func:`plan_signature`)."""
         return self.signature.key
 
+    # -- predicted footprint ---------------------------------------------
+    def _compute_buffer_bytes_per_row(self) -> int:
+        from . import engine
+
+        lowered = self._stage("lowered")
+        plan = engine.DEFAULT_PLAN_CACHE.get(
+            lowered.circuit, engine.lowered_output_gates(lowered))
+        return plan.buffer_bytes(1)
+
+    @property
+    def buffer_bytes_per_row(self) -> int:
+        """Exact predicted vectorized-engine buffer bytes per batched
+        instance (``n_slots × 8``) — what :class:`~repro.obs.MemoryBudget`
+        charges and what the serve tier's access log reports, scaled by
+        ``batch_size``.  Forces compilation through lowering on first use;
+        afterwards it is a cached plan lookup."""
+        return self._stage("buffer_bytes_per_row")
+
     # -- answers ---------------------------------------------------------
     def _env(self, db: Union[Database, Mapping[str, Relation]]
              ) -> Mapping[str, Relation]:

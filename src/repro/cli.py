@@ -330,7 +330,10 @@ def cmd_serve(args) -> int:
         batch_window=args.batch_window / 1e3,
         workers=args.workers,
         mem_budget=args.mem_budget or None,
-        datasets=datasets)
+        datasets=datasets,
+        access_log=args.log,
+        slow_ms=args.slow_ms,
+        slo_window=args.slo_window)
     server = QueryServer(config)
     print(f"repro serve: listening on http://{config.host}:{config.port} "
           f"(plan cache {config.plan_cache_capacity}, "
@@ -338,8 +341,13 @@ def cmd_serve(args) -> int:
           f"batch window {config.batch_window * 1e3:.1f} ms)")
     if datasets:
         print(f"datasets mounted: {', '.join(sorted(datasets))}")
+    if config.access_log is not None:
+        where = "stderr" if config.access_log == "-" else config.access_log
+        print(f"access log (JSONL): {where}")
+    if config.slow_ms is not None:
+        print(f"slow-query log threshold: {config.slow_ms:g} ms")
     print("endpoints: POST /v1/evaluate  POST /v1/compile  "
-          "GET /v1/healthz  GET /v1/stats")
+          "GET /v1/healthz  GET /v1/stats  GET /v1/metrics")
     try:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
@@ -347,6 +355,71 @@ def cmd_serve(args) -> int:
     finally:
         server.close()
     return 0
+
+
+def cmd_top(args) -> int:
+    """Poll a server's ``/v1/stats`` SLO window into a compact live view.
+
+    One line per tick: request rate (from the requests-counter delta),
+    in-flight count, rolling p50/p95/p99 latency, rolling error rate, and
+    plan-cache geometry.  ``--once`` prints a single tick for scripts.
+    """
+    import time as _time
+
+    from .serve import Client
+    from .serve.schema import ServeError
+
+    ticks = 1 if args.once else (args.count if args.count > 0 else None)
+    interval = max(0.1, args.interval)
+    prev_requests: Optional[int] = None
+    prev_t = 0.0
+    printed = 0
+    header = (f"{'time':>8} {'req/s':>8} {'act':>4} {'p50ms':>9} "
+              f"{'p95ms':>9} {'p99ms':>9} {'err%':>6} {'plans':>5} "
+              f"{'hit%':>6} {'maxb':>4}")
+    with Client(args.url) as client:
+        try:
+            while True:
+                try:
+                    stats = client.stats()
+                except (ServeError, OSError) as exc:
+                    print(f"top: cannot reach {args.url}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                now = _time.monotonic()
+                counters = stats.get("counters", {})
+                requests = int(counters.get("requests", 0))
+                if prev_requests is None:
+                    rate = requests / max(
+                        float(stats.get("uptime_seconds") or 0) or 1.0, 1e-9)
+                else:
+                    rate = (requests - prev_requests) / max(now - prev_t,
+                                                            1e-9)
+                prev_requests, prev_t = requests, now
+                slo = stats.get("slo", {})
+                cache = stats.get("plan_cache", {})
+                if printed == 0:
+                    print(f"repro top — {client!r}  "
+                          f"window {slo.get('window_s', 0):g}s  "
+                          f"uptime {stats.get('uptime_seconds', 0):.0f}s")
+                if printed % 20 == 0:
+                    print(header)
+                print(f"{_time.strftime('%H:%M:%S'):>8} {rate:>8.1f} "
+                      f"{stats.get('active_requests', 0):>4} "
+                      f"{slo.get('p50_ms', 0.0):>9.1f} "
+                      f"{slo.get('p95_ms', 0.0):>9.1f} "
+                      f"{slo.get('p99_ms', 0.0):>9.1f} "
+                      f"{slo.get('error_rate', 0.0) * 100:>6.2f} "
+                      f"{cache.get('size', 0):>5} "
+                      f"{cache.get('hit_rate', 0.0) * 100:>6.1f} "
+                      f"{counters.get('max_batch', 0):>4}", flush=True)
+                printed += 1
+                if ticks is not None and printed >= ticks:
+                    return 0
+                _time.sleep(interval)
+        except KeyboardInterrupt:
+            print()
+            return 0
 
 
 def cmd_trace(args) -> int:
@@ -697,7 +770,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable repro.obs tracing/metrics in the server")
     p.add_argument("--metrics", action="store_true",
                    help="alias for --trace")
+    p.add_argument("--log", metavar="FILE",
+                   help="structured JSONL access log: a path, or '-' for "
+                        "stderr (request_id, tenant, plan key, cache "
+                        "status, per-stage timings, batch size, predicted "
+                        "buffer bytes)")
+    p.add_argument("--slow-ms", type=float, metavar="MS",
+                   help="threshold for slow-query records (written to the "
+                        "--log sink, else stderr)")
+    p.add_argument("--slo-window", type=float, default=60.0, metavar="S",
+                   help="trailing window for the /v1/stats SLO block "
+                        "(default 60s)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="poll a server's /v1/stats into a live one-line-per-tick view")
+    p.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8765")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls (default 2)")
+    p.add_argument("--count", type=int, default=0, metavar="N",
+                   help="stop after N ticks (default: until interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single tick and exit (scripts, tests)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "trace", help="summarize a trace JSON written by `run --trace`")

@@ -69,6 +69,7 @@ __all__ = [
     "execute_chunked",
     "execute_plan",
     "execute_sharded",
+    "lowered_output_gates",
     "run_lowered",
 ]
 
@@ -146,6 +147,19 @@ def evaluate_batch(circuit: Circuit, input_batches: Sequence[Sequence[int]],
     return run.all_gates()
 
 
+def lowered_output_gates(lowered) -> List[int]:
+    """The output arrays' field/valid gate ids of a lowered circuit — the
+    ``outputs`` set :func:`run_lowered` keeps live, and therefore the gate
+    set whose :meth:`ExecutionPlan.buffer_bytes` predicts a serve-path
+    evaluation's footprint."""
+    out_gids: List[int] = []
+    for array in lowered.output_arrays:
+        for bus in array.buses:
+            out_gids.extend(bus.fields)
+            out_gids.append(bus.valid)
+    return out_gids
+
+
 def run_lowered(lowered, envs: Sequence[Mapping],
                 cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
                 stats: Optional[EngineStats] = None,
@@ -160,11 +174,7 @@ def run_lowered(lowered, envs: Sequence[Mapping],
     from ..boolcircuit.builder import ArrayBuilder
     from ..cq.relation import Relation
 
-    out_gids: List[int] = []
-    for array in lowered.output_arrays:
-        for bus in array.buses:
-            out_gids.extend(bus.fields)
-            out_gids.append(bus.valid)
+    out_gids = lowered_output_gates(lowered)
 
     batches = []
     for env in envs:

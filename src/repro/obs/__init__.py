@@ -17,6 +17,11 @@ PANDA-C → lowering → execution``):
   accounting (``enable(memory=True)`` / ``REPRO_MEM=1``), analytic engine
   buffer-byte gauges, and :class:`MemoryBudget` caps that degrade
   gracefully by batch splitting (``repro run --mem-budget``);
+* **serve runtime** — :mod:`repro.obs.rt`: request-scoped trace
+  propagation (``traceparent`` headers continued across the wire, with the
+  trace_id doubling as the ``request_id`` in responses and logs),
+  Prometheus text exposition for ``GET /v1/metrics``, structured JSONL
+  access / slow-query logs, and rolling SLO windows;
 * **continuous benchmarking** — :class:`BenchRunner` runs the bench suite
   into standardized ``BENCH_<name>.json`` documents, :func:`compare`
   detects perf regressions against a stored baseline, and the
@@ -78,6 +83,7 @@ from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
 from .regression import CompareReport, MetricDelta, compare, compare_dirs
 from .trace import NOOP_SPAN, STATE, TRACER, Span, Tracer, span
 from . import memory
+from . import rt
 
 __all__ = [
     "BenchOutcome",
@@ -128,6 +134,7 @@ __all__ = [
     "peak_rss_bytes",
     "reset",
     "resolve_budget",
+    "rt",
     "set_default_budget",
     "span",
     "span_tree",

@@ -35,6 +35,9 @@ def span_tree(spans: Sequence[Span]) -> List[Dict[str, Any]]:
     def node(s: Span) -> Dict[str, Any]:
         return {
             "name": s.name,
+            "trace_id": s.trace_id,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
             "wall_ms": s.wall * 1e3,
             "self_ms": s.self_seconds * 1e3,
             "attrs": dict(s.attrs),

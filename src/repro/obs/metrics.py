@@ -199,6 +199,11 @@ class MetricsRegistry:
         """The instrument registered under ``name``, or None."""
         return self._instruments.get(name)
 
+    def instruments(self) -> List[Tuple[str, Any]]:
+        """Registered ``(name, instrument)`` pairs in sorted-name order —
+        the stable iteration renderers (Prometheus exposition) rely on."""
+        return [(name, self._instruments[name]) for name in self.names()]
+
     def names(self) -> List[str]:
         return sorted(self._instruments)
 

@@ -1,0 +1,591 @@
+"""Runtime observability for the serve tier: trace propagation, Prometheus
+text exposition, structured JSON logs, and rolling SLO windows.
+
+This module is what turns the process-local :mod:`repro.obs` substrate into
+something a *service* can expose:
+
+* **Trace propagation** — W3C-``traceparent``-style headers
+  (``00-<32 hex trace_id>-<16 hex span_id>-<2 hex flags>``) carry a request's
+  identity from ``repro.Client`` to the server.  :func:`continue_trace`
+  installs the parsed context so server-side spans (compile, cache, batch,
+  evaluate) join the client's trace, and :func:`request_tree` exports the
+  per-request span forest afterwards.  The ``trace_id`` doubles as the
+  ``request_id`` echoed in every response and log record, so one id joins
+  the client span, the server spans, and the access-log line.
+
+* **Prometheus exposition** — :func:`render_registry` renders the metrics
+  registry (counters, gauges, histogram p50/p95/p99 summaries) as text
+  format 0.0.4, via an :class:`ExpositionBuilder` callers can extend with
+  their own families (the serve tier adds its obs-off stats counters).
+  :func:`parse_exposition` is the strict lint parser the tests and CI run
+  against ``GET /v1/metrics``.
+
+* **Structured logs** — :class:`JsonLinesLog` is a thread-safe JSONL sink
+  for access / slow-query records.
+
+* **SLO windows** — :class:`RollingWindow` keeps latency samples and error
+  counts over the last N seconds in time buckets, for ``/v1/stats`` and
+  ``repro top``.
+
+Everything here is stdlib-only and independent of whether tracing is
+enabled: request ids, logs, and SLO windows work with obs off; spans and
+registry metrics appear once ``obs.enable()`` runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+import random
+import re
+import threading
+import time
+from typing import (Any, Callable, Dict, IO, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+from . import trace as _trace
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, PERCENTILES,
+                      REGISTRY)
+from .trace import (TRACER, Span, Tracer, new_span_id, new_trace_id)
+
+__all__ = [
+    "TRACEPARENT_HEADER", "REQUEST_ID_FIELD",
+    "new_trace_id", "new_span_id",
+    "format_traceparent", "parse_traceparent", "continue_trace",
+    "current_traceparent", "request_spans", "request_tree",
+    "sanitize_metric_name", "sanitize_label_name", "escape_label_value",
+    "format_value", "ExpositionBuilder", "render_registry",
+    "parse_exposition", "CONTENT_TYPE",
+    "JsonLinesLog", "RollingWindow",
+]
+
+# -- trace propagation ------------------------------------------------------
+
+#: HTTP header carrying the trace context (W3C Trace Context name).
+TRACEPARENT_HEADER = "traceparent"
+
+#: Wire/document field echoing the request's trace_id back to the caller.
+REQUEST_ID_FIELD = "request_id"
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """``00-<trace_id>-<span_id>-01`` (version 00, sampled flag set)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[Tuple[str, str]]:
+    """``(trace_id, parent_span_id)`` from a traceparent header, or None.
+
+    Malformed values — wrong shape, uppercase hex, the forbidden ``ff``
+    version, all-zero ids — return None so callers fall back to a fresh
+    trace instead of propagating garbage.
+    """
+    if not value:
+        return None
+    m = _TRACEPARENT_RE.match(value.strip())
+    if m is None:
+        return None
+    version, trace_id, span_id = m.group(1), m.group(2), m.group(3)
+    if version == "ff":
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
+
+@contextlib.contextmanager
+def continue_trace(traceparent: Optional[str]) -> Iterator[str]:
+    """Adopt (or mint) a trace context for the current execution context.
+
+    Parses ``traceparent``; a missing/malformed header mints a fresh
+    ``trace_id``.  Within the block, root spans join that trace — so a
+    server wraps each request dispatch in ``continue_trace(header)`` and
+    every span it opens (including those forwarded to executor threads via
+    ``contextvars.copy_context``) carries the client's trace_id.  Yields
+    the ``trace_id``, which is also the request's ``request_id``.  Works
+    with obs disabled: the id is yielded even though no spans record.
+    """
+    parsed = parse_traceparent(traceparent)
+    if parsed is not None:
+        trace_id, parent_span_id = parsed
+    else:
+        trace_id, parent_span_id = new_trace_id(), ""
+    token = _trace.set_remote_context(trace_id, parent_span_id)
+    try:
+        yield trace_id
+    finally:
+        _trace.clear_remote_context(token)
+
+
+def current_traceparent() -> Optional[str]:
+    """A traceparent for the innermost open span, or None outside spans."""
+    current = TRACER.current()
+    if current is None or not current.trace_id:
+        return None
+    return format_traceparent(current.trace_id, current.span_id)
+
+
+def request_spans(trace_id: str,
+                  tracer: Optional[Tracer] = None) -> List[Span]:
+    """Finished root spans belonging to one trace (client- and server-side
+    roots of a propagated request share its trace_id)."""
+    tracer = tracer if tracer is not None else TRACER
+    return [s for s in list(tracer.roots) if s.trace_id == trace_id]
+
+
+def request_tree(trace_id: str,
+                 tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]:
+    """The per-request span forest as nested JSON-serializable dicts."""
+    from .export import span_tree
+    return span_tree(request_spans(trace_id, tracer))
+
+
+# -- Prometheus text exposition (format 0.0.4) ------------------------------
+
+#: Content type ``GET /v1/metrics`` responds with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid exposition metric name: bad chars → ``_``, leading digit
+    guarded (``serve.batch.size`` → ``serve_batch_size``)."""
+    out = _NAME_BAD_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    """A valid label name (no colons allowed, unlike metric names)."""
+    out = _LABEL_BAD_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    if out.startswith("__"):          # reserved for Prometheus internals
+        out = "_" + out.lstrip("_")
+    return out
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape ``\\``, ``"`` and newlines per the text format."""
+    return (str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: float) -> str:
+    """A float in exposition syntax: integral values without the ``.0``,
+    NaN/±Inf in Prometheus spelling."""
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+class ExpositionBuilder:
+    """Accumulates metric families and renders text format 0.0.4.
+
+    Families are emitted in insertion order; each is a ``# HELP`` line, a
+    ``# TYPE`` line, then its samples.  Callers hand *raw* names/labels —
+    sanitization and escaping happen here, once.
+    """
+
+    def __init__(self, prefix: str = "repro_") -> None:
+        self.prefix = prefix
+        self._families: List[Tuple[str, str, str, List[str]]] = []
+        self._seen: Dict[str, str] = {}
+
+    # Each sample: (name_suffix, labels, value).  suffix "" is the family
+    # name itself; "_sum"/"_count" extend it (summary components).
+
+    def family(self, name: str, kind: str, help_text: str,
+               samples: Sequence[Tuple[str, Dict[str, Any], float]]) -> None:
+        fam = self.prefix + sanitize_metric_name(name)
+        if kind == "counter" and not fam.endswith("_total"):
+            fam += "_total"
+        if fam in self._seen:
+            raise ValueError(f"duplicate metric family {fam!r}")
+        self._seen[fam] = kind
+        lines: List[str] = []
+        for suffix, labels, value in samples:
+            sample_name = fam + suffix
+            if labels:
+                parts = ",".join(
+                    f'{sanitize_label_name(k)}="{escape_label_value(v)}"'
+                    for k, v in sorted(labels.items(), key=lambda kv: kv[0]))
+                lines.append(f"{sample_name}{{{parts}}} {format_value(value)}")
+            else:
+                lines.append(f"{sample_name} {format_value(value)}")
+        self._families.append((fam, kind, _escape_help(help_text), lines))
+
+    def counter(self, name: str, help_text: str,
+                rows: Sequence[Tuple[Dict[str, Any], float]]) -> None:
+        self.family(name, "counter", help_text,
+                    [("", labels, value) for labels, value in rows])
+
+    def gauge(self, name: str, help_text: str,
+              rows: Sequence[Tuple[Dict[str, Any], float]]) -> None:
+        self.family(name, "gauge", help_text,
+                    [("", labels, value) for labels, value in rows])
+
+    def summary(self, name: str, help_text: str,
+                rows: Sequence[Tuple[Dict[str, Any], Dict[str, float]]]) -> None:
+        """``rows``: (labels, cell) where cell has count/sum/p50/p95/p99.
+        An empty cell (count 0) renders NaN quantiles, like a fresh
+        Prometheus summary."""
+        samples: List[Tuple[str, Dict[str, Any], float]] = []
+        for labels, cell in rows:
+            empty = not cell.get("count")
+            for p in PERCENTILES:
+                q = {"quantile": f"0.{p:02d}".rstrip("0") or "0"}
+                value = float("nan") if empty else cell.get(f"p{p}", 0.0)
+                samples.append(("", {**labels, **q}, value))
+            samples.append(("_sum", dict(labels), cell.get("sum", 0.0)))
+            samples.append(("_count", dict(labels), cell.get("count", 0)))
+        self.family(name, "summary", help_text, samples)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for fam, kind, help_text, samples in self._families:
+            lines.append(f"# HELP {fam} {help_text}")
+            lines.append(f"# TYPE {fam} {kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(builder: Optional[ExpositionBuilder] = None,
+                    registry: Optional[MetricsRegistry] = None,
+                    help_texts: Optional[Dict[str, str]] = None
+                    ) -> ExpositionBuilder:
+    """Add every registry instrument to ``builder`` (created if None).
+
+    Counters/gauges map 1:1; histograms become summary families with
+    ``quantile`` series from the reservoir percentiles.  Instruments
+    created but never updated still emit (counters/gauges as a single
+    unlabeled 0, histograms as count 0 + NaN quantiles) so scrape targets
+    are stable from the first request.
+    """
+    if builder is None:
+        builder = ExpositionBuilder()
+    registry = registry if registry is not None else REGISTRY
+    help_texts = help_texts or {}
+    for name, inst in registry.instruments():
+        help_text = help_texts.get(name, f"repro.obs metric {name}")
+        if isinstance(inst, Counter):
+            rows = ([(dict(k), v) for k, v in sorted(
+                inst.values.items(), key=lambda kv: repr(kv[0]))]
+                or [({}, 0.0)])
+            builder.counter(name, help_text, rows)
+        elif isinstance(inst, Gauge):
+            rows = ([(dict(k), v) for k, v in sorted(
+                inst.values.items(), key=lambda kv: repr(kv[0]))]
+                or [({}, 0.0)])
+            builder.gauge(name, help_text, rows)
+        elif isinstance(inst, Histogram):
+            srows: List[Tuple[Dict[str, Any], Dict[str, float]]] = []
+            for k in sorted(inst.values, key=repr):
+                labels = dict(k)
+                srows.append((labels, inst.summary(**labels)))
+            builder.summary(name, help_text, srows or [({}, {"count": 0})])
+    return builder
+
+
+# -- exposition lint parser -------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # sample name
+    r"(?:\{(.*)\})?"                         # optional label block
+    r" (NaN|[+-]Inf|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+    r"(?: ([0-9]+))?$")                      # optional timestamp
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace(r"\n", "\n").replace(r"\"", '"')
+            .replace("\\\\", "\\"))
+
+
+def _parse_value(text: str) -> float:
+    if text == "NaN":
+        return float("nan")
+    if text in ("+Inf", "-Inf"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse Prometheus text format 0.0.4; raise ValueError on any
+    violation.  Returns ``family -> {"type", "help", "samples"}`` where each
+    sample is ``(sample_name, labels_dict, value)``.
+
+    This is the lint the tests and the CI smoke job run against
+    ``GET /v1/metrics``: it enforces valid names, balanced/escaped label
+    syntax, parseable values, TYPE-before-samples, no duplicate families,
+    no duplicate (name, labelset) series, and that every sample belongs to
+    a declared family (with ``_sum``/``_count``/``quantile`` allowed only
+    under summary/histogram types).
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    seen_series: set = set()
+
+    def family_of(sample_name: str) -> Optional[str]:
+        if sample_name in families:
+            return sample_name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families:
+                    return base
+        return None
+
+    for lineno, line in enumerate(text.split("\n"), 1):
+        if line == "":
+            continue
+        if line != line.strip():
+            raise ValueError(f"line {lineno}: stray whitespace: {line!r}")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in (
+                    "HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment: {line!r}")
+            keyword, name = parts[1], parts[2]
+            if not _METRIC_NAME_OK.match(name):
+                raise ValueError(
+                    f"line {lineno}: invalid metric name {name!r}")
+            body = parts[3] if len(parts) > 3 else ""
+            fam = families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            if keyword == "HELP":
+                if fam["help"] is not None:
+                    raise ValueError(f"line {lineno}: duplicate HELP {name}")
+                fam["help"] = body
+            else:
+                if fam["type"] is not None:
+                    raise ValueError(f"line {lineno}: duplicate TYPE {name}")
+                if body not in _VALID_TYPES:
+                    raise ValueError(
+                        f"line {lineno}: invalid type {body!r} for {name}")
+                if fam["samples"]:
+                    raise ValueError(
+                        f"line {lineno}: TYPE {name} after its samples")
+                fam["type"] = body
+            continue
+
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        sample_name, label_block, value_text = m.group(1), m.group(2), m.group(3)
+        labels: Dict[str, str] = {}
+        if label_block is not None:
+            rest = label_block
+            while rest:
+                pm = _LABEL_PAIR_RE.match(rest)
+                if pm is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {{{label_block}}}")
+                name, raw = pm.group(1), pm.group(2)
+                if name in labels:
+                    raise ValueError(
+                        f"line {lineno}: duplicate label {name!r}")
+                labels[name] = _unescape_label(raw)
+                rest = rest[pm.end():]
+                if rest.startswith(","):
+                    rest = rest[1:]
+                    if not rest:                 # trailing comma
+                        raise ValueError(
+                            f"line {lineno}: malformed labels: "
+                            f"{{{label_block}}}")
+                elif rest:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {{{label_block}}}")
+        value = _parse_value(value_text)
+
+        base = family_of(sample_name)
+        if base is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE family")
+        fam = families[base]
+        if fam["type"] is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} before TYPE")
+        if sample_name != base and fam["type"] not in ("summary", "histogram"):
+            raise ValueError(
+                f"line {lineno}: component sample {sample_name!r} under "
+                f"{fam['type']} family {base!r}")
+        if "quantile" in labels and (
+                fam["type"] != "summary" or sample_name != base):
+            raise ValueError(
+                f"line {lineno}: quantile label outside a summary series")
+        series = (sample_name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            raise ValueError(
+                f"line {lineno}: duplicate series {sample_name}{labels}")
+        seen_series.add(series)
+        fam["samples"].append((sample_name, labels, value))
+
+    for name, fam in families.items():
+        if fam["type"] is None:
+            raise ValueError(f"family {name!r} has HELP but no TYPE")
+    return families
+
+
+# -- structured JSON logs ---------------------------------------------------
+
+class JsonLinesLog:
+    """A thread-safe JSON-lines sink for access / slow-query records.
+
+    ``target`` may be a path (opened append-mode), ``"-"`` (stderr), or any
+    object with ``write``.  Each record becomes one compact JSON line,
+    flushed immediately so ``tail -f`` and log shippers see it live.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        self._lock = threading.Lock()
+        self._owns = False
+        if isinstance(target, str):
+            if target == "-":
+                import sys
+                self._fh: IO[str] = sys.stderr
+            else:
+                self._fh = open(target, "a", encoding="utf-8")
+                self._owns = True
+        else:
+            self._fh = target
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True,
+                          default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+            try:
+                self._fh.flush()
+            except (ValueError, OSError):
+                pass
+
+    def close(self) -> None:
+        if self._owns:
+            with self._lock:
+                try:
+                    self._fh.close()
+                except (ValueError, OSError):
+                    pass
+                self._owns = False
+
+    def __enter__(self) -> "JsonLinesLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# -- rolling SLO windows ----------------------------------------------------
+
+#: Per-bucket latency-sample cap; beyond it, reservoir replacement keeps the
+#: sample uniform (same Algorithm R as the metrics histograms).
+WINDOW_RESERVOIR = 512
+
+
+class _Bucket:
+    __slots__ = ("index", "count", "errors", "total", "samples")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.count = 0
+        self.errors = 0
+        self.total = 0.0
+        self.samples: List[float] = []
+
+
+class RollingWindow:
+    """Latency percentiles + error rate over the trailing ``window`` seconds.
+
+    Observations land in ``buckets`` fixed-width time buckets; buckets older
+    than the window are dropped on the next record/snapshot, so memory is
+    O(buckets × reservoir) regardless of traffic.  ``clock`` is injectable
+    for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(self, window: float = 60.0, buckets: int = 12,
+                 clock: Callable[[], float] = time.monotonic):
+        if window <= 0 or buckets <= 0:
+            raise ValueError("window and buckets must be positive")
+        self.window = float(window)
+        self.width = self.window / buckets
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[int, _Bucket] = {}
+        self._rng = random.Random(0x510)
+
+    def _prune(self, now: float) -> None:
+        horizon = math.floor((now - self.window) / self.width)
+        for idx in [i for i in self._buckets if i <= horizon]:
+            del self._buckets[idx]
+
+    def record(self, latency_ms: float, error: bool = False) -> None:
+        now = self._clock()
+        idx = int(now / self.width)
+        with self._lock:
+            self._prune(now)
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                bucket = self._buckets[idx] = _Bucket(idx)
+            bucket.count += 1
+            if error:
+                bucket.errors += 1
+            bucket.total += latency_ms
+            if len(bucket.samples) < WINDOW_RESERVOIR:
+                bucket.samples.append(latency_ms)
+            else:
+                j = self._rng.randrange(bucket.count)
+                if j < WINDOW_RESERVOIR:
+                    bucket.samples[j] = latency_ms
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{window_s, count, errors, error_rate, mean_ms, p50_ms, p95_ms,
+        p99_ms}`` over the live buckets (zeros when idle)."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            buckets = list(self._buckets.values())
+        count = sum(b.count for b in buckets)
+        errors = sum(b.errors for b in buckets)
+        total = sum(b.total for b in buckets)
+        pooled: List[float] = []
+        for b in buckets:
+            pooled.extend(b.samples)
+        pooled.sort()
+
+        def pct(p: float) -> float:
+            if not pooled:
+                return 0.0
+            rank = max(0, min(len(pooled) - 1,
+                              int(p / 100.0 * len(pooled) + 0.5) - 1))
+            return pooled[rank]
+
+        return {
+            "window_s": self.window,
+            "count": count,
+            "errors": errors,
+            "error_rate": (errors / count) if count else 0.0,
+            "mean_ms": (total / count) if count else 0.0,
+            "p50_ms": pct(50),
+            "p95_ms": pct(95),
+            "p99_ms": pct(99),
+        }

@@ -1,9 +1,26 @@
 """Hierarchical tracing: ``span("lp.solve")`` as context manager / decorator.
 
-Spans nest per thread: entering a span while another is open makes it a
-child, so one ``repro run --trace`` yields the pipeline tree
+Spans nest per *execution context*: entering a span while another is open
+makes it a child, so one ``repro run --trace`` yields the pipeline tree
 ``pipeline.evaluate → engine.plan / engine.execute → ...`` with wall time
 at every node.
+
+The open-span stack lives in a :mod:`contextvars` variable, not
+``threading.local``.  The distinction matters for the serve tier: asyncio
+interleaves many requests on one thread, and a thread-local stack would
+parent one request's spans under another's whenever the scheduler switched
+tasks between ``begin`` and ``end``.  Each asyncio task copies the ambient
+context at creation, so with a ``ContextVar`` every task — and therefore
+every request — gets an isolated stack for free.  (Plain threads are
+likewise isolated: each thread starts from an empty context.)  The stack is
+an immutable tuple so a context copy can never mutate its parent's view.
+
+Every span carries request-scoped identity: a 32-hex ``trace_id`` shared by
+the whole tree, a 16-hex ``span_id`` of its own, and the ``parent_id`` it
+nests under.  A tree's ``trace_id`` is inherited from the enclosing span,
+else from a wire-continued remote context (:func:`set_remote_context`, used
+by ``repro.serve`` to continue a client's ``traceparent``), else freshly
+generated — so ids exist even for local, non-serve traces.
 
 The whole layer is disabled by default and its fast path is a single
 boolean check (``STATE.on``) — hot code guards with
@@ -18,10 +35,12 @@ costs one small object allocation and two attribute checks when disabled.
 
 from __future__ import annotations
 
+import contextvars
 import functools
+import os
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import hooks, memory
 
@@ -39,11 +58,44 @@ class _State:
 STATE = _State()
 
 
+def new_trace_id() -> str:
+    """A fresh 32-hex (128-bit) trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex (64-bit) span id."""
+    return os.urandom(8).hex()
+
+
+#: Wire-continued trace context: ``(trace_id, parent_span_id)``.  When set,
+#: a root span opened in this execution context joins the remote trace
+#: instead of minting a fresh ``trace_id``.  Lives outside :class:`Tracer`
+#: so ``serve`` can install it even while obs is disabled (the request still
+#: gets an id for logs and response envelopes).
+_REMOTE_CTX: contextvars.ContextVar[Optional[Tuple[str, str]]] = (
+    contextvars.ContextVar("repro_obs_remote_ctx", default=None))
+
+
+def set_remote_context(trace_id: str, parent_span_id: str) -> "contextvars.Token":
+    """Adopt a remote trace for root spans opened in this context."""
+    return _REMOTE_CTX.set((trace_id, parent_span_id))
+
+
+def clear_remote_context(token: "contextvars.Token") -> None:
+    _REMOTE_CTX.reset(token)
+
+
+def remote_context() -> Optional[Tuple[str, str]]:
+    """The installed ``(trace_id, parent_span_id)``, if any."""
+    return _REMOTE_CTX.get()
+
+
 class Span:
     """One finished or in-flight region of work."""
 
     __slots__ = ("name", "attrs", "start", "wall", "children", "thread",
-                 "mem")
+                 "mem", "trace_id", "span_id", "parent_id")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
@@ -53,6 +105,9 @@ class Span:
         self.children: List["Span"] = []
         self.thread = 0
         self.mem = None           # entry memory counters while MEM is on
+        self.trace_id = ""        # 32-hex id shared by the whole tree
+        self.span_id = ""         # 16-hex id of this span
+        self.parent_id = ""       # span_id this nests under ("" for roots)
 
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes to the span; chainable."""
@@ -89,55 +144,68 @@ NOOP_SPAN = _NoopSpan()
 
 class Tracer:
     """Collects finished root spans; maintains one open-span stack per
-    thread."""
+    execution context (asyncio task / thread)."""
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
         self.roots: List[Span] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
-
-    def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+        self._stack_var: contextvars.ContextVar[Tuple[Span, ...]] = (
+            contextvars.ContextVar("repro_obs_span_stack", default=()))
 
     def begin(self, name: str, attrs: Optional[Dict[str, Any]]) -> Span:
         s = Span(name, attrs)
         s.thread = threading.get_ident()
+        stack = self._stack_var.get()
+        if stack:
+            top = stack[-1]
+            s.trace_id = top.trace_id
+            s.parent_id = top.span_id
+        else:
+            remote = _REMOTE_CTX.get()
+            if remote is not None:
+                s.trace_id, s.parent_id = remote
+            else:
+                s.trace_id = new_trace_id()
+        s.span_id = new_span_id()
         if memory.MEM.on:
             memory.begin_span(s)
         s.start = time.perf_counter()
-        self._stack().append(s)
+        self._stack_var.set(stack + (s,))
         return s
 
     def end(self, span: Span) -> None:
         span.wall = time.perf_counter() - span.start
         if span.mem is not None:
             memory.end_span(span)
-        stack = self._stack()
-        # Tolerate out-of-order exits (e.g. a generator finalized late): pop
-        # through to the span being closed.
-        while stack:
-            top = stack.pop()
-            if top is span:
+        stack = self._stack_var.get()
+        parent: Optional[Span] = None
+        # Tolerate out-of-order exits (e.g. a generator finalized late):
+        # truncate the stack at the span being closed.  A span closed in a
+        # context that never saw it open (shouldn't happen: context copies
+        # share Span objects) simply becomes a root.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is span:
+                parent = stack[i - 1] if i > 0 else None
+                self._stack_var.set(stack[:i])
                 break
-        if stack:
-            stack[-1].children.append(span)
+        if parent is not None:
+            parent.children.append(span)
         else:
             with self._lock:
                 self.roots.append(span)
         hooks.fire_span_end(span)
 
     def current(self) -> Optional[Span]:
-        stack = self._stack()
+        stack = self._stack_var.get()
         return stack[-1] if stack else None
 
     def reset(self) -> None:
         with self._lock:
             del self.roots[:]
-        self._local = threading.local()
+        # A fresh ContextVar orphans any stacks captured in old contexts.
+        self._stack_var = contextvars.ContextVar(
+            "repro_obs_span_stack", default=())
         self.epoch = time.perf_counter()
 
 

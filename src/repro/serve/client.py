@@ -18,10 +18,12 @@ from __future__ import annotations
 import http.client
 import json
 import socket
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 from urllib.parse import urlsplit
 
+from .. import obs
 from ..cq import Database, DCSet, Relation
+from ..obs import rt
 from .schema import (
     SCHEMA,
     EvaluateRequest,
@@ -70,6 +72,10 @@ class Client:
         self.tenant = tenant
         self.timeout = timeout
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: ``request_id`` of the last response (or error envelope) — the
+        #: trace id joining the client span, the server's spans, and the
+        #: server's access-log line for that request.
+        self.last_request_id: str = ""
 
     # -- transport --------------------------------------------------------
 
@@ -79,33 +85,62 @@ class Client:
                 self.host, self.port, timeout=self.timeout)
         return self._conn
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Mapping[str, Any]] = None
-                 ) -> Dict[str, Any]:
-        payload = json.dumps(body).encode() if body is not None else None
-        headers = {"Content-Type": "application/json"}
+    def _raw(self, method: str, path: str, payload: Optional[bytes],
+             headers: Dict[str, str]) -> Tuple[int, bytes]:
         for attempt in (1, 2):
             conn = self._connection()
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
-                raw = response.read()
-                break
+                return response.status, response.read()
             except (ConnectionError, http.client.HTTPException,
                     socket.timeout, OSError):
                 # Stale keep-alive or server restart: reconnect once.
                 self.close()
                 if attempt == 2:
                     raise
-        try:
-            doc = json.loads(raw)
-        except ValueError as exc:
-            raise ServeError(
-                "internal",
-                f"server returned non-JSON ({response.status})") from exc
-        if "error" in doc:
-            raise ServeError.from_wire(doc)
-        return doc
+        raise AssertionError("unreachable")
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"}
+        # Every request carries a traceparent.  With obs enabled the ids
+        # come from a live ``client.request`` span, so server-side spans
+        # join this client's trace; with obs off they are fresh — the
+        # server still echoes the trace id back as ``request_id``.
+        with obs.span("client.request", method=method, path=path) as sp:
+            trace_id = getattr(sp, "trace_id", "")
+            span_id = getattr(sp, "span_id", "")
+            if not trace_id:
+                trace_id, span_id = rt.new_trace_id(), rt.new_span_id()
+            headers[rt.TRACEPARENT_HEADER] = rt.format_traceparent(
+                trace_id, span_id)
+            status, raw = self._raw(method, path, payload, headers)
+            try:
+                doc = json.loads(raw)
+            except ValueError as exc:
+                raise ServeError(
+                    "internal",
+                    f"server returned non-JSON ({status})") from exc
+            self.last_request_id = str(doc.get("request_id", ""))
+            sp.set(status=status, request_id=self.last_request_id)
+            if "error" in doc:
+                raise ServeError.from_wire(doc)
+            return doc
+
+    def metrics_text(self) -> str:
+        """The raw ``GET /v1/metrics`` Prometheus text exposition."""
+        status, raw = self._raw("GET", "/v1/metrics", None, {})
+        text = raw.decode("utf-8")
+        if status != 200:
+            try:
+                raise ServeError.from_wire(json.loads(text))
+            except ValueError:
+                raise ServeError("internal",
+                                 f"metrics endpoint returned {status}")
+        return text
 
     def close(self) -> None:
         if self._conn is not None:

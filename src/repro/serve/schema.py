@@ -51,12 +51,16 @@ class ServeError(Exception):
     """A structured serving failure; serializes to an error envelope."""
 
     def __init__(self, code: str, message: str,
-                 detail: Optional[Dict[str, Any]] = None):
+                 detail: Optional[Dict[str, Any]] = None,
+                 request_id: str = ""):
         if code not in ERROR_STATUS:
             code = "internal"
         self.code = code
         self.message = message
         self.detail = dict(detail or {})
+        #: trace/request id the failing request ran under (server-stamped;
+        #: joins the envelope with the access log and the span tree).
+        self.request_id = request_id
         super().__init__(f"[{code}] {message}")
 
     @property
@@ -64,16 +68,21 @@ class ServeError(Exception):
         return ERROR_STATUS[self.code]
 
     def to_wire(self) -> Dict[str, Any]:
-        return {"schema": SCHEMA,
-                "error": {"code": self.code, "message": self.message,
-                          "detail": self.detail}}
+        doc: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "error": {"code": self.code, "message": self.message,
+                      "detail": self.detail}}
+        if self.request_id:
+            doc["request_id"] = self.request_id
+        return doc
 
     @classmethod
     def from_wire(cls, obj: Mapping[str, Any]) -> "ServeError":
         err = obj.get("error") or {}
         return cls(str(err.get("code", "internal")),
                    str(err.get("message", "unknown server error")),
-                   err.get("detail") or {})
+                   err.get("detail") or {},
+                   request_id=str(obj.get("request_id", "")))
 
 
 def is_error(obj: Mapping[str, Any]) -> bool:
@@ -241,16 +250,22 @@ class EvaluateResponse:
     batch_size: int = 1                       # instances folded into the call
     tenant: str = "default"
     timings: Timings = field(default_factory=Timings)
+    #: trace id of the request that produced this response ("" pre-PR-7
+    #: servers); the same id tags the server's spans and access-log line.
+    request_id: str = ""
 
     def to_wire(self) -> Dict[str, Any]:
-        return {"schema": SCHEMA,
-                "answers": self.answers,
-                "bound": self.bound,
-                "cache": self.cache,
-                "plan_key": self.plan_key,
-                "batch_size": self.batch_size,
-                "tenant": self.tenant,
-                "timings": self.timings.to_wire()}
+        doc = {"schema": SCHEMA,
+               "answers": self.answers,
+               "bound": self.bound,
+               "cache": self.cache,
+               "plan_key": self.plan_key,
+               "batch_size": self.batch_size,
+               "tenant": self.tenant,
+               "timings": self.timings.to_wire()}
+        if self.request_id:
+            doc["request_id"] = self.request_id
+        return doc
 
     @classmethod
     def from_wire(cls, obj: Mapping[str, Any]) -> "EvaluateResponse":
@@ -263,7 +278,8 @@ class EvaluateResponse:
                        plan_key=str(obj.get("plan_key", "")),
                        batch_size=int(obj.get("batch_size", 1)),
                        tenant=str(obj.get("tenant", "default")),
-                       timings=timings)
+                       timings=timings,
+                       request_id=str(obj.get("request_id", "")))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServeError(
                 "internal", f"malformed evaluate response: {exc}") from exc

@@ -37,14 +37,16 @@ stays responsive.  See ``docs/serving.md``.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from .. import obs
+from ..obs import rt
 from ..api import ENGINES, CompiledQuery, PlanSignature, plan_signature
 from ..cq import (
     ConjunctiveQuery,
@@ -90,6 +92,14 @@ class ServerConfig:
     max_body: int = 32 * 1024 * 1024
     #: server-mounted named datasets: name -> {atom name -> Relation}.
     datasets: Dict[str, Mapping[str, Relation]] = field(default_factory=dict)
+    #: structured JSONL access log: a path, ``"-"`` (stderr), or a file-like
+    #: object; None disables it (``repro serve --log``).
+    access_log: Union[None, str, IO[str]] = None
+    #: slow-query threshold, ms: requests at or above it get a ``"slow"``
+    #: record (to the access-log sink, else stderr).  None disables.
+    slow_ms: Optional[float] = None
+    #: trailing window, seconds, for the SLO block in ``/v1/stats``.
+    slo_window: float = 60.0
 
 
 class _Pending:
@@ -107,6 +117,35 @@ class _Pending:
 #: Evaluations batch per (plan, engine, budget) — instances in one
 #: ``evaluate_batch`` call must agree on everything but their data.
 _BatchKey = Tuple[str, str, Optional[int]]
+
+
+#: HELP text for the obs registry metrics most relevant to scrapes; other
+#: instruments fall back to a generic line.
+_METRIC_HELP: Dict[str, str] = {
+    "serve.compile.calls": "Plans compiled (one per canonical query shape)",
+    "serve.compile.coalesced": "Requests folded into an in-flight compile",
+    "serve.plan_cache.hits": "Compiled-plan LRU hits",
+    "serve.plan_cache.misses": "Compiled-plan LRU misses",
+    "serve.batch.calls": "evaluate_batch invocations",
+    "serve.batch.size": "Instances folded per evaluate_batch call",
+    "serve.rejected": "Requests rejected by admission control",
+    "serve.errors": "Error envelopes returned, by code",
+    "serve.stage.ms": "Per-stage serve latency, milliseconds",
+    "serve.tenant.requests": "Requests per tenant",
+}
+
+#: /v1/stats counters exposed as ``repro_server_*_total`` families.
+_SERVER_COUNTER_HELP: Dict[str, str] = {
+    "requests": "Requests dispatched (all endpoints)",
+    "errors": "Error envelopes returned",
+    "unexpected_errors": "Non-ServeError exceptions caught by the catch-all",
+    "compiles": "Plans compiled",
+    "coalesced_compiles": "Requests folded into an in-flight compile",
+    "batch_calls": "evaluate_batch invocations",
+    "batch_instances": "Instances evaluated across all batches",
+    "rejected_overload": "Requests rejected with 429 overloaded",
+    "rejected_budget": "Requests rejected with 503 over_budget",
+}
 
 
 class QueryServer:
@@ -141,12 +180,37 @@ class QueryServer:
         self._lock = threading.Lock()
         # Server-side counters that work with obs off; /v1/stats reads them.
         self.stats: Dict[str, Any] = {
-            "requests": 0, "errors": 0,
+            "requests": 0, "errors": 0, "unexpected_errors": 0,
             "compiles": 0, "coalesced_compiles": 0,
             "batch_calls": 0, "batch_instances": 0, "max_batch": 0,
             "rejected_overload": 0, "rejected_budget": 0,
             "tenants": {},
         }
+        #: rolling SLO window over POST endpoints (latency + error rate);
+        #: always on — it is a fixed-size ring, obs-independent.
+        self.slo = rt.RollingWindow(window=config.slo_window)
+        self._log: Optional[rt.JsonLinesLog] = None
+        if config.access_log is not None:
+            self._log = rt.JsonLinesLog(config.access_log)
+        self._slow_fallback: Optional[rt.JsonLinesLog] = None
+
+    # -- structured logs ---------------------------------------------------
+
+    def set_access_log(self, target: Union[None, str, IO[str]]) -> None:
+        """Swap the access-log sink at runtime (rotation, bench toggling)."""
+        old, self._log = self._log, (
+            rt.JsonLinesLog(target) if target is not None else None)
+        if old is not None:
+            old.close()
+
+    def _slow_sink(self) -> rt.JsonLinesLog:
+        """Slow records share the access-log sink; stderr when none is set
+        (``--slow-ms`` without ``--log``)."""
+        if self._log is not None:
+            return self._log
+        if self._slow_fallback is None:
+            self._slow_fallback = rt.JsonLinesLog("-")
+        return self._slow_fallback
 
     # -- counters ---------------------------------------------------------
 
@@ -156,6 +220,15 @@ class QueryServer:
             self.stats[name] = self.stats.get(name, 0) + n
         if metric and obs.STATE.on:
             obs.metrics.counter(metric).inc(n)
+
+    def _count_error(self, code: str, unexpected: bool = False) -> None:
+        """Every error envelope is counted; unexpected exceptions (the
+        catch-all path) additionally bump ``unexpected_errors``."""
+        self._count("errors")
+        if unexpected:
+            self._count("unexpected_errors")
+        if obs.STATE.on:
+            obs.metrics.counter("serve.errors").inc(code=code)
 
     def _count_tenant(self, tenant: str) -> None:
         with self._lock:
@@ -308,8 +381,12 @@ class QueryServer:
         self._count("compiles", metric="serve.compile.calls")
         start = time.perf_counter()
         try:
+            # copy_context: run_in_executor does not propagate contextvars,
+            # so without this the compile span would start a fresh trace
+            # instead of joining the requesting client's.
+            ctx = contextvars.copy_context()
             cq = await loop.run_in_executor(
-                self._executor, self._compile_plan, sig)
+                self._executor, lambda: ctx.run(self._compile_plan, sig))
         except Exception as exc:
             err = exc if isinstance(exc, ServeError) else ServeError(
                 "compile_error", f"planning failed: {exc}",
@@ -366,10 +443,19 @@ class QueryServer:
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
         try:
-            answers = await loop.run_in_executor(
-                self._executor,
-                lambda: cq.evaluate_batch([p.env for p in batch],
-                                          engine=engine, mem_budget=budget))
+            # The flush task inherits the *triggering* request's context
+            # (call_later captured it), so the batch/evaluate spans join
+            # that request's trace; copy_context forwards it across the
+            # executor hop, where run_in_executor would otherwise drop it.
+            with obs.span("serve.batch", plan=key[0], engine=engine,
+                          batch=size):
+                ctx = contextvars.copy_context()
+                answers = await loop.run_in_executor(
+                    self._executor,
+                    lambda: ctx.run(
+                        lambda: cq.evaluate_batch([p.env for p in batch],
+                                                  engine=engine,
+                                                  mem_budget=budget)))
         except MemoryBudgetExceeded as exc:
             self._count("rejected_budget", size, metric="serve.rejected")
             err = ServeError(
@@ -398,9 +484,13 @@ class QueryServer:
     # -- endpoints ---------------------------------------------------------
 
     async def _handle_evaluate(self, body: Mapping[str, Any],
-                               want_answers: bool = True) -> Dict[str, Any]:
+                               want_answers: bool = True,
+                               info: Optional[Dict[str, Any]] = None
+                               ) -> Dict[str, Any]:
+        info = info if info is not None else {}
         t0 = time.perf_counter()
         req = EvaluateRequest.from_wire(body)
+        info["tenant"] = req.tenant
         self._count_tenant(req.tenant)
         if req.engine not in ENGINES:
             raise ServeError(
@@ -412,13 +502,17 @@ class QueryServer:
         db = self._resolve_db(req)
         dc = self._resolve_dc(req, query, db)
         sig = plan_signature(query, dc)
+        info["plan_key"] = sig.key
 
         cq, cache_status, compile_ms = await self._get_plan(sig)
         timings = Timings(compile_ms=compile_ms)
         bound = int(cq.bound)
+        info["cache"] = cache_status
+        info["bound"] = bound
 
         if not want_answers:                       # /v1/compile: warm only
             timings.total_ms = (time.perf_counter() - t0) * 1e3
+            info["timings"] = timings.to_wire()
             return {"schema": SCHEMA, "plan_key": sig.key,
                     "cache": cache_status, "bound": bound,
                     "timings": timings.to_wire()}
@@ -432,6 +526,15 @@ class QueryServer:
         answer = answer.rename(sig.inverse_var_map)
         timings.queue_ms, timings.evaluate_ms = queue_ms, eval_ms
         timings.total_ms = (time.perf_counter() - t0) * 1e3
+        info["batch_size"] = batch_size
+        info["timings"] = timings.to_wire()
+        if req.engine == "vectorized":
+            # Exact predicted engine footprint of this request's batch
+            # (plan already warmed by compile, so this is a cache lookup).
+            try:
+                info["buffer_bytes"] = (cq.buffer_bytes_per_row * batch_size)
+            except Exception:
+                pass  # footprint is advisory; never fail the request for it
         return EvaluateResponse(
             answers=relation_to_wire(answer), bound=bound,
             cache=cache_status, plan_key=sig.key, batch_size=batch_size,
@@ -447,23 +550,102 @@ class QueryServer:
                 "plan_cache": self.plans.snapshot(),
                 "plans": list(self.plans.keys()),
                 "counters": stats,
+                "slo": self.slo.snapshot(),
                 "config": {
                     "plan_cache_capacity": self.config.plan_cache_capacity,
                     "max_queue": self.config.max_queue,
                     "batch_window": self.config.batch_window,
                     "workers": self.config.workers,
                     "datasets": sorted(self.config.datasets),
+                    "slo_window": self.config.slo_window,
+                    "slow_ms": self.config.slow_ms,
                 }}
 
+    # -- Prometheus exposition ---------------------------------------------
+
+    def _render_metrics(self) -> str:
+        """``GET /v1/metrics``: the obs registry (when populated) plus the
+        obs-off server stats, as Prometheus text format 0.0.4.
+
+        Registry instruments render under ``repro_<name>`` (counters get
+        ``_total``); the server's own counters render under
+        ``repro_server_*`` — disjoint namespaces, since registry metric
+        names never start with ``server.``.
+        """
+        builder = rt.render_registry(help_texts=_METRIC_HELP)
+        with self._lock:
+            stats = dict(self.stats)
+            tenants = dict(stats.pop("tenants"))
+        for name, help_text in _SERVER_COUNTER_HELP.items():
+            builder.counter(f"server.{name}", help_text,
+                            [({}, float(stats.get(name, 0)))])
+        builder.gauge("server.max_batch",
+                      "Largest evaluate_batch folded so far",
+                      [({}, float(stats.get("max_batch", 0)))])
+        builder.counter("server.tenant.requests", "Requests per tenant",
+                        [({"tenant": t}, float(n))
+                         for t, n in sorted(tenants.items())] or [({}, 0.0)])
+        cache = self.plans.snapshot()
+        builder.gauge("server.plan_cache.size", "Compiled plans resident",
+                      [({}, float(cache["size"]))])
+        builder.gauge("server.plan_cache.capacity", "Plan-cache LRU capacity",
+                      [({}, float(cache["capacity"]))])
+        builder.counter("server.plan_cache.hits", "Plan-cache hits",
+                        [({}, float(cache["hits"]))])
+        builder.counter("server.plan_cache.misses", "Plan-cache misses",
+                        [({}, float(cache["misses"]))])
+        builder.counter("server.plan_cache.evictions", "Plan-cache evictions",
+                        [({}, float(cache["evictions"]))])
+        builder.gauge("server.active_requests", "Requests in flight",
+                      [({}, float(self._active))])
+        builder.gauge("server.uptime.seconds", "Seconds since server start",
+                      [({}, time.time() - self._started)])
+        slo = self.slo.snapshot()
+        builder.summary(
+            "server.request.latency.ms",
+            f"POST latency over the trailing {self.config.slo_window:g}s",
+            [({}, {"count": slo["count"],
+                   "sum": slo["mean_ms"] * slo["count"],
+                   "p50": slo["p50_ms"], "p95": slo["p95_ms"],
+                   "p99": slo["p99_ms"]})])
+        builder.gauge("server.error.rate",
+                      "5xx fraction over the trailing SLO window",
+                      [({}, slo["error_rate"])])
+        return builder.render()
+
     async def dispatch(self, method: str, path: str,
-                       body: Optional[Mapping[str, Any]] = None
-                       ) -> Tuple[int, Dict[str, Any]]:
-        """Route one request; returns ``(http status, response document)``.
+                       body: Optional[Mapping[str, Any]] = None,
+                       headers: Optional[Mapping[str, str]] = None
+                       ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        """Route one request; returns ``(http status, response document)``
+        — a JSON-able dict, or raw text for ``/v1/metrics``.
 
         This is the whole API surface — the HTTP layer below and any
-        in-process caller go through here, so they can't diverge.
+        in-process caller go through here, so they can't diverge.  Each
+        request runs under a trace context continued from the client's
+        ``traceparent`` header (or freshly minted): the trace_id becomes
+        the ``request_id`` stamped into the response document, the
+        ``serve.request`` span, the SLO window, and the access log.
         """
         self._count("requests")
+        started = time.perf_counter()
+        traceparent = (headers or {}).get(rt.TRACEPARENT_HEADER)
+        info: Dict[str, Any] = {}
+        with rt.continue_trace(traceparent) as request_id:
+            with obs.span("serve.request", method=method, path=path) as root:
+                status, doc = await self._route(method, path, body, info)
+                root.set(status=status, request_id=request_id)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if isinstance(doc, dict):
+            doc.setdefault("request_id", request_id)
+        self._finish_request(method, path, status, elapsed_ms,
+                             request_id, info)
+        return status, doc
+
+    async def _route(self, method: str, path: str,
+                     body: Optional[Mapping[str, Any]],
+                     info: Dict[str, Any]
+                     ) -> Tuple[int, Union[Dict[str, Any], str]]:
         try:
             if path == "/v1/healthz":
                 if method != "GET":
@@ -476,6 +658,11 @@ class QueryServer:
                     raise ServeError("method_not_allowed",
                                      f"{path} is GET-only")
                 return 200, self._handle_stats()
+            if path == "/v1/metrics":
+                if method != "GET":
+                    raise ServeError("method_not_allowed",
+                                     f"{path} is GET-only")
+                return 200, self._render_metrics()
             if path in ("/v1/evaluate", "/v1/compile"):
                 if method != "POST":
                     raise ServeError("method_not_allowed",
@@ -490,20 +677,56 @@ class QueryServer:
                 self._active += 1
                 try:
                     doc = await self._handle_evaluate(
-                        body or {}, want_answers=(path == "/v1/evaluate"))
+                        body or {}, want_answers=(path == "/v1/evaluate"),
+                        info=info)
                     return 200, doc
                 finally:
                     self._active -= 1
             raise ServeError("not_found", f"no endpoint {path!r}",
                              {"endpoints": ["/v1/evaluate", "/v1/compile",
-                                            "/v1/healthz", "/v1/stats"]})
+                                            "/v1/healthz", "/v1/stats",
+                                            "/v1/metrics"]})
         except ServeError as err:
-            self._count("errors")
+            self._count_error(err.code)
+            info["error"] = err.code
             return err.status, err.to_wire()
         except Exception as exc:  # defense: never leak a traceback as 500 html
-            self._count("errors")
+            self._count_error("internal", unexpected=True)
+            info["error"] = "internal"
+            info["exception"] = f"{type(exc).__name__}: {exc}"
             err = ServeError("internal", f"{type(exc).__name__}: {exc}")
             return err.status, err.to_wire()
+
+    def _finish_request(self, method: str, path: str, status: int,
+                        elapsed_ms: float, request_id: str,
+                        info: Dict[str, Any]) -> None:
+        """Post-dispatch bookkeeping: SLO window, access log, slow log."""
+        is_work = path in ("/v1/evaluate", "/v1/compile") and method == "POST"
+        if is_work:
+            self.slo.record(elapsed_ms, error=status >= 500)
+        record: Optional[Dict[str, Any]] = None
+
+        def build(kind: str) -> Dict[str, Any]:
+            rec = {"kind": kind, "ts": round(time.time(), 6),
+                   "request_id": request_id, "method": method, "path": path,
+                   "status": status, "ms": round(elapsed_ms, 3)}
+            for field_name in ("tenant", "plan_key", "cache", "bound",
+                               "batch_size", "timings", "buffer_bytes",
+                               "error", "exception"):
+                value = info.get(field_name)
+                if value is not None:
+                    rec[field_name] = value
+            return rec
+
+        if self._log is not None:
+            record = build("access")
+            self._log.write(record)
+        slow_ms = self.config.slow_ms
+        if slow_ms is not None and is_work and elapsed_ms >= slow_ms:
+            slow = dict(record) if record is not None else build("access")
+            slow["kind"] = "slow"
+            slow["slow_ms"] = slow_ms
+            self._slow_sink().write(slow)
 
     # -- the HTTP/1.1 layer ------------------------------------------------
 
@@ -516,7 +739,7 @@ class QueryServer:
                     break
                 method, path, headers, body_bytes = request
                 status, doc = await self._parse_and_dispatch(
-                    method, path, body_bytes)
+                    method, path, headers, body_bytes)
                 keep = headers.get("connection", "keep-alive") != "close"
                 await self._write_response(writer, status, doc, keep)
                 if not keep:
@@ -557,34 +780,48 @@ class QueryServer:
         return (method, target.split("?", 1)[0], headers, body)
 
     async def _parse_and_dispatch(self, method: str, path: str,
+                                  headers: Mapping[str, str],
                                   body_bytes: bytes
-                                  ) -> Tuple[int, Dict[str, Any]]:
+                                  ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        def early(err: ServeError) -> Tuple[int, Dict[str, Any]]:
+            # Framing-level failures never reach dispatch(); stamp a
+            # request_id here so even these envelopes are attributable.
+            parsed = rt.parse_traceparent(headers.get(rt.TRACEPARENT_HEADER))
+            err.request_id = parsed[0] if parsed else rt.new_trace_id()
+            self._count_error(err.code)
+            return err.status, err.to_wire()
+
         if path == "/__too_large__":
-            err = ServeError("payload_too_large",
-                             f"body exceeds {self.config.max_body} bytes")
-            return err.status, err.to_wire()
+            return early(ServeError(
+                "payload_too_large",
+                f"body exceeds {self.config.max_body} bytes"))
         if path == "/__malformed__":
-            err = ServeError("bad_request", "malformed request line")
-            return err.status, err.to_wire()
+            return early(ServeError("bad_request", "malformed request line"))
         body: Optional[Mapping[str, Any]] = None
         if body_bytes:
             try:
                 body = json.loads(body_bytes)
             except ValueError:
-                err = ServeError("bad_request", "request body is not JSON")
-                return err.status, err.to_wire()
-        return await self.dispatch(method, path, body)
+                return early(ServeError("bad_request",
+                                        "request body is not JSON"))
+        return await self.dispatch(method, path, body, headers)
 
     @staticmethod
     async def _write_response(writer: "asyncio.StreamWriter", status: int,
-                              doc: Mapping[str, Any], keep: bool) -> None:
-        payload = json.dumps(doc).encode()
+                              doc: Union[Mapping[str, Any], str],
+                              keep: bool) -> None:
+        if isinstance(doc, str):                   # /v1/metrics exposition
+            payload = doc.encode("utf-8")
+            ctype = rt.CONTENT_TYPE
+        else:
+            payload = json.dumps(doc).encode()
+            ctype = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 413: "Payload Too Large",
                   429: "Too Many Requests", 500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "Error")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 f"Connection: {'keep-alive' if keep else 'close'}\r\n"
                 f"\r\n").encode("latin-1")
@@ -609,6 +846,10 @@ class QueryServer:
 
     def close(self) -> None:
         self._executor.shutdown(wait=False)
+        if self._log is not None:
+            self._log.close()
+        if self._slow_fallback is not None:
+            self._slow_fallback.close()
 
     @property
     def url(self) -> str:

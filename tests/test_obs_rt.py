@@ -1,0 +1,478 @@
+"""Tests for :mod:`repro.obs.rt` — trace propagation, Prometheus text
+exposition, JSONL logs, and rolling SLO windows — plus the contextvars
+span-stack semantics in :mod:`repro.obs.trace` they build on."""
+
+import asyncio
+import io
+import json
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import rt
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER, remote_context
+
+
+@pytest.fixture()
+def obs_session():
+    """Observability on, counters clean, restored afterwards."""
+    was_on = obs.enabled()
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.reset()
+    if not was_on:
+        obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# trace identity + contextvars isolation
+# ---------------------------------------------------------------------------
+
+class TestTraceIds:
+    def test_id_shapes(self):
+        tid, sid = rt.new_trace_id(), rt.new_span_id()
+        assert len(tid) == 32 and int(tid, 16) >= 0
+        assert len(sid) == 16 and int(sid, 16) >= 0
+        assert rt.new_trace_id() != tid
+
+    def test_spans_carry_ids(self, obs_session):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert len(outer.trace_id) == 32
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == ""
+        assert inner.span_id != outer.span_id
+
+    def test_sibling_traces_are_distinct(self, obs_session):
+        with obs.span("a") as a:
+            pass
+        with obs.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+
+class TestContextIsolation:
+    """The regression the contextvars stack fixes: a ``threading.local``
+    stack parents one request's spans under another's whenever asyncio
+    switches tasks between ``begin`` and ``end``."""
+
+    def test_interleaved_coroutines_stay_isolated(self, obs_session):
+        spans = {}
+
+        async def request(name):
+            with obs.span(f"req.{name}") as root:
+                await asyncio.sleep(0)          # force an interleave point
+                with obs.span(f"work.{name}"):
+                    await asyncio.sleep(0)      # ...and another mid-child
+                await asyncio.sleep(0)
+            spans[name] = root
+
+        async def main():
+            await asyncio.gather(request("a"), request("b"), request("c"))
+
+        asyncio.run(main())
+        roots = list(TRACER.roots)
+        assert sorted(s.name for s in roots) == ["req.a", "req.b", "req.c"]
+        assert len({s.trace_id for s in roots}) == 3
+        for name in ("a", "b", "c"):
+            root = spans[name]
+            assert [c.name for c in root.children] == [f"work.{name}"]
+            child = root.children[0]
+            assert child.trace_id == root.trace_id
+            assert child.parent_id == root.span_id
+
+    def test_threads_stay_isolated(self, obs_session):
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with obs.span(f"thread.{name}"):
+                barrier.wait(timeout=5)         # both spans open at once
+                with obs.span(f"child.{name}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in ("x", "y")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        roots = {s.name: s for s in TRACER.roots}
+        assert set(roots) == {"thread.x", "thread.y"}
+        assert roots["thread.x"].trace_id != roots["thread.y"].trace_id
+        for n in ("x", "y"):
+            assert [c.name for c in roots[f"thread.{n}"].children] == \
+                [f"child.{n}"]
+
+
+# ---------------------------------------------------------------------------
+# traceparent propagation
+# ---------------------------------------------------------------------------
+
+class TestTraceparent:
+    def test_format_and_parse_roundtrip(self):
+        tid, sid = rt.new_trace_id(), rt.new_span_id()
+        header = rt.format_traceparent(tid, sid)
+        assert header == f"00-{tid}-{sid}-01"
+        assert rt.parse_traceparent(header) == (tid, sid)
+        assert rt.parse_traceparent(f"  {header}  ") == (tid, sid)
+
+    def test_parse_rejects_garbage(self):
+        tid, sid = "ab" * 16, "cd" * 8
+        for bad in (None, "", "nonsense", f"00-{tid}-{sid}",
+                    f"00-{tid.upper()}-{sid}-01",       # uppercase hex
+                    f"ff-{tid}-{sid}-01",               # forbidden version
+                    f"00-{'0' * 32}-{sid}-01",          # all-zero trace
+                    f"00-{tid}-{'0' * 16}-01",          # all-zero span
+                    f"00-{tid[:-2]}-{sid}-01",          # short trace id
+                    f"00-{tid}-{sid}-01-extra"):
+            assert rt.parse_traceparent(bad) is None, bad
+
+    def test_continue_trace_adopts_the_header(self, obs_session):
+        tid, sid = rt.new_trace_id(), rt.new_span_id()
+        with rt.continue_trace(rt.format_traceparent(tid, sid)) as rid:
+            assert rid == tid
+            assert remote_context() == (tid, sid)
+            with obs.span("server.side") as sp:
+                pass
+        assert remote_context() is None
+        assert sp.trace_id == tid and sp.parent_id == sid
+
+    def test_continue_trace_mints_when_header_is_bad(self, obs_session):
+        for header in (None, "garbage"):
+            with rt.continue_trace(header) as rid:
+                assert len(rid) == 32
+                with obs.span("s") as sp:
+                    pass
+            assert sp.trace_id == rid
+
+    def test_continue_trace_works_with_obs_off(self):
+        was_on = obs.enabled()
+        obs.disable()
+        try:
+            with rt.continue_trace(None) as rid:
+                assert len(rid) == 32
+        finally:
+            if was_on:
+                obs.enable()
+
+    def test_current_traceparent(self, obs_session):
+        assert rt.current_traceparent() is None
+        with obs.span("x") as sp:
+            header = rt.current_traceparent()
+            assert header == rt.format_traceparent(sp.trace_id, sp.span_id)
+
+    def test_request_spans_and_tree(self, obs_session):
+        tid, sid = rt.new_trace_id(), rt.new_span_id()
+        with rt.continue_trace(rt.format_traceparent(tid, sid)):
+            with obs.span("joined"):
+                with obs.span("child"):
+                    pass
+        with obs.span("unrelated"):
+            pass
+        spans = rt.request_spans(tid)
+        assert [s.name for s in spans] == ["joined"]
+        tree = rt.request_tree(tid)
+        assert len(tree) == 1
+        node = tree[0]
+        assert node["trace_id"] == tid and node["parent_id"] == sid
+        assert node["children"][0]["parent_id"] == node["span_id"]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+class TestSanitization:
+    def test_metric_names(self):
+        assert rt.sanitize_metric_name("serve.batch.size") == \
+            "serve_batch_size"
+        assert rt.sanitize_metric_name("9lives") == "_9lives"
+        assert rt.sanitize_metric_name("a:b") == "a:b"       # colons legal
+        assert rt.sanitize_metric_name("sp ace-dash") == "sp_ace_dash"
+        assert rt.sanitize_metric_name("") == "_"
+
+    def test_label_names(self):
+        assert rt.sanitize_label_name("a:b") == "a_b"        # no colons
+        assert rt.sanitize_label_name("0x") == "_0x"
+        assert rt.sanitize_label_name("__meta") == "_meta"   # reserved prefix
+
+    def test_label_value_escaping(self):
+        assert rt.escape_label_value('say "hi"\n') == r'say \"hi\"\n'
+        assert rt.escape_label_value("back\\slash") == "back\\\\slash"
+
+    def test_format_value(self):
+        assert rt.format_value(3.0) == "3"
+        assert rt.format_value(0.25) == "0.25"
+        assert rt.format_value(float("nan")) == "NaN"
+        assert rt.format_value(float("inf")) == "+Inf"
+        assert rt.format_value(float("-inf")) == "-Inf"
+
+
+class TestExpositionBuilder:
+    def test_counter_gets_total_suffix(self):
+        b = rt.ExpositionBuilder()
+        b.counter("serve.requests", "Requests", [({}, 5)])
+        text = b.render()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 5" in text
+
+    def test_duplicate_family_rejected(self):
+        b = rt.ExpositionBuilder()
+        b.gauge("x", "one", [({}, 1)])
+        with pytest.raises(ValueError, match="duplicate"):
+            b.gauge("x", "two", [({}, 2)])
+
+    def test_hostile_labels_roundtrip_through_the_parser(self):
+        b = rt.ExpositionBuilder()
+        value = 'quo"te\nand\\slash'
+        b.counter("errs", "Errors", [({"msg": value, "code": "x"}, 2)])
+        families = rt.parse_exposition(b.render())
+        (_, labels, sampled), = families["repro_errs_total"]["samples"]
+        assert labels == {"msg": value, "code": "x"}
+        assert sampled == 2
+
+    def test_empty_summary_renders_nan_quantiles(self):
+        b = rt.ExpositionBuilder()
+        b.summary("lat.ms", "Latency", [({}, {"count": 0})])
+        families = rt.parse_exposition(b.render())
+        fam = families["repro_lat_ms"]
+        assert fam["type"] == "summary"
+        by_name = {}
+        for name, labels, value in fam["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        assert [v for _, v in by_name["repro_lat_ms_count"]] == [0]
+        quantiles = {labels["quantile"] for labels, _ in
+                     by_name["repro_lat_ms"]}
+        assert quantiles == {"0.5", "0.95", "0.99"}
+        assert all(math.isnan(v) for _, v in by_name["repro_lat_ms"])
+
+    def test_populated_summary(self):
+        b = rt.ExpositionBuilder()
+        b.summary("lat.ms", "Latency",
+                  [({"route": "a"}, {"count": 4, "sum": 10.0, "p50": 2.0,
+                                     "p95": 4.0, "p99": 4.0})])
+        families = rt.parse_exposition(b.render())
+        samples = families["repro_lat_ms"]["samples"]
+        cells = {(n, labels.get("quantile")): v for n, labels, v in samples}
+        assert cells[("repro_lat_ms", "0.5")] == 2.0
+        assert cells[("repro_lat_ms_sum", None)] == 10.0
+        assert cells[("repro_lat_ms_count", None)] == 4
+
+
+class TestRenderRegistry:
+    def test_full_registry_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3, route="/a")
+        reg.counter("hits").inc(1, route="/b")
+        reg.gauge("depth").set(7)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.histogram("stage.ms").observe(v, stage="compile")
+        reg.histogram("empty.ms")                # created, never observed
+        reg.counter("cold")                      # likewise
+
+        text = rt.render_registry(registry=reg,
+                                  help_texts={"hits": "Cache hits"}).render()
+        families = rt.parse_exposition(text)
+
+        hits = families["repro_hits_total"]
+        assert hits["help"] == "Cache hits"
+        assert {labels["route"]: v for _, labels, v in hits["samples"]} == \
+            {"/a": 3, "/b": 1}
+        assert families["repro_depth"]["samples"][0][2] == 7
+
+        stage = families["repro_stage_ms"]
+        assert stage["type"] == "summary"
+        cells = {(n, labels.get("quantile")): v
+                 for n, labels, v in stage["samples"]}
+        assert cells[("repro_stage_ms_count", None)] == 4
+        assert cells[("repro_stage_ms_sum", None)] == 10.0
+        assert cells[("repro_stage_ms", "0.5")] == 2.0
+
+        # Never-touched instruments still emit stable families.
+        assert families["repro_cold_total"]["samples"][0][2] == 0
+        empty = families["repro_empty_ms"]["samples"]
+        assert any(n.endswith("_count") and v == 0 for n, _, v in empty)
+
+
+class TestExpositionLint:
+    def test_accepts_a_well_formed_document(self):
+        text = ('# HELP m_total Things\n'
+                '# TYPE m_total counter\n'
+                'm_total{code="a"} 1\n'
+                'm_total{code="b"} 2.5\n')
+        families = rt.parse_exposition(text)
+        assert len(families["m_total"]["samples"]) == 2
+
+    @pytest.mark.parametrize("bad,why", [
+        ("orphan 1\n", "no TYPE family"),
+        ("# TYPE m counter\nm 1\nm 2\n", "duplicate series"),
+        ("# TYPE m counter\nm{a=1} 1\n", "malformed labels"),
+        ('# TYPE m counter\nm{a="1",} 1\n', "malformed labels"),
+        ("# TYPE m counter\nm 1\n# TYPE m counter\n", "duplicate TYPE"),
+        ("# TYPE m widget\nm 1\n", "invalid type"),
+        ("# HELP m only help\n", "HELP but no TYPE"),
+        ("# TYPE m counter\nm_sum 1\n", "component sample"),
+        ('# TYPE m gauge\nm{quantile="0.5"} 1\n', "quantile label"),
+        ("# TYPE m counter\nm notanumber\n", "unparseable"),
+        ("# TYPE m counter\n m 1\n", "stray whitespace"),
+        ("#HELP m x\n", "malformed comment"),
+    ])
+    def test_rejects_violations(self, bad, why):
+        with pytest.raises(ValueError):
+            rt.parse_exposition(bad)
+
+    def test_summary_components_and_special_values_accepted(self):
+        text = ('# TYPE s summary\n'
+                's{quantile="0.5"} NaN\n'
+                's{quantile="0.99"} +Inf\n'
+                's_sum 1e3\n'
+                's_count 12\n')
+        fam = rt.parse_exposition(text)["s"]
+        values = [v for _, _, v in fam["samples"]]
+        assert math.isnan(values[0]) and math.isinf(values[1])
+        assert values[2:] == [1000.0, 12.0]
+
+
+# ---------------------------------------------------------------------------
+# structured logs
+# ---------------------------------------------------------------------------
+
+class TestJsonLinesLog:
+    def test_stream_target(self):
+        buf = io.StringIO()
+        log = rt.JsonLinesLog(buf)
+        log.write({"b": 1, "a": "x"})
+        log.write({"n": 2})
+        lines = buf.getvalue().splitlines()
+        assert json.loads(lines[0]) == {"a": "x", "b": 1}
+        assert lines[0] == '{"a":"x","b":1}'     # compact, sorted keys
+        assert json.loads(lines[1]) == {"n": 2}
+        log.close()                              # must not close a borrowed fh
+        buf.write("still open")
+
+    def test_path_target_appends(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with rt.JsonLinesLog(str(path)) as log:
+            log.write({"seq": 1})
+        with rt.JsonLinesLog(str(path)) as log:
+            log.write({"seq": 2})
+        records = [json.loads(l) for l in
+                   path.read_text().splitlines()]
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_dash_means_stderr(self, capsys):
+        rt.JsonLinesLog("-").write({"k": "v"})
+        assert json.loads(capsys.readouterr().err) == {"k": "v"}
+
+    def test_non_serializable_values_fall_back_to_str(self):
+        buf = io.StringIO()
+        rt.JsonLinesLog(buf).write({"obj": object()})
+        assert "object object" in json.loads(buf.getvalue())["obj"]
+
+    def test_concurrent_writers_produce_whole_lines(self):
+        buf = io.StringIO()
+        log = rt.JsonLinesLog(buf)
+
+        def worker(i):
+            for j in range(50):
+                log.write({"w": i, "j": j})
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 200
+        assert all(set(json.loads(l)) == {"w", "j"} for l in lines)
+
+
+# ---------------------------------------------------------------------------
+# rolling SLO windows
+# ---------------------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestRollingWindow:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            rt.RollingWindow(window=0)
+        with pytest.raises(ValueError):
+            rt.RollingWindow(buckets=0)
+
+    def test_empty_snapshot_is_zeros(self):
+        snap = rt.RollingWindow(window=10, clock=_FakeClock()).snapshot()
+        assert snap["count"] == 0 and snap["errors"] == 0
+        assert snap["error_rate"] == 0.0 and snap["p99_ms"] == 0.0
+        assert snap["window_s"] == 10.0
+
+    def test_percentiles_and_mean(self):
+        clock = _FakeClock()
+        win = rt.RollingWindow(window=10, buckets=5, clock=clock)
+        for ms in range(1, 101):
+            win.record(float(ms))
+        snap = win.snapshot()
+        assert snap["count"] == 100
+        assert snap["mean_ms"] == pytest.approx(50.5)
+        assert snap["p50_ms"] == 50.0
+        assert snap["p95_ms"] == 95.0
+        assert snap["p99_ms"] == 99.0
+
+    def test_error_rate(self):
+        win = rt.RollingWindow(window=10, clock=_FakeClock())
+        win.record(5.0, error=True)
+        win.record(5.0, error=True)
+        win.record(5.0)
+        win.record(5.0)
+        snap = win.snapshot()
+        assert snap["errors"] == 2 and snap["error_rate"] == 0.5
+
+    def test_old_buckets_expire(self):
+        clock = _FakeClock(100.0)
+        win = rt.RollingWindow(window=10, buckets=5, clock=clock)
+        win.record(42.0)
+        clock.t = 105.0
+        win.record(7.0)
+        assert win.snapshot()["count"] == 2     # both inside the window
+        clock.t = 112.0                          # first bucket now too old
+        snap = win.snapshot()
+        assert snap["count"] == 1 and snap["p50_ms"] == 7.0
+        clock.t = 200.0
+        assert win.snapshot()["count"] == 0
+
+    def test_reservoir_caps_memory(self):
+        clock = _FakeClock()
+        win = rt.RollingWindow(window=10, buckets=1, clock=clock)
+        for i in range(rt.WINDOW_RESERVOIR + 500):
+            win.record(float(i))
+        snap = win.snapshot()
+        assert snap["count"] == rt.WINDOW_RESERVOIR + 500
+        bucket, = win._buckets.values()
+        assert len(bucket.samples) == rt.WINDOW_RESERVOIR
+
+    def test_concurrent_records(self):
+        win = rt.RollingWindow(window=60)
+
+        def worker():
+            for _ in range(200):
+                win.record(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert win.snapshot()["count"] == 800

@@ -6,6 +6,7 @@ the coalescing test boots its own server on a *fresh* plan key so the
 compile counter starts at zero.
 """
 
+import io
 import json
 import threading
 
@@ -13,6 +14,7 @@ import pytest
 
 import repro
 from repro import obs
+from repro.obs import rt
 from repro.cq import DCSet, Relation, cardinality, parse_query
 from repro.datagen import random_database, triangle_query
 from repro.serve import (
@@ -389,6 +391,172 @@ class TestCoalescing:
         sizes = obs.metrics.histogram("serve.batch.size")
         assert sizes.total_count == stats["batch_calls"]
         assert max(r.batch_size for r in results) == stats["max_batch"]
+
+
+# ---------------------------------------------------------------------------
+# observability: joined traces, request ids, /v1/metrics, logs, SLO
+# ---------------------------------------------------------------------------
+
+class TestObservability:
+    def test_end_to_end_joined_trace(self, obs_session, dataset):
+        """Acceptance: one trace_id joins the client span, the server's
+        compile/batch/evaluate spans, the response's ``request_id``, and
+        the access-log line for that request."""
+        _, db, _ = dataset
+        buf = io.StringIO()
+        with start_in_thread(batch_window=0.002, access_log=buf,
+                             slow_ms=0.0) as handle:
+            with Client(handle.url, tenant="traced") as c:
+                response = c.evaluate_full(TRIANGLE, db=db, n=N)
+                rid = c.last_request_id
+        assert len(rid) == 32
+        assert response.request_id == rid
+
+        roots = rt.request_spans(rid)
+        names = {s.name for s in roots}
+        assert names == {"client.request", "serve.request"}
+        client_root = next(s for s in roots if s.name == "client.request")
+        server_root = next(s for s in roots if s.name == "serve.request")
+        # The server root continues the client span's context.
+        assert server_root.parent_id == client_root.span_id
+        assert client_root.attrs["request_id"] == rid
+        assert all(s.trace_id == rid for s in server_root.walk())
+        descendants = {s.name for s in server_root.walk()}
+        assert {"serve.compile", "serve.batch",
+                "pipeline.evaluate"} <= descendants
+
+        tree = rt.request_tree(rid)
+        assert {node["name"] for node in tree} == names
+        assert all(node["trace_id"] == rid for node in tree)
+
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        access = [r for r in records
+                  if r["kind"] == "access" and r["path"] == "/v1/evaluate"]
+        assert len(access) == 1
+        rec = access[0]
+        assert rec["request_id"] == rid
+        assert rec["status"] == 200 and rec["tenant"] == "traced"
+        assert rec["cache"] in ("hit", "miss", "coalesced")
+        assert len(rec["plan_key"]) == 24
+        assert rec["batch_size"] >= 1
+        assert rec["buffer_bytes"] > 0          # vectorized request
+        assert rec["timings"]["total_ms"] > 0
+        # slow_ms=0: the same request also produced a slow record.
+        slow = [r for r in records if r["kind"] == "slow"]
+        assert any(r["request_id"] == rid for r in slow)
+        assert slow[0]["slow_ms"] == 0.0
+
+    def test_metrics_exposition_obs_on(self, obs_session, client, dataset):
+        _, db, _ = dataset
+        client.evaluate(TRIANGLE, db=db, n=N)
+        families = rt.parse_exposition(client.metrics_text())
+        # Registry metrics land under repro_*, server stats counters under
+        # repro_server_* — both present with obs enabled.
+        assert families["repro_server_requests_total"]["type"] == "counter"
+        assert families["repro_server_requests_total"]["samples"][0][2] >= 1
+        assert families["repro_server_request_latency_ms"]["type"] == \
+            "summary"
+        assert families["repro_serve_stage_ms"]["type"] == "summary"
+        tenants = families["repro_serve_tenant_requests_total"]["samples"]
+        assert any(labels.get("tenant") == "tests"
+                   for _, labels, _ in tenants)
+
+    def test_metrics_exposition_obs_off(self, client):
+        was_on = obs.enabled()
+        obs.reset()
+        obs.disable()
+        try:
+            client.healthz()
+            families = rt.parse_exposition(client.metrics_text())
+        finally:
+            obs.reset()
+            if was_on:
+                obs.enable()
+        # No registry instruments, but the server's own families still
+        # render a valid exposition.
+        assert families
+        assert all(name.startswith("repro_server_") for name in families)
+        assert families["repro_server_requests_total"]["samples"][0][2] >= 1
+
+    def test_metrics_content_type(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=10)
+        try:
+            conn.request("GET", "/v1/metrics")
+            response = conn.getresponse()
+            ctype = response.getheader("Content-Type")
+            rt.parse_exposition(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert ctype == rt.CONTENT_TYPE
+
+    def test_error_envelope_carries_request_id(self, client):
+        with pytest.raises(ServeError) as err:
+            client.evaluate("this is not a query((", n=4, db={})
+        assert len(err.value.request_id) == 32
+        assert err.value.request_id == client.last_request_id
+
+    def test_framing_error_echoes_the_traceparent(self, client):
+        import http.client
+
+        tid, sid = rt.new_trace_id(), rt.new_span_id()
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/v1/evaluate", body=b"{not json",
+                         headers={"Content-Type": "application/json",
+                                  rt.TRACEPARENT_HEADER:
+                                      rt.format_traceparent(tid, sid)})
+            doc = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert doc["error"]["code"] == "bad_request"
+        assert doc["request_id"] == tid
+
+    def test_stats_slo_block(self, client, dataset):
+        _, db, _ = dataset
+        client.evaluate(TRIANGLE, db=db, n=N)
+        doc = client.stats()
+        slo = doc["slo"]
+        assert slo["window_s"] == 60.0
+        assert slo["count"] >= 1
+        assert slo["p50_ms"] > 0
+        assert 0.0 <= slo["error_rate"] < 1.0
+        assert doc["config"]["slo_window"] == 60.0
+        assert doc["counters"]["unexpected_errors"] == 0
+
+    def test_set_access_log_swaps_at_runtime(self, server, client):
+        buf = io.StringIO()
+        server.server.set_access_log(buf)
+        try:
+            client.healthz()
+            records = [json.loads(line)
+                       for line in buf.getvalue().splitlines()]
+            assert any(r["path"] == "/v1/healthz" and r["request_id"]
+                       for r in records)
+        finally:
+            server.server.set_access_log(None)
+
+    def test_cli_top_once(self, server, client, dataset, capsys):
+        from repro.cli import main
+
+        _, db, _ = dataset
+        client.evaluate(TRIANGLE, db=db, n=N)    # something to report
+        rc = main(["top", server.url, "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro top" in out and "req/s" in out
+        assert len(out.splitlines()) == 3        # banner + header + one tick
+
+    def test_cli_top_unreachable(self, capsys):
+        from repro.cli import main
+
+        rc = main(["top", "http://127.0.0.1:9", "--once"])
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
