@@ -12,7 +12,10 @@ Claims measured:
 * a MemoryBudget below the batch buffer splits execution into sequential
   chunks with bit-identical outputs (the degrade-gracefully path);
 * with repro.obs disabled, execute_plan's no-op instrumentation path
-  costs < 5% versus a hand-inlined raw loop.
+  costs < 5% versus a hand-inlined raw loop;
+* EXPLAIN ANALYZE (``repro explain --analyze``) — per-level timing,
+  per-opcode-group timing, and observed wire cardinalities — costs < 5%
+  versus plain execution of the same plan.
 
 Results are written machine-readably to the standardized
 ``BENCH_engine.json`` by the shared harness in ``conftest.py`` (one
@@ -224,7 +227,54 @@ def test_e8_obs_noop_overhead(benchmark):
     benchmark(execute_plan, plan, columns)
 
 
-def _timed(fn, *args):
+def test_e8_explain_analyze_overhead(benchmark):
+    """Acceptance bar: EXPLAIN ANALYZE probes cost < 5% vs plain execute.
+
+    The probe is the full default analyze configuration — per-level wall
+    time, per-opcode-group wall time (chained timestamps), and observed
+    wire cardinalities — threaded through ``execute_plan(probe=...)``
+    exactly as ``repro explain --analyze`` runs it.
+    """
+    from repro.obs.profile import build_probe
+
+    lowered, batches = _lowered_and_batches()
+    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered))
+    columns = np.ascontiguousarray(
+        np.asarray(batches, dtype=np.int64).T, dtype=np.int64)
+    probe = build_probe(lowered, plan, time_groups=True)
+
+    obs.disable()
+    try:
+        execute_plan(plan, columns)              # warm both code paths
+        execute_plan(plan, columns, probe=probe)
+        # interleaved min-of-9, same rationale as the no-op overhead bench
+        plain_times, probe_times = [], []
+        for _ in range(9):
+            plain_times.append(_timed(execute_plan, plan, columns))
+            probe_times.append(
+                _timed(execute_plan, plan, columns, probe=probe))
+        t_plain, t_probe = min(plain_times), min(probe_times)
+    finally:
+        obs.enable(memory=True)
+
+    overhead = t_probe / t_plain - 1.0
+    n_wires = len(probe.wire_gids)
+    print_table(
+        f"E8: EXPLAIN ANALYZE overhead (N={N}, batch {BATCH}, "
+        f"{n_wires} wires probed)",
+        ["path", "ms", "overhead"],
+        [("execute_plan", f"{t_plain * 1e3:.2f}", "—"),
+         ("execute_plan + analyze probe", f"{t_probe * 1e3:.2f}",
+          f"{overhead * 100:+.2f}%")])
+    record(benchmark, plain_ms=t_plain * 1e3,
+            probe_ms=t_probe * 1e3, overhead_pct=overhead * 100,
+            wires_probed=n_wires, groups_timed=len(probe.group_acc))
+    assert overhead < 0.05, (
+        f"analyze probes {overhead * 100:.1f}% slower than plain execute")
+    benchmark(execute_plan, plan, columns, None, probe)
+
+
+def _timed(fn, *args, **kwargs):
     t0 = time.perf_counter()
-    fn(*args)
+    fn(*args, **kwargs)
     return time.perf_counter() - t0

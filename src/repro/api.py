@@ -462,6 +462,23 @@ class CompiledQuery:
             return results
 
     # -- introspection ----------------------------------------------------
+    def explain_report(self, db=None, analyze: bool = False,
+                       repeat: int = 1):
+        """The per-level EXPLAIN [ANALYZE] report
+        (:class:`repro.obs.profile.ExplainReport`).
+
+        Static mode (``analyze=False``) needs no data: per-level gate
+        counts, opcode mix, predicted buffer bytes, slot pressure, and
+        each level's share of the Theorem-4 envelope, stamped with a
+        renaming-stable plan fingerprint.  ``analyze=True`` additionally
+        executes the plan on ``db`` (one instance or a list) with timing
+        and wire-cardinality probes — see ``repro explain`` and
+        ``docs/observability.md`` §Explain.
+        """
+        from .obs.profile import explain as _explain
+
+        return _explain(self, db=db, analyze=analyze, repeat=repeat)
+
     def explain(self) -> str:
         """A human-readable summary of every computed stage."""
         lines = [f"query:     {self.query}",

@@ -38,6 +38,10 @@ class LoweredCircuit:
     input_order: List[str]
     output_arrays: List[TupleArray]
     source: RelationalCircuit
+    #: every relational wire's lowered array, keyed by relational gate id —
+    #: the wire-level attribution map ``repro explain`` joins observed
+    #: cardinalities against each wire's :class:`WireBound` capacity.
+    wire_arrays: Dict[int, TupleArray] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -99,6 +103,7 @@ def lower(rel_circuit: RelationalCircuit) -> LoweredCircuit:
             input_order=input_order,
             output_arrays=outputs,
             source=rel_circuit,
+            wire_arrays=arrays,
         )
         if obs.STATE.on:
             sp.set(word_gates=lowered.size, depth=lowered.depth)

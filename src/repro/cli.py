@@ -10,9 +10,15 @@ Commands
                ``--trace out.json`` / ``--metrics`` record the pipeline via
                :mod:`repro.obs`; ``--remote URL`` ships the query to a
                running ``repro serve`` instance instead of compiling locally
+``explain``  — per-level EXPLAIN [ANALYZE] of a compiled plan: gate counts,
+               opcode mix, predicted buffer bytes, Theorem-4 envelope
+               shares, and (with ``--analyze``) measured timings plus
+               observed-vs-DAPB wire cardinalities (:mod:`repro.obs.profile`)
 ``serve``    — start the multi-tenant query server (:mod:`repro.serve`):
                shared plan cache, request coalescing, admission control
 ``trace``    — print the stage-time / metric summary of a saved trace
+               (also accepts serve request-span forests; ``--chrome`` for
+               the viewer format)
 ``bench``    — continuous benchmarking (``run`` the suite into standardized
                ``BENCH_<name>.json`` documents, ``compare`` against stored
                baselines, ``report`` the cross-run trajectory)
@@ -230,6 +236,9 @@ def cmd_run(args) -> int:
                 print(f"{level:>6} | {width:>7} | {groups:>6} | "
                       f"{seconds * 1e3:.3f}")
 
+    if args.explain:
+        report = cq.explain_report(db=db, analyze=True)
+        print("\n" + report.to_text(top=8))
     if args.metrics:
         print("\n" + obs.summary(obs.trace_document()))
     if args.trace:
@@ -296,6 +305,65 @@ def _run_remote(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """``repro explain``: per-level EXPLAIN [ANALYZE] of a compiled plan.
+
+    Static mode (no ``--analyze``) works from the constraints alone; with
+    ``--analyze`` the plan is executed on the data directory with timing
+    and wire-cardinality probes.  ``--json FILE`` writes the
+    ``repro.explain/1`` document (schema-linted first), ``--chrome FILE``
+    a Chrome-loadable level timeline.
+    """
+    import json
+
+    from . import api
+    from .cq import database_from_dir, suggest_constraints
+    from .obs.profile import validate_report
+
+    query = parse_query(args.query)
+    if not query.is_full:
+        print("explain expects a full query (use the library's "
+              "OutputSensitiveFamily for projections)", file=sys.stderr)
+        return 2
+    db = None
+    if args.data:
+        db = database_from_dir(args.data, query)
+    if args.analyze and db is None:
+        print("explain: --analyze needs a data directory", file=sys.stderr)
+        return 2
+    if args.n is not None:
+        dc = DCSet(cardinality(a.varset, args.n) for a in query.atoms)
+        for constraint in args.degree or []:
+            dc.add(constraint)
+    elif db is not None:
+        dc = suggest_constraints(query, db)
+    else:
+        print("explain: pass -n (static mode) or a data directory",
+              file=sys.stderr)
+        return 2
+    cq = api.compile(query, dc=dc, canonical=args.canonical)
+    report = cq.explain_report(db=db, analyze=args.analyze,
+                               repeat=args.repeat)
+    doc = report.to_json()
+    problems = validate_report(doc)
+    if problems:
+        # A report this command cannot lint clean is a bug, not user error.
+        for p in problems:
+            print(f"explain: invalid report: {p}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"report written to {args.json} (schema {doc['schema']})")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump({"traceEvents": report.chrome_events()}, fh, indent=1)
+        print(f"chrome trace written to {args.chrome} "
+              f"(load in chrome://tracing)")
+    print(report.to_text(top=args.top))
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Start the multi-tenant query server (see docs/serving.md)."""
     import asyncio
@@ -347,7 +415,8 @@ def cmd_serve(args) -> int:
     if config.slow_ms is not None:
         print(f"slow-query log threshold: {config.slow_ms:g} ms")
     print("endpoints: POST /v1/evaluate  POST /v1/compile  "
-          "GET /v1/healthz  GET /v1/stats  GET /v1/metrics")
+          "POST /v1/explain  GET /v1/healthz  GET /v1/stats  "
+          "GET /v1/metrics")
     try:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
@@ -404,15 +473,27 @@ def cmd_top(args) -> int:
                           f"uptime {stats.get('uptime_seconds', 0):.0f}s")
                 if printed % 20 == 0:
                     print(header)
-                print(f"{_time.strftime('%H:%M:%S'):>8} {rate:>8.1f} "
-                      f"{stats.get('active_requests', 0):>4} "
-                      f"{slo.get('p50_ms', 0.0):>9.1f} "
-                      f"{slo.get('p95_ms', 0.0):>9.1f} "
-                      f"{slo.get('p99_ms', 0.0):>9.1f} "
-                      f"{slo.get('error_rate', 0.0) * 100:>6.2f} "
-                      f"{cache.get('size', 0):>5} "
-                      f"{cache.get('hit_rate', 0.0) * 100:>6.1f} "
-                      f"{counters.get('max_batch', 0):>4}", flush=True)
+                if not slo.get("count"):
+                    # Nothing completed inside the SLO window yet: render an
+                    # explicit placeholder instead of all-zero percentiles
+                    # (which are indistinguishable from a very fast server).
+                    print(f"{_time.strftime('%H:%M:%S'):>8} {rate:>8.1f} "
+                          f"{stats.get('active_requests', 0):>4} "
+                          f"{'-':>9} {'-':>9} {'-':>9} {'-':>6} "
+                          f"{cache.get('size', 0):>5} "
+                          f"{cache.get('hit_rate', 0.0) * 100:>6.1f} "
+                          f"{counters.get('max_batch', 0):>4}"
+                          "  (no samples in window)", flush=True)
+                else:
+                    print(f"{_time.strftime('%H:%M:%S'):>8} {rate:>8.1f} "
+                          f"{stats.get('active_requests', 0):>4} "
+                          f"{slo.get('p50_ms', 0.0):>9.1f} "
+                          f"{slo.get('p95_ms', 0.0):>9.1f} "
+                          f"{slo.get('p99_ms', 0.0):>9.1f} "
+                          f"{slo.get('error_rate', 0.0) * 100:>6.2f} "
+                          f"{cache.get('size', 0):>5} "
+                          f"{cache.get('hit_rate', 0.0) * 100:>6.1f} "
+                          f"{counters.get('max_batch', 0):>4}", flush=True)
                 printed += 1
                 if ticks is not None and printed >= ticks:
                     return 0
@@ -422,8 +503,19 @@ def cmd_top(args) -> int:
             return 0
 
 
+def _is_span_forest(doc) -> bool:
+    """A bare list of span_tree nodes — the shape ``rt.request_tree``
+    returns for a serve-tier request (durations, no absolute starts)."""
+    return (isinstance(doc, list) and bool(doc)
+            and all(isinstance(n, dict) and "name" in n for n in doc))
+
+
 def cmd_trace(args) -> int:
-    """Summarize a trace JSON produced by ``repro run --trace``."""
+    """Summarize a trace JSON produced by ``repro run --trace``, or a
+    serve-tier request-span forest (``rt.request_tree`` output); ``--chrome
+    FILE`` additionally converts either into a Chrome-loadable trace."""
+    import json
+
     from . import obs
 
     try:
@@ -431,11 +523,23 @@ def cmd_trace(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
         return 2
-    if not isinstance(doc, dict) or (
+    if _is_span_forest(doc):
+        doc = {"spans": doc, "metrics": {}}
+    elif not isinstance(doc, dict) or (
             "spans" not in doc and "metrics" not in doc):
-        print(f"{args.file!r} is not a repro.obs trace document",
-              file=sys.stderr)
+        print(f"{args.file!r} is not a repro.obs trace document "
+              f"or request-span forest", file=sys.stderr)
         return 2
+    if args.chrome:
+        events = doc.get("traceEvents")
+        if not events:
+            # Serialized forests carry no absolute timestamps; the synthetic
+            # sequential layout keeps durations and nesting faithful.
+            events = obs.chrome_events_from_tree(doc.get("spans", []))
+        with open(args.chrome, "w") as fh:
+            json.dump({"traceEvents": events}, fh, indent=1)
+        print(f"chrome trace written to {args.chrome} "
+              f"(load in chrome://tracing)")
     print(obs.summary(doc))
     return 0
 
@@ -741,7 +845,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evaluate on a running `repro serve` instance "
                         "instead of compiling locally (e.g. "
                         "http://127.0.0.1:8765)")
+    p.add_argument("--explain", action="store_true",
+                   help="after the answers, print the per-level EXPLAIN "
+                        "ANALYZE report (see `repro explain`)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "explain",
+        help="per-level EXPLAIN [ANALYZE] of a compiled plan "
+             "(bound-vs-actual attribution)")
+    p.add_argument("query", help="datalog-style query string")
+    p.add_argument("data", nargs="?", default=None,
+                   help="directory of <atom>.csv files "
+                        "(required for --analyze; else optional)")
+    p.add_argument("-n", type=int, default=None,
+                   help="cardinality bound per relation "
+                        "(default: discovered from the data)")
+    p.add_argument("--degree", action="append", type=_parse_degree,
+                   metavar="X->Y:b",
+                   help="degree constraint (repeatable; only with -n)")
+    p.add_argument("--canonical", help="canonical-library key")
+    p.add_argument("--analyze", action="store_true",
+                   help="execute the plan with timing and wire-cardinality "
+                        "probes (EXPLAIN ANALYZE)")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="analyze over N repeated runs (default 1)")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the repro.explain/1 JSON report to FILE")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="write a Chrome-loadable level timeline to FILE")
+    p.add_argument("--top", type=int, default=12, metavar="K",
+                   help="level-table rows to print (0 = all; default 12)")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(
         "serve",
@@ -796,8 +931,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
-        "trace", help="summarize a trace JSON written by `run --trace`")
-    p.add_argument("file", help="trace document produced by `run --trace`")
+        "trace",
+        help="summarize a trace JSON written by `run --trace` or a "
+             "serve request-span forest")
+    p.add_argument("file", help="trace document produced by `run --trace` "
+                                "or rt.request_tree JSON")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="also convert to a Chrome-loadable trace at FILE")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(

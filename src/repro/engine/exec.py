@@ -150,15 +150,22 @@ def _apply(grp: OpGroup, buf: np.ndarray) -> None:
 
 
 def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
-                 stats: Optional[EngineStats] = None) -> EngineRun:
+                 stats: Optional[EngineStats] = None,
+                 probe=None) -> EngineRun:
     """Run a compiled plan on a column matrix of shape ``(n_inputs, batch)``.
 
     Instrumentation is two-tier: an explicit :class:`EngineStats` collects
     per-level timings for this one call, and — when :mod:`repro.obs` is
     enabled — the same numbers (plus per-``(level, opcode)`` group timings)
     flow into the process-wide metrics registry under an
-    ``engine.execute`` span.  With obs disabled and no ``stats``, the loop
-    below is the untimed fast path.
+    ``engine.execute`` span.  With obs disabled, no ``stats``, and no
+    ``probe``, the loop below is the untimed fast path.
+
+    ``probe`` is an EXPLAIN ANALYZE collector
+    (:class:`repro.obs.profile.ProfileProbe`): after each level executes it
+    reads the observed wire cardinalities straight out of the live buffer
+    (values written at level ``L`` are intact until a *later* level reuses
+    their slot) and accumulates per-level / per-opcode-group wall time.
     """
     if columns.ndim != 2 or columns.shape[0] != plan.n_inputs:
         raise ValueError(
@@ -177,7 +184,7 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
     if len(plan.const_slots):
         buf[plan.const_slots] = plan.const_values[:, None]
 
-    if stats is None and not obs_on:
+    if stats is None and probe is None and not obs_on:
         for level in plan.levels:
             for grp in level.groups:
                 _apply(grp, buf)
@@ -198,23 +205,60 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
             rss0 = obs.peak_rss_bytes() if mem_on else 0
         group_hist = m.histogram("engine.group.seconds") if obs_on else None
         level_hist = m.histogram("engine.level.seconds") if obs_on else None
+        perf = time.perf_counter
+        time_groups = probe is not None and probe.time_groups
+        if probe is not None:
+            # The probe's flat protocol (see ProfileProbe): preallocated
+            # accumulators indexed by level / flat group slot, bound to
+            # locals so the hot loop pays list arithmetic, not attribute
+            # lookups or method calls.
+            probe.begin(batch)
+            probe.observe(0, buf)
+            level_acc = probe.level_acc
+            card_by_level = probe.card_by_level
+            gacc = probe.group_acc
+            gbase = probe.group_base
         for level in plan.levels:
-            t0 = time.perf_counter()
+            t0 = perf()
             if group_hist is not None:
+                gi = gbase[level.index] if time_groups else 0
                 for grp in level.groups:
-                    g0 = time.perf_counter()
+                    g0 = perf()
                     _apply(grp, buf)
-                    group_hist.observe(time.perf_counter() - g0,
-                                       level=level.index,
+                    g1 = perf()
+                    group_hist.observe(g1 - g0, level=level.index,
                                        op=OP_NAMES[grp.op])
+                    if time_groups:
+                        gacc[gi] += g1 - g0
+                        gi += 1
+                dt = perf() - t0
+            elif time_groups:
+                # EXPLAIN ANALYZE fast path: chained timestamps — one
+                # perf_counter per group, accumulated straight into the
+                # probe's flat per-group slots.
+                gi = gbase[level.index]
+                g1 = t0
+                for grp in level.groups:
+                    _apply(grp, buf)
+                    g0, g1 = g1, perf()
+                    gacc[gi] += g1 - g0
+                    gi += 1
+                dt = g1 - t0
             else:
                 for grp in level.groups:
                     _apply(grp, buf)
-            dt = time.perf_counter() - t0
+                dt = perf() - t0
             if stats is not None:
                 stats.levels.append(LevelTiming(
                     level=level.index, width=level.width,
                     groups=len(level.groups), seconds=dt))
+            if probe is not None:
+                idx = level.index
+                level_acc[idx] += dt
+                entry = card_by_level.get(idx)
+                if entry is not None:
+                    acc = entry[2]
+                    acc += np.count_nonzero(buf[entry[0]], axis=1)
             if level_hist is not None:
                 level_hist.observe(dt, level=level.index)
         total = time.perf_counter() - t_start
@@ -222,6 +266,8 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
             stats.batch = batch
             stats.total_seconds += total
             stats.runs += 1
+        if probe is not None:
+            probe.total_seconds += total
         if m is not None:
             m.counter("engine.runs").inc()
             m.counter("engine.gates_executed").inc(plan.n_executed)

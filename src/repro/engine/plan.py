@@ -79,6 +79,16 @@ class ExecutionPlan:
     fingerprint: str
     n_live: int = 0               # gates surviving dead-gate elim (incl. L0);
                                   # the slots a no-recycling plan would need
+    #: gid -> slot the gate was *written* to (-1 for dead gates).  Unlike
+    #: ``slot_of`` this is never cleared on recycling: a gate's value sits
+    #: in ``written_slot[gid]`` from the moment its level executes until a
+    #: later level reuses the slot — the window the profiler's cardinality
+    #: probes read (:mod:`repro.obs.profile`).
+    written_slot: Optional[np.ndarray] = None
+    #: slots still pinned after each level's releases (index 0 = after the
+    #: input/constant fill) — the slot-pressure curve ``repro explain``
+    #: renders.  Length ``depth + 1``.
+    live_after: Optional[np.ndarray] = None
 
     @property
     def depth(self) -> int:
@@ -237,6 +247,7 @@ def _compile_plan(circuit: g.Circuit,
                 release[int(last_use[gid])].append(gid)
 
     slot_of = np.full(n, -1, dtype=np.int64)
+    written_slot = np.full(n, -1, dtype=np.int64)
     free: List[int] = []
     n_slots = 0
 
@@ -248,6 +259,7 @@ def _compile_plan(circuit: g.Circuit,
             s = n_slots
             n_slots += 1
         slot_of[gid] = s
+        written_slot[gid] = s
         return s
 
     # Level 0: inputs and constants.
@@ -269,6 +281,7 @@ def _compile_plan(circuit: g.Circuit,
     for gid in release[0] if recycle else ():
         free.append(int(slot_of[gid]))
         slot_of[gid] = -1
+    live_after: List[int] = [n_slots - len(free)]
 
     # Compute levels: allocate destinations, group by opcode, then release.
     plan_levels: List[PlanLevel] = []
@@ -302,6 +315,7 @@ def _compile_plan(circuit: g.Circuit,
             for gid in release[lvl]:
                 free.append(int(slot_of[gid]))
                 slot_of[gid] = -1
+        live_after.append(n_slots - len(free))
 
     return ExecutionPlan(
         n_gates=n,
@@ -317,4 +331,6 @@ def _compile_plan(circuit: g.Circuit,
         outputs=out_key,
         fingerprint=circuit.fingerprint(),
         n_live=int(needed.sum()),
+        written_slot=written_slot,
+        live_after=np.asarray(live_after, dtype=np.int64),
     )

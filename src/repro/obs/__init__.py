@@ -55,11 +55,13 @@ from .conformance import (
     check_compiled,
     check_lowered,
     check_space,
+    envelope_for,
 )
 from .env import bench_seed, fingerprint
 from .export import (
     bench_document,
     chrome_events,
+    chrome_events_from_tree,
     load_trace,
     span_tree,
     summary,
@@ -80,9 +82,21 @@ from .memory import (
     set_default_budget,
 )
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    ExplainReport,
+    LevelProfile,
+    ProfileProbe,
+    WireProfile,
+    build_probe,
+    explain,
+    plan_fingerprint,
+    profile_compiled,
+    validate_report,
+)
 from .regression import CompareReport, MetricDelta, compare, compare_dirs
 from .trace import NOOP_SPAN, STATE, TRACER, Span, Tracer, span
 from . import memory
+from . import profile
 from . import rt
 
 __all__ = [
@@ -91,26 +105,32 @@ __all__ = [
     "CompareReport",
     "ConformanceReport",
     "Counter",
+    "ExplainReport",
     "Gauge",
     "Histogram",
+    "LevelProfile",
     "MEM",
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "MetricDelta",
     "MetricsRegistry",
+    "ProfileProbe",
     "RunSummary",
     "Span",
     "SpaceReport",
+    "WireProfile",
     "STATE",
     "TRACER",
     "Tracer",
     "append_trajectory",
     "bench_document",
     "bench_seed",
+    "build_probe",
     "check_compiled",
     "check_lowered",
     "check_space",
     "chrome_events",
+    "chrome_events_from_tree",
     "clear_hooks",
     "compare",
     "compare_dirs",
@@ -120,6 +140,8 @@ __all__ = [
     "doc_footprint",
     "enable",
     "enabled",
+    "envelope_for",
+    "explain",
     "fingerprint",
     "format_bytes",
     "hook_errors",
@@ -132,6 +154,9 @@ __all__ = [
     "on_span_end",
     "parse_bytes",
     "peak_rss_bytes",
+    "plan_fingerprint",
+    "profile",
+    "profile_compiled",
     "reset",
     "resolve_budget",
     "rt",
@@ -141,6 +166,7 @@ __all__ = [
     "spans",
     "summary",
     "trace_document",
+    "validate_report",
     "write_trace",
 ]
 

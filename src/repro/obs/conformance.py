@@ -229,6 +229,25 @@ def check_lowered(name: str, observed_size: int, observed_depth: int,
     return emit(report)
 
 
+def envelope_for(cq: Any) -> dict:
+    """The Theorem-4 envelope numbers of a compiled query, as one dict:
+    ``N``, the proof budget in tuples, the derived capacity, and the
+    size/depth/space budgets.  This is the denominator set
+    :mod:`repro.obs.profile` apportions per level (each level's
+    ``size_share`` is its width over ``size_budget``)."""
+    n_input = float(cq.dc.total_input_size())
+    budget_tuples = 2.0 ** cq.proof.log_budget
+    capacity = n_input + budget_tuples
+    return {
+        "n_input": n_input,
+        "budget_tuples": budget_tuples,
+        "capacity": capacity,
+        "size_budget": size_budget(n_input, budget_tuples, capacity),
+        "depth_budget": depth_budget(capacity),
+        "space_budget": space_budget(n_input, budget_tuples, capacity),
+    }
+
+
 def check_compiled(cq: Any) -> ConformanceReport:
     """Conformance of a :class:`repro.api.CompiledQuery`'s lowered circuit
     against its own polymatroid bound and proof sequence."""

@@ -74,6 +74,37 @@ def chrome_events(spans: Sequence[Span],
     return events
 
 
+def chrome_events_from_tree(nodes: Sequence[Dict[str, Any]]
+                            ) -> List[Dict[str, Any]]:
+    """Chrome trace events for an already-serialized span forest.
+
+    ``nodes`` is :func:`span_tree` output (e.g. the per-request forests the
+    serve tier returns from ``rt.request_tree``), which carries durations
+    but no absolute start times.  The layout is therefore synthetic: each
+    root opens at t=0 on its own ``tid``, and children are packed
+    sequentially from their parent's start — durations and nesting are
+    faithful, concurrency between siblings is not.
+    """
+    events: List[Dict[str, Any]] = []
+
+    def emit(node: Dict[str, Any], start_us: float, tid: int) -> float:
+        wall_us = float(node.get("wall_ms", 0.0)) * 1e3
+        events.append({"name": node.get("name", "?"), "ph": "B",
+                       "ts": start_us, "pid": 1, "tid": tid,
+                       "args": dict(node.get("attrs") or {})})
+        cursor = start_us
+        for child in node.get("children", ()):
+            cursor += emit(child, cursor, tid)
+        events.append({"name": node.get("name", "?"), "ph": "E",
+                       "ts": start_us + wall_us, "pid": 1, "tid": tid})
+        return wall_us
+
+    for i, root in enumerate(nodes):
+        emit(root, 0.0, tid=i + 1)
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
 def trace_document(tracer: Optional[Tracer] = None,
                    registry: Optional[MetricsRegistry] = None,
                    meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:

@@ -70,6 +70,11 @@ class Counter:
         """Sum across every label set."""
         return sum(self.values.values())
 
+    def reset(self) -> None:
+        """Drop every label set's total (the instrument stays registered)."""
+        with self._lock:
+            self.values.clear()
+
 
 class Gauge:
     """A last-value-wins measurement, per label set."""
@@ -89,6 +94,11 @@ class Gauge:
 
     def value(self, **labels: Any) -> float:
         return self.values.get(_key(labels), 0)
+
+    def reset(self) -> None:
+        """Drop every label set's value (the instrument stays registered)."""
+        with self._lock:
+            self.values.clear()
 
 
 class Histogram:
@@ -158,6 +168,19 @@ class Histogram:
         return {"count": cell[0], "sum": cell[1],
                 "min": cell[2], "max": cell[3],
                 **self.percentiles(**labels)}
+
+    def reset(self) -> None:
+        """Drop all observations *and* reservoir samples, reseeding the
+        replacement RNG so a fresh run is bit-identical to a fresh process.
+
+        Snapshot isolation for repeated ``explain --analyze`` in one
+        process: without this, a second report's percentiles would pool
+        reservoir samples left over from the first run's level timings.
+        """
+        with self._lock:
+            self.values.clear()
+            self.reservoirs.clear()
+            self._rng = random.Random(zlib.crc32(self.name.encode()))
 
     @property
     def total_count(self) -> int:

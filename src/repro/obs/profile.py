@@ -1,0 +1,703 @@
+"""EXPLAIN / EXPLAIN ANALYZE for compiled circuits (``repro explain``).
+
+The conformance gauges compress a whole plan into two scalars (size and
+depth ratio vs the Theorem-4 envelope); this module keeps the per-level
+resolution instead.  Static mode reads everything off the compiled
+artifacts — :class:`~repro.engine.plan.ExecutionPlan` for widths, opcode
+mix, exact buffer bytes and slot pressure, the proof-sequence envelope for
+each level's share of the predicted budget — and stamps the result with a
+plan *fingerprint* that is stable under variable renaming (it hashes the
+:func:`repro.api.plan_signature` key plus the structural level/opcode
+profile, never gate ids or variable names), so plans can be diffed across
+commits.
+
+Analyze mode executes the plan with a :class:`ProfileProbe` threaded into
+:func:`repro.engine.exec.execute_plan`: per-level and per-opcode-group
+``perf_counter`` deltas, plus *observed wire cardinalities* read straight
+out of the live slot buffer.  The probe exploits the liveness invariant of
+the plan compiler — a slot freed at level ``L`` is only reused by gates
+written at levels ``> L`` — so immediately after level ``L`` executes,
+every bus-valid gate written at ``L`` is still sitting in
+``plan.written_slot[gid]`` and one vectorized ``!= 0`` per level counts
+the populated slots of every relational wire.  Observed counts divided by
+the batch give tuples per instance, joined against each wire's
+:class:`~repro.relcircuit.bounds.WireBound` capacity — the
+bound-vs-actual attribution the fused-kernel work ranks levels by.
+
+Report surfaces: ranked text (:meth:`ExplainReport.to_text`), JSON under
+the ``repro.explain/1`` schema (:meth:`ExplainReport.to_json`, linted by
+:func:`validate_report`), and Chrome trace events
+(:meth:`ExplainReport.chrome_events`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..boolcircuit.graph import _NAMES as OP_NAMES
+from .conformance import envelope_for
+
+SCHEMA = "repro.explain/1"
+
+#: Histograms the analyze path resets before each run so repeated
+#: ``explain --analyze`` calls in one process never mix reservoir samples
+#: from earlier reports into the current one.
+ANALYZE_HISTOGRAMS = ("engine.level.seconds", "engine.group.seconds")
+
+
+# ---------------------------------------------------------------------------
+# the probe execute_plan() drives
+# ---------------------------------------------------------------------------
+
+class ProfileProbe:
+    """Per-level timing + observed-cardinality collector for one plan.
+
+    Built once per (lowered circuit, plan) pair; ``execute_plan`` calls
+    ``begin(batch)``, ``observe(level, buf)`` after each level (including
+    the input/constant fill as level 0), and ``add_level`` with wall-time
+    deltas, and accumulates ``total_seconds``.  The per-opcode-group
+    timings use a flat protocol instead of a method call: ``group_acc`` is
+    a preallocated float list with one slot per (level, group-position)
+    pair and ``group_base[level]`` is that level's first slot, so the
+    engine's inner loop pays one ``perf_counter`` and one list ``+=`` per
+    group.  ``observe`` is one fancy gather + ``count_nonzero`` into a
+    per-level accumulator; the fold from slots to wires happens once at
+    report time.  Together these keep EXPLAIN ANALYZE under the 5%
+    overhead budget gated in ``bench_engine``.
+    """
+
+    def __init__(self, lowered, plan, time_groups: bool = True):
+        self.plan = plan
+        self.time_groups = time_groups
+        self.total_seconds = 0.0
+        self.batch = 0          # total instances across runs
+        self.runs = 0
+        self._level_acc = [0.0] * (plan.depth + 1)
+        #: flat per-(level, group) wall-time accumulator — written directly
+        #: by execute_plan's inner loop (see the class docstring).
+        self.group_acc: List[float] = []
+        self.group_base = [0] * (plan.depth + 1)
+        self._group_meta: List[tuple] = []       # (level, op) per flat slot
+        for lvl in plan.levels:
+            self.group_base[lvl.index] = len(self.group_acc)
+            for grp in lvl.groups:
+                self._group_meta.append((lvl.index, grp.op))
+                self.group_acc.append(0.0)
+
+        # Wire → (write level, live valid slots).  A wire's valid gates can
+        # land on different levels (e.g. a union's per-bus valid bits); each
+        # is counted at its own write level, where its slot is guaranteed
+        # still untouched.
+        written = plan.written_slot
+        level_of = _level_of(lowered.circuit)
+        self.wire_gids: List[int] = []
+        self.n_valid: List[int] = []
+        self.n_dead: List[int] = []
+        self.wire_level: List[int] = []
+        per_level: Dict[int, List[tuple]] = {}
+        for w, (gid, arr) in enumerate(sorted(lowered.wire_arrays.items())):
+            self.wire_gids.append(gid)
+            dead = 0
+            wlevel = 0
+            for bus in arr.buses:
+                vgid = bus.valid
+                lvl = int(level_of[vgid])
+                wlevel = max(wlevel, lvl)
+                slot = int(written[vgid]) if written is not None else -1
+                if slot < 0:
+                    dead += 1          # valid gate eliminated with the plan's
+                    continue           # dead code; nothing to observe
+                per_level.setdefault(lvl, []).append((slot, w))
+            self.n_valid.append(len(arr.buses))
+            self.n_dead.append(dead)
+            self.wire_level.append(wlevel)
+        #: level → (slot index array, wire index array, int64 count
+        #: accumulator) — execute_plan reads this directly (flat protocol).
+        self.card_by_level = {
+            lvl: (np.asarray([s for s, _ in pairs], dtype=np.intp),
+                  np.asarray([w for _, w in pairs], dtype=np.intp),
+                  np.zeros(len(pairs), dtype=np.int64))
+            for lvl, pairs in per_level.items()
+        }
+
+    # -- hooks called by execute_plan ----------------------------------
+    def begin(self, batch: int) -> None:
+        self.batch += int(batch)
+        self.runs += 1
+
+    def observe(self, level: int, buf: np.ndarray) -> None:
+        entry = self.card_by_level.get(level)
+        if entry is None:
+            return
+        acc = entry[2]
+        acc += np.count_nonzero(buf[entry[0]], axis=1)
+
+    def add_level(self, level: int, seconds: float) -> None:
+        self._level_acc[level] += seconds
+
+    @property
+    def level_acc(self) -> List[float]:
+        """The flat per-level wall-time accumulator (indexed by level)."""
+        return self._level_acc
+
+    # -- results -------------------------------------------------------
+    @property
+    def level_seconds(self) -> np.ndarray:
+        return np.asarray(self._level_acc, dtype=np.float64)
+
+    @property
+    def group_seconds(self) -> Dict[tuple, float]:
+        """Accumulated ``(level, op) → seconds``, folded from the flat
+        accumulator (ops split across several groups at one level merge)."""
+        out: Dict[tuple, float] = {}
+        for (lvl, op), secs in zip(self._group_meta, self.group_acc):
+            key = (lvl, op)
+            out[key] = out.get(key, 0.0) + secs
+        return out
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Total observed tuples per wire, summed over runs × batch."""
+        out = np.zeros(len(self.wire_gids), dtype=np.int64)
+        for _, wire_idx, acc in self.card_by_level.values():
+            np.add.at(out, wire_idx, acc)
+        return out
+
+    def observed_per_instance(self) -> np.ndarray:
+        """Mean observed tuples per wire per instance (len = #wires)."""
+        if self.batch == 0:
+            return np.zeros(len(self.wire_gids), dtype=np.float64)
+        return self.counts / float(self.batch)
+
+
+def build_probe(lowered, plan, time_groups: bool = True) -> ProfileProbe:
+    """Construct the probe ``execute_plan(..., probe=...)`` expects."""
+    return ProfileProbe(lowered, plan, time_groups=time_groups)
+
+
+def _level_of(circuit) -> np.ndarray:
+    out = np.zeros(len(circuit.ops), dtype=np.int64)
+    for lvl, gids in enumerate(circuit.levels()):
+        for gid in gids:
+            out[gid] = lvl
+    return out
+
+
+# ---------------------------------------------------------------------------
+# report dataclasses
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WireProfile:
+    """One relational wire: bound vs (optionally) observed cardinality."""
+
+    gid: int                 # relational gate id
+    op: str
+    label: str
+    level: int               # word level where the wire's valid bits land
+    capacity: int            # lowered slots (buses) on the wire
+    bound_card: int          # WireBound.card — the DAPB-derived bound
+    n_valid: int
+    n_dead_valid: int        # valid gates dropped by dead-gate elimination
+    observed: Optional[float] = None   # mean tuples per instance (analyze)
+
+    @property
+    def utilization(self) -> Optional[float]:
+        if self.observed is None or self.bound_card <= 0:
+            return None
+        return self.observed / self.bound_card
+
+    def as_dict(self) -> dict:
+        return {
+            "gid": self.gid, "op": self.op, "label": self.label,
+            "level": self.level, "capacity": self.capacity,
+            "bound_card": self.bound_card, "n_valid": self.n_valid,
+            "n_dead_valid": self.n_dead_valid, "observed": self.observed,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass
+class LevelProfile:
+    """One engine level: static shape + (optionally) measured behaviour."""
+
+    index: int
+    width: int               # gates written at this level (level 0: I/O fill)
+    groups: int              # vectorized opcode-group calls
+    ops: Dict[str, int]      # opcode name → gate count
+    row_bytes: int           # bytes this level writes per batch row
+    live_slots: int          # slots still pinned after this level's releases
+    live_bytes_per_row: int
+    size_share: float        # width / Theorem-4 size budget
+    cum_size_share: float
+    bound_tuples: int = 0    # Σ bound_card of wires completing here
+    wire_gids: List[int] = field(default_factory=list)
+    measured_ms: Optional[float] = None
+    time_share: Optional[float] = None
+    group_ms: Dict[str, float] = field(default_factory=dict)
+    observed_tuples: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "level": self.index, "width": self.width, "groups": self.groups,
+            "ops": dict(self.ops), "row_bytes": self.row_bytes,
+            "live_slots": self.live_slots,
+            "live_bytes_per_row": self.live_bytes_per_row,
+            "size_share": self.size_share,
+            "cum_size_share": self.cum_size_share,
+            "bound_tuples": self.bound_tuples,
+            "wire_gids": list(self.wire_gids),
+            "measured_ms": self.measured_ms,
+            "time_share": self.time_share,
+            "group_ms": dict(self.group_ms),
+            "observed_tuples": self.observed_tuples,
+        }
+
+
+@dataclass
+class ExplainReport:
+    """The full EXPLAIN [ANALYZE] document for one compiled query."""
+
+    query: str
+    signature_key: str
+    fingerprint: str
+    n_gates: int
+    n_executed: int
+    n_slots: int
+    n_live: int
+    depth: int
+    n_groups: int
+    buffer_bytes_per_row: int
+    envelope: Dict[str, float]
+    levels: List[LevelProfile]
+    wires: List[WireProfile]
+    analyze: bool = False
+    batch: int = 0
+    runs: int = 0
+    engine_ms: Optional[float] = None
+
+    # -- derived -------------------------------------------------------
+    def hot_levels(self, k: int = 5) -> List[LevelProfile]:
+        """Levels ranked by measured time (analyze) or width (static)."""
+        compute = [l for l in self.levels if l.index > 0]
+        if self.analyze:
+            key = lambda l: (l.measured_ms or 0.0, l.width)
+        else:
+            key = lambda l: (l.width, l.row_bytes)
+        return sorted(compute, key=key, reverse=True)[:k]
+
+    @property
+    def levels_ms_sum(self) -> Optional[float]:
+        if not self.analyze:
+            return None
+        return sum(l.measured_ms or 0.0 for l in self.levels)
+
+    @property
+    def observed_tuples_total(self) -> Optional[float]:
+        if not self.analyze:
+            return None
+        return sum(l.observed_tuples or 0.0 for l in self.levels)
+
+    @property
+    def bound_tuples_total(self) -> int:
+        return sum(l.bound_tuples for l in self.levels)
+
+    # -- output: JSON --------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "query": self.query,
+            "signature_key": self.signature_key,
+            "fingerprint": self.fingerprint,
+            "analyze": self.analyze,
+            "batch": self.batch,
+            "runs": self.runs,
+            "plan": {
+                "n_gates": self.n_gates,
+                "n_executed": self.n_executed,
+                "n_slots": self.n_slots,
+                "n_live": self.n_live,
+                "depth": self.depth,
+                "n_groups": self.n_groups,
+                "buffer_bytes_per_row": self.buffer_bytes_per_row,
+            },
+            "envelope": dict(self.envelope),
+            "totals": {
+                "engine_ms": self.engine_ms,
+                "levels_ms_sum": self.levels_ms_sum,
+                "observed_tuples": self.observed_tuples_total,
+                "bound_tuples": self.bound_tuples_total,
+            },
+            "levels": [l.as_dict() for l in self.levels],
+            "wires": [w.as_dict() for w in self.wires],
+            "hot_levels": [
+                {"level": l.index, "width": l.width,
+                 "measured_ms": l.measured_ms, "time_share": l.time_share}
+                for l in self.hot_levels()
+            ],
+        }
+
+    # -- output: text --------------------------------------------------
+    def to_text(self, top: int = 0) -> str:
+        e = self.envelope
+        lines = [
+            f"repro explain — {self.query}",
+            f"  fingerprint {self.fingerprint}   signature {self.signature_key}",
+            (f"  plan: {self.n_executed:,}/{self.n_gates:,} gates, "
+             f"{self.depth} levels, {self.n_groups} opcode groups, "
+             f"{self.n_slots:,} slots (no-recycling {self.n_live:,}), "
+             f"{self.buffer_bytes_per_row:,} B/row"),
+            (f"  envelope: size {e['observed_size']:,.0f}/"
+             f"{e['size_budget']:,.0f} ({e['size_ratio']:.3f})  "
+             f"depth {e['observed_depth']:,.0f}/{e['depth_budget']:,.0f} "
+             f"({e['depth_ratio']:.3f})"),
+        ]
+        if self.analyze:
+            lines.append(
+                f"  analyze: batch {self.batch} over {self.runs} run(s), "
+                f"engine {self.engine_ms:.3f} ms "
+                f"(levels Σ {self.levels_ms_sum:.3f} ms)")
+        rows = self.levels
+        note = ""
+        if top and len(rows) > top + 1:
+            hot = {l.index for l in self.hot_levels(top)}
+            rows = [l for l in rows if l.index == 0 or l.index in hot]
+            note = (f"  ({len(self.levels) - len(rows)} cooler levels "
+                    f"elided; --top 0 shows all)")
+        hdr = (f"  {'lvl':>5} {'width':>8} {'grps':>5} {'B/row':>9} "
+               f"{'live':>7} {'size%':>7} {'ms':>9} {'time%':>6} "
+               f"{'obs':>9} {'bound':>9}  ops")
+        lines.append(hdr)
+        for l in rows:
+            ms = f"{l.measured_ms:.3f}" if l.measured_ms is not None else "—"
+            ts = (f"{100 * l.time_share:.1f}"
+                  if l.time_share is not None else "—")
+            obs_ = (f"{l.observed_tuples:.1f}"
+                    if l.observed_tuples is not None else "—")
+            mix = ",".join(f"{op}×{n}" for op, n in sorted(
+                l.ops.items(), key=lambda kv: -kv[1])[:3])
+            lines.append(
+                f"  {l.index:>5} {l.width:>8,} {l.groups:>5} "
+                f"{l.row_bytes:>9,} {l.live_slots:>7,} "
+                f"{100 * l.size_share:>6.2f}% {ms:>9} {ts:>6} "
+                f"{obs_:>9} {l.bound_tuples:>9,}  {mix}")
+        if note:
+            lines.append(note)
+        if self.analyze:
+            lines.append("  hot levels (by measured time):")
+            for l in self.hot_levels():
+                mix = ",".join(f"{op}×{n}" for op, n in sorted(
+                    l.ops.items(), key=lambda kv: -kv[1])[:3])
+                lines.append(
+                    f"    level {l.index}: {l.measured_ms:.3f} ms "
+                    f"({100 * (l.time_share or 0):.1f}%), width {l.width:,}, "
+                    f"{mix}")
+        return "\n".join(lines)
+
+    # -- output: Chrome trace ------------------------------------------
+    def chrome_events(self) -> List[dict]:
+        """``traceEvents`` for chrome://tracing / Perfetto.
+
+        Analyze mode lays levels out by measured time; static mode uses a
+        synthetic 1 µs/gate timeline so the *shape* of the plan is still
+        visible in the viewer.
+        """
+        events: List[dict] = [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": f"repro explain {self.fingerprint}"}},
+        ]
+        cursor = 0.0
+        for l in self.levels:
+            if l.index == 0:
+                continue
+            if self.analyze and l.measured_ms is not None:
+                dur = l.measured_ms * 1000.0
+            else:
+                dur = float(max(1, l.width))
+            events.append({
+                "name": f"level {l.index}", "ph": "X", "pid": 1, "tid": 1,
+                "ts": cursor, "dur": dur,
+                "args": {"width": l.width, "row_bytes": l.row_bytes,
+                         "live_slots": l.live_slots,
+                         "observed_tuples": l.observed_tuples,
+                         "bound_tuples": l.bound_tuples},
+            })
+            gcursor = cursor
+            for op, n in sorted(l.ops.items(), key=lambda kv: -kv[1]):
+                if self.analyze and op in l.group_ms:
+                    gdur = l.group_ms[op] * 1000.0
+                else:
+                    gdur = dur * (n / max(1, l.width))
+                events.append({
+                    "name": op, "ph": "X", "pid": 1, "tid": 2,
+                    "ts": gcursor, "dur": gdur, "args": {"gates": n},
+                })
+                gcursor += gdur
+            cursor += dur
+        events.insert(1, {
+            "name": "engine.execute", "ph": "X", "pid": 1, "tid": 1,
+            "ts": 0.0, "dur": cursor,
+            "args": {"query": self.query, "analyze": self.analyze},
+        })
+        return events
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+def plan_fingerprint(signature_key: str, plan) -> str:
+    """A renaming-stable plan digest.
+
+    Hashes the canonical query-signature key (``api.plan_signature`` — the
+    same key the serve tier's plan cache uses, invariant under variable and
+    atom renaming) together with the plan's structural profile: slot count
+    and each level's opcode mix.  Gate ids, variable names, and relation
+    names never enter the hash, so two queries that are renamings of each
+    other compile to the same fingerprint and a changed fingerprint always
+    means the *plan* changed.
+    """
+    parts = [f"slots={plan.n_slots}", f"gates={plan.n_executed}"]
+    for lvl in plan.levels:
+        mix = ",".join(f"{OP_NAMES[grp.op]}~{len(grp)}"
+                       for grp in sorted(lvl.groups, key=lambda g: g.op))
+        parts.append(f"L{lvl.index}:{mix}")
+    digest = hashlib.sha256(
+        (signature_key + "::" + "|".join(parts)).encode()).hexdigest()
+    return f"pf-{digest[:16]}"
+
+
+def _wire_profiles(lowered, plan) -> List[WireProfile]:
+    level_of = _level_of(lowered.circuit)
+    written = plan.written_slot
+    out: List[WireProfile] = []
+    for gid, arr in sorted(lowered.wire_arrays.items()):
+        gate = lowered.source.gates[gid]
+        dead = 0
+        wlevel = 0
+        for bus in arr.buses:
+            wlevel = max(wlevel, int(level_of[bus.valid]))
+            if written is None or written[bus.valid] < 0:
+                dead += 1
+        out.append(WireProfile(
+            gid=gid, op=gate.op,
+            label=gate.label or f"{gate.op}#{gid}",
+            level=wlevel, capacity=len(arr.buses),
+            bound_card=int(gate.bound.card),
+            n_valid=len(arr.buses), n_dead_valid=dead,
+        ))
+    return out
+
+
+def profile_compiled(cq, plan=None) -> ExplainReport:
+    """Static EXPLAIN of a :class:`repro.api.CompiledQuery`.
+
+    Uses the query's cached default execution plan unless an explicit one
+    is passed (e.g. an ``outputs=None`` all-live plan for debugging).
+    """
+    from .. import engine
+
+    lowered = cq.lowered
+    if plan is None:
+        plan = engine.DEFAULT_PLAN_CACHE.get(
+            lowered.circuit, engine.lowered_output_gates(lowered))
+    sig = cq.signature
+    env = envelope_for(cq)
+    env["observed_size"] = float(lowered.size)
+    env["observed_depth"] = float(lowered.depth)
+    env["size_ratio"] = lowered.size / env["size_budget"]
+    env["depth_ratio"] = lowered.depth / env["depth_budget"]
+
+    wires = _wire_profiles(lowered, plan)
+    by_level_wires: Dict[int, List[WireProfile]] = {}
+    for w in wires:
+        by_level_wires.setdefault(w.level, []).append(w)
+
+    size_budget = env["size_budget"]
+    live_after = plan.live_after
+    itemsize = plan.ITEMSIZE
+    levels: List[LevelProfile] = []
+    cum = 0.0
+
+    def _mk(index: int, width: int, groups: int, ops: Dict[str, int]
+            ) -> LevelProfile:
+        nonlocal cum
+        share = width / size_budget if size_budget > 0 else 0.0
+        cum += share
+        live = int(live_after[index]) if live_after is not None else plan.n_slots
+        wl = by_level_wires.get(index, [])
+        return LevelProfile(
+            index=index, width=width, groups=groups, ops=ops,
+            row_bytes=width * itemsize, live_slots=live,
+            live_bytes_per_row=live * itemsize,
+            size_share=share, cum_size_share=cum,
+            bound_tuples=sum(w.bound_card for w in wl),
+            wire_gids=[w.gid for w in wl],
+        )
+
+    levels.append(_mk(0, len(plan.input_slots) + len(plan.const_slots), 0,
+                      {"INPUT": len(plan.input_slots),
+                       "CONST": len(plan.const_slots)}))
+    for lvl in plan.levels:
+        ops = {OP_NAMES[grp.op]: len(grp) for grp in lvl.groups}
+        levels.append(_mk(lvl.index, lvl.width, len(lvl.groups), ops))
+
+    return ExplainReport(
+        query=str(cq.query),
+        signature_key=sig.key,
+        fingerprint=plan_fingerprint(sig.key, plan),
+        n_gates=plan.n_gates,
+        n_executed=plan.n_executed,
+        n_slots=plan.n_slots,
+        n_live=plan.n_live,
+        depth=plan.depth,
+        n_groups=sum(len(l.groups) for l in plan.levels),
+        buffer_bytes_per_row=plan.buffer_bytes(1),
+        envelope=env,
+        levels=levels,
+        wires=wires,
+    )
+
+
+def _encode_columns(lowered, envs: Sequence[Mapping]) -> np.ndarray:
+    from ..boolcircuit.builder import ArrayBuilder
+    cols = []
+    for env in envs:
+        values: List[int] = []
+        for name in lowered.input_order:
+            values.extend(ArrayBuilder.encode_relation(
+                env[name], lowered.input_arrays[name]))
+        cols.append(values)
+    return np.asarray(cols, dtype=np.int64).T
+
+
+def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
+            all_live: bool = False, time_groups: bool = True
+            ) -> ExplainReport:
+    """Build the EXPLAIN [ANALYZE] report for a compiled query.
+
+    ``db`` is one instance (name → Relation mapping) or a list of them —
+    analyze batches them into a single engine run per repeat.  With
+    ``all_live`` the plan keeps every gate (no dead-code elimination, no
+    recycling), making observed cardinalities exactly comparable with the
+    scalar interpreter — used by the attribution tests; the default is the
+    production plan.
+    """
+    from .. import obs, engine
+    from ..engine.exec import execute_plan
+    from ..engine.plan import compile_plan
+
+    lowered = cq.lowered
+    if all_live:
+        plan = compile_plan(lowered.circuit)
+    else:
+        plan = engine.DEFAULT_PLAN_CACHE.get(
+            lowered.circuit, engine.lowered_output_gates(lowered))
+    report = profile_compiled(cq, plan=plan)
+    if not analyze:
+        return report
+    if db is None:
+        raise ValueError("explain(analyze=True) needs a database instance")
+    envs = list(db) if isinstance(db, (list, tuple)) else [db]
+    columns = _encode_columns(lowered, envs)
+
+    if obs.STATE.on:
+        for name in ANALYZE_HISTOGRAMS:
+            obs.metrics.histogram(name).reset()
+
+    probe = ProfileProbe(lowered, plan, time_groups=time_groups)
+    for _ in range(max(1, int(repeat))):
+        execute_plan(plan, columns, probe=probe)
+
+    observed = probe.observed_per_instance()
+    per_wire = dict(zip(probe.wire_gids, observed.tolist()))
+    for w in report.wires:
+        w.observed = per_wire.get(w.gid, 0.0)
+    total_s = float(probe.level_seconds.sum())
+    for l in report.levels:
+        secs = float(probe.level_seconds[l.index]) \
+            if l.index < len(probe.level_seconds) else 0.0
+        l.measured_ms = secs * 1000.0
+        l.time_share = (secs / total_s) if total_s > 0 else 0.0
+        l.group_ms = {
+            OP_NAMES[op]: s * 1000.0
+            for (lvl, op), s in probe.group_seconds.items() if lvl == l.index
+        }
+        l.observed_tuples = sum(per_wire.get(gid, 0.0) for gid in l.wire_gids)
+    report.analyze = True
+    report.batch = probe.batch
+    report.runs = probe.runs
+    report.engine_ms = probe.total_seconds * 1000.0
+    return report
+
+
+# ---------------------------------------------------------------------------
+# schema lint
+# ---------------------------------------------------------------------------
+
+def _num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_report(doc: Any) -> List[str]:
+    """Lint a ``repro.explain/1`` document; returns problems ([] = valid).
+
+    Structural, dependency-free validation used by CI: required keys exist
+    with the right types, and — when ``analyze`` is set — every level row
+    carries a numeric measured time and observed cardinality next to its
+    predicted bytes, which is the acceptance bar for the E8 smoke report.
+    """
+    errs: List[str] = []
+    if not isinstance(doc, dict):
+        return ["report is not an object"]
+    if doc.get("schema") != SCHEMA:
+        errs.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("query", "signature_key", "fingerprint", "analyze",
+                "plan", "envelope", "totals", "levels", "wires"):
+        if key not in doc:
+            errs.append(f"missing top-level key {key!r}")
+    if errs:
+        return errs
+    analyze = bool(doc["analyze"])
+    plan = doc["plan"]
+    for key in ("n_gates", "n_executed", "n_slots", "n_live", "depth",
+                "n_groups", "buffer_bytes_per_row"):
+        if not _num(plan.get(key)):
+            errs.append(f"plan.{key} is not a number")
+    envelope = doc["envelope"]
+    for key in ("n_input", "budget_tuples", "size_budget", "depth_budget",
+                "space_budget", "observed_size", "observed_depth",
+                "size_ratio", "depth_ratio"):
+        if not _num(envelope.get(key)):
+            errs.append(f"envelope.{key} is not a number")
+    levels = doc["levels"]
+    if not isinstance(levels, list) or not levels:
+        errs.append("levels is empty")
+        return errs
+    for i, row in enumerate(levels):
+        if not isinstance(row, dict):
+            errs.append(f"levels[{i}] is not an object")
+            continue
+        for key in ("level", "width", "groups", "row_bytes", "live_slots",
+                    "size_share", "bound_tuples"):
+            if not _num(row.get(key)):
+                errs.append(f"levels[{i}].{key} is not a number")
+        if analyze:
+            for key in ("measured_ms", "observed_tuples"):
+                if not _num(row.get(key)):
+                    errs.append(
+                        f"levels[{i}].{key} must be a number under analyze")
+    for i, row in enumerate(doc["wires"]):
+        if not isinstance(row, dict):
+            errs.append(f"wires[{i}] is not an object")
+            continue
+        for key in ("gid", "level", "capacity", "bound_card"):
+            if not _num(row.get(key)):
+                errs.append(f"wires[{i}].{key} is not a number")
+        if analyze and not _num(row.get("observed")):
+            errs.append(f"wires[{i}].observed must be a number under analyze")
+    return errs

@@ -201,6 +201,25 @@ class Client:
                                   "vectorized", None)
         return self._request("POST", "/v1/compile", req.to_wire())
 
+    def explain(self, query: str, db: Optional[DBLike] = None,
+                dataset: Optional[str] = None,
+                dc: Union[None, DCSet, List[Dict[str, Any]]] = None,
+                n: Optional[int] = None,
+                analyze: bool = False) -> Dict[str, Any]:
+        """The server's per-level circuit profile (``POST /v1/explain``).
+
+        Returns ``{plan_key, cache, analyze, report, timings}`` where
+        ``report`` is a ``repro.explain/1`` document.  The default static
+        report is a pure function of the compiled plan — identical for
+        every request that hits the same cached plan.  Pass
+        ``analyze=True`` (with a ``db`` or ``dataset``) for EXPLAIN
+        ANALYZE: per-level timings and observed wire cardinalities.
+        """
+        req = self._build_request(query, db, dataset, dc, n,
+                                  "vectorized", None)
+        req.analyze = bool(analyze)
+        return self._request("POST", "/v1/explain", req.to_wire())
+
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/healthz")
 

@@ -185,9 +185,14 @@ class EvaluateRequest:
     engine: str = "vectorized"
     tenant: str = "default"
     budget: Optional[Union[int, str]] = None
+    #: ``/v1/explain`` only: run EXPLAIN ANALYZE (execute the plan with
+    #: timing/cardinality probes) instead of the static report.  Ignored by
+    #: ``/v1/evaluate`` and ``/v1/compile``.
+    analyze: bool = False
 
     def to_wire(self) -> Dict[str, Any]:
-        doc = {k: v for k, v in asdict(self).items() if v is not None}
+        doc = {k: v for k, v in asdict(self).items()
+               if v is not None and not (k == "analyze" and v is False)}
         doc["schema"] = SCHEMA
         return doc
 
@@ -222,7 +227,8 @@ class EvaluateRequest:
                    n=n,
                    engine=engine,
                    tenant=tenant,
-                   budget=obj.get("budget"))
+                   budget=obj.get("budget"),
+                   analyze=bool(obj.get("analyze", False)))
 
 
 @dataclass

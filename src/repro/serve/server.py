@@ -29,7 +29,8 @@ on steady-state latency.  Three mechanisms deliver that:
   OOM kill.
 
 Everything is stdlib: ``asyncio`` owns the event loop and socket I/O
-(HTTP/1.1 parsed by hand — the wire surface is four JSON endpoints), and a
+(HTTP/1.1 parsed by hand — the wire surface is a handful of JSON
+endpoints), and a
 small thread pool runs the CPU-bound compile/evaluate work so the loop
 stays responsive.  See ``docs/serving.md``.
 """
@@ -540,6 +541,61 @@ class QueryServer:
             cache=cache_status, plan_key=sig.key, batch_size=batch_size,
             tenant=req.tenant, timings=timings).to_wire()
 
+    async def _handle_explain(self, body: Mapping[str, Any],
+                              info: Optional[Dict[str, Any]] = None
+                              ) -> Dict[str, Any]:
+        """``POST /v1/explain``: the per-level circuit profile for a query.
+
+        Static by default — the report is a pure function of the compiled
+        plan, so two requests that hit the same cached plan get the *same*
+        report.  Set ``analyze: true`` (plus a ``db`` payload or named
+        ``dataset``) for EXPLAIN ANALYZE: the plan is executed once under
+        timing and wire-cardinality probes, so those reports carry
+        measured numbers and vary run to run.
+        """
+        info = info if info is not None else {}
+        t0 = time.perf_counter()
+        req = EvaluateRequest.from_wire(body)
+        info["tenant"] = req.tenant
+        self._count_tenant(req.tenant)
+        query = self._parse_query(req.query)
+        db = self._resolve_db(req)
+        dc = self._resolve_dc(req, query, db)
+        sig = plan_signature(query, dc)
+        info["plan_key"] = sig.key
+
+        cq, cache_status, compile_ms = await self._get_plan(sig)
+        info["cache"] = cache_status
+        if req.analyze and db is None:
+            raise ServeError(
+                "bad_request",
+                "explain with 'analyze' needs a 'db' payload or a "
+                "'dataset' to execute the plan against")
+        # The cached plan is canonical, so an analyze payload must be
+        # renamed into the canonical atom/variable names first — the same
+        # remapping /v1/evaluate applies.
+        env = (self._canonical_env(sig, query, db)
+               if req.analyze and db is not None else None)
+
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        ctx = contextvars.copy_context()
+        with obs.span("serve.explain", plan=sig.key, analyze=req.analyze):
+            report = await loop.run_in_executor(
+                self._executor,
+                lambda: ctx.run(lambda: cq.explain_report(
+                    db=env, analyze=req.analyze)))
+        self._observe_stage("explain", time.perf_counter() - started)
+
+        timings = Timings(compile_ms=compile_ms,
+                          evaluate_ms=(time.perf_counter() - started) * 1e3)
+        timings.total_ms = (time.perf_counter() - t0) * 1e3
+        info["timings"] = timings.to_wire()
+        return {"schema": SCHEMA, "plan_key": sig.key,
+                "cache": cache_status, "tenant": req.tenant,
+                "analyze": req.analyze, "report": report.to_json(),
+                "timings": timings.to_wire()}
+
     def _handle_stats(self) -> Dict[str, Any]:
         with self._lock:
             stats = dict(self.stats)
@@ -663,7 +719,7 @@ class QueryServer:
                     raise ServeError("method_not_allowed",
                                      f"{path} is GET-only")
                 return 200, self._render_metrics()
-            if path in ("/v1/evaluate", "/v1/compile"):
+            if path in ("/v1/evaluate", "/v1/compile", "/v1/explain"):
                 if method != "POST":
                     raise ServeError("method_not_allowed",
                                      f"{path} is POST-only")
@@ -676,16 +732,21 @@ class QueryServer:
                         {"max_queue": self.config.max_queue})
                 self._active += 1
                 try:
-                    doc = await self._handle_evaluate(
-                        body or {}, want_answers=(path == "/v1/evaluate"),
-                        info=info)
+                    if path == "/v1/explain":
+                        doc = await self._handle_explain(body or {},
+                                                         info=info)
+                    else:
+                        doc = await self._handle_evaluate(
+                            body or {},
+                            want_answers=(path == "/v1/evaluate"),
+                            info=info)
                     return 200, doc
                 finally:
                     self._active -= 1
             raise ServeError("not_found", f"no endpoint {path!r}",
                              {"endpoints": ["/v1/evaluate", "/v1/compile",
-                                            "/v1/healthz", "/v1/stats",
-                                            "/v1/metrics"]})
+                                            "/v1/explain", "/v1/healthz",
+                                            "/v1/stats", "/v1/metrics"]})
         except ServeError as err:
             self._count_error(err.code)
             info["error"] = err.code
@@ -701,7 +762,8 @@ class QueryServer:
                         elapsed_ms: float, request_id: str,
                         info: Dict[str, Any]) -> None:
         """Post-dispatch bookkeeping: SLO window, access log, slow log."""
-        is_work = path in ("/v1/evaluate", "/v1/compile") and method == "POST"
+        is_work = (path in ("/v1/evaluate", "/v1/compile", "/v1/explain")
+                   and method == "POST")
         if is_work:
             self.slo.record(elapsed_ms, error=status >= 500)
         record: Optional[Dict[str, Any]] = None

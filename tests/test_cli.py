@@ -183,6 +183,120 @@ class TestExitCodes:
         assert main(["trace", str(tmp_path / "missing.json")]) == 2
 
 
+class TestExplainCommand:
+    QUERY = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+
+    def _data_dir(self, tmp_path, n=8, seed=1):
+        from repro.cq import database_to_dir
+        from repro.datagen import random_database, triangle_query
+
+        q = triangle_query()
+        db = random_database(q, n, 5, seed=seed)
+        database_to_dir(db, q, tmp_path)
+
+    def test_static_needs_no_data(self, capsys):
+        assert main(["explain", self.QUERY, "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint pf-" in out and "envelope:" in out
+        assert "analyze:" not in out          # static mode: no measurements
+
+    def test_analyze_measures_levels(self, tmp_path, capsys):
+        self._data_dir(tmp_path)
+        assert main(["explain", self.QUERY, str(tmp_path), "-n", "8",
+                     "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze: batch 1 over 1 run(s)" in out
+        assert "hot levels (by measured time):" in out
+
+    def test_json_report_lints(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.profile import validate_report
+
+        self._data_dir(tmp_path)
+        report = tmp_path / "explain.json"
+        assert main(["explain", self.QUERY, str(tmp_path), "-n", "8",
+                     "--analyze", "--json", str(report)]) == 0
+        assert "report written" in capsys.readouterr().out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.explain/1"
+        assert doc["analyze"] is True
+        assert validate_report(doc) == []
+
+    def test_chrome_trace_output(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "explain-trace.json"
+        assert main(["explain", self.QUERY, "-n", "4",
+                     "--chrome", str(trace)]) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["name"] == "engine.execute" for e in events)
+
+    def test_analyze_without_data_exits_2(self, capsys):
+        assert main(["explain", self.QUERY, "-n", "8", "--analyze"]) == 2
+        assert "needs a data directory" in capsys.readouterr().err
+
+    def test_no_constraints_exits_2(self, capsys):
+        assert main(["explain", self.QUERY]) == 2
+        assert "pass -n" in capsys.readouterr().err
+
+    def test_projection_exits_2(self, capsys):
+        assert main(["explain", "Q(A) <- R(A,B)", "-n", "4"]) == 2
+
+    def test_run_explain_flag(self, tmp_path, capsys):
+        self._data_dir(tmp_path, n=4, seed=3)
+        assert main(["run", self.QUERY, str(tmp_path), "-n", "4",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "answers" in out               # still evaluates
+        assert "repro explain" in out and "hot levels" in out
+
+
+class TestTraceCommand:
+    FOREST = [
+        {"name": "serve.request", "wall_ms": 2.5,
+         "attrs": {"path": "/v1/evaluate"},
+         "children": [{"name": "engine.execute", "wall_ms": 1.0,
+                       "attrs": {"batch": 1}, "children": []}]},
+        {"name": "serve.request", "wall_ms": 0.5, "children": []},
+    ]
+
+    def test_span_forest_summary(self, tmp_path, capsys):
+        """`repro trace` accepts a bare rt.request_tree forest, not just
+        the run --trace document shape."""
+        import json
+
+        f = tmp_path / "forest.json"
+        f.write_text(json.dumps(self.FOREST))
+        assert main(["trace", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out and "engine.execute" in out
+
+    def test_span_forest_to_chrome(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "forest.json"
+        f.write_text(json.dumps(self.FOREST))
+        chrome = tmp_path / "forest-chrome.json"
+        assert main(["trace", str(f), "--chrome", str(chrome)]) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        events = json.loads(chrome.read_text())["traceEvents"]
+        # Two roots on their own tids; B/E pairs with faithful durations.
+        assert {e["tid"] for e in events} == {1, 2}
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 3
+        root_end = max(e["ts"] for e in ends if e["tid"] == 1)
+        assert root_end == pytest.approx(2500.0)   # 2.5 ms in µs
+
+    def test_garbage_document_exits_2(self, tmp_path, capsys):
+        f = tmp_path / "nonsense.json"
+        f.write_text('{"neither": "spans", "nor": "forest"}')
+        assert main(["trace", str(f)]) == 2
+        assert "not a repro.obs trace" in capsys.readouterr().err
+
+
 class TestFuzzCommand:
     def test_small_fuzz_run_passes(self, capsys):
         assert main(["fuzz", "--budget", "3", "--seed", "0",

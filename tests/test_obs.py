@@ -189,6 +189,43 @@ class TestMetrics:
         row = obs.metrics.snapshot()["h"]["values"][0]
         assert row["count"] == 4 and row["p50"] == 2.0 and row["p99"] == 4.0
 
+    def test_instrument_reset(self):
+        c = obs.metrics.counter("resettable.c")
+        c.inc(5, op="ADD")
+        c.reset()
+        assert c.total == 0 and c.value(op="ADD") == 0
+        g = obs.metrics.gauge("resettable.g")
+        g.set(7)
+        g.reset()
+        assert g.value() == 0
+
+    def test_histogram_reset_isolates_snapshots(self):
+        """The analyze path resets the engine histograms before each run so
+        a second EXPLAIN ANALYZE never mixes in the first one's samples."""
+        h = obs.metrics.histogram("resettable.h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v, level=1)
+        first = h.summary(level=1)
+        assert first["count"] == 3
+        h.reset()
+        assert h.total_count == 0 and h.reservoirs == {}
+        assert h.summary(level=1)["count"] == 0
+        # post-reset observations see a fresh reservoir, not the old one
+        h.observe(9.0, level=1)
+        second = h.summary(level=1)
+        assert second == {"count": 1, "sum": 9.0, "min": 9.0, "max": 9.0,
+                          "p50": 9.0, "p95": 9.0, "p99": 9.0}
+        # the reseeded sampler is reproducible: two same-named lifecycles
+        # that see the same stream produce identical snapshots
+        h.reset()
+        for v in range(1000):
+            h.observe(float(v))
+        snap_a = h.summary()
+        h.reset()
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.summary() == snap_a
+
     def test_kind_mismatch_rejected(self):
         obs.metrics.counter("m")
         with pytest.raises(TypeError, match="already registered"):

@@ -1,0 +1,223 @@
+"""Attribution invariants of EXPLAIN / EXPLAIN ANALYZE (repro.obs.profile).
+
+Three families, matching the claims ``repro explain`` makes:
+
+* **Time attribution** — per-level wall times sum to (at most) the engine
+  span, and each level's per-opcode-group times telescope back to that
+  level's measured time.
+* **Cardinality attribution** — observed per-wire tuple counts, read from
+  the live slot buffer, equal the scalar reference interpreter's relation
+  sizes gate for gate (``all_live`` plan, single instance), and never
+  exceed the DAPB-derived wire bounds.
+* **Fingerprint stability** — ``plan_fingerprint`` is keyed off
+  ``api.plan_signature`` plus plan structure only, so renamed queries
+  share a fingerprint and changed constraints change it.
+"""
+
+import json
+
+import pytest
+
+from repro import api, obs
+from repro.datagen import random_database
+from repro.obs.profile import (
+    SCHEMA, build_probe, explain, plan_fingerprint, profile_compiled,
+    validate_report,
+)
+
+TRIANGLE = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+RENAMED = "E1(X,Y), E2(Y,Z), E3(X,Z)"
+N = 4
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Profiling must not depend on the global obs switch."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def cq():
+    return api.compile(TRIANGLE, n=N)
+
+
+@pytest.fixture(scope="module")
+def db(cq):
+    return random_database(cq.query, size=N, domain=6, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# time attribution
+# ---------------------------------------------------------------------------
+
+class TestTimeAttribution:
+    def test_level_times_sum_within_engine_span(self, cq, db):
+        report = explain(cq, db=db, analyze=True, repeat=3)
+        assert report.analyze and report.runs == 3
+        assert report.engine_ms is not None and report.engine_ms > 0
+        # Levels partition the execute loop; the engine span additionally
+        # covers buffer allocation and the input fill, so the sum is
+        # strictly a lower bound on (and never exceeds) the total.
+        assert 0 < report.levels_ms_sum <= report.engine_ms * (1 + 1e-9)
+
+    def test_group_times_telescope_to_level_time(self, cq, db):
+        report = explain(cq, db=db, analyze=True)
+        timed = [l for l in report.levels if l.index > 0 and l.group_ms]
+        assert timed, "no compute level carried group timings"
+        for l in timed:
+            # Chained timestamps: per-group deltas telescope to the
+            # level's own wall time, no gaps and no double counting.
+            assert sum(l.group_ms.values()) == pytest.approx(
+                l.measured_ms, rel=1e-6, abs=1e-9)
+
+    def test_time_shares_normalize(self, cq, db):
+        report = explain(cq, db=db, analyze=True)
+        assert sum(l.time_share for l in report.levels) == pytest.approx(1.0)
+        hot = report.hot_levels(3)
+        assert all(l.measured_ms is not None for l in hot)
+        measured = sorted((l.measured_ms for l in report.levels[1:]),
+                          reverse=True)
+        assert [l.measured_ms for l in hot] == measured[:len(hot)]
+
+    def test_probe_accumulates_across_runs(self, cq, db):
+        from repro.engine.exec import execute_plan
+        from repro.engine.plan import compile_plan
+        from repro.obs.profile import _encode_columns
+
+        lowered = cq.lowered
+        plan = compile_plan(lowered.circuit)
+        columns = _encode_columns(lowered, [db, db])
+        probe = build_probe(lowered, plan)
+        execute_plan(plan, columns, probe=probe)
+        once = probe.counts.copy()
+        execute_plan(plan, columns, probe=probe)
+        assert probe.runs == 2 and probe.batch == 4
+        assert (probe.counts == 2 * once).all()
+        assert probe.level_seconds.sum() <= probe.total_seconds
+
+
+# ---------------------------------------------------------------------------
+# cardinality attribution
+# ---------------------------------------------------------------------------
+
+class TestCardinalityAttribution:
+    def test_observed_matches_scalar_interpreter(self, cq, db):
+        """Every wire's observed count equals the reference interpreter's
+        relation size for that gate (all-live plan, one instance)."""
+        report = explain(cq, db=db, analyze=True, all_live=True)
+        values = cq.lowered.source.evaluate(db)
+        assert report.wires, "no relational wires profiled"
+        for w in report.wires:
+            assert w.n_dead_valid == 0      # all_live keeps every gate
+            assert w.observed == pytest.approx(float(len(values[w.gid])))
+
+    def test_observed_within_bounds(self, cq, db):
+        report = explain(cq, db=db, analyze=True, all_live=True)
+        for w in report.wires:
+            assert w.observed <= w.bound_card
+            assert w.utilization is None or 0 <= w.utilization <= 1
+
+    def test_level_zero_counts_input_tuples(self, cq, db):
+        report = explain(cq, db=db, analyze=True)
+        total_in = sum(len(db[a.name]) for a in cq.query.atoms)
+        assert report.levels[0].observed_tuples == pytest.approx(total_in)
+
+    def test_levels_partition_wire_observations(self, cq, db):
+        report = explain(cq, db=db, analyze=True, all_live=True)
+        per_wire = sum(w.observed for w in report.wires)
+        assert report.observed_tuples_total == pytest.approx(per_wire)
+        for l in report.levels:
+            by_gid = {w.gid: w.observed for w in report.wires}
+            assert l.observed_tuples == pytest.approx(
+                sum(by_gid[g] for g in l.wire_gids))
+
+    def test_observed_is_mean_over_instances(self, cq):
+        """Batching two different instances reports the per-instance mean."""
+        db_a = random_database(cq.query, size=N, domain=6, seed=1)
+        db_b = random_database(cq.query, size=N, domain=6, seed=2)
+        both = explain(cq, db=[db_a, db_b], analyze=True, all_live=True)
+        va = cq.lowered.source.evaluate(db_a)
+        vb = cq.lowered.source.evaluate(db_b)
+        for w in both.wires:
+            want = (len(va[w.gid]) + len(vb[w.gid])) / 2.0
+            assert w.observed == pytest.approx(want)
+
+
+# ---------------------------------------------------------------------------
+# fingerprint stability
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_stable_under_renaming(self, cq):
+        renamed = api.compile(RENAMED, n=N)
+        a = profile_compiled(cq)
+        b = profile_compiled(renamed)
+        # Same canonical signature key as the serve tier's plan cache...
+        assert a.signature_key == cq.signature.key
+        assert a.signature_key == b.signature_key
+        assert a.signature_key == api.plan_signature(RENAMED, renamed.dc).key
+        # ...and therefore the same structural fingerprint.
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint.startswith("pf-")
+
+    def test_changes_when_plan_changes(self, cq):
+        a = profile_compiled(cq)
+        bigger = profile_compiled(api.compile(TRIANGLE, n=N + 1))
+        path = profile_compiled(api.compile("R(A,B), S(B,C)", n=N))
+        assert len({a.fingerprint, bigger.fingerprint,
+                    path.fingerprint}) == 3
+
+    def test_plan_not_signature_alone(self, cq):
+        """The fingerprint hashes plan structure, not just the key: the
+        all-live plan of the same query fingerprints differently."""
+        from repro.engine.plan import compile_plan
+
+        default = profile_compiled(cq)
+        all_live = plan_fingerprint(cq.signature.key,
+                                    compile_plan(cq.lowered.circuit))
+        assert all_live != default.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# report document
+# ---------------------------------------------------------------------------
+
+class TestReportDocument:
+    def test_static_report_lints_and_serializes(self, cq):
+        doc = profile_compiled(cq).to_json()
+        assert doc["schema"] == SCHEMA
+        assert validate_report(doc) == []
+        assert validate_report(json.loads(json.dumps(doc))) == []
+
+    def test_analyze_report_lints_and_serializes(self, cq, db):
+        report = explain(cq, db=db, analyze=True)
+        doc = json.loads(json.dumps(report.to_json()))
+        assert validate_report(doc) == []
+        for row in doc["levels"]:
+            assert isinstance(row["measured_ms"], float)
+            assert isinstance(row["observed_tuples"], (int, float))
+            assert isinstance(row["row_bytes"], int)
+
+    def test_lint_catches_missing_measurements(self, cq):
+        doc = profile_compiled(cq).to_json()
+        doc["analyze"] = True               # claims analyze, carries none
+        problems = validate_report(doc)
+        assert any("measured_ms" in p for p in problems)
+        assert any("observed" in p for p in problems)
+
+    def test_chrome_events_serialize(self, cq, db):
+        events = explain(cq, db=db, analyze=True).chrome_events()
+        json.dumps(events)
+        assert events[1]["name"] == "engine.execute"
+        levels = [e for e in events if e["name"].startswith("level ")]
+        assert levels and all(e["ph"] == "X" for e in levels)
+
+    def test_text_renders_both_modes(self, cq, db):
+        static = profile_compiled(cq).to_text()
+        assert "fingerprint pf-" in static and "envelope:" in static
+        analyzed = explain(cq, db=db, analyze=True).to_text(top=3)
+        assert "hot levels" in analyzed

@@ -220,6 +220,53 @@ class TestRoundTrip:
         assert "tests" in doc["counters"]["tenants"]
 
 
+class TestExplainEndpoint:
+    def test_same_report_for_cached_plan(self, client):
+        """The acceptance bar: a static explain is a pure function of the
+        compiled plan, so a cache hit returns the identical report."""
+        from repro.obs.profile import validate_report
+
+        first = client.explain(TRIANGLE, n=N)
+        again = client.explain(TRIANGLE, n=N)
+        assert again["cache"] == "hit"
+        assert again["plan_key"] == first["plan_key"]
+        assert again["report"] == first["report"]
+        assert validate_report(first["report"]) == []
+        assert first["report"]["analyze"] is False
+        assert first["report"]["fingerprint"].startswith("pf-")
+
+    def test_renamed_query_shares_plan_and_fingerprint(self, client):
+        base = client.explain(TRIANGLE, n=N)
+        renamed = client.explain("E1(X,Y), E2(Y,Z), E3(X,Z)", n=N)
+        assert renamed["cache"] == "hit"
+        assert renamed["plan_key"] == base["plan_key"]
+        assert renamed["report"]["fingerprint"] == \
+            base["report"]["fingerprint"]
+
+    def test_analyze_carries_measurements(self, client, dataset):
+        from repro.obs.profile import validate_report
+
+        _, db, _ = dataset
+        doc = client.explain(TRIANGLE, db=db, n=N, analyze=True)
+        report = doc["report"]
+        assert doc["analyze"] is True and report["analyze"] is True
+        assert validate_report(report) == []
+        assert report["totals"]["engine_ms"] > 0
+        # Level 0 observes the input fill: one tuple per stored row.
+        total_rows = sum(len(db[a]) for a in ("R_AB", "R_BC", "R_AC"))
+        assert report["levels"][0]["observed_tuples"] == total_rows
+
+    def test_analyze_without_data_is_rejected(self, client):
+        with pytest.raises(ServeError) as err:
+            client.explain(TRIANGLE, n=N, analyze=True)
+        assert err.value.code == "bad_request"
+
+    def test_explain_get_is_rejected(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v1/explain")
+        assert err.value.code == "method_not_allowed"
+
+
 class TestErrorEnvelopes:
     def test_parse_error(self, client):
         with pytest.raises(ServeError) as err:
@@ -550,6 +597,20 @@ class TestObservability:
         assert rc == 0
         assert "repro top" in out and "req/s" in out
         assert len(out.splitlines()) == 3        # banner + header + one tick
+
+    def test_cli_top_once_empty_window(self, capsys):
+        """A fresh server has an empty SLO window; ``top --once`` must
+        still exit 0 and render the explicit placeholder tick rather
+        than all-zero percentiles."""
+        from repro.cli import main
+
+        with start_in_thread() as handle:
+            rc = main(["top", handle.url, "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(no samples in window)" in out
+        tick = out.splitlines()[-1]
+        assert tick.count("-") >= 4           # p50/p95/p99/err% placeholders
 
     def test_cli_top_unreachable(self, capsys):
         from repro.cli import main
