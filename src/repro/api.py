@@ -463,7 +463,7 @@ class CompiledQuery:
 
     # -- introspection ----------------------------------------------------
     def explain_report(self, db=None, analyze: bool = False,
-                       repeat: int = 1):
+                       repeat: int = 1, shards: Optional[int] = None):
         """The per-level EXPLAIN [ANALYZE] report
         (:class:`repro.obs.profile.ExplainReport`).
 
@@ -473,11 +473,13 @@ class CompiledQuery:
         renaming-stable plan fingerprint.  ``analyze=True`` additionally
         executes the plan on ``db`` (one instance or a list) with timing
         and wire-cardinality probes — see ``repro explain`` and
-        ``docs/observability.md`` §Explain.
+        ``docs/observability.md`` §Explain.  ``shards`` > 1 profiles the
+        multiprocess shard path: probes run inside the workers and merge.
         """
         from .obs.profile import explain as _explain
 
-        return _explain(self, db=db, analyze=analyze, repeat=repeat)
+        return _explain(self, db=db, analyze=analyze, repeat=repeat,
+                        shards=shards)
 
     def explain(self) -> str:
         """A human-readable summary of every computed stage."""

@@ -342,8 +342,13 @@ def cmd_explain(args) -> int:
               file=sys.stderr)
         return 2
     cq = api.compile(query, dc=dc, canonical=args.canonical)
+    if db is not None and args.batch > 1:
+        # Replicate the instance into a batch so sharded analyze has
+        # enough columns to split across workers (the engine folds a
+        # batch below its per-shard minimum back to one process).
+        db = [db] * args.batch
     report = cq.explain_report(db=db, analyze=args.analyze,
-                               repeat=args.repeat)
+                               repeat=args.repeat, shards=args.shards)
     doc = report.to_json()
     problems = validate_report(doc)
     if problems:
@@ -401,7 +406,9 @@ def cmd_serve(args) -> int:
         datasets=datasets,
         access_log=args.log,
         slow_ms=args.slow_ms,
-        slo_window=args.slo_window)
+        slo_window=args.slo_window,
+        slo_ms=args.slo_ms,
+        flight_dir=args.flight_dir)
     server = QueryServer(config)
     print(f"repro serve: listening on http://{config.host}:{config.port} "
           f"(plan cache {config.plan_cache_capacity}, "
@@ -414,9 +421,13 @@ def cmd_serve(args) -> int:
         print(f"access log (JSONL): {where}")
     if config.slow_ms is not None:
         print(f"slow-query log threshold: {config.slow_ms:g} ms")
+    if config.slo_ms is not None:
+        print(f"flight-dump SLO target: p99 <= {config.slo_ms:g} ms")
+    if config.flight_dir is not None:
+        print(f"flight bundles written to: {config.flight_dir}")
     print("endpoints: POST /v1/evaluate  POST /v1/compile  "
-          "POST /v1/explain  GET /v1/healthz  GET /v1/stats  "
-          "GET /v1/metrics")
+          "POST /v1/explain  POST /v1/dump  GET /v1/healthz  "
+          "GET /v1/stats  GET /v1/metrics")
     try:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
@@ -501,6 +512,138 @@ def cmd_top(args) -> int:
         except KeyboardInterrupt:
             print()
             return 0
+
+
+def _tail_line(rec: dict) -> str:
+    """One aligned line per access/slow record (see JsonLinesLog)."""
+    import time as _time
+
+    ts = rec.get("ts")
+    clock = (_time.strftime("%H:%M:%S", _time.localtime(ts))
+             if isinstance(ts, (int, float)) else "--:--:--")
+    status = rec.get("status", 0)
+    ms = rec.get("ms", 0.0)
+    rid = str(rec.get("request_id", ""))[:12]
+    tenant = str(rec.get("tenant", "-"))[:10]
+    cache = rec.get("cache") or "-"
+    batch = rec.get("batch_size")
+    timings = rec.get("timings") or {}
+    stages = " ".join(f"{k}={v:.1f}" for k, v in sorted(timings.items())
+                      if isinstance(v, (int, float)))
+    line = (f"{clock} {status:>3} {ms:>9.2f}ms "
+            f"{rec.get('method', '?'):<4} {rec.get('path', '?'):<14} "
+            f"{rid:<12} {tenant:<10} {cache:<9} "
+            f"{'b=' + str(batch) if batch is not None else '':<6}")
+    if rec.get("kind") == "slow":
+        line += " SLOW"
+    error = rec.get("error") or rec.get("exception")
+    if error:
+        line += f" !{error}"
+    if stages:
+        line += f"  [{stages}]"
+    return line
+
+
+def cmd_tail(args) -> int:
+    """``repro tail``: pretty-print the serve tier's JSONL access log.
+
+    One aligned line per record — time, status, latency, method/path,
+    request id, tenant, cache status, batch size, per-stage timings.
+    ``--follow`` keeps the file open and streams new records as the
+    server appends them; ``--slow-only`` filters to slow-query records
+    (and errors, which are what slow hunts usually chase).
+    """
+    import time as _time
+
+    from .obs import rt
+
+    def wanted(rec: dict) -> bool:
+        if rec.get("kind") not in ("access", "slow"):
+            return False
+        if args.slow_only:
+            return (rec.get("kind") == "slow"
+                    or rec.get("status", 0) >= 500)
+        return True
+
+    offset = 0
+    shown = 0
+    try:
+        while True:
+            try:
+                for offset, rec in rt.iter_jsonl(args.log, start=offset):
+                    if wanted(rec):
+                        print(_tail_line(rec), flush=True)
+                        shown += 1
+            except OSError as exc:
+                print(f"tail: cannot read {args.log!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            if not args.follow:
+                break
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    if shown == 0 and not args.follow:
+        print("tail: no matching records", file=sys.stderr)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: re-execute a flight-recorder bundle's captured
+    request and check the answer is identical.
+
+    The bundle (``repro.flight/1``, from a triggered dump or ``POST
+    /v1/dump``) is linted, replayed through a fresh in-process server
+    built from the bundle's config snapshot, and compared field-by-field
+    against the captured response (status, error code, answers, bound).
+    Exit 0 = identical, 1 = diverged, 2 = unusable bundle.
+    ``--save-case DIR`` additionally converts the request into a
+    ``repro.testkit/1`` corpus case so the failure joins the fuzz suite.
+    """
+    from . import obs
+
+    try:
+        bundle = obs.load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"replay: cannot read {args.bundle!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    problems = obs.validate_bundle(bundle)
+    if problems:
+        for p in problems:
+            print(f"replay: invalid bundle: {p}", file=sys.stderr)
+        return 2
+    req = bundle.get("request", {})
+    trig = bundle.get("trigger", {})
+    print(f"replaying {req.get('method')} {req.get('path')} "
+          f"(request {req.get('request_id')}, trigger "
+          f"{trig.get('kind')}, captured status {req.get('status')})")
+    status, doc = obs.replay_bundle(bundle)
+    mismatches = obs.compare_replay(bundle, status, doc)
+    if args.save_case:
+        try:
+            case = obs.to_corpus_case(bundle)
+        except ValueError as exc:
+            print(f"replay: cannot build corpus case: {exc}",
+                  file=sys.stderr)
+        else:
+            from .testkit.corpus import case_from_dict, save_case
+
+            path = Path(args.save_case) / f"{case['name']}.json"
+            save_case(case_from_dict(case), path)
+            print(f"corpus case written to {path}")
+    if mismatches:
+        print(f"replay DIVERGED ({len(mismatches)} mismatches):")
+        for m in mismatches:
+            print(f"  {m}")
+        return 1
+    error = (req.get("response") or {}).get("error") if isinstance(
+        req.get("response"), dict) else None
+    outcome = (f"error {error.get('code')!r}" if isinstance(error, dict)
+               else f"status {status}")
+    print(f"replay OK: deterministic ({outcome} reproduced)")
+    return 0
 
 
 def _is_span_forest(doc) -> bool:
@@ -870,6 +1013,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "probes (EXPLAIN ANALYZE)")
     p.add_argument("--repeat", type=int, default=1, metavar="N",
                    help="analyze over N repeated runs (default 1)")
+    p.add_argument("--shards", type=int, default=None, metavar="W",
+                   help="analyze through execute_sharded with W pool "
+                        "workers; per-level times and cardinalities are "
+                        "measured inside the workers (default: in-process)")
+    p.add_argument("--batch", type=int, default=1, metavar="N",
+                   help="replicate the instance into a batch of N columns "
+                        "(sharding splits the batch; default 1)")
     p.add_argument("--json", metavar="FILE",
                    help="write the repro.explain/1 JSON report to FILE")
     p.add_argument("--chrome", metavar="FILE",
@@ -916,6 +1066,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-window", type=float, default=60.0, metavar="S",
                    help="trailing window for the /v1/stats SLO block "
                         "(default 60s)")
+    p.add_argument("--slo-ms", type=float, metavar="MS",
+                   help="SLO latency target: a rolling p99 above it "
+                        "triggers a flight-recorder dump (slo_breach)")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   help="write triggered flight bundles (repro.flight/1) "
+                        "to DIR; without it the latest bundle is kept in "
+                        "memory and served via POST /v1/dump")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -929,6 +1086,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="print a single tick and exit (scripts, tests)")
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "tail",
+        help="pretty-print a serve JSONL access log (one aligned line "
+             "per request)")
+    p.add_argument("log", help="JSONL access log written by "
+                               "`repro serve --log FILE`")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep the file open and stream new records")
+    p.add_argument("--slow-only", action="store_true",
+                   help="only slow-query records and 5xx errors")
+    p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a flight-recorder bundle "
+             "(repro.flight/1) and verify the captured answer")
+    p.add_argument("bundle", help="bundle JSON from a triggered dump or "
+                                  "POST /v1/dump")
+    p.add_argument("--save-case", metavar="DIR",
+                   help="also convert the captured request into a "
+                        "repro.testkit/1 corpus case under DIR")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "trace",

@@ -123,15 +123,7 @@ def evaluate(circuit: Circuit, input_batches: Sequence[Sequence[int]],
                     the_plan.per_level_footprint())
             return execute_chunked(the_plan, columns, max_rows, stats=stats)
     if effective_shards(columns.shape[1], shards) > 1:
-        import time
-
-        t0 = time.perf_counter()
-        run = execute_sharded(the_plan, columns, shards)
-        if stats is not None:
-            stats.batch = columns.shape[1]
-            stats.total_seconds += time.perf_counter() - t0
-            stats.runs += 1
-        return run
+        return execute_sharded(the_plan, columns, shards, stats=stats)
     return execute_plan(the_plan, columns, stats=stats)
 
 

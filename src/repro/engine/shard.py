@@ -9,8 +9,17 @@ than within one vectorized call.
 
 Sharding is opt-in (``shards > 1``) and only engages above a minimum chunk
 size — process start-up plus result pickling dominates below it.  Workers
-re-execute the (pickled) plan; per-level stats are not collected inside
-workers, only the total wall time on the coordinating side.
+re-execute the (pickled) plan and, when the caller asked for any
+instrumentation, fill a pickle-safe :class:`WorkerTelemetry` capsule that
+ships back with the result buffer: per-level wall times and observed
+cardinalities (via the :class:`~repro.obs.profile.ProfileProbe` flat
+protocol), :class:`EngineStats` level rows, the worker's span forest and
+metrics registry, and its peak RSS.  The coordinator grafts worker span
+subtrees under its ``engine.shard`` span (same trace id, ``worker=i``
+attributes), merges metrics idempotently, and folds probe accumulators so
+``repro explain --analyze`` works on sharded runs: per-level times are the
+max over workers (they run concurrently), observed cardinalities are
+summed.
 
 :func:`execute_chunked` reuses the same batch-axis split for a different
 goal: *peak memory* rather than wall time.  It runs the chunks
@@ -23,21 +32,183 @@ degrade-gracefully path behind :class:`repro.obs.MemoryBudget`.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import List, Optional
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .. import obs
-from .exec import EngineRun, EngineStats, execute_plan
+from .exec import EngineRun, EngineStats, LevelTiming, execute_plan
 from .plan import ExecutionPlan
 
 #: Below this many instances per shard, sharding is refused (not worth it).
 MIN_SHARD_BATCH = 16
 
 
-def _run_shard(args) -> np.ndarray:
-    plan, columns = args
-    return execute_plan(plan, columns).buf
+@dataclass
+class WorkerTelemetry:
+    """Everything one pool worker measured, shipped back by pickle.
+
+    ``token`` is unique per capsule so the coordinator's metric merge
+    (:meth:`repro.obs.metrics.MetricsRegistry.merge_state`) is idempotent
+    even if a capsule is folded twice.  Numeric payloads are plain lists /
+    small NumPy arrays; span trees are the serialized-dict form of
+    :func:`repro.obs.export.span_tree`.
+    """
+
+    worker: int
+    token: str
+    batch: int = 0
+    #: (level, width, groups, seconds) rows from the worker's EngineStats —
+    #: geometry is identical across workers, so only worker 0 ships them.
+    levels: List[Tuple[int, int, int, float]] = field(default_factory=list)
+    #: per-level wall seconds (every worker; the coordinator takes the max).
+    level_seconds: Optional[np.ndarray] = None
+    total_seconds: float = 0.0
+    #: ProfileProbe accumulators (present when the caller passed a probe).
+    #: ``cards`` is the flat backing array behind the probe's per-level
+    #: cardinality slices — one pickle instead of thousands.  Opcode-group
+    #: wall times (``group_acc``) are sampled from shard 0 only: chained
+    #: per-group timestamps are the most expensive part of the analyze
+    #: probe, and one worker's sample keeps the same magnitude as the
+    #: max-over-workers level times while the others run untimed.
+    level_acc: Optional[np.ndarray] = None
+    group_acc: Optional[np.ndarray] = None
+    cards: Optional[np.ndarray] = None
+    #: Serialized span forest + metrics registry (present when obs was on).
+    spans: Optional[List[dict]] = None
+    metrics: Optional[Dict[str, Any]] = None
+    peak_rss_bytes: int = 0
+
+
+class _ProbeSpec:
+    """The pickle-safe skeleton of a coordinator probe.
+
+    Only what a worker needs to build matching accumulators: the level
+    count, the flat group-slot layout, and the per-level slot indices to
+    count cardinalities at — concatenated into one array
+    (``card_slots``) with a ``(level, count)`` layout table
+    (``card_levels``), so pickling costs one buffer, not one per level.
+    Wire attribution (``entry[1]``) stays on the coordinator — workers
+    only fill count totals.
+    """
+
+    __slots__ = ("depth", "time_groups", "group_base", "n_groups",
+                 "card_levels", "card_slots")
+
+    def __init__(self, probe):
+        self.depth = len(probe.level_acc) - 1
+        self.time_groups = bool(probe.time_groups)
+        self.group_base = np.asarray(probe.group_base, dtype=np.int64)
+        self.n_groups = len(probe.group_acc)
+        self.card_levels = [(lvl, len(entry[0]))
+                            for lvl, entry in probe.card_by_level.items()]
+        self.card_slots = (
+            np.concatenate([np.asarray(entry[0], dtype=np.intp)
+                            for entry in probe.card_by_level.values()])
+            if probe.card_by_level else np.empty(0, dtype=np.intp))
+
+
+class _WorkerProbe:
+    """A minimal probe a worker builds from a :class:`_ProbeSpec`.
+
+    Implements exactly the flat protocol ``execute_plan`` binds to locals
+    (``level_acc`` / ``card_by_level`` / ``group_acc`` / ``group_base`` /
+    ``begin`` / ``observe`` / ``total_seconds``); the hot loop only touches
+    ``entry[0]`` (slot indices) and ``entry[2]`` (count accumulator), so
+    the wire-index member can stay ``None`` here.  Every per-level count
+    accumulator is a slice view into one flat ``card_acc`` array, which
+    is what ships back in the capsule.
+    """
+
+    def __init__(self, spec: _ProbeSpec):
+        self.time_groups = spec.time_groups
+        self.total_seconds = 0.0
+        self.batch = 0
+        self.runs = 0
+        self._level_acc = [0.0] * (spec.depth + 1)
+        self.group_acc = [0.0] * spec.n_groups
+        self.group_base = spec.group_base
+        self.card_acc = np.zeros(len(spec.card_slots), dtype=np.int64)
+        self.card_by_level = {}
+        pos = 0
+        for lvl, n in spec.card_levels:
+            self.card_by_level[lvl] = (spec.card_slots[pos:pos + n], None,
+                                       self.card_acc[pos:pos + n])
+            pos += n
+
+    @property
+    def level_acc(self):
+        return self._level_acc
+
+    def begin(self, batch: int) -> None:
+        self.batch += int(batch)
+        self.runs += 1
+
+    def observe(self, level: int, buf: np.ndarray) -> None:
+        entry = self.card_by_level.get(level)
+        if entry is not None:
+            acc = entry[2]
+            acc += np.count_nonzero(buf[entry[0]], axis=1)
+
+
+class _ShardSpec:
+    """Per-worker job descriptor: what telemetry to collect."""
+
+    __slots__ = ("worker", "want_stats", "probe", "obs_on")
+
+    def __init__(self, worker: int, want_stats: bool,
+                 probe: Optional[_ProbeSpec], obs_on: bool):
+        self.worker = worker
+        self.want_stats = want_stats
+        self.probe = probe
+        self.obs_on = obs_on
+
+
+def _run_shard(args):
+    if len(args) == 2:          # legacy plain job: just the buffer back
+        plan, columns = args
+        return execute_plan(plan, columns).buf
+    plan, columns, spec = args
+    if spec is None:
+        return execute_plan(plan, columns).buf
+    if spec.obs_on:
+        # A forked worker inherits the parent's recorded spans, metrics and
+        # subscribers; reset so the capsule carries only this shard's
+        # activity (the coordinator already holds its own copy).
+        obs.TRACER.reset()
+        obs.REGISTRY.reset()
+        obs.clear_hooks()
+        obs.STATE.on = True     # spawned workers start disabled
+    stats = EngineStats() if spec.want_stats else None
+    probe = _WorkerProbe(spec.probe) if spec.probe is not None else None
+    if probe is not None and spec.worker != 0:
+        # Group timing is sampled from shard 0 only (see WorkerTelemetry).
+        probe.time_groups = False
+    run = execute_plan(plan, columns, stats=stats, probe=probe)
+    cap = WorkerTelemetry(worker=spec.worker, token=os.urandom(8).hex(),
+                          batch=columns.shape[1])
+    if stats is not None:
+        if spec.worker == 0:
+            cap.levels = stats.table()
+        cap.level_seconds = np.fromiter(
+            (t.seconds for t in stats.levels), dtype=np.float64,
+            count=len(stats.levels))
+        cap.total_seconds = stats.total_seconds
+    if probe is not None:
+        cap.level_acc = np.asarray(probe.level_acc, dtype=np.float64)
+        if probe.time_groups:
+            cap.group_acc = np.asarray(probe.group_acc, dtype=np.float64)
+        cap.cards = probe.card_acc
+        if not cap.total_seconds:
+            cap.total_seconds = probe.total_seconds
+    if spec.obs_on:
+        cap.spans = obs.span_tree(obs.TRACER.roots)
+        cap.metrics = obs.REGISTRY.dump_state()
+    cap.peak_rss_bytes = obs.peak_rss_bytes()
+    return run.buf, cap
 
 
 def effective_shards(batch: int, shards: Optional[int],
@@ -48,28 +219,116 @@ def effective_shards(batch: int, shards: Optional[int],
     return max(1, min(int(shards), batch // min_shard_batch))
 
 
+def _merge_telemetry(caps: List[WorkerTelemetry], sp, stats, probe,
+                     batch: int, wall_seconds: float) -> None:
+    """Fold worker capsules into the coordinator's collectors.
+
+    Per-level seconds take the max over workers — shards run concurrently,
+    so the slowest worker *is* the level's wall time — while batch counts
+    and observed cardinalities sum.  Opcode-group times come from the
+    shard-0 sample alone (same magnitude as the per-worker level times).
+    ``total_seconds`` is the coordinator wall clock, which honestly
+    includes pool start-up and pickling.
+    """
+    if stats is not None and caps and caps[0].levels:
+        n = len(caps[0].levels)
+        seconds = np.maximum.reduce(
+            [c.level_seconds for c in caps
+             if c.level_seconds is not None and len(c.level_seconds) == n])
+        for (level, width, groups, _), s in zip(caps[0].levels, seconds):
+            stats.levels.append(LevelTiming(level=level, width=width,
+                                            groups=groups,
+                                            seconds=float(s)))
+        stats.batch = batch
+        stats.total_seconds += wall_seconds
+        stats.runs += 1
+    if probe is not None and caps and caps[0].level_acc is not None:
+        probe.begin(batch)
+        level_acc = probe.level_acc
+        merged = np.maximum.reduce([c.level_acc for c in caps])
+        level_acc[:] = (np.asarray(level_acc) + merged).tolist()
+        gacc = probe.group_acc
+        garrs = [c.group_acc for c in caps if c.group_acc is not None]
+        if len(gacc) and garrs:
+            gmerged = np.maximum.reduce(garrs)
+            gacc[:] = (np.asarray(gacc) + gmerged).tolist()
+        if probe.card_by_level:
+            summed = caps[0].cards.copy()
+            for c in caps[1:]:
+                summed += c.cards
+            pos = 0
+            for entry in probe.card_by_level.values():
+                acc = entry[2]
+                n = len(acc)
+                acc += summed[pos:pos + n]
+                pos += n
+        probe.total_seconds += wall_seconds
+    if obs.STATE.on:
+        from ..obs.trace import graft_tree
+        for c in caps:
+            if c.spans:
+                graft_tree(sp, c.spans, worker=c.worker)
+            if c.metrics:
+                obs.REGISTRY.merge_state(c.metrics, token=c.token)
+        if caps:
+            obs.metrics.gauge("engine.shard_peak_rss_bytes").set(
+                max(c.peak_rss_bytes for c in caps))
+
+
 def execute_sharded(plan: ExecutionPlan, columns: np.ndarray,
                     shards: int,
-                    min_shard_batch: int = MIN_SHARD_BATCH) -> EngineRun:
+                    min_shard_batch: int = MIN_SHARD_BATCH,
+                    stats: Optional[EngineStats] = None,
+                    probe=None) -> EngineRun:
     """Evaluate ``columns`` across ``shards`` worker processes.
 
     Falls back to in-process execution when the batch is too small to
-    split or only one worker is requested.
+    split or only one worker is requested, and — counting an
+    ``engine.shard_fallbacks`` metric — when the worker pool itself fails
+    (a crashed worker, a fork-refusing platform), so callers always get an
+    answer.  ``stats`` and ``probe`` mirror :func:`execute_plan`: workers
+    measure inside the pool and the coordinator merges their
+    :class:`WorkerTelemetry` capsules (levels: max over workers;
+    cardinalities: summed; spans grafted under ``engine.shard``).
     """
     batch = columns.shape[1]
     workers = effective_shards(batch, shards, min_shard_batch)
     if workers == 1:
-        return execute_plan(plan, columns)
-    with obs.span("engine.shard", workers=workers, batch=batch):
-        if obs.STATE.on:
+        return execute_plan(plan, columns, stats=stats, probe=probe)
+    obs_on = obs.STATE.on
+    t0 = time.perf_counter()
+    with obs.span("engine.shard", workers=workers, batch=batch) as sp:
+        if obs_on:
             obs.metrics.counter("engine.sharded_runs").inc()
             obs.metrics.gauge("engine.shards").set(workers)
         columns = np.ascontiguousarray(columns, dtype=np.int64)
         chunks = np.array_split(columns, workers, axis=1)
-        ctx = mp.get_context()
-        with ctx.Pool(processes=workers) as pool:
-            bufs: List[np.ndarray] = pool.map(
-                _run_shard, [(plan, chunk) for chunk in chunks])
+        want_telemetry = obs_on or stats is not None or probe is not None
+        if want_telemetry:
+            probe_spec = _ProbeSpec(probe) if probe is not None else None
+            jobs = [(plan, chunk,
+                     _ShardSpec(i, stats is not None, probe_spec, obs_on))
+                    for i, chunk in enumerate(chunks)]
+        else:
+            jobs = [(plan, chunk) for chunk in chunks]
+        try:
+            ctx = mp.get_context()
+            with ctx.Pool(processes=workers) as pool:
+                results = pool.map(_run_shard, jobs)
+        except Exception:
+            # Worker crash / pool failure: degrade to in-process execution
+            # rather than losing the answer.
+            if obs_on:
+                obs.metrics.counter("engine.shard_fallbacks").inc()
+            sp.set(fallback=True)
+            return execute_plan(plan, columns, stats=stats, probe=probe)
+        if want_telemetry:
+            bufs: List[np.ndarray] = [buf for buf, _ in results]
+            caps = [cap for _, cap in results]
+            _merge_telemetry(caps, sp, stats, probe, batch,
+                             time.perf_counter() - t0)
+        else:
+            bufs = results
         return EngineRun(plan, np.concatenate(bufs, axis=1))
 
 

@@ -68,6 +68,17 @@ from .export import (
     trace_document,
     write_trace,
 )
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    build_bundle,
+    compare_replay,
+    load_bundle,
+    replay_bundle,
+    to_corpus_case,
+    validate_bundle,
+    write_bundle,
+)
 from .hooks import clear_hooks, hook_errors, on_metric, on_span_end
 from .memory import (
     MEM,
@@ -95,6 +106,7 @@ from .profile import (
 )
 from .regression import CompareReport, MetricDelta, compare, compare_dirs
 from .trace import NOOP_SPAN, STATE, TRACER, Span, Tracer, span
+from . import flight
 from . import memory
 from . import profile
 from . import rt
@@ -106,6 +118,8 @@ __all__ = [
     "ConformanceReport",
     "Counter",
     "ExplainReport",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LevelProfile",
@@ -125,6 +139,7 @@ __all__ = [
     "append_trajectory",
     "bench_document",
     "bench_seed",
+    "build_bundle",
     "build_probe",
     "check_compiled",
     "check_lowered",
@@ -134,6 +149,7 @@ __all__ = [
     "clear_hooks",
     "compare",
     "compare_dirs",
+    "compare_replay",
     "current_rss_bytes",
     "disable",
     "discover",
@@ -143,8 +159,10 @@ __all__ = [
     "envelope_for",
     "explain",
     "fingerprint",
+    "flight",
     "format_bytes",
     "hook_errors",
+    "load_bundle",
     "load_trace",
     "load_trajectory",
     "mem_enabled",
@@ -157,6 +175,7 @@ __all__ = [
     "plan_fingerprint",
     "profile",
     "profile_compiled",
+    "replay_bundle",
     "reset",
     "resolve_budget",
     "rt",
@@ -165,8 +184,11 @@ __all__ = [
     "span_tree",
     "spans",
     "summary",
+    "to_corpus_case",
     "trace_document",
+    "validate_bundle",
     "validate_report",
+    "write_bundle",
     "write_trace",
 ]
 

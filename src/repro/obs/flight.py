@@ -1,0 +1,376 @@
+"""Flight recorder: always-on forensics for the serve tier.
+
+A bounded, time-bucketed ring (same eviction geometry as
+:class:`repro.obs.rt.RollingWindow`) keeps the last few minutes of request
+records — request envelope, response document, span forest, timings —
+at fixed memory cost.  When something goes wrong the serve tier *dumps*:
+any 5xx (including ``MemoryBudgetExceeded`` → ``over_budget``), a rolling
+p99 above the configured SLO, or an explicit ``POST /v1/dump`` produces a
+versioned ``repro.flight/1`` bundle: one JSON document carrying the
+triggering request, the recent ring, a metrics snapshot, and a Chrome
+trace of the request's span tree.
+
+Bundles are *evidence, not anecdotes*: the captured envelope replays
+deterministically through :func:`replay_bundle` (``repro replay BUNDLE``)
+because circuit evaluation is oblivious — same request, same answer (or
+same error) — and :func:`to_corpus_case` converts it into the
+``repro.testkit/1`` corpus format so a production failure becomes an
+ordinary pytest case under ``tests/corpus/``.
+
+Bundle layout (validated by :func:`validate_bundle`)::
+
+    {
+      "schema":      "repro.flight/1",
+      "created_ts":  <epoch seconds>,
+      "trigger":     {"kind": "5xx"|"over_budget"|"slo_breach"|"manual", ...},
+      "request":     {request_id, method, path, status, ms, envelope,
+                      response, trace, tenant?, plan_key?, timings?, ...},
+      "recent":      [older request records, oldest first],
+      "metrics":     <registry snapshot, compact>,
+      "slo":         <rolling-window snapshot>,
+      "config":      {mem_budget?, slo_ms?, ...},   # replay-relevant knobs
+      "traceEvents": [...],                          # chrome://tracing
+    }
+
+The replay caveat: requests that referenced a server-side ``dataset``
+(instead of shipping an inline ``db``) need the same dataset mounted at
+replay time; :func:`replay_bundle` accepts a ``datasets`` mapping for
+that, and reports a clean mismatch otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .export import chrome_events_from_tree
+
+#: Schema tag stamped into every bundle; bump on breaking changes.
+FLIGHT_SCHEMA = "repro.flight/1"
+
+#: Trigger kinds a bundle may carry.
+TRIGGER_KINDS = ("5xx", "over_budget", "slo_breach", "manual")
+
+
+class FlightRecorder:
+    """A fixed-memory ring of recent request records with dump bookkeeping.
+
+    Time-bucketed like :class:`~repro.obs.rt.RollingWindow`: records land
+    in ``window / buckets``-second buckets, whole expired buckets are
+    dropped on every touch, and each bucket holds at most ``per_bucket``
+    records (oldest evicted first), so memory is bounded by
+    ``buckets × per_bucket`` records regardless of traffic.
+    """
+
+    def __init__(self, window: float = 120.0, buckets: int = 12,
+                 per_bucket: int = 24, clock=time.monotonic):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self.buckets = max(1, int(buckets))
+        self.width = self.window / self.buckets
+        self.per_bucket = max(1, int(per_bucket))
+        self._clock = clock
+        self._buckets: Dict[int, List[dict]] = {}
+        self._lock = threading.Lock()
+        self._last_dump: Dict[str, float] = {}
+        self.recorded = 0
+        self.evicted = 0
+        self.dumps = 0
+
+    def _prune(self, now: float) -> None:
+        horizon = int((now - self.window) / self.width)
+        for idx in [i for i in self._buckets if i <= horizon]:
+            self.evicted += len(self._buckets[idx])
+            del self._buckets[idx]
+
+    def record(self, rec: dict) -> None:
+        """Append one request record (a JSON-ready dict)."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            bucket = self._buckets.setdefault(int(now / self.width), [])
+            if len(bucket) >= self.per_bucket:
+                bucket.pop(0)
+                self.evicted += 1
+            bucket.append(rec)
+            self.recorded += 1
+
+    def recent(self) -> List[dict]:
+        """Un-expired records, oldest first."""
+        with self._lock:
+            self._prune(self._clock())
+            return [rec for idx in sorted(self._buckets)
+                    for rec in self._buckets[idx]]
+
+    def find(self, request_id: str) -> Optional[dict]:
+        """The newest record for ``request_id`` still in the ring."""
+        for rec in reversed(self.recent()):
+            if rec.get("request_id") == request_id:
+                return rec
+        return None
+
+    def should_dump(self, kind: str, cooldown: float = 0.0) -> bool:
+        """Rate-limit triggered dumps: at most one ``kind`` dump per
+        ``cooldown`` seconds (0 disables the limit).  Claims the slot."""
+        now = self._clock()
+        with self._lock:
+            last = self._last_dump.get(kind)
+            if last is not None and cooldown > 0 and now - last < cooldown:
+                return False
+            self._last_dump[kind] = now
+            return True
+
+    def info(self) -> Dict[str, Any]:
+        """Ring occupancy + dump counters (for ``/v1/stats``)."""
+        records = len(self.recent())
+        return {"window_s": self.window, "records": records,
+                "recorded": self.recorded, "evicted": self.evicted,
+                "dumps": self.dumps}
+
+
+# ---------------------------------------------------------------------------
+# bundles
+# ---------------------------------------------------------------------------
+
+def build_bundle(trigger: Dict[str, Any], request_record: dict,
+                 recent: Optional[List[dict]] = None,
+                 metrics: Optional[dict] = None,
+                 slo: Optional[dict] = None,
+                 config: Optional[dict] = None) -> Dict[str, Any]:
+    """Assemble a ``repro.flight/1`` bundle around one request record."""
+    return {
+        "schema": FLIGHT_SCHEMA,
+        "created_ts": round(time.time(), 6),
+        "trigger": dict(trigger),
+        "request": request_record,
+        "recent": list(recent or ()),
+        "metrics": metrics or {},
+        "slo": slo or {},
+        "config": config or {},
+        "traceEvents": chrome_events_from_tree(
+            request_record.get("trace") or ()),
+    }
+
+
+def write_bundle(bundle: Dict[str, Any],
+                 directory: Union[str, Path]) -> Path:
+    """Persist a bundle as pretty JSON; returns the written path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    kind = str(bundle.get("trigger", {}).get("kind", "manual"))
+    rid = str(bundle.get("request", {}).get("request_id", "")) or \
+        f"{int(bundle.get('created_ts', 0) * 1e6):x}"
+    path = directory / f"flight-{kind}-{rid}.json"
+    path.write_text(json.dumps(bundle, indent=1, sort_keys=True,
+                               default=str) + "\n")
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def _num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_bundle(doc: Any) -> List[str]:
+    """Lint a ``repro.flight/1`` document; returns problems ([] = valid).
+
+    Structural, dependency-free validation (the CI smoke runs it on a
+    forced ``over_budget`` dump): schema tag, trigger kind, a replayable
+    request record (method/path/envelope plus numeric status and
+    latency), well-formed recent records, and Chrome trace events.
+    """
+    errs: List[str] = []
+    if not isinstance(doc, dict):
+        return ["bundle is not an object"]
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        errs.append(f"schema is {doc.get('schema')!r}, "
+                    f"expected {FLIGHT_SCHEMA!r}")
+    for key in ("created_ts", "trigger", "request", "recent", "metrics",
+                "traceEvents"):
+        if key not in doc:
+            errs.append(f"missing top-level key {key!r}")
+    if errs:
+        return errs
+    if not _num(doc["created_ts"]):
+        errs.append("created_ts is not a number")
+    trigger = doc["trigger"]
+    if not isinstance(trigger, dict) or \
+            trigger.get("kind") not in TRIGGER_KINDS:
+        errs.append(f"trigger.kind must be one of {TRIGGER_KINDS}")
+    req = doc["request"]
+    if not isinstance(req, dict):
+        errs.append("request is not an object")
+        return errs
+    for key in ("method", "path", "request_id"):
+        if not isinstance(req.get(key), str) or not req.get(key):
+            errs.append(f"request.{key} must be a non-empty string")
+    for key in ("status", "ms"):
+        if not _num(req.get(key)):
+            errs.append(f"request.{key} is not a number")
+    if not isinstance(req.get("envelope"), dict):
+        errs.append("request.envelope must be an object (the verbatim "
+                    "request body — required for replay)")
+    if not isinstance(req.get("trace"), list):
+        errs.append("request.trace must be a list of span-tree nodes")
+    if not isinstance(doc["recent"], list):
+        errs.append("recent is not a list")
+    else:
+        for i, rec in enumerate(doc["recent"]):
+            if not isinstance(rec, dict) or not _num(rec.get("status")):
+                errs.append(f"recent[{i}] is not a request record")
+    if not isinstance(doc["metrics"], dict):
+        errs.append("metrics is not an object")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        errs.append("traceEvents is not a list")
+    else:
+        for i, ev in enumerate(events):
+            if not isinstance(ev, dict) or ev.get("ph") not in ("B", "E") \
+                    or not _num(ev.get("ts")):
+                errs.append(f"traceEvents[{i}] is not a B/E event")
+                break
+    return errs
+
+
+# ---------------------------------------------------------------------------
+# deterministic replay
+# ---------------------------------------------------------------------------
+
+def replay_bundle(bundle: Dict[str, Any],
+                  datasets: Optional[Dict[str, Any]] = None
+                  ) -> Tuple[int, Dict[str, Any]]:
+    """Re-execute a bundle's captured request through a fresh in-process
+    :class:`~repro.serve.server.QueryServer`.
+
+    The server is configured from the bundle's ``config`` snippet (the
+    memory budget in particular, so an ``over_budget`` capture replays to
+    the same 503) and torn down afterwards.  Returns the replayed
+    ``(status, response document)``; compare with :func:`compare_replay`.
+    Evaluation is deterministic — the compiled circuit is oblivious and
+    the engine is exact over int64 — so a mismatch means the server code
+    changed behaviour, not that the request was flaky.
+    """
+    import asyncio
+
+    from ..serve.server import QueryServer, ServerConfig
+
+    cfg = bundle.get("config") or {}
+    config = ServerConfig(mem_budget=cfg.get("mem_budget"),
+                          datasets=datasets or {})
+    server = QueryServer(config)
+    try:
+        req = bundle.get("request") or {}
+        status, doc = asyncio.run(server.dispatch(
+            str(req.get("method", "POST")),
+            str(req.get("path", "/v1/evaluate")),
+            req.get("envelope") or {}))
+    finally:
+        server.close()
+    return status, doc
+
+
+def compare_replay(bundle: Dict[str, Any], status: int,
+                   doc: Dict[str, Any]) -> List[str]:
+    """Mismatches between a bundle's captured outcome and a replay's
+    ``(status, doc)``; [] means the replay reproduced the capture.
+
+    Compares the stable outcome — status code, error code, answers and
+    certified bound — and ignores per-run fields (request ids, timings,
+    cache status) that legitimately differ across processes.
+    """
+    problems: List[str] = []
+    req = bundle.get("request") or {}
+    want_status = req.get("status")
+    if want_status is not None and int(status) != int(want_status):
+        problems.append(f"status: captured {want_status}, replay {status}")
+    captured = req.get("response")
+    if not isinstance(captured, dict):
+        problems.append("bundle carries no captured response to compare")
+        return problems
+    want_err = (captured.get("error") or {}).get("code") \
+        if "error" in captured else None
+    got_err = (doc.get("error") or {}).get("code") \
+        if isinstance(doc, dict) and "error" in doc else None
+    if want_err != got_err:
+        problems.append(f"error code: captured {want_err!r}, "
+                        f"replay {got_err!r}")
+    if want_err is None and got_err is None:
+        for key in ("answers", "bound"):
+            if key in captured and captured[key] != doc.get(key):
+                problems.append(
+                    f"{key}: captured {captured[key]!r}, "
+                    f"replay {doc.get(key)!r}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# testkit corpus feed
+# ---------------------------------------------------------------------------
+
+def to_corpus_case(bundle: Dict[str, Any],
+                   name: Optional[str] = None) -> Dict[str, Any]:
+    """Convert a bundle's captured request into a ``repro.testkit/1`` dict.
+
+    The result round-trips through
+    :func:`repro.testkit.corpus.case_from_dict`, so dropping it into
+    ``tests/corpus/`` replays the production failure as a pytest case.
+    Degree constraints come from the envelope's ``dc`` list when present
+    (attributed to the first atom covering their variables) and otherwise
+    fall back to per-atom cardinality constraints measured from the
+    captured instance.  Requires an inline ``db`` in the envelope —
+    dataset-backed requests don't carry their data.
+    """
+    from ..cq.query import parse_query
+
+    req = bundle.get("request") or {}
+    env = req.get("envelope") or {}
+    query_text = env.get("query")
+    db_wire = env.get("db")
+    if not query_text or not isinstance(db_wire, dict):
+        raise ValueError(
+            "bundle request has no inline query + db; dataset-backed "
+            "captures cannot become self-contained corpus cases")
+    query = parse_query(query_text)
+    atom_vars = {atom.name: set(atom.vars) for atom in query.atoms}
+
+    constraints: Dict[str, List[dict]] = {a.name: [] for a in query.atoms}
+    dc_wire = env.get("dc")
+    if isinstance(dc_wire, list) and dc_wire:
+        for item in dc_wire:
+            need = set(item.get("x") or ()) | set(item.get("y") or ())
+            target = next((n for n, vs in atom_vars.items() if need <= vs),
+                          query.atoms[0].name)
+            constraints[target].append({"x": sorted(item.get("x") or ()),
+                                        "y": sorted(item.get("y") or ()),
+                                        "bound": int(item["bound"])})
+    else:
+        for atom in query.atoms:
+            rows = (db_wire.get(atom.name) or {}).get("rows") or []
+            constraints[atom.name].append({
+                "x": [], "y": sorted(set(atom.vars)),
+                "bound": max(1, len(rows))})
+
+    trigger = bundle.get("trigger") or {}
+    rid = str(req.get("request_id", ""))[:12]
+    return {
+        "format": "repro.testkit/1",
+        "name": name or f"flight_{trigger.get('kind', 'manual')}_{rid}",
+        "note": (f"flight-recorder capture: trigger="
+                 f"{trigger.get('kind', '?')}, status={req.get('status')}, "
+                 f"request_id={req.get('request_id', '')}"),
+        "query": str(query),
+        "constraints": {n: cs for n, cs in constraints.items() if cs},
+        "db": {
+            name_: {"schema": list(spec.get("schema") or ()),
+                    "rows": [list(r) for r in
+                             sorted(map(tuple, spec.get("rows") or ()))]}
+            for name_, spec in db_wire.items()
+        },
+    }

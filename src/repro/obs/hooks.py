@@ -31,6 +31,17 @@ _metric_hooks: List[MetricHook] = []
 _errors: List[Tuple[str, BaseException]] = []
 MAX_HOOK_ERRORS = 64
 
+#: Name of the counter that mirrors the error list, so swallowed failures
+#: surface on ``/v1/metrics`` (as ``repro_obs_hook_errors_total``) instead
+#: of dying silently once the bounded list fills up.
+HOOK_ERRORS_METRIC = "obs.hook_errors"
+
+# Re-entrancy guard: while the error counter is being bumped, metric-hook
+# dispatch is suppressed entirely — subscribers observe the instrumented
+# pipeline, not the dispatcher's own bookkeeping, and a hook raising on its
+# own error counter must not recurse.
+_counting_error = False
+
 
 def hook_errors() -> List[Tuple[str, BaseException]]:
     """Exceptions swallowed by the dispatcher since the last clear."""
@@ -38,8 +49,20 @@ def hook_errors() -> List[Tuple[str, BaseException]]:
 
 
 def _record_error(fn: Callable, exc: BaseException) -> None:
+    global _counting_error
+    name = getattr(fn, "__name__", repr(fn))
     if len(_errors) < MAX_HOOK_ERRORS:
-        _errors.append((getattr(fn, "__name__", repr(fn)), exc))
+        _errors.append((name, exc))
+    if _counting_error:
+        return
+    _counting_error = True
+    try:
+        from .metrics import REGISTRY  # deferred: metrics imports this module
+        REGISTRY.counter(HOOK_ERRORS_METRIC).inc(hook=name)
+    except Exception:
+        pass
+    finally:
+        _counting_error = False
 
 
 def on_span_end(fn: SpanHook) -> Callable[[], None]:
@@ -79,6 +102,8 @@ def fire_span_end(span) -> None:
 
 def fire_metric(name: str, kind: str, value: float,
                 labels: Dict[str, Any]) -> None:
+    if _counting_error:
+        return
     for fn in tuple(_metric_hooks):
         try:
             fn(name, kind, value, labels)

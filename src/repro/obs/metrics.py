@@ -197,6 +197,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: Dict[str, Any] = {}
+        # Tokens of worker capsules already folded in (see merge_state):
+        # re-merging the same capsule must be a no-op.
+        self._merged_tokens: set = set()
 
     def _get(self, name: str, cls):
         inst = self._instruments.get(name)
@@ -278,9 +281,89 @@ class MetricsRegistry:
                 "min": lo, "max": hi, "label_sets": len(hist.values),
                 **pcts}
 
+    def dump_state(self) -> Dict[str, Dict[str, Any]]:
+        """A pickle-safe copy of every instrument's raw accumulators.
+
+        Unlike :meth:`snapshot` (a display document), this is lossless
+        enough to *re-aggregate*: histograms keep their reservoir samples
+        so a coordinator can pool percentiles across processes.  The
+        worker side of sharded execution ships one of these back inside
+        its :class:`~repro.engine.shard.WorkerTelemetry` capsule.
+        """
+        state: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            for name, inst in self._instruments.items():
+                if inst.kind == "histogram":
+                    state[name] = {
+                        "kind": inst.kind,
+                        "values": {k: list(v) for k, v in inst.values.items()},
+                        "reservoirs": {k: list(r)
+                                       for k, r in inst.reservoirs.items()},
+                    }
+                else:
+                    state[name] = {"kind": inst.kind,
+                                   "values": dict(inst.values)}
+        return state
+
+    def merge_state(self, state: Dict[str, Dict[str, Any]],
+                    token: Any = None) -> bool:
+        """Fold a :meth:`dump_state` capsule into this registry.
+
+        Counters add, gauges are last-value-wins, histograms merge their
+        count/sum/min/max cells and pool reservoir samples (capped at
+        :data:`RESERVOIR_SIZE` per label set).  Pass the capsule's unique
+        ``token`` to make the merge idempotent: a token seen before (since
+        the last :meth:`reset`) is skipped and the call returns False.
+
+        Merging writes the accumulators directly — it does not fire metric
+        hooks, which observed the original updates in the worker process.
+        """
+        if token is not None:
+            with self._lock:
+                if token in self._merged_tokens:
+                    return False
+                self._merged_tokens.add(token)
+        for name, cell in state.items():
+            kind = cell.get("kind")
+            if kind == "counter":
+                inst = self.counter(name)
+                with self._lock:
+                    for k, v in cell["values"].items():
+                        inst.values[k] = inst.values.get(k, 0) + v
+            elif kind == "gauge":
+                inst = self.gauge(name)
+                with self._lock:
+                    inst.values.update(cell["values"])
+            elif kind == "histogram":
+                inst = self.histogram(name)
+                with self._lock:
+                    for k, v in cell["values"].items():
+                        mine = inst.values.get(k)
+                        if mine is None:
+                            inst.values[k] = list(v)
+                            inst.reservoirs[k] = []
+                        else:
+                            mine[0] += v[0]
+                            mine[1] += v[1]
+                            if v[2] < mine[2]:
+                                mine[2] = v[2]
+                            if v[3] > mine[3]:
+                                mine[3] = v[3]
+                        pool = inst.reservoirs.setdefault(k, [])
+                        for sample in cell.get("reservoirs", {}).get(k, ()):
+                            if len(pool) < RESERVOIR_SIZE:
+                                pool.append(sample)
+                            else:
+                                j = inst._rng.randrange(RESERVOIR_SIZE)
+                                pool[j] = sample
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+        return True
+
     def reset(self) -> None:
         with self._lock:
             self._instruments.clear()
+            self._merged_tokens.clear()
 
 
 REGISTRY = MetricsRegistry()

@@ -576,8 +576,8 @@ def _encode_columns(lowered, envs: Sequence[Mapping]) -> np.ndarray:
 
 
 def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
-            all_live: bool = False, time_groups: bool = True
-            ) -> ExplainReport:
+            all_live: bool = False, time_groups: bool = True,
+            shards: Optional[int] = None) -> ExplainReport:
     """Build the EXPLAIN [ANALYZE] report for a compiled query.
 
     ``db`` is one instance (name → Relation mapping) or a list of them —
@@ -586,10 +586,18 @@ def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
     recycling), making observed cardinalities exactly comparable with the
     scalar interpreter — used by the attribution tests; the default is the
     production plan.
+
+    ``shards`` > 1 routes each analyze repeat through
+    :func:`~repro.engine.shard.execute_sharded` (when the batch is large
+    enough to split): workers fill probe accumulators inside the pool and
+    the coordinator merges them, so the report's per-level measured times
+    are max-over-workers and observed cardinalities are summed — see
+    docs/observability.md §Distributed telemetry.
     """
     from .. import obs, engine
     from ..engine.exec import execute_plan
     from ..engine.plan import compile_plan
+    from ..engine.shard import effective_shards, execute_sharded
 
     lowered = cq.lowered
     if all_live:
@@ -610,8 +618,12 @@ def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
             obs.metrics.histogram(name).reset()
 
     probe = ProfileProbe(lowered, plan, time_groups=time_groups)
+    sharded = effective_shards(columns.shape[1], shards) > 1
     for _ in range(max(1, int(repeat))):
-        execute_plan(plan, columns, probe=probe)
+        if sharded:
+            execute_sharded(plan, columns, shards, probe=probe)
+        else:
+            execute_plan(plan, columns, probe=probe)
 
     observed = probe.observed_per_instance()
     per_wire = dict(zip(probe.wire_gids, observed.tolist()))

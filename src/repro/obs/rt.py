@@ -57,7 +57,7 @@ __all__ = [
     "sanitize_metric_name", "sanitize_label_name", "escape_label_value",
     "format_value", "ExpositionBuilder", "render_registry",
     "parse_exposition", "CONTENT_TYPE",
-    "JsonLinesLog", "RollingWindow",
+    "JsonLinesLog", "RollingWindow", "iter_jsonl",
 ]
 
 # -- trace propagation ------------------------------------------------------
@@ -493,6 +493,30 @@ class JsonLinesLog:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+def iter_jsonl(path: Union[str, "Path"], start: int = 0):
+    """Yield ``(offset, record)`` pairs from a JSON-lines file.
+
+    ``start`` is a byte offset to resume from (what ``repro tail --follow``
+    passes back between polls); ``offset`` is the position *after* each
+    parsed line.  Malformed or truncated lines — a writer mid-append —
+    are skipped without advancing past them, so a partial trailing line
+    is retried on the next call.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        fh.seek(start)
+        while True:
+            line = fh.readline()
+            if not line or not line.endswith("\n"):
+                # EOF, or a partial trailing write: the last yielded
+                # offset stops before it, so a follow poll retries it.
+                return
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            yield fh.tell(), record
 
 
 # -- rolling SLO windows ----------------------------------------------------

@@ -212,6 +212,46 @@ class Tracer:
 TRACER = Tracer()
 
 
+def span_from_node(node: Dict[str, Any], trace_id: str = "",
+                   parent_id: str = "") -> Span:
+    """Rebuild a :class:`Span` from a serialized tree node.
+
+    The node shape is :func:`repro.obs.export.span_tree` output —
+    ``{name, wall_ms, attrs, children, span_id, ...}``.  ``trace_id`` /
+    ``parent_id`` override the serialized identity so a subtree captured
+    in another process can be re-homed into a live trace; children are
+    re-parented recursively.  ``start`` is left 0.0 — remote clocks don't
+    compare, only durations survive the wire.
+    """
+    s = Span(str(node.get("name", "?")), node.get("attrs"))
+    s.wall = float(node.get("wall_ms", 0.0)) / 1e3
+    s.trace_id = trace_id or str(node.get("trace_id", ""))
+    s.span_id = str(node.get("span_id", "")) or new_span_id()
+    s.parent_id = parent_id or str(node.get("parent_id", ""))
+    s.children = [span_from_node(c, trace_id=s.trace_id, parent_id=s.span_id)
+                  for c in node.get("children", ())]
+    return s
+
+
+def graft_tree(parent: Span, nodes: List[Dict[str, Any]],
+               **attrs: Any) -> List[Span]:
+    """Hang a serialized span forest under a live parent span.
+
+    Used by the shard coordinator: each worker ships its root spans as
+    :func:`~repro.obs.export.span_tree` dicts, and they come back as
+    children of the coordinator's ``engine.shard`` span — same trace id,
+    with ``attrs`` (e.g. ``worker=3``) stamped on each grafted root.
+    """
+    grafted = []
+    for node in nodes:
+        s = span_from_node(node, trace_id=parent.trace_id,
+                           parent_id=parent.span_id)
+        s.attrs.update(attrs)
+        parent.children.append(s)
+        grafted.append(s)
+    return grafted
+
+
 class span:
     """``with obs.span("name", key=val): ...`` or ``@obs.span("name")``.
 

@@ -227,6 +227,20 @@ class Client:
         """The server's counters + plan-cache snapshot (``/v1/stats``)."""
         return self._request("GET", "/v1/stats")
 
+    def dump(self, request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Ask for a flight-recorder bundle (``POST /v1/dump``).
+
+        Targets ``request_id`` when given, else the most recent request
+        in the ring.  The response carries the ``repro.flight/1`` bundle
+        inline plus the path it was written to (when the server has a
+        ``flight_dir``).  Raises :class:`ServeError`
+        (``no_flight_record``) if the ring has no matching record.
+        """
+        body: Dict[str, Any] = {}
+        if request_id is not None:
+            body["request_id"] = request_id
+        return self._request("POST", "/v1/dump", body)
+
     def __repr__(self) -> str:
         return (f"Client(http://{self.host}:{self.port}, "
                 f"tenant={self.tenant!r}, schema={SCHEMA})")

@@ -38,6 +38,7 @@ ERROR_STATUS: Dict[str, int] = {
     "db_mismatch": 400,        # payload relations don't fit the query atoms
     "not_found": 404,          # no such endpoint
     "unknown_dataset": 404,    # named dataset not mounted on the server
+    "no_flight_record": 404,   # /v1/dump: request not in the flight ring
     "method_not_allowed": 405,
     "payload_too_large": 413,
     "overloaded": 429,         # admission control: queue full, retry later

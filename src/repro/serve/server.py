@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import IO, Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from .. import obs
+from ..obs import hooks as hooks_mod
 from ..obs import rt
 from ..api import ENGINES, CompiledQuery, PlanSignature, plan_signature
 from ..cq import (
@@ -101,6 +102,16 @@ class ServerConfig:
     slow_ms: Optional[float] = None
     #: trailing window, seconds, for the SLO block in ``/v1/stats``.
     slo_window: float = 60.0
+    #: SLO latency target, ms: a rolling p99 above it triggers a flight
+    #: dump (``slo_breach``, cooldown-limited).  None disables the trigger.
+    slo_ms: Optional[float] = None
+    #: directory triggered flight bundles are written to; None keeps the
+    #: latest bundle in memory only (still retrievable via POST /v1/dump).
+    flight_dir: Optional[str] = None
+    #: flight-recorder ring: trailing seconds of request records kept.
+    flight_window: float = 120.0
+    #: flight-recorder ring: max records kept across the whole window.
+    flight_records: int = 256
 
 
 class _Pending:
@@ -133,6 +144,8 @@ _METRIC_HELP: Dict[str, str] = {
     "serve.errors": "Error envelopes returned, by code",
     "serve.stage.ms": "Per-stage serve latency, milliseconds",
     "serve.tenant.requests": "Requests per tenant",
+    "serve.flight.dumps": "Flight-recorder bundles produced (all triggers)",
+    "obs.hook_errors": "Observer-hook exceptions swallowed by obs",
 }
 
 #: /v1/stats counters exposed as ``repro_server_*_total`` families.
@@ -146,7 +159,16 @@ _SERVER_COUNTER_HELP: Dict[str, str] = {
     "batch_instances": "Instances evaluated across all batches",
     "rejected_overload": "Requests rejected with 429 overloaded",
     "rejected_budget": "Requests rejected with 503 over_budget",
+    "flight_dumps": "Flight-recorder bundles produced (all triggers)",
 }
+
+#: Minimum seconds between two ``slo_breach`` flight dumps — a sustained
+#: breach would otherwise dump on every request of the bad period.
+FLIGHT_SLO_COOLDOWN = 15.0
+
+#: Work-endpoint requests the SLO window must hold before a p99 breach is
+#: trusted enough to trigger a dump.
+FLIGHT_SLO_MIN_COUNT = 10
 
 
 class QueryServer:
@@ -185,11 +207,19 @@ class QueryServer:
             "compiles": 0, "coalesced_compiles": 0,
             "batch_calls": 0, "batch_instances": 0, "max_batch": 0,
             "rejected_overload": 0, "rejected_budget": 0,
+            "flight_dumps": 0,
             "tenants": {},
         }
         #: rolling SLO window over POST endpoints (latency + error rate);
         #: always on — it is a fixed-size ring, obs-independent.
         self.slo = rt.RollingWindow(window=config.slo_window)
+        #: always-on flight recorder (fixed memory, obs-independent); the
+        #: ring geometry follows the configured window / record cap.
+        self.flight = obs.FlightRecorder(
+            window=config.flight_window,
+            per_bucket=max(1, config.flight_records // 12))
+        #: the most recent triggered/explicit bundle (tests, /v1/dump).
+        self.last_bundle: Optional[Dict[str, Any]] = None
         self._log: Optional[rt.JsonLinesLog] = None
         if config.access_log is not None:
             self._log = rt.JsonLinesLog(config.access_log)
@@ -607,6 +637,7 @@ class QueryServer:
                 "plans": list(self.plans.keys()),
                 "counters": stats,
                 "slo": self.slo.snapshot(),
+                "flight": self.flight.info(),
                 "config": {
                     "plan_cache_capacity": self.config.plan_cache_capacity,
                     "max_queue": self.config.max_queue,
@@ -615,6 +646,8 @@ class QueryServer:
                     "datasets": sorted(self.config.datasets),
                     "slo_window": self.config.slo_window,
                     "slow_ms": self.config.slow_ms,
+                    "slo_ms": self.config.slo_ms,
+                    "flight_dir": self.config.flight_dir,
                 }}
 
     # -- Prometheus exposition ---------------------------------------------
@@ -628,6 +661,11 @@ class QueryServer:
         ``repro_server_*`` — disjoint namespaces, since registry metric
         names never start with ``server.``.
         """
+        # Hook failures must be visible even before the first one happens:
+        # pre-register the counter so the family always renders (as
+        # ``repro_obs_hook_errors_total``) once the registry is populated.
+        if obs.STATE.on:
+            obs.metrics.counter(hooks_mod.HOOK_ERRORS_METRIC)
         builder = rt.render_registry(help_texts=_METRIC_HELP)
         with self._lock:
             stats = dict(self.stats)
@@ -695,7 +733,7 @@ class QueryServer:
         if isinstance(doc, dict):
             doc.setdefault("request_id", request_id)
         self._finish_request(method, path, status, elapsed_ms,
-                             request_id, info)
+                             request_id, info, body=body, doc=doc)
         return status, doc
 
     async def _route(self, method: str, path: str,
@@ -719,6 +757,11 @@ class QueryServer:
                     raise ServeError("method_not_allowed",
                                      f"{path} is GET-only")
                 return 200, self._render_metrics()
+            if path == "/v1/dump":
+                if method != "POST":
+                    raise ServeError("method_not_allowed",
+                                     f"{path} is POST-only")
+                return 200, self._handle_dump(body or {}, info)
             if path in ("/v1/evaluate", "/v1/compile", "/v1/explain"):
                 if method != "POST":
                     raise ServeError("method_not_allowed",
@@ -746,7 +789,8 @@ class QueryServer:
             raise ServeError("not_found", f"no endpoint {path!r}",
                              {"endpoints": ["/v1/evaluate", "/v1/compile",
                                             "/v1/explain", "/v1/healthz",
-                                            "/v1/stats", "/v1/metrics"]})
+                                            "/v1/stats", "/v1/metrics",
+                                            "/v1/dump"]})
         except ServeError as err:
             self._count_error(err.code)
             info["error"] = err.code
@@ -760,8 +804,12 @@ class QueryServer:
 
     def _finish_request(self, method: str, path: str, status: int,
                         elapsed_ms: float, request_id: str,
-                        info: Dict[str, Any]) -> None:
-        """Post-dispatch bookkeeping: SLO window, access log, slow log."""
+                        info: Dict[str, Any],
+                        body: Optional[Mapping[str, Any]] = None,
+                        doc: Union[None, Dict[str, Any], str] = None
+                        ) -> None:
+        """Post-dispatch bookkeeping: SLO window, access log, slow log,
+        flight-recorder capture and triggered dumps."""
         is_work = (path in ("/v1/evaluate", "/v1/compile", "/v1/explain")
                    and method == "POST")
         if is_work:
@@ -789,6 +837,101 @@ class QueryServer:
             slow["kind"] = "slow"
             slow["slow_ms"] = slow_ms
             self._slow_sink().write(slow)
+
+        # Flight recorder: every request except /v1/dump itself (a dump's
+        # response embeds the ring — recording it would nest bundles) and
+        # the text-only /v1/metrics scrape.
+        if path in ("/v1/dump", "/v1/metrics"):
+            return
+        flight_rec = build("flight")
+        del flight_rec["kind"]
+        flight_rec["envelope"] = dict(body) if isinstance(body, Mapping) \
+            else {}
+        if isinstance(doc, dict):
+            flight_rec["response"] = doc
+        flight_rec["trace"] = (rt.request_tree(request_id)
+                               if obs.STATE.on else [])
+        self.flight.record(flight_rec)
+
+        trigger: Optional[Dict[str, Any]] = None
+        if status >= 500:
+            code = info.get("error", "internal")
+            kind = "over_budget" if code == "over_budget" else "5xx"
+            if self.flight.should_dump(kind):
+                trigger = {"kind": kind, "code": code, "status": status}
+        elif is_work and self.config.slo_ms is not None:
+            snap = self.slo.snapshot()
+            if snap["count"] >= FLIGHT_SLO_MIN_COUNT and \
+                    snap["p99_ms"] > self.config.slo_ms and \
+                    self.flight.should_dump("slo_breach",
+                                            cooldown=FLIGHT_SLO_COOLDOWN):
+                trigger = {"kind": "slo_breach", "p99_ms": snap["p99_ms"],
+                           "slo_ms": self.config.slo_ms,
+                           "window_s": self.config.slo_window}
+        if trigger is not None:
+            self._flight_dump(trigger, flight_rec)
+
+    def _flight_bundle(self, trigger: Dict[str, Any],
+                       request_record: Dict[str, Any]) -> Dict[str, Any]:
+        recent = [rec for rec in self.flight.recent()
+                  if rec is not request_record]
+        return obs.build_bundle(
+            trigger, request_record, recent,
+            metrics=obs.metrics.snapshot(compact=True),
+            slo=self.slo.snapshot(),
+            config={
+                "mem_budget": (self._default_budget.cap_bytes
+                               if self._default_budget else None),
+                "max_queue": self.config.max_queue,
+                "batch_window": self.config.batch_window,
+                "slo_ms": self.config.slo_ms,
+            })
+
+    def _flight_dump(self, trigger: Dict[str, Any],
+                     request_record: Dict[str, Any]
+                     ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Build (and, when ``flight_dir`` is set, persist) a bundle."""
+        bundle = self._flight_bundle(trigger, request_record)
+        path: Optional[str] = None
+        if self.config.flight_dir:
+            try:
+                path = str(obs.write_bundle(bundle, self.config.flight_dir))
+            except OSError as exc:
+                # Forensics must never take down serving: keep the bundle
+                # in memory and surface the write failure in it.
+                bundle["write_error"] = f"{type(exc).__name__}: {exc}"
+        self.last_bundle = bundle
+        self.flight.dumps += 1
+        self._count("flight_dumps", metric="serve.flight.dumps")
+        return bundle, path
+
+    def _handle_dump(self, body: Mapping[str, Any],
+                     info: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/dump``: an explicit flight-recorder dump.
+
+        ``{"request_id": ...}`` targets a specific ring record; the
+        default is the most recent request.  The bundle comes back inline
+        and is also written to ``flight_dir`` when configured.
+        """
+        request_id = body.get("request_id")
+        if request_id is not None:
+            rec = self.flight.find(str(request_id))
+            if rec is None:
+                raise ServeError(
+                    "no_flight_record",
+                    f"request {request_id!r} is not in the flight ring "
+                    f"(window {self.config.flight_window:g}s)",
+                    {"records": len(self.flight.recent())})
+        else:
+            recent = self.flight.recent()
+            if not recent:
+                raise ServeError("no_flight_record",
+                                 "the flight ring is empty")
+            rec = recent[-1]
+        info["plan_key"] = rec.get("plan_key")
+        bundle, path = self._flight_dump({"kind": "manual"}, rec)
+        return {"schema": SCHEMA, "bundle": bundle, "path": path,
+                "records": len(self.flight.recent())}
 
     # -- the HTTP/1.1 layer ------------------------------------------------
 

@@ -1,10 +1,15 @@
 """Direct unit tests for budget-driven chunked execution
-(:func:`repro.engine.shard.execute_chunked`).
+(:func:`repro.engine.shard.execute_chunked`) and cross-process
+telemetry in :func:`repro.engine.shard.execute_sharded`.
 
-The contract under test: chunked output is *bit-identical* to an
+The contracts under test: chunked output is *bit-identical* to an
 unchunked :func:`execute_plan` run for every chunk geometry — chunk size
 one, chunk larger than the whole batch (the fall-through path), ragged
-final chunks, and the empty batch.
+final chunks, and the empty batch; and sharded runs measure per-level
+times and wire cardinalities *inside* the pool workers, shipping
+:class:`WorkerTelemetry` capsules the coordinator merges (levels: max
+over workers; cardinalities: summed; spans grafted under
+``engine.shard``; metric merges token-idempotent).
 """
 
 import random
@@ -12,9 +17,15 @@ import random
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.boolcircuit import Circuit
 from repro.engine import EngineStats, compile_plan, execute_plan
-from repro.engine.shard import end_live_slots, execute_chunked
+from repro.engine import shard as shard_mod
+from repro.engine.shard import (
+    end_live_slots,
+    execute_chunked,
+    execute_sharded,
+)
 
 
 def _random_plan(seed, n_inputs=4, n_gates=40):
@@ -109,3 +120,161 @@ def test_stats_accumulate_across_chunks():
     execute_chunked(plan, columns, max_rows=2, stats=chunked)
     # Three chunks re-execute every gate: 3x the gate evaluations.
     assert chunked.gates_executed == 3 * unchunked.gates_executed
+
+
+# ---------------------------------------------------------------------------
+# sharded execution: cross-process telemetry
+# ---------------------------------------------------------------------------
+
+class _FakeProbe:
+    """A minimal EXPLAIN ANALYZE collector speaking the flat probe
+    protocol ``execute_plan`` binds (see :class:`ProfileProbe`): enough
+    to check worker-side cardinality counting without compiling a full
+    relational query."""
+
+    time_groups = False
+
+    def __init__(self, plan, card_levels):
+        self.total_seconds = 0.0
+        self.batch = 0
+        self.runs = 0
+        self.level_acc = [0.0] * (plan.depth + 1)
+        self.group_acc = []
+        self.group_base = [0] * (plan.depth + 1)
+        self.card_by_level = {
+            lvl: (np.asarray(slots, dtype=np.intp), None,
+                  np.zeros(len(slots), dtype=np.int64))
+            for lvl, slots in card_levels.items()}
+
+    def begin(self, batch):
+        self.batch += batch
+        self.runs += 1
+
+    def observe(self, level, buf):
+        entry = self.card_by_level.get(level)
+        if entry is not None:
+            acc = entry[2]
+            acc += np.count_nonzero(buf[entry[0]], axis=1)
+
+
+@pytest.fixture()
+def obs_session():
+    was_on = obs.enabled()
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.reset()
+    if not was_on:
+        obs.disable()
+
+
+def _card_levels(plan):
+    """Two observation points: the input slots right after the level-0
+    fill, and the end-live slots at the plan's final level.  (Only slots
+    already *written* are observable — unwritten slots hold uninitialized
+    buffer memory.)"""
+    return {0: sorted(int(s) for s in plan.input_slots),
+            plan.depth: list(end_live_slots(plan))}
+
+
+def test_sharded_output_matches_inprocess():
+    plan, ins, outputs = _random_plan(17)
+    columns = _columns(18, len(ins), batch=64)
+    expected = execute_plan(plan, columns).gates(outputs)
+    got = execute_sharded(plan, columns, shards=2).gates(outputs)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_sharded_stats_measured_inside_workers():
+    plan, ins, outputs = _random_plan(19)
+    columns = _columns(20, len(ins), batch=64)
+    local = EngineStats()
+    execute_plan(plan, columns, stats=local)
+    stats = EngineStats()
+    run = execute_sharded(plan, columns, shards=2, stats=stats)
+    np.testing.assert_array_equal(run.gates(outputs),
+                                  execute_plan(plan, columns).gates(outputs))
+    assert stats.batch == 64 and stats.runs == 1
+    assert stats.total_seconds > 0.0
+    # One row per level, same geometry as an in-process run; seconds are
+    # the max over workers so every level carries a real measurement.
+    assert [(t.level, t.width, t.groups) for t in stats.levels] == \
+        [(t.level, t.width, t.groups) for t in local.levels]
+    assert all(t.seconds >= 0.0 for t in stats.levels)
+    assert any(t.seconds > 0.0 for t in stats.levels)
+
+
+def test_sharded_probe_cards_sum_to_inprocess():
+    plan, ins, outputs = _random_plan(21)
+    columns = _columns(22, len(ins), batch=48)
+    levels = _card_levels(plan)
+    local = _FakeProbe(plan, levels)
+    execute_plan(plan, columns, probe=local)
+    sharded = _FakeProbe(plan, levels)
+    execute_sharded(plan, columns, shards=2, probe=sharded)
+    assert sharded.batch == 48 and sharded.runs == 1
+    assert sharded.total_seconds > 0.0
+    # Nonzero counts are additive over the batch split, so the summed
+    # worker observations must equal the single-process counts exactly.
+    for lvl in levels:
+        np.testing.assert_array_equal(sharded.card_by_level[lvl][2],
+                                      local.card_by_level[lvl][2])
+    assert int(local.card_by_level[0][2].sum()) > 0
+
+
+def test_sharded_spans_grafted_under_engine_shard(obs_session):
+    plan, ins, outputs = _random_plan(23)
+    columns = _columns(24, len(ins), batch=64)
+    execute_sharded(plan, columns, shards=2)
+    roots = [s for s in obs.spans() if s.name == "engine.shard"]
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.attrs["workers"] == 2 and root.attrs["batch"] == 64
+    executes = [c for c in root.children if c.name == "engine.execute"]
+    assert {c.attrs.get("worker") for c in executes} == {0, 1}
+    # Grafting re-homes worker spans into the coordinator's trace.
+    assert all(c.trace_id == root.trace_id for c in executes)
+    assert all(c.parent_id == root.span_id for c in executes)
+    assert all(c.wall > 0.0 for c in executes)
+    # Worker-side metrics merged: each worker ran the engine once.
+    assert obs.metrics.counter("engine.runs").total >= 2
+    assert obs.metrics.counter("engine.sharded_runs").total == 1
+
+
+def test_metric_merge_is_token_idempotent(obs_session):
+    state = {"test.merge": {"kind": "counter", "values": {(): 3.0}}}
+    assert obs.metrics.merge_state(state, token="tok-1") is True
+    assert obs.metrics.counter("test.merge").total == 3.0
+    # The same capsule delivered twice must not double-count.
+    assert obs.metrics.merge_state(state, token="tok-1") is False
+    assert obs.metrics.counter("test.merge").total == 3.0
+    assert obs.metrics.merge_state(state, token="tok-2") is True
+    assert obs.metrics.counter("test.merge").total == 6.0
+
+
+def test_worker_crash_falls_back_in_process(obs_session, monkeypatch):
+    plan, ins, outputs = _random_plan(25)
+    columns = _columns(26, len(ins), batch=64)
+    expected = execute_plan(plan, columns).gates(outputs)
+
+    class _BrokenPool:
+        def __init__(self, *a, **k):
+            raise OSError("no forks today")
+
+    class _BrokenCtx:
+        Pool = _BrokenPool
+
+    class _BrokenMp:
+        @staticmethod
+        def get_context():
+            return _BrokenCtx()
+
+    monkeypatch.setattr(shard_mod, "mp", _BrokenMp())
+    stats = EngineStats()
+    run = execute_sharded(plan, columns, shards=2, stats=stats)
+    np.testing.assert_array_equal(run.gates(outputs), expected)
+    # The fallback still threads stats through and is observable.
+    assert stats.batch == 64 and stats.runs == 1
+    assert obs.metrics.counter("engine.shard_fallbacks").total == 1
+    roots = [s for s in obs.spans() if s.name == "engine.shard"]
+    assert roots and roots[0].attrs.get("fallback") is True

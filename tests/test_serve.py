@@ -9,6 +9,7 @@ compile counter starts at zero.
 import io
 import json
 import threading
+import time
 
 import pytest
 
@@ -618,6 +619,238 @@ class TestObservability:
         rc = main(["top", "http://127.0.0.1:9", "--once"])
         assert rc == 2
         assert "cannot reach" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# flight recorder: triggered dumps, manual dumps, deterministic replay
+# ---------------------------------------------------------------------------
+
+class TestFlightRecorder:
+    def _wire_db(self, db):
+        return {name: relation_to_wire(rel) for name, rel in db.items()}
+
+    def test_over_budget_triggers_a_bundle(self, dataset, tmp_path):
+        """Acceptance: a forced serve-tier failure produces a lint-clean
+        ``repro.flight/1`` bundle, in memory and on disk."""
+        _, db, _ = dataset
+        with start_in_thread(flight_dir=str(tmp_path)) as handle:
+            with Client(handle.url, tenant="forensics") as c:
+                with pytest.raises(ServeError) as err:
+                    c.evaluate(TRIANGLE, db=db, n=N, budget=1)
+                rid = err.value.request_id
+                stats = c.stats()
+            bundle = handle.server.last_bundle
+        assert err.value.code == "over_budget"
+        assert bundle is not None
+        assert obs.validate_bundle(bundle) == []
+        assert bundle["schema"] == obs.FLIGHT_SCHEMA
+        assert bundle["trigger"]["kind"] == "over_budget"
+        req = bundle["request"]
+        assert req["request_id"] == rid
+        assert req["status"] == 503
+        assert req["envelope"]["query"] == TRIANGLE
+        assert req["response"]["error"]["code"] == "over_budget"
+        files = list(tmp_path.glob("flight-over_budget-*.json"))
+        assert len(files) == 1
+        assert obs.validate_bundle(obs.load_bundle(files[0])) == []
+        assert stats["counters"]["flight_dumps"] == 1
+        assert stats["flight"]["dumps"] == 1
+        assert stats["flight"]["records"] >= 1
+
+    def test_replay_reproduces_the_failure(self, dataset, tmp_path):
+        """Acceptance: ``repro replay`` re-executes the captured request
+        through a fresh in-process server and gets the identical error."""
+        _, db, _ = dataset
+        with start_in_thread(flight_dir=str(tmp_path)) as handle:
+            with Client(handle.url) as c:
+                with pytest.raises(ServeError):
+                    c.evaluate(TRIANGLE, db=db, n=N, budget=1)
+        bundle = obs.load_bundle(
+            next(tmp_path.glob("flight-over_budget-*.json")))
+        status, doc = obs.replay_bundle(bundle)
+        assert status == 503
+        assert doc["error"]["code"] == "over_budget"
+        assert obs.compare_replay(bundle, status, doc) == []
+
+    def test_manual_dump_replays_identical_answers(self, dataset):
+        """POST /v1/dump on a successful request: the bundle replays to
+        the same answers and bound."""
+        _, db, truth = dataset
+        with start_in_thread() as handle:
+            with Client(handle.url) as c:
+                response = c.evaluate_full(TRIANGLE, db=db, n=N)
+                doc = c.dump(request_id=response.request_id)
+        assert doc["path"] is None              # no flight_dir configured
+        bundle = doc["bundle"]
+        assert obs.validate_bundle(bundle) == []
+        assert bundle["trigger"]["kind"] == "manual"
+        assert bundle["request"]["request_id"] == response.request_id
+        status, rdoc = obs.replay_bundle(bundle)
+        assert status == 200
+        assert obs.compare_replay(bundle, status, rdoc) == []
+        replayed = {tuple(r) for r in rdoc["answers"]["rows"]}
+        assert replayed == {tuple(r) for r in
+                            bundle["request"]["response"]["answers"]["rows"]}
+        assert len(replayed) == len(truth)
+
+    def test_dump_unknown_request_is_404(self, dataset):
+        _, db, _ = dataset
+        with start_in_thread() as handle:
+            with Client(handle.url) as c:
+                c.evaluate(TRIANGLE, db=db, n=N)
+                with pytest.raises(ServeError) as err:
+                    c.dump(request_id="f" * 32)
+        assert err.value.code == "no_flight_record"
+        assert err.value.status == 404
+
+    def test_dump_empty_ring_is_404(self):
+        with start_in_thread() as handle:
+            with Client(handle.url) as c:
+                with pytest.raises(ServeError) as err:
+                    c.dump()
+        assert err.value.code == "no_flight_record"
+
+    def test_bundle_feeds_the_testkit_corpus(self, dataset):
+        """A captured request converts to a repro.testkit/1 case that
+        round-trips through the corpus loader."""
+        from repro.testkit.corpus import case_from_dict
+
+        _, db, truth = dataset
+        with start_in_thread() as handle:
+            with Client(handle.url) as c:
+                c.evaluate(TRIANGLE, db=db, n=N)
+                bundle = c.dump()["bundle"]
+        case = obs.to_corpus_case(bundle)
+        assert case["format"] == "repro.testkit/1"
+        fc = case_from_dict(case)
+        assert fc.query.is_full
+        assert {name for name, _ in fc.db} == {"R_AB", "R_BC", "R_AC"}
+        assert fc.query.evaluate(fc.db) == truth
+
+    def test_slo_breach_triggers_a_dump(self, dataset):
+        """slo_ms=0 with a warm window: the first work request past the
+        minimum count dumps an ``slo_breach`` bundle (cooldown-limited)."""
+        _, db, _ = dataset
+        with start_in_thread(slo_ms=0.0) as handle:
+            with Client(handle.url) as c:
+                for _ in range(12):
+                    c.evaluate(TRIANGLE, db=db, n=N)
+            time.sleep(0.1)
+            bundle = handle.server.last_bundle
+            dumps = handle.server.flight.dumps
+        assert bundle is not None
+        assert bundle["trigger"]["kind"] == "slo_breach"
+        assert bundle["trigger"]["slo_ms"] == 0.0
+        assert obs.validate_bundle(bundle) == []
+        # The cooldown kept a sustained breach from dumping per-request.
+        assert dumps == 1
+
+    def test_ring_is_bounded(self, dataset):
+        _, db, _ = dataset
+        with start_in_thread(flight_records=12) as handle:
+            with Client(handle.url) as c:
+                for _ in range(30):
+                    c.healthz()
+                stats = c.stats()
+        flight = stats["flight"]
+        assert flight["recorded"] >= 30
+        assert flight["records"] <= 12
+        assert flight["evicted"] > 0
+
+    def test_cli_replay_roundtrip(self, dataset, tmp_path, capsys):
+        from repro.cli import main
+
+        _, db, _ = dataset
+        with start_in_thread(flight_dir=str(tmp_path)) as handle:
+            with Client(handle.url) as c:
+                with pytest.raises(ServeError):
+                    c.evaluate(TRIANGLE, db=db, n=N, budget=1)
+        bundle_path = next(tmp_path.glob("flight-over_budget-*.json"))
+        corpus_dir = tmp_path / "corpus"
+        rc = main(["replay", str(bundle_path),
+                   "--save-case", str(corpus_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replay OK: deterministic" in out
+        assert "over_budget" in out
+        assert list(corpus_dir.glob("flight_over_budget_*.json"))
+
+    def test_cli_replay_rejects_garbage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope/1"}))
+        rc = main(["replay", str(bad)])
+        assert rc == 2
+        assert "invalid bundle" in capsys.readouterr().err
+
+    def test_cli_tail(self, dataset, tmp_path, capsys):
+        from repro.cli import main
+
+        _, db, _ = dataset
+        log = tmp_path / "access.jsonl"
+        with start_in_thread(access_log=str(log), slow_ms=1e9) as handle:
+            with Client(handle.url, tenant="tailed") as c:
+                c.evaluate(TRIANGLE, db=db, n=N)
+                with pytest.raises(ServeError):
+                    c.evaluate(TRIANGLE, db=db, n=N, budget=1)
+                rid = c.last_request_id
+        rc = main(["tail", str(log)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) >= 2
+        assert any("tailed" in l and "/v1/evaluate" in l for l in lines)
+        assert any(rid[:12] in l and "!over_budget" in l for l in lines)
+        # --slow-only keeps the 503 but drops the successful request.
+        rc = main(["tail", str(log), "--slow-only"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "!over_budget" in out
+        assert all("503" in l for l in out.splitlines() if l.strip())
+
+    def test_cli_tail_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["tail", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestHookErrorCounter:
+    def test_raising_hook_is_counted_and_exposed(self, obs_session,
+                                                 dataset):
+        """A subscriber that blows up must not break serving — and must
+        no longer be invisible: it lands in ``hook_errors()`` *and* in
+        the ``repro_obs_hook_errors_total`` family of /v1/metrics."""
+        from repro.obs.hooks import HOOK_ERRORS_METRIC
+
+        def bad_hook(name, value, labels):
+            raise RuntimeError("observer bug")
+
+        obs.on_metric(bad_hook)
+        _, db, _ = dataset
+        with start_in_thread() as handle:
+            with Client(handle.url) as c:
+                c.evaluate(TRIANGLE, db=db, n=N)
+                text = c.metrics_text()
+        assert obs.hook_errors()
+        assert obs.metrics.counter(HOOK_ERRORS_METRIC).total >= 1
+        families = rt.parse_exposition(text)
+        fam = families["repro_obs_hook_errors_total"]
+        assert fam["type"] == "counter"
+        assert sum(v for _, _, v in fam["samples"]) >= 1
+
+    def test_counter_family_renders_before_first_error(self, obs_session,
+                                                       dataset):
+        """The family is pre-registered by /v1/metrics so dashboards can
+        alert on it from zero."""
+        _, db, _ = dataset
+        with start_in_thread() as handle:
+            with Client(handle.url) as c:
+                c.evaluate(TRIANGLE, db=db, n=N)
+                families = rt.parse_exposition(c.metrics_text())
+        assert "repro_obs_hook_errors_total" in families
 
 
 # ---------------------------------------------------------------------------
