@@ -7,6 +7,11 @@ Claims measured:
 * liveness-driven slot recycling shrinks the value buffer from
   O(size × batch) to O(max-live × batch) — reported in bytes so the
   regression gate tracks the footprint exactly;
+* bitset packing + level fusion: on a boolean-dominated plan at batch
+  1024 the fused engine is ≥ 3× faster than the unfused vectorized
+  engine and its live buffer is ≥ 10× smaller (uint64 words carry 64
+  instances per boolean wire; maximal all-bit level runs execute as one
+  compiled kernel);
 * the plan cache makes repeated evaluation of one compiled query skip
   planning entirely;
 * a MemoryBudget below the batch buffer splits execution into sequential
@@ -27,6 +32,7 @@ document: per-test result series + the obs metrics and spans recorded
 while the benches ran + the environment fingerprint).
 """
 
+import gc
 import time
 
 import numpy as np
@@ -34,6 +40,7 @@ import numpy as np
 from repro import obs
 from repro.boolcircuit.builder import ArrayBuilder
 from repro.boolcircuit.fasteval import evaluate_batch as per_gate_batch
+from repro.boolcircuit.graph import AND, EQ, LT, NOT, OR, XOR, Circuit
 from repro.boolcircuit.lower import lower
 from repro.core import triangle_circuit
 from repro.datagen import random_database, triangle_query
@@ -71,18 +78,34 @@ def _output_gids(lowered):
 
 
 def test_e8_engine_throughput_vs_per_gate(benchmark):
-    """The acceptance claim: ≥ 5× over per-gate evaluate_batch at batch 64."""
-    lowered, batches = _lowered_and_batches()
+    """The acceptance claim: ≥ 5× over per-gate evaluate_batch at batch 64.
+
+    Times the production plan exactly as ``api.evaluate_batch`` compiles
+    it (default fusion); the fused-vs-unfused A/B has its own gates in
+    ``test_e8_fused_bitset_throughput``.  Batch 64 is the documented
+    basis of the claim — the other E8 benches keep ``BATCH`` (256).
+    """
+    batch = 64
+    lowered, batches = _lowered_and_batches(batch=batch)
     plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered))
     columns = np.asarray(batches, dtype=np.int64).T
 
+    gc.collect()
+    gc.disable()        # keep heap-sized gen-2 pauses out of timed regions
     obs.disable()                 # time the production fast path, not the
     try:                          # instrumented one the bench fixture enables
-        t_per_gate = _timed(per_gate_batch, lowered.circuit, batches)
+        per_gate_batch(lowered.circuit, batches[:8])   # warm the evaluator
         execute_plan(plan, columns)          # warm the buffer pages
-        t_engine = min(_timed(execute_plan, plan, columns)
-                       for _ in range(3))
+        # Interleaved min-of-4 on BOTH sides: a slow host window caught by
+        # only one side would skew the ratio; taking each side's min across
+        # alternating rounds pairs both with the same best-case machine.
+        pg_times, eng_times = [], []
+        for _ in range(4):
+            pg_times.append(_timed(per_gate_batch, lowered.circuit, batches))
+            eng_times.append(_timed(execute_plan, plan, columns))
+        t_per_gate, t_engine = min(pg_times), min(eng_times)
     finally:
+        gc.enable()
         obs.enable(memory=True)
 
     speedup = t_per_gate / t_engine
@@ -90,12 +113,99 @@ def test_e8_engine_throughput_vs_per_gate(benchmark):
             ("levelized engine", f"{t_engine * 1e3:.1f}", round(speedup, 1))]
     print_table(
         f"E8: lowered triangle (N={N}, {lowered.size:,} gates, "
-        f"batch {BATCH})", ["evaluator", "ms", "speed-up"], rows)
+        f"batch {batch})", ["evaluator", "ms", "speed-up"], rows)
     record(benchmark, speedup=speedup,
             per_gate_ms=t_per_gate * 1e3, engine_ms=t_engine * 1e3,
-            gates=lowered.size, batch=BATCH)
+            gates=lowered.size, batch=batch, packed=plan.packed)
     assert speedup >= 5.0, f"engine only {speedup:.1f}x over per-gate"
     benchmark(execute_plan, plan, columns)
+
+
+def _bool_lattice(n_inputs=16, width=256, depth=24):
+    """A boolean-dominated circuit: a thin word rim (16 comparisons), then
+    a ``width``-wire boolean lattice ``depth`` levels deep.
+
+    The wide frontier is grown *inside* the bit regime so the word-slot
+    peak stays at the rim — the shape where bitset packing pays most:
+    nearly every live wire is a boolean carried as 1 bit/instance packed
+    vs 8 bytes/instance unfused.
+    """
+    c = Circuit()
+    ins = [c.input() for _ in range(n_inputs)]
+    frontier = [c.op((EQ, LT)[i % 2], ins[i % n_inputs],
+                     ins[(i + 3) % n_inputs])
+                for i in range(n_inputs)]
+    d = 0
+    while len(frontier) < width:
+        w = len(frontier)
+        frontier = [c.op((AND, OR, XOR)[(d + j) % 3],
+                         frontier[j % w], frontier[(j * 7 + 1) % w])
+                    for j in range(min(width, 2 * w))]
+        d += 1
+    for _ in range(depth):
+        nxt = [c.op((AND, OR, XOR)[(d + j) % 3],
+                    frontier[j], frontier[(j + 1 + d) % width])
+               for j in range(width)]
+        nxt[0] = c.op(NOT, nxt[0])
+        frontier = nxt
+        d += 1
+    return c, frontier[:4]
+
+
+def test_e8_fused_bitset_throughput(benchmark):
+    """Acceptance bars for the packed engine on a boolean-dominated plan
+    at batch 1024: fused ≥ 3× faster than unfused, live buffer ≥ 10×
+    smaller — with bit-identical outputs."""
+    batch = 1024
+    circuit, outputs = _bool_lattice()
+    fused = compile_plan(circuit, outputs, fuse=True)
+    unfused = compile_plan(circuit, outputs, fuse=False)
+    assert fused.packed and not unfused.packed
+    rng = np.random.default_rng(bench_seed(0))
+    columns = rng.integers(0, 4, size=(len(circuit.inputs), batch),
+                           dtype=np.int64)
+
+    gc.collect()
+    gc.disable()
+    obs.disable()
+    try:
+        execute_plan(fused, columns)         # warm pages + kernel cache
+        execute_plan(unfused, columns)
+        fused_times, unfused_times = [], []
+        for _ in range(7):                   # interleaved, min-of-7
+            unfused_times.append(_timed(execute_plan, unfused, columns))
+            fused_times.append(_timed(execute_plan, fused, columns))
+        t_fused, t_unfused = min(fused_times), min(unfused_times)
+    finally:
+        gc.enable()
+        obs.enable(memory=True)
+
+    speedup = t_unfused / t_fused
+    bytes_ratio = unfused.buffer_bytes(batch) / fused.buffer_bytes(batch)
+    print_table(
+        f"E8: fused bitset engine ({circuit.size:,} gates, "
+        f"{fused.n_bit_slots} bit slots, batch {batch})",
+        ["plan", "ms", "buffer", "vs unfused"],
+        [("unfused vectorized", f"{t_unfused * 1e3:.2f}",
+          f"{unfused.buffer_bytes(batch):,} B", "—"),
+         ("fused + packed", f"{t_fused * 1e3:.2f}",
+          f"{fused.buffer_bytes(batch):,} B",
+          f"{speedup:.1f}x / {bytes_ratio:.1f}x less")])
+    record(benchmark, fused_speedup=speedup, bytes_ratio=bytes_ratio,
+            fused_ms=t_fused * 1e3, unfused_ms=t_unfused * 1e3,
+            fused_buffer_bytes=fused.buffer_bytes(batch),
+            unfused_buffer_bytes=unfused.buffer_bytes(batch),
+            bit_slots=fused.n_bit_slots,
+            fused_segments=sum(1 for s in fused.segments if s.fused),
+            gates=circuit.size, batch=batch)
+    np.testing.assert_array_equal(
+        execute_plan(fused, columns).gates(outputs),
+        execute_plan(unfused, columns).gates(outputs))
+    assert speedup >= 3.0, (
+        f"fused engine only {speedup:.1f}x over unfused (need 3x)")
+    assert bytes_ratio >= 10.0, (
+        f"packed buffer only {bytes_ratio:.1f}x smaller (need 10x)")
+    benchmark(execute_plan, fused, columns)
 
 
 def test_e8_liveness_shrinks_buffers(benchmark):
@@ -184,7 +294,8 @@ def test_e8_memory_budget_autoshard(benchmark):
 
 
 def _raw_execute(plan, columns):
-    """execute_plan's fast path, hand-inlined with zero obs machinery."""
+    """execute_plan's fast path, hand-inlined with zero obs machinery
+    (word regime only — overhead benches pin ``fuse=False``)."""
     buf = np.empty((plan.n_slots, columns.shape[1]), dtype=np.int64)
     if len(plan.input_slots):
         buf[plan.input_slots] = columns[plan.input_cols]
@@ -197,12 +308,19 @@ def _raw_execute(plan, columns):
 
 
 def test_e8_obs_noop_overhead(benchmark):
-    """Acceptance bar: disabled obs costs < 5% on the E8 workload."""
+    """Acceptance bar: disabled obs costs < 5% on the E8 workload.
+
+    Pinned to ``fuse=False``: the raw reference loop is word-regime
+    only, so the comparison must not mix in fused-kernel wins.
+    """
     lowered, batches = _lowered_and_batches()
-    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered))
+    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered),
+                        fuse=False)
     columns = np.ascontiguousarray(
         np.asarray(batches, dtype=np.int64).T, dtype=np.int64)
 
+    gc.collect()
+    gc.disable()
     obs.disable()
     try:
         execute_plan(plan, columns)          # warm both code paths
@@ -215,6 +333,7 @@ def test_e8_obs_noop_overhead(benchmark):
             obs_times.append(_timed(execute_plan, plan, columns))
         t_raw, t_obs = min(raw_times), min(obs_times)
     finally:
+        gc.enable()
         obs.enable(memory=True)
 
     overhead = t_obs / t_raw - 1.0
@@ -241,24 +360,38 @@ def test_e8_explain_analyze_overhead(benchmark):
     """
     from repro.obs.profile import build_probe
 
+    # Pinned to fuse=False: probed execution is level-at-a-time by
+    # design, so overhead vs a fused plain run would also bill the
+    # foregone kernel fusion, not just the probe.
     lowered, batches = _lowered_and_batches()
-    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered))
+    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered),
+                        fuse=False)
     columns = np.ascontiguousarray(
         np.asarray(batches, dtype=np.int64).T, dtype=np.int64)
     probe = build_probe(lowered, plan, time_groups=True)
 
+    gc.collect()
+    gc.disable()
     obs.disable()
     try:
         execute_plan(plan, columns)              # warm both code paths
         execute_plan(plan, columns, probe=probe)
-        # interleaved min-of-9, same rationale as the no-op overhead bench
+        # Interleaved rounds, order rotated each time; each side's min
+        # pairs both with the same best-case machine, so a host window
+        # caught by only one side cannot skew the ratio.
         plain_times, probe_times = [], []
-        for _ in range(9):
-            plain_times.append(_timed(execute_plan, plan, columns))
-            probe_times.append(
-                _timed(execute_plan, plan, columns, probe=probe))
+        for i in range(12):
+            if i % 2:
+                probe_times.append(
+                    _timed(execute_plan, plan, columns, probe=probe))
+                plain_times.append(_timed(execute_plan, plan, columns))
+            else:
+                plain_times.append(_timed(execute_plan, plan, columns))
+                probe_times.append(
+                    _timed(execute_plan, plan, columns, probe=probe))
         t_plain, t_probe = min(plain_times), min(probe_times)
     finally:
+        gc.enable()
         obs.enable(memory=True)
 
     overhead = t_probe / t_plain - 1.0
@@ -296,7 +429,10 @@ def test_e8_shard_telemetry_overhead(benchmark):
 
     workers = 2
     lowered, batches = _lowered_and_batches()
-    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered))
+    # fuse=False for the same reason as the analyze-overhead bench: the
+    # probed variant cannot use fused kernels, the plain one could.
+    plan = compile_plan(lowered.circuit, outputs=_output_gids(lowered),
+                        fuse=False)
     columns = np.ascontiguousarray(
         np.asarray(batches, dtype=np.int64).T, dtype=np.int64)
 
@@ -309,6 +445,8 @@ def test_e8_shard_telemetry_overhead(benchmark):
         execute_sharded(plan, columns, workers, stats=stats)
         return stats
 
+    gc.collect()
+    gc.disable()
     obs.disable()
     try:
         execute_sharded(plan, columns, workers)      # warm both code paths
@@ -342,6 +480,7 @@ def test_e8_shard_telemetry_overhead(benchmark):
                             for t, p in zip(times[key], plain_times))
             return deltas[len(deltas) // 2] / t_plain
     finally:
+        gc.enable()
         obs.enable(memory=True)
 
     overhead = _paired_overhead("probe")

@@ -397,10 +397,14 @@ class CompiledQuery:
     @property
     def buffer_bytes_per_row(self) -> int:
         """Exact predicted vectorized-engine buffer bytes per batched
-        instance (``n_slots × 8``) — what :class:`~repro.obs.MemoryBudget`
-        charges and what the serve tier's access log reports, scaled by
-        ``batch_size``.  Forces compilation through lowering on first use;
-        afterwards it is a cached plan lookup."""
+        instance (``plan.buffer_bytes(1)`` — word slots at 8 bytes plus,
+        on packed plans, one uint64 word per bit slot) — what
+        :class:`~repro.obs.MemoryBudget` charges and what the serve tier's
+        access log reports, scaled by ``batch_size``.  Note packed buffer
+        bytes are a step function of batch (64 rows share each bit word):
+        multi-row budgeting uses :meth:`ExecutionPlan.max_rows_within`,
+        not this per-row figure.  Forces compilation through lowering on
+        first use; afterwards it is a cached plan lookup."""
         return self._stage("buffer_bytes_per_row")
 
     # -- answers ---------------------------------------------------------
@@ -411,7 +415,7 @@ class CompiledQuery:
     def evaluate(self, db: Union[Database, Mapping[str, Relation]],
                  engine: str = "vectorized",
                  stats=None, shards: Optional[int] = None,
-                 mem_budget=None) -> Relation:
+                 mem_budget=None, fuse: Optional[bool] = None) -> Relation:
         """Answers on one instance, through the lowered circuit.
 
         ``engine="vectorized"`` runs the levelized engine
@@ -419,17 +423,21 @@ class CompiledQuery:
         ``engine="scalar"`` runs the per-gate scalar interpreter.
         Pass an :class:`repro.engine.EngineStats` as ``stats`` to collect
         per-level timings from the vectorized engine; ``mem_budget`` caps
-        the engine's buffer bytes (see :mod:`repro.obs.memory`).
+        the engine's buffer bytes (see :mod:`repro.obs.memory`); ``fuse``
+        selects the engine's bitset-packed fused plan (default on — pass
+        ``False`` for the classic all-int64 plan, the ``--no-fuse`` knob).
         """
         return self.evaluate_batch([db], engine=engine, stats=stats,
-                                   shards=shards, mem_budget=mem_budget)[0]
+                                   shards=shards, mem_budget=mem_budget,
+                                   fuse=fuse)[0]
 
     def evaluate_batch(self,
                        dbs: List[Union[Database, Mapping[str, Relation]]],
                        engine: str = "vectorized",
                        stats=None,
                        shards: Optional[int] = None,
-                       mem_budget=None) -> List[Relation]:
+                       mem_budget=None,
+                       fuse: Optional[bool] = None) -> List[Relation]:
         """Answers on many instances; the vectorized engine evaluates the
         whole batch in one levelized pass.
 
@@ -447,7 +455,7 @@ class CompiledQuery:
 
             results = [outs[0] for outs in
                        run_lowered(lowered, envs, stats=stats, shards=shards,
-                                   mem_budget=mem_budget)]
+                                   mem_budget=mem_budget, fuse=fuse)]
             if obs.STATE.on:
                 # Theorem-4 space conformance: the engine just published
                 # its per-row buffer pressure; check it against the size
@@ -463,7 +471,8 @@ class CompiledQuery:
 
     # -- introspection ----------------------------------------------------
     def explain_report(self, db=None, analyze: bool = False,
-                       repeat: int = 1, shards: Optional[int] = None):
+                       repeat: int = 1, shards: Optional[int] = None,
+                       fuse: Optional[bool] = None):
         """The per-level EXPLAIN [ANALYZE] report
         (:class:`repro.obs.profile.ExplainReport`).
 
@@ -479,7 +488,7 @@ class CompiledQuery:
         from .obs.profile import explain as _explain
 
         return _explain(self, db=db, analyze=analyze, repeat=repeat,
-                        shards=shards)
+                        shards=shards, fuse=fuse)
 
     def explain(self) -> str:
         """A human-readable summary of every computed stage."""

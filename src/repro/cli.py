@@ -207,13 +207,15 @@ def cmd_run(args) -> int:
 
     stats = EngineStats() if (verbose and args.engine == "vectorized") else None
     try:
+        fuse = False if args.no_fuse else None
         if args.repeat > 1:
             batch = cq.evaluate_batch([db] * args.repeat, engine=args.engine,
-                                      stats=stats, mem_budget=mem_budget)
+                                      stats=stats, mem_budget=mem_budget,
+                                      fuse=fuse)
             answers = batch[0]
         else:
             answers = cq.evaluate(db, engine=args.engine, stats=stats,
-                                  mem_budget=mem_budget)
+                                  mem_budget=mem_budget, fuse=fuse)
     except obs.MemoryBudgetExceeded as exc:
         print(f"run: {exc}", file=sys.stderr)
         for row in exc.breakdown()["per_level"]:
@@ -237,7 +239,8 @@ def cmd_run(args) -> int:
                       f"{seconds * 1e3:.3f}")
 
     if args.explain:
-        report = cq.explain_report(db=db, analyze=True)
+        report = cq.explain_report(db=db, analyze=True,
+                                   fuse=False if args.no_fuse else None)
         print("\n" + report.to_text(top=8))
     if args.metrics:
         print("\n" + obs.summary(obs.trace_document()))
@@ -348,7 +351,8 @@ def cmd_explain(args) -> int:
         # batch below its per-shard minimum back to one process).
         db = [db] * args.batch
     report = cq.explain_report(db=db, analyze=args.analyze,
-                               repeat=args.repeat, shards=args.shards)
+                               repeat=args.repeat, shards=args.shards,
+                               fuse=False if args.no_fuse else None)
     doc = report.to_json()
     problems = validate_report(doc)
     if problems:
@@ -984,6 +988,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1, metavar="N",
                    help="evaluate the instance as a batch of N copies "
                         "(exercises batch execution and memory budgets)")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="disable level fusion + uint64 bitset packing "
+                        "(run the classic all-int64 plan; debugging knob, "
+                        "see docs/engine.md)")
     p.add_argument("--remote", metavar="URL",
                    help="evaluate on a running `repro serve` instance "
                         "instead of compiling locally (e.g. "
@@ -1026,6 +1034,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome-loadable level timeline to FILE")
     p.add_argument("--top", type=int, default=12, metavar="K",
                    help="level-table rows to print (0 = all; default 12)")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="profile the unfused all-int64 plan instead of "
+                        "the fused bitset-packed one")
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(

@@ -38,8 +38,21 @@ import numpy as np
 from ..boolcircuit.graph import Circuit
 from ..obs.memory import MemoryBudgetExceeded, resolve_budget
 from .cache import DEFAULT_PLAN_CACHE, CacheStats, LRUCache, PlanCache
-from .exec import EngineRun, EngineStats, LevelTiming, execute_plan
-from .plan import ExecutionPlan, OpGroup, PlanLevel, compile_plan
+from .exec import (
+    EngineRun,
+    EngineStats,
+    LevelTiming,
+    SegmentTiming,
+    execute_plan,
+)
+from .plan import (
+    ExecutionPlan,
+    OpGroup,
+    PlanLevel,
+    Segment,
+    compile_plan,
+    resolve_fuse,
+)
 from .shard import (
     MIN_SHARD_BATCH,
     effective_shards,
@@ -61,6 +74,8 @@ __all__ = [
     "OpGroup",
     "PlanCache",
     "PlanLevel",
+    "Segment",
+    "SegmentTiming",
     "compile_plan",
     "effective_shards",
     "end_live_slots",
@@ -70,6 +85,7 @@ __all__ = [
     "execute_plan",
     "execute_sharded",
     "lowered_output_gates",
+    "resolve_fuse",
     "run_lowered",
 ]
 
@@ -87,12 +103,13 @@ def _columns(circuit_inputs: int,
     return np.asarray(input_batches, dtype=np.int64).T
 
 
-def _plan_for(circuit: Circuit, outputs, plan, cache) -> ExecutionPlan:
+def _plan_for(circuit: Circuit, outputs, plan, cache,
+              fuse=None) -> ExecutionPlan:
     if plan is not None:
         return plan
     if cache is not None:
-        return cache.get(circuit, outputs)
-    return compile_plan(circuit, outputs)
+        return cache.get(circuit, outputs, fuse=fuse)
+    return compile_plan(circuit, outputs, fuse=fuse)
 
 
 def evaluate(circuit: Circuit, input_batches: Sequence[Sequence[int]],
@@ -101,22 +118,28 @@ def evaluate(circuit: Circuit, input_batches: Sequence[Sequence[int]],
              cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
              stats: Optional[EngineStats] = None,
              shards: Optional[int] = None,
-             mem_budget=None) -> EngineRun:
+             mem_budget=None,
+             fuse: Optional[bool] = None) -> EngineRun:
     """Levelized batch evaluation; returns an :class:`EngineRun`.
 
     ``input_batches[i]`` is the i-th instance's input vector.  ``outputs``
     limits which gates stay addressable (enabling dead-gate elimination and
     buffer recycling); ``shards`` > 1 splits large batches across worker
     processes; ``mem_budget`` caps the predicted buffer bytes (over-budget
-    batches run chunked, see the module docstring).
+    batches run chunked, see the module docstring); ``fuse`` controls
+    bitset packing + level fusion (default: on for plans with explicit
+    outputs, see :func:`repro.engine.plan.resolve_fuse`).
     """
     columns = _columns(len(circuit.inputs), input_batches)
-    the_plan = _plan_for(circuit, outputs, plan, cache)
+    the_plan = _plan_for(circuit, outputs, plan, cache, fuse=fuse)
     budget = resolve_budget(mem_budget)
     if budget is not None:
         batch = columns.shape[1]
         if not budget.allows(the_plan.buffer_bytes(batch)):
-            max_rows = budget.max_rows(the_plan.buffer_bytes(1))
+            # Invert the plan's own byte model (a step function for packed
+            # plans) instead of dividing by buffer_bytes(1), which would
+            # bill every bit slot 8 bytes/row and over-shard packed plans.
+            max_rows = the_plan.max_rows_within(budget.cap_bytes)
             if max_rows < 1:
                 raise MemoryBudgetExceeded(
                     budget.cap_bytes, the_plan.buffer_bytes(1), batch,
@@ -133,7 +156,8 @@ def evaluate_batch(circuit: Circuit, input_batches: Sequence[Sequence[int]],
                    stats: Optional[EngineStats] = None,
                    mem_budget=None) -> List[np.ndarray]:
     """Drop-in replacement for :func:`repro.boolcircuit.fasteval.evaluate_batch`:
-    one length-``batch`` array per gate, every gate kept live."""
+    one length-``batch`` array per gate, every gate kept live (which also
+    rules out bitset packing — see :func:`repro.engine.plan.resolve_fuse`)."""
     run = evaluate(circuit, input_batches, outputs=None, plan=plan,
                    cache=cache, stats=stats, mem_budget=mem_budget)
     return run.all_gates()
@@ -156,7 +180,8 @@ def run_lowered(lowered, envs: Sequence[Mapping],
                 cache: Optional[PlanCache] = DEFAULT_PLAN_CACHE,
                 stats: Optional[EngineStats] = None,
                 shards: Optional[int] = None,
-                mem_budget=None) -> List[List]:
+                mem_budget=None,
+                fuse: Optional[bool] = None) -> List[List]:
     """Evaluate a :class:`~repro.boolcircuit.lower.LoweredCircuit` on many
     database instances; returns, per instance, its output relations.
 
@@ -178,7 +203,7 @@ def run_lowered(lowered, envs: Sequence[Mapping],
 
     run = evaluate(lowered.circuit, batches, outputs=out_gids,
                    cache=cache, stats=stats, shards=shards,
-                   mem_budget=mem_budget)
+                   mem_budget=mem_budget, fuse=fuse)
 
     results: List[List[Relation]] = []
     for idx in range(len(envs)):

@@ -25,9 +25,9 @@ from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from .. import obs
 from ..boolcircuit.graph import Circuit
-from .plan import ExecutionPlan, compile_plan
+from .plan import ExecutionPlan, compile_plan, resolve_fuse
 
-Key = Tuple[str, Optional[Tuple[int, ...]]]
+Key = Tuple[str, Optional[Tuple[int, ...]], bool]
 
 
 @dataclass
@@ -147,21 +147,27 @@ class PlanCache(LRUCache):
 
     @staticmethod
     def key_for(circuit: Circuit,
-                outputs: Optional[Sequence[int]] = None) -> Key:
+                outputs: Optional[Sequence[int]] = None,
+                fuse: Optional[bool] = None) -> Key:
+        """The cache key: structural fingerprint, output set, and the
+        *resolved* fuse flag — fused and unfused plans of one circuit are
+        distinct artifacts and must never share an entry."""
         out_key = (tuple(dict.fromkeys(int(o) for o in outputs))
                    if outputs is not None else None)
-        return (circuit.fingerprint(), out_key)
+        return (circuit.fingerprint(), out_key, resolve_fuse(fuse, out_key))
 
     def get(self, circuit: Circuit,
-            outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
+            outputs: Optional[Sequence[int]] = None,
+            fuse: Optional[bool] = None) -> ExecutionPlan:
         """Return the cached plan, compiling (and inserting) on a miss."""
         return self.get_or_create(
-            self.key_for(circuit, outputs),
-            lambda: compile_plan(circuit, outputs))
+            self.key_for(circuit, outputs, fuse),
+            lambda: compile_plan(circuit, outputs, fuse=fuse))
 
     def contains(self, circuit: Circuit,
-                 outputs: Optional[Sequence[int]] = None) -> bool:
-        return self.key_for(circuit, outputs) in self
+                 outputs: Optional[Sequence[int]] = None,
+                 fuse: Optional[bool] = None) -> bool:
+        return self.key_for(circuit, outputs, fuse) in self
 
     def __repr__(self) -> str:
         return (f"PlanCache({len(self._entries)}/{self.capacity} plans, "

@@ -6,6 +6,17 @@ evaluator (:func:`~repro.boolcircuit.fasteval.evaluate_batch`) over int64
 domains.  An :class:`EngineStats` collector records each level's executed
 width and wall time — the measured counterpart of the theoretical PRAM
 profile in :mod:`repro.boolcircuit.schedule`.
+
+Packed plans (``plan.packed``) carry a second buffer: uint64 **bitset
+words**, one row per bit slot, 64 batch instances per word.  Boolean gates
+compute there with single bitwise ops; PACK/UNPACK boundary ops convert at
+the regime edges (``packbits(truth)`` / ``unpackbits → 0/1 int64``), so the
+word-side results — and everything :class:`EngineRun` exposes — stay
+bit-identical to the unpacked engine.  On the untimed fast path, fused
+segments execute as one compiled kernel call each
+(:meth:`ExecutionPlan.kernel_for`); the instrumented path runs the same
+packed schedule level-at-a-time so per-level timings and cardinality
+probes keep working, with identical numerics.
 """
 
 from __future__ import annotations
@@ -19,7 +30,84 @@ import numpy as np
 from .. import obs
 from ..boolcircuit import graph as g
 from ..boolcircuit.graph import _NAMES as OP_NAMES
-from .plan import ExecutionPlan, OpGroup
+from .plan import BoundaryOp, ExecutionPlan, OpGroup
+
+#: Pseudo-opcode labels for regime-boundary ops in timing streams.
+PACK_NAME = "PACK"
+UNPACK_NAME = "UNPACK"
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+if hasattr(np, "bitwise_count"):
+    def _popcount_rows(words: np.ndarray) -> np.ndarray:
+        """Per-row set-bit counts of a ``(k, n_words)`` uint64 matrix."""
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+else:  # pragma: no cover - older NumPy without bitwise_count
+    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def _popcount_rows(words: np.ndarray) -> np.ndarray:
+        by = np.ascontiguousarray(words).view(np.uint8)
+        return _POP8[by].sum(axis=1, dtype=np.int64)
+
+
+def tail_mask(batch: int) -> np.ndarray:
+    """Per-word masks selecting the valid (in-batch) bit lanes.
+
+    All-ones except the last word when ``batch`` is not a multiple of 64.
+    Every bit slot maintains the invariant that its tail lanes are zero:
+    PACK zero-pads, the bitwise ops preserve zeros, and NOT re-masks.
+    """
+    nw = ExecutionPlan.n_words(batch)
+    mask = np.full(nw, _ALL_ONES, dtype=np.uint64)
+    rem = batch % 64
+    if rem:
+        mask[-1] = np.uint64((1 << rem) - 1)
+    return mask
+
+
+def _apply_pack(bop: BoundaryOp, buf: np.ndarray, bbuf: np.ndarray,
+                n_words: int) -> None:
+    """PACK: truth bits of word values → bitset rows (LSB-first lanes)."""
+    truth = buf[bop.src] != 0
+    by = np.packbits(truth, axis=1, bitorder="little")
+    want = n_words * 8
+    if by.shape[1] != want:
+        padded = np.zeros((by.shape[0], want), dtype=np.uint8)
+        padded[:, :by.shape[1]] = by
+        by = padded
+    bbuf[bop.dst] = by.view(np.uint64)
+
+
+def _apply_unpack(bop: BoundaryOp, buf: np.ndarray, bbuf: np.ndarray,
+                  batch: int) -> None:
+    """UNPACK: bitset rows → 0/1 int64 word values (what the word engine
+    stores for boolean opcodes, so downstream consumers are bit-identical).
+    """
+    words = bbuf[bop.src]                       # fancy gather: fresh, C-contig
+    bits = np.unpackbits(words.view(np.uint8), axis=1,
+                         count=batch, bitorder="little")
+    buf[bop.dst] = bits
+
+
+def _apply_bit(grp: OpGroup, bbuf: np.ndarray, mask: np.ndarray) -> None:
+    """One bitwise call for one bit-regime opcode group (64 lanes/word)."""
+    op = grp.op
+    a = bbuf[grp.a]
+    if op == g.NOT:
+        bbuf[grp.dst] = ~a & mask
+        return
+    if op == g.MUX:
+        bbuf[grp.dst] = (a & bbuf[grp.b]) | (~a & bbuf[grp.c])
+        return
+    b = bbuf[grp.b]
+    if op == g.AND or op == g.MIN:      # boolean MIN is AND over 0/1 lanes
+        bbuf[grp.dst] = a & b
+    elif op == g.OR or op == g.MAX:     # boolean MAX is OR over 0/1 lanes
+        bbuf[grp.dst] = a | b
+    elif op == g.XOR:
+        bbuf[grp.dst] = a ^ b
+    else:
+        raise ValueError(f"op {op} has no bit-regime kernel")
 
 
 @dataclass
@@ -28,7 +116,19 @@ class LevelTiming:
 
     level: int
     width: int        # compute gates executed
-    groups: int       # opcode groups (vectorized NumPy calls)
+    groups: int       # vectorized calls (opcode groups + pack/unpack ops)
+    seconds: float
+
+
+@dataclass
+class SegmentTiming:
+    """Measured execution of one plan segment (fused or level-at-a-time)."""
+
+    segment: int      # index into plan.segments
+    start: int        # first level index in the run
+    stop: int         # last level index in the run (inclusive)
+    fused: bool
+    gates: int
     seconds: float
 
 
@@ -38,6 +138,8 @@ class EngineStats:
 
     batch: int = 0
     levels: List[LevelTiming] = field(default_factory=list)
+    #: Per-segment timings (packed plans only; telescopes over ``levels``).
+    segments: List[SegmentTiming] = field(default_factory=list)
     total_seconds: float = 0.0
     runs: int = 0
 
@@ -69,13 +171,18 @@ class EngineRun:
     execution (:func:`~repro.engine.shard.execute_chunked`) gathers only
     the end-live slots into a compact matrix and passes ``slot_rows``, the
     slot → buffer-row remap, so the accessors stay identical either way.
+    For packed plans, ``bits`` additionally exposes the final uint64 bit
+    buffer (direct ``execute_plan`` calls only) — gate accessors always
+    read the word buffer, where outputs were unpacked.
     """
 
     def __init__(self, plan: ExecutionPlan, buf: np.ndarray,
-                 slot_rows: Optional[np.ndarray] = None):
+                 slot_rows: Optional[np.ndarray] = None,
+                 bits: Optional[np.ndarray] = None):
         self.plan = plan
         self.buf = buf
         self.slot_rows = slot_rows
+        self.bits = bits
 
     @property
     def batch(self) -> int:
@@ -149,6 +256,20 @@ def _apply(grp: OpGroup, buf: np.ndarray) -> None:
         raise ValueError(f"unknown op {op}")
 
 
+def _run_level_packed(level, buf, bbuf, mask, batch, n_words) -> None:
+    """One packed level, untimed, in the canonical within-level order:
+    word groups → bit groups → PACK → UNPACK (the order liveness was
+    computed under)."""
+    for grp in level.groups:
+        _apply(grp, buf)
+    for grp in level.bit_groups:
+        _apply_bit(grp, bbuf, mask)
+    if level.pack is not None:
+        _apply_pack(level.pack, buf, bbuf, n_words)
+    if level.unpack is not None:
+        _apply_unpack(level.unpack, buf, bbuf, batch)
+
+
 def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
                  stats: Optional[EngineStats] = None,
                  probe=None) -> EngineRun:
@@ -159,13 +280,17 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
     enabled — the same numbers (plus per-``(level, opcode)`` group timings)
     flow into the process-wide metrics registry under an
     ``engine.execute`` span.  With obs disabled, no ``stats``, and no
-    ``probe``, the loop below is the untimed fast path.
+    ``probe``, the loop below is the untimed fast path — for packed plans
+    that means one compiled kernel call per fused segment.
 
     ``probe`` is an EXPLAIN ANALYZE collector
     (:class:`repro.obs.profile.ProfileProbe`): after each level executes it
-    reads the observed wire cardinalities straight out of the live buffer
+    reads the observed wire cardinalities straight out of the live buffers
     (values written at level ``L`` are intact until a *later* level reuses
     their slot) and accumulates per-level / per-opcode-group wall time.
+    Bit-regime wires are counted by popcount over their bitset rows via the
+    probe's optional ``bitcard_by_level`` table (looked up with ``getattr``
+    so minimal stats-only probes keep working).
     """
     if columns.ndim != 2 or columns.shape[0] != plan.n_inputs:
         raise ValueError(
@@ -177,36 +302,63 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
     columns = np.ascontiguousarray(columns, dtype=np.int64)
 
     obs_on = obs.STATE.on
+    packed = plan.packed
     t_start = time.perf_counter()
     buf = np.empty((plan.n_slots, batch), dtype=np.int64)
     if len(plan.input_slots):
         buf[plan.input_slots] = columns[plan.input_cols]
     if len(plan.const_slots):
         buf[plan.const_slots] = plan.const_values[:, None]
+    if packed:
+        n_words = plan.n_words(batch)
+        bbuf = np.empty((plan.n_bit_slots, n_words), dtype=np.uint64)
+        mask = tail_mask(batch)
+        if plan.input_pack is not None:
+            _apply_pack(plan.input_pack, buf, bbuf, n_words)
+    else:
+        n_words = 0
+        bbuf = mask = None
 
     if stats is None and probe is None and not obs_on:
-        for level in plan.levels:
-            for grp in level.groups:
-                _apply(grp, buf)
-        return EngineRun(plan, buf)
+        if not packed:
+            for level in plan.levels:
+                for grp in level.groups:
+                    _apply(grp, buf)
+            return EngineRun(plan, buf)
+        levels = plan.levels
+        for si, seg in enumerate(plan.segments):
+            if seg.fused:
+                plan.kernel_for(si)(bbuf, mask)
+            else:
+                for level in levels[seg.start:seg.stop]:
+                    _run_level_packed(level, buf, bbuf, mask, batch, n_words)
+        return EngineRun(plan, buf, bits=bbuf)
 
     with obs.span("engine.execute", batch=batch, levels=plan.depth,
-                  gates=plan.n_executed) as sp:
+                  gates=plan.n_executed, packed=packed) as sp:
         m = obs.metrics if obs_on else None
         if m is not None:
-            # Analytic footprint: exact bytes of the buffer just allocated,
+            # Analytic footprint: exact bytes of the buffers just allocated,
             # per-row pressure (chunk-invariant), and what recycling saved.
+            # For packed plans buffer_bytes is the post-packing figure; the
+            # prepack gauge records what the same slots would cost as int64.
             sp.set(buffer_bytes=plan.buffer_bytes(batch))
             m.gauge("engine.buffer_bytes").set(plan.buffer_bytes(batch))
             m.gauge("engine.buffer_bytes_per_row").set(plan.buffer_bytes(1))
             m.gauge("engine.slot_savings_bytes").set(
                 plan.slot_savings_bytes(batch))
+            if packed:
+                m.gauge("engine.bit_buffer_bytes").set(
+                    plan.bit_buffer_bytes(batch))
+                m.gauge("engine.prepack_buffer_bytes").set(
+                    plan.prepack_buffer_bytes(batch))
             mem_on = obs.MEM.on
             rss0 = obs.peak_rss_bytes() if mem_on else 0
         group_hist = m.histogram("engine.group.seconds") if obs_on else None
         level_hist = m.histogram("engine.level.seconds") if obs_on else None
         perf = time.perf_counter
         time_groups = probe is not None and probe.time_groups
+        bitcards = getattr(probe, "bitcard_by_level", None) or None
         if probe is not None:
             # The probe's flat protocol (see ProfileProbe): preallocated
             # accumulators indexed by level / flat group slot, bound to
@@ -214,51 +366,118 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
             # lookups or method calls.
             probe.begin(batch)
             probe.observe(0, buf)
+            if bitcards is not None and packed:
+                entry0 = bitcards.get(0)
+                if entry0 is not None:
+                    bacc = entry0[2]
+                    bacc += _popcount_rows(bbuf[entry0[0]])
             level_acc = probe.level_acc
             card_by_level = probe.card_by_level
+            card_scratch = getattr(probe, "card_scratch", None)
             gacc = probe.group_acc
             gbase = probe.group_base
-        for level in plan.levels:
+        # level list position -> segment index, for per-segment telescoping.
+        seg_acc: Optional[np.ndarray] = None
+        seg_of: Optional[List[int]] = None
+        if packed and plan.segments:
+            seg_acc = np.zeros(len(plan.segments), dtype=np.float64)
+            seg_of = [0] * len(plan.levels)
+            for si, seg in enumerate(plan.segments):
+                for pos in range(seg.start, seg.stop):
+                    seg_of[pos] = si
+        want_group_times = group_hist is not None or time_groups
+        probe_only = time_groups and group_hist is None
+        for pos, level in enumerate(plan.levels):
             t0 = perf()
-            if group_hist is not None:
+            if want_group_times:
+                # Chained timestamps, one per vectorized call, streamed into
+                # the probe's flat per-group slots and/or the obs histogram.
+                # Enumeration order must match ProfileProbe._group_meta:
+                # word groups → bit groups → PACK → UNPACK.
                 gi = gbase[level.index] if time_groups else 0
-                for grp in level.groups:
-                    g0 = perf()
-                    _apply(grp, buf)
-                    g1 = perf()
-                    group_hist.observe(g1 - g0, level=level.index,
-                                       op=OP_NAMES[grp.op])
-                    if time_groups:
+                g1 = t0
+                if probe_only:
+                    # `repro explain --analyze` with obs off — the < 5%
+                    # overhead bar is gated on this loop, so it pays one
+                    # timestamp and one accumulate per call, nothing else.
+                    for grp in level.groups:
+                        _apply(grp, buf)
+                        g0, g1 = g1, perf()
                         gacc[gi] += g1 - g0
                         gi += 1
-                dt = perf() - t0
-            elif time_groups:
-                # EXPLAIN ANALYZE fast path: chained timestamps — one
-                # perf_counter per group, accumulated straight into the
-                # probe's flat per-group slots.
-                gi = gbase[level.index]
-                g1 = t0
-                for grp in level.groups:
-                    _apply(grp, buf)
-                    g0, g1 = g1, perf()
-                    gacc[gi] += g1 - g0
-                    gi += 1
+                else:
+                    for grp in level.groups:
+                        _apply(grp, buf)
+                        g0, g1 = g1, perf()
+                        if group_hist is not None:
+                            group_hist.observe(g1 - g0, level=level.index,
+                                               op=OP_NAMES[grp.op])
+                        if time_groups:
+                            gacc[gi] += g1 - g0
+                            gi += 1
+                if packed:
+                    for grp in level.bit_groups:
+                        _apply_bit(grp, bbuf, mask)
+                        g0, g1 = g1, perf()
+                        if group_hist is not None:
+                            group_hist.observe(g1 - g0, level=level.index,
+                                               op=OP_NAMES[grp.op])
+                        if time_groups:
+                            gacc[gi] += g1 - g0
+                            gi += 1
+                    if level.pack is not None:
+                        _apply_pack(level.pack, buf, bbuf, n_words)
+                        g0, g1 = g1, perf()
+                        if group_hist is not None:
+                            group_hist.observe(g1 - g0, level=level.index,
+                                               op=PACK_NAME)
+                        if time_groups:
+                            gacc[gi] += g1 - g0
+                            gi += 1
+                    if level.unpack is not None:
+                        _apply_unpack(level.unpack, buf, bbuf, batch)
+                        g0, g1 = g1, perf()
+                        if group_hist is not None:
+                            group_hist.observe(g1 - g0, level=level.index,
+                                               op=UNPACK_NAME)
+                        if time_groups:
+                            gacc[gi] += g1 - g0
+                            gi += 1
                 dt = g1 - t0
             else:
-                for grp in level.groups:
-                    _apply(grp, buf)
+                if packed:
+                    _run_level_packed(level, buf, bbuf, mask, batch, n_words)
+                else:
+                    for grp in level.groups:
+                        _apply(grp, buf)
                 dt = perf() - t0
+            if seg_acc is not None:
+                seg_acc[seg_of[pos]] += dt
             if stats is not None:
+                n_calls = (len(level.groups) + len(level.bit_groups)
+                           + (1 if level.pack is not None else 0)
+                           + (1 if level.unpack is not None else 0))
                 stats.levels.append(LevelTiming(
                     level=level.index, width=level.width,
-                    groups=len(level.groups), seconds=dt))
+                    groups=n_calls, seconds=dt))
             if probe is not None:
                 idx = level.index
                 level_acc[idx] += dt
                 entry = card_by_level.get(idx)
                 if entry is not None:
                     acc = entry[2]
-                    acc += np.count_nonzero(buf[entry[0]], axis=1)
+                    scratch = (card_scratch.get(idx)
+                               if card_scratch is not None else None)
+                    if scratch is not None and scratch.shape[1] == batch:
+                        np.take(buf, entry[0], axis=0, out=scratch)
+                        acc += np.count_nonzero(scratch, axis=1)
+                    else:
+                        acc += np.count_nonzero(buf[entry[0]], axis=1)
+                if bitcards is not None:
+                    bentry = bitcards.get(idx)
+                    if bentry is not None:
+                        bacc = bentry[2]
+                        bacc += _popcount_rows(bbuf[bentry[0]])
             if level_hist is not None:
                 level_hist.observe(dt, level=level.index)
         total = time.perf_counter() - t_start
@@ -266,6 +485,14 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
             stats.batch = batch
             stats.total_seconds += total
             stats.runs += 1
+            if seg_acc is not None:
+                for si, seg in enumerate(plan.segments):
+                    stats.segments.append(SegmentTiming(
+                        segment=si,
+                        start=plan.levels[seg.start].index,
+                        stop=plan.levels[seg.stop - 1].index,
+                        fused=seg.fused, gates=seg.n_gates,
+                        seconds=float(seg_acc[si])))
         if probe is not None:
             probe.total_seconds += total
         if m is not None:
@@ -273,9 +500,14 @@ def execute_plan(plan: ExecutionPlan, columns: np.ndarray,
             m.counter("engine.gates_executed").inc(plan.n_executed)
             m.counter("engine.gate_evals").inc(plan.n_executed * batch)
             m.counter("engine.seconds").inc(total)
+            if seg_acc is not None:
+                seg_hist = m.histogram("engine.segment.seconds")
+                for si, seg in enumerate(plan.segments):
+                    seg_hist.observe(float(seg_acc[si]), segment=si,
+                                     fused=seg.fused)
             if mem_on:
                 # Measured counterpart of engine.buffer_bytes: how much the
                 # process high-water mark actually moved during this run.
                 m.gauge("engine.peak_rss_delta_bytes").set(
                     max(0, obs.peak_rss_bytes() - rss0))
-    return EngineRun(plan, buf)
+    return EngineRun(plan, buf, bits=bbuf)

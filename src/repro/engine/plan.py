@@ -9,23 +9,39 @@ level's gates by opcode into contiguous index arrays, so evaluation is one
 fancy-indexed NumPy call per ``(level, opcode)`` pair instead of one Python
 iteration per gate.
 
-Two further compile-time analyses:
+Compile-time analyses:
 
 * **dead-gate elimination** — when the caller names its output gates, gates
   that cannot reach any output are dropped from the plan entirely;
 * **liveness / register allocation** — each gate's value lives in a buffer
   *slot*; a slot is recycled once its gate's last reader has executed, so
-  peak memory is ``O(max-live × batch)`` instead of ``O(size × batch)``
-  (which is what :func:`repro.boolcircuit.fasteval.evaluate_batch` holds
-  alive today).
+  peak memory is ``O(max-live × batch)`` instead of ``O(size × batch)``;
+* **bitset packing** (``fuse=True``, the default for plans with explicit
+  outputs) — boolean-valued gates move out of the int64 word buffer into a
+  **uint64 bit buffer** packed across the batch dimension: one word holds
+  64 instances, so one ``&`` evaluates an AND gate for 64 instances at
+  1/64th of the bytes.  Explicit PACK ops (``truth(word) → bits``) and
+  UNPACK ops (``bits → 0/1 int64``) sit at the regime boundaries, emitted
+  at the producing gate's level so the liveness invariant below covers both
+  buffers;
+* **level fusion** — maximal runs of adjacent levels whose groups are all
+  bit-regime element-wise ops (AND/OR/XOR/NOT plus boolean MUX/MIN/MAX; no
+  regime boundaries, no word groups) become one :class:`Segment` compiled
+  into a single Python-level kernel over the bit buffer — one call per
+  fused run on the fast path instead of one dispatch per (level, opcode).
 
 Slot recycling is safe because slots freed at level ``L`` are only handed to
 gates *written* at levels ``> L``, and every value read at level ``L+1``
 belongs to a gate whose last use is ``≥ L+1`` — its slot is still pinned.
+The same invariant holds independently per regime (word slots and bit slots
+keep separate free lists), and *within* a fused segment the kernel's lines
+run in level order, so a bit slot freed mid-segment is only rewritten by a
+later line.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,10 +50,33 @@ import numpy as np
 from .. import obs
 from ..boolcircuit import graph as g
 
+#: Set (to anything non-empty) to disable fusion + bitset packing globally —
+#: the ``--no-fuse`` debugging knob (docs/engine.md §Fused kernels).
+NO_FUSE_ENV = "REPRO_NO_FUSE"
+
+
+def resolve_fuse(fuse: Optional[bool],
+                 outputs: Optional[Sequence[int]]) -> bool:
+    """The effective fuse flag: packing needs an explicit output set
+    (all-live plans keep one word slot per gate so ``all_gates`` and the
+    scalar-comparable probes still work); ``None`` means "on unless
+    ``REPRO_NO_FUSE`` is set"."""
+    if outputs is None:
+        return False
+    if fuse is None:
+        return not os.environ.get(NO_FUSE_ENV)
+    return bool(fuse)
+
 
 @dataclass
 class OpGroup:
-    """All gates of one opcode within one level, as index arrays."""
+    """All gates of one opcode within one level, as index arrays.
+
+    Word-regime groups index the int64 slot buffer; bit-regime groups
+    (``PlanLevel.bit_groups``) index the uint64 bit buffer.  For MUX,
+    ``a`` is the condition and ``b``/``c`` the then/else operands in both
+    regimes.
+    """
 
     op: int
     dst: np.ndarray           # destination slots, shape (k,)
@@ -50,15 +89,118 @@ class OpGroup:
 
 
 @dataclass
+class BoundaryOp:
+    """A PACK or UNPACK regime boundary at one level.
+
+    PACK: ``bit[dst] = packbits(word[src] != 0)`` — the truth bits of word
+    values, 64 per uint64 word.  UNPACK: ``word[dst] = unpackbits(bit[src])``
+    — 0/1 int64 values, exactly what the word engine stores for boolean
+    opcodes, so downstream word gates and output accessors are bit-identical.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+
+@dataclass
 class PlanLevel:
-    """One topological level: its opcode groups plus profile numbers."""
+    """One topological level: its opcode groups plus regime boundaries."""
 
     index: int
-    groups: List[OpGroup]
+    groups: List[OpGroup]                 # word-regime opcode groups
+    bit_groups: List[OpGroup] = field(default_factory=list)
+    pack: Optional[BoundaryOp] = None     # word results packed at this level
+    unpack: Optional[BoundaryOp] = None   # bit results unpacked at this level
+
+    @property
+    def word_width(self) -> int:
+        return sum(len(grp) for grp in self.groups)
+
+    @property
+    def bit_width(self) -> int:
+        return sum(len(grp) for grp in self.bit_groups)
 
     @property
     def width(self) -> int:
-        return sum(len(grp) for grp in self.groups)
+        return self.word_width + self.bit_width
+
+    @property
+    def fusable(self) -> bool:
+        """Only bit-regime element-wise groups: no word work, no regime
+        boundaries — the level can join a fused segment."""
+        return (not self.groups and self.pack is None
+                and self.unpack is None and bool(self.bit_groups))
+
+
+@dataclass
+class Segment:
+    """A maximal run of adjacent levels executed as one unit.
+
+    ``fused`` segments contain only bit-regime levels and compile to a
+    single kernel (one Python call on the fast path); unfused segments are
+    executed level-at-a-time.  ``start``/``stop`` index positions in
+    ``plan.levels`` (not level indices).
+    """
+
+    start: int
+    stop: int
+    fused: bool
+    n_gates: int = 0
+    n_levels: int = 0
+    n_calls: int = 0          # group calls an unfused execution would make
+
+    def level_indices(self, plan: "ExecutionPlan") -> List[int]:
+        return [lvl.index for lvl in plan.levels[self.start:self.stop]]
+
+
+_KERNEL_TEMPLATE = "<repro-fused-kernel>"
+
+
+def _build_segment_kernel(levels: Sequence[PlanLevel]):
+    """Codegen one Python function for a fused (all-bit) segment.
+
+    Emits one line per opcode group — plain uint64 bitwise expressions over
+    the bit buffer, index arrays captured in a constants tuple — and
+    compiles it once.  Tail-bit hygiene: every bit slot keeps its tail bits
+    (past the batch) zero; ``& mask`` after NOT is the only line that needs
+    to re-establish it (AND/OR/XOR/MUX preserve zeros).
+    """
+    consts: List[np.ndarray] = []
+
+    def cref(arr: np.ndarray) -> str:
+        consts.append(arr)
+        return f"C[{len(consts) - 1}]"
+
+    lines = ["def _kern(b, mask, C):"]
+    for lvl in levels:
+        for grp in lvl.bit_groups:
+            d, a = cref(grp.dst), cref(grp.a)
+            if grp.op == g.NOT:
+                lines.append(f"    b[{d}] = ~b[{a}] & mask")
+            elif grp.op == g.MUX:
+                bb, cc = cref(grp.b), cref(grp.c)
+                lines.append(
+                    f"    b[{d}] = (b[{a}] & b[{bb}]) | (~b[{a}] & b[{cc}])")
+            else:
+                sym = {g.AND: "&", g.MIN: "&",
+                       g.OR: "|", g.MAX: "|",
+                       g.XOR: "^"}[grp.op]
+                bb = cref(grp.b)
+                lines.append(f"    b[{d}] = b[{a}] {sym} b[{bb}]")
+    if len(lines) == 1:       # pragma: no cover - empty segments never fuse
+        lines.append("    pass")
+    ns: Dict[str, object] = {}
+    exec(compile("\n".join(lines), _KERNEL_TEMPLATE, "exec"), ns)
+    kern = ns["_kern"]
+    C = tuple(consts)
+
+    def kernel(bbuf: np.ndarray, mask: np.ndarray) -> None:
+        kern(bbuf, mask, C)
+
+    return kernel
 
 
 @dataclass
@@ -66,7 +208,7 @@ class ExecutionPlan:
     """A compiled, data-independent evaluation schedule for one circuit."""
 
     n_gates: int                  # gates in the source circuit
-    n_slots: int                  # buffer rows actually allocated
+    n_slots: int                  # int64 word-buffer rows allocated
     n_executed: int               # compute gates surviving dead-gate elim
     input_slots: np.ndarray       # slot per live input gate
     input_cols: np.ndarray        # matching row indices into the column matrix
@@ -74,61 +216,132 @@ class ExecutionPlan:
     const_slots: np.ndarray       # slot per live constant gate
     const_values: np.ndarray      # matching constant values
     levels: List[PlanLevel]
-    slot_of: np.ndarray           # gid -> slot at end of run (-1 if recycled)
+    slot_of: np.ndarray           # gid -> word slot at end of run (-1 if gone)
     outputs: Optional[Tuple[int, ...]]
     fingerprint: str
     n_live: int = 0               # gates surviving dead-gate elim (incl. L0);
                                   # the slots a no-recycling plan would need
-    #: gid -> slot the gate was *written* to (-1 for dead gates).  Unlike
+    #: gid -> word slot the gate's value was *written* to (-1 for dead gates
+    #: and for bit-regime gates that were never unpacked).  Unlike
     #: ``slot_of`` this is never cleared on recycling: a gate's value sits
     #: in ``written_slot[gid]`` from the moment its level executes until a
     #: later level reuses the slot — the window the profiler's cardinality
     #: probes read (:mod:`repro.obs.profile`).
     written_slot: Optional[np.ndarray] = None
-    #: slots still pinned after each level's releases (index 0 = after the
-    #: input/constant fill) — the slot-pressure curve ``repro explain``
+    #: word slots still pinned after each level's releases (index 0 = after
+    #: the input/constant fill) — the slot-pressure curve ``repro explain``
     #: renders.  Length ``depth + 1``.
     live_after: Optional[np.ndarray] = None
+    # -- bitset packing (fuse=True plans) ------------------------------
+    packed: bool = False          # any gates landed in the bit regime
+    fuse: bool = False            # the resolved fuse flag this plan was
+                                  # compiled under (cache-key component)
+    n_bit_slots: int = 0          # uint64 bit-buffer rows allocated
+    n_bit_live: int = 0           # bit-regime writes (no-recycling rows)
+    #: gid -> bit slot the gate's truth/value bits were written to (-1 when
+    #: the gate never entered the bit regime); same non-clearing contract
+    #: as ``written_slot``, read by popcount cardinality probes.
+    bit_written_slot: Optional[np.ndarray] = None
+    #: live bit slots after each level's releases (length ``depth + 1``).
+    bit_live_after: Optional[np.ndarray] = None
+    #: PACK of level-0 values (inputs/constants consumed by bit gates),
+    #: applied immediately after the input/constant fill.
+    input_pack: Optional[BoundaryOp] = None
+    #: contiguous, exhaustive partition of ``levels`` into fused (all-bit,
+    #: one kernel call) and unfused (level-at-a-time) runs.
+    segments: List[Segment] = field(default_factory=list)
 
     @property
     def depth(self) -> int:
         return len(self.levels)
 
-    #: Bytes per buffer word; the engine computes over int64.
+    #: Bytes per word-buffer entry; the word engine computes over int64.
     ITEMSIZE = 8
 
+    @staticmethod
+    def n_words(batch: int) -> int:
+        """uint64 words per bit slot for a batch (64 instances per word)."""
+        return (int(batch) + 63) // 64
+
     def buffer_bytes(self, batch: int, itemsize: int = ITEMSIZE) -> int:
-        """Exact bytes of the ``n_slots × batch`` value buffer the engine
-        will allocate for this plan (the *analytic* footprint — predicted,
-        not measured)."""
+        """Exact bytes of the value buffers the engine will allocate for
+        this plan at ``batch`` (the *analytic* footprint — predicted, not
+        measured): the ``n_slots × batch`` int64 word buffer plus, for
+        packed plans, the ``n_bit_slots × ⌈batch/64⌉`` uint64 bit buffer.
+        A step function of ``batch`` when packed — invert it with
+        :meth:`max_rows_within`, not by dividing by ``buffer_bytes(1)``.
+        """
+        total = self.n_slots * int(batch) * itemsize
+        if self.n_bit_slots:
+            total += self.n_bit_slots * self.n_words(batch) * 8
+        return total
+
+    def word_buffer_bytes(self, batch: int, itemsize: int = ITEMSIZE) -> int:
         return self.n_slots * int(batch) * itemsize
+
+    def bit_buffer_bytes(self, batch: int) -> int:
+        return self.n_bit_slots * self.n_words(batch) * 8
+
+    def prepack_buffer_bytes(self, batch: int,
+                             itemsize: int = ITEMSIZE) -> int:
+        """What this plan's allocation would cost if every slot (word *and*
+        bit) held one int64 per instance — the pre-packing figure
+        ``repro explain`` reports next to the packed one."""
+        return (self.n_slots + self.n_bit_slots) * int(batch) * itemsize
+
+    def max_rows_within(self, cap_bytes: int,
+                        itemsize: int = ITEMSIZE) -> int:
+        """The largest batch whose :meth:`buffer_bytes` fits under
+        ``cap_bytes`` — the exact inverse of the packed step function, so
+        :class:`~repro.obs.MemoryBudget` chunking never over-shards a
+        packed plan by pretending bit slots cost eight bytes per row."""
+        cap = int(cap_bytes)
+        w = self.n_slots * itemsize
+        if not self.n_bit_slots:
+            return cap // w if w else cap
+        bword = self.n_bit_slots * 8
+        cost64 = 64 * w + bword            # one full 64-instance block
+        blocks = cap // cost64
+        rem = cap - blocks * cost64
+        extra = 0
+        if w and rem >= bword + w:         # a partial block costs one more
+            extra = min(63, (rem - bword) // w)   # bit word regardless of rows
+        return blocks * 64 + extra
 
     def slot_savings_bytes(self, batch: int,
                            itemsize: int = ITEMSIZE) -> int:
         """Bytes liveness recycling saves vs a no-recycling plan, which
-        would hold one slot per live gate (``n_live``) instead of reusing
-        freed slots (``n_slots``)."""
-        return max(0, self.n_live - self.n_slots) * int(batch) * itemsize
+        would hold one row per write (``n_live`` word rows, ``n_bit_live``
+        bit rows) instead of reusing freed slots."""
+        saved = max(0, self.n_live - self.n_slots) * int(batch) * itemsize
+        saved += (max(0, self.n_bit_live - self.n_bit_slots)
+                  * self.n_words(batch) * 8)
+        return saved
 
     def per_level_footprint(self, itemsize: int = ITEMSIZE) -> List[dict]:
         """Per-level buffer pressure rows ``{"level", "width", "row_bytes"}``
-        — the bytes each level *writes* per batch row.  This is the
-        breakdown attached to :class:`~repro.obs.MemoryBudgetExceeded`."""
-        rows = [{"level": 0,
-                 "width": len(self.input_slots) + len(self.const_slots),
-                 "row_bytes": (len(self.input_slots)
-                               + len(self.const_slots)) * itemsize}]
-        rows.extend({"level": lvl.index, "width": lvl.width,
-                     "row_bytes": lvl.width * itemsize}
-                    for lvl in self.levels)
+        — the bytes each level *writes* per batch row (bit-regime gates
+        write one bit per row, rounded up to whole bytes per level).  This
+        is the breakdown attached to
+        :class:`~repro.obs.MemoryBudgetExceeded`."""
+        w0 = len(self.input_slots) + len(self.const_slots)
+        b0 = len(self.input_pack.src) if self.input_pack is not None else 0
+        rows = [{"level": 0, "width": w0,
+                 "row_bytes": w0 * itemsize + (b0 + 7) // 8}]
+        for lvl in self.levels:
+            word = lvl.word_width + (len(lvl.unpack) if lvl.unpack else 0)
+            bits = lvl.bit_width + (len(lvl.pack) if lvl.pack else 0)
+            rows.append({"level": lvl.index, "width": lvl.width,
+                         "row_bytes": word * itemsize + (bits + 7) // 8})
         return rows
 
     def slot(self, gid: int) -> int:
-        """The buffer slot holding ``gid``'s value after execution.
+        """The word-buffer slot holding ``gid``'s value after execution.
 
-        Raises ``KeyError`` for gates whose buffer was recycled mid-run or
-        eliminated as dead — compile the plan with those gids in
-        ``outputs`` (or with ``outputs=None``) to keep them live.
+        Raises ``KeyError`` for gates whose buffer was recycled mid-run,
+        eliminated as dead, or left packed in the bit regime — compile the
+        plan with those gids in ``outputs`` (or with ``outputs=None``) to
+        keep them live as words.
         """
         s = int(self.slot_of[gid])
         if s < 0:
@@ -140,10 +353,41 @@ class ExecutionPlan:
     def level_widths(self) -> List[int]:
         return [lvl.width for lvl in self.levels]
 
+    # -- fused kernels --------------------------------------------------
+    def kernel_for(self, seg_index: int):
+        """The compiled kernel of one fused segment (``None`` for unfused
+        segments).  Built lazily and cached per plan; the cache never
+        pickles (see ``__getstate__``), so plans shipped to shard workers
+        rebuild kernels on first use in the worker process."""
+        seg = self.segments[seg_index]
+        if not seg.fused:
+            return None
+        cache = self.__dict__.setdefault("_kernels", {})
+        kern = cache.get(seg_index)
+        if kern is None:
+            kern = cache[seg_index] = _build_segment_kernel(
+                self.levels[seg.start:seg.stop])
+        return kern
+
+    def kernels(self) -> List:
+        """Per-segment kernels, aligned with ``self.segments``."""
+        return [self.kernel_for(i) for i in range(len(self.segments))]
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_kernels", None)   # code objects don't pickle; rebuild
+        return state
+
     def __repr__(self) -> str:
-        return (f"ExecutionPlan({self.n_executed}/{self.n_gates} gates over "
+        base = (f"ExecutionPlan({self.n_executed}/{self.n_gates} gates over "
                 f"{self.depth} levels, {self.n_slots} slots, "
-                f"{sum(len(l.groups) for l in self.levels)} opcode groups)")
+                f"{sum(len(l.groups) + len(l.bit_groups) for l in self.levels)}"
+                f" opcode groups")
+        if self.packed:
+            fused = sum(1 for s in self.segments if s.fused)
+            base += (f", {self.n_bit_slots} bit slots, "
+                     f"{fused} fused segments")
+        return base + ")"
 
 
 _EMPTY = np.empty(0, dtype=np.intp)
@@ -155,6 +399,13 @@ _ARITY = {
     g.AND: 2, g.OR: 2, g.XOR: 2, g.MIN: 2, g.MAX: 2,
     g.MUX: 3,
 }
+
+#: Opcodes always computed in the bit regime under fusion (pure truth ops:
+#: operands are consumed as truth bits, outputs are boolean).
+_BIT_OPS = frozenset((g.AND, g.OR, g.XOR, g.NOT))
+
+#: Opcodes whose output is always boolean (beyond the bit ops themselves).
+_BOOL_PRODUCERS = frozenset((g.EQ, g.LT))
 
 
 def _live_set(circuit: g.Circuit, outputs: Sequence[int]) -> np.ndarray:
@@ -172,22 +423,70 @@ def _live_set(circuit: g.Circuit, outputs: Sequence[int]) -> np.ndarray:
     return needed
 
 
+def _classify_regimes(circuit: g.Circuit,
+                      needed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-gate regime analysis for bitset packing.
+
+    ``is_bool[gid]``: the gate's *value* is provably 0/1 (its truth bits
+    equal its value bits, so a packed representation loses nothing).
+    ``bit_gate[gid]``: the gate is *computed* in the bit regime — pure
+    truth ops unconditionally (their operands are consumed as truth, which
+    PACK provides for arbitrary words), plus MUX/MIN/MAX whose selected
+    values are themselves boolean (``MUX → (c&a)|(~c&b)``, ``MIN → &``,
+    ``MAX → |`` over 0/1 values).  Gates are appended topologically, so a
+    single forward pass suffices.
+    """
+    n = len(circuit.ops)
+    ops, in_a, in_b, in_c = circuit.ops, circuit.in_a, circuit.in_b, circuit.in_c
+    consts = circuit.consts
+    is_bool = np.zeros(n, dtype=bool)
+    bit_gate = np.zeros(n, dtype=bool)
+    for gid in range(n):
+        op = ops[gid]
+        if op in _BIT_OPS:
+            is_bool[gid] = True
+            bit_gate[gid] = needed[gid]
+        elif op in _BOOL_PRODUCERS:
+            is_bool[gid] = True
+        elif op == g.CONST:
+            is_bool[gid] = consts[gid] in (0, 1)
+        elif op == g.MUX:
+            if is_bool[in_b[gid]] and is_bool[in_c[gid]]:
+                is_bool[gid] = True
+                bit_gate[gid] = needed[gid]
+        elif op in (g.MIN, g.MAX):
+            if is_bool[in_a[gid]] and is_bool[in_b[gid]]:
+                is_bool[gid] = True
+                bit_gate[gid] = needed[gid]
+    return is_bool, bit_gate
+
+
 def compile_plan(circuit: g.Circuit,
-                 outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
+                 outputs: Optional[Sequence[int]] = None,
+                 fuse: Optional[bool] = None) -> ExecutionPlan:
     """Compile a circuit into a levelized, opcode-grouped execution plan.
 
     ``outputs`` names the gates whose values must survive to the end of the
     run.  With ``outputs=None`` every gate is kept live (one slot per gate,
-    no recycling) — the drop-in replacement for
+    no recycling, no packing) — the drop-in replacement for
     :func:`~repro.boolcircuit.fasteval.evaluate_batch`.  With an explicit
     list, dead gates are eliminated and buffers are recycled at each gate's
     last use.
+
+    ``fuse`` controls bitset packing + level fusion: ``True`` moves
+    boolean gates into the uint64 bit buffer and fuses all-bit level runs
+    into single kernels; ``False`` compiles the classic all-int64 plan;
+    ``None`` (default) fuses whenever ``outputs`` is given and
+    ``REPRO_NO_FUSE`` is unset.  Output values are bit-identical either
+    way — fusion is a schedule/layout choice, never a semantic one.
     """
-    with obs.span("engine.plan", gates=len(circuit.ops)) as sp:
-        plan = _compile_plan(circuit, outputs)
+    fuse = resolve_fuse(fuse, outputs)
+    with obs.span("engine.plan", gates=len(circuit.ops), fuse=fuse) as sp:
+        plan = _compile_plan(circuit, outputs, fuse)
         if obs.STATE.on:
             sp.set(slots=plan.n_slots, executed=plan.n_executed,
-                   levels=plan.depth)
+                   levels=plan.depth, bit_slots=plan.n_bit_slots,
+                   segments=len(plan.segments))
             m = obs.metrics
             m.counter("engine.plans").inc()
             m.gauge("plan.gates").set(plan.n_gates)
@@ -195,15 +494,23 @@ def compile_plan(circuit: g.Circuit,
             m.gauge("plan.slots").set(plan.n_slots)
             m.gauge("plan.levels").set(plan.depth)
             m.gauge("plan.groups").set(
-                sum(len(lvl.groups) for lvl in plan.levels))
+                sum(len(lvl.groups) + len(lvl.bit_groups)
+                    for lvl in plan.levels))
             m.gauge("plan.live_gates").set(plan.n_live)
             m.gauge("plan.buffer_bytes_per_row").set(
                 plan.buffer_bytes(1))
+            if plan.packed:
+                m.gauge("plan.bit_slots").set(plan.n_bit_slots)
+                m.gauge("plan.fused_segments").set(
+                    sum(1 for s in plan.segments if s.fused))
+                m.gauge("plan.fused_levels").set(
+                    sum(s.n_levels for s in plan.segments if s.fused))
     return plan
 
 
 def _compile_plan(circuit: g.Circuit,
-                  outputs: Optional[Sequence[int]] = None) -> ExecutionPlan:
+                  outputs: Optional[Sequence[int]] = None,
+                  fuse: bool = False) -> ExecutionPlan:
     n = len(circuit.ops)
     levels = circuit.levels()
     ops, in_a, in_b, in_c = circuit.ops, circuit.in_a, circuit.in_b, circuit.in_c
@@ -219,42 +526,80 @@ def _compile_plan(circuit: g.Circuit,
     else:
         needed = np.ones(n, dtype=bool)
         recycle = False
+    out_set = frozenset(out_key) if out_key is not None else frozenset()
 
-    # Liveness: the last level at which each gate's value is read.  Output
-    # gates are pinned past the final level.
+    if fuse and recycle:
+        is_bool, bit_gate = _classify_regimes(circuit, needed)
+    else:
+        bit_gate = np.zeros(n, dtype=bool)
+
     n_levels = len(levels)
     level_of: List[int] = [0] * n
     for lvl, gids in enumerate(levels):
         for gid in gids:
             level_of[gid] = lvl
-    last_use = np.full(n, -1, dtype=np.int64)
+
+    # Liveness, per regime: the last level at which each gate's value is
+    # read *as a word* (word-regime consumers; plus its own level when it
+    # must be packed there) and *as bits* (bit-regime consumers; plus its
+    # own level when it must be unpacked there).  Output gates are pinned
+    # as words past the final level — bit-regime outputs pin their UNPACK
+    # destination instead.
+    word_last = np.full(n, -1, dtype=np.int64)
+    bit_last = np.full(n, -1, dtype=np.int64)
     for gid in range(n):
         if not needed[gid]:
             continue
         lvl = level_of[gid]
+        use = bit_last if bit_gate[gid] else word_last
         for x in (in_a[gid], in_b[gid], in_c[gid]):
-            if x >= 0 and lvl > last_use[x]:
-                last_use[x] = lvl
+            if x >= 0 and lvl > use[x]:
+                use[x] = lvl
+    needs_pack = np.zeros(n, dtype=bool)
+    needs_unpack = np.zeros(n, dtype=bool)
+    for gid in range(n):
+        if not needed[gid]:
+            continue
+        if bit_gate[gid]:
+            if word_last[gid] >= 0 or gid in out_set:
+                needs_unpack[gid] = True
+                # The unpacked word copy appears at the gate's own level.
+                word_last[gid] = max(word_last[gid], level_of[gid])
+        else:
+            if bit_last[gid] >= 0:
+                needs_pack[gid] = True
+                # Packing reads the word value at the gate's own level.
+                word_last[gid] = max(word_last[gid], level_of[gid])
     if out_key is not None:
         for gid in out_key:
-            last_use[gid] = n_levels
+            word_last[gid] = n_levels
 
-    # Gates to release after each level executes.
-    release: List[List[int]] = [[] for _ in range(n_levels)]
+    # Gates to release after each level executes, per regime.
+    release_w: List[List[int]] = [[] for _ in range(n_levels)]
+    release_b: List[List[int]] = [[] for _ in range(n_levels)]
     if recycle:
         for gid in range(n):
-            if needed[gid] and 0 <= last_use[gid] < n_levels:
-                release[int(last_use[gid])].append(gid)
+            if not needed[gid]:
+                continue
+            if 0 <= word_last[gid] < n_levels:
+                release_w[int(word_last[gid])].append(gid)
+            if 0 <= bit_last[gid] < n_levels:
+                release_b[int(bit_last[gid])].append(gid)
 
-    slot_of = np.full(n, -1, dtype=np.int64)
+    slot_of = np.full(n, -1, dtype=np.int64)      # word slots
     written_slot = np.full(n, -1, dtype=np.int64)
-    free: List[int] = []
+    bslot_of = np.full(n, -1, dtype=np.int64)     # bit slots
+    bit_written = np.full(n, -1, dtype=np.int64)
+    free_w: List[int] = []
+    free_b: List[int] = []
     n_slots = 0
+    n_bit_slots = 0
+    n_bit_live = 0
 
-    def alloc(gid: int) -> int:
+    def alloc_w(gid: int) -> int:
         nonlocal n_slots
-        if recycle and free:
-            s = free.pop()
+        if recycle and free_w:
+            s = free_w.pop()
         else:
             s = n_slots
             n_slots += 1
@@ -262,42 +607,73 @@ def _compile_plan(circuit: g.Circuit,
         written_slot[gid] = s
         return s
 
-    # Level 0: inputs and constants.
+    def alloc_b(gid: int) -> int:
+        nonlocal n_bit_slots, n_bit_live
+        n_bit_live += 1
+        if free_b:
+            s = free_b.pop()
+        else:
+            s = n_bit_slots
+            n_bit_slots += 1
+        bslot_of[gid] = s
+        bit_written[gid] = s
+        return s
+
+    # Level 0: inputs and constants (word regime), then level-0 packs.
     input_slots: List[int] = []
     input_cols: List[int] = []
     const_slots: List[int] = []
     const_values: List[int] = []
     col_of = {gid: i for i, gid in enumerate(circuit.inputs)}
+    pack0: List[int] = []
     for gid in levels[0]:
         if not needed[gid]:
             continue
-        s = alloc(gid)
+        s = alloc_w(gid)
         if ops[gid] == g.INPUT:
             input_slots.append(s)
             input_cols.append(col_of[gid])
         else:
             const_slots.append(s)
             const_values.append(circuit.consts[gid])
-    for gid in release[0] if recycle else ():
-        free.append(int(slot_of[gid]))
-        slot_of[gid] = -1
-    live_after: List[int] = [n_slots - len(free)]
+        if needs_pack[gid]:
+            pack0.append(gid)
+    input_pack: Optional[BoundaryOp] = None
+    if pack0:
+        input_pack = BoundaryOp(
+            src=np.fromiter((slot_of[x] for x in pack0),
+                            dtype=np.intp, count=len(pack0)),
+            dst=np.fromiter((alloc_b(x) for x in pack0),
+                            dtype=np.intp, count=len(pack0)))
+    if recycle:
+        for gid in release_w[0]:
+            free_w.append(int(slot_of[gid]))
+            slot_of[gid] = -1
+    live_after: List[int] = [n_slots - len(free_w)]
+    bit_live_after: List[int] = [n_bit_slots - len(free_b)]
 
-    # Compute levels: allocate destinations, group by opcode, then release.
+    # Compute levels: allocate destinations, group by opcode and regime,
+    # emit boundary ops, then release.  Per-level execution order (the
+    # executor's contract): word groups → bit groups → PACK → UNPACK.
+    # Operand slots are always read *before* this level's destinations are
+    # allocated, so a destination may legally reuse a slot freed at an
+    # earlier level, never one still read at this level.
     plan_levels: List[PlanLevel] = []
     n_executed = 0
     for lvl in range(1, n_levels):
         by_op: Dict[int, List[int]] = {}
+        by_op_bit: Dict[int, List[int]] = {}
         for gid in levels[lvl]:
-            if needed[gid]:
+            if not needed[gid]:
+                continue
+            if bit_gate[gid]:
+                by_op_bit.setdefault(ops[gid], []).append(gid)
+            else:
                 by_op.setdefault(ops[gid], []).append(gid)
         groups: List[OpGroup] = []
         for op in sorted(by_op):
             gids = by_op[op]
             arity = _ARITY[op]
-            # Operand slots are read *before* destinations are allocated:
-            # a destination may legally reuse a slot freed at an earlier
-            # level, never one still read at this level.
             a = np.fromiter((slot_of[in_a[x]] for x in gids),
                             dtype=np.intp, count=len(gids))
             b = (np.fromiter((slot_of[in_b[x]] for x in gids),
@@ -306,16 +682,80 @@ def _compile_plan(circuit: g.Circuit,
             c = (np.fromiter((slot_of[in_c[x]] for x in gids),
                              dtype=np.intp, count=len(gids))
                  if arity >= 3 else _EMPTY)
-            dst = np.fromiter((alloc(x) for x in gids),
+            dst = np.fromiter((alloc_w(x) for x in gids),
                               dtype=np.intp, count=len(gids))
             groups.append(OpGroup(op=op, dst=dst, a=a, b=b, c=c))
             n_executed += len(gids)
-        plan_levels.append(PlanLevel(index=lvl, groups=groups))
+        bit_groups: List[OpGroup] = []
+        for op in sorted(by_op_bit):
+            gids = by_op_bit[op]
+            arity = _ARITY[op]
+            a = np.fromiter((bslot_of[in_a[x]] for x in gids),
+                            dtype=np.intp, count=len(gids))
+            b = (np.fromiter((bslot_of[in_b[x]] for x in gids),
+                             dtype=np.intp, count=len(gids))
+                 if arity >= 2 else _EMPTY)
+            c = (np.fromiter((bslot_of[in_c[x]] for x in gids),
+                             dtype=np.intp, count=len(gids))
+                 if arity >= 3 else _EMPTY)
+            dst = np.fromiter((alloc_b(x) for x in gids),
+                              dtype=np.intp, count=len(gids))
+            bit_groups.append(OpGroup(op=op, dst=dst, a=a, b=b, c=c))
+            n_executed += len(gids)
+        pack_gids = [gid for gid in levels[lvl]
+                     if needed[gid] and needs_pack[gid]]
+        pack = None
+        if pack_gids:
+            pack = BoundaryOp(
+                src=np.fromiter((slot_of[x] for x in pack_gids),
+                                dtype=np.intp, count=len(pack_gids)),
+                dst=np.fromiter((alloc_b(x) for x in pack_gids),
+                                dtype=np.intp, count=len(pack_gids)))
+        unpack_gids = [gid for gid in levels[lvl]
+                       if needed[gid] and needs_unpack[gid]]
+        unpack = None
+        if unpack_gids:
+            unpack = BoundaryOp(
+                src=np.fromiter((bslot_of[x] for x in unpack_gids),
+                                dtype=np.intp, count=len(unpack_gids)),
+                dst=np.fromiter((alloc_w(x) for x in unpack_gids),
+                                dtype=np.intp, count=len(unpack_gids)))
+        plan_levels.append(PlanLevel(index=lvl, groups=groups,
+                                     bit_groups=bit_groups,
+                                     pack=pack, unpack=unpack))
         if recycle:
-            for gid in release[lvl]:
-                free.append(int(slot_of[gid]))
+            for gid in release_w[lvl]:
+                free_w.append(int(slot_of[gid]))
                 slot_of[gid] = -1
-        live_after.append(n_slots - len(free))
+            for gid in release_b[lvl]:
+                free_b.append(int(bslot_of[gid]))
+                bslot_of[gid] = -1
+        live_after.append(n_slots - len(free_w))
+        bit_live_after.append(n_bit_slots - len(free_b))
+
+    packed = n_bit_slots > 0
+
+    # Fusion segmentation: maximal runs of all-bit levels become fused
+    # segments (a run of length 1 is still a fused segment); everything
+    # else is an unfused run executed level-at-a-time.
+    segments: List[Segment] = []
+    if packed:
+        i = 0
+        n_plan_levels = len(plan_levels)
+        while i < n_plan_levels:
+            fusable = plan_levels[i].fusable
+            j = i + 1
+            while j < n_plan_levels and plan_levels[j].fusable == fusable:
+                j += 1
+            run = plan_levels[i:j]
+            segments.append(Segment(
+                start=i, stop=j, fused=fusable,
+                n_gates=sum(l.width for l in run),
+                n_levels=len(run),
+                n_calls=sum(len(l.groups) + len(l.bit_groups)
+                            + (1 if l.pack else 0) + (1 if l.unpack else 0)
+                            for l in run)))
+            i = j
 
     return ExecutionPlan(
         n_gates=n,
@@ -333,4 +773,12 @@ def _compile_plan(circuit: g.Circuit,
         n_live=int(needed.sum()),
         written_slot=written_slot,
         live_after=np.asarray(live_after, dtype=np.int64),
+        packed=packed,
+        fuse=fuse,
+        n_bit_slots=n_bit_slots,
+        n_bit_live=n_bit_live,
+        bit_written_slot=bit_written,
+        bit_live_after=np.asarray(bit_live_after, dtype=np.int64),
+        input_pack=input_pack,
+        segments=segments,
     )

@@ -40,7 +40,13 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
-from .exec import EngineRun, EngineStats, LevelTiming, execute_plan
+from .exec import (
+    EngineRun,
+    EngineStats,
+    LevelTiming,
+    SegmentTiming,
+    execute_plan,
+)
 from .plan import ExecutionPlan
 
 #: Below this many instances per shard, sharding is refused (not worth it).
@@ -66,6 +72,11 @@ class WorkerTelemetry:
     levels: List[Tuple[int, int, int, float]] = field(default_factory=list)
     #: per-level wall seconds (every worker; the coordinator takes the max).
     level_seconds: Optional[np.ndarray] = None
+    #: (segment, start, stop, fused, gates) rows — geometry, worker 0 only.
+    segment_rows: List[Tuple[int, int, int, bool, int]] = field(
+        default_factory=list)
+    #: per-segment wall seconds (every worker; max-reduced like levels).
+    segment_seconds: Optional[np.ndarray] = None
     total_seconds: float = 0.0
     #: ProfileProbe accumulators (present when the caller passed a probe).
     #: ``cards`` is the flat backing array behind the probe's per-level
@@ -77,6 +88,8 @@ class WorkerTelemetry:
     level_acc: Optional[np.ndarray] = None
     group_acc: Optional[np.ndarray] = None
     cards: Optional[np.ndarray] = None
+    #: bit-regime cardinality accumulators (packed plans; summed like cards).
+    bitcards: Optional[np.ndarray] = None
     #: Serialized span forest + metrics registry (present when obs was on).
     spans: Optional[List[dict]] = None
     metrics: Optional[Dict[str, Any]] = None
@@ -96,7 +109,8 @@ class _ProbeSpec:
     """
 
     __slots__ = ("depth", "time_groups", "group_base", "n_groups",
-                 "card_levels", "card_slots")
+                 "card_levels", "card_slots", "bitcard_levels",
+                 "bitcard_slots")
 
     def __init__(self, probe):
         self.depth = len(probe.level_acc) - 1
@@ -109,6 +123,15 @@ class _ProbeSpec:
             np.concatenate([np.asarray(entry[0], dtype=np.intp)
                             for entry in probe.card_by_level.values()])
             if probe.card_by_level else np.empty(0, dtype=np.intp))
+        # Bit-regime wires (packed plans); optional on the probe — stats-only
+        # probes without the attribute simply ship no bitcard layout.
+        bit = getattr(probe, "bitcard_by_level", None) or {}
+        self.bitcard_levels = [(lvl, len(entry[0]))
+                               for lvl, entry in bit.items()]
+        self.bitcard_slots = (
+            np.concatenate([np.asarray(entry[0], dtype=np.intp)
+                            for entry in bit.values()])
+            if bit else np.empty(0, dtype=np.intp))
 
 
 class _WorkerProbe:
@@ -138,6 +161,18 @@ class _WorkerProbe:
             self.card_by_level[lvl] = (spec.card_slots[pos:pos + n], None,
                                        self.card_acc[pos:pos + n])
             pos += n
+        self.bitcard_acc = np.zeros(len(spec.bitcard_slots), dtype=np.int64)
+        self.bitcard_by_level = {}
+        pos = 0
+        for lvl, n in spec.bitcard_levels:
+            self.bitcard_by_level[lvl] = (
+                spec.bitcard_slots[pos:pos + n], None,
+                self.bitcard_acc[pos:pos + n])
+            pos += n
+        self._scratch_batch = -1
+        # Reused gather buffers, same rationale as ProfileProbe: keep
+        # per-run allocator churn out of the worker's probed hot loop.
+        self.card_scratch = {}
 
     @property
     def level_acc(self):
@@ -146,12 +181,22 @@ class _WorkerProbe:
     def begin(self, batch: int) -> None:
         self.batch += int(batch)
         self.runs += 1
+        if self._scratch_batch != batch:
+            self._scratch_batch = batch
+            self.card_scratch = {
+                lvl: np.empty((len(entry[0]), batch), dtype=np.int64)
+                for lvl, entry in self.card_by_level.items()}
 
     def observe(self, level: int, buf: np.ndarray) -> None:
         entry = self.card_by_level.get(level)
         if entry is not None:
             acc = entry[2]
-            acc += np.count_nonzero(buf[entry[0]], axis=1)
+            scratch = self.card_scratch.get(level)
+            if scratch is not None and scratch.shape[1] == buf.shape[1]:
+                np.take(buf, entry[0], axis=0, out=scratch)
+                acc += np.count_nonzero(scratch, axis=1)
+            else:
+                acc += np.count_nonzero(buf[entry[0]], axis=1)
 
 
 class _ShardSpec:
@@ -193,15 +238,23 @@ def _run_shard(args):
     if stats is not None:
         if spec.worker == 0:
             cap.levels = stats.table()
+            cap.segment_rows = [(t.segment, t.start, t.stop, t.fused,
+                                 t.gates) for t in stats.segments]
         cap.level_seconds = np.fromiter(
             (t.seconds for t in stats.levels), dtype=np.float64,
             count=len(stats.levels))
+        if stats.segments:
+            cap.segment_seconds = np.fromiter(
+                (t.seconds for t in stats.segments), dtype=np.float64,
+                count=len(stats.segments))
         cap.total_seconds = stats.total_seconds
     if probe is not None:
         cap.level_acc = np.asarray(probe.level_acc, dtype=np.float64)
         if probe.time_groups:
             cap.group_acc = np.asarray(probe.group_acc, dtype=np.float64)
         cap.cards = probe.card_acc
+        if len(probe.bitcard_acc):
+            cap.bitcards = probe.bitcard_acc
         if not cap.total_seconds:
             cap.total_seconds = probe.total_seconds
     if spec.obs_on:
@@ -239,6 +292,19 @@ def _merge_telemetry(caps: List[WorkerTelemetry], sp, stats, probe,
             stats.levels.append(LevelTiming(level=level, width=width,
                                             groups=groups,
                                             seconds=float(s)))
+        if caps[0].segment_rows:
+            # Per-fused-segment times, max-reduced like the level times —
+            # the slowest concurrent worker is the segment's wall time.
+            ns = len(caps[0].segment_rows)
+            seg_seconds = np.maximum.reduce(
+                [c.segment_seconds for c in caps
+                 if c.segment_seconds is not None
+                 and len(c.segment_seconds) == ns])
+            for (si, start, stop, fused, gates), s in zip(
+                    caps[0].segment_rows, seg_seconds):
+                stats.segments.append(SegmentTiming(
+                    segment=si, start=start, stop=stop, fused=fused,
+                    gates=gates, seconds=float(s)))
         stats.batch = batch
         stats.total_seconds += wall_seconds
         stats.runs += 1
@@ -261,6 +327,18 @@ def _merge_telemetry(caps: List[WorkerTelemetry], sp, stats, probe,
                 acc = entry[2]
                 n = len(acc)
                 acc += summed[pos:pos + n]
+                pos += n
+        bit_by_level = getattr(probe, "bitcard_by_level", None) or {}
+        barrs = [c.bitcards for c in caps if c.bitcards is not None]
+        if bit_by_level and barrs:
+            bsummed = barrs[0].copy()
+            for arr in barrs[1:]:
+                bsummed += arr
+            pos = 0
+            for entry in bit_by_level.values():
+                acc = entry[2]
+                n = len(acc)
+                acc += bsummed[pos:pos + n]
                 pos += n
         probe.total_seconds += wall_seconds
     if obs.STATE.on:

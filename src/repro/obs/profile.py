@@ -76,16 +76,30 @@ class ProfileProbe:
         self.total_seconds = 0.0
         self.batch = 0          # total instances across runs
         self.runs = 0
+        self._scratch_batch = -1
+        #: level → reused (k, batch) gather buffer, sized by ``begin``.
+        self.card_scratch: Dict[int, np.ndarray] = {}
         self._level_acc = [0.0] * (plan.depth + 1)
         #: flat per-(level, group) wall-time accumulator — written directly
         #: by execute_plan's inner loop (see the class docstring).
         self.group_acc: List[float] = []
         self.group_base = [0] * (plan.depth + 1)
-        self._group_meta: List[tuple] = []       # (level, op) per flat slot
+        #: (level, op name) per flat slot, in the engine's per-level call
+        #: order: word groups → bit groups → PACK → UNPACK.
+        self._group_meta: List[tuple] = []
         for lvl in plan.levels:
             self.group_base[lvl.index] = len(self.group_acc)
             for grp in lvl.groups:
-                self._group_meta.append((lvl.index, grp.op))
+                self._group_meta.append((lvl.index, OP_NAMES[grp.op]))
+                self.group_acc.append(0.0)
+            for grp in lvl.bit_groups:
+                self._group_meta.append((lvl.index, OP_NAMES[grp.op]))
+                self.group_acc.append(0.0)
+            if lvl.pack is not None:
+                self._group_meta.append((lvl.index, "PACK"))
+                self.group_acc.append(0.0)
+            if lvl.unpack is not None:
+                self._group_meta.append((lvl.index, "UNPACK"))
                 self.group_acc.append(0.0)
 
         # Wire → (write level, live valid slots).  A wire's valid gates can
@@ -93,12 +107,14 @@ class ProfileProbe:
         # is counted at its own write level, where its slot is guaranteed
         # still untouched.
         written = plan.written_slot
+        bit_written = getattr(plan, "bit_written_slot", None)
         level_of = _level_of(lowered.circuit)
         self.wire_gids: List[int] = []
         self.n_valid: List[int] = []
         self.n_dead: List[int] = []
         self.wire_level: List[int] = []
         per_level: Dict[int, List[tuple]] = {}
+        bit_per_level: Dict[int, List[tuple]] = {}
         for w, (gid, arr) in enumerate(sorted(lowered.wire_arrays.items())):
             self.wire_gids.append(gid)
             dead = 0
@@ -108,10 +124,18 @@ class ProfileProbe:
                 lvl = int(level_of[vgid])
                 wlevel = max(wlevel, lvl)
                 slot = int(written[vgid]) if written is not None else -1
-                if slot < 0:
-                    dead += 1          # valid gate eliminated with the plan's
-                    continue           # dead code; nothing to observe
-                per_level.setdefault(lvl, []).append((slot, w))
+                if slot >= 0:
+                    per_level.setdefault(lvl, []).append((slot, w))
+                    continue
+                # Packed plans: a valid gate computed in the bit regime and
+                # never unpacked lives only in the bit buffer — count it by
+                # popcount over its bitset row at its write level.
+                bslot = int(bit_written[vgid]) if bit_written is not None                     else -1
+                if bslot >= 0:
+                    bit_per_level.setdefault(lvl, []).append((bslot, w))
+                    continue
+                dead += 1              # valid gate eliminated with the plan's
+                                       # dead code; nothing to observe
             self.n_valid.append(len(arr.buses))
             self.n_dead.append(dead)
             self.wire_level.append(wlevel)
@@ -123,18 +147,44 @@ class ProfileProbe:
                   np.zeros(len(pairs), dtype=np.int64))
             for lvl, pairs in per_level.items()
         }
+        #: the bit-regime counterpart (popcounted over uint64 rows by the
+        #: engine); probes without this attribute still work — the engine
+        #: looks it up with ``getattr``.
+        self.bitcard_by_level = {
+            lvl: (np.asarray([s for s, _ in pairs], dtype=np.intp),
+                  np.asarray([w for _, w in pairs], dtype=np.intp),
+                  np.zeros(len(pairs), dtype=np.int64))
+            for lvl, pairs in bit_per_level.items()
+        }
 
     # -- hooks called by execute_plan ----------------------------------
     def begin(self, batch: int) -> None:
         self.batch += int(batch)
         self.runs += 1
+        if self._scratch_batch != batch:
+            # Reused gather destinations, one per observed level: without
+            # them every probed run would malloc a fresh (k, batch) int64
+            # block per level, and that allocator churn — not the probe's
+            # arithmetic — is what shows up against the < 5% overhead bar
+            # on a loaded host.
+            self._scratch_batch = batch
+            self.card_scratch = {
+                lvl: np.empty((len(entry[0]), batch), dtype=np.int64)
+                for lvl, entry in self.card_by_level.items()}
 
     def observe(self, level: int, buf: np.ndarray) -> None:
         entry = self.card_by_level.get(level)
         if entry is None:
             return
         acc = entry[2]
-        acc += np.count_nonzero(buf[entry[0]], axis=1)
+        scratch = self.card_scratch.get(level)
+        if scratch is not None and scratch.shape[1] == buf.shape[1]:
+            np.take(buf, entry[0], axis=0, out=scratch)
+            acc += np.count_nonzero(scratch, axis=1)
+        else:
+            # Chunked (budgeted) runs observe partial batches; gather
+            # fresh rather than resizing scratch mid-run.
+            acc += np.count_nonzero(buf[entry[0]], axis=1)
 
     def add_level(self, level: int, seconds: float) -> None:
         self._level_acc[level] += seconds
@@ -151,11 +201,11 @@ class ProfileProbe:
 
     @property
     def group_seconds(self) -> Dict[tuple, float]:
-        """Accumulated ``(level, op) → seconds``, folded from the flat
-        accumulator (ops split across several groups at one level merge)."""
+        """Accumulated ``(level, op name) → seconds``, folded from the flat
+        accumulator (ops split across several groups at one level merge);
+        regime boundaries appear as the pseudo-ops ``PACK``/``UNPACK``."""
         out: Dict[tuple, float] = {}
-        for (lvl, op), secs in zip(self._group_meta, self.group_acc):
-            key = (lvl, op)
+        for key, secs in zip(self._group_meta, self.group_acc):
             out[key] = out.get(key, 0.0) + secs
         return out
 
@@ -164,6 +214,8 @@ class ProfileProbe:
         """Total observed tuples per wire, summed over runs × batch."""
         out = np.zeros(len(self.wire_gids), dtype=np.int64)
         for _, wire_idx, acc in self.card_by_level.values():
+            np.add.at(out, wire_idx, acc)
+        for _, wire_idx, acc in self.bitcard_by_level.values():
             np.add.at(out, wire_idx, acc)
         return out
 
@@ -227,8 +279,8 @@ class LevelProfile:
 
     index: int
     width: int               # gates written at this level (level 0: I/O fill)
-    groups: int              # vectorized opcode-group calls
-    ops: Dict[str, int]      # opcode name → gate count
+    groups: int              # vectorized calls (opcode groups + pack/unpack)
+    ops: Dict[str, int]      # opcode name → gate count (incl. PACK/UNPACK)
     row_bytes: int           # bytes this level writes per batch row
     live_slots: int          # slots still pinned after this level's releases
     live_bytes_per_row: int
@@ -236,6 +288,9 @@ class LevelProfile:
     cum_size_share: float
     bound_tuples: int = 0    # Σ bound_card of wires completing here
     wire_gids: List[int] = field(default_factory=list)
+    bit_width: int = 0       # gates computed in the uint64 bit regime here
+    segment: Optional[int] = None   # plan segment this level belongs to
+    fused: bool = False      # level executes inside a fused kernel
     measured_ms: Optional[float] = None
     time_share: Optional[float] = None
     group_ms: Dict[str, float] = field(default_factory=dict)
@@ -251,6 +306,9 @@ class LevelProfile:
             "cum_size_share": self.cum_size_share,
             "bound_tuples": self.bound_tuples,
             "wire_gids": list(self.wire_gids),
+            "bit_width": self.bit_width,
+            "segment": self.segment,
+            "fused": self.fused,
             "measured_ms": self.measured_ms,
             "time_share": self.time_share,
             "group_ms": dict(self.group_ms),
@@ -279,6 +337,13 @@ class ExplainReport:
     batch: int = 0
     runs: int = 0
     engine_ms: Optional[float] = None
+    # -- bitset packing / fusion (zero / False on unpacked plans) -------
+    packed: bool = False
+    n_bit_slots: int = 0
+    n_segments: int = 0
+    n_fused_levels: int = 0
+    #: what buffer_bytes_per_row would be with every slot int64 (pre-pack).
+    prepack_bytes_per_row: int = 0
 
     # -- derived -------------------------------------------------------
     def hot_levels(self, k: int = 5) -> List[LevelProfile]:
@@ -324,6 +389,11 @@ class ExplainReport:
                 "depth": self.depth,
                 "n_groups": self.n_groups,
                 "buffer_bytes_per_row": self.buffer_bytes_per_row,
+                "packed": self.packed,
+                "n_bit_slots": self.n_bit_slots,
+                "n_segments": self.n_segments,
+                "n_fused_levels": self.n_fused_levels,
+                "prepack_bytes_per_row": self.prepack_bytes_per_row,
             },
             "envelope": dict(self.envelope),
             "totals": {
@@ -356,6 +426,12 @@ class ExplainReport:
              f"depth {e['observed_depth']:,.0f}/{e['depth_budget']:,.0f} "
              f"({e['depth_ratio']:.3f})"),
         ]
+        if self.packed:
+            lines.append(
+                f"  fused: {self.n_fused_levels}/{self.depth} levels in "
+                f"{self.n_segments} segments, {self.n_bit_slots:,} bit "
+                f"slots; {self.buffer_bytes_per_row:,} B/row packed vs "
+                f"{self.prepack_bytes_per_row:,} B/row pre-pack")
         if self.analyze:
             lines.append(
                 f"  analyze: batch {self.batch} over {self.runs} run(s), "
@@ -463,9 +539,25 @@ def plan_fingerprint(signature_key: str, plan) -> str:
     """
     parts = [f"slots={plan.n_slots}", f"gates={plan.n_executed}"]
     for lvl in plan.levels:
-        mix = ",".join(f"{OP_NAMES[grp.op]}~{len(grp)}"
-                       for grp in sorted(lvl.groups, key=lambda g: g.op))
-        parts.append(f"L{lvl.index}:{mix}")
+        bits = []
+        bits.extend(f"{OP_NAMES[grp.op]}~{len(grp)}"
+                    for grp in sorted(lvl.groups, key=lambda g: g.op))
+        # Bit-regime groups and boundary ops are part of the *plan*, not
+        # just the circuit: the same circuit fused vs unfused must yield
+        # different fingerprints (and identical fusion decisions, identical
+        # ones) — the fingerprint hashes the fused profile.
+        bits.extend(f"{OP_NAMES[grp.op]}~{len(grp)}b"
+                    for grp in sorted(lvl.bit_groups, key=lambda g: g.op))
+        if lvl.pack is not None:
+            bits.append(f"PACK~{len(lvl.pack)}")
+        if lvl.unpack is not None:
+            bits.append(f"UNPACK~{len(lvl.unpack)}")
+        parts.append(f"L{lvl.index}:{','.join(bits)}")
+    if plan.packed:
+        parts.append(f"bitslots={plan.n_bit_slots}")
+        parts.append("segs=" + ";".join(
+            f"{'F' if s.fused else 'U'}{s.start}-{s.stop}"
+            for s in plan.segments))
     digest = hashlib.sha256(
         (signature_key + "::" + "|".join(parts)).encode()).hexdigest()
     return f"pf-{digest[:16]}"
@@ -474,6 +566,7 @@ def plan_fingerprint(signature_key: str, plan) -> str:
 def _wire_profiles(lowered, plan) -> List[WireProfile]:
     level_of = _level_of(lowered.circuit)
     written = plan.written_slot
+    bit_written = getattr(plan, "bit_written_slot", None)
     out: List[WireProfile] = []
     for gid, arr in sorted(lowered.wire_arrays.items()):
         gate = lowered.source.gates[gid]
@@ -481,7 +574,9 @@ def _wire_profiles(lowered, plan) -> List[WireProfile]:
         wlevel = 0
         for bus in arr.buses:
             wlevel = max(wlevel, int(level_of[bus.valid]))
-            if written is None or written[bus.valid] < 0:
+            in_word = written is not None and written[bus.valid] >= 0
+            in_bits = bit_written is not None and bit_written[bus.valid] >= 0
+            if not in_word and not in_bits:
                 dead += 1
         out.append(WireProfile(
             gid=gid, op=gate.op,
@@ -493,18 +588,21 @@ def _wire_profiles(lowered, plan) -> List[WireProfile]:
     return out
 
 
-def profile_compiled(cq, plan=None) -> ExplainReport:
+def profile_compiled(cq, plan=None, fuse=None) -> ExplainReport:
     """Static EXPLAIN of a :class:`repro.api.CompiledQuery`.
 
     Uses the query's cached default execution plan unless an explicit one
-    is passed (e.g. an ``outputs=None`` all-live plan for debugging).
+    is passed (e.g. an ``outputs=None`` all-live plan for debugging);
+    ``fuse`` selects the fused/unfused variant when the plan is looked up
+    (default: the engine's resolution, fusion on).
     """
     from .. import engine
 
     lowered = cq.lowered
     if plan is None:
         plan = engine.DEFAULT_PLAN_CACHE.get(
-            lowered.circuit, engine.lowered_output_gates(lowered))
+            lowered.circuit, engine.lowered_output_gates(lowered),
+            fuse=fuse)
     sig = cq.signature
     env = envelope_for(cq)
     env["observed_size"] = float(lowered.size)
@@ -523,28 +621,63 @@ def profile_compiled(cq, plan=None) -> ExplainReport:
     levels: List[LevelProfile] = []
     cum = 0.0
 
-    def _mk(index: int, width: int, groups: int, ops: Dict[str, int]
+    bit_live_after = getattr(plan, "bit_live_after", None)
+
+    def _mk(index: int, width: int, groups: int, ops: Dict[str, int],
+            word_rows: int, bit_rows: int, bit_width: int = 0,
+            segment: Optional[int] = None, fused: bool = False
             ) -> LevelProfile:
         nonlocal cum
         share = width / size_budget if size_budget > 0 else 0.0
         cum += share
         live = int(live_after[index]) if live_after is not None else plan.n_slots
+        blive = int(bit_live_after[index]) if bit_live_after is not None else 0
         wl = by_level_wires.get(index, [])
         return LevelProfile(
             index=index, width=width, groups=groups, ops=ops,
-            row_bytes=width * itemsize, live_slots=live,
-            live_bytes_per_row=live * itemsize,
+            # Bytes written per batch row: bit-regime rows cost one *bit*
+            # per instance (rounded up to whole bytes per level).
+            row_bytes=word_rows * itemsize + (bit_rows + 7) // 8,
+            live_slots=live,
+            live_bytes_per_row=live * itemsize + (blive * 8 + 7) // 8,
             size_share=share, cum_size_share=cum,
             bound_tuples=sum(w.bound_card for w in wl),
             wire_gids=[w.gid for w in wl],
+            bit_width=bit_width, segment=segment, fused=fused,
         )
 
-    levels.append(_mk(0, len(plan.input_slots) + len(plan.const_slots), 0,
-                      {"INPUT": len(plan.input_slots),
-                       "CONST": len(plan.const_slots)}))
-    for lvl in plan.levels:
+    seg_of: Dict[int, int] = {}
+    fused_of: Dict[int, bool] = {}
+    for si, seg in enumerate(plan.segments):
+        for pos in range(seg.start, seg.stop):
+            seg_of[pos] = si
+            fused_of[pos] = seg.fused
+    w0 = len(plan.input_slots) + len(plan.const_slots)
+    b0 = len(plan.input_pack.src) if plan.input_pack is not None else 0
+    ops0 = {"INPUT": len(plan.input_slots), "CONST": len(plan.const_slots)}
+    if b0:
+        ops0["PACK"] = b0
+    levels.append(_mk(0, w0, 1 if b0 else 0, ops0, w0, b0))
+    for pos, lvl in enumerate(plan.levels):
         ops = {OP_NAMES[grp.op]: len(grp) for grp in lvl.groups}
-        levels.append(_mk(lvl.index, lvl.width, len(lvl.groups), ops))
+        for grp in lvl.bit_groups:
+            name = OP_NAMES[grp.op]
+            ops[name] = ops.get(name, 0) + len(grp)
+        n_calls = len(lvl.groups) + len(lvl.bit_groups)
+        pack_n = len(lvl.pack) if lvl.pack is not None else 0
+        unpack_n = len(lvl.unpack) if lvl.unpack is not None else 0
+        if pack_n:
+            ops["PACK"] = pack_n
+            n_calls += 1
+        if unpack_n:
+            ops["UNPACK"] = unpack_n
+            n_calls += 1
+        levels.append(_mk(
+            lvl.index, lvl.width, n_calls, ops,
+            word_rows=lvl.word_width + unpack_n,
+            bit_rows=lvl.bit_width + pack_n,
+            bit_width=lvl.bit_width,
+            segment=seg_of.get(pos), fused=fused_of.get(pos, False)))
 
     return ExplainReport(
         query=str(cq.query),
@@ -555,11 +688,17 @@ def profile_compiled(cq, plan=None) -> ExplainReport:
         n_slots=plan.n_slots,
         n_live=plan.n_live,
         depth=plan.depth,
-        n_groups=sum(len(l.groups) for l in plan.levels),
+        n_groups=sum(len(l.groups) + len(l.bit_groups)
+                     for l in plan.levels),
         buffer_bytes_per_row=plan.buffer_bytes(1),
         envelope=env,
         levels=levels,
         wires=wires,
+        packed=plan.packed,
+        n_bit_slots=plan.n_bit_slots,
+        n_segments=len(plan.segments),
+        n_fused_levels=sum(s.n_levels for s in plan.segments if s.fused),
+        prepack_bytes_per_row=plan.prepack_buffer_bytes(1),
     )
 
 
@@ -577,7 +716,8 @@ def _encode_columns(lowered, envs: Sequence[Mapping]) -> np.ndarray:
 
 def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
             all_live: bool = False, time_groups: bool = True,
-            shards: Optional[int] = None) -> ExplainReport:
+            shards: Optional[int] = None,
+            fuse: Optional[bool] = None) -> ExplainReport:
     """Build the EXPLAIN [ANALYZE] report for a compiled query.
 
     ``db`` is one instance (name → Relation mapping) or a list of them —
@@ -604,7 +744,8 @@ def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
         plan = compile_plan(lowered.circuit)
     else:
         plan = engine.DEFAULT_PLAN_CACHE.get(
-            lowered.circuit, engine.lowered_output_gates(lowered))
+            lowered.circuit, engine.lowered_output_gates(lowered),
+            fuse=fuse)
     report = profile_compiled(cq, plan=plan)
     if not analyze:
         return report
@@ -636,8 +777,9 @@ def explain(cq, db=None, analyze: bool = False, repeat: int = 1,
         l.measured_ms = secs * 1000.0
         l.time_share = (secs / total_s) if total_s > 0 else 0.0
         l.group_ms = {
-            OP_NAMES[op]: s * 1000.0
-            for (lvl, op), s in probe.group_seconds.items() if lvl == l.index
+            name: s * 1000.0
+            for (lvl, name), s in probe.group_seconds.items()
+            if lvl == l.index
         }
         l.observed_tuples = sum(per_wire.get(gid, 0.0) for gid in l.wire_gids)
     report.analyze = True
@@ -680,6 +822,13 @@ def validate_report(doc: Any) -> List[str]:
                 "n_groups", "buffer_bytes_per_row"):
         if not _num(plan.get(key)):
             errs.append(f"plan.{key} is not a number")
+    # Additive packed-plan keys (repro.explain/1 stays backward compatible:
+    # absent means an unpacked plan from an older writer).
+    if "packed" in plan:
+        for key in ("n_bit_slots", "n_segments", "n_fused_levels",
+                    "prepack_bytes_per_row"):
+            if not _num(plan.get(key)):
+                errs.append(f"plan.{key} is not a number")
     envelope = doc["envelope"]
     for key in ("n_input", "budget_tuples", "size_budget", "depth_budget",
                 "space_budget", "observed_size", "observed_depth",

@@ -11,9 +11,14 @@ tier       backends                                             when run
 ram        ``ram.naive``, ``ram.wcoj``, ``ram.yannakakis``      every case
 relational ``core.panda_c`` (full CQs),                         every case
            ``core.output_sensitive`` (projections/BCQs)
-word       ``engine.vectorized``, ``engine.scalar``,            small cases
-           ``boolcircuit.fasteval``                             only
+word       ``engine.vectorized``, ``engine.fused``,             small cases
+           ``engine.scalar``, ``boolcircuit.fasteval``          only
 ========== ==================================================== ==========
+
+``engine.vectorized`` pins the classic all-int64 plan (``fuse=False``)
+and ``engine.fused`` the bitset-packed fused one (``fuse=True``), so the
+matrix always diffs both engine schedules against each other and against
+the scalar/RAM oracles regardless of the process-wide default.
 
 The word tier lowers through Theorem 4 (word-circuit size grows with
 ``N + DAPB``), so the harness gates it on the case's bound budget; the
@@ -112,7 +117,13 @@ def _run_output_sensitive(case: FuzzCase) -> Relation:
 # ---------------------------------------------------------------------------
 
 def _run_engine(case: FuzzCase) -> Relation:
-    return _normalize(case, case.compiled().evaluate(case.db))
+    return _normalize(case,
+                      case.compiled().evaluate(case.db, fuse=False))
+
+
+def _run_fused(case: FuzzCase) -> Relation:
+    return _normalize(case,
+                      case.compiled().evaluate(case.db, fuse=True))
 
 
 def _run_scalar(case: FuzzCase) -> Relation:
@@ -140,6 +151,7 @@ ALL_BACKENDS: List[Backend] = [
     Backend("core.output_sensitive", "relational", False,
             _run_output_sensitive),
     Backend("engine.vectorized", "word", True, _run_engine),
+    Backend("engine.fused", "word", True, _run_fused),
     Backend("engine.scalar", "word", True, _run_scalar),
     Backend("boolcircuit.fasteval", "word", True, _run_fasteval),
 ]

@@ -1,0 +1,402 @@
+"""Differential lock-down of fused level kernels + uint64 bitset wires.
+
+The packed engine (``repro.engine.plan`` / ``repro.engine.exec``) rewrites
+the hot path twice over: boolean wires move from int64 columns to uint64
+bitset words (64 instances per op), and maximal runs of all-bit levels are
+fused into single compiled kernels.  Both rewrites must be *invisible* —
+bit-identical to the unfused vectorized engine and to the scalar
+interpreter, on every path (fast, instrumented, chunked, explained).
+
+Four families:
+
+* **Property-based differential** — random queries from ``testkit.qgen``
+  and random gate-level circuits, executed fused vs unfused vs scalar.
+* **Fusion boundaries** — pack at level 0, unpack at the last level,
+  fusable runs of length 1, batch sizes straddling the 64-lane word
+  boundary (1 / 63 / 64 / 65 / 1000), bit-slot recycling inside a fused
+  segment.
+* **Budgeted chunking** — packed plans predict post-packing bytes, so a
+  boolean-heavy plan under a memory budget runs in *fewer* chunks than
+  the int64 per-row model would predict, with identical answers.
+* **EXPLAIN ANALYZE on fused plans** — measured times telescope, observed
+  cardinalities match the unfused (scalar-validated) profile gate for
+  gate, and the fingerprint moves iff the fusion decision moves.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro import api, obs
+from repro.boolcircuit.graph import (
+    ADD, AND, EQ, LT, MAX, MIN, MUX, NOT, OR, SUB, XOR, Circuit,
+)
+from repro.datagen import random_database
+from repro.engine import EngineStats, compile_plan, execute_plan
+from repro.engine.plan import NO_FUSE_ENV, resolve_fuse
+from repro.obs.profile import explain, plan_fingerprint, validate_report
+from repro.testkit.cases import make_case
+from repro.testkit.harness import word_tier_allowed
+
+BATCHES = (1, 63, 64, 65, 1000)   # straddle the uint64 lane boundary
+
+
+# ---------------------------------------------------------------------------
+# circuit builders
+# ---------------------------------------------------------------------------
+
+def random_mixed_circuit(seed: int, n_inputs: int = 5, n_gates: int = 60):
+    """A random word/bool-mixed DAG plus a sampled output subset.
+
+    Mixes arithmetic (word regime), comparisons (word compute, bool
+    result) and logic (bit regime) so every plan exercises PACK/UNPACK
+    boundaries and, usually, at least one fused segment.
+    """
+    rng = random.Random(seed)
+    c = Circuit()
+    gids = [c.input() for _ in range(n_inputs)]
+    gids.append(c.const(0))
+    gids.append(c.const(1))
+    gids.append(c.const(rng.randrange(-5, 6)))
+    ops = [ADD, SUB, EQ, LT, AND, AND, OR, OR, XOR, NOT, NOT, MUX, MIN, MAX]
+    for _ in range(n_gates):
+        op = rng.choice(ops)
+        a = rng.choice(gids)
+        b = rng.choice(gids)
+        if op is NOT:
+            gids.append(c.op(op, a))
+        elif op is MUX:
+            gids.append(c.op(op, a, b, rng.choice(gids)))
+        else:
+            gids.append(c.op(op, a, b))
+    n_out = rng.randrange(1, 6)
+    outputs = rng.sample(gids[-n_gates:], min(n_out, n_gates))
+    return c, outputs
+
+
+def boolean_tail_circuit(n_inputs: int = 4, depth: int = 24):
+    """Comparisons at the bottom, a long pure-boolean lattice on top.
+
+    Shape: one packed boundary early, then ``depth`` all-bit levels —
+    the best case for fusion and for bitset packing's byte savings.
+    """
+    c = Circuit()
+    ins = [c.input() for _ in range(n_inputs)]
+    bools = [c.op(EQ, ins[i], ins[(i + 1) % n_inputs])
+             for i in range(n_inputs)]
+    bools += [c.op(LT, ins[i], ins[(i + 2) % n_inputs])
+              for i in range(n_inputs)]
+    frontier = bools
+    for d in range(depth):
+        nxt = []
+        for i in range(len(frontier)):
+            a = frontier[i]
+            b = frontier[(i + 1) % len(frontier)]
+            op = (AND, OR, XOR)[(d + i) % 3]
+            nxt.append(c.op(op, a, b))
+        nxt[0] = c.op(NOT, nxt[0])
+        frontier = nxt
+    return c, frontier[:2]
+
+
+def scalar_reference(circuit: Circuit, columns: np.ndarray,
+                     outputs) -> np.ndarray:
+    """Per-instance scalar interpretation of ``outputs``, as a matrix."""
+    rows = []
+    for j in range(columns.shape[1]):
+        vals = circuit.evaluate([int(v) for v in columns[:, j]])
+        rows.append([vals[g] for g in outputs])
+    return np.asarray(rows, dtype=np.int64).T
+
+
+def run_outputs(circuit, columns, outputs, fuse, stats=None):
+    plan = compile_plan(circuit, outputs, fuse=fuse)
+    run = execute_plan(plan, columns, stats=stats)
+    return plan, run.gates(outputs)
+
+
+# ---------------------------------------------------------------------------
+# property-based differential: fused == unfused == scalar
+# ---------------------------------------------------------------------------
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_circuits_bit_identical(self, seed):
+        circuit, outputs = random_mixed_circuit(seed)
+        rng = np.random.default_rng(seed)
+        for batch in BATCHES:
+            columns = rng.integers(-4, 5,
+                                   size=(len(circuit.inputs), batch),
+                                   dtype=np.int64)
+            fused_plan, fused = run_outputs(circuit, columns, outputs, True)
+            _, unfused = run_outputs(circuit, columns, outputs, False)
+            np.testing.assert_array_equal(fused, unfused)
+            if batch <= 64:
+                np.testing.assert_array_equal(
+                    fused, scalar_reference(circuit, columns, outputs))
+        # At least most random mixtures must actually pack, or the
+        # differential above tests nothing.
+        assert fused_plan.fuse
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_instrumented_path_matches_fast_path(self, seed):
+        """stats/probe execution goes level-at-a-time over the same packed
+        buffers — numerics must not drift from the fused-kernel path."""
+        circuit, outputs = random_mixed_circuit(seed, n_gates=40)
+        rng = np.random.default_rng(1000 + seed)
+        columns = rng.integers(-4, 5, size=(len(circuit.inputs), 65),
+                               dtype=np.int64)
+        stats = EngineStats()
+        _, instrumented = run_outputs(circuit, columns, outputs, True,
+                                      stats=stats)
+        _, fast = run_outputs(circuit, columns, outputs, True)
+        np.testing.assert_array_equal(instrumented, fast)
+        # Segment timings telescope exactly onto level timings.
+        if stats.segments:
+            seg_s = sum(s.seconds for s in stats.segments)
+            lvl_s = sum(t.seconds for t in stats.levels)
+            assert seg_s == pytest.approx(lvl_s, rel=1e-9, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("index", range(2))
+    def test_qgen_queries_fused_vs_unfused_vs_scalar(self, seed, index):
+        """End-to-end: testkit-sampled conjunctive queries answer
+        identically through the fused engine, the unfused engine, and
+        the scalar interpreter."""
+        case = make_case(seed, index)
+        if not word_tier_allowed(case):
+            pytest.skip("instance exceeds word capacity")
+        cq = case.compiled()
+        fused = sorted(map(tuple, cq.evaluate(case.db, fuse=True)))
+        unfused = sorted(map(tuple, cq.evaluate(case.db, fuse=False)))
+        scalar = sorted(map(tuple, cq.evaluate(case.db, engine="scalar")))
+        assert fused == unfused == scalar
+
+
+# ---------------------------------------------------------------------------
+# fusion boundaries
+# ---------------------------------------------------------------------------
+
+class TestFusionBoundaries:
+    def test_pack_at_level_zero(self):
+        """Truth-valued INPUTs consumed by bit gates pack before level 1."""
+        c = Circuit()
+        a, b = c.input(), c.input()
+        g = c.op(AND, a, b)
+        h = c.op(OR, g, a)
+        plan = compile_plan(c, [h], fuse=True)
+        assert plan.packed and plan.input_pack is not None
+        cols = np.array([[0, 0, 1, 1], [0, 1, 0, 1]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            execute_plan(plan, cols).gate(h), [0, 0, 1, 1])
+
+    def test_unpack_at_last_level(self):
+        """A bit-regime output gate unpacks at its own (last) level."""
+        c = Circuit()
+        x, y = c.input(), c.input()
+        e = c.op(EQ, x, y)
+        out = c.op(NOT, e)
+        plan = compile_plan(c, [out], fuse=True)
+        assert plan.packed
+        assert len(plan.levels[-1].unpack) >= 1
+        cols = np.array([[1, 2, 3], [1, 3, 3]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            execute_plan(plan, cols).gate(out), [0, 1, 0])
+
+    def test_fusable_run_of_length_one(self):
+        """A single all-bit level between two boundary levels still fuses
+        (a fused segment of exactly one level, one kernel call)."""
+        c = Circuit()
+        w, x, y, z = (c.input() for _ in range(4))
+        e1, e2, e3 = c.op(EQ, w, x), c.op(EQ, x, y), c.op(LT, y, z)
+        # level 2: pure bit, feeds only level-3 bit gates -> fusable.
+        a1, a2 = c.op(AND, e1, e2), c.op(XOR, e2, e3)
+        # level 3: bit gate that is an output -> unpacks here, unfusable.
+        out = c.op(OR, a1, a2)
+        plan = compile_plan(c, [out], fuse=True)
+        assert plan.packed
+        fused = [s for s in plan.segments if s.fused]
+        assert any(s.n_levels == 1 for s in fused)
+        for si, s in enumerate(plan.segments):
+            if s.fused:
+                # n_calls records what level-at-a-time execution would
+                # cost; the fused fast path makes one kernel call instead.
+                assert s.n_calls >= s.n_levels >= 1
+                assert plan.kernel_for(si) is not None
+        rng = np.random.default_rng(7)
+        cols = rng.integers(0, 3, size=(4, 200), dtype=np.int64)
+        np.testing.assert_array_equal(
+            execute_plan(plan, cols).gate(out),
+            scalar_reference(c, cols, [out])[0])
+
+    def test_multi_level_fused_segment_recycles_bit_slots(self):
+        """Dead bit intermediates are recycled *inside* a fused run: the
+        plan allocates fewer bit slots than it has bit gates, and a fused
+        segment spans multiple levels across the recycling."""
+        c, outputs = boolean_tail_circuit(depth=24)
+        plan = compile_plan(c, outputs, fuse=True)
+        assert plan.packed
+        assert any(s.fused and s.n_levels >= 8 for s in plan.segments)
+        n_bit_gates = sum(len(g.dst) for lvl in plan.levels
+                          for g in lvl.bit_groups)
+        assert 0 < plan.n_bit_slots < n_bit_gates
+        rng = np.random.default_rng(11)
+        cols = rng.integers(0, 3, size=(len(c.inputs), 130), dtype=np.int64)
+        got = execute_plan(plan, cols).gates(outputs)
+        np.testing.assert_array_equal(
+            got, scalar_reference(c, cols, outputs))
+
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_tail_lanes_stay_clean_across_not(self, batch):
+        """NOT must mask the word tail: lanes past ``batch`` never leak
+        into popcounts or unpacked outputs."""
+        c = Circuit()
+        x = c.input()
+        e = c.op(EQ, x, c.const(0))
+        n1 = c.op(NOT, e)
+        n2 = c.op(NOT, n1)           # double negation: e again
+        out = c.op(XOR, n2, e)       # identically 0 -> exposes tail dirt
+        plan = compile_plan(c, [out, n1], fuse=True)
+        cols = np.arange(batch, dtype=np.int64).reshape(1, batch) % 2
+        run = execute_plan(plan, cols)
+        np.testing.assert_array_equal(run.gate(out), np.zeros(batch))
+        np.testing.assert_array_equal(run.gate(n1), cols[0] != 0)
+
+    def test_resolve_fuse_contract(self, monkeypatch):
+        monkeypatch.delenv(NO_FUSE_ENV, raising=False)
+        assert resolve_fuse(None, (1,)) is True
+        assert resolve_fuse(None, None) is False    # all-live: never pack
+        assert resolve_fuse(True, None) is False
+        assert resolve_fuse(False, (1,)) is False
+        monkeypatch.setenv(NO_FUSE_ENV, "1")
+        assert resolve_fuse(None, (1,)) is False
+        assert resolve_fuse(True, (1,)) is True     # explicit wins over env
+
+
+# ---------------------------------------------------------------------------
+# budgeted chunking predicts post-packing bytes
+# ---------------------------------------------------------------------------
+
+class TestBudgetedChunking:
+    def test_packed_plan_needs_fewer_chunks(self):
+        """On a boolean-heavy plan, the packed byte model admits far more
+        rows per chunk than the int64 model — and answers stay identical."""
+        c, outputs = boolean_tail_circuit(depth=24)
+        plan = compile_plan(c, outputs, fuse=True)
+        assert plan.packed
+        batch = 1024
+        cap = plan.buffer_bytes(batch) // 3     # force chunking
+        rows_packed = plan.max_rows_within(cap)
+        naive = max(1, cap // plan.buffer_bytes(1))
+        # buffer_bytes(1) bills every bit slot a full uint64 word; the
+        # step-function inverse amortizes that word over 64 rows.
+        assert rows_packed >= 2 * naive
+        chunks_packed = -(-batch // rows_packed)
+        chunks_naive = -(-batch // naive)
+        assert chunks_packed < chunks_naive
+
+        rng = np.random.default_rng(3)
+        cols = rng.integers(0, 3, size=(len(c.inputs), batch),
+                            dtype=np.int64)
+        from repro.engine import evaluate
+        budgeted = evaluate(c, cols.T, outputs=outputs,
+                            mem_budget=cap, fuse=True)
+        free = execute_plan(plan, cols)
+        np.testing.assert_array_equal(budgeted.gates(outputs),
+                                      free.gates(outputs))
+
+    def test_budget_model_is_exact_inverse(self):
+        c, outputs = boolean_tail_circuit(depth=12)
+        plan = compile_plan(c, outputs, fuse=True)
+        for cap in (plan.buffer_bytes(1), plan.buffer_bytes(63) + 8,
+                    plan.buffer_bytes(200), plan.buffer_bytes(200) + 7):
+            rows = plan.max_rows_within(cap)
+            assert plan.buffer_bytes(rows) <= cap
+            assert plan.buffer_bytes(rows + 1) > cap
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE over fused plans
+# ---------------------------------------------------------------------------
+
+TRIANGLE = "R_AB(A,B), R_BC(B,C), R_AC(A,C)"
+N = 4
+
+
+@pytest.fixture(scope="module")
+def cq():
+    return api.compile(TRIANGLE, n=N)
+
+
+@pytest.fixture(scope="module")
+def db(cq):
+    return random_database(cq.query, size=N, domain=6, seed=11)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestExplainFused:
+    def test_report_carries_fusion_facts(self, cq, db):
+        report = explain(cq, db=db, analyze=True, fuse=True)
+        assert report.packed
+        assert report.n_segments >= 1 and report.n_fused_levels >= 1
+        assert report.n_bit_slots > 0
+        # Per-row the models coincide (one uint64 word per bit slot at
+        # batch 1); packing pays off across a batch — see
+        # TestBudgetedChunking for the multi-row comparison.
+        assert report.prepack_bytes_per_row >= report.buffer_bytes_per_row
+        assert any(l.fused for l in report.levels)
+        assert all(l.segment is not None
+                   for l in report.levels if l.index > 0)
+        doc = report.to_json()
+        assert validate_report(doc) == []
+        assert doc["plan"]["packed"] is True
+        assert "fused:" in report.to_text()
+
+    def test_measured_times_telescope(self, cq, db):
+        report = explain(cq, db=db, analyze=True, repeat=3, fuse=True)
+        level_ms = sum(l.measured_ms for l in report.levels)
+        assert 0 < level_ms <= report.engine_ms * 1.0001
+        for l in report.levels:
+            assert sum(l.group_ms.values()) <= l.measured_ms * 1.0001
+
+    def test_observed_cardinalities_match_unfused(self, cq, db):
+        """Popcounted bit-regime cardinalities agree gate-for-gate with
+        the unfused profile (itself validated against the scalar
+        interpreter in test_obs_profile)."""
+        fused = explain(cq, db=db, analyze=True, fuse=True)
+        unfused = explain(cq, db=db, analyze=True, fuse=False)
+        by_gid = {w.gid: w.observed for w in unfused.wires}
+        assert fused.wires and set(w.gid for w in fused.wires) == set(by_gid)
+        for w in fused.wires:
+            assert w.observed == pytest.approx(by_gid[w.gid])
+        assert fused.observed_tuples_total == pytest.approx(
+            unfused.observed_tuples_total)
+
+    def test_fingerprint_moves_iff_fusion_moves(self, cq):
+        gates = cq.lowered.circuit
+        from repro.engine import lowered_output_gates
+        outs = lowered_output_gates(cq.lowered)
+        key = cq.signature.key
+        fused_a = plan_fingerprint(key, compile_plan(gates, outs, fuse=True))
+        fused_b = plan_fingerprint(key, compile_plan(gates, outs, fuse=True))
+        unfused = plan_fingerprint(key, compile_plan(gates, outs, fuse=False))
+        assert fused_a == fused_b
+        assert fused_a != unfused
+
+    def test_no_fuse_env_reaches_default_resolution(self, cq, db,
+                                                    monkeypatch):
+        monkeypatch.setenv(NO_FUSE_ENV, "1")
+        report = explain(cq, db=db, analyze=True)   # fuse unspecified
+        assert not report.packed
+        monkeypatch.delenv(NO_FUSE_ENV)
+        assert explain(cq, db=db, analyze=True).packed
